@@ -1,0 +1,171 @@
+//! Enumeration of satisfying cubes.
+
+use crate::manager::{Bdd, BddManager, Var};
+
+/// A partial assignment: variables fixed to a polarity, everything else a
+/// don't-care.
+///
+/// # Examples
+///
+/// ```
+/// use mct_bdd::{BddManager, Cube, Var};
+/// let mut m = BddManager::new();
+/// let a = m.var(Var::new(0));
+/// let b = m.var(Var::new(1));
+/// let f = m.and(a, b);
+/// let cubes: Vec<Cube> = m.cubes(f).collect();
+/// assert_eq!(cubes.len(), 1);
+/// assert_eq!(cubes[0].literals(), &[(Var::new(0), true), (Var::new(1), true)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Cube {
+    literals: Vec<(Var, bool)>,
+}
+
+impl Cube {
+    /// The fixed literals of the cube, in ascending variable order.
+    pub fn literals(&self) -> &[(Var, bool)] {
+        &self.literals
+    }
+
+    /// The polarity assigned to `v`, or `None` if `v` is a don't-care.
+    pub fn polarity(&self, v: Var) -> Option<bool> {
+        self.literals
+            .binary_search_by_key(&v, |&(cv, _)| cv)
+            .ok()
+            .map(|i| self.literals[i].1)
+    }
+
+    /// Number of fixed literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Whether no literal is fixed (the universal cube).
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+}
+
+impl std::fmt::Display for Cube {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.literals.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, &(v, pos)) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            if !pos {
+                write!(f, "¬")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the disjoint satisfying cubes of a function, produced by
+/// [`BddManager::cubes`].
+///
+/// Each yielded [`Cube`] corresponds to one root-to-`TRUE` path of the BDD;
+/// the cubes are pairwise disjoint and their union is exactly the on-set.
+pub struct CubeIter<'m> {
+    manager: &'m BddManager,
+    // Stack of (node, path-so-far); depth-first.
+    stack: Vec<(Bdd, Vec<(Var, bool)>)>,
+}
+
+impl<'m> Iterator for CubeIter<'m> {
+    type Item = Cube;
+
+    fn next(&mut self) -> Option<Cube> {
+        while let Some((node, path)) = self.stack.pop() {
+            if node.is_false() {
+                continue;
+            }
+            if node.is_true() {
+                let mut literals = path;
+                literals.sort_by_key(|&(v, _)| v);
+                return Some(Cube { literals });
+            }
+            let v = self.manager.root_var(node).expect("non-terminal");
+            let mut hi_path = path.clone();
+            hi_path.push((v, true));
+            let mut lo_path = path;
+            lo_path.push((v, false));
+            self.stack.push((self.manager.high(node), hi_path));
+            self.stack.push((self.manager.low(node), lo_path));
+        }
+        None
+    }
+}
+
+impl BddManager {
+    /// Iterates over the disjoint satisfying cubes of `f`.
+    pub fn cubes(&self, f: Bdd) -> CubeIter<'_> {
+        CubeIter {
+            manager: self,
+            stack: vec![(f, Vec::new())],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn false_has_no_cubes() {
+        let m = BddManager::new();
+        assert_eq!(m.cubes(m.zero()).count(), 0);
+    }
+
+    #[test]
+    fn true_has_universal_cube() {
+        let m = BddManager::new();
+        let cubes: Vec<_> = m.cubes(m.one()).collect();
+        assert_eq!(cubes.len(), 1);
+        assert!(cubes[0].is_empty());
+        assert_eq!(cubes[0].to_string(), "⊤");
+    }
+
+    #[test]
+    fn cubes_cover_exactly_the_onset() {
+        let mut m = BddManager::new();
+        let a = m.var(Var::new(0));
+        let b = m.var(Var::new(1));
+        let c = m.var(Var::new(2));
+        let ab = m.and(a, b);
+        let nc = m.not(c);
+        let f = m.or(ab, nc);
+        // Sum the assignment counts of disjoint cubes over 3 vars.
+        let total: u64 = m
+            .cubes(f)
+            .map(|cube| 1u64 << (3 - cube.len() as u32))
+            .sum();
+        assert_eq!(total, m.sat_count(f, 3) as u64);
+        // Every cube must satisfy f.
+        for cube in m.cubes(f) {
+            let val = |v: Var| cube.polarity(v).unwrap_or(false);
+            assert!(m.eval(f, val));
+        }
+    }
+
+    #[test]
+    fn polarity_lookup() {
+        let mut m = BddManager::new();
+        let a = m.var(Var::new(3));
+        let cube = m.cubes(a).next().expect("one cube");
+        assert_eq!(cube.polarity(Var::new(3)), Some(true));
+        assert_eq!(cube.polarity(Var::new(0)), None);
+    }
+
+    #[test]
+    fn display_negative_literal() {
+        let mut m = BddManager::new();
+        let na = m.nvar(Var::new(1));
+        let cube = m.cubes(na).next().expect("one cube");
+        assert_eq!(cube.to_string(), "¬x1");
+    }
+}

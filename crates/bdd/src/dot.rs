@@ -1,0 +1,90 @@
+//! Graphviz export for debugging BDDs.
+
+use crate::manager::{Bdd, BddManager};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+impl BddManager {
+    /// Renders the graph rooted at `f` in Graphviz `dot` syntax.
+    ///
+    /// Solid edges are `then` (variable = 1) branches, dashed edges are
+    /// `else` branches. Intended for debugging small functions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mct_bdd::{BddManager, Var};
+    /// let mut m = BddManager::new();
+    /// let a = m.var(Var::new(0));
+    /// let dot = m.to_dot(a, "single_var");
+    /// assert!(dot.contains("digraph single_var"));
+    /// assert!(dot.contains("x0"));
+    /// ```
+    pub fn to_dot(&self, f: Bdd, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  n0 [label=\"0\", shape=box];");
+        let _ = writeln!(out, "  n1 [label=\"1\", shape=box];");
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            if g.is_const() {
+                continue;
+            }
+            let id = dot_id(g);
+            if !seen.insert(id) {
+                continue;
+            }
+            let v = self.root_var(g).expect("non-terminal");
+            let lo = self.low(g);
+            let hi = self.high(g);
+            let _ = writeln!(out, "  n{id} [label=\"{v}\", shape=circle];");
+            let _ = writeln!(out, "  n{id} -> n{} [style=dashed];", dot_id(lo));
+            let _ = writeln!(out, "  n{id} -> n{};", dot_id(hi));
+            stack.push(lo);
+            stack.push(hi);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn dot_id(f: Bdd) -> u32 {
+    if f.is_false() {
+        0
+    } else if f.is_true() {
+        1
+    } else {
+        // Decision nodes reuse their arena index, which starts at 2 and so
+        // never collides with the terminal labels.
+        debug_assert!(f.0 >= 2);
+        f.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::Var;
+
+    #[test]
+    fn constant_graph_has_only_terminals() {
+        let m = BddManager::new();
+        let dot = m.to_dot(m.one(), "t");
+        assert!(dot.contains("digraph t"));
+        assert!(!dot.contains("circle"));
+    }
+
+    #[test]
+    fn and_graph_mentions_both_vars() {
+        let mut m = BddManager::new();
+        let a = m.var(Var::new(0));
+        let b = m.var(Var::new(1));
+        let f = m.and(a, b);
+        let dot = m.to_dot(f, "and2");
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) for sequential timing
+//! analysis.
+//!
+//! This crate provides the symbolic-Boolean substrate used by the minimum
+//! cycle time engine of Lam, Brayton, and Sangiovanni-Vincentelli, *Exact
+//! Minimum Cycle Times for Finite State Machines* (DAC 1994). The decision
+//! algorithm of that paper reduces the question "is clock period τ safe?" to
+//! equality of two Boolean functions, which is exactly what canonical BDDs
+//! answer in O(1) once both functions are built.
+//!
+//! The design is a classic hash-consed ROBDD package:
+//!
+//! * nodes live in an append-only arena and are referenced by the [`Bdd`]
+//!   handle (a `Copy` index), so structural equality of functions is pointer
+//!   equality;
+//! * a unique table guarantees canonicity, and memoized `ITE` drives all
+//!   binary operations;
+//! * variable order is the numeric order of [`Var`] indices (no dynamic
+//!   reordering — callers choose a good static order, which the timing
+//!   engine does by interleaving time-shifted copies of each signal).
+//!
+//! # Examples
+//!
+//! ```
+//! use mct_bdd::{BddManager, Var};
+//!
+//! let mut m = BddManager::new();
+//! let a = m.var(Var::new(0));
+//! let b = m.var(Var::new(1));
+//! let f = m.and(a, b);
+//! let g = m.not(f);
+//! let na = m.not(a);
+//! let nb = m.not(b);
+//! let h = m.or(na, nb);
+//! // De Morgan: ¬(a ∧ b) == ¬a ∨ ¬b, and canonicity makes this `==`.
+//! assert_eq!(g, h);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cubes;
+mod dot;
+mod hash;
+mod manager;
+
+pub use cubes::{Cube, CubeIter};
+pub use manager::{Bdd, BddManager, BddStats, Var};
+
+#[cfg(test)]
+mod proptests;

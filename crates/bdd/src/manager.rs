@@ -1,0 +1,1010 @@
+//! The BDD node arena, unique table, and core symbolic operations.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// A Boolean variable, identified by its position in the global variable
+/// order (smaller index = closer to the root).
+///
+/// The timing engine maps each (signal, time-shift) pair to one `Var`.
+///
+/// # Examples
+///
+/// ```
+/// use mct_bdd::Var;
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable with the given order index.
+    pub fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// The position of this variable in the global order.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A handle to a BDD function owned by a [`BddManager`].
+///
+/// Handles are plain `Copy` indices into the manager's arena. Because the
+/// arena is hash-consed, two handles are `==` **iff** they denote the same
+/// Boolean function — the property the cycle-time decision algorithm relies
+/// on.
+///
+/// A `Bdd` is only meaningful together with the manager that created it;
+/// mixing handles across managers is a logic error (and will panic on
+/// out-of-range indices rather than corrupt memory).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Whether this handle is one of the two terminal constants.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Whether this handle is the constant-true function.
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Whether this handle is the constant-false function.
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+/// Owner of all BDD nodes: arena, unique table, and operation caches.
+///
+/// All operations take `&mut self` because they may allocate nodes and
+/// populate memo tables. The arena is append-only; handles are never
+/// invalidated (there is no garbage collection — the timing workloads in this
+/// repository are bounded and the caller can drop the whole manager).
+///
+/// # Examples
+///
+/// ```
+/// use mct_bdd::{Bdd, BddManager, Var};
+///
+/// let mut m = BddManager::new();
+/// let x = m.var(Var::new(0));
+/// let y = m.var(Var::new(1));
+/// let f = m.xor(x, y);
+/// assert!(m.eval(f, |v| v.index() == 0)); // x=1, y=0
+/// assert_eq!(m.restrict(f, Var::new(1), true), m.not(x));
+/// ```
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: FxHashMap<(u32, u32, u32), u32>,
+    ite_cache: FxHashMap<(u32, u32, u32), u32>,
+    not_cache: FxHashMap<u32, u32>,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BddManager")
+            .field("nodes", &self.nodes.len())
+            .field("ite_cache_entries", &self.ite_cache.len())
+            .finish()
+    }
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+impl BddManager {
+    /// Creates an empty manager containing only the two terminal nodes.
+    pub fn new() -> Self {
+        let mut m = BddManager {
+            nodes: Vec::with_capacity(1 << 12),
+            unique: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
+            not_cache: FxHashMap::default(),
+        };
+        // Index 0 = FALSE, index 1 = TRUE; both are sentinels with
+        // out-of-band variable index so `var_of` ranks them below every
+        // decision node.
+        m.nodes.push(Node { var: TERMINAL_VAR, lo: Bdd::FALSE, hi: Bdd::FALSE });
+        m.nodes.push(Node { var: TERMINAL_VAR, lo: Bdd::TRUE, hi: Bdd::TRUE });
+        m
+    }
+
+    /// Total number of nodes allocated in the arena (including terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant-true function.
+    pub fn one(&self) -> Bdd {
+        Bdd::TRUE
+    }
+
+    /// The constant-false function.
+    pub fn zero(&self) -> Bdd {
+        Bdd::FALSE
+    }
+
+    /// A constant function from a `bool`.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    /// The single-variable function `v`.
+    pub fn var(&mut self, v: Var) -> Bdd {
+        self.mk(v.index(), Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The negated single-variable function `¬v`.
+    pub fn nvar(&mut self, v: Var) -> Bdd {
+        self.mk(v.index(), Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// A literal: `v` if `positive`, `¬v` otherwise.
+    pub fn literal(&mut self, v: Var, positive: bool) -> Bdd {
+        if positive {
+            self.var(v)
+        } else {
+            self.nvar(v)
+        }
+    }
+
+    fn node(&self, f: Bdd) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    /// The decision variable at the root of `f`, or `None` for terminals.
+    pub fn root_var(&self, f: Bdd) -> Option<Var> {
+        let v = self.node(f).var;
+        if v == TERMINAL_VAR {
+            None
+        } else {
+            Some(Var(v))
+        }
+    }
+
+    /// The low (else, `var = 0`) child of a decision node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal constant.
+    pub fn low(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const(), "terminal nodes have no children");
+        self.node(f).lo
+    }
+
+    /// The high (then, `var = 1`) child of a decision node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal constant.
+    pub fn high(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const(), "terminal nodes have no children");
+        self.node(f).hi
+    }
+
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        let key = (var, lo.0, hi.0);
+        if let Some(&idx) = self.unique.get(&key) {
+            return Bdd(idx);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert(key, idx);
+        Bdd(idx)
+    }
+
+    #[inline]
+    fn var_rank(&self, f: Bdd) -> u32 {
+        self.node(f).var
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`. The workhorse behind every binary
+    /// operation.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        let key = (f.0, g.0, h.0);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return Bdd(r);
+        }
+        let top = self
+            .var_rank(f)
+            .min(self.var_rank(g))
+            .min(self.var_rank(h));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert(key, r.0);
+        r
+    }
+
+    #[inline]
+    fn cofactors_at(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
+        let n = self.node(f);
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Boolean negation `¬f`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        if f.is_true() {
+            return Bdd::FALSE;
+        }
+        if f.is_false() {
+            return Bdd::TRUE;
+        }
+        if let Some(&r) = self.not_cache.get(&f.0) {
+            return Bdd(r);
+        }
+        let n = self.node(f);
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(f.0, r.0);
+        self.not_cache.insert(r.0, f.0);
+        r
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence `f ↔ g` as a function (use `==` on handles for the
+    /// constant-time equality *test*).
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::TRUE)
+    }
+
+    /// Conjunction of an iterator of functions (`TRUE` when empty).
+    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for f in fs {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of an iterator of functions (`FALSE` when empty).
+    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for f in fs {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// The cofactor of `f` with variable `v` fixed to `value`.
+    pub fn restrict(&mut self, f: Bdd, v: Var, value: bool) -> Bdd {
+        let mut memo = FxHashMap::default();
+        self.restrict_rec(f, v.index(), value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: Bdd,
+        var: u32,
+        value: bool,
+        memo: &mut FxHashMap<u32, u32>,
+    ) -> Bdd {
+        let n = self.node(f);
+        if n.var > var {
+            // Past the variable in the order (or a terminal): unchanged.
+            return f;
+        }
+        if n.var == var {
+            return if value { n.hi } else { n.lo };
+        }
+        if let Some(&r) = memo.get(&f.0) {
+            return Bdd(r);
+        }
+        let lo = self.restrict_rec(n.lo, var, value, memo);
+        let hi = self.restrict_rec(n.hi, var, value, memo);
+        let r = self.mk(n.var, lo, hi);
+        memo.insert(f.0, r.0);
+        r
+    }
+
+    /// Substitutes function `g` for variable `v` in `f` (Boolean
+    /// composition `f[v ← g]`).
+    pub fn compose(&mut self, f: Bdd, v: Var, g: Bdd) -> Bdd {
+        let map = [(v, g)];
+        self.vector_compose(f, &map)
+    }
+
+    /// Simultaneous substitution: every variable listed in `subst` is
+    /// replaced by its paired function; variables not listed stay themselves.
+    ///
+    /// This is the operation the decision algorithm uses to unroll the
+    /// steady-state recurrence `x̂(n) = g(x̂(n−1), u(n−1))` until all time
+    /// arguments align.
+    pub fn vector_compose(&mut self, f: Bdd, subst: &[(Var, Bdd)]) -> Bdd {
+        let map: FxHashMap<u32, Bdd> =
+            subst.iter().map(|&(v, g)| (v.index(), g)).collect();
+        let mut memo = FxHashMap::default();
+        self.vector_compose_rec(f, &map, &mut memo)
+    }
+
+    fn vector_compose_rec(
+        &mut self,
+        f: Bdd,
+        map: &FxHashMap<u32, Bdd>,
+        memo: &mut FxHashMap<u32, u32>,
+    ) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f.0) {
+            return Bdd(r);
+        }
+        let n = self.node(f);
+        let lo = self.vector_compose_rec(n.lo, map, memo);
+        let hi = self.vector_compose_rec(n.hi, map, memo);
+        let root = match map.get(&n.var) {
+            Some(&g) => g,
+            None => self.var(Var(n.var)),
+        };
+        let r = self.ite(root, hi, lo);
+        memo.insert(f.0, r.0);
+        r
+    }
+
+    /// Renames variables according to `map` (a special case of
+    /// [`vector_compose`](Self::vector_compose) provided for readability at
+    /// call sites that shift time indices).
+    pub fn rename_vars(&mut self, f: Bdd, map: &[(Var, Var)]) -> Bdd {
+        let subst: Vec<(Var, Bdd)> = map
+            .iter()
+            .map(|&(from, to)| {
+                let g = self.var(to);
+                (from, g)
+            })
+            .collect();
+        self.vector_compose(f, &subst)
+    }
+
+    /// Existential quantification `∃ vars. f`.
+    pub fn exists(&mut self, f: Bdd, vars: &[Var]) -> Bdd {
+        let mut sorted: Vec<u32> = vars.iter().map(|v| v.index()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut memo = FxHashMap::default();
+        self.exists_rec(f, &sorted, &mut memo)
+    }
+
+    fn exists_rec(
+        &mut self,
+        f: Bdd,
+        vars: &[u32],
+        memo: &mut FxHashMap<u32, u32>,
+    ) -> Bdd {
+        if f.is_const() || vars.is_empty() {
+            return f;
+        }
+        let n = self.node(f);
+        // Skip quantified variables above the root of f.
+        let pos = vars.partition_point(|&v| v < n.var);
+        let vars = &vars[pos..];
+        if vars.is_empty() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f.0) {
+            return Bdd(r);
+        }
+        let lo = self.exists_rec(n.lo, vars, memo);
+        let hi = self.exists_rec(n.hi, vars, memo);
+        let r = if vars[0] == n.var {
+            self.or(lo, hi)
+        } else {
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f.0, r.0);
+        r
+    }
+
+    /// Universal quantification `∀ vars. f`.
+    pub fn forall(&mut self, f: Bdd, vars: &[Var]) -> Bdd {
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// The relational product `∃ vars. (f ∧ g)`, computed without building
+    /// the full conjunction — the inner loop of symbolic reachability.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: &[Var]) -> Bdd {
+        let mut sorted: Vec<u32> = vars.iter().map(|v| v.index()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut memo = FxHashMap::default();
+        self.and_exists_rec(f, g, &sorted, &mut memo)
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        f: Bdd,
+        g: Bdd,
+        vars: &[u32],
+        memo: &mut FxHashMap<(u32, u32), u32>,
+    ) -> Bdd {
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() && g.is_true() {
+            return Bdd::TRUE;
+        }
+        if vars.is_empty() {
+            return self.and(f, g);
+        }
+        let key = (f.0.min(g.0), f.0.max(g.0));
+        if let Some(&r) = memo.get(&key) {
+            return Bdd(r);
+        }
+        let top = self.var_rank(f).min(self.var_rank(g));
+        let pos = vars.partition_point(|&v| v < top);
+        let rem = &vars[pos..];
+        if rem.is_empty() {
+            let r = self.and(f, g);
+            memo.insert(key, r.0);
+            return r;
+        }
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let r = if rem[0] == top {
+            let lo = self.and_exists_rec(f0, g0, rem, memo);
+            if lo.is_true() {
+                Bdd::TRUE
+            } else {
+                let hi = self.and_exists_rec(f1, g1, rem, memo);
+                self.or(lo, hi)
+            }
+        } else {
+            let lo = self.and_exists_rec(f0, g0, rem, memo);
+            let hi = self.and_exists_rec(f1, g1, rem, memo);
+            self.mk(top, lo, hi)
+        };
+        memo.insert(key, r.0);
+        r
+    }
+
+    /// Evaluates `f` under a total assignment supplied as a predicate.
+    pub fn eval<A: Fn(Var) -> bool>(&self, f: Bdd, assignment: A) -> bool {
+        let mut cur = f;
+        loop {
+            if cur.is_true() {
+                return true;
+            }
+            if cur.is_false() {
+                return false;
+            }
+            let n = self.node(cur);
+            cur = if assignment(Var(n.var)) { n.hi } else { n.lo };
+        }
+    }
+
+    /// The set of variables `f` structurally depends on, in ascending order.
+    pub fn support(&self, f: Bdd) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            if g.is_const() || !seen.insert(g.0) {
+                continue;
+            }
+            let n = self.node(g);
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().map(Var).collect()
+    }
+
+    /// Number of arena nodes reachable from `f` (a size measure, including
+    /// terminals).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            if !seen.insert(g.0) {
+                continue;
+            }
+            if g.is_const() {
+                continue;
+            }
+            let n = self.node(g);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.len()
+    }
+
+    /// Counts satisfying assignments of `f` over a space of `num_vars`
+    /// variables (indices `0 .. num_vars`), as an `f64` to tolerate wide
+    /// state spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable with index `≥ num_vars`.
+    pub fn sat_count(&self, f: Bdd, num_vars: u32) -> f64 {
+        let mut memo: FxHashMap<u32, f64> = FxHashMap::default();
+        let frac = self.sat_fraction(f, &mut memo);
+        frac * 2f64.powi(num_vars as i32)
+    }
+
+    /// The fraction of the full assignment space satisfying `f` (independent
+    /// of the number of variables).
+    pub fn sat_fraction_of(&self, f: Bdd) -> f64 {
+        let mut memo: FxHashMap<u32, f64> = FxHashMap::default();
+        self.sat_fraction(f, &mut memo)
+    }
+
+    fn sat_fraction(&self, f: Bdd, memo: &mut FxHashMap<u32, f64>) -> f64 {
+        if f.is_true() {
+            return 1.0;
+        }
+        if f.is_false() {
+            return 0.0;
+        }
+        if let Some(&r) = memo.get(&f.0) {
+            return r;
+        }
+        let n = self.node(f);
+        let r = 0.5 * self.sat_fraction(n.lo, memo) + 0.5 * self.sat_fraction(n.hi, memo);
+        memo.insert(f.0, r);
+        r
+    }
+
+    /// Returns one satisfying partial assignment (a cube) of `f`, or `None`
+    /// if `f` is unsatisfiable. Variables not mentioned are don't-cares.
+    pub fn any_sat(&self, f: Bdd) -> Option<Vec<(Var, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut cube = Vec::new();
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            if n.lo.is_false() {
+                cube.push((Var(n.var), true));
+                cur = n.hi;
+            } else {
+                cube.push((Var(n.var), false));
+                cur = n.lo;
+            }
+        }
+        Some(cube)
+    }
+
+    /// Whether `f` and `g` denote the same function; constant time thanks to
+    /// canonicity. Provided for call-site readability.
+    pub fn equal(&self, f: Bdd, g: Bdd) -> bool {
+        f == g
+    }
+
+    /// The Coudert–Madre generalized cofactor `f ⇓ c` ("constrain"): a
+    /// function that agrees with `f` everywhere `c` holds and is free to
+    /// take any (canonicity-minimizing) value elsewhere. The classic
+    /// don't-care minimization operator:
+    /// `(f ⇓ c) ∧ c == f ∧ c` always holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is unsatisfiable (the cofactor is undefined).
+    pub fn constrain(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        assert!(!c.is_false(), "constrain by the empty care set");
+        let mut memo = FxHashMap::default();
+        self.constrain_rec(f, c, &mut memo)
+    }
+
+    fn constrain_rec(
+        &mut self,
+        f: Bdd,
+        c: Bdd,
+        memo: &mut FxHashMap<(u32, u32), u32>,
+    ) -> Bdd {
+        if c.is_true() || f.is_const() {
+            return f;
+        }
+        if f == c {
+            return Bdd::TRUE;
+        }
+        if let Some(&r) = memo.get(&(f.0, c.0)) {
+            return Bdd(r);
+        }
+        let top = self.var_rank(f).min(self.var_rank(c));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (c0, c1) = self.cofactors_at(c, top);
+        let r = if c1.is_false() {
+            self.constrain_rec(f0, c0, memo)
+        } else if c0.is_false() {
+            self.constrain_rec(f1, c1, memo)
+        } else {
+            let lo = self.constrain_rec(f0, c0, memo);
+            let hi = self.constrain_rec(f1, c1, memo);
+            self.mk(top, lo, hi)
+        };
+        memo.insert((f.0, c.0), r.0);
+        r
+    }
+
+    /// Clears the operation caches (unique table and arena are kept).
+    ///
+    /// The caches only grow; long sweeps over many candidate clock periods
+    /// can call this between candidates to bound memory.
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+        self.not_cache.clear();
+    }
+
+    /// Arena and cache occupancy, for capacity diagnostics.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            ite_cache_entries: self.ite_cache.len(),
+            not_cache_entries: self.not_cache.len(),
+        }
+    }
+}
+
+/// Occupancy snapshot of a [`BddManager`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BddStats {
+    /// Total arena nodes (including the two terminals).
+    pub nodes: usize,
+    /// Memoized ITE results.
+    pub ite_cache_entries: usize,
+    /// Memoized negations.
+    pub not_cache_entries: usize,
+}
+
+impl fmt::Display for BddStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} ite cache, {} not cache",
+            self.nodes, self.ite_cache_entries, self.not_cache_entries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BddManager, Bdd, Bdd, Bdd) {
+        let mut m = BddManager::new();
+        let a = m.var(Var::new(0));
+        let b = m.var(Var::new(1));
+        let c = m.var(Var::new(2));
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn constants() {
+        let m = BddManager::new();
+        assert!(m.one().is_true());
+        assert!(m.zero().is_false());
+        assert_eq!(m.constant(true), m.one());
+        assert_eq!(m.constant(false), m.zero());
+        assert_eq!(m.num_nodes(), 2);
+    }
+
+    #[test]
+    fn var_is_canonical() {
+        let mut m = BddManager::new();
+        let a1 = m.var(Var::new(0));
+        let a2 = m.var(Var::new(0));
+        assert_eq!(a1, a2);
+        assert_eq!(m.num_nodes(), 3);
+    }
+
+    #[test]
+    fn not_involution() {
+        let (mut m, a, b, _) = setup();
+        let f = m.and(a, b);
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        assert_eq!(f, nnf);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, a, b, _) = setup();
+        let and = m.and(a, b);
+        let l = m.not(and);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let r = m.or(na, nb);
+        assert_eq!(l, r);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let (mut m, a, b, _) = setup();
+        let f = m.xor(a, b);
+        for (va, vb, expect) in [(false, false, false), (false, true, true), (true, false, true), (true, true, false)] {
+            let got = m.eval(f, |v| if v.index() == 0 { va } else { vb });
+            assert_eq!(got, expect, "a={va} b={vb}");
+        }
+    }
+
+    #[test]
+    fn ite_collapses_equal_branches() {
+        let (mut m, a, b, _) = setup();
+        assert_eq!(m.ite(a, b, b), b);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let (mut m, a, b, c) = setup();
+        let bc = m.or(b, c);
+        let f = m.and(a, bc); // a ∧ (b ∨ c)
+        assert_eq!(m.restrict(f, Var::new(0), false), m.zero());
+        let f_a1 = m.restrict(f, Var::new(0), true);
+        assert_eq!(f_a1, bc);
+        // Restricting a variable f does not depend on is identity.
+        assert_eq!(m.restrict(f, Var::new(7), true), f);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let (mut m, a, b, c) = setup();
+        let f = m.xor(a, b);
+        let g = m.and(b, c);
+        let composed = m.compose(f, Var::new(0), g); // (b∧c) ⊕ b
+        // Truth check: b=1,c=0 → 1⊕... (b∧c)=0 ⊕ 1 = 1
+        assert!(m.eval(composed, |v| v.index() == 1));
+        // b=1, c=1 → 1 ⊕ 1 = 0
+        assert!(!m.eval(composed, |v| v.index() <= 2 && v.index() >= 1));
+    }
+
+    #[test]
+    fn vector_compose_is_simultaneous() {
+        // f = a ⊕ b; swap a and b simultaneously: must still be a ⊕ b,
+        // not collapse through sequential substitution.
+        let (mut m, a, b, _) = setup();
+        let f = m.xor(a, b);
+        let swapped = m.vector_compose(f, &[(Var::new(0), b), (Var::new(1), a)]);
+        assert_eq!(swapped, f);
+    }
+
+    #[test]
+    fn rename_shifts_support() {
+        let (mut m, a, b, _) = setup();
+        let f = m.and(a, b);
+        let g = m.rename_vars(f, &[(Var::new(0), Var::new(10)), (Var::new(1), Var::new(11))]);
+        assert_eq!(m.support(g), vec![Var::new(10), Var::new(11)]);
+    }
+
+    #[test]
+    fn exists_removes_var() {
+        let (mut m, a, b, _) = setup();
+        let f = m.and(a, b);
+        let e = m.exists(f, &[Var::new(0)]);
+        assert_eq!(e, b);
+        let e2 = m.exists(f, &[Var::new(0), Var::new(1)]);
+        assert!(e2.is_true());
+    }
+
+    #[test]
+    fn forall_dual() {
+        let (mut m, a, b, _) = setup();
+        let f = m.or(a, b);
+        let g = m.forall(f, &[Var::new(0)]);
+        assert_eq!(g, b);
+        let h = m.forall(f, &[Var::new(0), Var::new(1)]);
+        assert!(h.is_false());
+    }
+
+    #[test]
+    fn and_exists_matches_composed_ops() {
+        let (mut m, a, b, c) = setup();
+        let f = m.xor(a, b);
+        let g = m.or(b, c);
+        let vars = [Var::new(1)];
+        let direct = {
+            let conj = m.and(f, g);
+            m.exists(conj, &vars)
+        };
+        let fused = m.and_exists(f, g, &vars);
+        assert_eq!(direct, fused);
+    }
+
+    #[test]
+    fn support_and_size() {
+        let (mut m, a, _, c) = setup();
+        let f = m.and(a, c);
+        assert_eq!(m.support(f), vec![Var::new(0), Var::new(2)]);
+        assert!(m.size(f) >= 2);
+        assert!(m.support(m.one()).is_empty());
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let (mut m, a, b, c) = setup();
+        let f = m.and(a, b);
+        assert_eq!(m.sat_count(f, 3) as u64, 2); // c free
+        let g = m.or_all([a, b, c]);
+        assert_eq!(m.sat_count(g, 3) as u64, 7);
+        assert_eq!(m.sat_count(m.one(), 3) as u64, 8);
+        assert_eq!(m.sat_count(m.zero(), 3) as u64, 0);
+    }
+
+    #[test]
+    fn any_sat_finds_model() {
+        let (mut m, a, b, _) = setup();
+        let na = m.not(a);
+        let f = m.and(na, b);
+        let cube = m.any_sat(f).expect("satisfiable");
+        // Model must actually satisfy f.
+        let val = |v: Var| cube.iter().find(|&&(cv, _)| cv == v).map(|&(_, s)| s).unwrap_or(false);
+        assert!(m.eval(f, val));
+        assert!(m.any_sat(m.zero()).is_none());
+    }
+
+    #[test]
+    fn and_all_or_all_empty() {
+        let mut m = BddManager::new();
+        assert!(m.and_all(std::iter::empty()).is_true());
+        assert!(m.or_all(std::iter::empty()).is_false());
+    }
+
+    #[test]
+    fn clear_caches_preserves_functions() {
+        let (mut m, a, b, _) = setup();
+        let f = m.and(a, b);
+        m.clear_caches();
+        let g = m.and(a, b);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn stats_track_growth() {
+        let (mut m, a, b, _) = setup();
+        let before = m.stats();
+        let _ = m.and(a, b);
+        let after = m.stats();
+        assert!(after.nodes >= before.nodes);
+        assert!(after.ite_cache_entries >= before.ite_cache_entries);
+        assert!(after.to_string().contains("nodes"));
+        m.clear_caches();
+        assert_eq!(m.stats().ite_cache_entries, 0);
+    }
+
+    #[test]
+    fn literal_polarity() {
+        let mut m = BddManager::new();
+        let p = m.literal(Var::new(4), true);
+        let n = m.literal(Var::new(4), false);
+        assert_eq!(m.not(p), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal nodes have no children")]
+    fn low_of_terminal_panics() {
+        let m = BddManager::new();
+        let _ = m.low(Bdd::TRUE);
+    }
+
+    #[test]
+    fn implies_truth() {
+        let (mut m, a, b, _) = setup();
+        let f = m.implies(a, b);
+        assert!(m.eval(f, |_| false));
+        assert!(!m.eval(f, |v| v.index() == 0));
+    }
+
+    #[test]
+    fn constrain_agrees_on_care_set() {
+        let (mut m, a, b, c) = setup();
+        let ab = m.xor(a, b);
+        let f = m.or(ab, c);
+        let care = m.and(a, b);
+        let g = m.constrain(f, care);
+        // (f ⇓ c) ∧ c == f ∧ c.
+        let lhs = m.and(g, care);
+        let rhs = m.and(f, care);
+        assert_eq!(lhs, rhs);
+        // Under a=b=1: f = 0 ⊕ ... = c; the constrained function typically
+        // simplifies.
+        assert!(m.size(g) <= m.size(f));
+    }
+
+    #[test]
+    fn constrain_identity_cases() {
+        let (mut m, a, b, _) = setup();
+        let f = m.and(a, b);
+        assert_eq!(m.constrain(f, m.one()), f);
+        assert_eq!(m.constrain(f, f), m.one());
+        assert_eq!(m.constrain(m.one(), a), m.one());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty care set")]
+    fn constrain_by_false_panics() {
+        let mut m = BddManager::new();
+        let _ = m.constrain(m.one(), m.zero());
+    }
+
+    #[test]
+    fn sat_fraction_of_half() {
+        let mut m = BddManager::new();
+        let a = m.var(Var::new(0));
+        assert!((m.sat_fraction_of(a) - 0.5).abs() < 1e-12);
+    }
+}

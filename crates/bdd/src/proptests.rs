@@ -1,0 +1,191 @@
+//! Property-based tests: BDD operations agree with brute-force truth-table
+//! semantics on random expressions.
+
+use crate::{BddManager, Var};
+use proptest::prelude::*;
+
+/// A small random Boolean expression over `NVARS` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+const NVARS: u32 = 5;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn eval_expr(e: &Expr, env: u32) -> bool {
+    match e {
+        Expr::Var(v) => env >> v & 1 == 1,
+        Expr::Const(b) => *b,
+        Expr::Not(a) => !eval_expr(a, env),
+        Expr::And(a, b) => eval_expr(a, env) && eval_expr(b, env),
+        Expr::Or(a, b) => eval_expr(a, env) || eval_expr(b, env),
+        Expr::Xor(a, b) => eval_expr(a, env) != eval_expr(b, env),
+        Expr::Ite(c, t, f) => {
+            if eval_expr(c, env) {
+                eval_expr(t, env)
+            } else {
+                eval_expr(f, env)
+            }
+        }
+    }
+}
+
+fn build(m: &mut BddManager, e: &Expr) -> crate::Bdd {
+    match e {
+        Expr::Var(v) => m.var(Var::new(*v)),
+        Expr::Const(b) => m.constant(*b),
+        Expr::Not(a) => {
+            let fa = build(m, a);
+            m.not(fa)
+        }
+        Expr::And(a, b) => {
+            let fa = build(m, a);
+            let fb = build(m, b);
+            m.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let fa = build(m, a);
+            let fb = build(m, b);
+            m.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let fa = build(m, a);
+            let fb = build(m, b);
+            m.xor(fa, fb)
+        }
+        Expr::Ite(c, t, f) => {
+            let fc = build(m, c);
+            let ft = build(m, t);
+            let ff = build(m, f);
+            m.ite(fc, ft, ff)
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let f = build(&mut m, &e);
+        for env in 0..(1u32 << NVARS) {
+            let expect = eval_expr(&e, env);
+            let got = m.eval(f, |v| env >> v.index() & 1 == 1);
+            prop_assert_eq!(got, expect, "env={:05b}", env);
+        }
+    }
+
+    #[test]
+    fn canonicity_semantic_equality_iff_handle_equality(
+        e1 in arb_expr(), e2 in arb_expr()
+    ) {
+        let mut m = BddManager::new();
+        let f1 = build(&mut m, &e1);
+        let f2 = build(&mut m, &e2);
+        let semantically_equal = (0..(1u32 << NVARS)).all(|env| eval_expr(&e1, env) == eval_expr(&e2, env));
+        prop_assert_eq!(f1 == f2, semantically_equal);
+    }
+
+    #[test]
+    fn sat_count_matches_enumeration(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let f = build(&mut m, &e);
+        let brute = (0..(1u32 << NVARS)).filter(|&env| eval_expr(&e, env)).count() as u64;
+        prop_assert_eq!(m.sat_count(f, NVARS) as u64, brute);
+    }
+
+    #[test]
+    fn exists_is_disjunction_of_cofactors(e in arb_expr(), v in 0..NVARS) {
+        let mut m = BddManager::new();
+        let f = build(&mut m, &e);
+        let var = Var::new(v);
+        let lo = m.restrict(f, var, false);
+        let hi = m.restrict(f, var, true);
+        let both = m.or(lo, hi);
+        let ex = m.exists(f, &[var]);
+        prop_assert_eq!(ex, both);
+    }
+
+    #[test]
+    fn compose_matches_semantic_substitution(e1 in arb_expr(), e2 in arb_expr(), v in 0..NVARS) {
+        let mut m = BddManager::new();
+        let f = build(&mut m, &e1);
+        let g = build(&mut m, &e2);
+        let composed = m.compose(f, Var::new(v), g);
+        for env in 0..(1u32 << NVARS) {
+            let gval = eval_expr(&e2, env);
+            let env2 = if gval { env | (1 << v) } else { env & !(1 << v) };
+            let expect = eval_expr(&e1, env2);
+            let got = m.eval(composed, |var| env >> var.index() & 1 == 1);
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn cubes_partition_onset(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let f = build(&mut m, &e);
+        let covered: u64 = m.cubes(f).map(|c| 1u64 << (NVARS - c.len() as u32)).sum();
+        prop_assert_eq!(covered, m.sat_count(f, NVARS) as u64);
+    }
+
+    #[test]
+    fn constrain_generalized_cofactor_property(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut m = BddManager::new();
+        let f = build(&mut m, &e1);
+        let c = build(&mut m, &e2);
+        prop_assume!(!c.is_false());
+        let g = m.constrain(f, c);
+        // Agreement on the care set, checked semantically.
+        for env in 0..(1u32 << NVARS) {
+            let care = m.eval(c, |v| env >> v.index() & 1 == 1);
+            if care {
+                let fv = m.eval(f, |v| env >> v.index() & 1 == 1);
+                let gv = m.eval(g, |v| env >> v.index() & 1 == 1);
+                prop_assert_eq!(fv, gv, "env {:05b}", env);
+            }
+        }
+    }
+
+    #[test]
+    fn support_is_exact(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let f = build(&mut m, &e);
+        let support = m.support(f);
+        // Every support variable actually matters...
+        for &v in &support {
+            let lo = m.restrict(f, v, false);
+            let hi = m.restrict(f, v, true);
+            prop_assert_ne!(lo, hi, "declared support var {} is vacuous", v);
+        }
+        // ...and no other variable does (by ROBDD reduction).
+        for v in (0..NVARS).map(Var::new) {
+            if !support.contains(&v) {
+                let lo = m.restrict(f, v, false);
+                prop_assert_eq!(lo, f);
+            }
+        }
+    }
+}

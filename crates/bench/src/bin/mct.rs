@@ -1,0 +1,264 @@
+//! Command-line front end for the minimum-cycle-time toolkit.
+//!
+//! ```text
+//! mct analyze  <file> [options]   full sequential analysis of a netlist
+//! mct delays   <file> [options]   combinational delay metrics only
+//! mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]
+//! mct convert  <in> <out>         translate between .bench and .blif
+//!
+//! options:
+//!   --blif            treat <file> as BLIF (default: by extension, else .bench)
+//!   --model unit|mapped               delay annotation (default mapped)
+//!   --fixed           exact delays instead of 90–100% variation
+//!   --no-reachability disable the reachable-state-space restriction
+//!   --exact           exact product-machine equivalence check
+//!   --lp              Section-7 path-coupled linear programs
+//! ```
+
+use mct_core::{MctAnalyzer, MctOptions};
+use mct_netlist::{
+    parse_bench, parse_blif, write_bench, write_blif, Circuit, DelayModel, FsmView, Time,
+};
+use mct_sim::{functional_trace, DelayMode, SimConfig, Simulator};
+use mct_tbf::TimedVarTable;
+use std::process::ExitCode;
+
+struct Flags {
+    blif: Option<bool>,
+    model: DelayModel,
+    fixed: bool,
+    no_reachability: bool,
+    exact: bool,
+    lp: bool,
+    period: Option<f64>,
+    cycles: usize,
+    seed: u64,
+    vcd: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        blif: None,
+        model: DelayModel::Mapped,
+        fixed: false,
+        no_reachability: false,
+        exact: false,
+        lp: false,
+        period: None,
+        cycles: 64,
+        seed: 1,
+        vcd: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--blif" => f.blif = Some(true),
+            "--bench" => f.blif = Some(false),
+            "--fixed" => f.fixed = true,
+            "--no-reachability" => f.no_reachability = true,
+            "--exact" => f.exact = true,
+            "--lp" => f.lp = true,
+            "--model" => match it.next().map(String::as_str) {
+                Some("unit") => f.model = DelayModel::Unit,
+                Some("mapped") => f.model = DelayModel::Mapped,
+                other => return Err(format!("--model needs unit|mapped, got {other:?}")),
+            },
+            "--period" => {
+                f.period = Some(
+                    it.next()
+                        .ok_or("--period needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad period: {e}"))?,
+                )
+            }
+            "--cycles" => {
+                f.cycles = it
+                    .next()
+                    .ok_or("--cycles needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad cycle count: {e}"))?
+            }
+            "--vcd" => f.vcd = Some(it.next().ok_or("--vcd needs a path")?.clone()),
+            "--seed" => {
+                f.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => f.positional.push(other.to_owned()),
+        }
+    }
+    Ok(f)
+}
+
+fn load(path: &str, flags: &Flags) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let as_blif = flags.blif.unwrap_or_else(|| path.ends_with(".blif"));
+    let circuit = if as_blif {
+        parse_blif(&text, &flags.model)
+    } else {
+        parse_bench(&text, &flags.model)
+    }
+    .map_err(|e| format!("{path}: {e}"))?;
+    Ok(circuit)
+}
+
+fn mct_options(flags: &Flags) -> MctOptions {
+    MctOptions {
+        delay_variation: if flags.fixed { None } else { Some((9, 10)) },
+        use_reachability: !flags.no_reachability,
+        path_coupled_lp: flags.lp,
+        exact_check: flags.exact,
+        ..MctOptions::paper()
+    }
+}
+
+fn cmd_delays(flags: &Flags) -> Result<(), String> {
+    let path = flags.positional.first().ok_or("delays needs a netlist file")?;
+    let circuit = load(path, flags)?;
+    let view = FsmView::new(&circuit).map_err(|e| e.to_string())?;
+    let mut manager = mct_bdd::BddManager::new();
+    let mut table = TimedVarTable::new();
+    let m = mct_delay::compute_all(&view, &mut manager, &mut table)
+        .map_err(|e| e.to_string())?;
+    println!("{}: {}", circuit.name(), circuit.stats());
+    println!("  topological  {}", m.topological);
+    println!("  shortest     {}", m.shortest);
+    println!("  floating     {}", m.floating);
+    println!("  transition   {}", m.transition);
+    if !mct_delay::theorem2_applicable(m.transition, m.topological) {
+        println!(
+            "  note: transition < topological/2 — not a certified bound (Theorem 2)"
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+    let path = flags.positional.first().ok_or("analyze needs a netlist file")?;
+    let circuit = load(path, flags)?;
+    let opts = mct_options(flags);
+    let report = MctAnalyzer::new(&circuit)
+        .map_err(|e| e.to_string())?
+        .run(&opts)
+        .map_err(|e| e.to_string())?;
+    println!("{}: {}", circuit.name(), circuit.stats());
+    println!("  steady-state delay L   {:.3}", report.steady_delay);
+    println!("  MCT upper bound        {:.3}", report.mct_upper_bound);
+    match report.first_failing_tau {
+        Some(t) => println!("  first failing period   {t:.3}"),
+        None => println!("  no failing period found (exhausted at the floor)"),
+    }
+    if let Some(outcome) = report.failure {
+        println!("  failure diagnosis      {outcome:?}");
+    }
+    println!(
+        "  candidates {} / combinations {} ({} cache hits)",
+        report.candidates_checked, report.sigma_checked, report.sigma_cache_hits
+    );
+    if let Some(states) = report.reachable_states {
+        println!(
+            "  reachable states       {} of {}",
+            states,
+            1u64 << circuit.num_dffs().min(63)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let path = flags.positional.first().ok_or("simulate needs a netlist file")?;
+    let period = flags.period.ok_or("simulate needs --period")?;
+    let circuit = load(path, flags)?;
+    let sim = Simulator::new(&circuit).map_err(|e| e.to_string())?;
+    let config = SimConfig::at_period(Time::from_f64(period))
+        .with_cycles(flags.cycles)
+        .with_delay_mode(DelayMode::RandomUniform {
+            min_factor_percent: if flags.fixed { 100 } else { 90 },
+            seed: flags.seed,
+        });
+    let seed = flags.seed as usize;
+    let ins = move |cycle: usize, i: usize| (cycle * 13 + i * 5 + seed) % 7 < 3;
+    let (trace, waves) = sim.run_recording(&config, ins);
+    if let Some(path) = &flags.vcd {
+        let vcd = mct_sim::write_vcd(circuit.name(), &waves);
+        std::fs::write(path, vcd).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    let (states, outputs) = functional_trace(&circuit, flags.cycles, ins);
+    println!(
+        "{}: τ = {period}, {} cycles, {} events",
+        circuit.name(),
+        flags.cycles,
+        trace.events_processed
+    );
+    match trace.first_divergence(&states) {
+        None if trace.matches(&states, &outputs) => {
+            println!("  sampled behaviour matches the functional model ✓")
+        }
+        None => println!("  states match but outputs diverge ✗"),
+        Some(cycle) => println!("  DIVERGES from the functional model at cycle {cycle} ✗"),
+    }
+    for v in trace.violations.iter().take(5) {
+        println!("  {v}");
+    }
+    Ok(())
+}
+
+fn cmd_convert(flags: &Flags) -> Result<(), String> {
+    let [input, output] = flags.positional.as_slice() else {
+        return Err("convert needs <in> <out>".into());
+    };
+    let circuit = load(input, flags)?;
+    let text = if output.ends_with(".blif") {
+        write_blif(&circuit)
+    } else {
+        write_bench(&circuit)
+    };
+    std::fs::write(output, text).map_err(|e| format!("{output}: {e}"))?;
+    println!("wrote {output}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: mct <analyze|delays|simulate|convert> … (see --help)");
+        return ExitCode::FAILURE;
+    };
+    if cmd == "--help" || cmd == "-h" {
+        eprintln!(
+            "mct analyze <file> [--blif] [--model unit|mapped] [--fixed] \
+             [--no-reachability] [--exact] [--lp]\n\
+             mct delays <file> [--blif] [--model unit|mapped]\n\
+             mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]\n\
+             mct convert <in> <out>"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "analyze" => cmd_analyze(&flags),
+        "delays" => cmd_delays(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "convert" => cmd_convert(&flags),
+        other => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

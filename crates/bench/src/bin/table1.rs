@@ -1,0 +1,105 @@
+//! Regenerates the paper's Table 1 over the standard benchmark suite.
+//!
+//! ```text
+//! table1 [--fixed] [--no-reachability] [--lp] [--summary] [--json] [--circuit NAME]
+//! ```
+//!
+//! * `--fixed`            exact gate delays instead of the paper's 90–100% variation
+//! * `--no-reachability`  disable the reachable-state-space restriction
+//! * `--lp`               enable the Section-7 path-coupled linear programs
+//! * `--budget SECS`      wall-clock budget per row (partial rows get `†`)
+//! * `--summary`          also print the Section-8 aggregate claims
+//! * `--json`             machine-readable output
+//! * `--circuit NAME`     run a single suite circuit
+
+use mct_bench::{compute_row, render_summary, render_table, summarize, TableRow};
+use mct_core::MctOptions;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = MctOptions::paper();
+    let mut want_summary = false;
+    let mut want_json = false;
+    let mut only: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fixed" => opts.delay_variation = None,
+            "--no-reachability" => opts.use_reachability = false,
+            "--lp" => opts.path_coupled_lp = true,
+            "--budget" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) => opts.time_budget_ms = Some(secs * 1000),
+                None => {
+                    eprintln!("--budget requires seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--summary" => want_summary = true,
+            "--json" => want_json = true,
+            "--circuit" => match it.next() {
+                Some(name) => only = Some(name.clone()),
+                None => {
+                    eprintln!("--circuit requires a name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: table1 [--fixed] [--no-reachability] [--lp] [--summary] \
+                     [--json] [--circuit NAME]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let suite = mct_gen::standard_suite();
+    let mut rows: Vec<TableRow> = Vec::new();
+    for entry in &suite {
+        if let Some(name) = &only {
+            if entry.circuit.name() != name {
+                continue;
+            }
+        }
+        eprint!("{:<20}\r", entry.circuit.name());
+        match compute_row(entry, &opts) {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                eprintln!("{}: analysis failed: {e}", entry.circuit.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if rows.is_empty() {
+        eprintln!("no matching circuits");
+        return ExitCode::FAILURE;
+    }
+
+    if want_json {
+        #[derive(serde::Serialize)]
+        struct Output<'a> {
+            rows: &'a [TableRow],
+            summary: mct_bench::TableSummary,
+        }
+        let out = Output { rows: &rows, summary: summarize(&rows) };
+        match serde_json::to_string_pretty(&out) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", render_table(&rows));
+        if want_summary {
+            println!();
+            println!("{}", render_summary(&summarize(&rows)));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,626 @@
+//! The minimum-cycle-time sweep: breakpoints, Φ enumeration, feasibility,
+//! and the final bound `D̄_s = max_{σ ∈ Ω} τ(σ)`.
+
+use crate::breakpoints::BreakpointIter;
+use crate::decision::{DecisionContext, DecisionOutcome};
+use crate::error::MctError;
+use crate::sigma::{feasible_tau_range, ShiftRange, SigmaIter};
+use mct_bdd::BddManager;
+use mct_lp::{LpOutcome, Rat, Simplex};
+use mct_netlist::{Circuit, FsmView, NetId};
+use mct_tbf::{
+    count_states, reachable_states, ConeExtractor, DelayClass, DiscreteMachine,
+    TimedVarTable,
+};
+use std::collections::HashMap;
+
+/// Configuration of a cycle-time analysis.
+#[derive(Clone, Debug)]
+pub struct MctOptions {
+    /// Gate delays vary in `[num/den · d, d]`; `None` means fixed (exact)
+    /// delays. The paper's evaluation uses `(9, 10)` — delays between 90%
+    /// and 100% of their maxima.
+    pub delay_variation: Option<(i64, i64)>,
+    /// Restrict the decision algorithm's induction frontier to the
+    /// reachable state space (the paper's sequential don't-cares).
+    pub use_reachability: bool,
+    /// Prune infeasible shift combinations with the per-path linear
+    /// programs of Section 7 (representative path per delay class) instead
+    /// of only the independent-interval closed form.
+    pub path_coupled_lp: bool,
+    /// When set, sweep past the first failure down to this period (in time
+    /// units), recording the validity of every interval in
+    /// [`MctReport::regions`].
+    pub exhaustive_floor: Option<f64>,
+    /// Abort with [`MctError::SigmaExplosion`] if one τ interval yields
+    /// more shift combinations than this.
+    pub max_sigma_combos: usize,
+    /// Stop sweeping (reporting exhaustion) after this many candidate
+    /// periods.
+    pub max_candidates: usize,
+    /// Give up below `L / floor_divisor` when no failure has been found
+    /// (`L` = the steady-state delay).
+    pub floor_divisor: i64,
+    /// State cap for cone extraction (see
+    /// [`ConeExtractor::with_node_limit`]).
+    pub cone_node_limit: usize,
+    /// Use the exact product-machine equivalence check instead of the
+    /// sufficient condition `C_x` (Section 6's "decide whether two finite
+    /// state machines are equivalent", made affordable symbolically).
+    /// Accepts strictly more periods (e.g. unobservable lagging state) but
+    /// costs a reachability fixpoint over an expanded state per shift
+    /// combination.
+    pub exact_check: bool,
+    /// Bit budget for the exact check's expanded product state.
+    pub max_product_bits: usize,
+    /// Wall-clock budget for the sweep, in milliseconds. When exceeded the
+    /// report carries the best *partial* result with
+    /// [`MctReport::timed_out`] set — the same convention as the paper's
+    /// table, which reports the last value with a `†` for runs that
+    /// exhausted memory.
+    pub time_budget_ms: Option<u64>,
+}
+
+impl Default for MctOptions {
+    /// The paper's evaluation setting: 90–100% delay variation, no LP
+    /// path coupling (independent intervals), reachability on.
+    fn default() -> Self {
+        MctOptions {
+            delay_variation: Some((9, 10)),
+            use_reachability: true,
+            path_coupled_lp: false,
+            exhaustive_floor: None,
+            max_sigma_combos: 1 << 14,
+            max_candidates: 20_000,
+            floor_divisor: 64,
+            cone_node_limit: 4_000_000,
+            exact_check: false,
+            max_product_bits: 48,
+            time_budget_ms: None,
+        }
+    }
+}
+
+impl MctOptions {
+    /// Exact (fixed) gate delays — the setting of the paper's worked
+    /// Example 2.
+    pub fn fixed_delays() -> Self {
+        MctOptions { delay_variation: None, ..MctOptions::default() }
+    }
+
+    /// The paper's Section-8 evaluation setting (alias of `default`).
+    pub fn paper() -> Self {
+        MctOptions::default()
+    }
+}
+
+/// One τ interval of the sweep and whether it was certified valid.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ValidityRegion {
+    /// Left (inclusive) end of the interval, in time units.
+    pub tau_lo: f64,
+    /// Right (exclusive) end, in time units (`f64::INFINITY` for the first
+    /// interval).
+    pub tau_hi: f64,
+    /// Whether every feasible shift combination passed the decision
+    /// algorithm.
+    pub valid: bool,
+}
+
+/// Result of a cycle-time analysis.
+#[derive(Clone, Debug)]
+pub struct MctReport {
+    /// Circuit name.
+    pub circuit: String,
+    /// The steady-state delay `L` (the largest register-to-register path),
+    /// in time units.
+    pub steady_delay: f64,
+    /// The computed upper bound `D̄_s` on the minimum cycle time, in time
+    /// units: the machine is certified to behave identically to steady
+    /// state at every period greater than this.
+    pub mct_upper_bound: f64,
+    /// `D̄_s` as an exact rational in milli-units.
+    pub bound_exact: Rat,
+    /// The left end of the first failing interval, if any (time units).
+    pub first_failing_tau: Option<f64>,
+    /// Diagnostics of the first failing shift combination.
+    pub failure: Option<DecisionOutcome>,
+    /// Number of candidate periods examined.
+    pub candidates_checked: usize,
+    /// Number of (feasible) shift combinations submitted to the decision
+    /// algorithm, including cache hits.
+    pub sigma_checked: usize,
+    /// How many of those were answered from the Φ-signature cache (the
+    /// paper's suggested speed-up).
+    pub sigma_cache_hits: usize,
+    /// Whether the induction frontier was restricted to reachable states.
+    pub used_reachability: bool,
+    /// Number of reachable states, when computed.
+    pub reachable_states: Option<f64>,
+    /// The sweep ended by budget/floor rather than by failure: every
+    /// examined period was valid and `mct_upper_bound` is the smallest
+    /// period examined.
+    pub exhausted: bool,
+    /// The wall-clock budget expired mid-sweep; the bound is partial (the
+    /// smallest period certified before the deadline), like the paper's
+    /// `†` rows.
+    pub timed_out: bool,
+    /// Interval-by-interval validity (populated when
+    /// [`MctOptions::exhaustive_floor`] is set; otherwise only the
+    /// intervals up to the first failure).
+    pub regions: Vec<ValidityRegion>,
+}
+
+/// Orchestrates the full analysis of one circuit. Owns the BDD manager and
+/// the timed-variable table so repeated runs share symbolic work.
+pub struct MctAnalyzer<'c> {
+    view: FsmView<'c>,
+    manager: BddManager,
+    table: TimedVarTable,
+}
+
+impl<'c> MctAnalyzer<'c> {
+    /// Builds an analyzer for `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns structural netlist errors (unconnected flip-flops,
+    /// combinational cycles).
+    pub fn new(circuit: &'c Circuit) -> Result<Self, MctError> {
+        Ok(MctAnalyzer {
+            view: FsmView::new(circuit)?,
+            manager: BddManager::new(),
+            table: TimedVarTable::new(),
+        })
+    }
+
+    /// The FSM view under analysis.
+    pub fn view(&self) -> &FsmView<'c> {
+        &self.view
+    }
+
+    /// Runs the sweep and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// [`MctError::Tbf`] on extraction blow-up,
+    /// [`MctError::SigmaExplosion`] when one interval has too many shift
+    /// combinations.
+    pub fn run(&mut self, opts: &MctOptions) -> Result<MctReport, MctError> {
+        let view = &self.view;
+        let manager = &mut self.manager;
+        let table = &mut self.table;
+        let extractor = ConeExtractor::new(view).with_node_limit(opts.cone_node_limit);
+        let sinks: Vec<NetId> = view.sinks().iter().map(|s| s.net).collect();
+        let classes = extractor.delay_classes(&sinks)?;
+        let l_millis = classes.iter().map(|c| c.delay).max().unwrap_or(0);
+        let circuit_name = view.circuit().name().to_owned();
+
+        let mut report = MctReport {
+            circuit: circuit_name,
+            steady_delay: l_millis as f64 / 1000.0,
+            mct_upper_bound: 0.0,
+            bound_exact: Rat::ZERO,
+            first_failing_tau: None,
+            failure: None,
+            candidates_checked: 0,
+            sigma_checked: 0,
+            sigma_cache_hits: 0,
+            used_reachability: false,
+            reachable_states: None,
+            exhausted: false,
+            timed_out: false,
+            regions: Vec::new(),
+        };
+        if l_millis == 0 {
+            // No combinational paths at all: any positive period works.
+            return Ok(report);
+        }
+
+        // Delay intervals per class (kmin rounded down: conservative).
+        let intervals: Vec<(i64, i64)> = classes
+            .iter()
+            .map(|c| {
+                let k_max = c.delay;
+                let k_min = match opts.delay_variation {
+                    Some((num, den)) => (k_max * num).div_euclid(den),
+                    None => k_max,
+                };
+                (k_min, k_max)
+            })
+            .collect();
+        let class_ix: HashMap<(usize, i64), usize> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((c.leaf, c.delay), i))
+            .collect();
+
+        let mut ctx = DecisionContext::new(&extractor, manager, table)?;
+        if opts.use_reachability && view.num_state_bits() > 0 {
+            let r = reachable_states(&extractor, manager, table)?;
+            report.reachable_states =
+                Some(count_states(manager, r, view.num_state_bits()));
+            report.used_reachability = true;
+            ctx = ctx.with_restriction(r);
+        }
+
+        let floor = match opts.exhaustive_floor {
+            Some(tau) => Rat::new((tau * 1000.0).round() as i64, 1),
+            None => Rat::new(l_millis, opts.floor_divisor.max(1)),
+        };
+        let bp_delays: Vec<i64> = intervals
+            .iter()
+            .flat_map(|&(lo, hi)| [lo, hi])
+            .collect();
+
+        let mut sigma_cache: HashMap<Vec<i64>, bool> = HashMap::new();
+        let mut prev: Option<Rat> = None;
+        let mut smallest_examined: Option<Rat> = None;
+        let mut found_failure = false;
+        let deadline = opts
+            .time_budget_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+
+        for b in BreakpointIter::new(&bp_delays, floor) {
+            report.candidates_checked += 1;
+            if report.candidates_checked > opts.max_candidates {
+                break;
+            }
+            if deadline.is_some_and(|d| std::time::Instant::now() > d) {
+                report.timed_out = true;
+                break;
+            }
+            let ranges: Vec<ShiftRange> = intervals
+                .iter()
+                .map(|&(lo, hi)| ShiftRange::at(lo, hi, b))
+                .collect();
+            if SigmaIter::combination_count(&ranges) > opts.max_sigma_combos {
+                return Err(MctError::SigmaExplosion {
+                    tau: b.as_f64() / 1000.0,
+                    cap: opts.max_sigma_combos,
+                });
+            }
+            let mut failing_sups: Vec<Rat> = Vec::new();
+            for sigma in SigmaIter::new(&ranges) {
+                let Some((_, hi)) = feasible_tau_range(&sigma, &intervals, b, prev)
+                else {
+                    continue;
+                };
+                let lp_sup = if opts.path_coupled_lp {
+                    match lp_max_tau(
+                        &classes,
+                        &sigma,
+                        opts.delay_variation,
+                        l_millis,
+                        b,
+                        prev,
+                    ) {
+                        Some(v) => Some(v),
+                        None => continue, // path coupling proves infeasibility
+                    }
+                } else {
+                    None
+                };
+                report.sigma_checked += 1;
+                let valid = match sigma_cache.get(&sigma) {
+                    Some(&v) => {
+                        report.sigma_cache_hits += 1;
+                        v
+                    }
+                    None => {
+                        let machine = DiscreteMachine::with_shift_fn(
+                            &extractor,
+                            manager,
+                            table,
+                            |leaf, k| sigma[class_ix[&(leaf, k)]],
+                        )?;
+                        let outcome = if opts.exact_check {
+                            crate::exact::decide_exact(
+                                view,
+                                manager,
+                                table,
+                                &machine,
+                                ctx.steady(),
+                                opts.max_product_bits,
+                            )?
+                        } else {
+                            ctx.decide(manager, table, &machine)
+                        };
+                        if !outcome.is_valid() && report.failure.is_none() {
+                            report.failure = Some(outcome);
+                        }
+                        sigma_cache.insert(sigma.clone(), outcome.is_valid());
+                        outcome.is_valid()
+                    }
+                };
+                if !valid {
+                    // sup of the feasible τ range of this failing σ.
+                    let closed_form_sup = hi
+                        .or(prev)
+                        .unwrap_or(Rat::new(l_millis, 1));
+                    let sup = match lp_sup {
+                        Some(v) => Rat::new((v * 1000.0).round() as i64, 1000)
+                            .min(closed_form_sup),
+                        None => closed_form_sup,
+                    };
+                    failing_sups.push(sup);
+                }
+            }
+            let region_valid = failing_sups.is_empty();
+            report.regions.push(ValidityRegion {
+                tau_lo: b.as_f64() / 1000.0,
+                tau_hi: prev.map_or(f64::INFINITY, |p| p.as_f64() / 1000.0),
+                valid: region_valid,
+            });
+            if !region_valid && !found_failure {
+                found_failure = true;
+                let bound = failing_sups
+                    .iter()
+                    .copied()
+                    .fold(failing_sups[0], Rat::max);
+                report.bound_exact = bound;
+                report.mct_upper_bound = bound.as_f64() / 1000.0;
+                report.first_failing_tau = Some(b.as_f64() / 1000.0);
+                if opts.exhaustive_floor.is_none() {
+                    return Ok(report);
+                }
+            }
+            prev = Some(b);
+            smallest_examined = Some(b);
+        }
+
+        if !found_failure {
+            // Every examined period was valid: the certified bound is the
+            // smallest period we checked.
+            report.exhausted = true;
+            let bound = smallest_examined.unwrap_or(Rat::ZERO);
+            report.bound_exact = bound;
+            report.mct_upper_bound = bound.as_f64() / 1000.0;
+        }
+        Ok(report)
+    }
+}
+
+/// The Section-7 linear program for one shift combination: maximize τ
+/// subject to `(σ_i − 1)τ < k_i ≤ σ_i τ`, `k_i = c2q_i + Σ d_e` over the
+/// class's representative path, and `d_e ∈ [α·d_e^max, d_e^max]`. Returns
+/// the maximal τ in milli-units, or `None` when infeasible.
+fn lp_max_tau(
+    classes: &[DelayClass],
+    sigma: &[i64],
+    variation: Option<(i64, i64)>,
+    l_millis: i64,
+    interval_lo: Rat,
+    interval_hi: Option<Rat>,
+) -> Option<f64> {
+    const EPS: f64 = 1e-3;
+    // Collect the distinct gate-pin delay variables.
+    let mut edge_ix: HashMap<(NetId, usize, i64), usize> = HashMap::new();
+    for class in classes {
+        for e in &class.path {
+            let next = edge_ix.len();
+            edge_ix.entry((e.node, e.pin, e.delay)).or_insert(next);
+        }
+    }
+    let num_vars = 1 + edge_ix.len(); // τ is variable 0
+    let mut lp = Simplex::new(num_vars);
+    let mut obj = vec![0.0; num_vars];
+    obj[0] = 1.0;
+    lp.set_objective(&obj);
+    // Edge bounds.
+    let (num, den) = variation.unwrap_or((1, 1));
+    for (&(_, _, d), &ix) in &edge_ix {
+        let hi = d as f64;
+        let lo = (d * num) as f64 / den as f64;
+        lp.add_bounds(1 + ix, lo, hi);
+    }
+    // Class shift constraints. Zero-delay classes are degenerate: their
+    // shift is clamped to 1 by convention (the limit k → 0⁺), so they
+    // impose no constraint.
+    for (class, &s) in classes.iter().zip(sigma) {
+        if class.delay == 0 {
+            continue;
+        }
+        let path_sum: i64 = class.path.iter().map(|e| e.delay).sum();
+        let c2q = (class.delay - path_sum) as f64;
+        let mut upper = vec![0.0; num_vars]; // Σd_e − στ ≤ −c2q
+        upper[0] = -(s as f64);
+        for e in &class.path {
+            upper[1 + edge_ix[&(e.node, e.pin, e.delay)]] += 1.0;
+        }
+        lp.add_le(&upper, -c2q);
+        let mut lower = vec![0.0; num_vars]; // (σ−1)τ − Σd_e ≤ c2q − ε
+        lower[0] = (s - 1) as f64;
+        for e in &class.path {
+            lower[1 + edge_ix[&(e.node, e.pin, e.delay)]] -= 1.0;
+        }
+        lp.add_le(&lower, c2q - EPS);
+    }
+    // The examined interval and the global ceiling τ ≤ L.
+    let mut tau_row = vec![0.0; num_vars];
+    tau_row[0] = 1.0;
+    lp.add_ge(&tau_row, interval_lo.as_f64());
+    let ceiling = interval_hi.map_or(l_millis as f64, |h| h.as_f64() - EPS);
+    lp.add_le(&tau_row, ceiling);
+    match lp.solve() {
+        LpOutcome::Optimal { value, .. } => Some(value),
+        LpOutcome::Infeasible => None,
+        _ => Some(ceiling),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mct_netlist::{GateKind, Time};
+
+    fn t(v: f64) -> Time {
+        Time::from_f64(v)
+    }
+
+    fn figure2() -> Circuit {
+        let mut c = Circuit::new("fig2");
+        let f = c.add_dff("f", true, Time::ZERO);
+        let cb = c.add_gate("c", GateKind::Buf, &[f], t(1.5));
+        let d = c.add_gate("d", GateKind::Not, &[f], t(4.0));
+        let e = c.add_gate("e", GateKind::Buf, &[f], t(5.0));
+        let a = c.add_gate("a", GateKind::And, &[cb, d, e], Time::ZERO);
+        let b = c.add_gate("b", GateKind::Not, &[f], t(2.0));
+        let g = c.add_gate("g", GateKind::Or, &[a, b], Time::ZERO);
+        c.connect_dff_data("f", g).unwrap();
+        c.set_output(f);
+        c
+    }
+
+    #[test]
+    fn figure2_fixed_delays_bound_is_2_5() {
+        let c = figure2();
+        let report = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions::fixed_delays())
+            .unwrap();
+        assert!((report.mct_upper_bound - 2.5).abs() < 1e-9, "{report:?}");
+        assert_eq!(report.steady_delay, 5.0);
+        assert_eq!(report.first_failing_tau, Some(2.0));
+        assert!(!report.exhausted);
+        assert!(report.failure.is_some());
+    }
+
+    #[test]
+    fn figure2_with_variation_still_2_5() {
+        // With 90–100% variation the first failing combination appears at
+        // τ = 2.25 (shift set of the 5-delay class widens to {2, 3}), and
+        // the sup of its feasible range is 5/2 — the bound stays 2.5.
+        let c = figure2();
+        let report = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions::default())
+            .unwrap();
+        assert!((report.mct_upper_bound - 2.5).abs() < 1e-9, "{report:?}");
+        assert!(report.first_failing_tau.unwrap() < 2.5);
+    }
+
+    #[test]
+    fn figure2_lp_mode_agrees() {
+        let c = figure2();
+        let opts = MctOptions { path_coupled_lp: true, ..MctOptions::default() };
+        let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
+        // The LP bound sits one strict-inequality ε below the closed form.
+        assert!((report.mct_upper_bound - 2.5).abs() < 1e-4, "{report:?}");
+    }
+
+    #[test]
+    fn toggler_bound_equals_its_only_path() {
+        // Single inverter loop of delay 1: at τ < 1 the shift becomes 2 and
+        // the startup behaviour differs — bound = 1.
+        let mut c = Circuit::new("toggler");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let nq = c.add_gate("nq", GateKind::Not, &[q], t(1.0));
+        c.connect_dff_data("q", nq).unwrap();
+        c.set_output(q);
+        let report = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions::fixed_delays())
+            .unwrap();
+        assert!((report.mct_upper_bound - 1.0).abs() < 1e-9, "{report:?}");
+    }
+
+    #[test]
+    fn constant_register_valid_at_every_period() {
+        // q' = q: the machine never transitions, so every period is valid
+        // and the sweep exhausts its floor.
+        let mut c = Circuit::new("hold");
+        let q = c.add_dff("q", true, Time::ZERO);
+        let b = c.add_gate("b", GateKind::Buf, &[q], t(1.0));
+        c.connect_dff_data("q", b).unwrap();
+        c.set_output(q);
+        let report = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions::fixed_delays())
+            .unwrap();
+        assert!(report.exhausted, "{report:?}");
+        assert!(report.mct_upper_bound < 0.1);
+        assert!(report.first_failing_tau.is_none());
+    }
+
+    #[test]
+    fn exhaustive_mode_records_regions() {
+        let c = figure2();
+        let opts = MctOptions {
+            exhaustive_floor: Some(1.0),
+            ..MctOptions::fixed_delays()
+        };
+        let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
+        assert!((report.mct_upper_bound - 2.5).abs() < 1e-9);
+        assert!(report.regions.len() >= 5);
+        // The region starting at 2.5 is valid; the region at 2.0 is not.
+        let at = |lo: f64| {
+            report
+                .regions
+                .iter()
+                .find(|r| (r.tau_lo - lo).abs() < 1e-9)
+                .copied()
+                .unwrap_or_else(|| panic!("no region at {lo}"))
+        };
+        assert!(at(2.5).valid);
+        assert!(!at(2.0).valid);
+    }
+
+    #[test]
+    fn sigma_cache_is_exercised() {
+        let c = figure2();
+        let opts = MctOptions {
+            exhaustive_floor: Some(1.0),
+            ..MctOptions::default()
+        };
+        let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
+        assert!(report.sigma_cache_hits > 0, "{report:?}");
+    }
+
+    #[test]
+    fn no_state_no_paths_is_trivial() {
+        let mut c = Circuit::new("wire");
+        let a = c.add_input("a");
+        c.set_output(a);
+        let report = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions::default())
+            .unwrap();
+        assert_eq!(report.mct_upper_bound, 0.0);
+        assert_eq!(report.steady_delay, 0.0);
+    }
+
+    #[test]
+    fn zero_time_budget_reports_partial() {
+        let c = figure2();
+        let opts = MctOptions { time_budget_ms: Some(0), ..MctOptions::fixed_delays() };
+        let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
+        assert!(report.timed_out, "{report:?}");
+        // The partial bound is whatever was certified (possibly nothing);
+        // it must never exceed the steady-state delay.
+        assert!(report.mct_upper_bound <= report.steady_delay);
+    }
+
+    #[test]
+    fn generous_budget_unchanged() {
+        let c = figure2();
+        let opts = MctOptions {
+            time_budget_ms: Some(60_000),
+            ..MctOptions::fixed_delays()
+        };
+        let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
+        assert!(!report.timed_out);
+        assert!((report.mct_upper_bound - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reachability_reported() {
+        let c = figure2();
+        let report = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions::default())
+            .unwrap();
+        assert!(report.used_reachability);
+        assert_eq!(report.reachable_states, Some(2.0));
+    }
+}

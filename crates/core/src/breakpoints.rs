@@ -1,0 +1,143 @@
+//! Enumeration of candidate clock periods.
+//!
+//! The discretized machine only changes at the breakpoints `τ = k / j`
+//! where some floor term `⌊−k/τ⌋` jumps (`k` a path delay, `j` a positive
+//! integer); between consecutive breakpoints every shift — and hence the
+//! machine — is constant. With delay intervals `[k^min, k^max]` both
+//! endpoint families contribute breakpoints (the paper's Section 7 axis
+//! subdivision).
+
+use mct_lp::Rat;
+use std::collections::BinaryHeap;
+
+/// Descending iterator over the distinct breakpoints `{k / j}` of a set of
+/// path delays, down to (and excluding values below) a floor.
+///
+/// Yields exact rationals in milli-units. Each yielded `b` is the *left*
+/// (inclusive) end of an interval `[b, previous)` on which every
+/// `⌈k/τ⌉` is constant.
+///
+/// # Examples
+///
+/// ```
+/// use mct_core::BreakpointIter;
+/// use mct_lp::Rat;
+///
+/// // Delays 4 and 5 (in millis 4000, 5000), floor 1.6: breakpoints
+/// // 5, 4, 5/2, 4/2, 5/3 descending.
+/// let bps: Vec<f64> = BreakpointIter::new(&[4000, 5000], Rat::new(1600, 1))
+///     .map(|r| r.as_f64() / 1000.0)
+///     .collect();
+/// assert_eq!(bps, vec![5.0, 4.0, 2.5, 2.0, 5.0 / 3.0]);
+/// ```
+#[derive(Debug)]
+pub struct BreakpointIter {
+    /// Max-heap of upcoming candidates: (value, delay, divisor).
+    heap: BinaryHeap<(Rat, i64, i64)>,
+    floor: Rat,
+    last: Option<Rat>,
+}
+
+impl BreakpointIter {
+    /// Creates the iterator from path delays in milli-units (zero and
+    /// negative delays are ignored; duplicates are fine).
+    pub fn new(delays_millis: &[i64], floor: Rat) -> Self {
+        let mut heap = BinaryHeap::new();
+        let mut seen = std::collections::HashSet::new();
+        for &k in delays_millis {
+            if k > 0 && seen.insert(k) {
+                heap.push((Rat::new(k, 1), k, 1));
+            }
+        }
+        BreakpointIter { heap, floor, last: None }
+    }
+}
+
+impl Iterator for BreakpointIter {
+    type Item = Rat;
+
+    fn next(&mut self) -> Option<Rat> {
+        while let Some((value, k, j)) = self.heap.pop() {
+            if value < self.floor {
+                // All remaining candidates from this (k, j) family are
+                // smaller; drop the family but keep draining others.
+                continue;
+            }
+            let next = Rat::new(k, j + 1);
+            if next >= self.floor {
+                self.heap.push((next, k, j + 1));
+            }
+            if self.last != Some(value) {
+                self.last = Some(value);
+                return Some(value);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(delays: &[i64], floor_millis: i64) -> Vec<Rat> {
+        BreakpointIter::new(delays, Rat::new(floor_millis, 1)).collect()
+    }
+
+    #[test]
+    fn single_delay_harmonics() {
+        let bps = collect(&[6000], 1000);
+        assert_eq!(
+            bps,
+            vec![
+                Rat::new(6000, 1),
+                Rat::new(3000, 1),
+                Rat::new(2000, 1),
+                Rat::new(1500, 1),
+                Rat::new(1200, 1),
+                Rat::new(1000, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn merged_families_are_sorted_and_deduped() {
+        // 4/2 == 2/1: the value 2000 must appear once.
+        let bps = collect(&[4000, 2000], 900);
+        let mut sorted = bps.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(bps, sorted, "descending order");
+        let dupes = bps.iter().filter(|&&b| b == Rat::new(2000, 1)).count();
+        assert_eq!(dupes, 1);
+        assert_eq!(bps.first(), Some(&Rat::new(4000, 1)));
+        assert!(bps.iter().all(|&b| b >= Rat::new(900, 1)));
+    }
+
+    #[test]
+    fn paper_example_first_candidates() {
+        // Example 2 delays 1.5, 4, 5, 2: the τ values to examine start
+        // 5, 4, 2.5, 2, 5/3, 1.5, … (the paper lists 4, 2.5, 2, 5/3 after
+        // the trivial L = 5).
+        let bps = collect(&[1500, 4000, 5000, 2000], 1400);
+        let expect = [
+            Rat::new(5000, 1),
+            Rat::new(4000, 1),
+            Rat::new(2500, 1),
+            Rat::new(2000, 1),
+            Rat::new(5000, 3),
+            Rat::new(1500, 1),
+        ];
+        assert_eq!(&bps[..6], &expect);
+    }
+
+    #[test]
+    fn zero_and_negative_delays_ignored() {
+        let bps = collect(&[0, -5, 1000], 500);
+        assert_eq!(bps, vec![Rat::new(1000, 1), Rat::new(500, 1)]);
+    }
+
+    #[test]
+    fn empty_when_no_delays() {
+        assert!(collect(&[], 1).is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the cycle-time engine.
+
+use mct_netlist::NetlistError;
+use mct_tbf::TbfError;
+use std::fmt;
+
+/// Errors produced by the minimum-cycle-time analysis.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum MctError {
+    /// TBF extraction failed (path-delay or structural problem).
+    Tbf(TbfError),
+    /// The number of feasible shift combinations in one τ interval exceeded
+    /// the configured cap; the analysis cannot certify the interval.
+    SigmaExplosion {
+        /// The τ value (as `f64` time units) of the interval being examined.
+        tau: f64,
+        /// The configured cap that was exceeded.
+        cap: usize,
+    },
+    /// The exact product-machine check was requested but the expanded
+    /// state exceeds the configured bit budget.
+    ProductTooLarge {
+        /// Bits the product machine would need.
+        bits: usize,
+        /// The configured budget.
+        cap: usize,
+    },
+    /// The breakpoint sweep hit its candidate budget before finding a
+    /// failing period; the circuit appears valid at every examined period.
+    CandidateBudgetExhausted {
+        /// Number of candidate periods examined.
+        examined: usize,
+        /// The smallest period examined, in `f64` time units.
+        smallest_tau: f64,
+    },
+}
+
+impl fmt::Display for MctError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MctError::Tbf(e) => write!(f, "timed-function extraction failed: {e}"),
+            MctError::SigmaExplosion { tau, cap } => write!(
+                f,
+                "more than {cap} feasible shift combinations at τ = {tau}; raise \
+                 MctOptions::max_sigma_combos or disable delay variation"
+            ),
+            MctError::ProductTooLarge { bits, cap } => write!(
+                f,
+                "exact product machine needs {bits} state bits (budget {cap}); raise \
+                 MctOptions::max_product_bits or use the sufficient check"
+            ),
+            MctError::CandidateBudgetExhausted { examined, smallest_tau } => write!(
+                f,
+                "no failing period found after {examined} candidates (down to τ = \
+                 {smallest_tau}); the machine may be correct at arbitrarily small periods"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MctError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MctError::Tbf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TbfError> for MctError {
+    fn from(e: TbfError) -> Self {
+        MctError::Tbf(e)
+    }
+}
+
+impl From<NetlistError> for MctError {
+    fn from(e: NetlistError) -> Self {
+        MctError::Tbf(TbfError::Netlist(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: MctError = TbfError::ConeExplosion { entries: 7 }.into();
+        assert!(e.to_string().contains("7"));
+        let e: MctError = NetlistError::UnknownName("q".into()).into();
+        assert!(e.to_string().contains("q"));
+        let e = MctError::SigmaExplosion { tau: 2.5, cap: 100 };
+        assert!(e.to_string().contains("100"));
+        let e = MctError::CandidateBudgetExhausted { examined: 3, smallest_tau: 0.1 };
+        assert!(e.to_string().contains("3 candidates"));
+    }
+}

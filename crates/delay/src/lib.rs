@@ -1,0 +1,121 @@
+//! Exact combinational delay engines: topological, floating (single-vector),
+//! and transition (2-vector) delay.
+//!
+//! These are the *baselines* of the DAC 1994 minimum-cycle-time paper — the
+//! quantities every column of its Table 1 reports next to the sequential
+//! bound:
+//!
+//! * **Topological delay** — the longest structural path, ignoring logic
+//!   (false paths included).
+//! * **Floating (single-vector) delay** — the latest time the output can
+//!   still change after one input vector is applied, with all earlier node
+//!   values conservatively arbitrary. Equivalent to delay by sequences of
+//!   vectors, and invariant under bounded vs. unbounded gate-delay
+//!   variation (paper Section 2, citing its reference \[6\]).
+//! * **Transition (2-vector) delay** — the latest output transition when a
+//!   vector pair is applied at `t = −∞` and `t = 0`. Only a valid cycle-time
+//!   bound when it is at least half the topological delay (Theorem 2).
+//!
+//! All three are computed exactly with BDDs by sweeping the candidate
+//! arrival thresholds (the distinct path-delay sums) from the longest down:
+//! the delay is the largest threshold `p` such that the timed function just
+//! before `p` differs from the settled function — the same
+//! [`ConeExtractor`](mct_tbf::ConeExtractor) dynamic program as the sequential engine, with a
+//! different leaf policy.
+//!
+//! The module also provides the reachability-restricted floating delay the
+//! paper suggests as a conceivable improvement in its Section 3
+//! ([`floating_delay_restricted`]), and helpers for Theorems 1 and 2.
+//!
+//! # Examples
+//!
+//! On the paper's Figure-2 circuit the numbers of its Example 2 are
+//! reproduced exactly: topological 5, floating 4, transition 2.
+//!
+//! ```
+//! use mct_bdd::BddManager;
+//! use mct_netlist::{Circuit, FsmView, GateKind, Time};
+//! use mct_tbf::TimedVarTable;
+//! use mct_delay::{floating_delay, topological_delay, transition_delay};
+//!
+//! let mut c = Circuit::new("fig2");
+//! let f = c.add_dff("f", true, Time::ZERO);
+//! let cb = c.add_gate("c", GateKind::Buf, &[f], Time::from_f64(1.5));
+//! let d = c.add_gate("d", GateKind::Not, &[f], Time::from_f64(4.0));
+//! let e = c.add_gate("e", GateKind::Buf, &[f], Time::from_f64(5.0));
+//! let a = c.add_gate("a", GateKind::And, &[cb, d, e], Time::ZERO);
+//! let b = c.add_gate("b", GateKind::Not, &[f], Time::from_f64(2.0));
+//! let g = c.add_gate("g", GateKind::Or, &[a, b], Time::ZERO);
+//! c.connect_dff_data("f", g).unwrap();
+//! c.set_output(g);
+//! let view = FsmView::new(&c).unwrap();
+//! let mut m = BddManager::new();
+//! let mut tbl = TimedVarTable::new();
+//! assert_eq!(topological_delay(&view).unwrap(), Time::from_f64(5.0));
+//! assert_eq!(floating_delay(&view, &mut m, &mut tbl).unwrap(), Time::from_f64(4.0));
+//! assert_eq!(transition_delay(&view, &mut m, &mut tbl).unwrap(), Time::from_f64(2.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod profile;
+mod sweep;
+mod topological;
+
+pub use metrics::{compute_all, DelayMetrics};
+pub use profile::{DelayProfile, SinkDelays};
+pub use sweep::{
+    floating_delay, floating_delay_restricted, transition_delay,
+};
+pub use topological::{shortest_path_delay, topological_delay};
+
+use mct_netlist::Time;
+
+/// Theorem 1: `floating + setup` is a correct (possibly conservative) upper
+/// bound on the minimum cycle time provided the shortest combinational path
+/// is at least the hold time. Returns the bound, or `None` when the hold
+/// condition fails and the bound cannot be certified.
+pub fn theorem1_bound(
+    floating: Time,
+    shortest_path: Time,
+    setup: Time,
+    hold: Time,
+) -> Option<Time> {
+    (shortest_path >= hold).then_some(floating + setup)
+}
+
+/// Theorem 2: the transition (2-vector) delay is only a certified upper
+/// bound on the minimum cycle time when it is at least half the topological
+/// delay.
+pub fn theorem2_applicable(transition: Time, topological: Time) -> bool {
+    transition + transition >= topological
+}
+
+#[cfg(test)]
+mod theorem_tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_requires_hold_margin() {
+        let f = Time::from_f64(4.0);
+        let s = Time::from_f64(0.2);
+        assert_eq!(
+            theorem1_bound(f, Time::from_f64(1.0), s, Time::from_f64(0.5)),
+            Some(Time::from_f64(4.2))
+        );
+        assert_eq!(
+            theorem1_bound(f, Time::from_f64(0.3), s, Time::from_f64(0.5)),
+            None
+        );
+    }
+
+    #[test]
+    fn theorem2_on_paper_example() {
+        // Figure 2: transition delay 2 < 5/2 → not applicable (and indeed
+        // incorrect as a bound, since the true MCT is 2.5).
+        assert!(!theorem2_applicable(Time::from_f64(2.0), Time::from_f64(5.0)));
+        assert!(theorem2_applicable(Time::from_f64(2.5), Time::from_f64(5.0)));
+    }
+}

@@ -1,0 +1,81 @@
+//! One-call computation of every combinational delay metric.
+
+use crate::sweep::{floating_delay, transition_delay};
+use crate::topological::{shortest_path_delay, topological_delay};
+use mct_bdd::BddManager;
+use mct_netlist::{FsmView, Time};
+use mct_tbf::{TbfError, TimedVarTable};
+
+/// All combinational delay metrics of one circuit — the baseline columns of
+/// the paper's Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DelayMetrics {
+    /// Longest structural path (`Top. D` column).
+    pub topological: Time,
+    /// Shortest structural path (Theorem 1's `L^min`).
+    pub shortest: Time,
+    /// Exact floating / single-vector delay (`Float` column).
+    pub floating: Time,
+    /// Exact transition / 2-vector delay (`Trans.` column).
+    pub transition: Time,
+}
+
+impl std::fmt::Display for DelayMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "top {} / float {} / trans {} (min path {})",
+            self.topological, self.floating, self.transition, self.shortest
+        )
+    }
+}
+
+/// Computes all four metrics with a shared manager and variable table.
+///
+/// # Errors
+///
+/// Propagates [`TbfError`] from extraction (including structural netlist
+/// errors).
+pub fn compute_all(
+    view: &FsmView<'_>,
+    manager: &mut BddManager,
+    table: &mut TimedVarTable,
+) -> Result<DelayMetrics, TbfError> {
+    Ok(DelayMetrics {
+        topological: topological_delay(view)?,
+        shortest: shortest_path_delay(view)?,
+        floating: floating_delay(view, manager, table)?,
+        transition: transition_delay(view, manager, table)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mct_netlist::{Circuit, GateKind};
+
+    #[test]
+    fn ordering_invariants_on_figure2() {
+        let mut c = Circuit::new("fig2");
+        let f = c.add_dff("f", true, Time::ZERO);
+        let cb = c.add_gate("c", GateKind::Buf, &[f], Time::from_f64(1.5));
+        let d = c.add_gate("d", GateKind::Not, &[f], Time::from_f64(4.0));
+        let e = c.add_gate("e", GateKind::Buf, &[f], Time::from_f64(5.0));
+        let a = c.add_gate("a", GateKind::And, &[cb, d, e], Time::ZERO);
+        let b = c.add_gate("b", GateKind::Not, &[f], Time::from_f64(2.0));
+        let g = c.add_gate("g", GateKind::Or, &[a, b], Time::ZERO);
+        c.connect_dff_data("f", g).unwrap();
+        c.set_output(g);
+        let view = FsmView::new(&c).unwrap();
+        let mut m = BddManager::new();
+        let mut tbl = TimedVarTable::new();
+        let metrics = compute_all(&view, &mut m, &mut tbl).unwrap();
+        assert_eq!(metrics.topological, Time::from_f64(5.0));
+        assert_eq!(metrics.floating, Time::from_f64(4.0));
+        assert_eq!(metrics.transition, Time::from_f64(2.0));
+        assert_eq!(metrics.shortest, Time::from_f64(1.5));
+        assert!(metrics.floating <= metrics.topological);
+        assert!(metrics.transition <= metrics.floating);
+        assert!(metrics.to_string().contains("top 5"));
+    }
+}

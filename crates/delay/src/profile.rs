@@ -1,0 +1,260 @@
+//! Per-sink delay profiles.
+//!
+//! The circuit-level metrics in [`crate::compute_all`] are maxima over all
+//! combinational sinks; synthesis flows usually want to know *which*
+//! register or output is critical and by how much. A [`DelayProfile`] holds
+//! the per-sink topological and floating delays, identifies the critical
+//! sink, and exposes per-sink slack against it.
+
+use mct_bdd::BddManager;
+use mct_netlist::{FsmView, NetId, Node, SinkKind, Time};
+use mct_tbf::{ConeExtractor, TbfError, TimedVar, TimedVarTable};
+use std::fmt;
+
+/// The delays of one combinational sink.
+#[derive(Clone, Debug)]
+pub struct SinkDelays {
+    /// The sink's net.
+    pub net: NetId,
+    /// Human-readable description (`next(q3)` / `out(o1)`).
+    pub label: String,
+    /// Longest structural path into the sink.
+    pub topological: Time,
+    /// Exact floating delay of the sink's cone.
+    pub floating: Time,
+}
+
+/// Per-sink delay breakdown of a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use mct_bdd::BddManager;
+/// use mct_netlist::{Circuit, FsmView, GateKind, Time};
+/// use mct_tbf::TimedVarTable;
+/// use mct_delay::DelayProfile;
+///
+/// let mut c = Circuit::new("two_cones");
+/// let q0 = c.add_dff("q0", false, Time::ZERO);
+/// let q1 = c.add_dff("q1", false, Time::ZERO);
+/// let fast = c.add_gate("fast", GateKind::Not, &[q0], Time::from_f64(1.0));
+/// let slow = c.add_gate("slow", GateKind::Not, &[q1], Time::from_f64(3.0));
+/// c.connect_dff_data("q0", fast).unwrap();
+/// c.connect_dff_data("q1", slow).unwrap();
+/// c.set_output(q1);
+/// let view = FsmView::new(&c).unwrap();
+/// let mut m = BddManager::new();
+/// let mut t = TimedVarTable::new();
+/// let profile = DelayProfile::compute(&view, &mut m, &mut t).unwrap();
+/// let critical = profile.critical().unwrap();
+/// assert_eq!(critical.label, "next(q1)");
+/// assert_eq!(critical.floating, Time::from_f64(3.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DelayProfile {
+    /// One entry per sink, in [`FsmView::sinks`] order.
+    pub sinks: Vec<SinkDelays>,
+}
+
+impl DelayProfile {
+    /// Computes the profile (one cone analysis per sink).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TbfError`] from extraction.
+    pub fn compute(
+        view: &FsmView<'_>,
+        manager: &mut BddManager,
+        table: &mut TimedVarTable,
+    ) -> Result<Self, TbfError> {
+        let circuit = view.circuit();
+        // Longest path to every net, once.
+        let order = circuit.topo_order()?;
+        let mut dist: Vec<Time> = vec![Time::ZERO; circuit.num_nodes()];
+        for (id, node) in circuit.iter() {
+            if let Node::Dff { clock_to_q, .. } = node {
+                dist[id.index()] = *clock_to_q;
+            }
+        }
+        for id in order {
+            if let Node::Gate { inputs, pin_delays, .. } = circuit.node(id) {
+                dist[id.index()] = inputs
+                    .iter()
+                    .zip(pin_delays)
+                    .map(|(inp, pd)| dist[inp.index()] + pd.max())
+                    .max()
+                    .expect("gates have inputs");
+            }
+        }
+        let mut sinks = Vec::new();
+        for sink in view.sinks() {
+            let label = match sink.kind {
+                SinkKind::NextState { index } => {
+                    format!("next({})", circuit.net_name(circuit.dffs()[index]))
+                }
+                SinkKind::Output { .. } => format!("out({})", circuit.net_name(sink.net)),
+            };
+            let floating = floating_of_sink(view, sink.net, manager, table)?;
+            sinks.push(SinkDelays {
+                net: sink.net,
+                label,
+                topological: dist[sink.net.index()],
+                floating,
+            });
+        }
+        Ok(DelayProfile { sinks })
+    }
+
+    /// The sink with the largest floating delay.
+    pub fn critical(&self) -> Option<&SinkDelays> {
+        self.sinks.iter().max_by_key(|s| s.floating)
+    }
+
+    /// Floating-delay slack of every sink against the critical one.
+    pub fn slacks(&self) -> Vec<(String, Time)> {
+        let Some(critical) = self.critical() else { return Vec::new() };
+        let worst = critical.floating;
+        self.sinks
+            .iter()
+            .map(|s| (s.label.clone(), worst - s.floating))
+            .collect()
+    }
+}
+
+impl fmt::Display for DelayProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.sinks {
+            writeln!(
+                f,
+                "{:<20} top {:>8}  float {:>8}",
+                s.label, s.topological, s.floating
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Floating delay of a single sink's cone.
+fn floating_of_sink(
+    view: &FsmView<'_>,
+    sink: NetId,
+    manager: &mut BddManager,
+    table: &mut TimedVarTable,
+) -> Result<Time, TbfError> {
+    let extractor = ConeExtractor::new(view);
+    let classes = extractor.delay_classes(&[sink])?;
+    let mut thresholds: Vec<i64> = classes.iter().map(|c| c.delay).collect();
+    thresholds.sort_unstable();
+    thresholds.dedup();
+    let settled = {
+        let mut policy = |m: &mut BddManager, t: &mut TimedVarTable, leaf: usize, _k: i64| {
+            let v = t.var(TimedVar::Shifted { leaf, shift: 0 });
+            m.var(v)
+        };
+        extractor.extract(manager, table, &[sink], &mut policy)?[0]
+    };
+    for &p in thresholds.iter().rev() {
+        let timed = {
+            let mut policy = |m: &mut BddManager, t: &mut TimedVarTable, leaf: usize, k: i64| {
+                if k < p {
+                    let v = t.var(TimedVar::Shifted { leaf, shift: 0 });
+                    m.var(v)
+                } else {
+                    let v = t.var(TimedVar::Arbitrary { leaf, delay: k });
+                    m.var(v)
+                }
+            };
+            extractor.extract(manager, table, &[sink], &mut policy)?[0]
+        };
+        if timed != settled {
+            return Ok(Time::from_millis(p));
+        }
+    }
+    Ok(Time::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mct_netlist::{Circuit, GateKind};
+
+    fn t(v: f64) -> Time {
+        Time::from_f64(v)
+    }
+
+    fn two_cone_circuit() -> Circuit {
+        let mut c = Circuit::new("two");
+        let q0 = c.add_dff("q0", false, Time::ZERO);
+        let q1 = c.add_dff("q1", false, Time::ZERO);
+        let fast = c.add_gate("fast", GateKind::Not, &[q0], t(1.0));
+        let slow = c.add_gate("slow", GateKind::Not, &[q1], t(3.0));
+        c.connect_dff_data("q0", fast).unwrap();
+        c.connect_dff_data("q1", slow).unwrap();
+        c.set_output(q0);
+        c
+    }
+
+    #[test]
+    fn per_sink_values_and_critical() {
+        let c = two_cone_circuit();
+        let view = FsmView::new(&c).unwrap();
+        let mut m = BddManager::new();
+        let mut tbl = TimedVarTable::new();
+        let p = DelayProfile::compute(&view, &mut m, &mut tbl).unwrap();
+        assert_eq!(p.sinks.len(), 3); // two next-state + one output
+        let by_label = |l: &str| p.sinks.iter().find(|s| s.label == l).unwrap();
+        assert_eq!(by_label("next(q0)").floating, t(1.0));
+        assert_eq!(by_label("next(q1)").floating, t(3.0));
+        assert_eq!(by_label("out(q0)").floating, Time::ZERO);
+        assert_eq!(p.critical().unwrap().label, "next(q1)");
+    }
+
+    #[test]
+    fn slacks_measured_from_critical() {
+        let c = two_cone_circuit();
+        let view = FsmView::new(&c).unwrap();
+        let mut m = BddManager::new();
+        let mut tbl = TimedVarTable::new();
+        let p = DelayProfile::compute(&view, &mut m, &mut tbl).unwrap();
+        let slacks = p.slacks();
+        let get = |l: &str| slacks.iter().find(|(n, _)| n == l).unwrap().1;
+        assert_eq!(get("next(q1)"), Time::ZERO);
+        assert_eq!(get("next(q0)"), t(2.0));
+        assert!(p.to_string().contains("next(q1)"));
+    }
+
+    #[test]
+    fn per_sink_floating_sees_false_paths() {
+        // The sink with a combinationally false long path reports its
+        // floating (not topological) delay.
+        let mut c = Circuit::new("fp");
+        let a = c.add_input("a");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let slow = c.add_gate("slow", GateKind::Buf, &[q], t(8.0));
+        let na = c.add_gate("na", GateKind::Not, &[a], Time::ZERO);
+        let dead = c.add_gate("dead", GateKind::And, &[slow, a, na], Time::ZERO);
+        let live = c.add_gate("live", GateKind::Xor, &[q, a], t(2.0));
+        let nx = c.add_gate("nx", GateKind::Or, &[dead, live], Time::ZERO);
+        c.connect_dff_data("q", nx).unwrap();
+        c.set_output(q);
+        let view = FsmView::new(&c).unwrap();
+        let mut m = BddManager::new();
+        let mut tbl = TimedVarTable::new();
+        let p = DelayProfile::compute(&view, &mut m, &mut tbl).unwrap();
+        let nx_sink = p.sinks.iter().find(|s| s.label == "next(q)").unwrap();
+        assert_eq!(nx_sink.topological, t(8.0));
+        assert_eq!(nx_sink.floating, t(2.0));
+    }
+
+    #[test]
+    fn aggregate_matches_max_of_profile() {
+        let c = two_cone_circuit();
+        let view = FsmView::new(&c).unwrap();
+        let mut m = BddManager::new();
+        let mut tbl = TimedVarTable::new();
+        let p = DelayProfile::compute(&view, &mut m, &mut tbl).unwrap();
+        let whole = crate::floating_delay(&view, &mut m, &mut tbl).unwrap();
+        let max = p.sinks.iter().map(|s| s.floating).max().unwrap();
+        assert_eq!(whole, max);
+    }
+}

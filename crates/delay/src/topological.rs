@@ -1,0 +1,164 @@
+//! Longest and shortest structural path delays.
+
+use mct_netlist::{FsmView, NetId, Node, Time};
+
+/// The topological delay of the combinational network: the longest
+/// structural leaf-to-sink path, counting maximum pin delays plus the source
+/// flip-flop's clock-to-Q contribution — the same delay accounting as the
+/// sequential engine's `k_i`, so the paper's invariant
+/// `MCT bound ≤ floating ≤ topological` is comparable apples-to-apples.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+pub fn topological_delay(view: &FsmView<'_>) -> Result<Time, mct_netlist::NetlistError> {
+    extreme_path(view, true)
+}
+
+/// The shortest structural leaf-to-sink path (minimum pin delays). This is
+/// the `L^min` of Theorem 1: floating delay certifies the cycle time only
+/// when `L^min` is at least the flip-flop hold time.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+pub fn shortest_path_delay(view: &FsmView<'_>) -> Result<Time, mct_netlist::NetlistError> {
+    extreme_path(view, false)
+}
+
+fn extreme_path(
+    view: &FsmView<'_>,
+    longest: bool,
+) -> Result<Time, mct_netlist::NetlistError> {
+    let circuit = view.circuit();
+    let order = circuit.topo_order()?;
+    // dist[node] = extreme delay from any leaf to the node's output.
+    let mut dist: Vec<Time> = vec![Time::ZERO; circuit.num_nodes()];
+    for (id, node) in circuit.iter() {
+        if let Node::Dff { clock_to_q, .. } = node {
+            dist[id.index()] = *clock_to_q;
+        }
+    }
+    let pick = |a: Time, b: Time| if longest { a.max(b) } else { a.min(b) };
+    for id in order {
+        if let Node::Gate { inputs, pin_delays, .. } = circuit.node(id) {
+            let mut best: Option<Time> = None;
+            for (inp, pd) in inputs.iter().zip(pin_delays) {
+                let pin = if longest { pd.max() } else { pd.min() };
+                let through = dist[inp.index()] + pin;
+                best = Some(match best {
+                    None => through,
+                    Some(b) => pick(b, through),
+                });
+            }
+            dist[id.index()] = best.expect("gates have inputs");
+        }
+    }
+    let sink_nets: Vec<NetId> = view.sinks().iter().map(|s| s.net).collect();
+    let mut result: Option<Time> = None;
+    for net in sink_nets {
+        let d = dist[net.index()];
+        result = Some(match result {
+            None => d,
+            Some(r) => pick(r, d),
+        });
+    }
+    Ok(result.unwrap_or(Time::ZERO))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mct_netlist::{Circuit, FsmView, GateKind, PinDelay};
+
+    fn t(v: f64) -> Time {
+        Time::from_f64(v)
+    }
+
+    fn chain() -> Circuit {
+        let mut c = Circuit::new("chain");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let g1 = c.add_gate("g1", GateKind::Not, &[q], t(1.0));
+        let g2 = c.add_gate("g2", GateKind::Not, &[g1], t(2.0));
+        c.connect_dff_data("q", g2).unwrap();
+        c.set_output(g2);
+        c
+    }
+
+    #[test]
+    fn series_delays_add() {
+        let c = chain();
+        let view = FsmView::new(&c).unwrap();
+        assert_eq!(topological_delay(&view).unwrap(), t(3.0));
+        assert_eq!(shortest_path_delay(&view).unwrap(), t(3.0));
+    }
+
+    #[test]
+    fn parallel_paths_max_and_min() {
+        let mut c = Circuit::new("par");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let fast = c.add_gate("fast", GateKind::Buf, &[q], t(1.0));
+        let slow = c.add_gate("slow", GateKind::Buf, &[q], t(7.0));
+        let o = c.add_gate("o", GateKind::And, &[fast, slow], Time::ZERO);
+        c.connect_dff_data("q", o).unwrap();
+        c.set_output(o);
+        let view = FsmView::new(&c).unwrap();
+        assert_eq!(topological_delay(&view).unwrap(), t(7.0));
+        assert_eq!(shortest_path_delay(&view).unwrap(), t(1.0));
+    }
+
+    #[test]
+    fn clock_to_q_included() {
+        let mut c = Circuit::new("c2q");
+        let q = c.add_dff("q", false, t(0.5));
+        let g = c.add_gate("g", GateKind::Not, &[q], t(1.0));
+        c.connect_dff_data("q", g).unwrap();
+        c.set_output(g);
+        let view = FsmView::new(&c).unwrap();
+        assert_eq!(topological_delay(&view).unwrap(), t(1.5));
+    }
+
+    #[test]
+    fn rise_fall_asymmetry_uses_worst_and_best() {
+        let mut c = Circuit::new("rf");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let g = c.add_gate_with_delays(
+            "g",
+            GateKind::Buf,
+            &[q],
+            vec![PinDelay::new(t(3.0), t(1.0))],
+        );
+        c.connect_dff_data("q", g).unwrap();
+        c.set_output(g);
+        let view = FsmView::new(&c).unwrap();
+        assert_eq!(topological_delay(&view).unwrap(), t(3.0));
+        assert_eq!(shortest_path_delay(&view).unwrap(), t(1.0));
+    }
+
+    #[test]
+    fn figure2_topological_is_five() {
+        let mut c = Circuit::new("fig2");
+        let f = c.add_dff("f", true, Time::ZERO);
+        let cb = c.add_gate("c", GateKind::Buf, &[f], t(1.5));
+        let d = c.add_gate("d", GateKind::Not, &[f], t(4.0));
+        let e = c.add_gate("e", GateKind::Buf, &[f], t(5.0));
+        let a = c.add_gate("a", GateKind::And, &[cb, d, e], Time::ZERO);
+        let b = c.add_gate("b", GateKind::Not, &[f], t(2.0));
+        let g = c.add_gate("g", GateKind::Or, &[a, b], Time::ZERO);
+        c.connect_dff_data("f", g).unwrap();
+        c.set_output(g);
+        let view = FsmView::new(&c).unwrap();
+        assert_eq!(topological_delay(&view).unwrap(), t(5.0));
+        assert_eq!(shortest_path_delay(&view).unwrap(), t(1.5));
+    }
+
+    #[test]
+    fn pure_combinational_circuit() {
+        let mut c = Circuit::new("comb");
+        let a = c.add_input("a");
+        let g = c.add_gate("g", GateKind::Not, &[a], t(2.5));
+        c.set_output(g);
+        let view = FsmView::new(&c).unwrap();
+        assert_eq!(topological_delay(&view).unwrap(), t(2.5));
+    }
+}

@@ -1,0 +1,41 @@
+//! Benchmark circuit generation.
+//!
+//! The paper evaluates on the ISCAS'89 benchmark suite, which is not
+//! redistributable here. This crate provides the substitute documented in
+//! `DESIGN.md`:
+//!
+//! * the paper's own worked circuits ([`paper_figure2`], [`s27`] — the one
+//!   tiny public-domain ISCAS'89 netlist, transcribed);
+//! * deterministic parameterized FSM families ([`families`]) that exercise
+//!   the specific structural mechanisms the paper's results rest on —
+//!   planted sequentially-false long paths ([`families::periodic_slack`]),
+//!   combinationally false paths ([`families::comb_false_path`]),
+//!   deep false paths with multi-cycle slack
+//!   ([`families::deep_false_path`]), and neutral machines (counters,
+//!   LFSRs, random FSMs) where every delay metric coincides;
+//! * the [`standard_suite`] used by the Table-1 regeneration harness, with
+//!   per-circuit expectations mirroring the paper's row markers (`‡` rows
+//!   where the sequential bound is tighter, `§` rows where floating beats
+//!   topological).
+//!
+//! # Examples
+//!
+//! ```
+//! use mct_gen::{paper_figure2, standard_suite};
+//!
+//! let fig2 = paper_figure2();
+//! assert_eq!(fig2.num_dffs(), 1);
+//! let suite = standard_suite();
+//! assert!(suite.len() >= 12);
+//! assert!(suite.iter().any(|e| e.expect_tighter_mct));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod families;
+mod paper;
+mod suite;
+
+pub use paper::{paper_figure2, paper_figure2_comb_output, s27, S27_BENCH};
+pub use suite::{standard_suite, SuiteEntry};

@@ -1,0 +1,179 @@
+//! Closed integer intervals for bounded delays.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over `i64` (delay values in fixed-point
+/// milli-units).
+///
+/// Used to represent the paper's bounded gate-delay model
+/// `d_i ∈ [d_i^min, d_i^max]` and the register-to-register path-delay
+/// intervals `I_{k_i}` of its Section 7 interval algebra.
+///
+/// # Examples
+///
+/// ```
+/// use mct_lp::Interval;
+/// let a = Interval::new(900, 1000);
+/// let b = Interval::new(950, 1200);
+/// assert_eq!(a.intersect(b), Some(Interval::new(950, 1000)));
+/// assert_eq!(a + b, Interval::new(1850, 2200));
+/// assert!(a.contains(1000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Interval {
+    lo: i64,
+    hi: i64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(self) -> i64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(self) -> i64 {
+        self.hi
+    }
+
+    /// `hi − lo`.
+    pub fn width(self) -> i64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval is a single point.
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether `v` lies in the interval.
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// The intersection, or `None` when disjoint.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// The smallest interval containing both.
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Scales both endpoints by the rational `num/den`, rounding the lower
+    /// endpoint down and the upper endpoint up (outward, conservative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den <= 0`.
+    pub fn scale_outward(self, num: i64, den: i64) -> Interval {
+        assert!(den > 0, "denominator must be positive");
+        let lo = (self.lo * num).div_euclid(den);
+        let hi_num = self.hi * num;
+        let hi = hi_num.div_euclid(den) + i64::from(hi_num.rem_euclid(den) != 0);
+        Interval { lo, hi }
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    /// Minkowski sum: `[a,b] + [c,d] = [a+c, b+d]` (sums of independent
+    /// delays).
+    fn add(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Interval::new(-3, 7);
+        assert_eq!(i.lo(), -3);
+        assert_eq!(i.hi(), 7);
+        assert_eq!(i.width(), 10);
+        assert!(!i.is_point());
+        assert!(Interval::point(4).is_point());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn inverted_bounds_panic() {
+        let _ = Interval::new(2, 1);
+    }
+
+    #[test]
+    fn contains_endpoints() {
+        let i = Interval::new(10, 20);
+        assert!(i.contains(10));
+        assert!(i.contains(20));
+        assert!(!i.contains(9));
+        assert!(!i.contains(21));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 15);
+        assert_eq!(a.intersect(b), Some(Interval::new(5, 10)));
+        assert_eq!(a.intersect(Interval::new(11, 12)), None);
+        // Touching intervals intersect in a point.
+        assert_eq!(a.intersect(Interval::new(10, 12)), Some(Interval::point(10)));
+    }
+
+    #[test]
+    fn hull_and_sum() {
+        let a = Interval::new(0, 2);
+        let b = Interval::new(5, 6);
+        assert_eq!(a.hull(b), Interval::new(0, 6));
+        assert_eq!(a + b, Interval::new(5, 8));
+    }
+
+    #[test]
+    fn scale_outward_is_conservative() {
+        // 90% of [1000, 1005]: lower rounds down, upper rounds up.
+        let i = Interval::new(1000, 1005);
+        let s = i.scale_outward(9, 10);
+        assert_eq!(s, Interval::new(900, 905));
+        let odd = Interval::new(5, 5).scale_outward(9, 10);
+        assert_eq!(odd, Interval::new(4, 5));
+        assert!(odd.lo() <= 9 * 5 / 10 && 9 * 5 % 10 == 5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::new(1, 2).to_string(), "[1, 2]");
+    }
+}

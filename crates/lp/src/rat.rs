@@ -1,0 +1,290 @@
+//! Exact rational arithmetic over `i64`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` with `den > 0`, always kept in
+/// lowest terms.
+///
+/// The cycle-time sweep evaluates floor terms `⌊−k/τ⌋` at candidate periods
+/// `τ = k/j`; both the candidates and the floors must be exact, because the
+/// algorithm's breakpoints are precisely the discontinuities of those floors.
+///
+/// Arithmetic panics on overflow in debug builds (as `i64` does); the
+/// magnitudes in this workload (delays below 2³², denominators below a few
+/// thousand) stay far from the limits.
+///
+/// # Examples
+///
+/// ```
+/// use mct_lp::Rat;
+/// let tau = Rat::new(5, 2); // 2.5 time units
+/// assert_eq!(tau.ceil_div_int(4), 2);      // ⌈4 / 2.5⌉ = 2
+/// assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+/// assert!(Rat::new(9, 4) < tau);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rat {
+    num: i64,
+    den: i64,
+}
+
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rat { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// The integer `n` as a rational.
+    pub fn from_int(n: i64) -> Self {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Numerator (after reduction; carries the sign).
+    pub fn num(self) -> i64 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(self) -> i64 {
+        self.den
+    }
+
+    /// The value as `f64` (for reporting).
+    pub fn as_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `⌈k / self⌉` for a non-negative integer `k` and positive `self` —
+    /// the discrete shift `m_i = −⌊−k_i/τ⌋` of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self ≤ 0` or `k < 0`.
+    pub fn ceil_div_int(self, k: i64) -> i64 {
+        assert!(self.num > 0, "period must be positive");
+        assert!(k >= 0, "path delay must be non-negative");
+        // ⌈k / (num/den)⌉ = ⌈k·den / num⌉
+        let prod = k.checked_mul(self.den).expect("overflow in ceil_div_int");
+        div_ceil(prod, self.num)
+    }
+
+    /// `⌊k / self⌋` for a non-negative integer `k` and positive `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self ≤ 0` or `k < 0`.
+    pub fn floor_div_int(self, k: i64) -> i64 {
+        assert!(self.num > 0, "period must be positive");
+        assert!(k >= 0, "path delay must be non-negative");
+        let prod = k.checked_mul(self.den).expect("overflow in floor_div_int");
+        prod.div_euclid(self.num)
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Midpoint of `self` and `other` (exact).
+    pub fn midpoint(self, other: Rat) -> Rat {
+        let sum = self + other;
+        Rat::new(sum.num, sum.den * 2)
+    }
+
+    /// The smaller of two rationals.
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rationals.
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + i64::from(a.rem_euclid(b) != 0)
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // den > 0 on both sides, so cross-multiplication preserves order.
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rat::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_sign() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_den_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::new(7, 7) == Rat::ONE);
+        assert_eq!(Rat::new(3, 2).max(Rat::ONE), Rat::new(3, 2));
+        assert_eq!(Rat::new(3, 2).min(Rat::ONE), Rat::ONE);
+    }
+
+    #[test]
+    fn ceil_and_floor_division() {
+        let tau = Rat::new(5, 2); // 2.5
+        assert_eq!(tau.ceil_div_int(0), 0);
+        assert_eq!(tau.ceil_div_int(2), 1); // 2/2.5 = 0.8
+        assert_eq!(tau.ceil_div_int(5), 2); // exactly 2
+        assert_eq!(tau.ceil_div_int(6), 3);
+        assert_eq!(tau.floor_div_int(5), 2);
+        assert_eq!(tau.floor_div_int(4), 1);
+    }
+
+    #[test]
+    fn example2_shifts() {
+        // Paper Example 2: path delays 1.5, 4, 5, 2 (scaled ×1000) at τ=2.5.
+        let tau = Rat::new(2500, 1);
+        let shifts: Vec<i64> = [1500, 4000, 5000, 2000]
+            .iter()
+            .map(|&k| tau.ceil_div_int(k))
+            .collect();
+        assert_eq!(shifts, vec![1, 2, 2, 1]);
+        // At τ = 4 all shifts collapse to within-max.
+        let tau4 = Rat::new(4000, 1);
+        let shifts4: Vec<i64> = [1500, 4000, 5000, 2000]
+            .iter()
+            .map(|&k| tau4.ceil_div_int(k))
+            .collect();
+        assert_eq!(shifts4, vec![1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn midpoint_exact() {
+        assert_eq!(Rat::new(1, 2).midpoint(Rat::new(1, 3)), Rat::new(5, 12));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(5, 2).to_string(), "5/2");
+        assert_eq!(Rat::from_int(7).to_string(), "7");
+    }
+
+    #[test]
+    fn as_f64() {
+        assert!((Rat::new(5, 2).as_f64() - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn ceil_div_nonpositive_period() {
+        let _ = Rat::new(-1, 2).ceil_div_int(3);
+    }
+}

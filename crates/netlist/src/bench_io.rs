@@ -1,0 +1,395 @@
+//! ISCAS'89 `.bench` format reader and writer.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G8 = AND(G14, G6)
+//! ```
+//!
+//! Signals may be referenced before they are defined (the format is
+//! declarative), so parsing is two-phase: collect all statements, then
+//! instantiate in dependency order. The format carries no timing, so the
+//! caller supplies a [`DelayModel`] to annotate gate delays.
+
+use crate::circuit::Circuit;
+use crate::delay_model::DelayModel;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::Node;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+enum Stmt {
+    Input(String),
+    Output(String),
+    Dff { name: String, data: String },
+    Gate { name: String, kind: GateKind, args: Vec<String> },
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Option<Stmt>, NetlistError> {
+    let line = match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+    .trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let err = |message: String| NetlistError::Parse { line: lineno, message };
+
+    let paren = |s: &str| -> Result<(String, Vec<String>), NetlistError> {
+        let open = s.find('(').ok_or_else(|| err(format!("expected `(` in `{s}`")))?;
+        let close = s.rfind(')').ok_or_else(|| err(format!("expected `)` in `{s}`")))?;
+        if close < open {
+            return Err(err(format!("mismatched parentheses in `{s}`")));
+        }
+        let head = s[..open].trim().to_owned();
+        let args: Vec<String> = s[open + 1..close]
+            .split(',')
+            .map(|a| a.trim().to_owned())
+            .filter(|a| !a.is_empty())
+            .collect();
+        Ok((head, args))
+    };
+
+    if let Some(eq) = line.find('=') {
+        let name = line[..eq].trim().to_owned();
+        if name.is_empty() {
+            return Err(err("missing signal name before `=`".into()));
+        }
+        let (head, args) = paren(line[eq + 1..].trim())?;
+        if head.eq_ignore_ascii_case("DFF") {
+            if args.len() != 1 {
+                return Err(err(format!("DFF takes exactly one input, got {}", args.len())));
+            }
+            return Ok(Some(Stmt::Dff { name, data: args[0].clone() }));
+        }
+        let kind = GateKind::from_bench_keyword(&head)
+            .ok_or_else(|| err(format!("unknown gate kind `{head}`")))?;
+        if args.is_empty() {
+            return Err(err(format!("gate `{name}` has no inputs")));
+        }
+        Ok(Some(Stmt::Gate { name, kind, args }))
+    } else {
+        let (head, args) = paren(line)?;
+        if args.len() != 1 {
+            return Err(err(format!("`{head}` declaration takes one name")));
+        }
+        match head.to_ascii_uppercase().as_str() {
+            "INPUT" => Ok(Some(Stmt::Input(args[0].clone()))),
+            "OUTPUT" => Ok(Some(Stmt::Output(args[0].clone()))),
+            other => Err(err(format!("unknown declaration `{other}`"))),
+        }
+    }
+}
+
+/// Parses ISCAS'89 `.bench` text into a [`Circuit`], annotating gate delays
+/// with `model` (the format itself is untimed).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax errors (with line numbers),
+/// plus the usual structural errors: duplicate or unknown names, arity
+/// violations, and combinational cycles.
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::{parse_bench, DelayModel};
+/// let src = "
+///     INPUT(a)
+///     OUTPUT(q)
+///     q = DFF(nx)
+///     nx = XOR(q, a)
+/// ";
+/// let c = parse_bench(src, &DelayModel::Unit).unwrap();
+/// assert_eq!(c.num_dffs(), 1);
+/// assert_eq!(c.num_gates(), 1);
+/// ```
+pub fn parse_bench(text: &str, model: &DelayModel) -> Result<Circuit, NetlistError> {
+    let mut stmts = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(stmt) = parse_line(line, i + 1)? {
+            stmts.push(stmt);
+        }
+    }
+
+    let mut circuit = Circuit::new("bench");
+    // Phase 1: inputs and flip-flops (their outputs are the leaves every
+    // gate may reference).
+    for stmt in &stmts {
+        match stmt {
+            Stmt::Input(name) => {
+                circuit.try_add_input(name.clone())?;
+            }
+            Stmt::Dff { name, .. } => {
+                circuit.try_add_dff(name.clone(), false, model.clock_to_q())?;
+            }
+            _ => {}
+        }
+    }
+    // Phase 2: gates, in dependency order (forward references are legal in
+    // the format). Kahn's algorithm over gate-to-gate edges.
+    let gate_stmts: Vec<(&String, GateKind, &Vec<String>)> = stmts
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::Gate { name, kind, args } => Some((name, *kind, args)),
+            _ => None,
+        })
+        .collect();
+    let gate_index: HashMap<&str, usize> = gate_stmts
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _, _))| (name.as_str(), i))
+        .collect();
+    let mut indegree = vec![0usize; gate_stmts.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); gate_stmts.len()];
+    for (i, (_, _, args)) in gate_stmts.iter().enumerate() {
+        for arg in args.iter() {
+            if let Some(&j) = gate_index.get(arg.as_str()) {
+                indegree[i] += 1;
+                dependents[j].push(i);
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..gate_stmts.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut emitted = 0usize;
+    while let Some(i) = ready.pop() {
+        let (name, kind, args) = &gate_stmts[i];
+        let inputs = args
+            .iter()
+            .map(|a| {
+                circuit
+                    .lookup(a)
+                    .ok_or_else(|| NetlistError::UnknownName(a.clone()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let delay = model.gate_delay(*kind, inputs.len());
+        let delays = inputs.iter().map(|_| crate::PinDelay::symmetric(delay)).collect();
+        circuit.try_add_gate_with_delays((*name).clone(), *kind, &inputs, delays)?;
+        emitted += 1;
+        for &d in &dependents[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                ready.push(d);
+            }
+        }
+    }
+    if emitted != gate_stmts.len() {
+        let culprit = (0..gate_stmts.len())
+            .find(|&i| indegree[i] > 0)
+            .map(|i| gate_stmts[i].0.clone())
+            .unwrap_or_default();
+        return Err(NetlistError::CombinationalCycle(culprit));
+    }
+    // Phase 3: flip-flop data pins and outputs.
+    for stmt in &stmts {
+        match stmt {
+            Stmt::Dff { name, data } => {
+                let d = circuit
+                    .lookup(data)
+                    .ok_or_else(|| NetlistError::UnknownName(data.clone()))?;
+                circuit.connect_dff_data(name, d)?;
+            }
+            Stmt::Output(name) => {
+                let id = circuit
+                    .lookup(name)
+                    .ok_or_else(|| NetlistError::UnknownName(name.clone()))?;
+                circuit.set_output(id);
+            }
+            _ => {}
+        }
+    }
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+/// Renders a circuit back to `.bench` text (delays are not representable in
+/// the format and are dropped).
+///
+/// The output parses back ([`parse_bench`]) to a structurally identical
+/// circuit.
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    for id in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.net_name(id));
+    }
+    for &id in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.net_name(id));
+    }
+    for (_, node) in circuit.iter() {
+        match node {
+            Node::Dff { name, data, .. } => {
+                let data = data.expect("validated circuit");
+                let _ = writeln!(out, "{} = DFF({})", name, circuit.net_name(data));
+            }
+            Node::Gate { name, kind, inputs, .. } => {
+                let args: Vec<&str> = inputs.iter().map(|&i| circuit.net_name(i)).collect();
+                let _ = writeln!(out, "{} = {}({})", name, kind.bench_keyword(), args.join(", "));
+            }
+            Node::Input { .. } => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Time;
+
+    const S27_LIKE: &str = "
+        # tiny sequential benchmark
+        INPUT(G0)
+        INPUT(G1)
+        INPUT(G2)
+        INPUT(G3)
+        OUTPUT(G17)
+        G5 = DFF(G10)
+        G6 = DFF(G11)
+        G7 = DFF(G13)
+        G14 = NOT(G0)
+        G17 = NOT(G11)
+        G8 = AND(G14, G6)
+        G15 = OR(G12, G8)
+        G16 = OR(G3, G8)
+        G9 = NAND(G16, G15)
+        G10 = NOR(G14, G11)
+        G11 = NOR(G5, G9)
+        G12 = NOR(G1, G7)
+        G13 = NAND(G2, G12)
+    ";
+
+    #[test]
+    fn parse_s27_like() {
+        let c = parse_bench(S27_LIKE, &DelayModel::Unit).unwrap();
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_dffs(), 3);
+        assert_eq!(c.num_gates(), 10);
+        assert_eq!(c.outputs().len(), 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn forward_references_work() {
+        // `nx` references `inv` which is defined later.
+        let src = "
+            INPUT(a)
+            OUTPUT(nx)
+            nx = AND(inv, a)
+            inv = NOT(a)
+        ";
+        let c = parse_bench(src, &DelayModel::Unit).unwrap();
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "
+            # leading comment
+
+            INPUT(a)   # trailing comment
+            OUTPUT(b)
+            b = NOT(a)
+        ";
+        let c = parse_bench(src, &DelayModel::Unit).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn syntax_error_carries_line_number() {
+        let src = "INPUT(a)\nb = FROB(a)\n";
+        match parse_bench(src, &DelayModel::Unit) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("FROB"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_reference_rejected() {
+        let src = "INPUT(a)\nOUTPUT(b)\nb = NOT(ghost)\n";
+        assert!(matches!(
+            parse_bench(src, &DelayModel::Unit),
+            Err(NetlistError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let src = "
+            INPUT(a)
+            OUTPUT(x)
+            x = AND(a, y)
+            y = NOT(x)
+        ";
+        assert!(matches!(
+            parse_bench(src, &DelayModel::Unit),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn dff_arity_enforced() {
+        let src = "INPUT(a)\nq = DFF(a, a)\n";
+        assert!(matches!(
+            parse_bench(src, &DelayModel::Unit),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let c1 = parse_bench(S27_LIKE, &DelayModel::Unit).unwrap();
+        let text = write_bench(&c1);
+        let c2 = parse_bench(&text, &DelayModel::Unit).unwrap();
+        assert_eq!(c1.num_inputs(), c2.num_inputs());
+        assert_eq!(c1.num_dffs(), c2.num_dffs());
+        assert_eq!(c1.num_gates(), c2.num_gates());
+        assert_eq!(c1.outputs().len(), c2.outputs().len());
+        // Functional equivalence on a few steps from the all-zero state.
+        let mut s1 = c1.initial_state();
+        let mut s2 = c2.initial_state();
+        for step in 0..8 {
+            let ins: Vec<bool> = (0..c1.num_inputs()).map(|i| (step + i) % 3 == 0).collect();
+            let (n1, o1) = c1.step(&s1, &ins);
+            let (n2, o2) = c2.step(&s2, &ins);
+            assert_eq!(o1, o2, "outputs diverge at step {step}");
+            s1 = n1;
+            s2 = n2;
+        }
+    }
+
+    #[test]
+    fn delay_model_applied() {
+        let src = "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n";
+        let c = parse_bench(src, &DelayModel::Unit).unwrap();
+        let b = c.lookup("b").unwrap();
+        match c.node(b) {
+            Node::Gate { pin_delays, .. } => {
+                assert_eq!(pin_delays[0].max(), Time::UNIT);
+            }
+            _ => panic!("expected gate"),
+        }
+    }
+
+    #[test]
+    fn mismatched_parens_rejected() {
+        assert!(matches!(
+            parse_bench("INPUT)a(", &DelayModel::Unit),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_bench("b = NOT a", &DelayModel::Unit),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,646 @@
+//! Berkeley Logic Interchange Format (BLIF) reader and writer.
+//!
+//! The subset understood here is the sequential-logic core used by SIS-era
+//! tools (the paper's contemporaries):
+//!
+//! ```text
+//! .model counter
+//! .inputs en
+//! .outputs q1
+//! .latch n0 q0 re clk 0
+//! .names q0 en n0
+//! 01 1
+//! 10 1
+//! .end
+//! ```
+//!
+//! `.names` covers are synthesized into AND/OR/NOT gate trees; `.latch`
+//! lines accept both the 3-token (`input output init`) and 5-token
+//! (`input output type control init`) forms. BLIF carries no timing, so a
+//! [`DelayModel`] annotates the synthesized gates just as for `.bench`.
+
+use crate::circuit::Circuit;
+use crate::delay_model::DelayModel;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::{NetId, Node};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+struct NamesBlock {
+    inputs: Vec<String>,
+    output: String,
+    rows: Vec<(String, char)>,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct LatchDecl {
+    input: String,
+    output: String,
+    init: bool,
+    line: usize,
+}
+
+fn tokenize_logical_lines(text: &str) -> Vec<(usize, Vec<String>)> {
+    let mut out = Vec::new();
+    let mut pending: Vec<String> = Vec::new();
+    let mut pending_line = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let continued = line.trim_end().ends_with('\\');
+        let body = line.trim_end().trim_end_matches('\\');
+        if pending.is_empty() {
+            pending_line = i + 1;
+        }
+        pending.extend(body.split_whitespace().map(str::to_owned));
+        if !continued
+            && !pending.is_empty() {
+                out.push((pending_line, std::mem::take(&mut pending)));
+            }
+    }
+    if !pending.is_empty() {
+        out.push((pending_line, pending));
+    }
+    out
+}
+
+/// Parses BLIF text into a [`Circuit`], annotating delays with `model`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with line numbers for malformed input,
+/// plus the usual structural errors.
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::{parse_blif, DelayModel};
+/// let src = "
+/// .model toggler
+/// .outputs q
+/// .latch nq q 0
+/// .names q nq
+/// 0 1
+/// .end
+/// ";
+/// let c = parse_blif(src, &DelayModel::Unit).unwrap();
+/// assert_eq!(c.name(), "toggler");
+/// assert_eq!(c.num_dffs(), 1);
+/// ```
+pub fn parse_blif(text: &str, model: &DelayModel) -> Result<Circuit, NetlistError> {
+    let err = |line: usize, message: String| NetlistError::Parse { line, message };
+    let mut model_name = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut latches: Vec<LatchDecl> = Vec::new();
+    let mut names: Vec<NamesBlock> = Vec::new();
+    let mut current: Option<NamesBlock> = None;
+
+    for (line, tokens) in tokenize_logical_lines(text) {
+        let head = tokens[0].as_str();
+        if head.starts_with('.') {
+            if let Some(block) = current.take() {
+                names.push(block);
+            }
+        }
+        match head {
+            ".model" => {
+                if let Some(n) = tokens.get(1) {
+                    model_name = n.clone();
+                }
+            }
+            ".inputs" => inputs.extend(tokens[1..].iter().cloned()),
+            ".outputs" => outputs.extend(tokens[1..].iter().cloned()),
+            ".latch" => {
+                let (input, output, init_tok) = match tokens.len() {
+                    3 => (tokens[1].clone(), tokens[2].clone(), None),
+                    4 => (tokens[1].clone(), tokens[2].clone(), Some(tokens[3].as_str())),
+                    6 => (tokens[1].clone(), tokens[2].clone(), Some(tokens[5].as_str())),
+                    n => {
+                        return Err(err(line, format!(".latch takes 2, 3, or 5 operands, got {}", n - 1)))
+                    }
+                };
+                let init = match init_tok {
+                    None | Some("0") | Some("2") | Some("3") => false,
+                    Some("1") => true,
+                    Some(other) => {
+                        return Err(err(line, format!("bad latch init value `{other}`")))
+                    }
+                };
+                latches.push(LatchDecl { input, output, init, line });
+            }
+            ".names" => {
+                if tokens.len() < 2 {
+                    return Err(err(line, ".names needs at least an output".into()));
+                }
+                let output = tokens.last().expect("checked").clone();
+                let ins = tokens[1..tokens.len() - 1].to_vec();
+                current = Some(NamesBlock { inputs: ins, output, rows: Vec::new(), line });
+            }
+            ".end" | ".exdc" => {
+                if let Some(block) = current.take() {
+                    names.push(block);
+                }
+            }
+            other if other.starts_with('.') => {
+                return Err(err(line, format!("unsupported construct `{other}`")));
+            }
+            _ => {
+                // A cover row inside the active .names block.
+                let Some(block) = current.as_mut() else {
+                    return Err(err(line, format!("cover row `{}` outside .names", tokens.join(" "))));
+                };
+                let (plane, value) = if block.inputs.is_empty() {
+                    if tokens.len() != 1 || tokens[0].len() != 1 {
+                        return Err(err(line, "constant cover must be a single 0/1".into()));
+                    }
+                    (String::new(), tokens[0].chars().next().expect("len 1"))
+                } else {
+                    if tokens.len() != 2 {
+                        return Err(err(line, "cover row must be `<plane> <value>`".into()));
+                    }
+                    if tokens[0].len() != block.inputs.len() {
+                        return Err(err(
+                            line,
+                            format!(
+                                "plane width {} does not match {} inputs",
+                                tokens[0].len(),
+                                block.inputs.len()
+                            ),
+                        ));
+                    }
+                    (tokens[0].clone(), tokens[1].chars().next().expect("nonempty"))
+                };
+                if !matches!(value, '0' | '1') {
+                    return Err(err(line, format!("bad cover output `{value}`")));
+                }
+                if plane.chars().any(|c| !matches!(c, '0' | '1' | '-')) {
+                    return Err(err(line, format!("bad cover plane `{plane}`")));
+                }
+                block.rows.push((plane, value));
+            }
+        }
+    }
+    if let Some(block) = current.take() {
+        names.push(block);
+    }
+
+    let mut circuit = Circuit::new(model_name);
+    for name in &inputs {
+        circuit.try_add_input(name.clone())?;
+    }
+    for latch in &latches {
+        circuit
+            .try_add_dff(latch.output.clone(), latch.init, model.clock_to_q())
+            .map_err(|e| err(latch.line, e.to_string()))?;
+    }
+
+    // Synthesize .names blocks in dependency order (forward references are
+    // legal).
+    let block_index: HashMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.output.as_str(), i))
+        .collect();
+    let mut indegree = vec![0usize; names.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (i, block) in names.iter().enumerate() {
+        for input in &block.inputs {
+            if let Some(&j) = block_index.get(input.as_str()) {
+                indegree[i] += 1;
+                dependents[j].push(i);
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..names.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut emitted = 0usize;
+    while let Some(i) = ready.pop() {
+        synthesize_cover(&mut circuit, &names[i], model)?;
+        emitted += 1;
+        for &d in &dependents[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                ready.push(d);
+            }
+        }
+    }
+    if emitted != names.len() {
+        let culprit = (0..names.len())
+            .find(|&i| indegree[i] > 0)
+            .map(|i| names[i].output.clone())
+            .unwrap_or_default();
+        return Err(NetlistError::CombinationalCycle(culprit));
+    }
+
+    for latch in &latches {
+        let d = circuit
+            .lookup(&latch.input)
+            .ok_or_else(|| NetlistError::UnknownName(latch.input.clone()))?;
+        circuit.connect_dff_data(&latch.output, d)?;
+    }
+    for name in &outputs {
+        let id = circuit
+            .lookup(name)
+            .ok_or_else(|| NetlistError::UnknownName(name.clone()))?;
+        circuit.set_output(id);
+    }
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+/// Builds the gate tree for one `.names` cover.
+fn synthesize_cover(
+    circuit: &mut Circuit,
+    block: &NamesBlock,
+    model: &DelayModel,
+) -> Result<(), NetlistError> {
+    let out = &block.output;
+    // Constant cover: BLIF's `.names x` + `1` means constant 1 (no rows =
+    // constant 0). Model constants as x OR NOT x / x AND NOT x over the
+    // first available net, or reject when the circuit has no nets yet.
+    if block.inputs.is_empty() {
+        let value = block.rows.first().is_some_and(|&(_, v)| v == '1');
+        let Some((seed, _)) = circuit.iter().next() else {
+            return Err(NetlistError::Parse {
+                line: block.line,
+                message: format!("constant `.names {out}` needs at least one other net"),
+            });
+        };
+        let inv = circuit.try_add_gate_with_delays(
+            format!("{out}$inv"),
+            GateKind::Not,
+            &[seed],
+            vec![crate::PinDelay::symmetric(model.gate_delay(GateKind::Not, 1))],
+        )?;
+        let kind = if value { GateKind::Or } else { GateKind::And };
+        let delay = model.gate_delay(kind, 2);
+        circuit.try_add_gate_with_delays(
+            out.clone(),
+            kind,
+            &[seed, inv],
+            vec![crate::PinDelay::symmetric(delay); 2],
+        )?;
+        return Ok(());
+    }
+
+    let input_ids: Vec<NetId> = block
+        .inputs
+        .iter()
+        .map(|n| circuit.lookup(n).ok_or_else(|| NetlistError::UnknownName(n.clone())))
+        .collect::<Result<_, _>>()?;
+    let polarity = block.rows.first().map_or('1', |&(_, v)| v);
+    if block.rows.iter().any(|&(_, v)| v != polarity) {
+        return Err(NetlistError::Parse {
+            line: block.line,
+            message: format!("mixed ON/OFF cover for `{out}`"),
+        });
+    }
+
+    // Per-input complements are created lazily and shared between rows.
+    let mut complements: HashMap<usize, NetId> = HashMap::new();
+    let mut row_nets: Vec<NetId> = Vec::new();
+    for (ri, (plane, _)) in block.rows.iter().enumerate() {
+        let mut literals: Vec<NetId> = Vec::new();
+        for (ci, ch) in plane.chars().enumerate() {
+            match ch {
+                '1' => literals.push(input_ids[ci]),
+                '0' => {
+                    let id = match complements.get(&ci) {
+                        Some(&id) => id,
+                        None => {
+                            let delay = model.gate_delay(GateKind::Not, 1);
+                            let id = circuit.try_add_gate_with_delays(
+                                format!("{out}$n{ci}"),
+                                GateKind::Not,
+                                &[input_ids[ci]],
+                                vec![crate::PinDelay::symmetric(delay)],
+                            )?;
+                            complements.insert(ci, id);
+                            id
+                        }
+                    };
+                    literals.push(id);
+                }
+                _ => {} // don't care
+            }
+        }
+        let row_net = match literals.len() {
+            0 => {
+                // A full don't-care row makes the function constant; fall
+                // back to OR of an input with its complement below.
+                return Err(NetlistError::Parse {
+                    line: block.line,
+                    message: format!("tautological cover row in `{out}`"),
+                });
+            }
+            1 => literals[0],
+            _ => {
+                let delay = model.gate_delay(GateKind::And, literals.len());
+                circuit.try_add_gate_with_delays(
+                    format!("{out}$r{ri}"),
+                    GateKind::And,
+                    &literals,
+                    vec![crate::PinDelay::symmetric(delay); literals.len()],
+                )?
+            }
+        };
+        row_nets.push(row_net);
+    }
+
+    // OR the rows; invert for OFF-set covers. The top gate must carry the
+    // block's output name.
+    let inverted = polarity == '0';
+    match (row_nets.len(), inverted) {
+        (0, _) => Err(NetlistError::Parse {
+            line: block.line,
+            message: format!("empty cover for `{out}` (constant covers need a row)"),
+        }),
+        (1, false) => {
+            let delay = model.gate_delay(GateKind::Buf, 1);
+            circuit.try_add_gate_with_delays(
+                out.clone(),
+                GateKind::Buf,
+                &[row_nets[0]],
+                vec![crate::PinDelay::symmetric(delay)],
+            )?;
+            Ok(())
+        }
+        (1, true) => {
+            let delay = model.gate_delay(GateKind::Not, 1);
+            circuit.try_add_gate_with_delays(
+                out.clone(),
+                GateKind::Not,
+                &[row_nets[0]],
+                vec![crate::PinDelay::symmetric(delay)],
+            )?;
+            Ok(())
+        }
+        (n, inv) => {
+            let kind = if inv { GateKind::Nor } else { GateKind::Or };
+            let delay = model.gate_delay(kind, n);
+            circuit.try_add_gate_with_delays(
+                out.clone(),
+                kind,
+                &row_nets,
+                vec![crate::PinDelay::symmetric(delay); n],
+            )?;
+            Ok(())
+        }
+    }
+}
+
+/// Renders a circuit as BLIF (delays are not representable and are
+/// dropped). Gates become `.names` covers; flip-flops become `.latch`
+/// lines with their initial values.
+pub fn write_blif(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", circuit.name());
+    let ins: Vec<&str> = circuit.inputs().iter().map(|&i| circuit.net_name(i)).collect();
+    if !ins.is_empty() {
+        let _ = writeln!(out, ".inputs {}", ins.join(" "));
+    }
+    let outs: Vec<&str> = circuit.outputs().iter().map(|&o| circuit.net_name(o)).collect();
+    if !outs.is_empty() {
+        let _ = writeln!(out, ".outputs {}", outs.join(" "));
+    }
+    for (_, node) in circuit.iter() {
+        if let Node::Dff { name, data: Some(d), init, .. } = node {
+            let _ = writeln!(
+                out,
+                ".latch {} {} re clk {}",
+                circuit.net_name(*d),
+                name,
+                u8::from(*init)
+            );
+        }
+    }
+    for (_, node) in circuit.iter() {
+        let Node::Gate { name, kind, inputs, .. } = node else { continue };
+        let in_names: Vec<&str> = inputs.iter().map(|&i| circuit.net_name(i)).collect();
+        let _ = writeln!(out, ".names {} {}", in_names.join(" "), name);
+        let n = inputs.len();
+        match kind {
+            GateKind::Buf => out.push_str("1 1\n"),
+            GateKind::Not => out.push_str("0 1\n"),
+            GateKind::And => {
+                let _ = writeln!(out, "{} 1", "1".repeat(n));
+            }
+            GateKind::Nand => {
+                let _ = writeln!(out, "{} 0", "1".repeat(n));
+            }
+            GateKind::Or => {
+                for i in 0..n {
+                    let mut plane = vec!['-'; n];
+                    plane[i] = '1';
+                    let _ = writeln!(out, "{} 1", plane.iter().collect::<String>());
+                }
+            }
+            GateKind::Nor => {
+                let _ = writeln!(out, "{} 1", "0".repeat(n));
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                // Enumerate the parity minterms (gate arities in this suite
+                // are small).
+                let want_odd = matches!(kind, GateKind::Xor);
+                for mask in 0..(1u32 << n) {
+                    let ones = mask.count_ones() as usize;
+                    if (ones % 2 == 1) == want_odd {
+                        let plane: String = (0..n)
+                            .map(|i| if mask >> i & 1 == 1 { '1' } else { '0' })
+                            .collect();
+                        let _ = writeln!(out, "{plane} 1");
+                    }
+                }
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Time;
+
+    const COUNTER: &str = "
+.model counter
+.inputs en
+.outputs q1
+.latch n0 q0 re clk 0
+.latch n1 q1 re clk 1
+.names q0 en n0
+01 1
+10 1
+.names q0 q1 en n1
+11- 1
+0-1 1
+.end
+";
+
+    #[test]
+    fn parse_counter() {
+        let c = parse_blif(COUNTER, &DelayModel::Unit).unwrap();
+        assert_eq!(c.name(), "counter");
+        assert_eq!(c.num_inputs(), 1);
+        assert_eq!(c.num_dffs(), 2);
+        assert_eq!(c.initial_state(), vec![false, true]);
+        c.validate().unwrap();
+        // n0 = q0 XOR en semantically; check a step.
+        let (next, _) = c.step(&[false, true], &[true]);
+        assert!(next[0]); // 0 xor 1
+    }
+
+    #[test]
+    fn three_token_latch_form() {
+        let src = "
+.model t
+.outputs q
+.latch nq q 0
+.names q nq
+0 1
+.end
+";
+        let c = parse_blif(src, &DelayModel::Unit).unwrap();
+        assert_eq!(c.num_dffs(), 1);
+        // A toggler.
+        let (s1, _) = c.step(&[false], &[]);
+        assert_eq!(s1, vec![true]);
+    }
+
+    #[test]
+    fn off_set_cover() {
+        // f defined by its OFF-set: f = 0 iff a=1,b=1 → NAND.
+        let src = "
+.model t
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+";
+        let c = parse_blif(src, &DelayModel::Unit).unwrap();
+        let f = c.lookup("f").unwrap();
+        for (a, b, expect) in [(false, false, true), (true, true, false), (true, false, true)] {
+            let leaves = c.inputs();
+            let vals = c.eval(|id| {
+                if id == leaves[0] {
+                    a
+                } else {
+                    b
+                }
+            });
+            assert_eq!(vals[f.index()], expect, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn line_continuation() {
+        let src = "
+.model t
+.inputs a \\
+        b
+.outputs f
+.names a b f
+11 1
+.end
+";
+        let c = parse_blif(src, &DelayModel::Unit).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+    }
+
+    #[test]
+    fn forward_reference_between_covers() {
+        let src = "
+.model t
+.inputs a
+.outputs f
+.names g f
+1 1
+.names a g
+0 1
+.end
+";
+        let c = parse_blif(src, &DelayModel::Unit).unwrap();
+        assert!(c.lookup("g").is_some());
+    }
+
+    #[test]
+    fn cyclic_covers_rejected() {
+        let src = "
+.model t
+.inputs a
+.outputs f
+.names g a f
+11 1
+.names f g
+1 1
+.end
+";
+        assert!(matches!(
+            parse_blif(src, &DelayModel::Unit),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        let src = ".model t\n.latch a\n";
+        match parse_blif(src, &DelayModel::Unit) {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let src = ".model t\n.inputs a\n.names a f\n1- 1\n";
+        assert!(matches!(
+            parse_blif(src, &DelayModel::Unit),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        // Build a circuit with every gate kind, write BLIF, reparse, and
+        // compare step-for-step.
+        let mut c = Circuit::new("all_kinds");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let q = c.add_dff("q", true, Time::ZERO);
+        let g1 = c.add_gate("g1", GateKind::Nand, &[a, b], Time::UNIT);
+        let g2 = c.add_gate("g2", GateKind::Xor, &[g1, q], Time::UNIT);
+        let g3 = c.add_gate("g3", GateKind::Nor, &[g2, a], Time::UNIT);
+        let g4 = c.add_gate("g4", GateKind::Xnor, &[g3, b], Time::UNIT);
+        let g5 = c.add_gate("g5", GateKind::Buf, &[g4], Time::UNIT);
+        c.connect_dff_data("q", g5).unwrap();
+        c.set_output(g2);
+        let text = write_blif(&c);
+        let c2 = parse_blif(&text, &DelayModel::Unit).unwrap();
+        assert_eq!(c2.initial_state(), c.initial_state());
+        let mut s1 = c.initial_state();
+        let mut s2 = c2.initial_state();
+        for step in 0..12 {
+            let ins = vec![step % 2 == 0, step % 3 == 0];
+            let (n1, o1) = c.step(&s1, &ins);
+            let (n2, o2) = c2.step(&s2, &ins);
+            assert_eq!(o1, o2, "step {step}");
+            assert_eq!(n1, n2, "step {step}");
+            s1 = n1;
+            s2 = n2;
+        }
+    }
+
+    #[test]
+    fn writer_emits_latch_inits() {
+        let mut c = Circuit::new("t");
+        let q = c.add_dff("q", true, Time::ZERO);
+        let nq = c.add_gate("nq", GateKind::Not, &[q], Time::UNIT);
+        c.connect_dff_data("q", nq).unwrap();
+        c.set_output(q);
+        let text = write_blif(&c);
+        assert!(text.contains(".latch nq q re clk 1"), "{text}");
+    }
+}

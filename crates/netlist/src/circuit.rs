@@ -1,0 +1,805 @@
+//! The circuit graph: primary inputs, gates, and D flip-flops.
+
+use crate::error::NetlistError;
+use crate::gate::{GateKind, PinDelay};
+use crate::time::Time;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a net (equivalently, of the node driving it).
+///
+/// `NetId`s are indices into the owning [`Circuit`]'s node arena and are
+/// stable for the lifetime of the circuit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node of the circuit graph.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// A primary input (synchronized to the clock, per the paper's Figure 3).
+    Input {
+        /// Signal name.
+        name: String,
+    },
+    /// A combinational gate with per-pin delays.
+    Gate {
+        /// Signal name of the gate output.
+        name: String,
+        /// Gate function.
+        kind: GateKind,
+        /// Driving nets, one per input pin.
+        inputs: Vec<NetId>,
+        /// Maximum pin-to-output delays, parallel to `inputs`.
+        pin_delays: Vec<PinDelay>,
+    },
+    /// An edge-triggered D flip-flop on the common clock.
+    Dff {
+        /// Signal name of the Q output.
+        name: String,
+        /// Net driving the D pin (`None` until connected).
+        data: Option<NetId>,
+        /// Power-on value of Q.
+        init: bool,
+        /// Clock-to-Q propagation delay.
+        clock_to_q: Time,
+    },
+}
+
+impl Node {
+    /// The signal name of the node's output net.
+    pub fn name(&self) -> &str {
+        match self {
+            Node::Input { name } | Node::Gate { name, .. } | Node::Dff { name, .. } => name,
+        }
+    }
+}
+
+/// Structural summary of a circuit, as printed by benchmark reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of flip-flops.
+    pub dffs: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Total gate input pins (a literal-count proxy).
+    pub literals: usize,
+    /// Maximum gate depth (levels) of the combinational network.
+    pub depth: usize,
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PI, {} PO, {} FF, {} gates, {} literals, depth {}",
+            self.inputs, self.outputs, self.dffs, self.gates, self.literals, self.depth
+        )
+    }
+}
+
+/// A synchronous sequential circuit: a combinational gate network between
+/// edge-triggered D flip-flops on a single clock.
+///
+/// Construction is incremental: declare inputs and flip-flops, add gates
+/// bottom-up (each gate's inputs must already exist), connect flip-flop data
+/// pins last (this is what permits feedback), then [`validate`](Self::validate).
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::{Circuit, GateKind, Time};
+/// let mut c = Circuit::new("toggler");
+/// let q = c.add_dff("q", false, Time::ZERO);
+/// let nq = c.add_gate("nq", GateKind::Not, &[q], Time::UNIT);
+/// c.connect_dff_data("q", nq).unwrap();
+/// c.set_output(q);
+/// c.validate().unwrap();
+/// // One clock step from the initial state: q toggles 0 → 1.
+/// let values = c.eval(|_| false);
+/// assert!(values[nq.index()]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    by_name: HashMap<String, NetId>,
+    outputs: Vec<NetId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit {
+            name: name.into(),
+            nodes: Vec::new(),
+            by_name: HashMap::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The circuit's name (benchmark identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    fn insert_named(&mut self, node: Node) -> Result<NetId, NetlistError> {
+        let name = node.name().to_owned();
+        if self.by_name.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        let id = NetId(self.nodes.len() as u32);
+        self.by_name.insert(name, id);
+        self.nodes.push(node);
+        Ok(id)
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn try_add_input(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
+        self.insert_named(Node::Input { name: name.into() })
+    }
+
+    /// Declares a primary input, panicking on duplicate names.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        self.try_add_input(name).expect("input name collision")
+    }
+
+    /// Adds a gate with per-pin delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names, dangling input ids, arity
+    /// violations, or a `pin_delays` length differing from `inputs`.
+    pub fn try_add_gate_with_delays(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        inputs: &[NetId],
+        pin_delays: Vec<PinDelay>,
+    ) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        if inputs.len() < kind.min_inputs()
+            || kind.max_inputs().is_some_and(|max| inputs.len() > max)
+        {
+            return Err(NetlistError::BadArity {
+                name,
+                kind: kind.to_string(),
+                got: inputs.len(),
+            });
+        }
+        if pin_delays.len() != inputs.len() {
+            return Err(NetlistError::BadArity {
+                name,
+                kind: kind.to_string(),
+                got: pin_delays.len(),
+            });
+        }
+        for &i in inputs {
+            if i.index() >= self.nodes.len() {
+                return Err(NetlistError::UnknownName(format!("net #{}", i.0)));
+            }
+        }
+        self.insert_named(Node::Gate {
+            name,
+            kind,
+            inputs: inputs.to_vec(),
+            pin_delays,
+        })
+    }
+
+    /// Adds a gate whose pins all share one symmetric delay; panics on the
+    /// errors `try_add_gate_with_delays` reports.
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        inputs: &[NetId],
+        delay: Time,
+    ) -> NetId {
+        let delays = vec![PinDelay::symmetric(delay); inputs.len()];
+        self.try_add_gate_with_delays(name, kind, inputs, delays)
+            .expect("invalid gate")
+    }
+
+    /// Adds a gate with explicit per-pin delays; panics on error.
+    pub fn add_gate_with_delays(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        inputs: &[NetId],
+        pin_delays: Vec<PinDelay>,
+    ) -> NetId {
+        self.try_add_gate_with_delays(name, kind, inputs, pin_delays)
+            .expect("invalid gate")
+    }
+
+    /// Declares a flip-flop with an unconnected data pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn try_add_dff(
+        &mut self,
+        name: impl Into<String>,
+        init: bool,
+        clock_to_q: Time,
+    ) -> Result<NetId, NetlistError> {
+        self.insert_named(Node::Dff {
+            name: name.into(),
+            data: None,
+            init,
+            clock_to_q,
+        })
+    }
+
+    /// Declares a flip-flop, panicking on duplicate names.
+    pub fn add_dff(&mut self, name: impl Into<String>, init: bool, clock_to_q: Time) -> NetId {
+        self.try_add_dff(name, init, clock_to_q).expect("dff name collision")
+    }
+
+    /// Connects the data pin of the named flip-flop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownName`] if no node has the name, or
+    /// [`NetlistError::WrongNodeKind`] if it is not a flip-flop.
+    pub fn connect_dff_data(&mut self, name: &str, data: NetId) -> Result<(), NetlistError> {
+        let id = self
+            .lookup(name)
+            .ok_or_else(|| NetlistError::UnknownName(name.to_owned()))?;
+        match &mut self.nodes[id.index()] {
+            Node::Dff { data: slot, .. } => {
+                *slot = Some(data);
+                Ok(())
+            }
+            _ => Err(NetlistError::WrongNodeKind(name.to_owned())),
+        }
+    }
+
+    /// Marks a net as a primary output (duplicates are ignored).
+    pub fn set_output(&mut self, net: NetId) {
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Removes all primary-output markings.
+    pub fn clear_outputs(&mut self) {
+        self.outputs.clear();
+    }
+
+    /// Finds a net by signal name.
+    pub fn lookup(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The node driving `net`.
+    pub fn node(&self, net: NetId) -> &Node {
+        &self.nodes[net.index()]
+    }
+
+    /// The signal name of `net`.
+    pub fn net_name(&self, net: NetId) -> &str {
+        self.nodes[net.index()].name()
+    }
+
+    /// All nodes in insertion order, with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Ids of all primary inputs, in declaration order.
+    pub fn inputs(&self) -> Vec<NetId> {
+        self.iter()
+            .filter(|(_, n)| matches!(n, Node::Input { .. }))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all flip-flops, in declaration order.
+    pub fn dffs(&self) -> Vec<NetId> {
+        self.iter()
+            .filter(|(_, n)| matches!(n, Node::Dff { .. }))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all gates, in declaration order.
+    pub fn gates(&self) -> Vec<NetId> {
+        self.iter()
+            .filter(|(_, n)| matches!(n, Node::Gate { .. }))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Primary output nets, in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs().len()
+    }
+
+    /// Number of flip-flops.
+    pub fn num_dffs(&self) -> usize {
+        self.dffs().len()
+    }
+
+    /// Number of combinational gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates().len()
+    }
+
+    /// Total node count (inputs + gates + flip-flops).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The initial state vector, in [`dffs`](Self::dffs) order.
+    pub fn initial_state(&self) -> Vec<bool> {
+        self.iter()
+            .filter_map(|(_, n)| match n {
+                Node::Dff { init, .. } => Some(*init),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks structural sanity: every flip-flop connected and the gate
+    /// network acyclic.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnconnectedDff`] or [`NetlistError::CombinationalCycle`].
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (_, node) in self.iter() {
+            if let Node::Dff { name, data: None, .. } = node {
+                return Err(NetlistError::UnconnectedDff(name.clone()));
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// Topological order of the *gate* nodes (inputs and flip-flop outputs
+    /// are sources and are not listed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] naming a node on a gate
+    /// cycle not broken by a flip-flop.
+    pub fn topo_order(&self) -> Result<Vec<NetId>, NetlistError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks = vec![Mark::White; self.nodes.len()];
+        let mut order = Vec::new();
+        // Iterative DFS to survive deep chains.
+        for start in 0..self.nodes.len() {
+            if marks[start] != Mark::White {
+                continue;
+            }
+            if !matches!(self.nodes[start], Node::Gate { .. }) {
+                marks[start] = Mark::Black;
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            marks[start] = Mark::Grey;
+            while let Some(&(node, child)) = stack.last() {
+                let ins: &[NetId] = match &self.nodes[node] {
+                    Node::Gate { inputs, .. } => inputs,
+                    _ => &[],
+                };
+                if child < ins.len() {
+                    let next = ins[child].index();
+                    stack.last_mut().expect("non-empty").1 += 1;
+                    if !matches!(self.nodes[next], Node::Gate { .. }) {
+                        continue;
+                    }
+                    match marks[next] {
+                        Mark::White => {
+                            marks[next] = Mark::Grey;
+                            stack.push((next, 0));
+                        }
+                        Mark::Grey => {
+                            return Err(NetlistError::CombinationalCycle(
+                                self.nodes[next].name().to_owned(),
+                            ));
+                        }
+                        Mark::Black => {}
+                    }
+                } else {
+                    marks[node] = Mark::Black;
+                    order.push(NetId(node as u32));
+                    stack.pop();
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// Zero-delay functional evaluation: given values for the leaves
+    /// (primary inputs and flip-flop Q outputs, supplied by the closure),
+    /// returns the value of every net indexed by [`NetId::index`].
+    ///
+    /// Flip-flop entries hold their *current* (leaf) value; the next-state
+    /// value is the entry of the net wired to their data pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate network is cyclic (call
+    /// [`validate`](Self::validate) first).
+    pub fn eval<F: Fn(NetId) -> bool>(&self, leaf: F) -> Vec<bool> {
+        let order = self.topo_order().expect("cyclic circuit");
+        let mut values = vec![false; self.nodes.len()];
+        for (id, node) in self.iter() {
+            match node {
+                Node::Input { .. } | Node::Dff { .. } => values[id.index()] = leaf(id),
+                Node::Gate { .. } => {}
+            }
+        }
+        let mut buf = Vec::new();
+        for id in order {
+            if let Node::Gate { kind, inputs, .. } = &self.nodes[id.index()] {
+                buf.clear();
+                buf.extend(inputs.iter().map(|i| values[i.index()]));
+                values[id.index()] = kind.eval(&buf);
+            }
+        }
+        values
+    }
+
+    /// One synchronous step: given the current state (in [`dffs`] order) and
+    /// input values (in [`inputs`] order), returns `(next_state, outputs)`.
+    ///
+    /// [`dffs`]: Self::dffs
+    /// [`inputs`]: Self::inputs
+    pub fn step(&self, state: &[bool], inputs: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        let dff_ids = self.dffs();
+        let input_ids = self.inputs();
+        assert_eq!(state.len(), dff_ids.len(), "state width mismatch");
+        assert_eq!(inputs.len(), input_ids.len(), "input width mismatch");
+        let mut leaf_vals: HashMap<NetId, bool> = HashMap::new();
+        for (&id, &v) in dff_ids.iter().zip(state) {
+            leaf_vals.insert(id, v);
+        }
+        for (&id, &v) in input_ids.iter().zip(inputs) {
+            leaf_vals.insert(id, v);
+        }
+        let values = self.eval(|id| leaf_vals[&id]);
+        let next_state = dff_ids
+            .iter()
+            .map(|id| match self.node(*id) {
+                Node::Dff { data: Some(d), .. } => values[d.index()],
+                _ => unreachable!("validated dff"),
+            })
+            .collect();
+        let outputs = self.outputs.iter().map(|o| values[o.index()]).collect();
+        (next_state, outputs)
+    }
+
+    /// Extracts the transitive fan-in cone of `roots` as a standalone
+    /// circuit: every gate feeding a root is copied; flip-flops and primary
+    /// inputs on the boundary become the new circuit's leaves (flip-flops
+    /// whose data cone is not itself inside the slice become primary
+    /// inputs, preserving combinational-analysis semantics). The roots are
+    /// marked as primary outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a root id is out of range.
+    pub fn cone_of(&self, roots: &[NetId]) -> Circuit {
+        // Collect the cone.
+        let mut in_cone = vec![false; self.nodes.len()];
+        let mut stack: Vec<NetId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if in_cone[id.index()] {
+                continue;
+            }
+            in_cone[id.index()] = true;
+            if let Node::Gate { inputs, .. } = &self.nodes[id.index()] {
+                stack.extend(inputs.iter().copied());
+            }
+        }
+        let mut sliced = Circuit::new(format!("{}#cone", self.name));
+        let mut remap: HashMap<NetId, NetId> = HashMap::new();
+        // Leaves and gates in original arena order keeps dependencies
+        // satisfied.
+        for (id, node) in self.iter() {
+            if !in_cone[id.index()] {
+                continue;
+            }
+            let new_id = match node {
+                Node::Input { name } => sliced.add_input(name.clone()),
+                Node::Dff { name, .. } => sliced.add_input(name.clone()),
+                Node::Gate { name, kind, inputs, pin_delays } => {
+                    let new_inputs: Vec<NetId> =
+                        inputs.iter().map(|i| remap[i]).collect();
+                    sliced.add_gate_with_delays(
+                        name.clone(),
+                        *kind,
+                        &new_inputs,
+                        pin_delays.clone(),
+                    )
+                }
+            };
+            remap.insert(id, new_id);
+        }
+        for root in roots {
+            sliced.set_output(remap[root]);
+        }
+        sliced
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> CircuitStats {
+        let mut stats = CircuitStats {
+            inputs: self.num_inputs(),
+            outputs: self.outputs.len(),
+            dffs: self.num_dffs(),
+            gates: self.num_gates(),
+            ..CircuitStats::default()
+        };
+        let order = match self.topo_order() {
+            Ok(o) => o,
+            Err(_) => return stats,
+        };
+        let mut level = vec![0usize; self.nodes.len()];
+        for id in order {
+            if let Node::Gate { inputs, .. } = &self.nodes[id.index()] {
+                stats.literals += inputs.len();
+                let l = 1 + inputs.iter().map(|i| level[i.index()]).max().unwrap_or(0);
+                level[id.index()] = l;
+                stats.depth = stats.depth.max(l);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggler() -> Circuit {
+        let mut c = Circuit::new("toggler");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let nq = c.add_gate("nq", GateKind::Not, &[q], Time::UNIT);
+        c.connect_dff_data("q", nq).unwrap();
+        c.set_output(q);
+        c
+    }
+
+    #[test]
+    fn build_and_validate_toggler() {
+        let c = toggler();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_gates(), 1);
+        assert_eq!(c.initial_state(), vec![false]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Circuit::new("t");
+        c.add_input("a");
+        assert!(matches!(
+            c.try_add_input("a"),
+            Err(NetlistError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn arity_validation() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let err = c.try_add_gate_with_delays(
+            "g",
+            GateKind::Not,
+            &[a, b],
+            vec![PinDelay::default(); 2],
+        );
+        assert!(matches!(err, Err(NetlistError::BadArity { .. })));
+        // Mismatched delay vector length.
+        let err = c.try_add_gate_with_delays("g", GateKind::And, &[a, b], vec![PinDelay::default()]);
+        assert!(matches!(err, Err(NetlistError::BadArity { .. })));
+    }
+
+    #[test]
+    fn unconnected_dff_detected() {
+        let mut c = Circuit::new("t");
+        c.add_dff("q", false, Time::ZERO);
+        assert!(matches!(
+            c.validate(),
+            Err(NetlistError::UnconnectedDff(_))
+        ));
+    }
+
+    #[test]
+    fn connect_dff_wrong_kind() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        assert!(matches!(
+            c.connect_dff_data("a", a),
+            Err(NetlistError::WrongNodeKind(_))
+        ));
+        assert!(matches!(
+            c.connect_dff_data("nope", a),
+            Err(NetlistError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        // g1 = AND(a, g2); g2 = BUF(g1): cycle with no flip-flop.
+        // Build via direct ids: g2 references g1 before it exists, so build
+        // g1 with a placeholder then rewire is not supported; instead use a
+        // dff-free loop through the arena by constructing in an order the
+        // builder allows (self-loop).
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g1 = c.add_gate("g1", GateKind::And, &[a, a], Time::UNIT);
+        // Create a self-referential gate by pointing at itself.
+        let self_id = NetId(c.num_nodes() as u32);
+        let r = c.try_add_gate_with_delays(
+            "g2",
+            GateKind::Buf,
+            &[self_id],
+            vec![PinDelay::default()],
+        );
+        // Self-reference is caught as a dangling id at insert time.
+        assert!(r.is_err());
+        let _ = g1;
+    }
+
+    #[test]
+    fn toggler_steps_alternate() {
+        let c = toggler();
+        let mut state = c.initial_state();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let (next, outs) = c.step(&state, &[]);
+            seen.push(outs[0]);
+            state = next;
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn step_with_inputs() {
+        // q' = q XOR enable
+        let mut c = Circuit::new("xor_counter");
+        let en = c.add_input("en");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let nx = c.add_gate("nx", GateKind::Xor, &[q, en], Time::UNIT);
+        c.connect_dff_data("q", nx).unwrap();
+        c.set_output(q);
+        let (s1, _) = c.step(&[false], &[true]);
+        assert_eq!(s1, vec![true]);
+        let (s2, _) = c.step(&s1, &[false]);
+        assert_eq!(s2, vec![true]);
+        let (s3, _) = c.step(&s2, &[true]);
+        assert_eq!(s3, vec![false]);
+    }
+
+    #[test]
+    fn stats_depth_and_literals() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate("g1", GateKind::And, &[a, b], Time::UNIT);
+        let g2 = c.add_gate("g2", GateKind::Or, &[g1, b], Time::UNIT);
+        c.set_output(g2);
+        let s = c.stats();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.literals, 4);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.outputs, 1);
+        assert!(s.to_string().contains("depth 2"));
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let c = toggler();
+        let q = c.lookup("q").unwrap();
+        assert_eq!(c.net_name(q), "q");
+        assert!(c.lookup("missing").is_none());
+    }
+
+    #[test]
+    fn set_output_dedups() {
+        let mut c = toggler();
+        let q = c.lookup("q").unwrap();
+        c.set_output(q);
+        c.set_output(q);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn eval_exposes_all_nets() {
+        let c = toggler();
+        let q = c.lookup("q").unwrap();
+        let nq = c.lookup("nq").unwrap();
+        let vals = c.eval(|_| true);
+        assert!(vals[q.index()]);
+        assert!(!vals[nq.index()]);
+    }
+
+    #[test]
+    fn cone_of_slices_only_the_fanin() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let g1 = c.add_gate("g1", GateKind::And, &[a, q], Time::UNIT);
+        let g2 = c.add_gate("g2", GateKind::Or, &[b, b], Time::UNIT);
+        let g3 = c.add_gate("g3", GateKind::Xor, &[g1, a], Time::UNIT);
+        c.connect_dff_data("q", g2).unwrap();
+        c.set_output(g3);
+        let cone = c.cone_of(&[g3]);
+        // g2 and b are outside the cone of g3; q becomes an input.
+        assert!(cone.lookup("g2").is_none());
+        assert!(cone.lookup("b").is_none());
+        assert!(cone.lookup("g1").is_some());
+        assert_eq!(cone.num_dffs(), 0);
+        assert_eq!(cone.num_inputs(), 2); // a and the cut register q
+        assert_eq!(cone.outputs().len(), 1);
+        cone.validate().unwrap();
+        // Functional agreement on the sliced nets.
+        let g3_new = cone.lookup("g3").unwrap();
+        for mask in 0..8u32 {
+            let orig = c.eval(|id| {
+                [a, b, q].iter().position(|&x| x == id).map(|i| mask >> i & 1 == 1).unwrap_or(false)
+            });
+            let leaves = cone.inputs();
+            let sliced = cone.eval(|id| {
+                let name = cone.net_name(id);
+                let idx = if name == "a" { 0 } else { 2 };
+                let _ = &leaves;
+                mask >> idx & 1 == 1
+            });
+            assert_eq!(orig[g3.index()], sliced[g3_new.index()], "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn deep_chain_topo_order_is_iterative() {
+        // A 50k-deep buffer chain must not blow the stack.
+        let mut c = Circuit::new("deep");
+        let mut prev = c.add_input("a");
+        for i in 0..50_000 {
+            prev = c.add_gate(format!("b{i}"), GateKind::Buf, &[prev], Time::UNIT);
+        }
+        c.set_output(prev);
+        let order = c.topo_order().unwrap();
+        assert_eq!(order.len(), 50_000);
+    }
+}

@@ -1,0 +1,127 @@
+//! Delay annotation policies for untimed netlist sources.
+
+use crate::gate::GateKind;
+use crate::time::Time;
+
+/// How to assign maximum pin delays to gates parsed from an untimed format
+/// (`.bench` carries no timing).
+///
+/// All times are *maximum* delays; analyses model manufacturing variation by
+/// scaling these down (the paper's evaluation uses a 90% lower bound).
+/// The built-in tables use delays that are multiples of 0.01 time units so
+/// the 9/10 scaling stays exact in fixed point.
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::{DelayModel, GateKind, Time};
+/// let m = DelayModel::default();
+/// assert!(m.gate_delay(GateKind::Xor, 2) > m.gate_delay(GateKind::Not, 1));
+/// assert_eq!(DelayModel::Unit.gate_delay(GateKind::And, 4), Time::UNIT);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum DelayModel {
+    /// Every gate pin has delay exactly 1 time unit; flip-flop clock-to-Q
+    /// is zero. The classic "unit delay" model.
+    Unit,
+    /// A technology-like table: inverters are fastest, parity gates are
+    /// slowest, and each extra input pin adds a series-stack penalty.
+    #[default]
+    Mapped,
+    /// `base + per_input × (fanin − 1)` for every kind.
+    FaninWeighted {
+        /// Delay of a single-input gate.
+        base: Time,
+        /// Additional delay per extra input pin.
+        per_input: Time,
+    },
+}
+
+
+impl DelayModel {
+    /// The maximum pin-to-output delay for a gate of `kind` with `fanin`
+    /// input pins.
+    pub fn gate_delay(&self, kind: GateKind, fanin: usize) -> Time {
+        match *self {
+            DelayModel::Unit => Time::UNIT,
+            DelayModel::Mapped => {
+                let base_millis = match kind {
+                    GateKind::Not => 1_000,
+                    GateKind::Buf => 1_200,
+                    GateKind::Nand => 1_400,
+                    GateKind::Nor => 1_600,
+                    GateKind::And => 1_800,
+                    GateKind::Or => 2_000,
+                    GateKind::Xor => 2_600,
+                    GateKind::Xnor => 2_800,
+                };
+                let stack = 200 * fanin.saturating_sub(1) as i64;
+                Time::from_millis(base_millis + stack)
+            }
+            DelayModel::FaninWeighted { base, per_input } => {
+                base + per_input * fanin.saturating_sub(1) as i64
+            }
+        }
+    }
+
+    /// Clock-to-Q delay assigned to flip-flops.
+    pub fn clock_to_q(&self) -> Time {
+        match self {
+            DelayModel::Unit => Time::ZERO,
+            DelayModel::Mapped => Time::from_millis(500),
+            DelayModel::FaninWeighted { .. } => Time::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_model_is_flat() {
+        for kind in GateKind::ALL {
+            for fanin in 1..5 {
+                assert_eq!(DelayModel::Unit.gate_delay(kind, fanin), Time::UNIT);
+            }
+        }
+        assert_eq!(DelayModel::Unit.clock_to_q(), Time::ZERO);
+    }
+
+    #[test]
+    fn mapped_monotone_in_fanin() {
+        let m = DelayModel::Mapped;
+        for kind in GateKind::ALL {
+            assert!(m.gate_delay(kind, 4) > m.gate_delay(kind, 2));
+        }
+    }
+
+    #[test]
+    fn mapped_delays_exact_under_90pct_scaling() {
+        let m = DelayModel::Mapped;
+        for kind in GateKind::ALL {
+            for fanin in 1..6 {
+                let d = m.gate_delay(kind, fanin);
+                // 90% of the delay must be representable exactly.
+                assert_eq!(d.scale_rational(9, 10).millis() * 10, d.millis() * 9);
+            }
+        }
+    }
+
+    #[test]
+    fn fanin_weighted_formula() {
+        let m = DelayModel::FaninWeighted {
+            base: Time::from_f64(1.0),
+            per_input: Time::from_f64(0.5),
+        };
+        assert_eq!(m.gate_delay(GateKind::And, 1), Time::from_f64(1.0));
+        assert_eq!(m.gate_delay(GateKind::And, 3), Time::from_f64(2.0));
+    }
+
+    #[test]
+    fn default_is_mapped() {
+        assert_eq!(DelayModel::default(), DelayModel::Mapped);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for netlist construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing netlists.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// Two nodes were declared with the same name.
+    DuplicateName(String),
+    /// A referenced signal name was never defined.
+    UnknownName(String),
+    /// A gate was instantiated with an input count its kind rejects.
+    BadArity {
+        /// Offending node name.
+        name: String,
+        /// Gate keyword.
+        kind: String,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// The combinational network contains a cycle not broken by a flip-flop.
+    CombinationalCycle(String),
+    /// A flip-flop's data input was never connected.
+    UnconnectedDff(String),
+    /// A parse error in a `.bench` source, with 1-based line number.
+    Parse {
+        /// Line number in the source text.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The named node exists but is not of the expected kind.
+    WrongNodeKind(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate signal name `{n}`"),
+            NetlistError::UnknownName(n) => write!(f, "unknown signal name `{n}`"),
+            NetlistError::BadArity { name, kind, got } => {
+                write!(f, "gate `{name}` of kind {kind} cannot take {got} input(s)")
+            }
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through `{n}` (not broken by a flip-flop)")
+            }
+            NetlistError::UnconnectedDff(n) => {
+                write!(f, "flip-flop `{n}` has no data input connected")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "bench parse error at line {line}: {message}")
+            }
+            NetlistError::WrongNodeKind(n) => {
+                write!(f, "node `{n}` is not of the expected kind")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetlistError::DuplicateName("g1".into())
+            .to_string()
+            .contains("g1"));
+        let e = NetlistError::Parse { line: 7, message: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+        let e = NetlistError::BadArity { name: "n".into(), kind: "NOT".into(), got: 3 };
+        assert!(e.to_string().contains("3 input"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(NetlistError::UnknownName("x".into()));
+        assert!(e.to_string().contains("unknown"));
+    }
+}

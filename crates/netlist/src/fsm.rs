@@ -1,0 +1,224 @@
+//! The finite-state-machine view of a circuit.
+//!
+//! The paper's Figure 3 casts a synchronous circuit as combinational logic
+//! between register boundaries. This module computes that view: the *leaves*
+//! of the combinational network (flip-flop Q outputs and primary inputs) and
+//! its *sinks* (flip-flop D pins and primary outputs), with the source-side
+//! clock-to-Q delay each leaf contributes to a register-to-register path
+//! (the paper's `k_ij = h_ij + d_fj`).
+
+use crate::circuit::{Circuit, NetId, Node};
+use crate::error::NetlistError;
+use crate::time::Time;
+
+/// What a combinational sink feeds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SinkKind {
+    /// The data pin of the `index`-th flip-flop (in [`Circuit::dffs`] order).
+    NextState {
+        /// Position in [`Circuit::dffs`] order.
+        index: usize,
+    },
+    /// The `index`-th primary output (in [`Circuit::outputs`] order).
+    Output {
+        /// Position in [`Circuit::outputs`] order.
+        index: usize,
+    },
+}
+
+/// A combinational sink: the net to analyze and what it drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Sink {
+    /// The net whose cone is analyzed.
+    pub net: NetId,
+    /// What the net feeds.
+    pub kind: SinkKind,
+}
+
+/// Leaves and sinks of the combinational network of a sequential circuit.
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::{Circuit, FsmView, GateKind, Time};
+/// let mut c = Circuit::new("t");
+/// let q = c.add_dff("q", false, Time::ZERO);
+/// let nq = c.add_gate("nq", GateKind::Not, &[q], Time::UNIT);
+/// c.connect_dff_data("q", nq).unwrap();
+/// c.set_output(q);
+/// let view = FsmView::new(&c).unwrap();
+/// assert_eq!(view.num_state_bits(), 1);
+/// assert_eq!(view.sinks().len(), 2); // one next-state function, one output
+/// ```
+#[derive(Clone, Debug)]
+pub struct FsmView<'c> {
+    circuit: &'c Circuit,
+    /// State leaves (flip-flop Q nets) followed by input leaves, giving each
+    /// leaf a dense index used by the TBF extraction.
+    leaves: Vec<NetId>,
+    num_state: usize,
+    sinks: Vec<Sink>,
+}
+
+impl<'c> FsmView<'c> {
+    /// Builds the FSM view of a validated circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Circuit::validate`] errors (unconnected flip-flops,
+    /// combinational cycles).
+    pub fn new(circuit: &'c Circuit) -> Result<Self, NetlistError> {
+        circuit.validate()?;
+        let dffs = circuit.dffs();
+        let inputs = circuit.inputs();
+        let num_state = dffs.len();
+        let mut leaves = dffs.clone();
+        leaves.extend(inputs);
+        let mut sinks = Vec::new();
+        for (index, &ff) in dffs.iter().enumerate() {
+            match circuit.node(ff) {
+                Node::Dff { data: Some(d), .. } => sinks.push(Sink {
+                    net: *d,
+                    kind: SinkKind::NextState { index },
+                }),
+                _ => unreachable!("validated"),
+            }
+        }
+        for (index, &net) in circuit.outputs().iter().enumerate() {
+            sinks.push(Sink { net, kind: SinkKind::Output { index } });
+        }
+        Ok(FsmView { circuit, leaves, num_state, sinks })
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// All leaves: flip-flop Q nets first, then primary inputs.
+    pub fn leaves(&self) -> &[NetId] {
+        &self.leaves
+    }
+
+    /// Number of flip-flops (the leading leaves).
+    pub fn num_state_bits(&self) -> usize {
+        self.num_state
+    }
+
+    /// Number of primary-input leaves.
+    pub fn num_input_bits(&self) -> usize {
+        self.leaves.len() - self.num_state
+    }
+
+    /// The dense leaf index of `net`, if it is a leaf.
+    pub fn leaf_index(&self, net: NetId) -> Option<usize> {
+        self.leaves.iter().position(|&l| l == net)
+    }
+
+    /// Whether leaf `index` is a state bit (as opposed to a primary input).
+    pub fn is_state_leaf(&self, index: usize) -> bool {
+        index < self.num_state
+    }
+
+    /// The clock-to-Q delay contributed by leaf `index` at the *source* side
+    /// of any register-to-register path starting there (zero for primary
+    /// inputs, which the paper assumes synchronized to the clock edge).
+    pub fn leaf_source_delay(&self, index: usize) -> Time {
+        if !self.is_state_leaf(index) {
+            return Time::ZERO;
+        }
+        match self.circuit.node(self.leaves[index]) {
+            Node::Dff { clock_to_q, .. } => *clock_to_q,
+            _ => unreachable!("state leaf is a dff"),
+        }
+    }
+
+    /// The combinational sinks: next-state functions first, then outputs.
+    pub fn sinks(&self) -> &[Sink] {
+        &self.sinks
+    }
+
+    /// Only the next-state sinks, in flip-flop order.
+    pub fn next_state_sinks(&self) -> impl Iterator<Item = &Sink> {
+        self.sinks
+            .iter()
+            .filter(|s| matches!(s.kind, SinkKind::NextState { .. }))
+    }
+
+    /// Only the output sinks, in output order.
+    pub fn output_sinks(&self) -> impl Iterator<Item = &Sink> {
+        self.sinks
+            .iter()
+            .filter(|s| matches!(s.kind, SinkKind::Output { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    fn two_bit_machine() -> Circuit {
+        let mut c = Circuit::new("two_bit");
+        let en = c.add_input("en");
+        let q0 = c.add_dff("q0", false, Time::from_f64(0.5));
+        let q1 = c.add_dff("q1", true, Time::ZERO);
+        let n0 = c.add_gate("n0", GateKind::Xor, &[q0, en], Time::UNIT);
+        let n1 = c.add_gate("n1", GateKind::And, &[q0, q1], Time::UNIT);
+        c.connect_dff_data("q0", n0).unwrap();
+        c.connect_dff_data("q1", n1).unwrap();
+        c.set_output(n1);
+        c
+    }
+
+    #[test]
+    fn leaves_order_state_then_inputs() {
+        let c = two_bit_machine();
+        let v = FsmView::new(&c).unwrap();
+        assert_eq!(v.num_state_bits(), 2);
+        assert_eq!(v.num_input_bits(), 1);
+        assert_eq!(c.net_name(v.leaves()[0]), "q0");
+        assert_eq!(c.net_name(v.leaves()[1]), "q1");
+        assert_eq!(c.net_name(v.leaves()[2]), "en");
+        assert!(v.is_state_leaf(0));
+        assert!(!v.is_state_leaf(2));
+    }
+
+    #[test]
+    fn sinks_cover_state_and_outputs() {
+        let c = two_bit_machine();
+        let v = FsmView::new(&c).unwrap();
+        assert_eq!(v.sinks().len(), 3);
+        assert_eq!(v.next_state_sinks().count(), 2);
+        assert_eq!(v.output_sinks().count(), 1);
+        let s0 = &v.sinks()[0];
+        assert_eq!(s0.kind, SinkKind::NextState { index: 0 });
+        assert_eq!(c.net_name(s0.net), "n0");
+    }
+
+    #[test]
+    fn leaf_source_delay_is_clock_to_q() {
+        let c = two_bit_machine();
+        let v = FsmView::new(&c).unwrap();
+        assert_eq!(v.leaf_source_delay(0), Time::from_f64(0.5));
+        assert_eq!(v.leaf_source_delay(1), Time::ZERO);
+        assert_eq!(v.leaf_source_delay(2), Time::ZERO); // primary input
+    }
+
+    #[test]
+    fn leaf_index_lookup() {
+        let c = two_bit_machine();
+        let v = FsmView::new(&c).unwrap();
+        let en = c.lookup("en").unwrap();
+        assert_eq!(v.leaf_index(en), Some(2));
+        let n0 = c.lookup("n0").unwrap();
+        assert_eq!(v.leaf_index(n0), None);
+    }
+
+    #[test]
+    fn invalid_circuit_rejected() {
+        let mut c = Circuit::new("bad");
+        c.add_dff("q", false, Time::ZERO);
+        assert!(FsmView::new(&c).is_err());
+    }
+}

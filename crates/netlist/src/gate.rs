@@ -1,0 +1,274 @@
+//! Gate primitives and per-pin delays.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The combinational gate functions of the ISCAS'89 benchmark alphabet.
+///
+/// `Buf` and `Not` are unary; every other kind accepts one or more inputs
+/// ([`GateKind::min_inputs`]). Gates evaluate with the usual semantics;
+/// delays are a property of the instantiating circuit node, not of the kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Identity.
+    Buf,
+    /// Negation.
+    Not,
+    /// Conjunction.
+    And,
+    /// Negated conjunction.
+    Nand,
+    /// Disjunction.
+    Or,
+    /// Negated disjunction.
+    Nor,
+    /// Parity (odd number of ones).
+    Xor,
+    /// Negated parity.
+    Xnor,
+}
+
+impl GateKind {
+    /// Every kind, for iteration in tests and generators.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Minimum number of inputs the kind accepts.
+    pub fn min_inputs(self) -> usize {
+        match self {
+            GateKind::Buf | GateKind::Not => 1,
+            _ => 1,
+        }
+    }
+
+    /// Maximum number of inputs the kind accepts (`None` = unbounded).
+    pub fn max_inputs(self) -> Option<usize> {
+        match self {
+            GateKind::Buf | GateKind::Not => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Whether the output is the complement of the underlying monotone
+    /// function (NAND, NOR, NOT, XNOR).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
+    }
+
+    /// Evaluates the gate function on a slice of input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, or has more than one element for a unary
+    /// kind.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(!inputs.is_empty(), "gate with no inputs");
+        match self {
+            GateKind::Buf => {
+                assert_eq!(inputs.len(), 1, "Buf is unary");
+                inputs[0]
+            }
+            GateKind::Not => {
+                assert_eq!(inputs.len(), 1, "Not is unary");
+                !inputs[0]
+            }
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+        }
+    }
+
+    /// The `.bench` keyword for this kind.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::Buf => "BUFF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Parses a `.bench` keyword (case-insensitive). `BUF` is accepted as an
+    /// alias of `BUFF`.
+    pub fn from_bench_keyword(word: &str) -> Option<GateKind> {
+        match word.to_ascii_uppercase().as_str() {
+            "BUFF" | "BUF" => Some(GateKind::Buf),
+            "NOT" => Some(GateKind::Not),
+            "AND" => Some(GateKind::And),
+            "NAND" => Some(GateKind::Nand),
+            "OR" => Some(GateKind::Or),
+            "NOR" => Some(GateKind::Nor),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+/// Maximum propagation delays from one input pin to the gate output,
+/// separately for rising and falling output transitions.
+///
+/// The paper's TBF gate models (Figure 1) allow each input-output pair its
+/// own rising delay `τ_r` and falling delay `τ_f`; a symmetric pin has
+/// `rise == fall`. These are *maximum* delays — analyses that model
+/// manufacturing variation derive the lower bound by scaling (the paper uses
+/// 90%).
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::{PinDelay, Time};
+/// let sym = PinDelay::symmetric(Time::from_f64(2.0));
+/// assert_eq!(sym.rise, sym.fall);
+/// let asym = PinDelay::new(Time::from_f64(1.0), Time::from_f64(2.0));
+/// assert_eq!(asym.max(), Time::from_f64(2.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct PinDelay {
+    /// Maximum delay when the output rises.
+    pub rise: Time,
+    /// Maximum delay when the output falls.
+    pub fall: Time,
+}
+
+impl PinDelay {
+    /// A pin with distinct rising and falling delays.
+    pub fn new(rise: Time, fall: Time) -> Self {
+        PinDelay { rise, fall }
+    }
+
+    /// A pin whose rising and falling delays coincide.
+    pub fn symmetric(delay: Time) -> Self {
+        PinDelay { rise: delay, fall: delay }
+    }
+
+    /// Whether rise and fall delays coincide.
+    pub fn is_symmetric(self) -> bool {
+        self.rise == self.fall
+    }
+
+    /// The larger of the two delays (the worst case through the pin).
+    pub fn max(self) -> Time {
+        self.rise.max(self.fall)
+    }
+
+    /// The smaller of the two delays (the best case through the pin).
+    pub fn min(self) -> Time {
+        self.rise.min(self.fall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_all_kinds_two_inputs() {
+        let cases = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expect) in cases {
+            for (i, (a, b)) in [(false, false), (false, true), (true, false), (true, true)]
+                .into_iter()
+                .enumerate()
+            {
+                assert_eq!(kind.eval(&[a, b]), expect[i], "{kind} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_kinds() {
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(!GateKind::Buf.eval(&[false]));
+        assert!(!GateKind::Not.eval(&[true]));
+        assert!(GateKind::Not.eval(&[false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "Not is unary")]
+    fn unary_rejects_two_inputs() {
+        GateKind::Not.eval(&[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gate with no inputs")]
+    fn empty_inputs_panic() {
+        GateKind::And.eval(&[]);
+    }
+
+    #[test]
+    fn wide_gates() {
+        assert!(GateKind::And.eval(&[true; 5]));
+        assert!(!GateKind::And.eval(&[true, true, false, true]));
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+        assert!(!GateKind::Xor.eval(&[true, true, true, true]));
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kind in GateKind::ALL {
+            assert_eq!(GateKind::from_bench_keyword(kind.bench_keyword()), Some(kind));
+        }
+        assert_eq!(GateKind::from_bench_keyword("buf"), Some(GateKind::Buf));
+        assert_eq!(GateKind::from_bench_keyword("DFF"), None);
+    }
+
+    #[test]
+    fn inverting_classification() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        // De Morgan sanity: NAND(a,b) == NOT(AND(a,b)) on all four inputs.
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(GateKind::Nand.eval(&[a, b]), !GateKind::And.eval(&[a, b]));
+            }
+        }
+    }
+
+    #[test]
+    fn pin_delay_accessors() {
+        let p = PinDelay::new(Time::from_f64(1.0), Time::from_f64(3.0));
+        assert_eq!(p.max(), Time::from_f64(3.0));
+        assert_eq!(p.min(), Time::from_f64(1.0));
+        assert!(!p.is_symmetric());
+        assert!(PinDelay::symmetric(Time::UNIT).is_symmetric());
+    }
+
+    #[test]
+    fn arity_limits() {
+        assert_eq!(GateKind::Not.max_inputs(), Some(1));
+        assert_eq!(GateKind::And.max_inputs(), None);
+        assert_eq!(GateKind::Or.min_inputs(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Gate-level netlists, delay models, and ISCAS'89 `.bench` parsing.
+//!
+//! This crate is the structural substrate of the minimum-cycle-time
+//! reproduction: it represents synchronous sequential circuits exactly as the
+//! DAC 1994 paper assumes them — a combinational gate network between
+//! edge-triggered D flip-flops driven by a single common clock (the paper's
+//! Figure 3), with bounded per-pin gate delays.
+//!
+//! Highlights:
+//!
+//! * [`Circuit`] — an arena-based netlist with primary inputs, logic gates
+//!   carrying per-pin rise/fall delays, and D flip-flops with initial values;
+//! * [`Time`] — exact fixed-point time (thousandths of a unit), so the
+//!   breakpoint arithmetic `τ = k / j` performed by the cycle-time sweep is
+//!   exact rational arithmetic rather than floating-point guessing;
+//! * [`parse_bench`] / [`write_bench`] — the ISCAS'89 benchmark interchange
+//!   format used by the paper's evaluation;
+//! * [`DelayModel`] — policies for annotating delays onto parsed netlists
+//!   (the `.bench` format itself is untimed);
+//! * [`FsmView`] — the finite-state-machine view (leaves = flip-flop outputs
+//!   and primary inputs; sinks = flip-flop data pins and primary outputs)
+//!   consumed by the Timed Boolean Function extraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use mct_netlist::{Circuit, GateKind, Time};
+//!
+//! // The paper's Figure-2 circuit: one flip-flop, an inverter feedback,
+//! // and a redundant long path.
+//! let mut c = Circuit::new("fig2");
+//! let f = c.add_dff("f", true, Time::ZERO);
+//! let cbuf = c.add_gate("c", GateKind::Buf, &[f], Time::from_f64(1.5));
+//! let d = c.add_gate("d", GateKind::Not, &[f], Time::from_f64(4.0));
+//! let e = c.add_gate("e", GateKind::Buf, &[f], Time::from_f64(5.0));
+//! let a = c.add_gate("a", GateKind::And, &[cbuf, d, e], Time::ZERO);
+//! let b = c.add_gate("b", GateKind::Not, &[f], Time::from_f64(2.0));
+//! let g = c.add_gate("g", GateKind::Or, &[a, b], Time::ZERO);
+//! c.connect_dff_data("f", g).unwrap();
+//! c.set_output(f);
+//! assert_eq!(c.num_dffs(), 1);
+//! assert!(c.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bench_io;
+mod blif_io;
+mod circuit;
+mod delay_model;
+mod error;
+mod fsm;
+mod gate;
+mod time;
+
+pub use bench_io::{parse_bench, write_bench};
+pub use blif_io::{parse_blif, write_blif};
+pub use circuit::{Circuit, CircuitStats, NetId, Node};
+pub use delay_model::DelayModel;
+pub use error::NetlistError;
+pub use fsm::{FsmView, Sink, SinkKind};
+pub use gate::{GateKind, PinDelay};
+pub use time::Time;
+
+#[cfg(test)]
+mod proptests;

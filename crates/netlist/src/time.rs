@@ -1,0 +1,233 @@
+//! Exact fixed-point time values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Number of fixed-point quanta per time unit.
+pub(crate) const SCALE: i64 = 1000;
+
+/// A point or span of time in thousandths of a time unit.
+///
+/// The minimum-cycle-time sweep examines candidate clock periods at the exact
+/// rational breakpoints `k / j` where `k` is a register-to-register path
+/// delay and `j` a small positive integer. Representing delays as integers
+/// (in milli-units) keeps that arithmetic exact; `f64` delays would make the
+/// floor terms `⌊−k/τ⌋` of the paper numerically fragile precisely at the
+/// points the algorithm must evaluate them.
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::Time;
+/// let a = Time::from_f64(1.5);
+/// let b = Time::from_f64(4.0);
+/// assert_eq!((a + b).as_f64(), 5.5);
+/// assert_eq!(a.millis(), 1500);
+/// assert!(a < b);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Time(i64);
+
+impl Time {
+    /// The zero duration.
+    pub const ZERO: Time = Time(0);
+
+    /// One whole time unit.
+    pub const UNIT: Time = Time(SCALE);
+
+    /// Creates a time from whole milli-units (thousandths of a unit).
+    pub fn from_millis(millis: i64) -> Self {
+        Time(millis)
+    }
+
+    /// Creates a time from a floating-point number of units, rounding to the
+    /// nearest milli-unit.
+    pub fn from_f64(units: f64) -> Self {
+        Time((units * SCALE as f64).round() as i64)
+    }
+
+    /// The raw value in milli-units.
+    pub fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// The value as floating-point units (for reporting only).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / SCALE as f64
+    }
+
+    /// Whether this is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this is a non-negative span.
+    pub fn is_non_negative(self) -> bool {
+        self.0 >= 0
+    }
+
+    /// Scales by the exact rational `num / den`, rounding toward negative
+    /// infinity. Used to derive minimum delays from maximum delays (the
+    /// paper's evaluation lets every gate delay vary within
+    /// `[0.9·d, d]`); rounding down keeps the derived lower bound sound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn scale_rational(self, num: i64, den: i64) -> Self {
+        assert!(den != 0, "zero denominator");
+        Time((self.0 * num).div_euclid(den))
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: Self) -> Self {
+        Time(self.0.max(other.0))
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: Self) -> Self {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl Mul<i64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: i64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let units = self.0 / SCALE;
+        let frac = (self.0 % SCALE).abs();
+        if frac == 0 {
+            write!(f, "{units}")
+        } else {
+            let mut frac_str = format!("{frac:03}");
+            while frac_str.ends_with('0') {
+                frac_str.pop();
+            }
+            if self.0 < 0 && units == 0 {
+                write!(f, "-0.{frac_str}")
+            } else {
+                write!(f, "{units}.{frac_str}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        for v in [0.0, 1.5, 4.0, 0.001, 123.456] {
+            assert_eq!(Time::from_f64(v).as_f64(), v);
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_millis(1500);
+        let b = Time::from_millis(2500);
+        assert_eq!(a + b, Time::from_millis(4000));
+        assert_eq!(b - a, Time::from_millis(1000));
+        assert_eq!(a * 3, Time::from_millis(4500));
+        assert_eq!(-a, Time::from_millis(-1500));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        let a = Time::from_f64(1.0);
+        let b = Time::from_f64(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Time = [1.0, 2.5, 0.5].iter().map(|&v| Time::from_f64(v)).sum();
+        assert_eq!(total, Time::from_f64(4.0));
+    }
+
+    #[test]
+    fn scale_rational_rounds_down() {
+        // 90% of 1.5 units = 1.35 units exactly.
+        assert_eq!(Time::from_f64(1.5).scale_rational(9, 10), Time::from_f64(1.35));
+        // 90% of 5 milli-units = 4.5 → rounds down to 4.
+        assert_eq!(Time::from_millis(5).scale_rational(9, 10), Time::from_millis(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn scale_rational_zero_den_panics() {
+        let _ = Time::UNIT.scale_rational(1, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time::from_f64(1.5).to_string(), "1.5");
+        assert_eq!(Time::from_f64(4.0).to_string(), "4");
+        assert_eq!(Time::from_millis(123).to_string(), "0.123");
+        assert_eq!(Time::from_millis(-500).to_string(), "-0.5");
+        assert_eq!(Time::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Time::ZERO.is_zero());
+        assert!(Time::UNIT.is_non_negative());
+        assert!(!Time::from_millis(-1).is_non_negative());
+    }
+}

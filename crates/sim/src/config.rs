@@ -1,0 +1,93 @@
+//! Simulation configuration.
+
+use mct_netlist::Time;
+
+/// How concrete pin delays are drawn from the netlist's maximum delays.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum DelayMode {
+    /// Every pin at its maximum delay (the worst case).
+    Max,
+    /// Every pin scaled by the fixed rational `num/den` (e.g. `(9, 10)` for
+    /// the uniform 90% corner).
+    Scaled {
+        /// Numerator of the scale factor.
+        num: i64,
+        /// Denominator of the scale factor.
+        den: i64,
+    },
+    /// Each pin independently scaled by a factor drawn uniformly from
+    /// `[min_factor_percent/100, 1]`, seeded for reproducibility — the
+    /// manufacturing-variation model of the paper's evaluation.
+    RandomUniform {
+        /// Lower bound of the factor in percent (the paper uses 90).
+        min_factor_percent: u8,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Configuration of one timing simulation run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimConfig {
+    /// Clock period.
+    pub period: Time,
+    /// Number of clock edges to simulate.
+    pub cycles: usize,
+    /// Flip-flop setup time (data must be stable this long before an edge).
+    pub setup: Time,
+    /// Flip-flop hold time (data must stay stable this long after an edge).
+    pub hold: Time,
+    /// Delay sampling policy.
+    pub delay_mode: DelayMode,
+}
+
+impl SimConfig {
+    /// A configuration at the given period: 64 cycles, zero setup/hold,
+    /// maximum delays.
+    pub fn at_period(period: Time) -> Self {
+        SimConfig {
+            period,
+            cycles: 64,
+            setup: Time::ZERO,
+            hold: Time::ZERO,
+            delay_mode: DelayMode::Max,
+        }
+    }
+
+    /// Sets the number of simulated edges.
+    pub fn with_cycles(mut self, cycles: usize) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Sets the setup/hold window.
+    pub fn with_setup_hold(mut self, setup: Time, hold: Time) -> Self {
+        self.setup = setup;
+        self.hold = hold;
+        self
+    }
+
+    /// Sets the delay sampling policy.
+    pub fn with_delay_mode(mut self, mode: DelayMode) -> Self {
+        self.delay_mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::at_period(Time::from_f64(3.0))
+            .with_cycles(10)
+            .with_setup_hold(Time::from_f64(0.1), Time::from_f64(0.05))
+            .with_delay_mode(DelayMode::Scaled { num: 9, den: 10 });
+        assert_eq!(c.period, Time::from_f64(3.0));
+        assert_eq!(c.cycles, 10);
+        assert_eq!(c.setup, Time::from_f64(0.1));
+        assert_eq!(c.delay_mode, DelayMode::Scaled { num: 9, den: 10 });
+    }
+}

@@ -1,0 +1,78 @@
+//! Event-driven gate-level timing simulation with clocked flip-flops and
+//! setup/hold checking.
+//!
+//! This is the *dynamic* golden model of the suite: where the symbolic
+//! engine ([`mct-core`](../mct_core/index.html)) certifies a clock period by
+//! BDD equality, the simulator simply runs the circuit with concrete
+//! real-valued delays and samples the registers at every edge. The two views
+//! meet in the integration tests: at any period above the certified bound
+//! the sampled behaviour must equal the zero-delay functional behaviour, and
+//! below the exact minimum cycle time a divergence must be observable for
+//! some delay assignment and input sequence.
+//!
+//! The model is a per-pin transport-delay simulation (matching the TBF gate
+//! models): an input change propagates to the gate output after the pin's
+//! rise or fall delay, selected by the direction of the *output* transition;
+//! glitches propagate. Flip-flops sample their data input with the value
+//! settled strictly before the clock edge, and drive their outputs
+//! clock-to-Q later. Data transitions inside the setup/hold window around an
+//! edge are recorded as [`TimingViolation`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use mct_netlist::{Circuit, GateKind, Time};
+//! use mct_sim::{SimConfig, Simulator};
+//!
+//! let mut c = Circuit::new("toggler");
+//! let q = c.add_dff("q", false, Time::ZERO);
+//! let nq = c.add_gate("nq", GateKind::Not, &[q], Time::UNIT);
+//! c.connect_dff_data("q", nq).unwrap();
+//! c.set_output(q);
+//!
+//! let config = SimConfig::at_period(Time::from_f64(2.0)).with_cycles(4);
+//! let trace = Simulator::new(&c).unwrap().run(&config, |_cycle, _input| false);
+//! // The register toggles every cycle: 1, 0, 1, 0.
+//! let bits: Vec<bool> = trace.states.iter().map(|s| s[0]).collect();
+//! assert_eq!(bits, vec![true, false, true, false]);
+//! assert!(trace.violations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod vcd;
+
+pub use config::{DelayMode, SimConfig};
+pub use engine::{NetWave, SimTrace, Simulator, TimingViolation};
+pub use vcd::write_vcd;
+
+use mct_netlist::Circuit;
+
+/// Runs the zero-delay functional model for `cycles` steps — the reference
+/// the timing simulation is compared against.
+///
+/// Returns `(states, outputs)`: `states[n]` is the register vector captured
+/// at clock edge `n+1` (i.e. `f(state_n, inputs(n))`), and `outputs[n]` the
+/// combinational outputs settled during cycle `n` — both exactly what
+/// [`Simulator::run`] samples just before edge `n+1`.
+pub fn functional_trace(
+    circuit: &Circuit,
+    cycles: usize,
+    inputs: impl Fn(usize, usize) -> bool,
+) -> (Vec<Vec<bool>>, Vec<Vec<bool>>) {
+    let mut state = circuit.initial_state();
+    let num_inputs = circuit.num_inputs();
+    let mut states = Vec::with_capacity(cycles);
+    let mut outputs = Vec::with_capacity(cycles);
+    for n in 0..cycles {
+        let ins: Vec<bool> = (0..num_inputs).map(|i| inputs(n, i)).collect();
+        let (next, outs) = circuit.step(&state, &ins);
+        state = next.clone();
+        states.push(next);
+        outputs.push(outs);
+    }
+    (states, outputs)
+}

@@ -1,0 +1,145 @@
+//! Value Change Dump (IEEE 1364) export of simulation waveforms.
+
+use crate::engine::NetWave;
+use mct_netlist::Time;
+use std::fmt::Write as _;
+
+/// Encodes a net index as a VCD identifier (printable ASCII `!`..`~`,
+/// little-endian base 94).
+fn vcd_id(mut index: usize) -> String {
+    let mut id = String::new();
+    loop {
+        id.push((b'!' + (index % 94) as u8) as char);
+        index /= 94;
+        if index == 0 {
+            return id;
+        }
+        index -= 1;
+    }
+}
+
+/// Renders recorded waveforms as VCD text. One milli-unit of [`Time`] is
+/// one VCD time step (`1ps` timescale by convention, so a unit delay of
+/// 1.0 spans 1000 steps).
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::{Circuit, GateKind, Time};
+/// use mct_sim::{write_vcd, SimConfig, Simulator};
+///
+/// let mut c = Circuit::new("toggler");
+/// let q = c.add_dff("q", false, Time::ZERO);
+/// let nq = c.add_gate("nq", GateKind::Not, &[q], Time::UNIT);
+/// c.connect_dff_data("q", nq).unwrap();
+/// c.set_output(q);
+/// let sim = Simulator::new(&c).unwrap();
+/// let (_, waves) = sim.run_recording(
+///     &SimConfig::at_period(Time::from_f64(2.0)).with_cycles(4),
+///     |_, _| false,
+/// );
+/// let vcd = write_vcd("toggler", &waves);
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#2000"));
+/// ```
+pub fn write_vcd(module: &str, waves: &[NetWave]) -> String {
+    let mut out = String::new();
+    out.push_str("$timescale 1ps $end\n");
+    let _ = writeln!(out, "$scope module {module} $end");
+    for (i, wave) in waves.iter().enumerate() {
+        let _ = writeln!(out, "$var wire 1 {} {} $end", vcd_id(i), wave.name);
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    // Initial values at time 0 of the dump (pre-simulation settled state).
+    out.push_str("$dumpvars\n");
+    for (i, wave) in waves.iter().enumerate() {
+        let _ = writeln!(out, "{}{}", u8::from(wave.initial), vcd_id(i));
+    }
+    out.push_str("$end\n");
+    // Merge all transitions into one time-ordered stream.
+    let mut events: Vec<(Time, usize, bool)> = waves
+        .iter()
+        .enumerate()
+        .flat_map(|(i, w)| w.transitions.iter().map(move |&(t, v)| (t, i, v)))
+        .collect();
+    events.sort_by_key(|&(t, i, _)| (t, i));
+    let mut last_time: Option<Time> = None;
+    for (t, i, v) in events {
+        if last_time != Some(t) {
+            let _ = writeln!(out, "#{}", t.millis().max(0));
+            last_time = Some(t);
+        }
+        let _ = writeln!(out, "{}{}", u8::from(v), vcd_id(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use mct_netlist::{Circuit, GateKind};
+
+    #[test]
+    fn vcd_ids_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let id = vcd_id(i);
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)), "{id}");
+            assert!(seen.insert(id));
+        }
+        assert_eq!(vcd_id(0), "!");
+        assert_eq!(vcd_id(93), "~");
+        assert_eq!(vcd_id(94).len(), 2);
+    }
+
+    #[test]
+    fn toggler_dump_structure() {
+        let mut c = Circuit::new("toggler");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let nq = c.add_gate("nq", GateKind::Not, &[q], Time::UNIT);
+        c.connect_dff_data("q", nq).unwrap();
+        c.set_output(q);
+        let sim = Simulator::new(&c).unwrap();
+        let (_, waves) = sim.run_recording(
+            &SimConfig::at_period(Time::from_f64(2.0)).with_cycles(4),
+            |_, _| false,
+        );
+        let vcd = write_vcd("toggler", &waves);
+        assert!(vcd.starts_with("$timescale"));
+        assert!(vcd.contains("$var wire 1 ! q $end"));
+        assert!(vcd.contains("$var wire 1 \" nq $end"));
+        assert!(vcd.contains("$dumpvars"));
+        // q toggles at each edge (2000, 4000, ...); timestamps ascend.
+        let times: Vec<i64> = vcd
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert!(!times.is_empty());
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+        assert!(times.contains(&2000));
+    }
+
+    #[test]
+    fn transition_count_matches_waves() {
+        let mut c = Circuit::new("toggler");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let nq = c.add_gate("nq", GateKind::Not, &[q], Time::UNIT);
+        c.connect_dff_data("q", nq).unwrap();
+        c.set_output(q);
+        let sim = Simulator::new(&c).unwrap();
+        let (_, waves) = sim.run_recording(
+            &SimConfig::at_period(Time::from_f64(2.0)).with_cycles(6),
+            |_, _| false,
+        );
+        let vcd = write_vcd("t", &waves);
+        let total: usize = waves.iter().map(|w| w.transitions.len()).sum();
+        let change_lines = vcd
+            .lines()
+            .skip_while(|l| !l.starts_with('#'))
+            .filter(|l| l.starts_with('0') || l.starts_with('1'))
+            .count();
+        assert_eq!(change_lines, total);
+    }
+}

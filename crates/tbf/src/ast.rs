@@ -1,0 +1,638 @@
+//! The TBF expression tree and its denotational semantics.
+
+use mct_netlist::{GateKind, PinDelay, Time};
+use std::fmt;
+
+/// A Timed Boolean Function over a set of input signals (Definition 1 of the
+/// paper, restricted to the constructors sufficient for digital circuits:
+/// identity, Boolean operations, constant time shifts, and the flip-flop
+/// sampling operator).
+///
+/// Signals are referred to by dense index; callers keep the index → name
+/// map. The AST is a tree (no sharing); it is meant for the formalism,
+/// worked examples, and differential testing — the production discretization
+/// works directly on circuit DAGs (see [`ConeExtractor`](crate::ConeExtractor)).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Tbf {
+    /// A constant signal.
+    Const(bool),
+    /// `x_signal(t − delay)`: the signal observed `delay` earlier.
+    Input {
+        /// Dense signal index.
+        signal: usize,
+        /// The (non-negative) time shift.
+        delay: Time,
+    },
+    /// Negation.
+    Not(Box<Tbf>),
+    /// Conjunction of one or more terms.
+    And(Vec<Tbf>),
+    /// Disjunction of one or more terms.
+    Or(Vec<Tbf>),
+    /// Parity of one or more terms.
+    Xor(Vec<Tbf>),
+    /// The edge-triggered flip-flop operator
+    /// `Q(t) = D(P·⌊(t − delay)/P⌋)` — the data expression sampled at the
+    /// most recent clock edge at least `delay` ago, where `P` is the clock
+    /// period supplied at evaluation time. Memory without feedback.
+    Sampled {
+        /// The data expression `D`.
+        data: Box<Tbf>,
+        /// The flip-flop's clock-to-Q delay `d`.
+        delay: Time,
+    },
+    /// A level-sensitive (transparent-high) latch — the paper's named
+    /// future-work extension, expressible in the same argument-transformation
+    /// style: with clock period `P` and a high phase `[nP, nP + width)`,
+    ///
+    /// ```text
+    /// Q(t) = D(t)                      while the latch is transparent,
+    /// Q(t) = D(⌊t/P⌋·P + width − ε)    while it is opaque
+    /// ```
+    ///
+    /// (the held value is the data at the closing edge; `ε` is one
+    /// milli-unit, the resolution of [`Time`]). `delay` shifts the whole
+    /// operator like a clock-to-Q delay.
+    Transparent {
+        /// The data expression `D`.
+        data: Box<Tbf>,
+        /// Data-to-Q delay.
+        delay: Time,
+        /// Width of the transparent (high) phase; clamped to the period at
+        /// evaluation time.
+        width: Time,
+    },
+}
+
+impl Tbf {
+    /// The undelayed signal `x_signal(t)`.
+    pub fn signal(signal: usize) -> Tbf {
+        Tbf::Input { signal, delay: Time::ZERO }
+    }
+
+    /// The shifted signal `x_signal(t − delay)`.
+    pub fn input(signal: usize, delay: Time) -> Tbf {
+        Tbf::Input { signal, delay }
+    }
+
+    /// Negation, collapsing double negations.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Tbf {
+        match self {
+            Tbf::Not(inner) => *inner,
+            Tbf::Const(b) => Tbf::Const(!b),
+            other => Tbf::Not(Box::new(other)),
+        }
+    }
+
+    /// N-ary conjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty.
+    pub fn and(terms: Vec<Tbf>) -> Tbf {
+        assert!(!terms.is_empty(), "empty conjunction");
+        Tbf::And(terms)
+    }
+
+    /// N-ary disjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty.
+    pub fn or(terms: Vec<Tbf>) -> Tbf {
+        assert!(!terms.is_empty(), "empty disjunction");
+        Tbf::Or(terms)
+    }
+
+    /// N-ary parity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty.
+    pub fn xor(terms: Vec<Tbf>) -> Tbf {
+        assert!(!terms.is_empty(), "empty parity");
+        Tbf::Xor(terms)
+    }
+
+    /// The flip-flop sampling operator (paper Figure 1d / Section 3.1
+    /// item 4).
+    pub fn sampled(data: Tbf, delay: Time) -> Tbf {
+        Tbf::Sampled { data: Box::new(data), delay }
+    }
+
+    /// A transparent-high level-sensitive latch (see [`Tbf::Transparent`]).
+    pub fn transparent(data: Tbf, delay: Time, width: Time) -> Tbf {
+        Tbf::Transparent { data: Box::new(data), delay, width }
+    }
+
+    /// Models a buffer whose rising and falling delays differ (paper
+    /// Figure 1b / Section 3.1 item 2): for `τ_r > τ_f` the output is
+    /// `x(t−τ_r)·x(t−τ_f)`, for `τ_r < τ_f` it is `x(t−τ_r)+x(t−τ_f)`,
+    /// and for equal delays a single shifted literal.
+    pub fn rise_fall_buffer(inner: Tbf, delay: PinDelay) -> Tbf {
+        use std::cmp::Ordering;
+        match delay.rise.cmp(&delay.fall) {
+            Ordering::Equal => inner.shifted(delay.rise),
+            Ordering::Greater => Tbf::and(vec![
+                inner.clone().shifted(delay.rise),
+                inner.shifted(delay.fall),
+            ]),
+            Ordering::Less => Tbf::or(vec![
+                inner.clone().shifted(delay.rise),
+                inner.shifted(delay.fall),
+            ]),
+        }
+    }
+
+    /// Models a whole gate with per-pin rise/fall delays (paper Figure 1c /
+    /// Section 3.1 item 3): each input goes through a
+    /// [`rise_fall_buffer`](Self::rise_fall_buffer) and the functional block
+    /// itself is delay-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `delays` lengths differ, the arity is invalid
+    /// for `kind`, or `inputs` is empty.
+    pub fn gate(kind: GateKind, inputs: Vec<Tbf>, delays: &[PinDelay]) -> Tbf {
+        assert_eq!(inputs.len(), delays.len(), "pin delay count mismatch");
+        assert!(!inputs.is_empty(), "gate with no inputs");
+        if let Some(max) = kind.max_inputs() {
+            assert!(inputs.len() <= max, "too many inputs for {kind}");
+        }
+        let buffered: Vec<Tbf> = inputs
+            .into_iter()
+            .zip(delays)
+            .map(|(i, &d)| Tbf::rise_fall_buffer(i, d))
+            .collect();
+        match kind {
+            GateKind::Buf => buffered.into_iter().next().expect("one input"),
+            GateKind::Not => buffered.into_iter().next().expect("one input").not(),
+            GateKind::And => Tbf::and(buffered),
+            GateKind::Nand => Tbf::and(buffered).not(),
+            GateKind::Or => Tbf::or(buffered),
+            GateKind::Nor => Tbf::or(buffered).not(),
+            GateKind::Xor => Tbf::xor(buffered),
+            GateKind::Xnor => Tbf::xor(buffered).not(),
+        }
+    }
+
+    /// Adds `shift` to the time argument of every signal reference
+    /// (argument transformation `t ↦ t − shift`). Sampling operators absorb
+    /// the shift into their delay.
+    pub fn shifted(self, shift: Time) -> Tbf {
+        if shift.is_zero() {
+            return self;
+        }
+        match self {
+            Tbf::Const(b) => Tbf::Const(b),
+            Tbf::Input { signal, delay } => Tbf::Input { signal, delay: delay + shift },
+            Tbf::Not(inner) => Tbf::Not(Box::new(inner.shifted(shift))),
+            Tbf::And(ts) => Tbf::And(ts.into_iter().map(|t| t.shifted(shift)).collect()),
+            Tbf::Or(ts) => Tbf::Or(ts.into_iter().map(|t| t.shifted(shift)).collect()),
+            Tbf::Xor(ts) => Tbf::Xor(ts.into_iter().map(|t| t.shifted(shift)).collect()),
+            Tbf::Sampled { data, delay } => Tbf::Sampled { data, delay: delay + shift },
+            Tbf::Transparent { data, delay, width } => {
+                Tbf::Transparent { data, delay: delay + shift, width }
+            }
+        }
+    }
+
+    /// Substitutes `replacement` for every reference to `signal`,
+    /// transforming the replacement's time argument by the reference's shift
+    /// (TBF composition, Definition 1's closure under composition).
+    pub fn compose(&self, signal: usize, replacement: &Tbf) -> Tbf {
+        match self {
+            Tbf::Const(b) => Tbf::Const(*b),
+            Tbf::Input { signal: s, delay } => {
+                if *s == signal {
+                    replacement.clone().shifted(*delay)
+                } else {
+                    Tbf::Input { signal: *s, delay: *delay }
+                }
+            }
+            Tbf::Not(inner) => Tbf::Not(Box::new(inner.compose(signal, replacement))),
+            Tbf::And(ts) => Tbf::And(ts.iter().map(|t| t.compose(signal, replacement)).collect()),
+            Tbf::Or(ts) => Tbf::Or(ts.iter().map(|t| t.compose(signal, replacement)).collect()),
+            Tbf::Xor(ts) => Tbf::Xor(ts.iter().map(|t| t.compose(signal, replacement)).collect()),
+            Tbf::Sampled { data, delay } => Tbf::Sampled {
+                data: Box::new(data.compose(signal, replacement)),
+                delay: *delay,
+            },
+            Tbf::Transparent { data, delay, width } => Tbf::Transparent {
+                data: Box::new(data.compose(signal, replacement)),
+                delay: *delay,
+                width: *width,
+            },
+        }
+    }
+
+    /// Evaluates the TBF at time `t` with clock period `period`, reading
+    /// input signal values from `signals(index, time)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive and a [`Tbf::Sampled`] node is
+    /// reached.
+    pub fn eval(&self, t: Time, period: Time, signals: &dyn Fn(usize, Time) -> bool) -> bool {
+        match self {
+            Tbf::Const(b) => *b,
+            Tbf::Input { signal, delay } => signals(*signal, t - *delay),
+            Tbf::Not(inner) => !inner.eval(t, period, signals),
+            Tbf::And(ts) => ts.iter().all(|f| f.eval(t, period, signals)),
+            Tbf::Or(ts) => ts.iter().any(|f| f.eval(t, period, signals)),
+            Tbf::Xor(ts) => ts
+                .iter()
+                .filter(|f| f.eval(t, period, signals))
+                .count()
+                % 2
+                == 1,
+            Tbf::Sampled { data, delay } => {
+                assert!(
+                    period > Time::ZERO,
+                    "sampling requires a positive clock period"
+                );
+                let arg = t - *delay;
+                let edge = Time::from_millis(
+                    arg.millis().div_euclid(period.millis()) * period.millis(),
+                );
+                data.eval(edge, period, signals)
+            }
+            Tbf::Transparent { data, delay, width } => {
+                assert!(
+                    period > Time::ZERO,
+                    "a latch requires a positive clock period"
+                );
+                let arg = t - *delay;
+                let p = period.millis();
+                let w = width.millis().clamp(1, p);
+                let phase = arg.millis().rem_euclid(p);
+                let sample = if phase < w {
+                    arg
+                } else {
+                    // Hold the value from just before the closing edge.
+                    Time::from_millis(arg.millis().div_euclid(p) * p + w - 1)
+                };
+                data.eval(sample, period, signals)
+            }
+        }
+    }
+
+    /// The largest constant time shift appearing in the expression — the
+    /// paper's `L`, beyond which the machine is in steady state.
+    pub fn max_shift(&self) -> Time {
+        match self {
+            Tbf::Const(_) => Time::ZERO,
+            Tbf::Input { delay, .. } => *delay,
+            Tbf::Not(inner) => inner.max_shift(),
+            Tbf::And(ts) | Tbf::Or(ts) | Tbf::Xor(ts) => ts
+                .iter()
+                .map(Tbf::max_shift)
+                .max()
+                .unwrap_or(Time::ZERO),
+            Tbf::Sampled { data, delay } => data.max_shift().max(*delay),
+            Tbf::Transparent { data, delay, .. } => data.max_shift().max(*delay),
+        }
+    }
+
+    /// Renders with signal names supplied by `names` (falls back to `x<i>`).
+    pub fn display_with<'a>(&'a self, names: &'a [&'a str]) -> impl fmt::Display + 'a {
+        TbfDisplay { tbf: self, names }
+    }
+}
+
+struct TbfDisplay<'a> {
+    tbf: &'a Tbf,
+    names: &'a [&'a str],
+}
+
+fn signal_name(names: &[&str], i: usize) -> String {
+    names.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("x{i}"))
+}
+
+fn fmt_tbf(t: &Tbf, names: &[&str], f: &mut fmt::Formatter<'_>, parent_and: bool) -> fmt::Result {
+    match t {
+        Tbf::Const(b) => write!(f, "{}", u8::from(*b)),
+        Tbf::Input { signal, delay } => {
+            if delay.is_zero() {
+                write!(f, "{}(t)", signal_name(names, *signal))
+            } else {
+                write!(f, "{}(t-{})", signal_name(names, *signal), delay)
+            }
+        }
+        Tbf::Not(inner) => {
+            write!(f, "¬")?;
+            match **inner {
+                Tbf::Input { .. } | Tbf::Const(_) => fmt_tbf(inner, names, f, true),
+                _ => {
+                    write!(f, "(")?;
+                    fmt_tbf(inner, names, f, false)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        Tbf::And(ts) => {
+            for (i, term) in ts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "·")?;
+                }
+                match term {
+                    Tbf::Or(_) | Tbf::Xor(_) => {
+                        write!(f, "(")?;
+                        fmt_tbf(term, names, f, true)?;
+                        write!(f, ")")?;
+                    }
+                    _ => fmt_tbf(term, names, f, true)?,
+                }
+            }
+            Ok(())
+        }
+        Tbf::Or(ts) | Tbf::Xor(ts) => {
+            let op = if matches!(t, Tbf::Or(_)) { " + " } else { " ⊕ " };
+            let need_paren = parent_and;
+            if need_paren {
+                write!(f, "(")?;
+            }
+            for (i, term) in ts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "{op}")?;
+                }
+                fmt_tbf(term, names, f, false)?;
+            }
+            if need_paren {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Tbf::Sampled { data, delay } => {
+            write!(f, "[")?;
+            fmt_tbf(data, names, f, false)?;
+            if delay.is_zero() {
+                write!(f, "]@⌊t/P⌋P")
+            } else {
+                write!(f, "]@⌊(t-{})/P⌋P", delay)
+            }
+        }
+        Tbf::Transparent { data, delay, width } => {
+            write!(f, "⟨")?;
+            fmt_tbf(data, names, f, false)?;
+            if delay.is_zero() {
+                write!(f, "⟩latch(w={width})")
+            } else {
+                write!(f, "⟩latch(w={width},d={delay})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TbfDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tbf(self.tbf, self.names, f, false)
+    }
+}
+
+impl fmt::Display for Tbf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tbf(self, &[], f, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Waveform;
+
+    fn t(v: f64) -> Time {
+        Time::from_f64(v)
+    }
+
+    #[test]
+    fn figure1a_complex_gate() {
+        // y(t) = x̄₁(t−τ₁) + x₂(t−τ₂) + x₃(t−τ₃)
+        let y = Tbf::or(vec![
+            Tbf::input(0, t(1.0)).not(),
+            Tbf::input(1, t(2.0)),
+            Tbf::input(2, t(3.0)),
+        ]);
+        // All signals low: x̄₁ term fires → output 1.
+        assert!(y.eval(t(10.0), Time::UNIT, &|_, _| false));
+        // x₁ high, others low → output 0.
+        assert!(!y.eval(t(10.0), Time::UNIT, &|s, _| s == 0));
+    }
+
+    #[test]
+    fn figure1b_buffer_rise_slower() {
+        // τ_r = 2 > τ_f = 1: y = x(t−2)·x(t−1).
+        let y = Tbf::rise_fall_buffer(Tbf::signal(0), PinDelay::new(t(2.0), t(1.0)));
+        let w = Waveform::step(false, Time::ZERO, true); // rises at 0
+        let read = |_: usize, at: Time| w.value_at(at);
+        // The rising edge appears after the *rising* delay 2.
+        assert!(!y.eval(t(1.5), Time::UNIT, &read));
+        assert!(y.eval(t(2.0), Time::UNIT, &read));
+        // A falling edge appears after the falling delay 1.
+        let wf = Waveform::step(true, Time::ZERO, false);
+        let readf = |_: usize, at: Time| wf.value_at(at);
+        assert!(yf_still_high(&y, &readf, 0.999));
+        assert!(!y.eval(t(1.0), Time::UNIT, &readf));
+        fn yf_still_high(y: &Tbf, read: &dyn Fn(usize, Time) -> bool, at: f64) -> bool {
+            y.eval(Time::from_f64(at), Time::UNIT, read)
+        }
+    }
+
+    #[test]
+    fn figure1c_or_gate_per_pin_rise_fall() {
+        // Paper Figure 1(b): OR with pin 1 (rise 1, fall 2), pin 2 (rise 4, fall 3):
+        // y = x₁(t−1)+x₁(t−2) + x₂(t−4)·x₂(t−3).
+        let y = Tbf::gate(
+            GateKind::Or,
+            vec![Tbf::signal(0), Tbf::signal(1)],
+            &[
+                PinDelay::new(t(1.0), t(2.0)),
+                PinDelay::new(t(4.0), t(3.0)),
+            ],
+        );
+        let shown = y.to_string();
+        assert!(shown.contains("x0(t-1)"), "{shown}");
+        assert!(shown.contains("x0(t-2)"), "{shown}");
+        assert!(shown.contains("x1(t-4)·x1(t-3)"), "{shown}");
+        // x0 rises at 0, x1 stays low: output rises at rise delay 1.
+        let w0 = Waveform::step(false, Time::ZERO, true);
+        let read = |s: usize, at: Time| if s == 0 { w0.value_at(at) } else { false };
+        assert!(!y.eval(t(0.5), Time::UNIT, &read));
+        assert!(y.eval(t(1.0), Time::UNIT, &read));
+    }
+
+    #[test]
+    fn sampled_holds_between_edges() {
+        // Q(t) = D(P⌊t/P⌋) with D = x₀(t): a register sampling x₀.
+        let q = Tbf::sampled(Tbf::signal(0), Time::ZERO);
+        let w = Waveform::step(false, t(0.5), true); // D rises mid-cycle
+        let read = |_: usize, at: Time| w.value_at(at);
+        let period = t(2.0);
+        // Cycle [0,2): sampled at t=0 → 0, held even after D rises.
+        assert!(!q.eval(t(1.9), period, &read));
+        // Next edge t=2 samples 1.
+        assert!(q.eval(t(2.0), period, &read));
+        assert!(q.eval(t(3.9), period, &read));
+    }
+
+    #[test]
+    fn sampled_with_clock_to_q_delay() {
+        let q = Tbf::sampled(Tbf::signal(0), t(0.5));
+        let w = Waveform::step(false, Time::ZERO, true);
+        let read = |_: usize, at: Time| w.value_at(at);
+        let period = t(2.0);
+        // Edge at t=0 samples 1, but Q shows it only after clock-to-Q 0.5:
+        // Q(t) = D(P⌊(t−0.5)/P⌋); at t=0.4 the floor argument is negative →
+        // previous edge (t=−2) → 0.
+        assert!(!q.eval(t(0.4), period, &read));
+        assert!(q.eval(t(0.5), period, &read));
+    }
+
+    #[test]
+    fn example1_flattening_by_composition() {
+        // Paper Example 1: flatten the gate network and verify the final TBF
+        //   g(t) = f(t−1.5)·f̄(t−4)·f(t−5) + f̄(t−2).
+        // Signals: index 0 = f.
+        let f = 0;
+        let c = Tbf::input(f, t(1.5));
+        let d = Tbf::input(f, t(4.0)).not();
+        let e = Tbf::input(f, t(5.0));
+        let a = Tbf::and(vec![c, d, e]);
+        let b = Tbf::input(f, t(2.0)).not();
+        let g = Tbf::or(vec![a, b]);
+        assert_eq!(
+            g.display_with(&["f"]).to_string(),
+            "f(t-1.5)·¬f(t-4)·f(t-5) + ¬f(t-2)"
+        );
+        assert_eq!(g.max_shift(), t(5.0));
+    }
+
+    #[test]
+    fn compose_applies_argument_transformation() {
+        // h = x₀(t−1); replace x₀ by x₁(t−2): h = x₁(t−3).
+        let h = Tbf::input(0, t(1.0));
+        let repl = Tbf::input(1, t(2.0));
+        let composed = h.compose(0, &repl);
+        assert_eq!(composed, Tbf::input(1, t(3.0)));
+    }
+
+    #[test]
+    fn compose_leaves_other_signals() {
+        let h = Tbf::and(vec![Tbf::signal(0), Tbf::signal(1)]);
+        let composed = h.compose(0, &Tbf::Const(true));
+        assert_eq!(
+            composed,
+            Tbf::and(vec![Tbf::Const(true), Tbf::signal(1)])
+        );
+    }
+
+    #[test]
+    fn not_collapses() {
+        let x = Tbf::signal(0);
+        assert_eq!(x.clone().not().not(), x);
+        assert_eq!(Tbf::Const(true).not(), Tbf::Const(false));
+    }
+
+    #[test]
+    fn xor_parity_semantics() {
+        let f = Tbf::xor(vec![Tbf::signal(0), Tbf::signal(1), Tbf::signal(2)]);
+        let read3 = |mask: u32| move |s: usize, _: Time| mask >> s & 1 == 1;
+        assert!(!f.eval(Time::ZERO, Time::UNIT, &read3(0b000)));
+        assert!(f.eval(Time::ZERO, Time::UNIT, &read3(0b001)));
+        assert!(!f.eval(Time::ZERO, Time::UNIT, &read3(0b011)));
+        assert!(f.eval(Time::ZERO, Time::UNIT, &read3(0b111)));
+    }
+
+    #[test]
+    fn max_shift_through_operators() {
+        let f = Tbf::or(vec![
+            Tbf::and(vec![Tbf::input(0, t(1.5)), Tbf::input(0, t(5.0))]),
+            Tbf::input(0, t(2.0)).not(),
+        ]);
+        assert_eq!(f.max_shift(), t(5.0));
+        assert_eq!(Tbf::Const(true).max_shift(), Time::ZERO);
+    }
+
+    #[test]
+    fn gate_constructor_all_kinds() {
+        let sym = [PinDelay::symmetric(Time::UNIT); 2];
+        for kind in GateKind::ALL {
+            let n = if kind.max_inputs() == Some(1) { 1 } else { 2 };
+            let g = Tbf::gate(
+                kind,
+                (0..n).map(Tbf::signal).collect(),
+                &sym[..n],
+            );
+            // Agreement with the untimed gate on settled inputs.
+            for mask in 0..(1u32 << n) {
+                let read = |s: usize, _: Time| mask >> s & 1 == 1;
+                let inputs: Vec<bool> = (0..n).map(|s| mask >> s & 1 == 1).collect();
+                assert_eq!(
+                    g.eval(t(100.0), Time::UNIT, &read),
+                    kind.eval(&inputs),
+                    "{kind} mask {mask:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty conjunction")]
+    fn empty_and_panics() {
+        let _ = Tbf::and(vec![]);
+    }
+
+    #[test]
+    fn transparent_latch_passes_while_high() {
+        // Transparent-high latch, period 4, width 2: D changes at t = 1
+        // (inside the window) appear immediately; changes at t = 3 (opaque)
+        // are held until the next window.
+        let q = Tbf::transparent(Tbf::signal(0), Time::ZERO, t(2.0));
+        let period = t(4.0);
+        let w = Waveform::from_steps(false, &[(t(1.0), true), (t(3.0), false), (t(9.0), true)]);
+        let read = |_: usize, at: Time| w.value_at(at);
+        // t = 1.5: transparent, passes the new 1.
+        assert!(q.eval(t(1.5), period, &read));
+        // t = 3.5: opaque; holds the value at the window close (just
+        // before t = 2), which was 1 — the drop at t = 3 is invisible.
+        assert!(q.eval(t(3.5), period, &read));
+        // Next window [4, 6): transparent again, D is now 0.
+        assert!(!q.eval(t(4.5), period, &read));
+        // Window [8, 12): D rises at 9 inside the window → visible at 9.
+        assert!(!q.eval(t(8.5), period, &read));
+        assert!(q.eval(t(9.0), period, &read));
+    }
+
+    #[test]
+    fn transparent_latch_display_and_shift() {
+        let q = Tbf::transparent(Tbf::signal(0), Time::ZERO, t(2.0));
+        assert!(q.to_string().contains("latch(w=2)"));
+        let shifted = q.shifted(t(0.5));
+        match shifted {
+            Tbf::Transparent { delay, .. } => assert_eq!(delay, t(0.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transparent_latch_full_width_is_wire() {
+        // Width = period: always transparent — the latch is a wire.
+        let q = Tbf::transparent(Tbf::signal(0), Time::ZERO, t(4.0));
+        let period = t(4.0);
+        let w = Waveform::from_steps(false, &[(t(0.5), true), (t(1.5), false)]);
+        let read = |_: usize, at: Time| w.value_at(at);
+        for probe in [0.0, 0.5, 1.0, 1.5, 3.9, 4.0, 7.7] {
+            assert_eq!(q.eval(t(probe), period, &read), w.value_at(t(probe)), "t={probe}");
+        }
+    }
+
+    #[test]
+    fn shifted_absorbs_into_sampled_delay() {
+        let q = Tbf::sampled(Tbf::signal(0), t(0.5)).shifted(t(1.0));
+        match q {
+            Tbf::Sampled { delay, .. } => assert_eq!(delay, t(1.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

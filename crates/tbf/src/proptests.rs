@@ -1,0 +1,179 @@
+//! Property tests: the symbolic extraction agrees with direct functional
+//! evaluation, and the TBF AST semantics are consistent.
+
+use crate::{ConeExtractor, DiscreteMachine, Tbf, TimedVar, TimedVarTable, Waveform};
+use mct_bdd::BddManager;
+use mct_netlist::{Circuit, FsmView, GateKind, NetId, Time};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Recipe {
+    num_inputs: usize,
+    num_dffs: usize,
+    gates: Vec<(u8, u8, u8, u8)>, // kind selector, two input selectors, delay selector
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (
+        1usize..3,
+        1usize..3,
+        prop::collection::vec((0u8..8, any::<u8>(), any::<u8>(), 1u8..6), 1..12),
+    )
+        .prop_map(|(num_inputs, num_dffs, gates)| Recipe { num_inputs, num_dffs, gates })
+}
+
+fn build(recipe: &Recipe) -> Circuit {
+    let mut c = Circuit::new("rand");
+    let mut nets: Vec<NetId> = Vec::new();
+    for i in 0..recipe.num_inputs {
+        nets.push(c.add_input(format!("in{i}")));
+    }
+    for i in 0..recipe.num_dffs {
+        nets.push(c.add_dff(format!("ff{i}"), false, Time::ZERO));
+    }
+    for (gi, &(ks, i1, i2, ds)) in recipe.gates.iter().enumerate() {
+        let kind = GateKind::ALL[ks as usize % GateKind::ALL.len()];
+        let a = nets[i1 as usize % nets.len()];
+        let b = nets[i2 as usize % nets.len()];
+        let inputs: Vec<NetId> = if kind.max_inputs() == Some(1) { vec![a] } else { vec![a, b] };
+        let id = c.add_gate(
+            format!("g{gi}"),
+            kind,
+            &inputs,
+            Time::from_millis(ds as i64 * 500),
+        );
+        nets.push(id);
+    }
+    for i in 0..recipe.num_dffs {
+        c.connect_dff_data(&format!("ff{i}"), *nets.last().unwrap()).unwrap();
+    }
+    c.set_output(*nets.last().unwrap());
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The functional extraction must agree with `Circuit::step` on every
+    /// leaf assignment (exhaustive over the small random machines).
+    #[test]
+    fn functional_extraction_matches_step(recipe in arb_recipe()) {
+        let c = build(&recipe);
+        let view = FsmView::new(&c).unwrap();
+        let ex = ConeExtractor::new(&view);
+        let mut m = BddManager::new();
+        let mut tbl = TimedVarTable::new();
+        let machine = DiscreteMachine::functional(&ex, &mut m, &mut tbl).unwrap();
+        let nleaves = view.leaves().len();
+        for mask in 0..(1u32 << nleaves) {
+            let leaf_val = |i: usize| mask >> i & 1 == 1;
+            let state: Vec<bool> = (0..view.num_state_bits()).map(leaf_val).collect();
+            let inputs: Vec<bool> = (view.num_state_bits()..nleaves).map(leaf_val).collect();
+            let (next, outs) = c.step(&state, &inputs);
+            let assignment = |v: mct_bdd::Var| match tbl.timed_var(v) {
+                Some(TimedVar::Shifted { leaf, shift: 0 }) => leaf_val(leaf),
+                _ => false,
+            };
+            for (j, &bdd) in machine.next_state.iter().enumerate() {
+                prop_assert_eq!(m.eval(bdd, assignment), next[j]);
+            }
+            for (j, &bdd) in machine.outputs.iter().enumerate() {
+                prop_assert_eq!(m.eval(bdd, assignment), outs[j]);
+            }
+        }
+    }
+
+    /// Steady state is the functional machine with every leaf one cycle
+    /// back: renaming shift-1 variables to shift-0 must give equal BDDs.
+    #[test]
+    fn steady_state_is_shift_renamed_functional(recipe in arb_recipe()) {
+        let c = build(&recipe);
+        let view = FsmView::new(&c).unwrap();
+        let ex = ConeExtractor::new(&view);
+        let mut m = BddManager::new();
+        let mut tbl = TimedVarTable::new();
+        let steady = DiscreteMachine::steady_state(&ex, &mut m, &mut tbl).unwrap();
+        let func = DiscreteMachine::functional(&ex, &mut m, &mut tbl).unwrap();
+        let nleaves = view.leaves().len();
+        let map: Vec<(mct_bdd::Var, mct_bdd::Var)> = (0..nleaves)
+            .map(|leaf| {
+                (
+                    tbl.var(TimedVar::Shifted { leaf, shift: 1 }),
+                    tbl.var(TimedVar::Shifted { leaf, shift: 0 }),
+                )
+            })
+            .collect();
+        for (a, b) in steady.next_state.iter().zip(&func.next_state) {
+            let renamed = m.rename_vars(*a, &map);
+            prop_assert_eq!(renamed, *b);
+        }
+    }
+
+    /// Delay classes are exactly the delays the leaf policy observes.
+    #[test]
+    fn classes_match_observed_delays(recipe in arb_recipe()) {
+        let c = build(&recipe);
+        let view = FsmView::new(&c).unwrap();
+        let ex = ConeExtractor::new(&view);
+        let sinks: Vec<NetId> = view.sinks().iter().map(|s| s.net).collect();
+        let classes = ex.delay_classes(&sinks).unwrap();
+        let mut m = BddManager::new();
+        let mut tbl = TimedVarTable::new();
+        let mut observed: Vec<(usize, i64)> = Vec::new();
+        let mut policy = |mm: &mut BddManager, tt: &mut TimedVarTable, leaf: usize, k: i64| {
+            observed.push((leaf, k));
+            let v = tt.var(TimedVar::Arbitrary { leaf, delay: k });
+            mm.var(v)
+        };
+        ex.extract(&mut m, &mut tbl, &sinks, &mut policy).unwrap();
+        observed.sort_unstable();
+        observed.dedup();
+        let mut from_classes: Vec<(usize, i64)> =
+            classes.iter().map(|c| (c.leaf, c.delay)).collect();
+        from_classes.sort_unstable();
+        prop_assert_eq!(observed, from_classes);
+        // Every representative path's edge delays sum to the class delay
+        // minus the source clock-to-Q (zero in these machines).
+        for class in &classes {
+            let sum: i64 = class.path.iter().map(|e| e.delay).sum();
+            prop_assert_eq!(sum, class.delay);
+        }
+    }
+
+    /// AST evaluation is stable under composition: substituting a signal
+    /// by itself is the identity.
+    #[test]
+    fn compose_identity(ds in prop::collection::vec(0i64..5000, 1..5)) {
+        let f = Tbf::and(
+            ds.iter()
+                .map(|&d| Tbf::input(0, Time::from_millis(d)))
+                .collect(),
+        );
+        let composed = f.compose(0, &Tbf::signal(0));
+        prop_assert_eq!(&composed, &f);
+    }
+
+    /// Waveform value_at is consistent with transition counting.
+    #[test]
+    fn waveform_value_consistency(times in prop::collection::btree_set(1i64..10_000, 0..10), init in any::<bool>()) {
+        let sorted: Vec<Time> = times.iter().map(|&t| Time::from_millis(t)).collect();
+        let mut w = Waveform::constant(init);
+        for &t in &sorted {
+            w.push_toggle(t);
+        }
+        prop_assert_eq!(w.final_value(), init ^ (sorted.len() % 2 == 1));
+        // Probe between transitions.
+        let mut expect = init;
+        let mut prev = Time::from_millis(0);
+        for (i, &t) in sorted.iter().enumerate() {
+            // Value on [prev, t) is `expect`.
+            let mid = Time::from_millis((prev.millis() + t.millis()) / 2);
+            if mid >= prev && mid < t {
+                prop_assert_eq!(w.value_at(mid), expect, "segment {}", i);
+            }
+            expect = !expect;
+            prev = t;
+        }
+        prop_assert_eq!(w.value_at(Time::from_millis(20_000)), expect);
+    }
+}

@@ -1,0 +1,196 @@
+//! Extraction of the *symbolic* TBF expression of a circuit cone — the
+//! flattening the paper performs in its Example 1.
+//!
+//! Where [`ConeExtractor`](crate::ConeExtractor) compiles cones into BDDs
+//! for a fixed clock period, this module produces the period-independent
+//! [`Tbf`] *expression tree*, with every leaf a time-shifted reference to a
+//! flip-flop output or primary input. For the paper's Figure-2 circuit the
+//! result prints exactly as `f(t-1.5)·¬f(t-4)·f(t-5) + ¬f(t-2)`.
+//!
+//! The expression is a tree: reconvergent fan-out duplicates subtrees, so
+//! extraction carries a node budget and fails cleanly on circuits whose
+//! flattened form explodes (the budget exists for exactly the same reason
+//! the paper's flattening is illustrative rather than the implementation
+//! strategy).
+
+use crate::ast::Tbf;
+use crate::error::TbfError;
+use mct_netlist::{FsmView, GateKind, NetId, Node};
+
+/// Flattens the cone of `sink` into a TBF expression over the view's
+/// leaves (signal index = dense leaf index). Source flip-flop clock-to-Q
+/// delays are folded into the leaf shifts, matching the `k_ij = h_ij +
+/// d_fj` accounting of the analysis.
+///
+/// # Errors
+///
+/// [`TbfError::ConeExplosion`] if the flattened tree would exceed
+/// `node_budget` operator nodes.
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::{Circuit, FsmView, GateKind, Time};
+/// use mct_tbf::circuit_tbf;
+///
+/// let mut c = Circuit::new("toggler");
+/// let q = c.add_dff("q", false, Time::ZERO);
+/// let nq = c.add_gate("nq", GateKind::Not, &[q], Time::UNIT);
+/// c.connect_dff_data("q", nq).unwrap();
+/// c.set_output(q);
+/// let view = FsmView::new(&c).unwrap();
+/// let tbf = circuit_tbf(&view, nq, 1000).unwrap();
+/// assert_eq!(tbf.display_with(&["q"]).to_string(), "¬q(t-1)");
+/// ```
+pub fn circuit_tbf(
+    view: &FsmView<'_>,
+    sink: NetId,
+    node_budget: usize,
+) -> Result<Tbf, TbfError> {
+    let mut budget = node_budget;
+    flatten(view, sink, &mut budget)
+}
+
+fn charge(budget: &mut usize, amount: usize) -> Result<(), TbfError> {
+    if *budget < amount {
+        return Err(TbfError::ConeExplosion { entries: 0 });
+    }
+    *budget -= amount;
+    Ok(())
+}
+
+fn flatten(view: &FsmView<'_>, net: NetId, budget: &mut usize) -> Result<Tbf, TbfError> {
+    charge(budget, 1)?;
+    let circuit = view.circuit();
+    match circuit.node(net) {
+        Node::Input { .. } | Node::Dff { .. } => {
+            let leaf = view.leaf_index(net).expect("leaves are inputs and dffs");
+            let shift = view.leaf_source_delay(leaf);
+            Ok(Tbf::input(leaf, shift))
+        }
+        Node::Gate { kind, inputs, pin_delays, .. } => {
+            let mut terms = Vec::with_capacity(inputs.len());
+            for (inp, pd) in inputs.iter().zip(pin_delays) {
+                let sub = flatten(view, *inp, budget)?;
+                terms.push(Tbf::rise_fall_buffer(sub, *pd));
+            }
+            Ok(match kind {
+                GateKind::Buf => terms.into_iter().next().expect("arity checked"),
+                GateKind::Not => terms.into_iter().next().expect("arity checked").not(),
+                GateKind::And => Tbf::and(terms),
+                GateKind::Nand => Tbf::and(terms).not(),
+                GateKind::Or => Tbf::or(terms),
+                GateKind::Nor => Tbf::or(terms).not(),
+                GateKind::Xor => Tbf::xor(terms),
+                GateKind::Xnor => Tbf::xor(terms).not(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mct_netlist::{Circuit, PinDelay, Time};
+
+    fn t(v: f64) -> Time {
+        Time::from_f64(v)
+    }
+
+    #[test]
+    fn figure2_flattens_to_the_paper_equation() {
+        let mut c = Circuit::new("fig2");
+        let f = c.add_dff("f", true, Time::ZERO);
+        let cb = c.add_gate("c", GateKind::Buf, &[f], t(1.5));
+        let d = c.add_gate("d", GateKind::Not, &[f], t(4.0));
+        let e = c.add_gate("e", GateKind::Buf, &[f], t(5.0));
+        let a = c.add_gate("a", GateKind::And, &[cb, d, e], Time::ZERO);
+        let b = c.add_gate("b", GateKind::Not, &[f], t(2.0));
+        let g = c.add_gate("g", GateKind::Or, &[a, b], Time::ZERO);
+        c.connect_dff_data("f", g).unwrap();
+        c.set_output(f);
+        let view = FsmView::new(&c).unwrap();
+        let tbf = circuit_tbf(&view, g, 1000).unwrap();
+        assert_eq!(
+            tbf.display_with(&["f"]).to_string(),
+            "f(t-1.5)·¬f(t-4)·f(t-5) + ¬f(t-2)"
+        );
+        assert_eq!(tbf.max_shift(), t(5.0));
+    }
+
+    #[test]
+    fn clock_to_q_folds_into_leaf_shift() {
+        let mut c = Circuit::new("c2q");
+        let q = c.add_dff("q", false, t(0.5));
+        let g = c.add_gate("g", GateKind::Not, &[q], t(1.0));
+        c.connect_dff_data("q", g).unwrap();
+        c.set_output(q);
+        let view = FsmView::new(&c).unwrap();
+        let tbf = circuit_tbf(&view, g, 100).unwrap();
+        // Leaf shift = pin delay 1.0 + clock-to-Q 0.5.
+        assert_eq!(tbf, Tbf::input(0, t(1.5)).not());
+    }
+
+    #[test]
+    fn rise_fall_pins_expand_to_buffer_terms() {
+        let mut c = Circuit::new("rf");
+        let a = c.add_input("a");
+        let g = c.add_gate_with_delays(
+            "g",
+            GateKind::Buf,
+            &[a],
+            vec![PinDelay::new(t(2.0), t(1.0))],
+        );
+        c.set_output(g);
+        let view = FsmView::new(&c).unwrap();
+        let tbf = circuit_tbf(&view, g, 100).unwrap();
+        assert_eq!(
+            tbf.to_string(),
+            "x0(t-2)·x0(t-1)"
+        );
+    }
+
+    #[test]
+    fn budget_caps_reconvergent_blowup() {
+        // A ladder where each level reads the previous twice: the flattened
+        // tree doubles per level.
+        let mut c = Circuit::new("ladder");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let mut cur = q;
+        for i in 0..20 {
+            cur = c.add_gate(format!("g{i}"), GateKind::And, &[cur, cur], t(1.0));
+        }
+        c.connect_dff_data("q", cur).unwrap();
+        c.set_output(cur);
+        let view = FsmView::new(&c).unwrap();
+        let err = circuit_tbf(&view, cur, 10_000);
+        assert!(matches!(err, Err(TbfError::ConeExplosion { .. })));
+    }
+
+    #[test]
+    fn flattened_tbf_agrees_with_functional_eval() {
+        // On settled waveforms the flattened TBF and the zero-delay circuit
+        // evaluation agree.
+        let mut c = Circuit::new("mix");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let g1 = c.add_gate("g1", GateKind::Xor, &[a, q], t(1.0));
+        let g2 = c.add_gate("g2", GateKind::Nand, &[g1, b], t(2.0));
+        c.connect_dff_data("q", g2).unwrap();
+        c.set_output(g2);
+        let view = FsmView::new(&c).unwrap();
+        let tbf = circuit_tbf(&view, g2, 1000).unwrap();
+        // Leaf order: q (state), then a, b.
+        for mask in 0..8u32 {
+            let leaf_val = move |leaf: usize, _at: Time| mask >> leaf & 1 == 1;
+            let got = tbf.eval(t(100.0), Time::UNIT, &leaf_val);
+            let vals = c.eval(|id| {
+                let leaf = view.leaf_index(id).expect("leaf");
+                mask >> leaf & 1 == 1
+            });
+            let expect = vals[g2.index()];
+            assert_eq!(got, expect, "mask {mask:03b}");
+        }
+    }
+}

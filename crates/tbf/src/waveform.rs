@@ -1,0 +1,225 @@
+//! Piecewise-constant binary waveforms: the signal space `B(t)` of the
+//! paper's Definition 1.
+
+use mct_netlist::Time;
+
+/// A mapping `ℝ → {0, 1}` that is piecewise constant with finitely many
+/// transitions — the binary signal space over which TBFs are evaluated.
+///
+/// The waveform holds `initial` before its first transition; each transition
+/// toggles the value, and the new value holds *from* the transition instant
+/// (left-closed convention, matching an ideal zero-width edge at that time).
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::Time;
+/// use mct_tbf::Waveform;
+///
+/// let w = Waveform::step(false, Time::from_f64(2.0), true);
+/// assert!(!w.value_at(Time::from_f64(1.999)));
+/// assert!(w.value_at(Time::from_f64(2.0)));
+/// assert_eq!(w.num_transitions(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Waveform {
+    initial: bool,
+    /// Strictly increasing toggle instants.
+    transitions: Vec<Time>,
+}
+
+impl Waveform {
+    /// The waveform constantly equal to `value`.
+    pub fn constant(value: bool) -> Self {
+        Waveform { initial: value, transitions: Vec::new() }
+    }
+
+    /// A single step: `initial` before `at`, `after` from `at` on.
+    /// If `after == initial` the waveform is constant.
+    pub fn step(initial: bool, at: Time, after: bool) -> Self {
+        if initial == after {
+            Waveform::constant(initial)
+        } else {
+            Waveform { initial, transitions: vec![at] }
+        }
+    }
+
+    /// Builds a waveform from sample points `(time, value)`; consecutive
+    /// equal values are merged. Samples must be sorted by strictly
+    /// increasing time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sample times are not strictly increasing.
+    pub fn from_steps(initial: bool, steps: &[(Time, bool)]) -> Self {
+        let mut transitions = Vec::new();
+        let mut cur = initial;
+        let mut last_time: Option<Time> = None;
+        for &(t, v) in steps {
+            if let Some(prev) = last_time {
+                assert!(t > prev, "sample times must be strictly increasing");
+            }
+            last_time = Some(t);
+            if v != cur {
+                transitions.push(t);
+                cur = v;
+            }
+        }
+        Waveform { initial, transitions }
+    }
+
+    /// A clock-like waveform: samples `values[n]` held on `[n·period,
+    /// (n+1)·period)`, with `initial` before time zero.
+    pub fn from_cycles(initial: bool, period: Time, values: &[bool]) -> Self {
+        let steps: Vec<(Time, bool)> = values
+            .iter()
+            .enumerate()
+            .map(|(n, &v)| (period * n as i64, v))
+            .collect();
+        Waveform::from_steps(initial, &steps)
+    }
+
+    /// The value at time `t`.
+    pub fn value_at(&self, t: Time) -> bool {
+        let flips = self.transitions.partition_point(|&tt| tt <= t);
+        self.initial ^ (flips % 2 == 1)
+    }
+
+    /// The value before every transition.
+    pub fn initial_value(&self) -> bool {
+        self.initial
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The last transition instant, or `None` for a constant waveform.
+    pub fn last_transition(&self) -> Option<Time> {
+        self.transitions.last().copied()
+    }
+
+    /// The final (steady-state) value after all transitions.
+    pub fn final_value(&self) -> bool {
+        self.initial ^ (self.transitions.len() % 2 == 1)
+    }
+
+    /// Whether the two waveforms agree at every instant in `[from, to]`
+    /// (inclusive; transitions are compared exactly).
+    pub fn agrees_with(&self, other: &Waveform, from: Time, to: Time) -> bool {
+        let mut probes: Vec<Time> = vec![from, to];
+        for &t in self.transitions.iter().chain(&other.transitions) {
+            if t >= from && t <= to {
+                probes.push(t);
+                // Also probe just before the transition.
+                probes.push(t - Time::from_millis(1));
+            }
+        }
+        probes
+            .into_iter()
+            .filter(|&t| t >= from && t <= to)
+            .all(|t| self.value_at(t) == other.value_at(t))
+    }
+
+    /// Toggles the waveform at `t` (appends a transition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not later than the last transition.
+    pub fn push_toggle(&mut self, t: Time) {
+        if let Some(&last) = self.transitions.last() {
+            assert!(t > last, "transitions must be strictly increasing");
+        }
+        self.transitions.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> Time {
+        Time::from_f64(v)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let w = Waveform::constant(true);
+        for v in [-100.0, 0.0, 55.5] {
+            assert!(w.value_at(t(v)));
+        }
+        assert_eq!(w.num_transitions(), 0);
+        assert!(w.final_value());
+        assert_eq!(w.last_transition(), None);
+    }
+
+    #[test]
+    fn step_semantics_left_closed() {
+        let w = Waveform::step(false, t(1.0), true);
+        assert!(!w.value_at(t(0.999)));
+        assert!(w.value_at(t(1.0)));
+        assert!(w.value_at(t(2.0)));
+        assert!(!w.initial_value());
+        assert!(w.final_value());
+    }
+
+    #[test]
+    fn degenerate_step_is_constant() {
+        let w = Waveform::step(true, t(5.0), true);
+        assert_eq!(w.num_transitions(), 0);
+    }
+
+    #[test]
+    fn from_steps_merges_duplicates() {
+        let w = Waveform::from_steps(
+            false,
+            &[(t(1.0), true), (t(2.0), true), (t(3.0), false)],
+        );
+        assert_eq!(w.num_transitions(), 2);
+        assert!(w.value_at(t(2.5)));
+        assert!(!w.value_at(t(3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_steps_rejects_unsorted() {
+        let _ = Waveform::from_steps(false, &[(t(2.0), true), (t(1.0), false)]);
+    }
+
+    #[test]
+    fn from_cycles_samples_per_period() {
+        let w = Waveform::from_cycles(false, t(2.0), &[true, false, true]);
+        assert!(!w.value_at(t(-0.5)));
+        assert!(w.value_at(t(0.0)));
+        assert!(w.value_at(t(1.9)));
+        assert!(!w.value_at(t(2.0)));
+        assert!(w.value_at(t(4.5)));
+    }
+
+    #[test]
+    fn agrees_with_detects_divergence() {
+        let a = Waveform::step(false, t(1.0), true);
+        let b = Waveform::step(false, t(2.0), true);
+        assert!(a.agrees_with(&b, t(3.0), t(10.0)));
+        assert!(!a.agrees_with(&b, t(0.0), t(3.0)));
+        assert!(a.agrees_with(&a.clone(), t(-5.0), t(5.0)));
+    }
+
+    #[test]
+    fn push_toggle_extends() {
+        let mut w = Waveform::constant(false);
+        w.push_toggle(t(1.0));
+        w.push_toggle(t(2.0));
+        assert!(w.value_at(t(1.5)));
+        assert!(!w.value_at(t(2.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn push_toggle_rejects_past() {
+        let mut w = Waveform::constant(false);
+        w.push_toggle(t(2.0));
+        w.push_toggle(t(1.0));
+    }
+}

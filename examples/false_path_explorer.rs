@@ -1,0 +1,85 @@
+//! Explore the benchmark families: generate one circuit per mechanism,
+//! compute its delay metrics and sequential bound, and cross-validate the
+//! bound dynamically with the timing simulator.
+//!
+//! ```text
+//! cargo run --release --example false_path_explorer
+//! ```
+
+use mct_suite::bdd::BddManager;
+use mct_suite::core::{MctAnalyzer, MctOptions};
+use mct_suite::delay;
+use mct_suite::gen::families;
+use mct_suite::netlist::{Circuit, FsmView, Time};
+use mct_suite::sim::{functional_trace, DelayMode, SimConfig, Simulator};
+use mct_suite::tbf::TimedVarTable;
+
+fn t(v: f64) -> Time {
+    Time::from_f64(v)
+}
+
+fn analyze(label: &str, circuit: &Circuit) -> Result<(), Box<dyn std::error::Error>> {
+    let view = FsmView::new(circuit)?;
+    let mut manager = BddManager::new();
+    let mut table = TimedVarTable::new();
+    let metrics = delay::compute_all(&view, &mut manager, &mut table)?;
+    let report = MctAnalyzer::new(circuit)?.run(&MctOptions::paper())?;
+    println!(
+        "{label:<22} top {:>6} float {:>6} trans {:>6} | MCT ≤ {:>6.3}{}",
+        metrics.topological.to_string(),
+        metrics.floating.to_string(),
+        metrics.transition.to_string(),
+        report.mct_upper_bound,
+        if report.mct_upper_bound + 1e-9 < metrics.floating.as_f64() {
+            "  ← tighter than floating"
+        } else {
+            ""
+        },
+    );
+
+    // Dynamic cross-check: just above the certified bound the machine must
+    // track the functional model under random 90–100% delays and inputs.
+    let period = Time::from_millis((report.mct_upper_bound * 1000.0) as i64 + 100);
+    let sim = Simulator::new(circuit)?;
+    for seed in 0..4 {
+        let config = SimConfig::at_period(period)
+            .with_cycles(48)
+            .with_delay_mode(DelayMode::RandomUniform { min_factor_percent: 90, seed });
+        let ins = move |cycle: usize, i: usize| (cycle * 7 + i * 3 + seed as usize) % 5 < 2;
+        let trace = sim.run(&config, ins);
+        let (states, outputs) = functional_trace(circuit, 48, ins);
+        assert!(
+            trace.matches(&states, &outputs),
+            "{label}: simulation diverged at certified-safe period {period} (seed {seed})"
+        );
+    }
+    println!("{:<22} simulation at τ = {period} matches the functional model ✓", "");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("family                    delays                         sequential bound");
+    println!("{}", "-".repeat(86));
+    analyze("neutral: counter", &families::binary_counter(5, t(0.8)))?;
+    analyze("neutral: lfsr", &families::lfsr(8, &[3, 7], t(1.5)))?;
+    analyze(
+        "periodic slack",
+        &families::periodic_slack(t(1.5), t(4.0), t(5.0), 3),
+    )?;
+    analyze(
+        "unreachable slack",
+        &families::unreachable_slack(4, t(6.0), t(8.0)),
+    )?;
+    analyze(
+        "comb false path",
+        &families::comb_false_path(t(3.0), t(9.0), 3),
+    )?;
+    analyze("deep false path", &families::deep_false_path())?;
+    println!();
+    println!(
+        "Planted mechanisms reproduce the paper's Table-1 row shapes: periodicity and \
+         reachability make the sequential bound beat the floating delay, while plain \
+         machines show no gap."
+    );
+    Ok(())
+}

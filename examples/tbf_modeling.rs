@@ -1,0 +1,67 @@
+//! The TBF gate models of the paper's Figure 1, evaluated on waveforms:
+//!
+//! * (a) a complex gate with one delay per input-output pair;
+//! * (b) a buffer with different rising and falling delays;
+//! * (c) an OR gate with per-pin rise/fall delays;
+//! * (d) the edge-triggered D flip-flop as the sampling operator
+//!   `Q(t) = D(P·⌊(t−d)/P⌋)` — memory without feedback.
+//!
+//! ```text
+//! cargo run --example tbf_modeling
+//! ```
+
+use mct_suite::netlist::{GateKind, PinDelay, Time};
+use mct_suite::tbf::{Tbf, Waveform};
+
+fn t(v: f64) -> Time {
+    Time::from_f64(v)
+}
+
+fn show_waveform(label: &str, f: &Tbf, period: Time, signals: &dyn Fn(usize, Time) -> bool) {
+    print!("  {label:24}");
+    for step in 0..24 {
+        let at = Time::from_millis(step * 500);
+        print!("{}", if f.eval(at, period, signals) { '█' } else { '·' });
+    }
+    println!();
+}
+
+fn main() {
+    // ---- (a) complex gate: y = x̄₁(t−τ₁) + x₂(t−τ₂) + x₃(t−τ₃) ---------
+    let complex = Tbf::or(vec![
+        Tbf::input(0, t(1.0)).not(),
+        Tbf::input(1, t(2.0)),
+        Tbf::input(2, t(3.0)),
+    ]);
+    println!("Figure 1(a) — complex gate TBF: {}", complex);
+
+    // ---- (b) rise/fall-asymmetric buffer ------------------------------
+    let slow_rise = Tbf::rise_fall_buffer(Tbf::signal(0), PinDelay::new(t(2.0), t(0.5)));
+    println!("\nFigure 1(b) — buffer, rise 2 / fall 0.5: {}", slow_rise);
+    let pulse = Waveform::from_steps(false, &[(t(1.0), true), (t(6.0), false)]);
+    let read_pulse = |_: usize, at: Time| pulse.value_at(at);
+    show_waveform("input pulse", &Tbf::signal(0), Time::UNIT, &read_pulse);
+    show_waveform("buffered", &slow_rise, Time::UNIT, &read_pulse);
+    println!("  (the rising edge is delayed by 2, the falling edge by 0.5)");
+
+    // ---- (c) OR gate with per-pin rise/fall delays ---------------------
+    let or_gate = Tbf::gate(
+        GateKind::Or,
+        vec![Tbf::signal(0), Tbf::signal(1)],
+        &[
+            PinDelay::new(t(1.0), t(2.0)),
+            PinDelay::new(t(4.0), t(3.0)),
+        ],
+    );
+    println!("\nFigure 1(c) — OR with per-pin rise/fall: {}", or_gate);
+
+    // ---- (d) the flip-flop sampling operator --------------------------
+    let q = Tbf::sampled(Tbf::signal(0), t(0.0));
+    println!("\nFigure 1(d) — D flip-flop: {}", q);
+    let data = Waveform::from_steps(false, &[(t(0.7), true), (t(4.2), false), (t(8.4), true)]);
+    let read_data = |_: usize, at: Time| data.value_at(at);
+    let period = t(2.0);
+    show_waveform("D (data)", &Tbf::signal(0), period, &read_data);
+    show_waveform("Q (sampled @ P=2)", &q, period, &read_data);
+    println!("  (Q only changes at clock edges — the floor operator is the memory)");
+}

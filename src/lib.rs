@@ -1,0 +1,38 @@
+//! Umbrella crate for the DAC 1994 *Exact Minimum Cycle Times for Finite
+//! State Machines* reproduction.
+//!
+//! Re-exports the public API of every workspace crate so that examples and
+//! integration tests (and downstream users who want the whole toolkit) can
+//! depend on a single crate. See the individual crates for details:
+//!
+//! * [`bdd`] — reduced ordered binary decision diagrams;
+//! * [`netlist`] — gate-level circuits, delay models, ISCAS'89 parsing;
+//! * [`tbf`] — Timed Boolean Functions and circuit discretization;
+//! * [`delay`] — topological, floating, and transition delay engines;
+//! * [`lp`] — interval algebra and the simplex feasibility solver;
+//! * [`sim`] — event-driven timing simulation (the dynamic golden model);
+//! * [`gen`] — benchmark circuit generation;
+//! * [`core`] — the sequential minimum-cycle-time engine itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use mct_suite::gen::paper_figure2;
+//! use mct_suite::core::{MctAnalyzer, MctOptions};
+//!
+//! let circuit = paper_figure2();
+//! let report = MctAnalyzer::new(&circuit)
+//!     .expect("figure-2 circuit is analyzable")
+//!     .run(&MctOptions::default())
+//!     .expect("analysis succeeds");
+//! assert!((report.mct_upper_bound - 2.5).abs() < 1e-9);
+//! ```
+
+pub use mct_bdd as bdd;
+pub use mct_core as core;
+pub use mct_delay as delay;
+pub use mct_gen as gen;
+pub use mct_lp as lp;
+pub use mct_netlist as netlist;
+pub use mct_sim as sim;
+pub use mct_tbf as tbf;

@@ -1,0 +1,144 @@
+//! Differential test between the symbolic delay engines and the dynamic
+//! simulator: on random combinational circuits, the observed settling time
+//! after a vector change never exceeds the exact transition delay, which in
+//! turn never exceeds the floating delay or the topological delay.
+
+use mct_suite::bdd::BddManager;
+use mct_suite::delay::{floating_delay, topological_delay, transition_delay};
+use mct_suite::gen::families;
+use mct_suite::netlist::{Circuit, FsmView, GateKind, NetId, Time};
+use mct_suite::sim::{SimConfig, Simulator};
+use mct_suite::tbf::TimedVarTable;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct CombRecipe {
+    inputs: usize,
+    gates: Vec<(u8, u8, u8, u8)>,
+}
+
+fn arb_comb() -> impl Strategy<Value = CombRecipe> {
+    (
+        1usize..4,
+        prop::collection::vec((0u8..8, any::<u8>(), any::<u8>(), 1u8..5), 1..10),
+    )
+        .prop_map(|(inputs, gates)| CombRecipe { inputs, gates })
+}
+
+fn build_comb(recipe: &CombRecipe) -> Circuit {
+    let mut c = Circuit::new("comb");
+    let mut nets: Vec<NetId> = (0..recipe.inputs)
+        .map(|i| c.add_input(format!("in{i}")))
+        .collect();
+    for (gi, &(ks, a, b, d)) in recipe.gates.iter().enumerate() {
+        let kind = GateKind::ALL[ks as usize % GateKind::ALL.len()];
+        let x = nets[a as usize % nets.len()];
+        let inputs: Vec<NetId> = if kind.max_inputs() == Some(1) {
+            vec![x]
+        } else {
+            vec![x, nets[b as usize % nets.len()]]
+        };
+        nets.push(c.add_gate(
+            format!("g{gi}"),
+            kind,
+            &inputs,
+            Time::from_millis(d as i64 * 700),
+        ));
+    }
+    c.set_output(*nets.last().unwrap());
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Apply vector pairs dynamically; the output's last transition after
+    /// the second vector lands within the transition delay, and all metric
+    /// orderings hold.
+    #[test]
+    fn observed_settling_bounded_by_transition_delay(
+        recipe in arb_comb(),
+        v0 in any::<u8>(),
+        v1 in any::<u8>(),
+    ) {
+        let circuit = build_comb(&recipe);
+        let view = FsmView::new(&circuit).unwrap();
+        let mut manager = BddManager::new();
+        let mut table = TimedVarTable::new();
+        let top = topological_delay(&view).unwrap();
+        let float = floating_delay(&view, &mut manager, &mut table).unwrap();
+        let trans = transition_delay(&view, &mut manager, &mut table).unwrap();
+        prop_assert!(trans <= float);
+        prop_assert!(float <= top);
+
+        // Drive vector v0 for one long cycle, then v1; observe the output.
+        let period = top + Time::UNIT;
+        let sim = Simulator::new(&circuit).unwrap();
+        let nin = circuit.num_inputs();
+        let vec_at = move |cycle: usize, i: usize| {
+            let v = if cycle < 2 { v0 } else { v1 };
+            v >> (i % 8) & 1 == 1
+        };
+        let (_, waves) = sim.run_recording(
+            &SimConfig::at_period(period).with_cycles(4),
+            vec_at,
+        );
+        let _ = nin;
+        // Vector v1 is applied at edge 2 (t = 2·period).
+        let t_apply = period * 2;
+        let out_net = circuit.outputs()[0];
+        let out_wave = &waves[out_net.index()];
+        let last_after = out_wave
+            .transitions
+            .iter()
+            .filter(|&&(t, _)| t > t_apply)
+            .map(|&(t, _)| t - t_apply)
+            .max();
+        if let Some(settle) = last_after {
+            prop_assert!(
+                settle <= trans,
+                "output still moving {settle} after the vector change, transition \
+                 delay is only {trans}"
+            );
+        }
+    }
+}
+
+/// The same bound checked deterministically on the false-path family: the
+/// observed settling respects the (shorter) floating delay, not just the
+/// topological delay.
+#[test]
+fn false_path_settles_at_floating_not_topological() {
+    let circuit = families::comb_false_path(
+        Time::from_f64(3.0),
+        Time::from_f64(9.0),
+        2,
+    );
+    let view = FsmView::new(&circuit).unwrap();
+    let mut manager = BddManager::new();
+    let mut table = TimedVarTable::new();
+    let float = floating_delay(&view, &mut manager, &mut table).unwrap();
+    let top = topological_delay(&view).unwrap();
+    assert!(float < top);
+    let sim = Simulator::new(&circuit).unwrap();
+    let period = top + Time::UNIT;
+    for seed in 0..8u8 {
+        let ins = move |cycle: usize, i: usize| (cycle * 3 + i + seed as usize).is_multiple_of(2);
+        let (_, waves) = sim.run_recording(&SimConfig::at_period(period).with_cycles(6), ins);
+        for (edge, out) in circuit.outputs().iter().enumerate() {
+            let wave = &waves[out.index()];
+            for window in 2..5i64 {
+                let t_apply = period * window;
+                let late = wave
+                    .transitions
+                    .iter()
+                    .any(|&(t, _)| t > t_apply + float && t <= t_apply + top);
+                assert!(
+                    !late,
+                    "output {edge} moved after the floating delay inside window {window} \
+                     (seed {seed})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Interchange-format round trips over the benchmark suite: writing any
+//! suite circuit to `.bench` and parsing it back preserves structure and
+//! (modulo the untimed format's lost delays and initial state) behaviour.
+
+use mct_suite::gen::standard_suite;
+use mct_suite::netlist::{parse_bench, write_bench, DelayModel};
+
+#[test]
+fn suite_roundtrips_through_bench_format() {
+    for entry in standard_suite() {
+        let original = &entry.circuit;
+        let text = write_bench(original);
+        let reparsed = parse_bench(&text, &DelayModel::Unit)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", original.name()));
+        assert_eq!(original.num_inputs(), reparsed.num_inputs(), "{}", original.name());
+        assert_eq!(original.num_dffs(), reparsed.num_dffs(), "{}", original.name());
+        assert_eq!(original.num_gates(), reparsed.num_gates(), "{}", original.name());
+        assert_eq!(
+            original.outputs().len(),
+            reparsed.outputs().len(),
+            "{}",
+            original.name()
+        );
+        // Behavioural equivalence from the all-zero state (`.bench` does
+        // not carry initial values).
+        let mut s1 = vec![false; original.num_dffs()];
+        let mut s2 = vec![false; reparsed.num_dffs()];
+        for step in 0..12 {
+            let ins: Vec<bool> = (0..original.num_inputs())
+                .map(|i| (step * 5 + i) % 3 == 0)
+                .collect();
+            let (n1, o1) = original.step(&s1, &ins);
+            let (n2, o2) = reparsed.step(&s2, &ins);
+            assert_eq!(o1, o2, "{}: outputs diverge at step {step}", original.name());
+            assert_eq!(n1, n2, "{}: states diverge at step {step}", original.name());
+            s1 = n1;
+            s2 = n2;
+        }
+    }
+}
+
+#[test]
+fn bench_text_is_reparseable_twice() {
+    for entry in standard_suite().into_iter().take(6) {
+        let t1 = write_bench(&entry.circuit);
+        let c2 = parse_bench(&t1, &DelayModel::Unit).unwrap();
+        let t2 = write_bench(&c2);
+        let c3 = parse_bench(&t2, &DelayModel::Unit).unwrap();
+        assert_eq!(c2.num_gates(), c3.num_gates());
+        assert_eq!(t1.lines().count(), t2.lines().count());
+    }
+}

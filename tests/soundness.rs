@@ -1,0 +1,169 @@
+//! Suite-wide soundness: the delay-metric ordering invariants of the paper
+//! hold on every benchmark circuit, and every certified cycle-time bound is
+//! confirmed dynamically by the timing simulator under random bounded
+//! delays and random input sequences.
+
+use mct_suite::bdd::BddManager;
+use mct_suite::core::{MctAnalyzer, MctOptions};
+use mct_suite::delay;
+use mct_suite::gen::standard_suite;
+use mct_suite::netlist::{FsmView, Time};
+use mct_suite::sim::{functional_trace, DelayMode, SimConfig, Simulator};
+use mct_suite::tbf::TimedVarTable;
+
+const EPS: f64 = 1e-9;
+
+#[test]
+fn metric_ordering_invariants_across_the_suite() {
+    for entry in standard_suite() {
+        let c = &entry.circuit;
+        let view = FsmView::new(c).unwrap();
+        let mut manager = BddManager::new();
+        let mut table = TimedVarTable::new();
+        let m = delay::compute_all(&view, &mut manager, &mut table).unwrap();
+        assert!(
+            m.floating <= m.topological,
+            "{}: floating {} > topological {}",
+            c.name(),
+            m.floating,
+            m.topological
+        );
+        assert!(
+            m.transition <= m.floating,
+            "{}: transition {} > floating {}",
+            c.name(),
+            m.transition,
+            m.floating
+        );
+        assert!(m.shortest <= m.topological, "{}", c.name());
+
+        let report = MctAnalyzer::new(c).unwrap().run(&MctOptions::paper()).unwrap();
+        assert!(
+            report.mct_upper_bound <= m.floating.as_f64() + EPS,
+            "{}: MCT bound {} exceeds floating delay {}",
+            c.name(),
+            report.mct_upper_bound,
+            m.floating
+        );
+        assert!(report.mct_upper_bound >= 0.0, "{}", c.name());
+    }
+}
+
+#[test]
+fn planted_expectations_hold() {
+    for entry in standard_suite() {
+        let c = &entry.circuit;
+        let view = FsmView::new(c).unwrap();
+        let mut manager = BddManager::new();
+        let mut table = TimedVarTable::new();
+        let m = delay::compute_all(&view, &mut manager, &mut table).unwrap();
+        let report = MctAnalyzer::new(c).unwrap().run(&MctOptions::paper()).unwrap();
+        if entry.expect_tighter_mct {
+            assert!(
+                report.mct_upper_bound < m.floating.as_f64() - EPS,
+                "{}: expected MCT {} strictly below floating {}",
+                c.name(),
+                report.mct_upper_bound,
+                m.floating
+            );
+        }
+        if entry.expect_comb_false_path {
+            assert!(
+                m.floating < m.topological,
+                "{}: expected floating {} below topological {}",
+                c.name(),
+                m.floating,
+                m.topological
+            );
+        }
+    }
+}
+
+#[test]
+fn certified_bounds_validated_by_simulation() {
+    // Simulate every suite circuit just above its certified bound, with
+    // random 90–100% delays and pseudo-random inputs, and demand exact
+    // agreement with the zero-delay functional model.
+    for entry in standard_suite() {
+        let c = &entry.circuit;
+        let report = MctAnalyzer::new(c).unwrap().run(&MctOptions::paper()).unwrap();
+        let period = Time::from_millis((report.mct_upper_bound * 1000.0).round() as i64 + 50);
+        if period <= Time::ZERO {
+            continue;
+        }
+        let sim = Simulator::new(c).unwrap();
+        for seed in 0..3u64 {
+            let config = SimConfig::at_period(period)
+                .with_cycles(40)
+                .with_delay_mode(DelayMode::RandomUniform {
+                    min_factor_percent: 90,
+                    seed,
+                });
+            let ins = move |cycle: usize, i: usize| (cycle * 13 + i * 5 + seed as usize) % 7 < 3;
+            let trace = sim.run(&config, ins);
+            let (states, outputs) = functional_trace(c, 40, ins);
+            assert!(
+                trace.matches(&states, &outputs),
+                "{}: divergence at certified-safe τ = {} (seed {seed}), first at cycle {:?}",
+                c.name(),
+                period,
+                trace.first_divergence(&states)
+            );
+        }
+    }
+}
+
+#[test]
+fn deep_false_path_row_matches_s38584_narrative() {
+    // The paper's s38584: MCT below a quarter of the topological delay, so
+    // a correct 2-vector bound (at best top/2) would be off by over 200%.
+    let suite = standard_suite();
+    let entry = suite
+        .iter()
+        .find(|e| e.circuit.name() == "syn-s38584")
+        .expect("deep row present");
+    let view = FsmView::new(&entry.circuit).unwrap();
+    let top = delay::topological_delay(&view).unwrap().as_f64();
+    let report = MctAnalyzer::new(&entry.circuit)
+        .unwrap()
+        .run(&MctOptions::paper())
+        .unwrap();
+    assert!(
+        report.mct_upper_bound < top / 4.0,
+        "MCT {} should be below top/4 = {}",
+        report.mct_upper_bound,
+        top / 4.0
+    );
+    let best_two_vector_bound = top / 2.0;
+    assert!(
+        best_two_vector_bound > 2.0 * report.mct_upper_bound,
+        "a certified 2-vector bound would overstate the cycle time by over 200%"
+    );
+}
+
+#[test]
+fn tighter_fraction_mirrors_the_paper() {
+    // Paper: about 20% of the suite improves; we assert a band around it.
+    let suite = standard_suite();
+    let mut tighter = 0usize;
+    for entry in &suite {
+        let view = FsmView::new(&entry.circuit).unwrap();
+        let mut manager = BddManager::new();
+        let mut table = TimedVarTable::new();
+        let float = delay::floating_delay(&view, &mut manager, &mut table)
+            .unwrap()
+            .as_f64();
+        let report = MctAnalyzer::new(&entry.circuit)
+            .unwrap()
+            .run(&MctOptions::paper())
+            .unwrap();
+        if report.mct_upper_bound < float - EPS {
+            tighter += 1;
+        }
+    }
+    let frac = tighter as f64 / suite.len() as f64;
+    assert!(
+        (0.15..=0.45).contains(&frac),
+        "tighter fraction {frac} outside the expected band"
+    );
+}

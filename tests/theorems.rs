@@ -1,0 +1,126 @@
+//! The paper's Theorems 1 and 2, checked statically and dynamically across
+//! the benchmark suite.
+
+use mct_suite::bdd::BddManager;
+use mct_suite::delay::{
+    floating_delay, shortest_path_delay, theorem1_bound, theorem2_applicable,
+    topological_delay, transition_delay,
+};
+use mct_suite::gen::{paper_figure2, standard_suite};
+use mct_suite::netlist::{FsmView, Time};
+use mct_suite::sim::{functional_trace, DelayMode, SimConfig, Simulator};
+use mct_suite::tbf::TimedVarTable;
+
+/// Theorem 1: clocking any suite circuit at `floating + setup` must be
+/// dynamically correct whenever the shortest path covers the hold time.
+#[test]
+fn theorem1_bound_is_dynamically_safe() {
+    let setup = Time::from_f64(0.2);
+    let hold = Time::from_f64(0.05);
+    for entry in standard_suite() {
+        let c = &entry.circuit;
+        let view = FsmView::new(c).unwrap();
+        let mut manager = BddManager::new();
+        let mut table = TimedVarTable::new();
+        let float = floating_delay(&view, &mut manager, &mut table).unwrap();
+        let shortest = shortest_path_delay(&view).unwrap();
+        let Some(bound) = theorem1_bound(float, shortest, setup, hold) else {
+            continue; // hold window not covered: the theorem is silent
+        };
+        if bound <= Time::ZERO {
+            continue;
+        }
+        let sim = Simulator::new(c).unwrap();
+        let config = SimConfig::at_period(bound)
+            .with_cycles(32)
+            .with_setup_hold(setup, hold)
+            .with_delay_mode(DelayMode::RandomUniform { min_factor_percent: 90, seed: 3 });
+        let ins = |cycle: usize, i: usize| (cycle + i).is_multiple_of(3);
+        let trace = sim.run(&config, ins);
+        let (states, outputs) = functional_trace(c, 32, ins);
+        assert!(
+            trace.matches(&states, &outputs),
+            "{}: Theorem-1 bound {} not dynamically safe",
+            c.name(),
+            bound
+        );
+        assert!(
+            trace.violations.iter().all(|v| !v.is_setup),
+            "{}: setup violation at the Theorem-1 bound",
+            c.name()
+        );
+    }
+}
+
+/// Theorem 2 applies exactly when `transition ≥ topological / 2`; when it
+/// does, clocking at the transition delay must be dynamically correct.
+#[test]
+fn theorem2_certified_bounds_are_safe() {
+    for entry in standard_suite() {
+        let c = &entry.circuit;
+        let view = FsmView::new(c).unwrap();
+        let mut manager = BddManager::new();
+        let mut table = TimedVarTable::new();
+        let trans = transition_delay(&view, &mut manager, &mut table).unwrap();
+        let top = topological_delay(&view).unwrap();
+        if !theorem2_applicable(trans, top) || trans <= Time::ZERO {
+            continue;
+        }
+        // Certified bounds guarantee correctness strictly above them; probe
+        // just past the bound to stay off the edge-coincident race.
+        let period = trans + Time::from_millis(50);
+        let sim = Simulator::new(c).unwrap();
+        let config = SimConfig::at_period(period).with_cycles(32);
+        let ins = |cycle: usize, i: usize| (cycle * 3 + i) % 4 == 1;
+        let trace = sim.run(&config, ins);
+        let (states, outputs) = functional_trace(c, 32, ins);
+        assert!(
+            trace.matches(&states, &outputs),
+            "{}: certified 2-vector bound {} not dynamically safe",
+            c.name(),
+            trans
+        );
+    }
+}
+
+/// The paper's counterexample: Figure 2's 2-vector delay (2) is below half
+/// its topological delay (5), Theorem 2 does not apply — and the bound is
+/// genuinely wrong.
+#[test]
+fn theorem2_counterexample_is_figure2() {
+    let c = paper_figure2();
+    let view = FsmView::new(&c).unwrap();
+    let mut manager = BddManager::new();
+    let mut table = TimedVarTable::new();
+    let trans = transition_delay(&view, &mut manager, &mut table).unwrap();
+    let top = topological_delay(&view).unwrap();
+    assert!(!theorem2_applicable(trans, top));
+    let sim = Simulator::new(&c).unwrap();
+    let trace = sim.run(&SimConfig::at_period(trans).with_cycles(24), |_, _| false);
+    let (states, _) = functional_trace(&c, 24, |_, _| false);
+    assert!(trace.first_divergence(&states).is_some());
+}
+
+/// The floating delay equals the "delay by sequences of vectors" in the
+/// sense relevant here: it never under-approximates the settling the
+/// simulator observes at max delays.
+#[test]
+fn floating_delay_covers_observed_settling() {
+    for entry in standard_suite().into_iter().take(8) {
+        let c = &entry.circuit;
+        let view = FsmView::new(c).unwrap();
+        let mut manager = BddManager::new();
+        let mut table = TimedVarTable::new();
+        let float = floating_delay(&view, &mut manager, &mut table).unwrap();
+        // Clock far above the floating delay: always correct.
+        let period = float + Time::UNIT;
+        if period <= Time::UNIT {
+            continue;
+        }
+        let sim = Simulator::new(c).unwrap();
+        let ins = |cycle: usize, i: usize| (cycle ^ i).is_multiple_of(2);
+        let trace = sim.run(&SimConfig::at_period(period).with_cycles(24), ins);
+        let (states, outputs) = functional_trace(c, 24, ins);
+        assert!(trace.matches(&states, &outputs), "{}", c.name());
+    }
+}
