@@ -140,10 +140,7 @@ mod tests {
         let nc = m.not(c);
         let f = m.or(ab, nc);
         // Sum the assignment counts of disjoint cubes over 3 vars.
-        let total: u64 = m
-            .cubes(f)
-            .map(|cube| 1u64 << (3 - cube.len() as u32))
-            .sum();
+        let total: u64 = m.cubes(f).map(|cube| 1u64 << (3 - cube.len() as u32)).sum();
         assert_eq!(total, m.sat_count(f, 3) as u64);
         // Every cube must satisfy f.
         for cube in m.cubes(f) {

@@ -133,8 +133,16 @@ impl BddManager {
         // Index 0 = FALSE, index 1 = TRUE; both are sentinels with
         // out-of-band variable index so `var_of` ranks them below every
         // decision node.
-        m.nodes.push(Node { var: TERMINAL_VAR, lo: Bdd::FALSE, hi: Bdd::FALSE });
-        m.nodes.push(Node { var: TERMINAL_VAR, lo: Bdd::TRUE, hi: Bdd::TRUE });
+        m.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: Bdd::FALSE,
+            hi: Bdd::FALSE,
+        });
+        m.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: Bdd::TRUE,
+            hi: Bdd::TRUE,
+        });
         m
     }
 
@@ -254,10 +262,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&key) {
             return Bdd(r);
         }
-        let top = self
-            .var_rank(f)
-            .min(self.var_rank(g))
-            .min(self.var_rank(h));
+        let top = self.var_rank(f).min(self.var_rank(g)).min(self.var_rank(h));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let (h0, h1) = self.cofactors_at(h, top);
@@ -395,8 +400,7 @@ impl BddManager {
     /// steady-state recurrence `x̂(n) = g(x̂(n−1), u(n−1))` until all time
     /// arguments align.
     pub fn vector_compose(&mut self, f: Bdd, subst: &[(Var, Bdd)]) -> Bdd {
-        let map: FxHashMap<u32, Bdd> =
-            subst.iter().map(|&(v, g)| (v.index(), g)).collect();
+        let map: FxHashMap<u32, Bdd> = subst.iter().map(|&(v, g)| (v.index(), g)).collect();
         let mut memo = FxHashMap::default();
         self.vector_compose_rec(f, &map, &mut memo)
     }
@@ -448,12 +452,7 @@ impl BddManager {
         self.exists_rec(f, &sorted, &mut memo)
     }
 
-    fn exists_rec(
-        &mut self,
-        f: Bdd,
-        vars: &[u32],
-        memo: &mut FxHashMap<u32, u32>,
-    ) -> Bdd {
+    fn exists_rec(&mut self, f: Bdd, vars: &[u32], memo: &mut FxHashMap<u32, u32>) -> Bdd {
         if f.is_const() || vars.is_empty() {
             return f;
         }
@@ -671,12 +670,7 @@ impl BddManager {
         self.constrain_rec(f, c, &mut memo)
     }
 
-    fn constrain_rec(
-        &mut self,
-        f: Bdd,
-        c: Bdd,
-        memo: &mut FxHashMap<(u32, u32), u32>,
-    ) -> Bdd {
+    fn constrain_rec(&mut self, f: Bdd, c: Bdd, memo: &mut FxHashMap<(u32, u32), u32>) -> Bdd {
         if c.is_true() || f.is_const() {
             return f;
         }
@@ -797,7 +791,12 @@ mod tests {
     fn xor_truth_table() {
         let (mut m, a, b, _) = setup();
         let f = m.xor(a, b);
-        for (va, vb, expect) in [(false, false, false), (false, true, true), (true, false, true), (true, true, false)] {
+        for (va, vb, expect) in [
+            (false, false, false),
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
             let got = m.eval(f, |v| if v.index() == 0 { va } else { vb });
             assert_eq!(got, expect, "a={va} b={vb}");
         }
@@ -827,7 +826,7 @@ mod tests {
         let f = m.xor(a, b);
         let g = m.and(b, c);
         let composed = m.compose(f, Var::new(0), g); // (b∧c) ⊕ b
-        // Truth check: b=1,c=0 → 1⊕... (b∧c)=0 ⊕ 1 = 1
+                                                     // Truth check: b=1,c=0 → 1⊕... (b∧c)=0 ⊕ 1 = 1
         assert!(m.eval(composed, |v| v.index() == 1));
         // b=1, c=1 → 1 ⊕ 1 = 0
         assert!(!m.eval(composed, |v| v.index() <= 2 && v.index() >= 1));
@@ -847,7 +846,10 @@ mod tests {
     fn rename_shifts_support() {
         let (mut m, a, b, _) = setup();
         let f = m.and(a, b);
-        let g = m.rename_vars(f, &[(Var::new(0), Var::new(10)), (Var::new(1), Var::new(11))]);
+        let g = m.rename_vars(
+            f,
+            &[(Var::new(0), Var::new(10)), (Var::new(1), Var::new(11))],
+        );
         assert_eq!(m.support(g), vec![Var::new(10), Var::new(11)]);
     }
 
@@ -912,7 +914,12 @@ mod tests {
         let f = m.and(na, b);
         let cube = m.any_sat(f).expect("satisfiable");
         // Model must actually satisfy f.
-        let val = |v: Var| cube.iter().find(|&&(cv, _)| cv == v).map(|&(_, s)| s).unwrap_or(false);
+        let val = |v: Var| {
+            cube.iter()
+                .find(|&&(cv, _)| cv == v)
+                .map(|&(_, s)| s)
+                .unwrap_or(false)
+        };
         assert!(m.eval(f, val));
         assert!(m.any_sat(m.zero()).is_none());
     }

@@ -1,5 +1,8 @@
-//! Criterion benches regenerating every table and figure of the paper, plus
-//! the ablations called out in `DESIGN.md`.
+//! Benches regenerating every table and figure of the paper, plus the
+//! ablations called out in `DESIGN.md`. A self-contained harness (no
+//! external bench framework): each scenario is calibrated with one warm-up
+//! run, then timed over enough iterations to smooth scheduler noise, and
+//! reported as mean wall-clock per iteration.
 //!
 //! Experiment index (see `DESIGN.md` §5):
 //!
@@ -9,55 +12,110 @@
 //! * `fig2/*` — the worked Example 2 end to end (Figure 2);
 //! * `theorems/*` — the dynamic simulator sweeps behind Theorems 1 and 2;
 //! * `ablation/*` — reachability restriction on/off, path-coupled LP
-//!   on/off, Φ-signature cache effectiveness (exhaustive sweep).
+//!   on/off, Φ-signature cache effectiveness (exhaustive sweep);
+//! * `parallel/*` — the breakpoint sweep at 1 vs 4 worker threads.
+//!
+//! Run with `cargo bench` or `cargo bench --bench paper_benches -- table1`
+//! to filter by scenario-name substring.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mct_bdd::BddManager;
 use mct_core::{MctAnalyzer, MctOptions};
 use mct_gen::{paper_figure2, standard_suite};
 use mct_netlist::{FsmView, PinDelay, Time};
 use mct_sim::{SimConfig, Simulator};
 use mct_tbf::{Tbf, TimedVarTable, Waveform};
+use std::time::{Duration, Instant};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+/// Minimum measured wall-clock per scenario; more iterations are added
+/// until this is reached (or the per-iteration cost alone exceeds it).
+const TARGET: Duration = Duration::from_millis(300);
+/// Hard cap on iterations for very cheap bodies.
+const MAX_ITERS: u32 = 10_000;
+
+struct Harness {
+    filter: Vec<String>,
+    results: Vec<(String, Duration, u32)>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Harness {
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    fn wants(&self, name: &str) -> bool {
+        self.filter.is_empty() || self.filter.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Times `body`, discarding its result (the closure must still compute
+    /// it fully — all bodies here return data derived from the real work).
+    fn bench<T>(&mut self, name: &str, mut body: impl FnMut() -> T) {
+        if !self.wants(name) {
+            return;
+        }
+        // Warm-up + calibration run.
+        let t0 = Instant::now();
+        let first = body();
+        let once = t0.elapsed();
+        std::hint::black_box(&first);
+        let iters = if once >= TARGET {
+            1
+        } else {
+            let per = once.max(Duration::from_nanos(50));
+            ((TARGET.as_nanos() / per.as_nanos()).max(1) as u32).min(MAX_ITERS)
+        };
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(body());
+        }
+        let total = t0.elapsed();
+        let mean = total / iters;
+        println!("{name:<44} {:>12.3?}  ({iters} iters)", mean);
+        self.results.push((name.to_owned(), mean, iters));
+    }
+}
+
+fn bench_table1(h: &mut Harness) {
     let suite = standard_suite();
-    for name in ["fig2", "s27", "syn-s526", "syn-s820", "syn-s444", "syn-s38584"] {
+    for name in [
+        "fig2",
+        "s27",
+        "syn-s526",
+        "syn-s820",
+        "syn-s444",
+        "syn-s38584",
+    ] {
         let entry = suite
             .iter()
             .find(|e| e.circuit.name() == name)
             .expect("suite circuit");
-        group.bench_function(format!("row/{name}"), |b| {
-            b.iter(|| mct_bench::compute_row(entry, &MctOptions::paper()).unwrap())
+        h.bench(&format!("table1/row/{name}"), || {
+            mct_bench::compute_row(entry, &MctOptions::paper()).unwrap()
         });
     }
     // Individual columns on the worked example.
     let fig2 = paper_figure2();
-    group.bench_function("column/floating/fig2", |b| {
-        b.iter_batched(
-            || (BddManager::new(), TimedVarTable::new()),
-            |(mut m, mut t)| {
-                let view = FsmView::new(&fig2).unwrap();
-                mct_delay::floating_delay(&view, &mut m, &mut t).unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+    h.bench("table1/column/floating/fig2", || {
+        let mut m = BddManager::new();
+        let mut t = TimedVarTable::new();
+        let view = FsmView::new(&fig2).unwrap();
+        mct_delay::floating_delay(&view, &mut m, &mut t).unwrap()
     });
-    group.bench_function("column/transition/fig2", |b| {
-        b.iter_batched(
-            || (BddManager::new(), TimedVarTable::new()),
-            |(mut m, mut t)| {
-                let view = FsmView::new(&fig2).unwrap();
-                mct_delay::transition_delay(&view, &mut m, &mut t).unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+    h.bench("table1/column/transition/fig2", || {
+        let mut m = BddManager::new();
+        let mut t = TimedVarTable::new();
+        let view = FsmView::new(&fig2).unwrap();
+        mct_delay::transition_delay(&view, &mut m, &mut t).unwrap()
     });
-    group.finish();
 }
 
-fn bench_fig1_models(c: &mut Criterion) {
+fn bench_fig1_models(h: &mut Harness) {
     // The OR gate of Figure 1(b): pin 1 rise 1 / fall 2, pin 2 rise 4 / fall 3.
     let gate = Tbf::gate(
         mct_netlist::GateKind::Or,
@@ -67,161 +125,176 @@ fn bench_fig1_models(c: &mut Criterion) {
             PinDelay::new(Time::from_f64(4.0), Time::from_f64(3.0)),
         ],
     );
-    let w0 = Waveform::from_cycles(false, Time::from_f64(2.0), &[true, false, true, true, false]);
+    let w0 = Waveform::from_cycles(
+        false,
+        Time::from_f64(2.0),
+        &[true, false, true, true, false],
+    );
     let w1 = Waveform::from_cycles(true, Time::from_f64(3.0), &[false, true, false]);
-    c.bench_function("fig1/or_gate_eval_sweep", |b| {
-        b.iter(|| {
-            let mut ones = 0u32;
-            for step in 0..200 {
-                let t = Time::from_millis(step * 100);
-                if gate.eval(t, Time::UNIT, &|s, at| {
-                    if s == 0 {
-                        w0.value_at(at)
-                    } else {
-                        w1.value_at(at)
-                    }
-                }) {
-                    ones += 1;
+    h.bench("fig1/or_gate_eval_sweep", || {
+        let mut ones = 0u32;
+        for step in 0..200 {
+            let t = Time::from_millis(step * 100);
+            if gate.eval(t, Time::UNIT, &|s, at| {
+                if s == 0 {
+                    w0.value_at(at)
+                } else {
+                    w1.value_at(at)
                 }
+            }) {
+                ones += 1;
             }
-            ones
-        })
+        }
+        ones
     });
 }
 
-fn bench_fig2(c: &mut Criterion) {
+fn bench_fig2(h: &mut Harness) {
     let fig2 = paper_figure2();
-    let mut group = c.benchmark_group("fig2");
-    group.bench_function("mct_fixed", |b| {
-        b.iter(|| {
-            MctAnalyzer::new(&fig2)
-                .unwrap()
-                .run(&MctOptions::fixed_delays())
-                .unwrap()
-                .mct_upper_bound
-        })
+    h.bench("fig2/mct_fixed", || {
+        MctAnalyzer::new(&fig2)
+            .unwrap()
+            .run(&MctOptions::fixed_delays())
+            .unwrap()
+            .mct_upper_bound
     });
-    group.bench_function("mct_variation", |b| {
-        b.iter(|| {
-            MctAnalyzer::new(&fig2)
-                .unwrap()
-                .run(&MctOptions::paper())
-                .unwrap()
-                .mct_upper_bound
-        })
+    h.bench("fig2/mct_variation", || {
+        MctAnalyzer::new(&fig2)
+            .unwrap()
+            .run(&MctOptions::paper())
+            .unwrap()
+            .mct_upper_bound
     });
-    group.finish();
 }
 
-fn bench_theorems(c: &mut Criterion) {
+fn bench_theorems(h: &mut Harness) {
     let fig2 = paper_figure2();
     let sim = Simulator::new(&fig2).unwrap();
-    c.bench_function("theorems/sim_sweep_fig2", |b| {
-        b.iter(|| {
-            // Sweep periods across the Theorem-2 boundary (2 < 2.5 < 4 < 5)
-            // and count how many behave correctly.
-            let mut correct = 0;
-            for period_millis in [2000i64, 2200, 2500, 2600, 4000, 5000] {
-                let config =
-                    SimConfig::at_period(Time::from_millis(period_millis)).with_cycles(32);
-                let trace = sim.run(&config, |_, _| false);
-                let (states, outputs) = mct_sim::functional_trace(&fig2, 32, |_, _| false);
-                if trace.matches(&states, &outputs) {
-                    correct += 1;
-                }
+    h.bench("theorems/sim_sweep_fig2", || {
+        // Sweep periods across the Theorem-2 boundary (2 < 2.5 < 4 < 5)
+        // and count how many behave correctly.
+        let mut correct = 0;
+        for period_millis in [2000i64, 2200, 2500, 2600, 4000, 5000] {
+            let config = SimConfig::at_period(Time::from_millis(period_millis)).with_cycles(32);
+            let trace = sim.run(&config, |_, _| false);
+            let (states, outputs) = mct_sim::functional_trace(&fig2, 32, |_, _| false);
+            if trace.matches(&states, &outputs) {
+                correct += 1;
             }
-            correct
-        })
+        }
+        correct
     });
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
+fn bench_ablations(h: &mut Harness) {
     let suite = standard_suite();
     let s820 = suite
         .iter()
         .find(|e| e.circuit.name() == "syn-s820")
         .expect("syn-s820");
-    group.bench_function("reachability/on", |b| {
-        b.iter(|| {
-            MctAnalyzer::new(&s820.circuit)
-                .unwrap()
-                .run(&MctOptions { use_reachability: true, ..MctOptions::paper() })
-                .unwrap()
-                .mct_upper_bound
-        })
+    h.bench("ablation/reachability/on", || {
+        MctAnalyzer::new(&s820.circuit)
+            .unwrap()
+            .run(&MctOptions {
+                use_reachability: true,
+                ..MctOptions::paper()
+            })
+            .unwrap()
+            .mct_upper_bound
     });
-    group.bench_function("reachability/off", |b| {
-        b.iter(|| {
-            MctAnalyzer::new(&s820.circuit)
-                .unwrap()
-                .run(&MctOptions { use_reachability: false, ..MctOptions::paper() })
-                .unwrap()
-                .mct_upper_bound
-        })
+    h.bench("ablation/reachability/off", || {
+        MctAnalyzer::new(&s820.circuit)
+            .unwrap()
+            .run(&MctOptions {
+                use_reachability: false,
+                ..MctOptions::paper()
+            })
+            .unwrap()
+            .mct_upper_bound
     });
     let fig2 = paper_figure2();
-    group.bench_function("feasibility/closed_form", |b| {
-        b.iter(|| {
-            MctAnalyzer::new(&fig2)
-                .unwrap()
-                .run(&MctOptions { path_coupled_lp: false, ..MctOptions::paper() })
-                .unwrap()
-                .mct_upper_bound
-        })
+    h.bench("ablation/feasibility/closed_form", || {
+        MctAnalyzer::new(&fig2)
+            .unwrap()
+            .run(&MctOptions {
+                path_coupled_lp: false,
+                ..MctOptions::paper()
+            })
+            .unwrap()
+            .mct_upper_bound
     });
-    group.bench_function("feasibility/lp", |b| {
-        b.iter(|| {
-            MctAnalyzer::new(&fig2)
-                .unwrap()
-                .run(&MctOptions { path_coupled_lp: true, ..MctOptions::paper() })
-                .unwrap()
-                .mct_upper_bound
-        })
+    h.bench("ablation/feasibility/lp", || {
+        MctAnalyzer::new(&fig2)
+            .unwrap()
+            .run(&MctOptions {
+                path_coupled_lp: true,
+                ..MctOptions::paper()
+            })
+            .unwrap()
+            .mct_upper_bound
     });
-    group.bench_function("sigma_cache/exhaustive_sweep", |b| {
-        b.iter(|| {
-            MctAnalyzer::new(&fig2)
-                .unwrap()
-                .run(&MctOptions {
-                    exhaustive_floor: Some(1.0),
-                    ..MctOptions::paper()
-                })
-                .unwrap()
-                .sigma_cache_hits
-        })
+    h.bench("ablation/sigma_cache/exhaustive_sweep", || {
+        MctAnalyzer::new(&fig2)
+            .unwrap()
+            .run(&MctOptions {
+                exhaustive_floor: Some(1.0),
+                ..MctOptions::paper()
+            })
+            .unwrap()
+            .sigma_cache_hits
     });
-    group.finish();
 }
 
-fn bench_substrates_extra(c: &mut Criterion) {
+/// 1-thread vs 4-thread *exhaustive* sweep on the largest generated family
+/// — the speedup figure quoted in the README comes from this pair. The
+/// exhaustive floor keeps every breakpoint candidate in play (the early-exit
+/// sweep stops after a handful, leaving nothing to parallelize over).
+fn bench_parallel(h: &mut Harness) {
+    let suite = standard_suite();
+    for (name, floor) in [("syn-s38584", 0.2), ("syn-s15850x", 2.0)] {
+        let big = suite
+            .iter()
+            .find(|e| e.circuit.name() == name)
+            .expect("suite circuit");
+        for threads in [1usize, 4] {
+            h.bench(&format!("parallel/{name}/t{threads}"), || {
+                MctAnalyzer::new(&big.circuit)
+                    .unwrap()
+                    .run(&MctOptions {
+                        num_threads: threads,
+                        exhaustive_floor: Some(floor),
+                        ..MctOptions::paper()
+                    })
+                    .unwrap()
+                    .mct_upper_bound
+            });
+        }
+    }
+}
+
+fn bench_substrates_extra(h: &mut Harness) {
     // LP solver on the Section-7 shaped program.
-    c.bench_function("substrate/lp_tau_program", |b| {
-        b.iter(|| {
-            let mut lp = mct_lp::Simplex::new(5);
-            lp.set_objective(&[1.0, 0.0, 0.0, 0.0, 0.0]);
-            for i in 1..5 {
-                lp.add_bounds(i, 900.0 * i as f64, 1000.0 * i as f64);
-                let mut upper = vec![0.0; 5];
-                upper[0] = -(i as f64);
-                upper[i] = 1.0;
-                lp.add_le(&upper, 0.0);
-                let mut lower = vec![0.0; 5];
-                lower[0] = i as f64 - 1.0;
-                lower[i] = -1.0;
-                lp.add_le(&lower, -0.001);
-            }
-            lp.solve()
-        })
+    h.bench("substrate/lp_tau_program", || {
+        let mut lp = mct_lp::Simplex::new(5);
+        lp.set_objective(&[1.0, 0.0, 0.0, 0.0, 0.0]);
+        for i in 1..5 {
+            lp.add_bounds(i, 900.0 * i as f64, 1000.0 * i as f64);
+            let mut upper = vec![0.0; 5];
+            upper[0] = -(i as f64);
+            upper[i] = 1.0;
+            lp.add_le(&upper, 0.0);
+            let mut lower = vec![0.0; 5];
+            lower[0] = i as f64 - 1.0;
+            lower[i] = -1.0;
+            lp.add_le(&lower, -0.001);
+        }
+        lp.solve()
     });
     // Parsing throughput on the embedded s27 text.
-    c.bench_function("substrate/parse_s27", |b| {
-        b.iter(|| {
-            mct_netlist::parse_bench(mct_gen::S27_BENCH, &mct_netlist::DelayModel::Mapped)
-                .unwrap()
-                .num_gates()
-        })
+    h.bench("substrate/parse_s27", || {
+        mct_netlist::parse_bench(mct_gen::S27_BENCH, &mct_netlist::DelayModel::Mapped)
+            .unwrap()
+            .num_gates()
     });
     // Reachability on the composite machine.
     let suite = standard_suite();
@@ -229,40 +302,32 @@ fn bench_substrates_extra(c: &mut Criterion) {
         .iter()
         .find(|e| e.circuit.name() == "syn-s5378x")
         .expect("composite entry");
-    c.bench_function("substrate/reachability_composite", |b| {
-        b.iter_batched(
-            || (BddManager::new(), TimedVarTable::new()),
-            |(mut m, mut t)| {
-                let view = FsmView::new(&comp.circuit).unwrap();
-                let ex = mct_tbf::ConeExtractor::new(&view);
-                mct_tbf::reachable_states(&ex, &mut m, &mut t).unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+    h.bench("substrate/reachability_composite", || {
+        let mut m = BddManager::new();
+        let mut t = TimedVarTable::new();
+        let view = FsmView::new(&comp.circuit).unwrap();
+        let ex = mct_tbf::ConeExtractor::new(&view);
+        mct_tbf::reachable_states(&ex, &mut m, &mut t).unwrap()
     });
     // Symbolic flattening of figure 2 (Example 1).
     let fig2 = paper_figure2();
-    c.bench_function("substrate/flatten_fig2_tbf", |b| {
-        b.iter(|| {
-            let view = FsmView::new(&fig2).unwrap();
-            let g = fig2.lookup("g").unwrap();
-            mct_tbf::circuit_tbf(&view, g, 10_000).unwrap().max_shift()
-        })
+    h.bench("substrate/flatten_fig2_tbf", || {
+        let view = FsmView::new(&fig2).unwrap();
+        let g = fig2.lookup("g").unwrap();
+        mct_tbf::circuit_tbf(&view, g, 10_000).unwrap().max_shift()
     });
 }
 
-fn bench_substrates(c: &mut Criterion) {
-    // BDD baseline: a 16-bit parity and a carry chain.
-    c.bench_function("substrate/bdd_parity16", |b| {
-        b.iter(|| {
-            let mut m = BddManager::new();
-            let mut f = m.zero();
-            for i in 0..16 {
-                let v = m.var(mct_bdd::Var::new(i));
-                f = m.xor(f, v);
-            }
-            m.size(f)
-        })
+fn bench_substrates(h: &mut Harness) {
+    // BDD baseline: a 16-bit parity chain.
+    h.bench("substrate/bdd_parity16", || {
+        let mut m = BddManager::new();
+        let mut f = m.zero();
+        for i in 0..16 {
+            let v = m.var(mct_bdd::Var::new(i));
+            f = m.xor(f, v);
+        }
+        m.size(f)
     });
     // Simulator throughput on a mid-size machine.
     let suite = standard_suite();
@@ -271,22 +336,25 @@ fn bench_substrates(c: &mut Criterion) {
         .find(|e| e.circuit.name() == "syn-s35932")
         .expect("lfsr entry");
     let sim = Simulator::new(&lfsr.circuit).unwrap();
-    c.bench_function("substrate/sim_lfsr_256_cycles", |b| {
-        b.iter(|| {
-            let config = SimConfig::at_period(Time::from_f64(4.0)).with_cycles(256);
-            sim.run(&config, |_, _| false).events_processed
-        })
+    h.bench("substrate/sim_lfsr_256_cycles", || {
+        let config = SimConfig::at_period(Time::from_f64(4.0)).with_cycles(256);
+        sim.run(&config, |_, _| false).events_processed
     });
 }
 
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_fig1_models,
-    bench_fig2,
-    bench_theorems,
-    bench_ablations,
-    bench_substrates,
-    bench_substrates_extra
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_table1(&mut h);
+    bench_fig1_models(&mut h);
+    bench_fig2(&mut h);
+    bench_theorems(&mut h);
+    bench_ablations(&mut h);
+    bench_substrates(&mut h);
+    bench_substrates_extra(&mut h);
+    bench_parallel(&mut h);
+    if h.results.is_empty() {
+        eprintln!("no scenario matched the filter");
+        std::process::exit(1);
+    }
+    println!("\n{} scenarios timed.", h.results.len());
+}

@@ -13,6 +13,8 @@
 //!   --no-reachability disable the reachable-state-space restriction
 //!   --exact           exact product-machine equivalence check
 //!   --lp              Section-7 path-coupled linear programs
+//!   --threads N       sweep worker threads (0 = all CPUs; default 1);
+//!                     the report is identical at every thread count
 //! ```
 
 use mct_core::{MctAnalyzer, MctOptions};
@@ -30,6 +32,7 @@ struct Flags {
     no_reachability: bool,
     exact: bool,
     lp: bool,
+    threads: usize,
     period: Option<f64>,
     cycles: usize,
     seed: u64,
@@ -45,6 +48,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         no_reachability: false,
         exact: false,
         lp: false,
+        threads: 1,
         period: None,
         cycles: 64,
         seed: 1,
@@ -60,6 +64,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--no-reachability" => f.no_reachability = true,
             "--exact" => f.exact = true,
             "--lp" => f.lp = true,
+            "--threads" => {
+                f.threads = it
+                    .next()
+                    .ok_or("--threads needs a count (0 = all CPUs)")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?
+            }
             "--model" => match it.next().map(String::as_str) {
                 Some("unit") => f.model = DelayModel::Unit,
                 Some("mapped") => f.model = DelayModel::Mapped,
@@ -113,33 +124,37 @@ fn mct_options(flags: &Flags) -> MctOptions {
         use_reachability: !flags.no_reachability,
         path_coupled_lp: flags.lp,
         exact_check: flags.exact,
+        num_threads: flags.threads,
         ..MctOptions::paper()
     }
 }
 
 fn cmd_delays(flags: &Flags) -> Result<(), String> {
-    let path = flags.positional.first().ok_or("delays needs a netlist file")?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("delays needs a netlist file")?;
     let circuit = load(path, flags)?;
     let view = FsmView::new(&circuit).map_err(|e| e.to_string())?;
     let mut manager = mct_bdd::BddManager::new();
     let mut table = TimedVarTable::new();
-    let m = mct_delay::compute_all(&view, &mut manager, &mut table)
-        .map_err(|e| e.to_string())?;
+    let m = mct_delay::compute_all(&view, &mut manager, &mut table).map_err(|e| e.to_string())?;
     println!("{}: {}", circuit.name(), circuit.stats());
     println!("  topological  {}", m.topological);
     println!("  shortest     {}", m.shortest);
     println!("  floating     {}", m.floating);
     println!("  transition   {}", m.transition);
     if !mct_delay::theorem2_applicable(m.transition, m.topological) {
-        println!(
-            "  note: transition < topological/2 — not a certified bound (Theorem 2)"
-        );
+        println!("  note: transition < topological/2 — not a certified bound (Theorem 2)");
     }
     Ok(())
 }
 
 fn cmd_analyze(flags: &Flags) -> Result<(), String> {
-    let path = flags.positional.first().ok_or("analyze needs a netlist file")?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("analyze needs a netlist file")?;
     let circuit = load(path, flags)?;
     let opts = mct_options(flags);
     let report = MctAnalyzer::new(&circuit)
@@ -171,7 +186,10 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_simulate(flags: &Flags) -> Result<(), String> {
-    let path = flags.positional.first().ok_or("simulate needs a netlist file")?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("simulate needs a netlist file")?;
     let period = flags.period.ok_or("simulate needs --period")?;
     let circuit = load(path, flags)?;
     let sim = Simulator::new(&circuit).map_err(|e| e.to_string())?;
@@ -233,7 +251,7 @@ fn main() -> ExitCode {
     if cmd == "--help" || cmd == "-h" {
         eprintln!(
             "mct analyze <file> [--blif] [--model unit|mapped] [--fixed] \
-             [--no-reachability] [--exact] [--lp]\n\
+             [--no-reachability] [--exact] [--lp] [--threads N]\n\
              mct delays <file> [--blif] [--model unit|mapped]\n\
              mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]\n\
              mct convert <in> <out>"

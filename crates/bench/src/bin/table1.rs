@@ -12,7 +12,7 @@
 //! * `--json`             machine-readable output
 //! * `--circuit NAME`     run a single suite circuit
 
-use mct_bench::{compute_row, render_summary, render_table, summarize, TableRow};
+use mct_bench::{compute_row, render_json, render_summary, render_table, summarize, TableRow};
 use mct_core::MctOptions;
 use std::process::ExitCode;
 
@@ -81,19 +81,7 @@ fn main() -> ExitCode {
     }
 
     if want_json {
-        #[derive(serde::Serialize)]
-        struct Output<'a> {
-            rows: &'a [TableRow],
-            summary: mct_bench::TableSummary,
-        }
-        let out = Output { rows: &rows, summary: summarize(&rows) };
-        match serde_json::to_string_pretty(&out) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("serialization failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        println!("{}", render_json(&rows, &summarize(&rows)));
     } else {
         print!("{}", render_table(&rows));
         if want_summary {

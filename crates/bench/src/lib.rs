@@ -23,12 +23,11 @@
 use mct_core::{MctAnalyzer, MctError, MctOptions};
 use mct_gen::SuiteEntry;
 use mct_tbf::TimedVarTable;
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// One row of the regenerated Table 1.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TableRow {
     /// Circuit name.
     pub circuit: String,
@@ -108,8 +107,7 @@ pub fn compute_row(entry: &SuiteEntry, opts: &MctOptions) -> Result<TableRow, Mc
     let floating = mct_delay::floating_delay(&view, &mut manager, &mut table)?.as_f64();
     let floating_cpu = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let transition =
-        mct_delay::transition_delay(&view, &mut manager, &mut table)?.as_f64();
+    let transition = mct_delay::transition_delay(&view, &mut manager, &mut table)?.as_f64();
     let transition_cpu = t0.elapsed().as_secs_f64();
 
     let opts = MctOptions {
@@ -142,10 +140,7 @@ pub fn compute_row(entry: &SuiteEntry, opts: &MctOptions) -> Result<TableRow, Mc
 /// # Errors
 ///
 /// Propagates the first row failure.
-pub fn compute_table(
-    suite: &[SuiteEntry],
-    opts: &MctOptions,
-) -> Result<Vec<TableRow>, MctError> {
+pub fn compute_table(suite: &[SuiteEntry], opts: &MctOptions) -> Result<Vec<TableRow>, MctError> {
     suite.iter().map(|e| compute_row(e, opts)).collect()
 }
 
@@ -179,7 +174,7 @@ pub fn render_table(rows: &[TableRow]) -> String {
 }
 
 /// Aggregate claims of the paper's Section 8, computed from the rows.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TableSummary {
     /// Total circuits.
     pub circuits: usize,
@@ -221,6 +216,81 @@ pub fn summarize(rows: &[TableRow]) -> TableSummary {
             .filter(|r| r.mct > 0.0 && r.mct < r.topological / 4.0)
             .count(),
     }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (finite values only; the table's
+/// metrics are always finite).
+fn json_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders rows and their summary as a pretty-printed JSON document
+/// (`{ "rows": [...], "summary": {...} }`).
+pub fn render_json(rows: &[TableRow], summary: &TableSummary) -> String {
+    let mut out = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"circuit\": \"{}\",\n      \"gates\": {},\n      \
+             \"dffs\": {},\n      \"topological\": {},\n      \"floating\": {},\n      \
+             \"floating_cpu\": {},\n      \"transition\": {},\n      \
+             \"transition_cpu\": {},\n      \"mct\": {},\n      \"mct_cpu\": {},\n      \
+             \"tighter_mct\": {},\n      \"comb_false_path\": {},\n      \
+             \"partial\": {}\n    }}",
+            json_escape(&r.circuit),
+            r.gates,
+            r.dffs,
+            json_f64(r.topological),
+            json_f64(r.floating),
+            json_f64(r.floating_cpu),
+            json_f64(r.transition),
+            json_f64(r.transition_cpu),
+            json_f64(r.mct),
+            json_f64(r.mct_cpu),
+            r.tighter_mct,
+            r.comb_false_path,
+            r.partial,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"summary\": {{\n    \"circuits\": {},\n    \"tighter\": {},\n    \
+         \"tighter_fraction\": {},\n    \"max_pessimism\": {},\n    \
+         \"max_pessimism_moderate\": {},\n    \"comb_false\": {},\n    \
+         \"deep_rows\": {}\n  }}\n}}",
+        summary.circuits,
+        summary.tighter,
+        json_f64(summary.tighter_fraction),
+        json_f64(summary.max_pessimism),
+        json_f64(summary.max_pessimism_moderate),
+        summary.comb_false,
+        summary.deep_rows,
+    );
+    out
 }
 
 /// Renders the summary as prose mirroring the paper's claims.

@@ -1,17 +1,18 @@
 //! The minimum-cycle-time sweep: breakpoints, Φ enumeration, feasibility,
 //! and the final bound `D̄_s = max_{σ ∈ Ω} τ(σ)`.
+//!
+//! The sweep itself (candidate planning, per-candidate evaluation, and the
+//! τ-order reconciliation that both the 1-thread path and the worker pool
+//! share) lives in [`crate::parallel`]; this module owns the option/report
+//! types and the circuit-level setup.
 
-use crate::breakpoints::BreakpointIter;
 use crate::decision::{DecisionContext, DecisionOutcome};
 use crate::error::MctError;
-use crate::sigma::{feasible_tau_range, ShiftRange, SigmaIter};
+use crate::parallel::{self, EvalEnv, SigmaMemo, SweepShared};
 use mct_bdd::BddManager;
 use mct_lp::{LpOutcome, Rat, Simplex};
 use mct_netlist::{Circuit, FsmView, NetId};
-use mct_tbf::{
-    count_states, reachable_states, ConeExtractor, DelayClass, DiscreteMachine,
-    TimedVarTable,
-};
+use mct_tbf::{count_states, reachable_states, ConeExtractor, DelayClass, TimedVarTable};
 use std::collections::HashMap;
 
 /// Configuration of a cycle-time analysis.
@@ -59,6 +60,13 @@ pub struct MctOptions {
     /// table, which reports the last value with a `†` for runs that
     /// exhausted memory.
     pub time_budget_ms: Option<u64>,
+    /// Number of sweep worker threads. `1` (the default) evaluates
+    /// candidates on the calling thread; `0` means one worker per available
+    /// CPU. Each worker owns a private BDD manager and timed-variable
+    /// table (the managers are deliberately single-threaded); workers share
+    /// only the Φ-signature memo. The report is bit-identical at every
+    /// thread count.
+    pub num_threads: usize,
 }
 
 impl Default for MctOptions {
@@ -77,6 +85,7 @@ impl Default for MctOptions {
             exact_check: false,
             max_product_bits: 48,
             time_budget_ms: None,
+            num_threads: 1,
         }
     }
 }
@@ -85,7 +94,10 @@ impl MctOptions {
     /// Exact (fixed) gate delays — the setting of the paper's worked
     /// Example 2.
     pub fn fixed_delays() -> Self {
-        MctOptions { delay_variation: None, ..MctOptions::default() }
+        MctOptions {
+            delay_variation: None,
+            ..MctOptions::default()
+        }
     }
 
     /// The paper's Section-8 evaluation setting (alias of `default`).
@@ -236,147 +248,63 @@ impl<'c> MctAnalyzer<'c> {
             .collect();
 
         let mut ctx = DecisionContext::new(&extractor, manager, table)?;
+        let mut restriction = None;
         if opts.use_reachability && view.num_state_bits() > 0 {
             let r = reachable_states(&extractor, manager, table)?;
-            report.reachable_states =
-                Some(count_states(manager, r, view.num_state_bits()));
+            report.reachable_states = Some(count_states(manager, r, view.num_state_bits()));
             report.used_reachability = true;
             ctx = ctx.with_restriction(r);
+            restriction = Some(r);
         }
 
         let floor = match opts.exhaustive_floor {
             Some(tau) => Rat::new((tau * 1000.0).round() as i64, 1),
             None => Rat::new(l_millis, opts.floor_divisor.max(1)),
         };
-        let bp_delays: Vec<i64> = intervals
-            .iter()
-            .flat_map(|&(lo, hi)| [lo, hi])
-            .collect();
+        let bp_delays: Vec<i64> = intervals.iter().flat_map(|&(lo, hi)| [lo, hi]).collect();
 
-        let mut sigma_cache: HashMap<Vec<i64>, bool> = HashMap::new();
-        let mut prev: Option<Rat> = None;
-        let mut smallest_examined: Option<Rat> = None;
-        let mut found_failure = false;
+        let shared = SweepShared {
+            classes,
+            intervals,
+            class_ix,
+            l_millis,
+            opts: opts.clone(),
+        };
+        let sweep = parallel::plan(&bp_delays, floor, &shared);
         let deadline = opts
             .time_budget_ms
             .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
-
-        for b in BreakpointIter::new(&bp_delays, floor) {
-            report.candidates_checked += 1;
-            if report.candidates_checked > opts.max_candidates {
-                break;
-            }
-            if deadline.is_some_and(|d| std::time::Instant::now() > d) {
-                report.timed_out = true;
-                break;
-            }
-            let ranges: Vec<ShiftRange> = intervals
-                .iter()
-                .map(|&(lo, hi)| ShiftRange::at(lo, hi, b))
-                .collect();
-            if SigmaIter::combination_count(&ranges) > opts.max_sigma_combos {
-                return Err(MctError::SigmaExplosion {
-                    tau: b.as_f64() / 1000.0,
-                    cap: opts.max_sigma_combos,
-                });
-            }
-            let mut failing_sups: Vec<Rat> = Vec::new();
-            for sigma in SigmaIter::new(&ranges) {
-                let Some((_, hi)) = feasible_tau_range(&sigma, &intervals, b, prev)
-                else {
-                    continue;
-                };
-                let lp_sup = if opts.path_coupled_lp {
-                    match lp_max_tau(
-                        &classes,
-                        &sigma,
-                        opts.delay_variation,
-                        l_millis,
-                        b,
-                        prev,
-                    ) {
-                        Some(v) => Some(v),
-                        None => continue, // path coupling proves infeasibility
-                    }
-                } else {
-                    None
-                };
-                report.sigma_checked += 1;
-                let valid = match sigma_cache.get(&sigma) {
-                    Some(&v) => {
-                        report.sigma_cache_hits += 1;
-                        v
-                    }
-                    None => {
-                        let machine = DiscreteMachine::with_shift_fn(
-                            &extractor,
-                            manager,
-                            table,
-                            |leaf, k| sigma[class_ix[&(leaf, k)]],
-                        )?;
-                        let outcome = if opts.exact_check {
-                            crate::exact::decide_exact(
-                                view,
-                                manager,
-                                table,
-                                &machine,
-                                ctx.steady(),
-                                opts.max_product_bits,
-                            )?
-                        } else {
-                            ctx.decide(manager, table, &machine)
-                        };
-                        if !outcome.is_valid() && report.failure.is_none() {
-                            report.failure = Some(outcome);
-                        }
-                        sigma_cache.insert(sigma.clone(), outcome.is_valid());
-                        outcome.is_valid()
-                    }
-                };
-                if !valid {
-                    // sup of the feasible τ range of this failing σ.
-                    let closed_form_sup = hi
-                        .or(prev)
-                        .unwrap_or(Rat::new(l_millis, 1));
-                    let sup = match lp_sup {
-                        Some(v) => Rat::new((v * 1000.0).round() as i64, 1000)
-                            .min(closed_form_sup),
-                        None => closed_form_sup,
-                    };
-                    failing_sups.push(sup);
-                }
-            }
-            let region_valid = failing_sups.is_empty();
-            report.regions.push(ValidityRegion {
-                tau_lo: b.as_f64() / 1000.0,
-                tau_hi: prev.map_or(f64::INFINITY, |p| p.as_f64() / 1000.0),
-                valid: region_valid,
+        let threads = match opts.num_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        let memo = SigmaMemo::new(if threads <= 1 { 1 } else { 4 * threads });
+        let states = if threads <= 1 {
+            let mut env = EvalEnv {
+                view,
+                extractor: &extractor,
+                ctx: &ctx,
+                manager,
+                table,
+            };
+            parallel::run_single(&shared, &sweep, &mut env, &memo, deadline)
+        } else {
+            let reach = restriction.map(|set| parallel::SharedReach {
+                manager: &*manager,
+                table: &*table,
+                set,
             });
-            if !region_valid && !found_failure {
-                found_failure = true;
-                let bound = failing_sups
-                    .iter()
-                    .copied()
-                    .fold(failing_sups[0], Rat::max);
-                report.bound_exact = bound;
-                report.mct_upper_bound = bound.as_f64() / 1000.0;
-                report.first_failing_tau = Some(b.as_f64() / 1000.0);
-                if opts.exhaustive_floor.is_none() {
-                    return Ok(report);
-                }
-            }
-            prev = Some(b);
-            smallest_examined = Some(b);
-        }
-
-        if !found_failure {
-            // Every examined period was valid: the certified bound is the
-            // smallest period we checked.
-            report.exhausted = true;
-            let bound = smallest_examined.unwrap_or(Rat::ZERO);
-            report.bound_exact = bound;
-            report.mct_upper_bound = bound.as_f64() / 1000.0;
-        }
+            parallel::run_pool(
+                &shared,
+                &sweep,
+                view,
+                reach.as_ref(),
+                threads,
+                &memo,
+                deadline,
+            )?
+        };
+        parallel::reconcile(&shared, &sweep, states, &mut report)?;
         Ok(report)
     }
 }
@@ -385,7 +313,7 @@ impl<'c> MctAnalyzer<'c> {
 /// subject to `(σ_i − 1)τ < k_i ≤ σ_i τ`, `k_i = c2q_i + Σ d_e` over the
 /// class's representative path, and `d_e ∈ [α·d_e^max, d_e^max]`. Returns
 /// the maximal τ in milli-units, or `None` when infeasible.
-fn lp_max_tau(
+pub(crate) fn lp_max_tau(
     classes: &[DelayClass],
     sigma: &[i64],
     variation: Option<(i64, i64)>,
@@ -503,7 +431,10 @@ mod tests {
     #[test]
     fn figure2_lp_mode_agrees() {
         let c = figure2();
-        let opts = MctOptions { path_coupled_lp: true, ..MctOptions::default() };
+        let opts = MctOptions {
+            path_coupled_lp: true,
+            ..MctOptions::default()
+        };
         let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
         // The LP bound sits one strict-inequality ε below the closed form.
         assert!((report.mct_upper_bound - 2.5).abs() < 1e-4, "{report:?}");
@@ -593,7 +524,10 @@ mod tests {
     #[test]
     fn zero_time_budget_reports_partial() {
         let c = figure2();
-        let opts = MctOptions { time_budget_ms: Some(0), ..MctOptions::fixed_delays() };
+        let opts = MctOptions {
+            time_budget_ms: Some(0),
+            ..MctOptions::fixed_delays()
+        };
         let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
         assert!(report.timed_out, "{report:?}");
         // The partial bound is whatever was certified (possibly nothing);

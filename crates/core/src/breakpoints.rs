@@ -11,7 +11,8 @@ use mct_lp::Rat;
 use std::collections::BinaryHeap;
 
 /// Descending iterator over the distinct breakpoints `{k / j}` of a set of
-/// path delays, down to (and excluding values below) a floor.
+/// path delays, down to **and including** the floor: a breakpoint equal to
+/// the floor is yielded, only values strictly below it are discarded.
 ///
 /// Yields exact rationals in milli-units. Each yielded `b` is the *left*
 /// (inclusive) end of an interval `[b, previous)` on which every
@@ -49,7 +50,11 @@ impl BreakpointIter {
                 heap.push((Rat::new(k, 1), k, 1));
             }
         }
-        BreakpointIter { heap, floor, last: None }
+        BreakpointIter {
+            heap,
+            floor,
+            last: None,
+        }
     }
 }
 
@@ -139,5 +144,18 @@ mod tests {
     #[test]
     fn empty_when_no_delays() {
         assert!(collect(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn floor_itself_is_included() {
+        // The floor is an inclusive lower bound: a breakpoint landing
+        // exactly on it must be yielded, and the next harmonic below must
+        // not. 6000/4 == 1500 == floor; 6000/5 == 1200 < floor.
+        let bps = collect(&[6000], 1500);
+        assert_eq!(bps.last(), Some(&Rat::new(1500, 1)));
+        assert!(bps.iter().all(|&b| b >= Rat::new(1500, 1)));
+        // A non-integer floor hit: 5000/4 == 1250.
+        let bps = BreakpointIter::new(&[5000], Rat::new(5000, 4)).collect::<Vec<_>>();
+        assert_eq!(bps.last(), Some(&Rat::new(5000, 4)));
     }
 }

@@ -97,7 +97,12 @@ impl<'c> DecisionContext<'c> {
         let view = extractor.view();
         let steady = DiscreteMachine::steady_state(extractor, manager, table)?;
         let init = view.circuit().initial_state();
-        Ok(DecisionContext { view, steady, init, restriction: None })
+        Ok(DecisionContext {
+            view,
+            steady,
+            init,
+            restriction: None,
+        })
     }
 
     /// Restricts the induction frontier to `set` (a BDD over
@@ -131,30 +136,24 @@ impl<'c> DecisionContext<'c> {
         let mut xs: Vec<Vec<Bdd>> = Vec::with_capacity(m as usize);
         for r in 1..=m {
             let xt_row: Vec<Bdd> = (0..ns)
-                .map(|j| {
-                    self.compose_basis(manager, table, machine.next_state[j], r, &xt)
-                })
+                .map(|j| self.compose_basis(manager, table, machine.next_state[j], r, &xt))
                 .collect();
             let xs_row: Vec<Bdd> = (0..ns)
-                .map(|j| {
-                    self.compose_basis(manager, table, self.steady.next_state[j], r, &xs)
-                })
+                .map(|j| self.compose_basis(manager, table, self.steady.next_state[j], r, &xs))
                 .collect();
             for j in 0..ns {
                 if xt_row[j] != xs_row[j] {
                     return DecisionOutcome::BasisStateMismatch { cycle: r, bit: j };
                 }
             }
-            for (i, (&fy, &fys)) in machine
-                .outputs
-                .iter()
-                .zip(&self.steady.outputs)
-                .enumerate()
-            {
+            for (i, (&fy, &fys)) in machine.outputs.iter().zip(&self.steady.outputs).enumerate() {
                 let yt = self.compose_basis(manager, table, fy, r, &xt);
                 let ys = self.compose_basis(manager, table, fys, r, &xs);
                 if yt != ys {
-                    return DecisionOutcome::BasisOutputMismatch { cycle: r, output: i };
+                    return DecisionOutcome::BasisOutputMismatch {
+                        cycle: r,
+                        output: i,
+                    };
                 }
             }
             xt.push(xt_row);
@@ -183,8 +182,9 @@ impl<'c> DecisionContext<'c> {
                         table,
                         self.steady.next_state[j],
                         |leaf, _s| prev[leaf],
-                        |leaf, _s| {
-                            TimedVar::Shifted { leaf, shift: input_shift }
+                        |leaf, _s| TimedVar::Shifted {
+                            leaf,
+                            shift: input_shift,
                         },
                     )
                 })
@@ -204,8 +204,8 @@ impl<'c> DecisionContext<'c> {
                 .collect();
             manager.rename_vars(r, &map)
         });
-        let equal_under_restriction = |manager: &mut BddManager, a: Bdd, b: Bdd| {
-            match frontier_restriction {
+        let equal_under_restriction =
+            |manager: &mut BddManager, a: Bdd, b: Bdd| match frontier_restriction {
                 None => a == b,
                 Some(r) => {
                     if a == b {
@@ -215,8 +215,7 @@ impl<'c> DecisionContext<'c> {
                         manager.and(diff, r).is_false()
                     }
                 }
-            }
-        };
+            };
 
         for j in 0..ns {
             let x_tau = self.compose_shifted(
@@ -231,12 +230,7 @@ impl<'c> DecisionContext<'c> {
                 return DecisionOutcome::InductionStateMismatch { bit: j };
             }
         }
-        for (i, (&fy, &fys)) in machine
-            .outputs
-            .iter()
-            .zip(&self.steady.outputs)
-            .enumerate()
-        {
+        for (i, (&fy, &fys)) in machine.outputs.iter().zip(&self.steady.outputs).enumerate() {
             let y_tau = self.compose_shifted(
                 manager,
                 table,
@@ -377,7 +371,10 @@ mod tests {
     #[test]
     fn figure2_invalid_at_2() {
         let outcome = decide_fig2_at(2000);
-        assert!(!outcome.is_valid(), "τ = 2 must be rejected, got {outcome:?}");
+        assert!(
+            !outcome.is_valid(),
+            "τ = 2 must be rejected, got {outcome:?}"
+        );
     }
 
     #[test]
@@ -394,7 +391,10 @@ mod tests {
         let mut tbl = TimedVarTable::new();
         let ctx = DecisionContext::new(&ex, &mut m, &mut tbl).unwrap();
         let machine = DiscreteMachine::steady_state(&ex, &mut m, &mut tbl).unwrap();
-        assert_eq!(ctx.decide(&mut m, &mut tbl, &machine), DecisionOutcome::Valid);
+        assert_eq!(
+            ctx.decide(&mut m, &mut tbl, &machine),
+            DecisionOutcome::Valid
+        );
     }
 
     #[test]
@@ -437,10 +437,9 @@ mod tests {
         let mut tbl = TimedVarTable::new();
         let ctx = DecisionContext::new(&ex, &mut m, &mut tbl).unwrap();
         // τ = 3: path delays 1000 (direct, via keep) → 1; 6000 (slow) → 2.
-        let machine = DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, |_, k| {
-            (k + 2999) / 3000
-        })
-        .unwrap();
+        let machine =
+            DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, |_, k| (k + 2999) / 3000)
+                .unwrap();
         assert!(ctx.decide(&mut m, &mut tbl, &machine).is_valid());
     }
 
@@ -471,11 +470,10 @@ mod tests {
         let mut m = BddManager::new();
         let mut tbl = TimedVarTable::new();
         let shift = |_: usize, k: i64| (k + 2999) / 3000; // τ = 3
-        // Without restriction: a frontier state with q0 = q2 = 1 drives the
-        // trap's late conjunct and the induction fails.
+                                                          // Without restriction: a frontier state with q0 = q2 = 1 drives the
+                                                          // trap's late conjunct and the induction fails.
         let ctx = DecisionContext::new(&ex, &mut m, &mut tbl).unwrap();
-        let machine =
-            DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, shift).unwrap();
+        let machine = DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, shift).unwrap();
         assert!(!ctx.decide(&mut m, &mut tbl, &machine).is_valid());
         // With the reachable set (the three one-hot states) the trap is
         // never sensitized and τ = 3 is certified.

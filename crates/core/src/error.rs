@@ -50,7 +50,10 @@ impl fmt::Display for MctError {
                 "exact product machine needs {bits} state bits (budget {cap}); raise \
                  MctOptions::max_product_bits or use the sufficient check"
             ),
-            MctError::CandidateBudgetExhausted { examined, smallest_tau } => write!(
+            MctError::CandidateBudgetExhausted {
+                examined,
+                smallest_tau,
+            } => write!(
                 f,
                 "no failing period found after {examined} candidates (down to τ = \
                  {smallest_tau}); the machine may be correct at arbitrarily small periods"
@@ -92,7 +95,10 @@ mod tests {
         assert!(e.to_string().contains("q"));
         let e = MctError::SigmaExplosion { tau: 2.5, cap: 100 };
         assert!(e.to_string().contains("100"));
-        let e = MctError::CandidateBudgetExhausted { examined: 3, smallest_tau: 0.1 };
+        let e = MctError::CandidateBudgetExhausted {
+            examined: 3,
+            smallest_tau: 0.1,
+        };
         assert!(e.to_string().contains("3 candidates"));
     }
 }

@@ -66,7 +66,10 @@ pub fn decide_exact(
     }
     let product_bits = ns * m_state as usize + np * (m_input as usize - 1) + ns;
     if product_bits > max_product_bits {
-        return Err(MctError::ProductTooLarge { bits: product_bits, cap: max_product_bits });
+        return Err(MctError::ProductTooLarge {
+            bits: product_bits,
+            cap: max_product_bits,
+        });
     }
 
     // Current-state variable layout (all already in the machine's own
@@ -137,12 +140,18 @@ pub fn decide_exact(
             debug_assert!(slot.leaf < ns);
             machine.next_state[slot.leaf]
         } else if slot.leaf < ns {
-            let v = table.var(TimedVar::Shifted { leaf: slot.leaf, shift: slot.depth - 1 });
+            let v = table.var(TimedVar::Shifted {
+                leaf: slot.leaf,
+                shift: slot.depth - 1,
+            });
             manager.var(v)
         } else {
             // Input history: slot d receives u one cycle fresher; d = 2
             // receives the fresh input itself.
-            let v = table.var(TimedVar::Shifted { leaf: slot.leaf, shift: slot.depth - 1 });
+            let v = table.var(TimedVar::Shifted {
+                leaf: slot.leaf,
+                shift: slot.depth - 1,
+            });
             manager.var(v)
         }
     };
@@ -150,7 +159,10 @@ pub fn decide_exact(
     // Monolithic transition relation.
     let mut trans = manager.one();
     for slot in &slots {
-        let primed = table.var(TimedVar::Primed { leaf: slot.leaf, depth: slot.depth });
+        let primed = table.var(TimedVar::Primed {
+            leaf: slot.leaf,
+            depth: slot.depth,
+        });
         let f = next_fn(manager, table, slot);
         let pv = manager.var(primed);
         let bit = manager.xnor(pv, f);
@@ -177,7 +189,10 @@ pub fn decide_exact(
         .iter()
         .map(|s| {
             (
-                table.var(TimedVar::Primed { leaf: s.leaf, depth: s.depth }),
+                table.var(TimedVar::Primed {
+                    leaf: s.leaf,
+                    depth: s.depth,
+                }),
                 table.var(s.current),
             )
         })
@@ -288,10 +303,9 @@ mod tests {
         let steady = DiscreteMachine::steady_state(&ex, &mut m, &mut tbl).unwrap();
         // τ = 3: the q0 loop (delay 1) keeps shift 1, the shadow path
         // (delay 5) gets shift 2.
-        let machine = DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, |_, k| {
-            (k + 2999) / 3000
-        })
-        .unwrap();
+        let machine =
+            DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, |_, k| (k + 2999) / 3000)
+                .unwrap();
         let ctx = crate::decision::DecisionContext::new(&ex, &mut m, &mut tbl).unwrap();
         assert!(
             !ctx.decide(&mut m, &mut tbl, &machine).is_valid(),
@@ -323,10 +337,9 @@ mod tests {
         let mut m = BddManager::new();
         let mut tbl = TimedVarTable::new();
         let steady = DiscreteMachine::steady_state(&ex, &mut m, &mut tbl).unwrap();
-        let machine = DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, |_, k| {
-            (k + 2999) / 3000
-        })
-        .unwrap();
+        let machine =
+            DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, |_, k| (k + 2999) / 3000)
+                .unwrap();
         let exact = decide_exact(&view, &mut m, &mut tbl, &machine, &steady, 64).unwrap();
         assert!(!exact.is_valid());
     }

@@ -74,6 +74,7 @@ mod breakpoints;
 mod decision;
 mod error;
 mod exact;
+mod parallel;
 mod sigma;
 
 #[cfg(test)]
@@ -82,6 +83,6 @@ mod proptests;
 pub use analyzer::{MctAnalyzer, MctOptions, MctReport, ValidityRegion};
 pub use breakpoints::BreakpointIter;
 pub use decision::{DecisionContext, DecisionOutcome};
-pub use exact::decide_exact;
 pub use error::MctError;
+pub use exact::decide_exact;
 pub use sigma::{feasible_tau_range, ShiftRange, SigmaIter};

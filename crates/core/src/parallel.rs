@@ -1,0 +1,625 @@
+//! The candidate-sweep engine behind [`crate::MctAnalyzer`]: planning,
+//! per-candidate evaluation, and τ-order reconciliation — shared by the
+//! sequential path and the multi-threaded worker pool.
+//!
+//! # Architecture
+//!
+//! The sweep over candidate periods factors into three phases:
+//!
+//! 1. **Plan** ([`plan`]): drain the [`BreakpointIter`] into an explicit
+//!    descending-τ candidate list. Each candidate's shift-combination count
+//!    is pure interval arithmetic, so σ-explosion is detected here without
+//!    any symbolic work.
+//! 2. **Evaluate** ([`run_single`] / [`run_pool`]): run the decision
+//!    algorithm over every feasible shift combination of each candidate.
+//!    The BDD manager is single-threaded by design (shared unique/compute
+//!    tables want no locks), so each pool worker owns a full private
+//!    symbolic stack — manager, timed-variable table, cone extractor,
+//!    decision context, and its own reachability fixpoint. What *is* shared
+//!    is the Φ-signature memo: a sharded map keyed by the shift vector σ,
+//!    storing the (manager-independent) [`DecisionOutcome`], so no two
+//!    workers ever decide the same σ twice.
+//! 3. **Reconcile** ([`reconcile`]): replay the per-candidate outcomes in
+//!    strict descending-τ order, reconstructing the exact report a
+//!    sequential sweep would produce — same bound, same regions, same
+//!    first-failure diagnostics, and the same `sigma_checked` /
+//!    `sigma_cache_hits` counters (a cache hit is, by definition, a feasible
+//!    occurrence of a σ already seen at a larger τ; that count is a pure
+//!    function of the τ-ordered occurrence sequence, not of worker
+//!    scheduling).
+//!
+//! Because both the 1-thread and the N-thread path go through the same
+//! evaluator and the same reconciler, parallel reports are bit-identical to
+//! sequential ones; speculative work past the first failing candidate is
+//! simply discarded by the reconciler (and mostly avoided by the shared
+//! stop-index the workers publish).
+
+use crate::analyzer::{lp_max_tau, MctOptions, MctReport, ValidityRegion};
+use crate::breakpoints::BreakpointIter;
+use crate::decision::{DecisionContext, DecisionOutcome};
+use crate::error::MctError;
+use crate::sigma::{feasible_tau_range, ShiftRange, SigmaIter};
+use mct_bdd::Bdd;
+use mct_bdd::BddManager;
+use mct_lp::Rat;
+use mct_netlist::FsmView;
+use mct_tbf::{transfer_bdd, ConeExtractor, DelayClass, DiscreteMachine, TimedVarTable};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Immutable inputs of one sweep, shared by every worker.
+pub(crate) struct SweepShared {
+    /// Delay classes of the machine (one per `(leaf, delay)` pair).
+    pub classes: Vec<DelayClass>,
+    /// Per-class delay interval `[k_min, k_max]` in milli-units.
+    pub intervals: Vec<(i64, i64)>,
+    /// Class index by `(leaf, delay)`.
+    pub class_ix: HashMap<(usize, i64), usize>,
+    /// The steady-state delay `L` in milli-units.
+    pub l_millis: i64,
+    /// The analysis options.
+    pub opts: MctOptions,
+}
+
+impl SweepShared {
+    fn early_exit(&self) -> bool {
+        self.opts.exhaustive_floor.is_none()
+    }
+}
+
+/// One candidate period of the plan.
+pub(crate) struct PlannedCandidate {
+    /// The breakpoint τ (left end of the examined interval), milli-units.
+    pub tau: Rat,
+    /// The previous (larger) breakpoint — right end of the interval.
+    pub prev: Option<Rat>,
+    /// `|Φ(τ)|` before feasibility filtering (pure interval arithmetic).
+    pub combos: usize,
+}
+
+/// The full candidate list of one sweep, in descending τ order.
+pub(crate) struct SweepPlan {
+    pub candidates: Vec<PlannedCandidate>,
+    /// A `(max_candidates + 1)`-th breakpoint exists: the sweep ends by
+    /// budget, and that candidate counts as examined-but-unprocessed.
+    pub overflowed: bool,
+}
+
+/// Drains the breakpoint iterator into an explicit plan.
+pub(crate) fn plan(bp_delays: &[i64], floor: Rat, shared: &SweepShared) -> SweepPlan {
+    let mut candidates = Vec::new();
+    let mut prev: Option<Rat> = None;
+    let mut overflowed = false;
+    for b in BreakpointIter::new(bp_delays, floor) {
+        if candidates.len() == shared.opts.max_candidates {
+            overflowed = true;
+            break;
+        }
+        let ranges: Vec<ShiftRange> = shared
+            .intervals
+            .iter()
+            .map(|&(lo, hi)| ShiftRange::at(lo, hi, b))
+            .collect();
+        candidates.push(PlannedCandidate {
+            tau: b,
+            prev,
+            combos: SigmaIter::combination_count(&ranges),
+        });
+        prev = Some(b);
+    }
+    SweepPlan {
+        candidates,
+        overflowed,
+    }
+}
+
+/// What happened to one planned candidate.
+pub(crate) enum CandState {
+    /// Never evaluated (beyond the stop index); the reconciler must not
+    /// reach it.
+    Pending,
+    /// Fully evaluated.
+    Done(CandidateEval),
+    /// Evaluation failed (σ explosion or an extraction error).
+    Failed(MctError),
+    /// The wall-clock deadline expired before this candidate ran.
+    DeadlineHit,
+}
+
+/// The result of evaluating every feasible shift combination of one
+/// candidate period.
+pub(crate) struct CandidateEval {
+    /// Feasible shift vectors in enumeration order (the reconciler
+    /// reconstructs the τ-ordered cache-hit count from these).
+    pub sigmas: Vec<Vec<i64>>,
+    /// Outcome of the first invalid σ in enumeration order, if any.
+    pub first_invalid: Option<DecisionOutcome>,
+    /// The sup of the feasible τ range of each failing σ.
+    pub failing_sups: Vec<Rat>,
+}
+
+/// The sharded Φ-signature memo: shift vector → decision outcome. The
+/// outcome of a σ is independent of the candidate period it was first seen
+/// at (the discretized machine is a function of σ alone) and of the worker
+/// that decided it (a [`DecisionOutcome`] carries only cycle/bit indices),
+/// so the memo is safely shared across threads.
+pub(crate) struct SigmaMemo {
+    shards: Vec<Mutex<HashMap<Vec<i64>, DecisionOutcome>>>,
+}
+
+impl SigmaMemo {
+    pub fn new(num_shards: usize) -> Self {
+        SigmaMemo {
+            shards: (0..num_shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, sigma: &[i64]) -> &Mutex<HashMap<Vec<i64>, DecisionOutcome>> {
+        let mut h = DefaultHasher::new();
+        sigma.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn get(&self, sigma: &[i64]) -> Option<DecisionOutcome> {
+        self.shard(sigma)
+            .lock()
+            .expect("memo shard")
+            .get(sigma)
+            .copied()
+    }
+
+    fn insert(&self, sigma: &[i64], outcome: DecisionOutcome) {
+        self.shard(sigma)
+            .lock()
+            .expect("memo shard")
+            .insert(sigma.to_vec(), outcome);
+    }
+}
+
+/// The per-worker (or main-thread) symbolic state needed to evaluate
+/// candidates.
+pub(crate) struct EvalEnv<'e, 'c> {
+    pub view: &'e FsmView<'c>,
+    pub extractor: &'e ConeExtractor<'c>,
+    pub ctx: &'e DecisionContext<'c>,
+    pub manager: &'e mut BddManager,
+    pub table: &'e mut TimedVarTable,
+}
+
+/// Evaluates one candidate: enumerate Φ(τ), filter to the feasible σ, and
+/// decide each against the steady machine (through the shared memo).
+pub(crate) fn eval_candidate(
+    shared: &SweepShared,
+    env: &mut EvalEnv<'_, '_>,
+    cand: &PlannedCandidate,
+    memo: &SigmaMemo,
+) -> Result<CandidateEval, MctError> {
+    let ranges: Vec<ShiftRange> = shared
+        .intervals
+        .iter()
+        .map(|&(lo, hi)| ShiftRange::at(lo, hi, cand.tau))
+        .collect();
+    let mut eval = CandidateEval {
+        sigmas: Vec::new(),
+        first_invalid: None,
+        failing_sups: Vec::new(),
+    };
+    for sigma in SigmaIter::new(&ranges) {
+        let Some((_, hi)) = feasible_tau_range(&sigma, &shared.intervals, cand.tau, cand.prev)
+        else {
+            continue;
+        };
+        let lp_sup = if shared.opts.path_coupled_lp {
+            match lp_max_tau(
+                &shared.classes,
+                &sigma,
+                shared.opts.delay_variation,
+                shared.l_millis,
+                cand.tau,
+                cand.prev,
+            ) {
+                Some(v) => Some(v),
+                None => continue, // path coupling proves infeasibility
+            }
+        } else {
+            None
+        };
+        let outcome = match memo.get(&sigma) {
+            Some(o) => o,
+            None => {
+                let machine = DiscreteMachine::with_shift_fn(
+                    env.extractor,
+                    env.manager,
+                    env.table,
+                    |leaf, k| sigma[shared.class_ix[&(leaf, k)]],
+                )?;
+                let outcome = if shared.opts.exact_check {
+                    crate::exact::decide_exact(
+                        env.view,
+                        env.manager,
+                        env.table,
+                        &machine,
+                        env.ctx.steady(),
+                        shared.opts.max_product_bits,
+                    )?
+                } else {
+                    env.ctx.decide(env.manager, env.table, &machine)
+                };
+                memo.insert(&sigma, outcome);
+                outcome
+            }
+        };
+        if !outcome.is_valid() {
+            if eval.first_invalid.is_none() {
+                eval.first_invalid = Some(outcome);
+            }
+            // sup of the feasible τ range of this failing σ.
+            let closed_form_sup = hi.or(cand.prev).unwrap_or(Rat::new(shared.l_millis, 1));
+            let sup = match lp_sup {
+                Some(v) => Rat::new((v * 1000.0).round() as i64, 1000).min(closed_form_sup),
+                None => closed_form_sup,
+            };
+            eval.failing_sups.push(sup);
+        }
+        eval.sigmas.push(sigma);
+    }
+    Ok(eval)
+}
+
+/// Evaluates the plan on the calling thread (the 1-thread path), stopping
+/// exactly where the classic sequential sweep would: at the deadline, at a
+/// σ explosion, or (without an exhaustive floor) after the first failing
+/// candidate.
+pub(crate) fn run_single(
+    shared: &SweepShared,
+    sweep: &SweepPlan,
+    env: &mut EvalEnv<'_, '_>,
+    memo: &SigmaMemo,
+    deadline: Option<Instant>,
+) -> Vec<CandState> {
+    let mut states: Vec<CandState> = sweep
+        .candidates
+        .iter()
+        .map(|_| CandState::Pending)
+        .collect();
+    for (index, cand) in sweep.candidates.iter().enumerate() {
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            states[index] = CandState::DeadlineHit;
+            break;
+        }
+        if cand.combos > shared.opts.max_sigma_combos {
+            states[index] = CandState::Failed(MctError::SigmaExplosion {
+                tau: cand.tau.as_f64() / 1000.0,
+                cap: shared.opts.max_sigma_combos,
+            });
+            break;
+        }
+        match eval_candidate(shared, env, cand, memo) {
+            Ok(eval) => {
+                let failing = !eval.failing_sups.is_empty();
+                states[index] = CandState::Done(eval);
+                if failing && shared.early_exit() {
+                    break;
+                }
+            }
+            Err(e) => {
+                states[index] = CandState::Failed(e);
+                break;
+            }
+        }
+    }
+    states
+}
+
+/// The reachable-state restriction as computed on the main manager, for
+/// workers to import (see [`transfer_bdd`]) instead of re-running the
+/// image fixpoint.
+pub(crate) struct SharedReach<'m> {
+    pub manager: &'m BddManager,
+    pub table: &'m TimedVarTable,
+    pub set: Bdd,
+}
+
+/// The cross-worker coordination state of one pool run: the dispatch
+/// counter, the (shrink-only) stop index, and the shared deadline.
+struct PoolControl {
+    next: AtomicUsize,
+    stop_at: AtomicUsize,
+    deadline: Option<Instant>,
+}
+
+/// Evaluates the plan on `threads` workers, each owning a private symbolic
+/// stack. Candidates are claimed from a shared counter in descending-τ
+/// order; a shared stop index prunes work past the first terminal event
+/// (failing candidate in early-exit mode, error, or deadline).
+pub(crate) fn run_pool(
+    shared: &SweepShared,
+    sweep: &SweepPlan,
+    view: &FsmView<'_>,
+    reach: Option<&SharedReach<'_>>,
+    threads: usize,
+    memo: &SigmaMemo,
+    deadline: Option<Instant>,
+) -> Result<Vec<CandState>, MctError> {
+    let control = PoolControl {
+        next: AtomicUsize::new(0),
+        stop_at: AtomicUsize::new(usize::MAX),
+        deadline,
+    };
+    let results: Result<Vec<Vec<(usize, CandState)>>, MctError> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| scope.spawn(|| worker_loop(shared, sweep, view, reach, &control, memo)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut states: Vec<CandState> = sweep
+        .candidates
+        .iter()
+        .map(|_| CandState::Pending)
+        .collect();
+    for (index, state) in results?.into_iter().flatten() {
+        states[index] = state;
+    }
+    Ok(states)
+}
+
+/// One worker: build a private symbolic stack, then claim and evaluate
+/// candidates until the plan (or the stop index) is exhausted.
+fn worker_loop(
+    shared: &SweepShared,
+    sweep: &SweepPlan,
+    view: &FsmView<'_>,
+    reach: Option<&SharedReach<'_>>,
+    control: &PoolControl,
+    memo: &SigmaMemo,
+) -> Result<Vec<(usize, CandState)>, MctError> {
+    let extractor = ConeExtractor::new(view).with_node_limit(shared.opts.cone_node_limit);
+    let mut manager = BddManager::new();
+    let mut table = TimedVarTable::new();
+    let mut ctx = DecisionContext::new(&extractor, &mut manager, &mut table)?;
+    if let Some(r) = reach {
+        // Import the restriction computed once on the main manager — a
+        // linear walk, not a repeat of the image fixpoint.
+        let local = transfer_bdd(r.manager, r.table, r.set, &mut manager, &mut table)?;
+        ctx = ctx.with_restriction(local);
+    }
+    let mut env = EvalEnv {
+        view,
+        extractor: &extractor,
+        ctx: &ctx,
+        manager: &mut manager,
+        table: &mut table,
+    };
+    let mut out = Vec::new();
+    loop {
+        let index = control.next.fetch_add(1, Ordering::Relaxed);
+        if index >= sweep.candidates.len() {
+            break;
+        }
+        // The stop index only shrinks, so every later claim is also past
+        // it: this worker is done.
+        if index > control.stop_at.load(Ordering::Acquire) {
+            break;
+        }
+        let cand = &sweep.candidates[index];
+        let state = if control.deadline.is_some_and(|d| Instant::now() > d) {
+            control.stop_at.fetch_min(index, Ordering::AcqRel);
+            CandState::DeadlineHit
+        } else if cand.combos > shared.opts.max_sigma_combos {
+            control.stop_at.fetch_min(index, Ordering::AcqRel);
+            CandState::Failed(MctError::SigmaExplosion {
+                tau: cand.tau.as_f64() / 1000.0,
+                cap: shared.opts.max_sigma_combos,
+            })
+        } else {
+            match eval_candidate(shared, &mut env, cand, memo) {
+                Ok(eval) => {
+                    if !eval.failing_sups.is_empty() && shared.early_exit() {
+                        control.stop_at.fetch_min(index, Ordering::AcqRel);
+                    }
+                    CandState::Done(eval)
+                }
+                Err(e) => {
+                    control.stop_at.fetch_min(index, Ordering::AcqRel);
+                    CandState::Failed(e)
+                }
+            }
+        };
+        out.push((index, state));
+    }
+    Ok(out)
+}
+
+/// Replays per-candidate outcomes in descending-τ order, producing the
+/// exact report of a sequential sweep. Stops at the first terminal state
+/// (deadline, error, or — without an exhaustive floor — the candidate after
+/// the first failure), so speculative parallel work past that point is
+/// discarded.
+pub(crate) fn reconcile(
+    shared: &SweepShared,
+    sweep: &SweepPlan,
+    states: Vec<CandState>,
+    report: &mut MctReport,
+) -> Result<(), MctError> {
+    let mut seen: HashSet<Vec<i64>> = HashSet::new();
+    let mut prev_tau: Option<Rat> = None;
+    let mut smallest_examined: Option<Rat> = None;
+    let mut found_failure = false;
+    let mut completed = true;
+    for (cand, state) in sweep.candidates.iter().zip(states) {
+        match state {
+            CandState::Pending => {
+                // Beyond the stop index: nothing here (or later) was part
+                // of the effective sweep.
+                completed = false;
+                break;
+            }
+            CandState::DeadlineHit => {
+                report.candidates_checked += 1;
+                report.timed_out = true;
+                completed = false;
+                break;
+            }
+            CandState::Failed(e) => return Err(e),
+            CandState::Done(eval) => {
+                report.candidates_checked += 1;
+                for sigma in eval.sigmas {
+                    report.sigma_checked += 1;
+                    if !seen.insert(sigma) {
+                        report.sigma_cache_hits += 1;
+                    }
+                }
+                let region_valid = eval.failing_sups.is_empty();
+                report.regions.push(ValidityRegion {
+                    tau_lo: cand.tau.as_f64() / 1000.0,
+                    tau_hi: prev_tau.map_or(f64::INFINITY, |p| p.as_f64() / 1000.0),
+                    valid: region_valid,
+                });
+                if !region_valid && !found_failure {
+                    found_failure = true;
+                    let bound = eval
+                        .failing_sups
+                        .iter()
+                        .copied()
+                        .fold(eval.failing_sups[0], Rat::max);
+                    report.bound_exact = bound;
+                    report.mct_upper_bound = bound.as_f64() / 1000.0;
+                    report.first_failing_tau = Some(cand.tau.as_f64() / 1000.0);
+                    report.failure = eval.first_invalid;
+                    if shared.early_exit() {
+                        return Ok(());
+                    }
+                }
+                prev_tau = Some(cand.tau);
+                smallest_examined = Some(cand.tau);
+            }
+        }
+    }
+    if completed && sweep.overflowed {
+        // The sequential loop counts the (max_candidates + 1)-th breakpoint
+        // before noticing the budget is spent.
+        report.candidates_checked += 1;
+    }
+    if !found_failure {
+        // Every examined period was valid: the certified bound is the
+        // smallest period we checked.
+        report.exhausted = true;
+        let bound = smallest_examined.unwrap_or(Rat::ZERO);
+        report.bound_exact = bound;
+        report.mct_upper_bound = bound.as_f64() / 1000.0;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyzer::{MctAnalyzer, MctOptions, MctReport};
+    use mct_netlist::{Circuit, GateKind, Time};
+
+    fn figure2() -> Circuit {
+        let mut c = Circuit::new("fig2");
+        let f = c.add_dff("f", true, Time::ZERO);
+        let cb = c.add_gate("c", GateKind::Buf, &[f], Time::from_f64(1.5));
+        let d = c.add_gate("d", GateKind::Not, &[f], Time::from_f64(4.0));
+        let e = c.add_gate("e", GateKind::Buf, &[f], Time::from_f64(5.0));
+        let a = c.add_gate("a", GateKind::And, &[cb, d, e], Time::ZERO);
+        let b = c.add_gate("b", GateKind::Not, &[f], Time::from_f64(2.0));
+        let g = c.add_gate("g", GateKind::Or, &[a, b], Time::ZERO);
+        c.connect_dff_data("f", g).unwrap();
+        c.set_output(f);
+        c
+    }
+
+    fn assert_reports_identical(a: &MctReport, b: &MctReport) {
+        assert_eq!(a.circuit, b.circuit);
+        assert_eq!(a.steady_delay, b.steady_delay);
+        assert_eq!(a.bound_exact, b.bound_exact);
+        assert_eq!(a.mct_upper_bound, b.mct_upper_bound);
+        assert_eq!(a.first_failing_tau, b.first_failing_tau);
+        assert_eq!(a.failure, b.failure);
+        assert_eq!(a.candidates_checked, b.candidates_checked);
+        assert_eq!(a.sigma_checked, b.sigma_checked);
+        assert_eq!(a.sigma_cache_hits, b.sigma_cache_hits);
+        assert_eq!(a.exhausted, b.exhausted);
+        assert_eq!(a.timed_out, b.timed_out);
+        assert_eq!(a.used_reachability, b.used_reachability);
+        assert_eq!(a.reachable_states, b.reachable_states);
+        assert_eq!(a.regions, b.regions);
+    }
+
+    fn run_at(c: &Circuit, threads: usize, base: &MctOptions) -> MctReport {
+        let opts = MctOptions {
+            num_threads: threads,
+            ..base.clone()
+        };
+        MctAnalyzer::new(c).unwrap().run(&opts).unwrap()
+    }
+
+    #[test]
+    fn figure2_parallel_matches_sequential() {
+        let c = figure2();
+        for base in [MctOptions::fixed_delays(), MctOptions::paper()] {
+            let seq = run_at(&c, 1, &base);
+            for threads in [2, 4] {
+                let par = run_at(&c, threads, &base);
+                assert_reports_identical(&seq, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_parallel_matches_sequential_exhaustive() {
+        let c = figure2();
+        let base = MctOptions {
+            exhaustive_floor: Some(1.0),
+            ..MctOptions::paper()
+        };
+        let seq = run_at(&c, 1, &base);
+        assert!(seq.sigma_cache_hits > 0);
+        for threads in [2, 4, 8] {
+            let par = run_at(&c, threads, &base);
+            assert_reports_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let c = figure2();
+        let seq = run_at(&c, 1, &MctOptions::fixed_delays());
+        let par = run_at(&c, 0, &MctOptions::fixed_delays());
+        assert_reports_identical(&seq, &par);
+    }
+
+    #[test]
+    fn parallel_explosion_error_matches_sequential() {
+        let c = figure2();
+        let base = MctOptions {
+            max_sigma_combos: 0,
+            ..MctOptions::fixed_delays()
+        };
+        let seq = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions {
+                num_threads: 1,
+                ..base.clone()
+            })
+            .unwrap_err();
+        let par = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions {
+                num_threads: 4,
+                ..base
+            })
+            .unwrap_err();
+        assert_eq!(seq, par);
+    }
+}

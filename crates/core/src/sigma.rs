@@ -70,7 +70,10 @@ impl SigmaIter {
     /// `ranges` is empty).
     pub fn new(ranges: &[ShiftRange]) -> Self {
         let current = Some(ranges.iter().map(|r| r.lo).collect());
-        SigmaIter { ranges: ranges.to_vec(), current }
+        SigmaIter {
+            ranges: ranges.to_vec(),
+            current,
+        }
     }
 
     /// Total number of combinations, saturating at `usize::MAX`.
@@ -174,10 +177,7 @@ mod tests {
 
     #[test]
     fn sigma_iter_covers_product() {
-        let ranges = vec![
-            ShiftRange { lo: 1, hi: 2 },
-            ShiftRange { lo: 1, hi: 3 },
-        ];
+        let ranges = vec![ShiftRange { lo: 1, hi: 2 }, ShiftRange { lo: 1, hi: 3 }];
         let all: Vec<Vec<i64>> = SigmaIter::new(&ranges).collect();
         assert_eq!(all.len(), 6);
         assert_eq!(SigmaIter::combination_count(&ranges), 6);
@@ -208,12 +208,7 @@ mod tests {
     fn feasibility_infeasible_combination() {
         // Two identical classes with contradictory shifts: σ = (1, 3) on
         // k ∈ [4000, 4000]: σ=1 needs τ ≥ 4000; σ=3 needs τ < 2000.
-        let r = feasible_tau_range(
-            &[1, 3],
-            &[(4000, 4000), (4000, 4000)],
-            Rat::new(1, 1),
-            None,
-        );
+        let r = feasible_tau_range(&[1, 3], &[(4000, 4000), (4000, 4000)], Rat::new(1, 1), None);
         assert_eq!(r, None);
     }
 

@@ -66,9 +66,7 @@ mod topological;
 
 pub use metrics::{compute_all, DelayMetrics};
 pub use profile::{DelayProfile, SinkDelays};
-pub use sweep::{
-    floating_delay, floating_delay_restricted, transition_delay,
-};
+pub use sweep::{floating_delay, floating_delay_restricted, transition_delay};
 pub use topological::{shortest_path_delay, topological_delay};
 
 use mct_netlist::Time;
@@ -115,7 +113,13 @@ mod theorem_tests {
     fn theorem2_on_paper_example() {
         // Figure 2: transition delay 2 < 5/2 → not applicable (and indeed
         // incorrect as a bound, since the true MCT is 2.5).
-        assert!(!theorem2_applicable(Time::from_f64(2.0), Time::from_f64(5.0)));
-        assert!(theorem2_applicable(Time::from_f64(2.5), Time::from_f64(5.0)));
+        assert!(!theorem2_applicable(
+            Time::from_f64(2.0),
+            Time::from_f64(5.0)
+        ));
+        assert!(theorem2_applicable(
+            Time::from_f64(2.5),
+            Time::from_f64(5.0)
+        ));
     }
 }

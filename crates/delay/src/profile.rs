@@ -77,7 +77,10 @@ impl DelayProfile {
             }
         }
         for id in order {
-            if let Node::Gate { inputs, pin_delays, .. } = circuit.node(id) {
+            if let Node::Gate {
+                inputs, pin_delays, ..
+            } = circuit.node(id)
+            {
                 dist[id.index()] = inputs
                     .iter()
                     .zip(pin_delays)
@@ -112,7 +115,9 @@ impl DelayProfile {
 
     /// Floating-delay slack of every sink against the critical one.
     pub fn slacks(&self) -> Vec<(String, Time)> {
-        let Some(critical) = self.critical() else { return Vec::new() };
+        let Some(critical) = self.critical() else {
+            return Vec::new();
+        };
         let worst = critical.floating;
         self.sinks
             .iter()

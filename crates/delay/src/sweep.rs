@@ -83,11 +83,10 @@ fn sweep(
 
     // Settled functions: every observation is the applied vector.
     let settled = {
-        let mut policy =
-            |m: &mut BddManager, t: &mut TimedVarTable, leaf: usize, _k: i64| {
-                let v = t.var(TimedVar::Shifted { leaf, shift: 0 });
-                m.var(v)
-            };
+        let mut policy = |m: &mut BddManager, t: &mut TimedVarTable, leaf: usize, _k: i64| {
+            let v = t.var(TimedVar::Shifted { leaf, shift: 0 });
+            m.var(v)
+        };
         extractor.extract(manager, table, &sinks, &mut policy)?
     };
 
@@ -95,30 +94,32 @@ fn sweep(
         // The timed function just before p: arrivals strictly earlier than p
         // have settled; everything else still carries pre-vector values.
         let timed = {
-            let mut policy =
-                |m: &mut BddManager, t: &mut TimedVarTable, leaf: usize, k: i64| {
-                    if k < p {
-                        let v = t.var(TimedVar::Shifted { leaf, shift: 0 });
-                        m.var(v)
-                    } else {
-                        let tv = match mode {
-                            Mode::Floating => TimedVar::Arbitrary { leaf, delay: k },
-                            Mode::Transition => TimedVar::Old { leaf },
-                        };
-                        let v = t.var(tv);
-                        m.var(v)
-                    }
-                };
+            let mut policy = |m: &mut BddManager, t: &mut TimedVarTable, leaf: usize, k: i64| {
+                if k < p {
+                    let v = t.var(TimedVar::Shifted { leaf, shift: 0 });
+                    m.var(v)
+                } else {
+                    let tv = match mode {
+                        Mode::Floating => TimedVar::Arbitrary { leaf, delay: k },
+                        Mode::Transition => TimedVar::Old { leaf },
+                    };
+                    let v = t.var(tv);
+                    m.var(v)
+                }
+            };
             extractor.extract(manager, table, &sinks, &mut policy)?
         };
-        let differs = timed.iter().zip(&settled).any(|(&a, &b)| match restriction {
-            None => a != b,
-            Some(r) => {
-                let diff = manager.xor(a, b);
-                let within = manager.and(diff, r);
-                !within.is_false()
-            }
-        });
+        let differs = timed
+            .iter()
+            .zip(&settled)
+            .any(|(&a, &b)| match restriction {
+                None => a != b,
+                Some(r) => {
+                    let diff = manager.xor(a, b);
+                    let within = manager.and(diff, r);
+                    !within.is_false()
+                }
+            });
         if differs {
             return Ok(Time::from_millis(p));
         }
@@ -207,7 +208,10 @@ mod tests {
         let float = floating_delay(&view, &mut m, &mut tbl).unwrap();
         let top = crate::topological_delay(&view).unwrap();
         assert_eq!(top, t(10.0));
-        assert!(float < top, "floating {float} should beat topological {top}");
+        assert!(
+            float < top,
+            "floating {float} should beat topological {top}"
+        );
     }
 
     #[test]
@@ -237,8 +241,7 @@ mod tests {
         let unrestricted = floating_delay(&view, &mut m, &mut tbl).unwrap();
         let ex = ConeExtractor::new(&view);
         let r = reachable_states(&ex, &mut m, &mut tbl).unwrap();
-        let restricted =
-            floating_delay_restricted(&view, &mut m, &mut tbl, r).unwrap();
+        let restricted = floating_delay_restricted(&view, &mut m, &mut tbl, r).unwrap();
         assert_eq!(unrestricted, t(9.0));
         assert!(
             restricted < unrestricted,

@@ -26,10 +26,7 @@ pub fn shortest_path_delay(view: &FsmView<'_>) -> Result<Time, mct_netlist::Netl
     extreme_path(view, false)
 }
 
-fn extreme_path(
-    view: &FsmView<'_>,
-    longest: bool,
-) -> Result<Time, mct_netlist::NetlistError> {
+fn extreme_path(view: &FsmView<'_>, longest: bool) -> Result<Time, mct_netlist::NetlistError> {
     let circuit = view.circuit();
     let order = circuit.topo_order()?;
     // dist[node] = extreme delay from any leaf to the node's output.
@@ -41,7 +38,10 @@ fn extreme_path(
     }
     let pick = |a: Time, b: Time| if longest { a.max(b) } else { a.min(b) };
     for id in order {
-        if let Node::Gate { inputs, pin_delays, .. } = circuit.node(id) {
+        if let Node::Gate {
+            inputs, pin_delays, ..
+        } = circuit.node(id)
+        {
             let mut best: Option<Time> = None;
             for (inp, pd) in inputs.iter().zip(pin_delays) {
                 let pin = if longest { pd.max() } else { pd.min() };

@@ -13,8 +13,7 @@
 //! | [`deep_false_path`] | extreme unreachable slack | MCT < topological / 4 (the paper's s38584 row) |
 
 use mct_netlist::{Circuit, GateKind, NetId, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mct_prng::SmallRng;
 
 fn t(v: f64) -> Time {
     Time::from_f64(v)
@@ -144,7 +143,7 @@ pub fn random_fsm(seed: u64, state_bits: usize, input_bits: usize, gates: usize)
         nets.push(c.add_input(format!("in{i}")));
     }
     for i in 0..state_bits {
-        nets.push(c.add_dff(format!("q{i}"), rng.gen(), Time::ZERO));
+        nets.push(c.add_dff(format!("q{i}"), rng.gen_bool(), Time::ZERO));
     }
     let kinds = [
         GateKind::And,
@@ -163,7 +162,7 @@ pub fn random_fsm(seed: u64, state_bits: usize, input_bits: usize, gates: usize)
         } else {
             vec![a, nets[rng.gen_range(0..nets.len())]]
         };
-        let delay = Time::from_millis(rng.gen_range(1..=20) * 100);
+        let delay = Time::from_millis(rng.gen_range(1..=20i64) * 100);
         nets.push(c.add_gate(format!("g{g}"), kind, &inputs, delay));
     }
     for i in 0..state_bits {
@@ -345,7 +344,8 @@ pub fn composite(
     let trap = c.add_gate("rtrap", GateKind::And, &[rs[0], rs[1], slow], Time::ZERO);
     let base = c.add_gate("rbase", GateKind::Buf, &[rs[rotator_bits - 2]], d_base);
     let nx = c.add_gate("rnx", GateKind::Xor, &[base, trap], Time::ZERO);
-    c.connect_dff_data(&format!("r{}", rotator_bits - 1), nx).unwrap();
+    c.connect_dff_data(&format!("r{}", rotator_bits - 1), nx)
+        .unwrap();
     c.set_output(rs[rotator_bits - 1]);
     c
 }
@@ -421,11 +421,7 @@ mod tests {
         let mut s = c.initial_state();
         for expect in 1..=10u32 {
             (s, _) = c.step(&s, &[true]);
-            let val: u32 = s
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| u32::from(b) << i)
-                .sum();
+            let val: u32 = s.iter().enumerate().map(|(i, &b)| u32::from(b) << i).sum();
             assert_eq!(val, expect % 16);
         }
         // Disabled: holds.
@@ -475,11 +471,7 @@ mod tests {
         let c = comb_false_path(t(1.0), t(6.0), 3);
         // The `dead` net must evaluate to 0 under every leaf assignment.
         let dead = c.lookup("dead").unwrap();
-        let leaves: Vec<_> = c
-            .inputs()
-            .into_iter()
-            .chain(c.dffs())
-            .collect();
+        let leaves: Vec<_> = c.inputs().into_iter().chain(c.dffs()).collect();
         for mask in 0..(1u32 << leaves.len()) {
             let vals = c.eval(|id| {
                 leaves
@@ -513,7 +505,11 @@ mod tests {
             let rot = &s[11..15];
             assert_eq!(rot.iter().filter(|&&b| b).count(), 1, "one-hot rotator");
         }
-        let count: u32 = s[..6].iter().enumerate().map(|(i, &b)| u32::from(b) << i).sum();
+        let count: u32 = s[..6]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u32::from(b) << i)
+            .sum();
         assert_eq!(count, 6);
     }
 

@@ -64,7 +64,9 @@ fn named(mut c: Circuit, name: &str) -> Circuit {
 pub fn standard_suite() -> Vec<SuiteEntry> {
     vec![
         // The paper's worked example and the one real ISCAS'89 circuit.
-        SuiteEntry::new(paper::paper_figure2()).tighter().comb_false(),
+        SuiteEntry::new(paper::paper_figure2())
+            .tighter()
+            .comb_false(),
         SuiteEntry::new(paper::s27(&DelayModel::Mapped)),
         // Neutral machines (all delay metrics coincide) — the bulk of the
         // table, like s444/s1423/s1494/s35932.

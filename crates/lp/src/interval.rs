@@ -150,7 +150,10 @@ mod tests {
         assert_eq!(a.intersect(b), Some(Interval::new(5, 10)));
         assert_eq!(a.intersect(Interval::new(11, 12)), None);
         // Touching intervals intersect in a point.
-        assert_eq!(a.intersect(Interval::new(10, 12)), Some(Interval::point(10)));
+        assert_eq!(
+            a.intersect(Interval::new(10, 12)),
+            Some(Interval::point(10))
+        );
     }
 
     #[test]

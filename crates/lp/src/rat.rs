@@ -54,7 +54,10 @@ impl Rat {
         assert!(den != 0, "zero denominator");
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd(num, den).max(1);
-        Rat { num: sign * num / g, den: sign * den / g }
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     /// The integer `n` as a rational.
@@ -185,7 +188,10 @@ impl Div for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

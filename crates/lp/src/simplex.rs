@@ -292,9 +292,7 @@ impl Tableau {
             // Pivot any degenerate basic artificials out of the basis.
             for i in 0..self.rows.len() {
                 if self.basis[i] >= art_start {
-                    if let Some(col) =
-                        (0..art_start).find(|&j| self.rows[i][j].abs() > 1e-7)
-                    {
+                    if let Some(col) = (0..art_start).find(|&j| self.rows[i][j].abs() > 1e-7) {
                         let mut dummy = vec![0.0; total + 1];
                         self.pivot(i, col, &mut dummy);
                     }
@@ -464,27 +462,32 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use mct_prng::SmallRng;
 
-    fn arb_lp() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<f64>, f64)>)> {
+    fn random_lp(rng: &mut SmallRng) -> (Vec<f64>, Vec<(Vec<f64>, f64)>) {
         let nvars = 3usize;
-        let coeff = -4i32..=4;
-        let obj = prop::collection::vec(coeff.clone().prop_map(f64::from), nvars);
-        let row = (
-            prop::collection::vec(coeff.prop_map(f64::from), nvars),
-            0i32..=20,
-        )
-            .prop_map(|(a, b)| (a, f64::from(b)));
-        (obj, prop::collection::vec(row, 1..6))
+        let obj: Vec<f64> = (0..nvars)
+            .map(|_| rng.gen_range(-4..=4i64) as f64)
+            .collect();
+        let nrows = rng.gen_range(1..6usize);
+        let rows = (0..nrows)
+            .map(|_| {
+                let a: Vec<f64> = (0..nvars)
+                    .map(|_| rng.gen_range(-4..=4i64) as f64)
+                    .collect();
+                (a, rng.gen_range(0..=20i64) as f64)
+            })
+            .collect();
+        (obj, rows)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        /// Optimal solutions are feasible and at least as good as a grid of
-        /// sampled feasible points.
-        #[test]
-        fn optimum_is_feasible_and_dominates_samples((obj, rows) in arb_lp()) {
+    /// Optimal solutions are feasible and at least as good as a grid of
+    /// sampled feasible points.
+    #[test]
+    fn optimum_is_feasible_and_dominates_samples() {
+        let mut rng = SmallRng::seed_from_u64(0x51_4c50);
+        for case in 0..128 {
+            let (obj, rows) = random_lp(&mut rng);
             let mut lp = Simplex::new(obj.len());
             lp.set_objective(&obj);
             for (a, b) in &rows {
@@ -495,12 +498,14 @@ mod proptests {
                     // Feasibility of the returned point.
                     for (a, b) in &rows {
                         let lhs: f64 = a.iter().zip(&solution).map(|(c, x)| c * x).sum();
-                        prop_assert!(lhs <= b + 1e-6, "violated row {a:?} ≤ {b}: lhs {lhs}");
+                        assert!(
+                            lhs <= b + 1e-6,
+                            "case {case}: violated row {a:?} ≤ {b}: lhs {lhs}"
+                        );
                     }
-                    prop_assert!(solution.iter().all(|&x| x >= -1e-9));
-                    let recomputed: f64 =
-                        obj.iter().zip(&solution).map(|(c, x)| c * x).sum();
-                    prop_assert!((recomputed - value).abs() < 1e-6);
+                    assert!(solution.iter().all(|&x| x >= -1e-9));
+                    let recomputed: f64 = obj.iter().zip(&solution).map(|(c, x)| c * x).sum();
+                    assert!((recomputed - value).abs() < 1e-6);
                     // Grid sampling cannot beat the optimum.
                     for gx in 0..=4 {
                         for gy in 0..=4 {
@@ -510,11 +515,11 @@ mod proptests {
                                     a.iter().zip(&p).map(|(c, x)| c * x).sum::<f64>() <= b + 1e-9
                                 });
                                 if feasible {
-                                    let v: f64 =
-                                        obj.iter().zip(&p).map(|(c, x)| c * x).sum();
-                                    prop_assert!(
+                                    let v: f64 = obj.iter().zip(&p).map(|(c, x)| c * x).sum();
+                                    assert!(
                                         v <= value + 1e-6,
-                                        "sample {p:?} (value {v}) beats optimum {value}"
+                                        "case {case}: sample {p:?} (value {v}) beats \
+                                         optimum {value}"
                                     );
                                 }
                             }
@@ -524,16 +529,17 @@ mod proptests {
                 LpOutcome::Infeasible => {
                     // The origin must then violate some row (all-zero rows
                     // with b ≥ 0 cannot make the program infeasible).
-                    let origin_ok = rows
-                        .iter()
-                        .all(|(_, b)| *b >= 0.0);
-                    prop_assert!(!origin_ok, "claimed infeasible but x = 0 is feasible");
+                    let origin_ok = rows.iter().all(|(_, b)| *b >= 0.0);
+                    assert!(
+                        !origin_ok,
+                        "case {case}: claimed infeasible but x = 0 is feasible"
+                    );
                 }
                 LpOutcome::Unbounded => {
                     // Plausible whenever some objective coefficient is
                     // positive; just require that it isn't the all-zero
                     // objective.
-                    prop_assert!(obj.iter().any(|&c| c > 0.0));
+                    assert!(obj.iter().any(|&c| c > 0.0));
                 }
             }
         }

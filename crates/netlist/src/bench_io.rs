@@ -27,8 +27,15 @@ use std::fmt::Write as _;
 enum Stmt {
     Input(String),
     Output(String),
-    Dff { name: String, data: String },
-    Gate { name: String, kind: GateKind, args: Vec<String> },
+    Dff {
+        name: String,
+        data: String,
+    },
+    Gate {
+        name: String,
+        kind: GateKind,
+        args: Vec<String>,
+    },
 }
 
 fn parse_line(line: &str, lineno: usize) -> Result<Option<Stmt>, NetlistError> {
@@ -40,11 +47,18 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<Stmt>, NetlistError> {
     if line.is_empty() {
         return Ok(None);
     }
-    let err = |message: String| NetlistError::Parse { line: lineno, message };
+    let err = |message: String| NetlistError::Parse {
+        line: lineno,
+        message,
+    };
 
     let paren = |s: &str| -> Result<(String, Vec<String>), NetlistError> {
-        let open = s.find('(').ok_or_else(|| err(format!("expected `(` in `{s}`")))?;
-        let close = s.rfind(')').ok_or_else(|| err(format!("expected `)` in `{s}`")))?;
+        let open = s
+            .find('(')
+            .ok_or_else(|| err(format!("expected `(` in `{s}`")))?;
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| err(format!("expected `)` in `{s}`")))?;
         if close < open {
             return Err(err(format!("mismatched parentheses in `{s}`")));
         }
@@ -65,9 +79,15 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<Stmt>, NetlistError> {
         let (head, args) = paren(line[eq + 1..].trim())?;
         if head.eq_ignore_ascii_case("DFF") {
             if args.len() != 1 {
-                return Err(err(format!("DFF takes exactly one input, got {}", args.len())));
+                return Err(err(format!(
+                    "DFF takes exactly one input, got {}",
+                    args.len()
+                )));
             }
-            return Ok(Some(Stmt::Dff { name, data: args[0].clone() }));
+            return Ok(Some(Stmt::Dff {
+                name,
+                data: args[0].clone(),
+            }));
         }
         let kind = GateKind::from_bench_keyword(&head)
             .ok_or_else(|| err(format!("unknown gate kind `{head}`")))?;
@@ -157,7 +177,9 @@ pub fn parse_bench(text: &str, model: &DelayModel) -> Result<Circuit, NetlistErr
             }
         }
     }
-    let mut ready: Vec<usize> = (0..gate_stmts.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut ready: Vec<usize> = (0..gate_stmts.len())
+        .filter(|&i| indegree[i] == 0)
+        .collect();
     let mut emitted = 0usize;
     while let Some(i) = ready.pop() {
         let (name, kind, args) = &gate_stmts[i];
@@ -170,7 +192,10 @@ pub fn parse_bench(text: &str, model: &DelayModel) -> Result<Circuit, NetlistErr
             })
             .collect::<Result<Vec<_>, _>>()?;
         let delay = model.gate_delay(*kind, inputs.len());
-        let delays = inputs.iter().map(|_| crate::PinDelay::symmetric(delay)).collect();
+        let delays = inputs
+            .iter()
+            .map(|_| crate::PinDelay::symmetric(delay))
+            .collect();
         circuit.try_add_gate_with_delays((*name).clone(), *kind, &inputs, delays)?;
         emitted += 1;
         for &d in &dependents[i] {
@@ -229,9 +254,17 @@ pub fn write_bench(circuit: &Circuit) -> String {
                 let data = data.expect("validated circuit");
                 let _ = writeln!(out, "{} = DFF({})", name, circuit.net_name(data));
             }
-            Node::Gate { name, kind, inputs, .. } => {
+            Node::Gate {
+                name, kind, inputs, ..
+            } => {
                 let args: Vec<&str> = inputs.iter().map(|&i| circuit.net_name(i)).collect();
-                let _ = writeln!(out, "{} = {}({})", name, kind.bench_keyword(), args.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    name,
+                    kind.bench_keyword(),
+                    args.join(", ")
+                );
             }
             Node::Input { .. } => {}
         }

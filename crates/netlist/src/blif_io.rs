@@ -58,10 +58,9 @@ fn tokenize_logical_lines(text: &str) -> Vec<(usize, Vec<String>)> {
             pending_line = i + 1;
         }
         pending.extend(body.split_whitespace().map(str::to_owned));
-        if !continued
-            && !pending.is_empty() {
-                out.push((pending_line, std::mem::take(&mut pending)));
-            }
+        if !continued && !pending.is_empty() {
+            out.push((pending_line, std::mem::take(&mut pending)));
+        }
     }
     if !pending.is_empty() {
         out.push((pending_line, pending));
@@ -119,10 +118,21 @@ pub fn parse_blif(text: &str, model: &DelayModel) -> Result<Circuit, NetlistErro
             ".latch" => {
                 let (input, output, init_tok) = match tokens.len() {
                     3 => (tokens[1].clone(), tokens[2].clone(), None),
-                    4 => (tokens[1].clone(), tokens[2].clone(), Some(tokens[3].as_str())),
-                    6 => (tokens[1].clone(), tokens[2].clone(), Some(tokens[5].as_str())),
+                    4 => (
+                        tokens[1].clone(),
+                        tokens[2].clone(),
+                        Some(tokens[3].as_str()),
+                    ),
+                    6 => (
+                        tokens[1].clone(),
+                        tokens[2].clone(),
+                        Some(tokens[5].as_str()),
+                    ),
                     n => {
-                        return Err(err(line, format!(".latch takes 2, 3, or 5 operands, got {}", n - 1)))
+                        return Err(err(
+                            line,
+                            format!(".latch takes 2, 3, or 5 operands, got {}", n - 1),
+                        ))
                     }
                 };
                 let init = match init_tok {
@@ -132,7 +142,12 @@ pub fn parse_blif(text: &str, model: &DelayModel) -> Result<Circuit, NetlistErro
                         return Err(err(line, format!("bad latch init value `{other}`")))
                     }
                 };
-                latches.push(LatchDecl { input, output, init, line });
+                latches.push(LatchDecl {
+                    input,
+                    output,
+                    init,
+                    line,
+                });
             }
             ".names" => {
                 if tokens.len() < 2 {
@@ -140,7 +155,12 @@ pub fn parse_blif(text: &str, model: &DelayModel) -> Result<Circuit, NetlistErro
                 }
                 let output = tokens.last().expect("checked").clone();
                 let ins = tokens[1..tokens.len() - 1].to_vec();
-                current = Some(NamesBlock { inputs: ins, output, rows: Vec::new(), line });
+                current = Some(NamesBlock {
+                    inputs: ins,
+                    output,
+                    rows: Vec::new(),
+                    line,
+                });
             }
             ".end" | ".exdc" => {
                 if let Some(block) = current.take() {
@@ -153,7 +173,10 @@ pub fn parse_blif(text: &str, model: &DelayModel) -> Result<Circuit, NetlistErro
             _ => {
                 // A cover row inside the active .names block.
                 let Some(block) = current.as_mut() else {
-                    return Err(err(line, format!("cover row `{}` outside .names", tokens.join(" "))));
+                    return Err(err(
+                        line,
+                        format!("cover row `{}` outside .names", tokens.join(" ")),
+                    ));
                 };
                 let (plane, value) = if block.inputs.is_empty() {
                     if tokens.len() != 1 || tokens[0].len() != 1 {
@@ -174,7 +197,10 @@ pub fn parse_blif(text: &str, model: &DelayModel) -> Result<Circuit, NetlistErro
                             ),
                         ));
                     }
-                    (tokens[0].clone(), tokens[1].chars().next().expect("nonempty"))
+                    (
+                        tokens[0].clone(),
+                        tokens[1].chars().next().expect("nonempty"),
+                    )
                 };
                 if !matches!(value, '0' | '1') {
                     return Err(err(line, format!("bad cover output `{value}`")));
@@ -275,7 +301,9 @@ fn synthesize_cover(
             format!("{out}$inv"),
             GateKind::Not,
             &[seed],
-            vec![crate::PinDelay::symmetric(model.gate_delay(GateKind::Not, 1))],
+            vec![crate::PinDelay::symmetric(
+                model.gate_delay(GateKind::Not, 1),
+            )],
         )?;
         let kind = if value { GateKind::Or } else { GateKind::And };
         let delay = model.gate_delay(kind, 2);
@@ -291,7 +319,11 @@ fn synthesize_cover(
     let input_ids: Vec<NetId> = block
         .inputs
         .iter()
-        .map(|n| circuit.lookup(n).ok_or_else(|| NetlistError::UnknownName(n.clone())))
+        .map(|n| {
+            circuit
+                .lookup(n)
+                .ok_or_else(|| NetlistError::UnknownName(n.clone()))
+        })
         .collect::<Result<_, _>>()?;
     let polarity = block.rows.first().map_or('1', |&(_, v)| v);
     if block.rows.iter().any(|&(_, v)| v != polarity) {
@@ -400,16 +432,30 @@ fn synthesize_cover(
 pub fn write_blif(circuit: &Circuit) -> String {
     let mut out = String::new();
     let _ = writeln!(out, ".model {}", circuit.name());
-    let ins: Vec<&str> = circuit.inputs().iter().map(|&i| circuit.net_name(i)).collect();
+    let ins: Vec<&str> = circuit
+        .inputs()
+        .iter()
+        .map(|&i| circuit.net_name(i))
+        .collect();
     if !ins.is_empty() {
         let _ = writeln!(out, ".inputs {}", ins.join(" "));
     }
-    let outs: Vec<&str> = circuit.outputs().iter().map(|&o| circuit.net_name(o)).collect();
+    let outs: Vec<&str> = circuit
+        .outputs()
+        .iter()
+        .map(|&o| circuit.net_name(o))
+        .collect();
     if !outs.is_empty() {
         let _ = writeln!(out, ".outputs {}", outs.join(" "));
     }
     for (_, node) in circuit.iter() {
-        if let Node::Dff { name, data: Some(d), init, .. } = node {
+        if let Node::Dff {
+            name,
+            data: Some(d),
+            init,
+            ..
+        } = node
+        {
             let _ = writeln!(
                 out,
                 ".latch {} {} re clk {}",
@@ -420,7 +466,12 @@ pub fn write_blif(circuit: &Circuit) -> String {
         }
     }
     for (_, node) in circuit.iter() {
-        let Node::Gate { name, kind, inputs, .. } = node else { continue };
+        let Node::Gate {
+            name, kind, inputs, ..
+        } = node
+        else {
+            continue;
+        };
         let in_names: Vec<&str> = inputs.iter().map(|&i| circuit.net_name(i)).collect();
         let _ = writeln!(out, ".names {} {}", in_names.join(" "), name);
         let n = inputs.len();
@@ -526,15 +577,13 @@ mod tests {
 ";
         let c = parse_blif(src, &DelayModel::Unit).unwrap();
         let f = c.lookup("f").unwrap();
-        for (a, b, expect) in [(false, false, true), (true, true, false), (true, false, true)] {
+        for (a, b, expect) in [
+            (false, false, true),
+            (true, true, false),
+            (true, false, true),
+        ] {
             let leaves = c.inputs();
-            let vals = c.eval(|id| {
-                if id == leaves[0] {
-                    a
-                } else {
-                    b
-                }
-            });
+            let vals = c.eval(|id| if id == leaves[0] { a } else { b });
             assert_eq!(vals[f.index()], expect, "a={a} b={b}");
         }
     }

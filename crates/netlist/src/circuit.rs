@@ -253,7 +253,8 @@ impl Circuit {
 
     /// Declares a flip-flop, panicking on duplicate names.
     pub fn add_dff(&mut self, name: impl Into<String>, init: bool, clock_to_q: Time) -> NetId {
-        self.try_add_dff(name, init, clock_to_q).expect("dff name collision")
+        self.try_add_dff(name, init, clock_to_q)
+            .expect("dff name collision")
     }
 
     /// Connects the data pin of the named flip-flop.
@@ -377,7 +378,10 @@ impl Circuit {
     /// [`NetlistError::UnconnectedDff`] or [`NetlistError::CombinationalCycle`].
     pub fn validate(&self) -> Result<(), NetlistError> {
         for (_, node) in self.iter() {
-            if let Node::Dff { name, data: None, .. } = node {
+            if let Node::Dff {
+                name, data: None, ..
+            } = node
+            {
                 return Err(NetlistError::UnconnectedDff(name.clone()));
             }
         }
@@ -538,9 +542,13 @@ impl Circuit {
             let new_id = match node {
                 Node::Input { name } => sliced.add_input(name.clone()),
                 Node::Dff { name, .. } => sliced.add_input(name.clone()),
-                Node::Gate { name, kind, inputs, pin_delays } => {
-                    let new_inputs: Vec<NetId> =
-                        inputs.iter().map(|i| remap[i]).collect();
+                Node::Gate {
+                    name,
+                    kind,
+                    inputs,
+                    pin_delays,
+                } => {
+                    let new_inputs: Vec<NetId> = inputs.iter().map(|i| remap[i]).collect();
                     sliced.add_gate_with_delays(
                         name.clone(),
                         *kind,
@@ -620,15 +628,12 @@ mod tests {
         let mut c = Circuit::new("t");
         let a = c.add_input("a");
         let b = c.add_input("b");
-        let err = c.try_add_gate_with_delays(
-            "g",
-            GateKind::Not,
-            &[a, b],
-            vec![PinDelay::default(); 2],
-        );
+        let err =
+            c.try_add_gate_with_delays("g", GateKind::Not, &[a, b], vec![PinDelay::default(); 2]);
         assert!(matches!(err, Err(NetlistError::BadArity { .. })));
         // Mismatched delay vector length.
-        let err = c.try_add_gate_with_delays("g", GateKind::And, &[a, b], vec![PinDelay::default()]);
+        let err =
+            c.try_add_gate_with_delays("g", GateKind::And, &[a, b], vec![PinDelay::default()]);
         assert!(matches!(err, Err(NetlistError::BadArity { .. })));
     }
 
@@ -636,10 +641,7 @@ mod tests {
     fn unconnected_dff_detected() {
         let mut c = Circuit::new("t");
         c.add_dff("q", false, Time::ZERO);
-        assert!(matches!(
-            c.validate(),
-            Err(NetlistError::UnconnectedDff(_))
-        ));
+        assert!(matches!(c.validate(), Err(NetlistError::UnconnectedDff(_))));
     }
 
     #[test]
@@ -668,12 +670,8 @@ mod tests {
         let g1 = c.add_gate("g1", GateKind::And, &[a, a], Time::UNIT);
         // Create a self-referential gate by pointing at itself.
         let self_id = NetId(c.num_nodes() as u32);
-        let r = c.try_add_gate_with_delays(
-            "g2",
-            GateKind::Buf,
-            &[self_id],
-            vec![PinDelay::default()],
-        );
+        let r =
+            c.try_add_gate_with_delays("g2", GateKind::Buf, &[self_id], vec![PinDelay::default()]);
         // Self-reference is caught as a dangling id at insert time.
         assert!(r.is_err());
         let _ = g1;
@@ -777,7 +775,11 @@ mod tests {
         let g3_new = cone.lookup("g3").unwrap();
         for mask in 0..8u32 {
             let orig = c.eval(|id| {
-                [a, b, q].iter().position(|&x| x == id).map(|i| mask >> i & 1 == 1).unwrap_or(false)
+                [a, b, q]
+                    .iter()
+                    .position(|&x| x == id)
+                    .map(|i| mask >> i & 1 == 1)
+                    .unwrap_or(false)
             });
             let leaves = cone.inputs();
             let sliced = cone.eval(|id| {

@@ -39,7 +39,6 @@ pub enum DelayModel {
     },
 }
 
-
 impl DelayModel {
     /// The maximum pin-to-output delay for a gate of `kind` with `fanin`
     /// input pins.

@@ -43,7 +43,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "gate `{name}` of kind {kind} cannot take {got} input(s)")
             }
             NetlistError::CombinationalCycle(n) => {
-                write!(f, "combinational cycle through `{n}` (not broken by a flip-flop)")
+                write!(
+                    f,
+                    "combinational cycle through `{n}` (not broken by a flip-flop)"
+                )
             }
             NetlistError::UnconnectedDff(n) => {
                 write!(f, "flip-flop `{n}` has no data input connected")
@@ -69,9 +72,16 @@ mod tests {
         assert!(NetlistError::DuplicateName("g1".into())
             .to_string()
             .contains("g1"));
-        let e = NetlistError::Parse { line: 7, message: "bad token".into() };
+        let e = NetlistError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 7"));
-        let e = NetlistError::BadArity { name: "n".into(), kind: "NOT".into(), got: 3 };
+        let e = NetlistError::BadArity {
+            name: "n".into(),
+            kind: "NOT".into(),
+            got: 3,
+        };
         assert!(e.to_string().contains("3 input"));
     }
 

@@ -85,9 +85,17 @@ impl<'c> FsmView<'c> {
             }
         }
         for (index, &net) in circuit.outputs().iter().enumerate() {
-            sinks.push(Sink { net, kind: SinkKind::Output { index } });
+            sinks.push(Sink {
+                net,
+                kind: SinkKind::Output { index },
+            });
         }
-        Ok(FsmView { circuit, leaves, num_state, sinks })
+        Ok(FsmView {
+            circuit,
+            leaves,
+            num_state,
+            sinks,
+        })
     }
 
     /// The underlying circuit.

@@ -1,7 +1,6 @@
 //! Gate primitives and per-pin delays.
 
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The combinational gate functions of the ISCAS'89 benchmark alphabet.
@@ -9,7 +8,7 @@ use std::fmt;
 /// `Buf` and `Not` are unary; every other kind accepts one or more inputs
 /// ([`GateKind::min_inputs`]). Gates evaluate with the usual semantics;
 /// delays are a property of the instantiating circuit node, not of the kind.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum GateKind {
     /// Identity.
     Buf,
@@ -148,7 +147,7 @@ impl fmt::Display for GateKind {
 /// let asym = PinDelay::new(Time::from_f64(1.0), Time::from_f64(2.0));
 /// assert_eq!(asym.max(), Time::from_f64(2.0));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct PinDelay {
     /// Maximum delay when the output rises.
     pub rise: Time,
@@ -164,7 +163,10 @@ impl PinDelay {
 
     /// A pin whose rising and falling delays coincide.
     pub fn symmetric(delay: Time) -> Self {
-        PinDelay { rise: delay, fall: delay }
+        PinDelay {
+            rise: delay,
+            fall: delay,
+        }
     }
 
     /// Whether rise and fall delays coincide.
@@ -238,7 +240,10 @@ mod tests {
     #[test]
     fn keyword_roundtrip() {
         for kind in GateKind::ALL {
-            assert_eq!(GateKind::from_bench_keyword(kind.bench_keyword()), Some(kind));
+            assert_eq!(
+                GateKind::from_bench_keyword(kind.bench_keyword()),
+                Some(kind)
+            );
         }
         assert_eq!(GateKind::from_bench_keyword("buf"), Some(GateKind::Buf));
         assert_eq!(GateKind::from_bench_keyword("DFF"), None);

@@ -1,11 +1,10 @@
-//! Property tests: random circuits survive the parse/write round trip and
-//! evaluation invariants hold.
+//! Randomized property tests: random circuits survive the parse/write round
+//! trip and evaluation invariants hold (seeded, reproducible).
 
 use crate::{
-    parse_bench, parse_blif, write_bench, write_blif, Circuit, DelayModel, GateKind, NetId,
-    Time,
+    parse_bench, parse_blif, write_bench, write_blif, Circuit, DelayModel, GateKind, NetId, Time,
 };
-use proptest::prelude::*;
+use mct_prng::SmallRng;
 
 /// A recipe for a random sequential circuit: a sequence of gate choices where
 /// each gate picks its kind and which already-existing nets feed it.
@@ -16,9 +15,23 @@ struct Recipe {
     gates: Vec<(u8, Vec<u8>)>,
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (1usize..4, 1usize..4, prop::collection::vec((0u8..8, prop::collection::vec(any::<u8>(), 1..4)), 1..20))
-        .prop_map(|(num_inputs, num_dffs, gates)| Recipe { num_inputs, num_dffs, gates })
+fn random_recipe(rng: &mut SmallRng) -> Recipe {
+    let num_inputs = rng.gen_range(1..4usize);
+    let num_dffs = rng.gen_range(1..4usize);
+    let ngates = rng.gen_range(1..20usize);
+    let gates = (0..ngates)
+        .map(|_| {
+            let kind = rng.gen_range(0..8u8);
+            let nfan = rng.gen_range(1..4usize);
+            let fanin = (0..nfan).map(|_| rng.gen_range(0..=255u8)).collect();
+            (kind, fanin)
+        })
+        .collect();
+    Recipe {
+        num_inputs,
+        num_dffs,
+        gates,
+    }
 }
 
 fn build(recipe: &Recipe) -> Circuit {
@@ -32,7 +45,11 @@ fn build(recipe: &Recipe) -> Circuit {
     }
     for (gi, (kind_sel, fanin_sels)) in recipe.gates.iter().enumerate() {
         let kind = GateKind::ALL[*kind_sel as usize % GateKind::ALL.len()];
-        let fanin = if kind.max_inputs() == Some(1) { 1 } else { fanin_sels.len() };
+        let fanin = if kind.max_inputs() == Some(1) {
+            1
+        } else {
+            fanin_sels.len()
+        };
         let inputs: Vec<NetId> = fanin_sels
             .iter()
             .take(fanin)
@@ -50,40 +67,54 @@ fn build(recipe: &Recipe) -> Circuit {
     c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_circuits_validate(recipe in arb_recipe()) {
-        let c = build(&recipe);
-        prop_assert!(c.validate().is_ok());
-        let stats = c.stats();
-        prop_assert_eq!(stats.gates, recipe.gates.len());
-        prop_assert!(stats.depth <= stats.gates);
+/// Runs `check` on 64 random recipes from a fixed seed.
+fn for_random_circuits(seed: u64, mut check: impl FnMut(&mut SmallRng, &Recipe)) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..64 {
+        let recipe = random_recipe(&mut rng);
+        check(&mut rng, &recipe);
     }
+}
 
-    #[test]
-    fn bench_roundtrip_preserves_behavior(recipe in arb_recipe(), steps in 1usize..8) {
-        let c1 = build(&recipe);
+#[test]
+fn random_circuits_validate() {
+    for_random_circuits(10, |_, recipe| {
+        let c = build(recipe);
+        assert!(c.validate().is_ok());
+        let stats = c.stats();
+        assert_eq!(stats.gates, recipe.gates.len());
+        assert!(stats.depth <= stats.gates);
+    });
+}
+
+#[test]
+fn bench_roundtrip_preserves_behavior() {
+    for_random_circuits(11, |rng, recipe| {
+        let steps = rng.gen_range(1..8usize);
+        let c1 = build(recipe);
         let text = write_bench(&c1);
         let c2 = parse_bench(&text, &DelayModel::Unit).unwrap();
         // Note: .bench does not carry initial state; compare from all-zero.
         let mut s1 = vec![false; c1.num_dffs()];
         let mut s2 = vec![false; c2.num_dffs()];
         for step in 0..steps {
-            let ins: Vec<bool> = (0..c1.num_inputs()).map(|i| (step * 7 + i) % 3 == 0).collect();
+            let ins: Vec<bool> = (0..c1.num_inputs())
+                .map(|i| (step * 7 + i) % 3 == 0)
+                .collect();
             let (n1, o1) = c1.step(&s1, &ins);
             let (n2, o2) = c2.step(&s2, &ins);
-            prop_assert_eq!(o1, o2);
-            prop_assert_eq!(&n1, &n2);
+            assert_eq!(o1, o2);
+            assert_eq!(&n1, &n2);
             s1 = n1;
             s2 = n2;
         }
-    }
+    });
+}
 
-    #[test]
-    fn topo_order_respects_dependencies(recipe in arb_recipe()) {
-        let c = build(&recipe);
+#[test]
+fn topo_order_respects_dependencies() {
+    for_random_circuits(12, |_, recipe| {
+        let c = build(recipe);
         let order = c.topo_order().unwrap();
         let pos: std::collections::HashMap<NetId, usize> =
             order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
@@ -91,65 +122,74 @@ proptest! {
             if let crate::Node::Gate { inputs, .. } = c.node(id) {
                 for inp in inputs {
                     if let Some(&pi) = pos.get(inp) {
-                        prop_assert!(pi < pos[&id]);
+                        assert!(pi < pos[&id]);
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn blif_roundtrip_preserves_behavior(recipe in arb_recipe(), steps in 1usize..8) {
-        let c1 = build(&recipe);
+#[test]
+fn blif_roundtrip_preserves_behavior() {
+    for_random_circuits(13, |rng, recipe| {
+        let steps = rng.gen_range(1..8usize);
+        let c1 = build(recipe);
         let text = write_blif(&c1);
         let c2 = parse_blif(&text, &DelayModel::Unit).unwrap();
         // BLIF carries initial state, so compare from the real initial
         // state (unlike the .bench roundtrip).
         let mut s1 = c1.initial_state();
         let mut s2 = c2.initial_state();
-        prop_assert_eq!(&s1, &s2);
+        assert_eq!(&s1, &s2);
         for step in 0..steps {
-            let ins: Vec<bool> = (0..c1.num_inputs()).map(|i| (step * 11 + i) % 4 == 0).collect();
+            let ins: Vec<bool> = (0..c1.num_inputs())
+                .map(|i| (step * 11 + i) % 4 == 0)
+                .collect();
             let (n1, o1) = c1.step(&s1, &ins);
             let (n2, o2) = c2.step(&s2, &ins);
-            prop_assert_eq!(o1, o2);
-            prop_assert_eq!(&n1, &n2);
+            assert_eq!(o1, o2);
+            assert_eq!(&n1, &n2);
             s1 = n1;
             s2 = n2;
         }
-    }
+    });
+}
 
-    #[test]
-    fn cone_of_is_behaviour_preserving(recipe in arb_recipe()) {
-        let c = build(&recipe);
+#[test]
+fn cone_of_is_behaviour_preserving() {
+    for_random_circuits(14, |_, recipe| {
+        let c = build(recipe);
         let root = *c.outputs().first().unwrap();
         let cone = c.cone_of(&[root]);
         cone.validate().unwrap();
         // Evaluate both on matching leaf assignments, by name.
         for mask_seed in [0u64, 0x5a5a, 0xffff, 0x1234] {
             let assign = |name: &str| {
-                let h = name.bytes().fold(mask_seed, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+                let h = name.bytes().fold(mask_seed, |acc, b| {
+                    acc.wrapping_mul(31).wrapping_add(b as u64)
+                });
                 h % 3 == 0
             };
-            let vals_orig = c.eval(|id| {
-                match c.node(id) {
-                    crate::Node::Gate { .. } => false,
-                    n => assign(n.name()),
-                }
+            let vals_orig = c.eval(|id| match c.node(id) {
+                crate::Node::Gate { .. } => false,
+                n => assign(n.name()),
             });
             let root_new = cone.lookup(c.net_name(root)).unwrap();
             let vals_cone = cone.eval(|id| assign(cone.net_name(id)));
-            prop_assert_eq!(vals_orig[root.index()], vals_cone[root_new.index()]);
+            assert_eq!(vals_orig[root.index()], vals_cone[root_new.index()]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn step_is_deterministic(recipe in arb_recipe()) {
-        let c = build(&recipe);
+#[test]
+fn step_is_deterministic() {
+    for_random_circuits(15, |_, recipe| {
+        let c = build(recipe);
         let s = c.initial_state();
         let ins = vec![true; c.num_inputs()];
         let a = c.step(&s, &ins);
         let b = c.step(&s, &ins);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }

@@ -1,6 +1,5 @@
 //! Exact fixed-point time values.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
@@ -27,9 +26,7 @@ pub(crate) const SCALE: i64 = 1000;
 /// assert_eq!(a.millis(), 1500);
 /// assert!(a < b);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Time(i64);
 
 impl Time {
@@ -204,9 +201,15 @@ mod tests {
     #[test]
     fn scale_rational_rounds_down() {
         // 90% of 1.5 units = 1.35 units exactly.
-        assert_eq!(Time::from_f64(1.5).scale_rational(9, 10), Time::from_f64(1.35));
+        assert_eq!(
+            Time::from_f64(1.5).scale_rational(9, 10),
+            Time::from_f64(1.35)
+        );
         // 90% of 5 milli-units = 4.5 → rounds down to 4.
-        assert_eq!(Time::from_millis(5).scale_rational(9, 10), Time::from_millis(4));
+        assert_eq!(
+            Time::from_millis(5).scale_rational(9, 10),
+            Time::from_millis(4)
+        );
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! A small, self-contained, deterministic pseudo-random number generator.
+//!
+//! The workspace must build with no external dependencies, so this crate
+//! provides the tiny slice of a `rand`-style API the simulator, the
+//! benchmark-circuit generator, and the randomized tests actually use: a
+//! seedable non-cryptographic generator with uniform sampling over integer
+//! ranges and booleans.
+//!
+//! The core is xoshiro256++ (Blackman & Vigna), seeded through splitmix64 —
+//! the same construction `rand`'s `SmallRng` used on 64-bit targets, chosen
+//! here for its period (2²⁵⁶ − 1), speed, and trivially portable
+//! implementation. Streams are fully determined by the `u64` seed, so every
+//! generated circuit and delay draw is reproducible across runs, platforms,
+//! and thread counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use mct_prng::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let a = rng.gen_range(0..10usize);
+//! assert!(a < 10);
+//! let b = rng.gen_range(1..=20i64);
+//! assert!((1..=20).contains(&b));
+//! let _flip: bool = rng.gen_bool();
+//! // Same seed, same stream.
+//! let mut rng2 = SmallRng::seed_from_u64(7);
+//! assert_eq!(rng2.gen_range(0..10usize), a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// xoshiro256++ generator seeded from a single `u64` via splitmix64.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SmallRng { s }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// A uniform draw from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` below `bound` (> 0), by Lemire's widening multiply
+    /// with rejection of the biased low fraction.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let threshold = bound.wrapping_neg() % bound; // 2^64 mod bound
+        loop {
+            let wide = u128::from(self.next_u64()) * u128::from(bound);
+            if wide as u64 >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Integer range types [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform value from the range.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = rng.below(span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return (start as i128 + rng.next_u64() as i128) as $t;
+                }
+                let off = rng.below(span as u64);
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i64, u64, usize, u32, i32, u8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&y));
+            let z = rng.gen_range(0..1usize);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn range_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+        let heads = (0..10_000).filter(|_| rng.gen_bool()).count();
+        assert!((4_000..6_000).contains(&heads), "biased coin: {heads}");
+    }
+
+    #[test]
+    fn known_xoshiro_vector() {
+        // splitmix64(0) seeds; first outputs must be stable across releases
+        // (circuits generated from a seed are part of test expectations).
+        let mut rng = SmallRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        let mut again = SmallRng::seed_from_u64(0);
+        let second: Vec<u64> = (0..3).map(|_| again.next_u64()).collect();
+        assert_eq!(first, second);
+        assert_ne!(first[0], first[1]);
+    }
+}

@@ -13,8 +13,7 @@
 
 use crate::config::{DelayMode, SimConfig};
 use mct_netlist::{Circuit, NetId, NetlistError, Node, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mct_prng::SmallRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
@@ -92,10 +91,11 @@ impl ConcreteDelays {
                         let mut scale = |t: Time| match mode {
                             DelayMode::Max => t,
                             DelayMode::Scaled { num, den } => t.scale_rational(num, den),
-                            DelayMode::RandomUniform { min_factor_percent, .. } => {
+                            DelayMode::RandomUniform {
+                                min_factor_percent, ..
+                            } => {
                                 let rng = rng.as_mut().expect("rng for random mode");
-                                let pct: i64 =
-                                    rng.gen_range(i64::from(min_factor_percent)..=100);
+                                let pct: i64 = rng.gen_range(i64::from(min_factor_percent)..=100);
                                 t.scale_rational(pct, 100)
                             }
                         };
@@ -119,7 +119,10 @@ struct History {
 
 impl History {
     fn new(initial: bool) -> Self {
-        History { initial, transitions: Vec::new() }
+        History {
+            initial,
+            transitions: Vec::new(),
+        }
     }
 
     fn current(&self) -> bool {
@@ -235,8 +238,7 @@ impl<'c> Simulator<'c> {
             leaf_vals.insert(id, inputs(0, i));
         }
         let settled = circuit.eval(|id| leaf_vals[&id]);
-        let mut history: Vec<History> =
-            settled.iter().map(|&v| History::new(v)).collect();
+        let mut history: Vec<History> = settled.iter().map(|&v| History::new(v)).collect();
 
         // Event queue ordered by (time, kind, sequence): value forcings
         // apply before gate evaluations at the same instant so zero-delay
@@ -283,34 +285,31 @@ impl<'c> Simulator<'c> {
             }
         };
 
-        let process_change = 
-            |history: &mut Vec<History>,
-             queue: &mut BinaryHeap<Reverse<(Time, EventKind, u64, NetId)>>,
-             seq: &mut u64,
-             trace: &mut SimTrace,
-             net: NetId,
-             t: Time,
-             value: bool,
-             last_edge: Time| {
-                if !history[net.index()].record(t, value) {
-                    return;
+        let process_change = |history: &mut Vec<History>,
+                              queue: &mut BinaryHeap<Reverse<(Time, EventKind, u64, NetId)>>,
+                              seq: &mut u64,
+                              trace: &mut SimTrace,
+                              net: NetId,
+                              t: Time,
+                              value: bool,
+                              last_edge: Time| {
+            if !history[net.index()].record(t, value) {
+                return;
+            }
+            // Hold check on flip-flop data nets.
+            if let Some(&j) = is_d_net.get(&net) {
+                if !config.hold.is_zero() && t - last_edge < config.hold && !trace.states.is_empty()
+                {
+                    trace.violations.push(TimingViolation {
+                        flip_flop: circuit.net_name(dff_ids[j]).to_owned(),
+                        edge: trace.states.len(),
+                        at: t,
+                        is_setup: false,
+                    });
                 }
-                // Hold check on flip-flop data nets.
-                if let Some(&j) = is_d_net.get(&net) {
-                    if !config.hold.is_zero()
-                        && t - last_edge < config.hold
-                        && !trace.states.is_empty()
-                    {
-                        trace.violations.push(TimingViolation {
-                            flip_flop: circuit.net_name(dff_ids[j]).to_owned(),
-                            edge: trace.states.len(),
-                            at: t,
-                            is_setup: false,
-                        });
-                    }
-                }
-                schedule_fanout_evals(queue, seq, &self.fanouts[net.index()], t);
-            };
+            }
+            schedule_fanout_evals(queue, seq, &self.fanouts[net.index()], t);
+        };
 
         for edge in 1..=config.cycles {
             let t_edge = config.period * edge as i64;
@@ -324,12 +323,23 @@ impl<'c> Simulator<'c> {
                 match kind {
                     EventKind::Set(v) => {
                         process_change(
-                            &mut history, &mut queue, &mut seq, &mut trace, net, t, v,
+                            &mut history,
+                            &mut queue,
+                            &mut seq,
+                            &mut trace,
+                            net,
+                            t,
+                            v,
                             last_edge,
                         );
                     }
                     EventKind::Eval => {
-                        if let Node::Gate { kind: gk, inputs: gins, .. } = circuit.node(net) {
+                        if let Node::Gate {
+                            kind: gk,
+                            inputs: gins,
+                            ..
+                        } = circuit.node(net)
+                        {
                             let vals: Vec<bool> = gins
                                 .iter()
                                 .enumerate()
@@ -340,8 +350,14 @@ impl<'c> Simulator<'c> {
                                 .collect();
                             let out = gk.eval(&vals);
                             process_change(
-                                &mut history, &mut queue, &mut seq, &mut trace, net, t,
-                                out, last_edge,
+                                &mut history,
+                                &mut queue,
+                                &mut seq,
+                                &mut trace,
+                                net,
+                                t,
+                                out,
+                                last_edge,
                             );
                         }
                     }
@@ -386,12 +402,7 @@ impl<'c> Simulator<'c> {
                 seq += 1;
             }
             for (i, &id) in input_ids.iter().enumerate() {
-                queue.push(Reverse((
-                    t_edge,
-                    EventKind::Set(inputs(edge, i)),
-                    seq,
-                    id,
-                )));
+                queue.push(Reverse((t_edge, EventKind::Set(inputs(edge, i)), seq, id)));
                 seq += 1;
             }
         }
@@ -564,8 +575,13 @@ mod tests {
     fn random_delays_reproducible() {
         let c = figure2();
         let sim = Simulator::new(&c).unwrap();
-        let mode = DelayMode::RandomUniform { min_factor_percent: 90, seed: 42 };
-        let config = SimConfig::at_period(t(2.6)).with_cycles(16).with_delay_mode(mode);
+        let mode = DelayMode::RandomUniform {
+            min_factor_percent: 90,
+            seed: 42,
+        };
+        let config = SimConfig::at_period(t(2.6))
+            .with_cycles(16)
+            .with_delay_mode(mode);
         let a = sim.run(&config, |_, _| false);
         let b = sim.run(&config, |_, _| false);
         assert_eq!(a, b);

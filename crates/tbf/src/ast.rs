@@ -67,7 +67,10 @@ pub enum Tbf {
 impl Tbf {
     /// The undelayed signal `x_signal(t)`.
     pub fn signal(signal: usize) -> Tbf {
-        Tbf::Input { signal, delay: Time::ZERO }
+        Tbf::Input {
+            signal,
+            delay: Time::ZERO,
+        }
     }
 
     /// The shifted signal `x_signal(t − delay)`.
@@ -118,12 +121,19 @@ impl Tbf {
     /// The flip-flop sampling operator (paper Figure 1d / Section 3.1
     /// item 4).
     pub fn sampled(data: Tbf, delay: Time) -> Tbf {
-        Tbf::Sampled { data: Box::new(data), delay }
+        Tbf::Sampled {
+            data: Box::new(data),
+            delay,
+        }
     }
 
     /// A transparent-high level-sensitive latch (see [`Tbf::Transparent`]).
     pub fn transparent(data: Tbf, delay: Time, width: Time) -> Tbf {
-        Tbf::Transparent { data: Box::new(data), delay, width }
+        Tbf::Transparent {
+            data: Box::new(data),
+            delay,
+            width,
+        }
     }
 
     /// Models a buffer whose rising and falling delays differ (paper
@@ -186,15 +196,23 @@ impl Tbf {
         }
         match self {
             Tbf::Const(b) => Tbf::Const(b),
-            Tbf::Input { signal, delay } => Tbf::Input { signal, delay: delay + shift },
+            Tbf::Input { signal, delay } => Tbf::Input {
+                signal,
+                delay: delay + shift,
+            },
             Tbf::Not(inner) => Tbf::Not(Box::new(inner.shifted(shift))),
             Tbf::And(ts) => Tbf::And(ts.into_iter().map(|t| t.shifted(shift)).collect()),
             Tbf::Or(ts) => Tbf::Or(ts.into_iter().map(|t| t.shifted(shift)).collect()),
             Tbf::Xor(ts) => Tbf::Xor(ts.into_iter().map(|t| t.shifted(shift)).collect()),
-            Tbf::Sampled { data, delay } => Tbf::Sampled { data, delay: delay + shift },
-            Tbf::Transparent { data, delay, width } => {
-                Tbf::Transparent { data, delay: delay + shift, width }
-            }
+            Tbf::Sampled { data, delay } => Tbf::Sampled {
+                data,
+                delay: delay + shift,
+            },
+            Tbf::Transparent { data, delay, width } => Tbf::Transparent {
+                data,
+                delay: delay + shift,
+                width,
+            },
         }
     }
 
@@ -208,7 +226,10 @@ impl Tbf {
                 if *s == signal {
                     replacement.clone().shifted(*delay)
                 } else {
-                    Tbf::Input { signal: *s, delay: *delay }
+                    Tbf::Input {
+                        signal: *s,
+                        delay: *delay,
+                    }
                 }
             }
             Tbf::Not(inner) => Tbf::Not(Box::new(inner.compose(signal, replacement))),
@@ -241,21 +262,15 @@ impl Tbf {
             Tbf::Not(inner) => !inner.eval(t, period, signals),
             Tbf::And(ts) => ts.iter().all(|f| f.eval(t, period, signals)),
             Tbf::Or(ts) => ts.iter().any(|f| f.eval(t, period, signals)),
-            Tbf::Xor(ts) => ts
-                .iter()
-                .filter(|f| f.eval(t, period, signals))
-                .count()
-                % 2
-                == 1,
+            Tbf::Xor(ts) => ts.iter().filter(|f| f.eval(t, period, signals)).count() % 2 == 1,
             Tbf::Sampled { data, delay } => {
                 assert!(
                     period > Time::ZERO,
                     "sampling requires a positive clock period"
                 );
                 let arg = t - *delay;
-                let edge = Time::from_millis(
-                    arg.millis().div_euclid(period.millis()) * period.millis(),
-                );
+                let edge =
+                    Time::from_millis(arg.millis().div_euclid(period.millis()) * period.millis());
                 data.eval(edge, period, signals)
             }
             Tbf::Transparent { data, delay, width } => {
@@ -285,11 +300,9 @@ impl Tbf {
             Tbf::Const(_) => Time::ZERO,
             Tbf::Input { delay, .. } => *delay,
             Tbf::Not(inner) => inner.max_shift(),
-            Tbf::And(ts) | Tbf::Or(ts) | Tbf::Xor(ts) => ts
-                .iter()
-                .map(Tbf::max_shift)
-                .max()
-                .unwrap_or(Time::ZERO),
+            Tbf::And(ts) | Tbf::Or(ts) | Tbf::Xor(ts) => {
+                ts.iter().map(Tbf::max_shift).max().unwrap_or(Time::ZERO)
+            }
             Tbf::Sampled { data, delay } => data.max_shift().max(*delay),
             Tbf::Transparent { data, delay, .. } => data.max_shift().max(*delay),
         }
@@ -307,7 +320,10 @@ struct TbfDisplay<'a> {
 }
 
 fn signal_name(names: &[&str], i: usize) -> String {
-    names.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("x{i}"))
+    names
+        .get(i)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("x{i}"))
 }
 
 fn fmt_tbf(t: &Tbf, names: &[&str], f: &mut fmt::Formatter<'_>, parent_and: bool) -> fmt::Result {
@@ -348,7 +364,11 @@ fn fmt_tbf(t: &Tbf, names: &[&str], f: &mut fmt::Formatter<'_>, parent_and: bool
             Ok(())
         }
         Tbf::Or(ts) | Tbf::Xor(ts) => {
-            let op = if matches!(t, Tbf::Or(_)) { " + " } else { " ⊕ " };
+            let op = if matches!(t, Tbf::Or(_)) {
+                " + "
+            } else {
+                " ⊕ "
+            };
             let need_paren = parent_and;
             if need_paren {
                 write!(f, "(")?;
@@ -446,10 +466,7 @@ mod tests {
         let y = Tbf::gate(
             GateKind::Or,
             vec![Tbf::signal(0), Tbf::signal(1)],
-            &[
-                PinDelay::new(t(1.0), t(2.0)),
-                PinDelay::new(t(4.0), t(3.0)),
-            ],
+            &[PinDelay::new(t(1.0), t(2.0)), PinDelay::new(t(4.0), t(3.0))],
         );
         let shown = y.to_string();
         assert!(shown.contains("x0(t-1)"), "{shown}");
@@ -521,10 +538,7 @@ mod tests {
     fn compose_leaves_other_signals() {
         let h = Tbf::and(vec![Tbf::signal(0), Tbf::signal(1)]);
         let composed = h.compose(0, &Tbf::Const(true));
-        assert_eq!(
-            composed,
-            Tbf::and(vec![Tbf::Const(true), Tbf::signal(1)])
-        );
+        assert_eq!(composed, Tbf::and(vec![Tbf::Const(true), Tbf::signal(1)]));
     }
 
     #[test]
@@ -559,11 +573,7 @@ mod tests {
         let sym = [PinDelay::symmetric(Time::UNIT); 2];
         for kind in GateKind::ALL {
             let n = if kind.max_inputs() == Some(1) { 1 } else { 2 };
-            let g = Tbf::gate(
-                kind,
-                (0..n).map(Tbf::signal).collect(),
-                &sym[..n],
-            );
+            let g = Tbf::gate(kind, (0..n).map(Tbf::signal).collect(), &sym[..n]);
             // Agreement with the untimed gate on settled inputs.
             for mask in 0..(1u32 << n) {
                 let read = |s: usize, _: Time| mask >> s & 1 == 1;
@@ -623,7 +633,11 @@ mod tests {
         let w = Waveform::from_steps(false, &[(t(0.5), true), (t(1.5), false)]);
         let read = |_: usize, at: Time| w.value_at(at);
         for probe in [0.0, 0.5, 1.0, 1.5, 3.9, 4.0, 7.7] {
-            assert_eq!(q.eval(t(probe), period, &read), w.value_at(t(probe)), "t={probe}");
+            assert_eq!(
+                q.eval(t(probe), period, &read),
+                w.value_at(t(probe)),
+                "t={probe}"
+            );
         }
     }
 

@@ -134,7 +134,10 @@ impl<'c> ConeExtractor<'c> {
     /// Creates an extractor with the default state limit (4 million
     /// `(node, delay)` pairs).
     pub fn new(view: &'c FsmView<'c>) -> Self {
-        ConeExtractor { view, node_limit: 4_000_000 }
+        ConeExtractor {
+            view,
+            node_limit: 4_000_000,
+        }
     }
 
     /// Overrides the `(node, delay)` state limit.
@@ -180,7 +183,9 @@ impl<'c> ConeExtractor<'c> {
                             continue;
                         }
                         if memo.len() >= self.node_limit {
-                            return Err(TbfError::ConeExplosion { entries: memo.len() });
+                            return Err(TbfError::ConeExplosion {
+                                entries: memo.len(),
+                            });
                         }
                         match circuit.node(net) {
                             Node::Input { .. } | Node::Dff { .. } => {
@@ -188,20 +193,18 @@ impl<'c> ConeExtractor<'c> {
                                     .view
                                     .leaf_index(net)
                                     .expect("inputs and dffs are leaves");
-                                let total =
-                                    acc + self.view.leaf_source_delay(leaf).millis();
+                                let total = acc + self.view.leaf_source_delay(leaf).millis();
                                 let bdd = policy.leaf(manager, table, leaf, total);
                                 memo.insert((net, acc), bdd);
                             }
-                            Node::Gate { inputs, pin_delays, .. } => {
+                            Node::Gate {
+                                inputs, pin_delays, ..
+                            } => {
                                 stack.push(Frame::Exit(net, acc));
                                 for (inp, pd) in inputs.iter().zip(pin_delays) {
                                     stack.push(Frame::Enter(*inp, acc + pd.rise.millis()));
                                     if pd.rise != pd.fall {
-                                        stack.push(Frame::Enter(
-                                            *inp,
-                                            acc + pd.fall.millis(),
-                                        ));
+                                        stack.push(Frame::Enter(*inp, acc + pd.fall.millis()));
                                     }
                                 }
                             }
@@ -209,7 +212,12 @@ impl<'c> ConeExtractor<'c> {
                     }
                     Frame::Exit(net, acc) => {
                         let (kind, pins) = match circuit.node(net) {
-                            Node::Gate { kind, inputs, pin_delays, .. } => {
+                            Node::Gate {
+                                kind,
+                                inputs,
+                                pin_delays,
+                                ..
+                            } => {
                                 let pins: Vec<Bdd> = inputs
                                     .iter()
                                     .zip(pin_delays)
@@ -218,8 +226,7 @@ impl<'c> ConeExtractor<'c> {
                                         if pd.rise == pd.fall {
                                             rise
                                         } else {
-                                            let fall =
-                                                memo[&(*inp, acc + pd.fall.millis())];
+                                            let fall = memo[&(*inp, acc + pd.fall.millis())];
                                             if pd.rise > pd.fall {
                                                 manager.and(rise, fall)
                                             } else {
@@ -262,7 +269,9 @@ impl<'c> ConeExtractor<'c> {
             let mut stack = vec![(sink, 0i64)];
             while let Some((net, acc)) = stack.pop() {
                 if pred.len() >= self.node_limit {
-                    return Err(TbfError::ConeExplosion { entries: pred.len() });
+                    return Err(TbfError::ConeExplosion {
+                        entries: pred.len(),
+                    });
                 }
                 match circuit.node(net) {
                     Node::Input { .. } | Node::Dff { .. } => {
@@ -277,21 +286,27 @@ impl<'c> ConeExtractor<'c> {
                             path: reconstruct_path(&pred, (net, acc)),
                         });
                     }
-                    Node::Gate { inputs, pin_delays, .. } => {
-                        for (pin, (inp, pd)) in
-                            inputs.iter().zip(pin_delays).enumerate()
-                        {
+                    Node::Gate {
+                        inputs, pin_delays, ..
+                    } => {
+                        for (pin, (inp, pd)) in inputs.iter().zip(pin_delays).enumerate() {
                             let mut delays = vec![pd.rise.millis()];
                             if pd.fall != pd.rise {
                                 delays.push(pd.fall.millis());
                             }
                             for d in delays {
                                 let key = (*inp, acc + d);
-                                if let std::collections::hash_map::Entry::Vacant(e) = pred.entry(key) {
+                                if let std::collections::hash_map::Entry::Vacant(e) =
+                                    pred.entry(key)
+                                {
                                     e.insert(Some((
-                                            (net, acc),
-                                            PathEdge { node: net, pin, delay: d },
-                                        )));
+                                        (net, acc),
+                                        PathEdge {
+                                            node: net,
+                                            pin,
+                                            delay: d,
+                                        },
+                                    )));
                                     stack.push(key);
                                 }
                             }
@@ -310,10 +325,7 @@ impl<'c> ConeExtractor<'c> {
 /// delay)` state remembers the first parent state and edge that reached it.
 type PredMap = HashMap<(NetId, i64), Option<((NetId, i64), PathEdge)>>;
 
-fn reconstruct_path(
-    pred: &PredMap,
-    mut key: (NetId, i64),
-) -> Vec<PathEdge> {
+fn reconstruct_path(pred: &PredMap, mut key: (NetId, i64)) -> Vec<PathEdge> {
     let mut path = Vec::new();
     while let Some(Some((parent, edge))) = pred.get(&key) {
         path.push(*edge);
@@ -336,9 +348,7 @@ fn apply_gate(m: &mut BddManager, kind: GateKind, pins: &[Bdd]) -> Bdd {
             let o = m.or_all(pins.iter().copied());
             m.not(o)
         }
-        GateKind::Xor => pins[1..]
-            .iter()
-            .fold(pins[0], |acc, &p| m.xor(acc, p)),
+        GateKind::Xor => pins[1..].iter().fold(pins[0], |acc, &p| m.xor(acc, p)),
         GateKind::Xnor => {
             let x = pins[1..].iter().fold(pins[0], |acc, &p| m.xor(acc, p));
             m.not(x)
@@ -398,7 +408,11 @@ impl DiscreteMachine {
                 SinkKind::Output { .. } => outputs.push(bdd),
             }
         }
-        Ok(DiscreteMachine { next_state, outputs, max_shift })
+        Ok(DiscreteMachine {
+            next_state,
+            outputs,
+            max_shift,
+        })
     }
 
     /// The steady-state machine `y(n, L)`: every shift is 1.
@@ -441,7 +455,11 @@ impl DiscreteMachine {
                 SinkKind::Output { .. } => outputs.push(bdd),
             }
         }
-        Ok(DiscreteMachine { next_state, outputs, max_shift: 0 })
+        Ok(DiscreteMachine {
+            next_state,
+            outputs,
+            max_shift: 0,
+        })
     }
 }
 
@@ -504,8 +522,7 @@ mod tests {
             4000 | 5000 => 2,
             other => panic!("unexpected path delay {other}"),
         };
-        let machine =
-            DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, shifts).unwrap();
+        let machine = DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, shifts).unwrap();
         let x1 = shifted(&mut m, &mut tbl, 0, 1);
         let expect = m.not(x1);
         assert_eq!(machine.next_state[0], expect);
@@ -522,8 +539,7 @@ mod tests {
         let mut m = BddManager::new();
         let mut tbl = TimedVarTable::new();
         let shifts = |_: usize, k: i64| (k + 1999) / 2000; // ⌈k/2⌉ in millis
-        let machine =
-            DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, shifts).unwrap();
+        let machine = DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, shifts).unwrap();
         let x1 = shifted(&mut m, &mut tbl, 0, 1);
         let x2 = shifted(&mut m, &mut tbl, 0, 2);
         let x3 = shifted(&mut m, &mut tbl, 0, 3);
@@ -596,8 +612,20 @@ mod tests {
         seen.dedup();
         assert_eq!(seen, vec![1000, 2000]);
         // Slow rise → conjunction of the two observations.
-        let a = m.var(tbl.lookup(TimedVar::Arbitrary { leaf: 0, delay: 2000 }).unwrap());
-        let b2 = m.var(tbl.lookup(TimedVar::Arbitrary { leaf: 0, delay: 1000 }).unwrap());
+        let a = m.var(
+            tbl.lookup(TimedVar::Arbitrary {
+                leaf: 0,
+                delay: 2000,
+            })
+            .unwrap(),
+        );
+        let b2 = m.var(
+            tbl.lookup(TimedVar::Arbitrary {
+                leaf: 0,
+                delay: 1000,
+            })
+            .unwrap(),
+        );
         let expect = m.and(a, b2);
         assert_eq!(cones[0], expect);
     }
@@ -671,8 +699,7 @@ mod tests {
         for mask in 0..(1u32 << nleaves) {
             let leaf_val = |i: usize| mask >> i & 1 == 1;
             let state: Vec<bool> = (0..view.num_state_bits()).map(leaf_val).collect();
-            let inputs: Vec<bool> =
-                (view.num_state_bits()..nleaves).map(leaf_val).collect();
+            let inputs: Vec<bool> = (view.num_state_bits()..nleaves).map(leaf_val).collect();
             let (next, outs) = c.step(&state, &inputs);
             let assignment = |v: mct_bdd::Var| match tbl.timed_var(v) {
                 Some(TimedVar::Shifted { leaf, shift: 0 }) => leaf_val(leaf),

@@ -50,6 +50,7 @@ mod error;
 mod extract;
 mod reachability;
 mod symbolic;
+mod transfer;
 mod vars;
 mod waveform;
 
@@ -58,6 +59,7 @@ pub use error::TbfError;
 pub use extract::{ConeExtractor, DelayClass, DiscreteMachine, LeafPolicy, PathEdge};
 pub use reachability::{count_states, reachable_states};
 pub use symbolic::circuit_tbf;
+pub use transfer::transfer_bdd;
 pub use vars::{TimedVar, TimedVarTable};
 pub use waveform::Waveform;
 

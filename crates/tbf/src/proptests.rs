@@ -1,10 +1,11 @@
-//! Property tests: the symbolic extraction agrees with direct functional
-//! evaluation, and the TBF AST semantics are consistent.
+//! Randomized property tests: the symbolic extraction agrees with direct
+//! functional evaluation, and the TBF AST semantics are consistent
+//! (seeded, reproducible).
 
 use crate::{ConeExtractor, DiscreteMachine, Tbf, TimedVar, TimedVarTable, Waveform};
 use mct_bdd::BddManager;
 use mct_netlist::{Circuit, FsmView, GateKind, NetId, Time};
-use proptest::prelude::*;
+use mct_prng::SmallRng;
 
 #[derive(Clone, Debug)]
 struct Recipe {
@@ -13,13 +14,25 @@ struct Recipe {
     gates: Vec<(u8, u8, u8, u8)>, // kind selector, two input selectors, delay selector
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (
-        1usize..3,
-        1usize..3,
-        prop::collection::vec((0u8..8, any::<u8>(), any::<u8>(), 1u8..6), 1..12),
-    )
-        .prop_map(|(num_inputs, num_dffs, gates)| Recipe { num_inputs, num_dffs, gates })
+fn random_recipe(rng: &mut SmallRng) -> Recipe {
+    let num_inputs = rng.gen_range(1..3usize);
+    let num_dffs = rng.gen_range(1..3usize);
+    let ngates = rng.gen_range(1..12usize);
+    let gates = (0..ngates)
+        .map(|_| {
+            (
+                rng.gen_range(0..8u8),
+                rng.gen_range(0..=255u8),
+                rng.gen_range(0..=255u8),
+                rng.gen_range(1..6u8),
+            )
+        })
+        .collect();
+    Recipe {
+        num_inputs,
+        num_dffs,
+        gates,
+    }
 }
 
 fn build(recipe: &Recipe) -> Circuit {
@@ -35,7 +48,11 @@ fn build(recipe: &Recipe) -> Circuit {
         let kind = GateKind::ALL[ks as usize % GateKind::ALL.len()];
         let a = nets[i1 as usize % nets.len()];
         let b = nets[i2 as usize % nets.len()];
-        let inputs: Vec<NetId> = if kind.max_inputs() == Some(1) { vec![a] } else { vec![a, b] };
+        let inputs: Vec<NetId> = if kind.max_inputs() == Some(1) {
+            vec![a]
+        } else {
+            vec![a, b]
+        };
         let id = c.add_gate(
             format!("g{gi}"),
             kind,
@@ -45,20 +62,27 @@ fn build(recipe: &Recipe) -> Circuit {
         nets.push(id);
     }
     for i in 0..recipe.num_dffs {
-        c.connect_dff_data(&format!("ff{i}"), *nets.last().unwrap()).unwrap();
+        c.connect_dff_data(&format!("ff{i}"), *nets.last().unwrap())
+            .unwrap();
     }
     c.set_output(*nets.last().unwrap());
     c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn for_random_circuits(seed: u64, mut check: impl FnMut(&Recipe)) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..48 {
+        let recipe = random_recipe(&mut rng);
+        check(&recipe);
+    }
+}
 
-    /// The functional extraction must agree with `Circuit::step` on every
-    /// leaf assignment (exhaustive over the small random machines).
-    #[test]
-    fn functional_extraction_matches_step(recipe in arb_recipe()) {
-        let c = build(&recipe);
+/// The functional extraction must agree with `Circuit::step` on every
+/// leaf assignment (exhaustive over the small random machines).
+#[test]
+fn functional_extraction_matches_step() {
+    for_random_circuits(20, |recipe| {
+        let c = build(recipe);
         let view = FsmView::new(&c).unwrap();
         let ex = ConeExtractor::new(&view);
         let mut m = BddManager::new();
@@ -75,19 +99,21 @@ proptest! {
                 _ => false,
             };
             for (j, &bdd) in machine.next_state.iter().enumerate() {
-                prop_assert_eq!(m.eval(bdd, assignment), next[j]);
+                assert_eq!(m.eval(bdd, assignment), next[j]);
             }
             for (j, &bdd) in machine.outputs.iter().enumerate() {
-                prop_assert_eq!(m.eval(bdd, assignment), outs[j]);
+                assert_eq!(m.eval(bdd, assignment), outs[j]);
             }
         }
-    }
+    });
+}
 
-    /// Steady state is the functional machine with every leaf one cycle
-    /// back: renaming shift-1 variables to shift-0 must give equal BDDs.
-    #[test]
-    fn steady_state_is_shift_renamed_functional(recipe in arb_recipe()) {
-        let c = build(&recipe);
+/// Steady state is the functional machine with every leaf one cycle
+/// back: renaming shift-1 variables to shift-0 must give equal BDDs.
+#[test]
+fn steady_state_is_shift_renamed_functional() {
+    for_random_circuits(21, |recipe| {
+        let c = build(recipe);
         let view = FsmView::new(&c).unwrap();
         let ex = ConeExtractor::new(&view);
         let mut m = BddManager::new();
@@ -105,14 +131,16 @@ proptest! {
             .collect();
         for (a, b) in steady.next_state.iter().zip(&func.next_state) {
             let renamed = m.rename_vars(*a, &map);
-            prop_assert_eq!(renamed, *b);
+            assert_eq!(renamed, *b);
         }
-    }
+    });
+}
 
-    /// Delay classes are exactly the delays the leaf policy observes.
-    #[test]
-    fn classes_match_observed_delays(recipe in arb_recipe()) {
-        let c = build(&recipe);
+/// Delay classes are exactly the delays the leaf policy observes.
+#[test]
+fn classes_match_observed_delays() {
+    for_random_circuits(22, |recipe| {
+        let c = build(recipe);
         let view = FsmView::new(&c).unwrap();
         let ex = ConeExtractor::new(&view);
         let sinks: Vec<NetId> = view.sinks().iter().map(|s| s.net).collect();
@@ -131,37 +159,49 @@ proptest! {
         let mut from_classes: Vec<(usize, i64)> =
             classes.iter().map(|c| (c.leaf, c.delay)).collect();
         from_classes.sort_unstable();
-        prop_assert_eq!(observed, from_classes);
+        assert_eq!(observed, from_classes);
         // Every representative path's edge delays sum to the class delay
         // minus the source clock-to-Q (zero in these machines).
         for class in &classes {
             let sum: i64 = class.path.iter().map(|e| e.delay).sum();
-            prop_assert_eq!(sum, class.delay);
+            assert_eq!(sum, class.delay);
         }
-    }
+    });
+}
 
-    /// AST evaluation is stable under composition: substituting a signal
-    /// by itself is the identity.
-    #[test]
-    fn compose_identity(ds in prop::collection::vec(0i64..5000, 1..5)) {
+/// AST evaluation is stable under composition: substituting a signal
+/// by itself is the identity.
+#[test]
+fn compose_identity() {
+    let mut rng = SmallRng::seed_from_u64(23);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..5usize);
+        let ds: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5000i64)).collect();
         let f = Tbf::and(
             ds.iter()
                 .map(|&d| Tbf::input(0, Time::from_millis(d)))
                 .collect(),
         );
         let composed = f.compose(0, &Tbf::signal(0));
-        prop_assert_eq!(&composed, &f);
+        assert_eq!(&composed, &f);
     }
+}
 
-    /// Waveform value_at is consistent with transition counting.
-    #[test]
-    fn waveform_value_consistency(times in prop::collection::btree_set(1i64..10_000, 0..10), init in any::<bool>()) {
+/// Waveform value_at is consistent with transition counting.
+#[test]
+fn waveform_value_consistency() {
+    let mut rng = SmallRng::seed_from_u64(24);
+    for _ in 0..128 {
+        let init = rng.gen_bool();
+        let ntimes = rng.gen_range(0..10usize);
+        let times: std::collections::BTreeSet<i64> =
+            (0..ntimes).map(|_| rng.gen_range(1..10_000i64)).collect();
         let sorted: Vec<Time> = times.iter().map(|&t| Time::from_millis(t)).collect();
         let mut w = Waveform::constant(init);
         for &t in &sorted {
             w.push_toggle(t);
         }
-        prop_assert_eq!(w.final_value(), init ^ (sorted.len() % 2 == 1));
+        assert_eq!(w.final_value(), init ^ (sorted.len() % 2 == 1));
         // Probe between transitions.
         let mut expect = init;
         let mut prev = Time::from_millis(0);
@@ -169,11 +209,11 @@ proptest! {
             // Value on [prev, t) is `expect`.
             let mid = Time::from_millis((prev.millis() + t.millis()) / 2);
             if mid >= prev && mid < t {
-                prop_assert_eq!(w.value_at(mid), expect, "segment {}", i);
+                assert_eq!(w.value_at(mid), expect, "segment {i}");
             }
             expect = !expect;
             prev = t;
         }
-        prop_assert_eq!(w.value_at(Time::from_millis(20_000)), expect);
+        assert_eq!(w.value_at(Time::from_millis(20_000)), expect);
     }
 }

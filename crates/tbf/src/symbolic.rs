@@ -42,11 +42,7 @@ use mct_netlist::{FsmView, GateKind, NetId, Node};
 /// let tbf = circuit_tbf(&view, nq, 1000).unwrap();
 /// assert_eq!(tbf.display_with(&["q"]).to_string(), "¬q(t-1)");
 /// ```
-pub fn circuit_tbf(
-    view: &FsmView<'_>,
-    sink: NetId,
-    node_budget: usize,
-) -> Result<Tbf, TbfError> {
+pub fn circuit_tbf(view: &FsmView<'_>, sink: NetId, node_budget: usize) -> Result<Tbf, TbfError> {
     let mut budget = node_budget;
     flatten(view, sink, &mut budget)
 }
@@ -68,7 +64,12 @@ fn flatten(view: &FsmView<'_>, net: NetId, budget: &mut usize) -> Result<Tbf, Tb
             let shift = view.leaf_source_delay(leaf);
             Ok(Tbf::input(leaf, shift))
         }
-        Node::Gate { kind, inputs, pin_delays, .. } => {
+        Node::Gate {
+            kind,
+            inputs,
+            pin_delays,
+            ..
+        } => {
             let mut terms = Vec::with_capacity(inputs.len());
             for (inp, pd) in inputs.iter().zip(pin_delays) {
                 let sub = flatten(view, *inp, budget)?;
@@ -144,10 +145,7 @@ mod tests {
         c.set_output(g);
         let view = FsmView::new(&c).unwrap();
         let tbf = circuit_tbf(&view, g, 100).unwrap();
-        assert_eq!(
-            tbf.to_string(),
-            "x0(t-2)·x0(t-1)"
-        );
+        assert_eq!(tbf.to_string(), "x0(t-2)·x0(t-1)");
     }
 
     #[test]

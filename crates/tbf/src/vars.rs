@@ -191,7 +191,10 @@ mod tests {
     #[test]
     fn reverse_lookup() {
         let mut t = TimedVarTable::new();
-        let tv = TimedVar::Arbitrary { leaf: 7, delay: 4500 };
+        let tv = TimedVar::Arbitrary {
+            leaf: 7,
+            delay: 4500,
+        };
         let v = t.var(tv);
         assert_eq!(t.timed_var(v), Some(tv));
         assert_eq!(t.timed_var(mct_bdd::Var::new(99)), None);
@@ -211,9 +214,15 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(TimedVar::Shifted { leaf: 2, shift: 3 }.to_string(), "x2(n-3)");
+        assert_eq!(
+            TimedVar::Shifted { leaf: 2, shift: 3 }.to_string(),
+            "x2(n-3)"
+        );
         assert_eq!(TimedVar::Next { leaf: 1 }.to_string(), "x1'");
-        assert_eq!(TimedVar::Absolute { leaf: 0, cycle: -2 }.to_string(), "x0[-2]");
+        assert_eq!(
+            TimedVar::Absolute { leaf: 0, cycle: -2 }.to_string(),
+            "x0[-2]"
+        );
     }
 
     #[test]

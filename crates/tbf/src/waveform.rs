@@ -31,7 +31,10 @@ pub struct Waveform {
 impl Waveform {
     /// The waveform constantly equal to `value`.
     pub fn constant(value: bool) -> Self {
-        Waveform { initial: value, transitions: Vec::new() }
+        Waveform {
+            initial: value,
+            transitions: Vec::new(),
+        }
     }
 
     /// A single step: `initial` before `at`, `after` from `at` on.
@@ -40,7 +43,10 @@ impl Waveform {
         if initial == after {
             Waveform::constant(initial)
         } else {
-            Waveform { initial, transitions: vec![at] }
+            Waveform {
+                initial,
+                transitions: vec![at],
+            }
         }
     }
 
@@ -65,7 +71,10 @@ impl Waveform {
                 cur = v;
             }
         }
-        Waveform { initial, transitions }
+        Waveform {
+            initial,
+            transitions,
+        }
     }
 
     /// A clock-like waveform: samples `values[n]` held on `[n·period,
@@ -172,10 +181,7 @@ mod tests {
 
     #[test]
     fn from_steps_merges_duplicates() {
-        let w = Waveform::from_steps(
-            false,
-            &[(t(1.0), true), (t(2.0), true), (t(3.0), false)],
-        );
+        let w = Waveform::from_steps(false, &[(t(1.0), true), (t(2.0), true), (t(3.0), false)]);
         assert_eq!(w.num_transitions(), 2);
         assert!(w.value_at(t(2.5)));
         assert!(!w.value_at(t(3.0)));

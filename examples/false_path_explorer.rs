@@ -44,7 +44,10 @@ fn analyze(label: &str, circuit: &Circuit) -> Result<(), Box<dyn std::error::Err
     for seed in 0..4 {
         let config = SimConfig::at_period(period)
             .with_cycles(48)
-            .with_delay_mode(DelayMode::RandomUniform { min_factor_percent: 90, seed });
+            .with_delay_mode(DelayMode::RandomUniform {
+                min_factor_percent: 90,
+                seed,
+            });
         let ins = move |cycle: usize, i: usize| (cycle * 7 + i * 3 + seed as usize) % 5 < 2;
         let trace = sim.run(&config, ins);
         let (states, outputs) = functional_trace(circuit, 48, ins);
@@ -53,7 +56,10 @@ fn analyze(label: &str, circuit: &Circuit) -> Result<(), Box<dyn std::error::Err
             "{label}: simulation diverged at certified-safe period {period} (seed {seed})"
         );
     }
-    println!("{:<22} simulation at τ = {period} matches the functional model ✓", "");
+    println!(
+        "{:<22} simulation at τ = {period} matches the functional model ✓",
+        ""
+    );
     Ok(())
 }
 

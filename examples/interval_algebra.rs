@@ -76,13 +76,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The final bounds, with and without the LP refinement.
     let closed = MctAnalyzer::new(&circuit)?.run(&MctOptions::paper())?;
-    let lp = MctAnalyzer::new(&circuit)?
-        .run(&MctOptions { path_coupled_lp: true, ..MctOptions::paper() })?;
+    let lp = MctAnalyzer::new(&circuit)?.run(&MctOptions {
+        path_coupled_lp: true,
+        ..MctOptions::paper()
+    })?;
     println!(
         "first failing interval starts at τ = {:.3}; D̄s = max over failing σ of τ(σ):",
         closed.first_failing_tau.unwrap_or(f64::NAN)
     );
     println!("  closed-form feasibility : {:.6}", closed.mct_upper_bound);
-    println!("  path-coupled LP         : {:.6}  (ε below — strict inequalities)", lp.mct_upper_bound);
+    println!(
+        "  path-coupled LP         : {:.6}  (ε below — strict inequalities)",
+        lp.mct_upper_bound
+    );
     Ok(())
 }

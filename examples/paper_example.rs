@@ -9,9 +9,7 @@
 
 use mct_suite::bdd::BddManager;
 use mct_suite::core::{MctAnalyzer, MctOptions};
-use mct_suite::delay::{
-    floating_delay, theorem2_applicable, topological_delay, transition_delay,
-};
+use mct_suite::delay::{floating_delay, theorem2_applicable, topological_delay, transition_delay};
 use mct_suite::gen::paper_figure2;
 use mct_suite::netlist::FsmView;
 use mct_suite::tbf::{Tbf, TimedVarTable};
@@ -47,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         exhaustive_floor: Some(1.5),
         ..MctOptions::fixed_delays()
     })?;
-    println!("  minimum cycle time     = {}   (2.5)", report.mct_upper_bound);
+    println!(
+        "  minimum cycle time     = {}   (2.5)",
+        report.mct_upper_bound
+    );
     println!();
 
     println!("Candidate periods examined (the paper lists 4, 2.5, 2, 5/3 …):");

@@ -21,7 +21,14 @@ fn show_waveform(label: &str, f: &Tbf, period: Time, signals: &dyn Fn(usize, Tim
     print!("  {label:24}");
     for step in 0..24 {
         let at = Time::from_millis(step * 500);
-        print!("{}", if f.eval(at, period, signals) { '█' } else { '·' });
+        print!(
+            "{}",
+            if f.eval(at, period, signals) {
+                '█'
+            } else {
+                '·'
+            }
+        );
     }
     println!();
 }
@@ -48,10 +55,7 @@ fn main() {
     let or_gate = Tbf::gate(
         GateKind::Or,
         vec![Tbf::signal(0), Tbf::signal(1)],
-        &[
-            PinDelay::new(t(1.0), t(2.0)),
-            PinDelay::new(t(4.0), t(3.0)),
-        ],
+        &[PinDelay::new(t(1.0), t(2.0)), PinDelay::new(t(4.0), t(3.0))],
     );
     println!("\nFigure 1(c) — OR with per-pin rise/fall: {}", or_gate);
 

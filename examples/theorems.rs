@@ -14,8 +14,8 @@
 
 use mct_suite::bdd::BddManager;
 use mct_suite::delay::{
-    floating_delay, shortest_path_delay, theorem1_bound, theorem2_applicable,
-    topological_delay, transition_delay,
+    floating_delay, shortest_path_delay, theorem1_bound, theorem2_applicable, topological_delay,
+    transition_delay,
 };
 use mct_suite::gen::paper_figure2;
 use mct_suite::netlist::{FsmView, Time};
@@ -32,7 +32,10 @@ fn check_period(
     let config = SimConfig::at_period(period)
         .with_cycles(32)
         .with_setup_hold(setup, hold)
-        .with_delay_mode(DelayMode::RandomUniform { min_factor_percent: 90, seed: 7 });
+        .with_delay_mode(DelayMode::RandomUniform {
+            min_factor_percent: 90,
+            seed: 7,
+        });
     let trace = sim.run(&config, |_, _| false);
     let (states, outputs) = functional_trace(circuit, 32, |_, _| false);
     (trace.matches(&states, &outputs), trace.violations.len())
@@ -60,9 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // window. s27 has a real shortest path and shows the positive case.
     match theorem1_bound(float, shortest, setup, hold) {
         Some(bound) => println!("Theorem 1 on Figure 2: certified bound {bound}"),
-        None => println!(
-            "Theorem 1 on Figure 2: does not apply — min path {shortest} < hold {hold}"
-        ),
+        None => {
+            println!("Theorem 1 on Figure 2: does not apply — min path {shortest} < hold {hold}")
+        }
     }
     {
         let s27 = mct_suite::gen::s27(&mct_suite::netlist::DelayModel::Mapped);

@@ -56,15 +56,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let period = Time::from_millis((mct * 1000.0) as i64 + 100);
     let sim = Simulator::new(&circuit)?;
     let cycles = 24;
-    let trace = sim.run(&SimConfig::at_period(period).with_cycles(cycles), |_, _| false);
+    let trace = sim.run(&SimConfig::at_period(period).with_cycles(cycles), |_, _| {
+        false
+    });
     let (states, outputs) = functional_trace(&circuit, cycles, |_, _| false);
     let waves = (top.millis() + period.millis() - 1) / period.millis();
-    println!(
-        "clocking at τ = {period}: up to {waves} data waves in flight on the slow path"
-    );
+    println!("clocking at τ = {period}: up to {waves} data waves in flight on the slow path");
     println!(
         "  sampled behaviour over {cycles} cycles {} the functional model",
-        if trace.matches(&states, &outputs) { "MATCHES ✓" } else { "diverges ✗" }
+        if trace.matches(&states, &outputs) {
+            "MATCHES ✓"
+        } else {
+            "diverges ✗"
+        }
     );
     println!(
         "  ({} events delivered — the waves are real, just harmless)",

@@ -19,11 +19,17 @@ fn reachability_never_hurts_and_helps_on_planted_rows() {
     for entry in standard_suite() {
         let with = MctAnalyzer::new(&entry.circuit)
             .unwrap()
-            .run(&MctOptions { use_reachability: true, ..MctOptions::paper() })
+            .run(&MctOptions {
+                use_reachability: true,
+                ..MctOptions::paper()
+            })
             .unwrap();
         let without = MctAnalyzer::new(&entry.circuit)
             .unwrap()
-            .run(&MctOptions { use_reachability: false, ..MctOptions::paper() })
+            .run(&MctOptions {
+                use_reachability: false,
+                ..MctOptions::paper()
+            })
             .unwrap();
         assert!(
             with.mct_upper_bound <= without.mct_upper_bound + EPS,
@@ -35,10 +41,16 @@ fn reachability_never_hurts_and_helps_on_planted_rows() {
     }
     // On the unreachable-slack family the restriction is the whole story.
     let c = families::unreachable_slack(4, t(6.0), t(8.0));
-    let with = MctAnalyzer::new(&c).unwrap().run(&MctOptions::paper()).unwrap();
+    let with = MctAnalyzer::new(&c)
+        .unwrap()
+        .run(&MctOptions::paper())
+        .unwrap();
     let without = MctAnalyzer::new(&c)
         .unwrap()
-        .run(&MctOptions { use_reachability: false, ..MctOptions::paper() })
+        .run(&MctOptions {
+            use_reachability: false,
+            ..MctOptions::paper()
+        })
         .unwrap();
     assert!(
         with.mct_upper_bound < without.mct_upper_bound - EPS,
@@ -57,11 +69,17 @@ fn lp_mode_consistent_with_closed_form() {
     for entry in standard_suite().into_iter().take(10) {
         let closed = MctAnalyzer::new(&entry.circuit)
             .unwrap()
-            .run(&MctOptions { path_coupled_lp: false, ..MctOptions::paper() })
+            .run(&MctOptions {
+                path_coupled_lp: false,
+                ..MctOptions::paper()
+            })
             .unwrap();
         let lp = MctAnalyzer::new(&entry.circuit)
             .unwrap()
-            .run(&MctOptions { path_coupled_lp: true, ..MctOptions::paper() })
+            .run(&MctOptions {
+                path_coupled_lp: true,
+                ..MctOptions::paper()
+            })
             .unwrap();
         assert!(
             lp.mct_upper_bound <= closed.mct_upper_bound + 1e-4,
@@ -84,14 +102,17 @@ fn bound_monotone_in_delay_variation() {
             .unwrap();
         let varied = MctAnalyzer::new(&entry.circuit)
             .unwrap()
-            .run(&MctOptions { delay_variation: Some((9, 10)), ..MctOptions::paper() })
+            .run(&MctOptions {
+                delay_variation: Some((9, 10)),
+                ..MctOptions::paper()
+            })
             .unwrap();
         // 70% variation multiplies the shift sets; skip circuits whose Φ
         // product genuinely explodes (that is the documented behaviour).
-        let wide = match MctAnalyzer::new(&entry.circuit)
-            .unwrap()
-            .run(&MctOptions { delay_variation: Some((7, 10)), ..MctOptions::paper() })
-        {
+        let wide = match MctAnalyzer::new(&entry.circuit).unwrap().run(&MctOptions {
+            delay_variation: Some((7, 10)),
+            ..MctOptions::paper()
+        }) {
             Ok(r) => r,
             Err(mct_suite::core::MctError::SigmaExplosion { .. }) => continue,
             Err(e) => panic!("{}: {e}", entry.circuit.name()),
@@ -120,7 +141,10 @@ fn sigma_cache_fires_on_exhaustive_sweeps() {
     let c = paper_figure2();
     let report = MctAnalyzer::new(&c)
         .unwrap()
-        .run(&MctOptions { exhaustive_floor: Some(1.0), ..MctOptions::paper() })
+        .run(&MctOptions {
+            exhaustive_floor: Some(1.0),
+            ..MctOptions::paper()
+        })
         .unwrap();
     assert!(report.sigma_cache_hits > 0);
     assert!(report.sigma_checked > report.sigma_cache_hits);
@@ -140,7 +164,10 @@ fn exhaustive_and_first_failure_agree() {
         let floor = (fast.mct_upper_bound * 0.5).max(0.1);
         let full = MctAnalyzer::new(&entry.circuit)
             .unwrap()
-            .run(&MctOptions { exhaustive_floor: Some(floor), ..MctOptions::paper() })
+            .run(&MctOptions {
+                exhaustive_floor: Some(floor),
+                ..MctOptions::paper()
+            })
             .unwrap();
         assert!(
             (fast.mct_upper_bound - full.mct_upper_bound).abs() < EPS,
@@ -171,7 +198,10 @@ fn exact_check_never_worse_and_sometimes_strictly_better() {
             .unwrap();
         let exact = MctAnalyzer::new(&entry.circuit)
             .unwrap()
-            .run(&MctOptions { exact_check: true, ..MctOptions::fixed_delays() })
+            .run(&MctOptions {
+                exact_check: true,
+                ..MctOptions::fixed_delays()
+            })
             .unwrap();
         assert!(
             exact.mct_upper_bound <= cx.mct_upper_bound + EPS,
@@ -197,7 +227,10 @@ fn exact_check_never_worse_and_sometimes_strictly_better() {
         .unwrap();
     let exact = MctAnalyzer::new(&c)
         .unwrap()
-        .run(&MctOptions { exact_check: true, ..MctOptions::fixed_delays() })
+        .run(&MctOptions {
+            exact_check: true,
+            ..MctOptions::fixed_delays()
+        })
         .unwrap();
     assert!(
         exact.mct_upper_bound < cx.mct_upper_bound - EPS,

@@ -48,7 +48,10 @@ fn paper_candidate_sequence_validity() {
     let circuit = paper_figure2();
     let report = MctAnalyzer::new(&circuit)
         .unwrap()
-        .run(&MctOptions { exhaustive_floor: Some(1.5), ..MctOptions::fixed_delays() })
+        .run(&MctOptions {
+            exhaustive_floor: Some(1.5),
+            ..MctOptions::fixed_delays()
+        })
         .unwrap();
     let valid_at = |tau: f64| {
         report

@@ -1,0 +1,134 @@
+//! The parallel sweep must be *bit-identical* to the sequential one: same
+//! exact rational bound, same regions, same first-failure diagnostics, and
+//! the same σ counters — on the paper's worked example and on a population
+//! of random machines, at several thread counts.
+
+use mct_suite::core::{MctAnalyzer, MctOptions, MctReport};
+use mct_suite::gen::{families, paper_figure2};
+use mct_suite::netlist::Circuit;
+
+fn try_run(c: &Circuit, threads: usize, base: &MctOptions) -> Result<MctReport, String> {
+    let opts = MctOptions {
+        num_threads: threads,
+        ..base.clone()
+    };
+    MctAnalyzer::new(c)
+        .unwrap_or_else(|e| panic!("{}: {e}", c.name()))
+        .run(&opts)
+        .map_err(|e| e.to_string())
+}
+
+fn run(c: &Circuit, threads: usize, base: &MctOptions) -> MctReport {
+    try_run(c, threads, base).unwrap_or_else(|e| panic!("{}: {e}", c.name()))
+}
+
+fn assert_identical(name: &str, threads: usize, seq: &MctReport, par: &MctReport) {
+    let ctx = format!("{name} at {threads} threads");
+    assert_eq!(seq.bound_exact, par.bound_exact, "{ctx}: exact bound");
+    assert_eq!(
+        seq.mct_upper_bound.to_bits(),
+        par.mct_upper_bound.to_bits(),
+        "{ctx}: f64 bound"
+    );
+    assert_eq!(seq.steady_delay, par.steady_delay, "{ctx}: L");
+    assert_eq!(
+        seq.first_failing_tau, par.first_failing_tau,
+        "{ctx}: first failure"
+    );
+    assert_eq!(seq.failure, par.failure, "{ctx}: diagnostics");
+    assert_eq!(
+        seq.candidates_checked, par.candidates_checked,
+        "{ctx}: candidates"
+    );
+    assert_eq!(seq.sigma_checked, par.sigma_checked, "{ctx}: sigma count");
+    assert_eq!(
+        seq.sigma_cache_hits, par.sigma_cache_hits,
+        "{ctx}: cache hits"
+    );
+    assert_eq!(seq.exhausted, par.exhausted, "{ctx}: exhausted");
+    assert_eq!(seq.timed_out, par.timed_out, "{ctx}: timed_out");
+    assert_eq!(
+        seq.used_reachability, par.used_reachability,
+        "{ctx}: reach flag"
+    );
+    assert_eq!(
+        seq.reachable_states, par.reachable_states,
+        "{ctx}: reach count"
+    );
+    assert_eq!(seq.regions, par.regions, "{ctx}: regions");
+}
+
+/// Example 2 of the paper, in every analysis mode, at 2/4/8 threads.
+#[test]
+fn figure2_identical_across_thread_counts() {
+    let c = paper_figure2();
+    let modes = [
+        MctOptions::fixed_delays(),
+        MctOptions::paper(),
+        MctOptions {
+            path_coupled_lp: true,
+            ..MctOptions::paper()
+        },
+        MctOptions {
+            exhaustive_floor: Some(1.0),
+            ..MctOptions::paper()
+        },
+        MctOptions {
+            use_reachability: false,
+            ..MctOptions::fixed_delays()
+        },
+    ];
+    for base in &modes {
+        let seq = run(&c, 1, base);
+        for threads in [2, 4, 8] {
+            let par = run(&c, threads, base);
+            assert_identical("fig2", threads, &seq, &par);
+        }
+    }
+}
+
+/// Twenty seeded random machines from the generator family: the parallel
+/// sweep agrees exactly with the sequential one at 2 and 4 threads. Exact
+/// delays keep the σ enumeration small enough that every seed completes;
+/// a run that errors (budget caps) must error identically on every side.
+#[test]
+fn random_fsms_identical_across_thread_counts() {
+    let base = MctOptions::fixed_delays();
+    for seed in 0..20u64 {
+        let c = families::random_fsm(seed, 3 + (seed as usize % 3), seed as usize % 2, 10);
+        let seq = try_run(&c, 1, &base);
+        for threads in [2, 4] {
+            let par = try_run(&c, threads, &base);
+            match (&seq, &par) {
+                (Ok(s), Ok(p)) => assert_identical(c.name(), threads, s, p),
+                (Err(s), Err(p)) => assert_eq!(s, p, "{}: error text", c.name()),
+                _ => panic!(
+                    "{} at {threads} threads: one side errored, the other did not",
+                    c.name()
+                ),
+            }
+        }
+    }
+}
+
+/// The structured families with planted slack mechanisms (where failures
+/// genuinely occur at interesting periods) also reconcile exactly.
+#[test]
+fn planted_slack_families_identical() {
+    use mct_suite::netlist::Time;
+    let t = Time::from_f64;
+    let circuits = vec![
+        families::periodic_slack(t(1.5), t(4.0), t(5.0), 3),
+        families::unreachable_slack(4, t(2.0), t(8.0)),
+        families::comb_false_path(t(1.0), t(6.0), 3),
+        families::deep_false_path(),
+        families::binary_counter(4, t(0.5)),
+    ];
+    for c in &circuits {
+        let seq = run(c, 1, &MctOptions::paper());
+        for threads in [2, 4] {
+            let par = run(c, threads, &MctOptions::paper());
+            assert_identical(c.name(), threads, &seq, &par);
+        }
+    }
+}

@@ -12,9 +12,24 @@ fn suite_roundtrips_through_bench_format() {
         let text = write_bench(original);
         let reparsed = parse_bench(&text, &DelayModel::Unit)
             .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", original.name()));
-        assert_eq!(original.num_inputs(), reparsed.num_inputs(), "{}", original.name());
-        assert_eq!(original.num_dffs(), reparsed.num_dffs(), "{}", original.name());
-        assert_eq!(original.num_gates(), reparsed.num_gates(), "{}", original.name());
+        assert_eq!(
+            original.num_inputs(),
+            reparsed.num_inputs(),
+            "{}",
+            original.name()
+        );
+        assert_eq!(
+            original.num_dffs(),
+            reparsed.num_dffs(),
+            "{}",
+            original.name()
+        );
+        assert_eq!(
+            original.num_gates(),
+            reparsed.num_gates(),
+            "{}",
+            original.name()
+        );
         assert_eq!(
             original.outputs().len(),
             reparsed.outputs().len(),
@@ -31,7 +46,12 @@ fn suite_roundtrips_through_bench_format() {
                 .collect();
             let (n1, o1) = original.step(&s1, &ins);
             let (n2, o2) = reparsed.step(&s2, &ins);
-            assert_eq!(o1, o2, "{}: outputs diverge at step {step}", original.name());
+            assert_eq!(
+                o1,
+                o2,
+                "{}: outputs diverge at step {step}",
+                original.name()
+            );
             assert_eq!(n1, n2, "{}: states diverge at step {step}", original.name());
             s1 = n1;
             s2 = n2;

@@ -37,7 +37,10 @@ fn metric_ordering_invariants_across_the_suite() {
         );
         assert!(m.shortest <= m.topological, "{}", c.name());
 
-        let report = MctAnalyzer::new(c).unwrap().run(&MctOptions::paper()).unwrap();
+        let report = MctAnalyzer::new(c)
+            .unwrap()
+            .run(&MctOptions::paper())
+            .unwrap();
         assert!(
             report.mct_upper_bound <= m.floating.as_f64() + EPS,
             "{}: MCT bound {} exceeds floating delay {}",
@@ -57,7 +60,10 @@ fn planted_expectations_hold() {
         let mut manager = BddManager::new();
         let mut table = TimedVarTable::new();
         let m = delay::compute_all(&view, &mut manager, &mut table).unwrap();
-        let report = MctAnalyzer::new(c).unwrap().run(&MctOptions::paper()).unwrap();
+        let report = MctAnalyzer::new(c)
+            .unwrap()
+            .run(&MctOptions::paper())
+            .unwrap();
         if entry.expect_tighter_mct {
             assert!(
                 report.mct_upper_bound < m.floating.as_f64() - EPS,
@@ -86,7 +92,10 @@ fn certified_bounds_validated_by_simulation() {
     // agreement with the zero-delay functional model.
     for entry in standard_suite() {
         let c = &entry.circuit;
-        let report = MctAnalyzer::new(c).unwrap().run(&MctOptions::paper()).unwrap();
+        let report = MctAnalyzer::new(c)
+            .unwrap()
+            .run(&MctOptions::paper())
+            .unwrap();
         let period = Time::from_millis((report.mct_upper_bound * 1000.0).round() as i64 + 50);
         if period <= Time::ZERO {
             continue;

@@ -3,8 +3,8 @@
 
 use mct_suite::bdd::BddManager;
 use mct_suite::delay::{
-    floating_delay, shortest_path_delay, theorem1_bound, theorem2_applicable,
-    topological_delay, transition_delay,
+    floating_delay, shortest_path_delay, theorem1_bound, theorem2_applicable, topological_delay,
+    transition_delay,
 };
 use mct_suite::gen::{paper_figure2, standard_suite};
 use mct_suite::netlist::{FsmView, Time};
@@ -34,7 +34,10 @@ fn theorem1_bound_is_dynamically_safe() {
         let config = SimConfig::at_period(bound)
             .with_cycles(32)
             .with_setup_hold(setup, hold)
-            .with_delay_mode(DelayMode::RandomUniform { min_factor_percent: 90, seed: 3 });
+            .with_delay_mode(DelayMode::RandomUniform {
+                min_factor_percent: 90,
+                seed: 3,
+            });
         let ins = |cycle: usize, i: usize| (cycle + i).is_multiple_of(3);
         let trace = sim.run(&config, ins);
         let (states, outputs) = functional_trace(c, 32, ins);
