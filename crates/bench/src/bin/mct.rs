@@ -1,10 +1,13 @@
 //! Command-line front end for the minimum-cycle-time toolkit.
 //!
 //! ```text
-//! mct analyze  <file> [options]   full sequential analysis of a netlist
-//! mct delays   <file> [options]   combinational delay metrics only
+//! mct analyze  <file> [options] [--json]   full sequential analysis of a netlist
+//! mct delays   <file> [options]            combinational delay metrics only
 //! mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]
-//! mct convert  <in> <out>         translate between .bench and .blif
+//! mct convert  <in> <out>                  translate between .bench and .blif
+//! mct serve    [--listen A] [--workers N] [--cache-dir D] …   analysis daemon
+//! mct query    <file> [--connect A] [options] [--json]        ask the daemon
+//! mct query    --stats|--ping|--shutdown [--connect A]        daemon control
 //!
 //! options:
 //!   --blif            treat <file> as BLIF (default: by extension, else .bench)
@@ -15,12 +18,24 @@
 //!   --lp              Section-7 path-coupled linear programs
 //!   --threads N       sweep worker threads (0 = all CPUs; default 1);
 //!                     the report is identical at every thread count
+//!
+//! serve options:
+//!   --listen ADDR        bind address (default 127.0.0.1:7934; port 0 = ephemeral)
+//!   --workers N          worker threads (default 2)
+//!   --cache-capacity N   in-memory result-cache entries (default 64)
+//!   --cache-dir DIR      persist results across restarts
+//!   --max-queue N        queued connections before shedding `busy` (default 32)
+//!   --request-budget S   per-request analysis budget, seconds
+//!   --quiet              suppress per-request log lines
 //! ```
 
 use mct_core::{MctAnalyzer, MctOptions};
 use mct_netlist::{
     parse_bench, parse_blif, write_bench, write_blif, Circuit, DelayModel, FsmView, Time,
 };
+use mct_serve::json::Json;
+use mct_serve::server::{Server, ServerConfig};
+use mct_serve::Client;
 use mct_sim::{functional_trace, DelayMode, SimConfig, Simulator};
 use mct_tbf::TimedVarTable;
 use std::process::ExitCode;
@@ -37,6 +52,19 @@ struct Flags {
     cycles: usize,
     seed: u64,
     vcd: Option<String>,
+    json: bool,
+    listen: String,
+    connect: String,
+    workers: usize,
+    cache_capacity: usize,
+    cache_dir: Option<String>,
+    max_queue: usize,
+    request_budget_secs: Option<u64>,
+    quiet: bool,
+    name: Option<String>,
+    stats: bool,
+    ping: bool,
+    shutdown: bool,
     positional: Vec<String>,
 }
 
@@ -53,6 +81,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         cycles: 64,
         seed: 1,
         vcd: None,
+        json: false,
+        listen: "127.0.0.1:7934".into(),
+        connect: "127.0.0.1:7934".into(),
+        workers: 2,
+        cache_capacity: 64,
+        cache_dir: None,
+        max_queue: 32,
+        request_budget_secs: None,
+        quiet: false,
+        name: None,
+        stats: false,
+        ping: false,
+        shutdown: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -92,6 +133,46 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .map_err(|e| format!("bad cycle count: {e}"))?
             }
             "--vcd" => f.vcd = Some(it.next().ok_or("--vcd needs a path")?.clone()),
+            "--json" => f.json = true,
+            "--listen" => f.listen = it.next().ok_or("--listen needs an address")?.clone(),
+            "--connect" => f.connect = it.next().ok_or("--connect needs an address")?.clone(),
+            "--workers" => {
+                f.workers = it
+                    .next()
+                    .ok_or("--workers needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?
+            }
+            "--cache-capacity" => {
+                f.cache_capacity = it
+                    .next()
+                    .ok_or("--cache-capacity needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad cache capacity: {e}"))?
+            }
+            "--cache-dir" => {
+                f.cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone())
+            }
+            "--max-queue" => {
+                f.max_queue = it
+                    .next()
+                    .ok_or("--max-queue needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad queue bound: {e}"))?
+            }
+            "--request-budget" => {
+                f.request_budget_secs = Some(
+                    it.next()
+                        .ok_or("--request-budget needs seconds")?
+                        .parse()
+                        .map_err(|e| format!("bad budget: {e}"))?,
+                )
+            }
+            "--quiet" => f.quiet = true,
+            "--name" => f.name = Some(it.next().ok_or("--name needs a value")?.clone()),
+            "--stats" => f.stats = true,
+            "--ping" => f.ping = true,
+            "--shutdown" => f.shutdown = true,
             "--seed" => {
                 f.seed = it
                     .next()
@@ -161,6 +242,10 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?
         .run(&opts)
         .map_err(|e| e.to_string())?;
+    if flags.json {
+        println!("{}", mct_serve::report::report_to_json(&report).to_pretty());
+        return Ok(());
+    }
     println!("{}: {}", circuit.name(), circuit.stats());
     println!("  steady-state delay L   {:.3}", report.steady_delay);
     println!("  MCT upper bound        {:.3}", report.mct_upper_bound);
@@ -242,6 +327,162 @@ fn cmd_convert(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let cfg = ServerConfig {
+        listen: flags.listen.clone(),
+        workers: flags.workers,
+        cache_capacity: flags.cache_capacity,
+        cache_dir: flags.cache_dir.clone().map(Into::into),
+        max_queue: flags.max_queue,
+        default_time_budget_ms: flags.request_budget_secs.map(|s| s * 1000),
+        log: !flags.quiet,
+        install_signal_handlers: true,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(cfg).map_err(|e| format!("{}: {e}", flags.listen))?;
+    // This line is the startup contract: scripts (and the CI smoke test)
+    // parse the bound address from it, so port 0 is usable.
+    println!("listening on {}", server.local_addr());
+    server.run().map_err(|e| e.to_string())
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let connect = |what: &str| {
+        Client::connect(&flags.connect).map_err(|e| format!("{} ({what}): {e}", flags.connect))
+    };
+    if flags.shutdown {
+        let response = connect("shutdown")?.shutdown().map_err(|e| e.to_string())?;
+        expect_type(&response, "bye")?;
+        println!("server at {} shutting down", flags.connect);
+        return Ok(());
+    }
+    if flags.ping {
+        let response = connect("ping")?.ping().map_err(|e| e.to_string())?;
+        expect_type(&response, "pong")?;
+        println!("server at {} is alive", flags.connect);
+        return Ok(());
+    }
+    if flags.stats {
+        let response = connect("stats")?.stats().map_err(|e| e.to_string())?;
+        expect_type(&response, "stats")?;
+        println!("{}", response.to_pretty());
+        return Ok(());
+    }
+
+    let path = flags
+        .positional
+        .first()
+        .ok_or("query needs a netlist file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let as_blif = flags.blif.unwrap_or_else(|| path.ends_with(".blif"));
+    let name = match &flags.name {
+        Some(n) => n.clone(),
+        None => std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "circuit".into()),
+    };
+    let opts = mct_options(flags);
+    let options = Json::Obj(vec![
+        (
+            "delay_variation".into(),
+            match opts.delay_variation {
+                None => Json::Null,
+                Some((n, d)) => Json::Arr(vec![Json::Int(n), Json::Int(d)]),
+            },
+        ),
+        ("use_reachability".into(), Json::Bool(opts.use_reachability)),
+        ("path_coupled_lp".into(), Json::Bool(opts.path_coupled_lp)),
+        ("exact_check".into(), Json::Bool(opts.exact_check)),
+        ("num_threads".into(), Json::Int(opts.num_threads as i64)),
+    ]);
+    let request = Json::Obj(vec![
+        ("type".into(), Json::Str("analyze".into())),
+        (
+            "format".into(),
+            Json::Str(if as_blif { "blif" } else { "bench" }.into()),
+        ),
+        ("netlist".into(), Json::Str(text)),
+        ("name".into(), Json::Str(name)),
+        (
+            "delay_model".into(),
+            Json::Str(
+                match flags.model {
+                    DelayModel::Unit => "unit",
+                    _ => "mapped",
+                }
+                .into(),
+            ),
+        ),
+        ("options".into(), options),
+    ]);
+    let response = connect("analyze")?
+        .request(&request)
+        .map_err(|e| e.to_string())?;
+    match response.get("type").and_then(Json::as_str) {
+        Some("report") => {}
+        Some("busy") => return Err("server busy, retry later".into()),
+        Some("error") => {
+            return Err(response
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified server error")
+                .to_owned())
+        }
+        other => return Err(format!("unexpected response type {other:?}")),
+    }
+    if flags.json {
+        println!("{}", response.to_pretty());
+        return Ok(());
+    }
+    print_report_response(&response, &flags.connect)
+}
+
+fn expect_type(response: &Json, want: &str) -> Result<(), String> {
+    match response.get("type").and_then(Json::as_str) {
+        Some(t) if t == want => Ok(()),
+        Some("error") => Err(response
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error")
+            .to_owned()),
+        other => Err(format!("unexpected response type {other:?}")),
+    }
+}
+
+fn print_report_response(response: &Json, server: &str) -> Result<(), String> {
+    let report = response.get("report").ok_or("response missing report")?;
+    let str_field = |v: &Json, k: &str| v.get(k).and_then(Json::as_str).map(str::to_owned);
+    let num = |k: &str| report.get(k).and_then(Json::as_f64);
+    let cache = str_field(response, "cache").unwrap_or_else(|| "?".into());
+    let elapsed = response
+        .get("elapsed_us")
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    println!(
+        "{}: cache {cache} (server {server}, {elapsed} µs)",
+        str_field(report, "circuit").unwrap_or_else(|| "circuit".into()),
+    );
+    if let Some(l) = num("steady_delay") {
+        println!("  steady-state delay L   {l:.3}");
+    }
+    if let Some(b) = num("mct_upper_bound") {
+        println!("  MCT upper bound        {b:.3}");
+    }
+    match report.get("first_failing_tau").and_then(Json::as_f64) {
+        Some(t) => println!("  first failing period   {t:.3}"),
+        None => println!("  no failing period found (exhausted at the floor)"),
+    }
+    if report
+        .get("timed_out")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+    {
+        println!("  note: analysis hit its time budget; the bound is partial");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -251,10 +492,14 @@ fn main() -> ExitCode {
     if cmd == "--help" || cmd == "-h" {
         eprintln!(
             "mct analyze <file> [--blif] [--model unit|mapped] [--fixed] \
-             [--no-reachability] [--exact] [--lp] [--threads N]\n\
+             [--no-reachability] [--exact] [--lp] [--threads N] [--json]\n\
              mct delays <file> [--blif] [--model unit|mapped]\n\
              mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]\n\
-             mct convert <in> <out>"
+             mct convert <in> <out>\n\
+             mct serve [--listen ADDR] [--workers N] [--cache-capacity N] \
+             [--cache-dir DIR] [--max-queue N] [--request-budget SECS] [--quiet]\n\
+             mct query <file> [--connect ADDR] [--name NAME] [analysis flags] [--json]\n\
+             mct query --stats|--ping|--shutdown [--connect ADDR]"
         );
         return ExitCode::SUCCESS;
     }
@@ -270,6 +515,8 @@ fn main() -> ExitCode {
         "delays" => cmd_delays(&flags),
         "simulate" => cmd_simulate(&flags),
         "convert" => cmd_convert(&flags),
+        "serve" => cmd_serve(&flags),
+        "query" => cmd_query(&flags),
         other => Err(format!("unknown command `{other}` (try --help)")),
     };
     match result {

@@ -22,6 +22,7 @@
 
 use mct_core::{MctAnalyzer, MctError, MctOptions};
 use mct_gen::SuiteEntry;
+use mct_serve::json::Json;
 use mct_tbf::TimedVarTable;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -218,79 +219,57 @@ pub fn summarize(rows: &[TableRow]) -> TableSummary {
     }
 }
 
-/// Escapes a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Formats an `f64` as a JSON number (finite values only; the table's
-/// metrics are always finite).
-fn json_f64(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 1e15 {
-        format!("{v:.1}")
-    } else {
-        format!("{v}")
-    }
+/// The table document as a [`Json`] value
+/// (`{ "rows": [...], "summary": {...} }`), for callers that post-process
+/// rather than print.
+pub fn table_to_json(rows: &[TableRow], summary: &TableSummary) -> Json {
+    let rows = rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("circuit".into(), Json::Str(r.circuit.clone())),
+                ("gates".into(), Json::Int(r.gates as i64)),
+                ("dffs".into(), Json::Int(r.dffs as i64)),
+                ("topological".into(), Json::Float(r.topological)),
+                ("floating".into(), Json::Float(r.floating)),
+                ("floating_cpu".into(), Json::Float(r.floating_cpu)),
+                ("transition".into(), Json::Float(r.transition)),
+                ("transition_cpu".into(), Json::Float(r.transition_cpu)),
+                ("mct".into(), Json::Float(r.mct)),
+                ("mct_cpu".into(), Json::Float(r.mct_cpu)),
+                ("tighter_mct".into(), Json::Bool(r.tighter_mct)),
+                ("comb_false_path".into(), Json::Bool(r.comb_false_path)),
+                ("partial".into(), Json::Bool(r.partial)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("rows".into(), Json::Arr(rows)),
+        (
+            "summary".into(),
+            Json::Obj(vec![
+                ("circuits".into(), Json::Int(summary.circuits as i64)),
+                ("tighter".into(), Json::Int(summary.tighter as i64)),
+                (
+                    "tighter_fraction".into(),
+                    Json::Float(summary.tighter_fraction),
+                ),
+                ("max_pessimism".into(), Json::Float(summary.max_pessimism)),
+                (
+                    "max_pessimism_moderate".into(),
+                    Json::Float(summary.max_pessimism_moderate),
+                ),
+                ("comb_false".into(), Json::Int(summary.comb_false as i64)),
+                ("deep_rows".into(), Json::Int(summary.deep_rows as i64)),
+            ]),
+        ),
+    ])
 }
 
 /// Renders rows and their summary as a pretty-printed JSON document
 /// (`{ "rows": [...], "summary": {...} }`).
 pub fn render_json(rows: &[TableRow], summary: &TableSummary) -> String {
-    let mut out = String::from("{\n  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\n      \"circuit\": \"{}\",\n      \"gates\": {},\n      \
-             \"dffs\": {},\n      \"topological\": {},\n      \"floating\": {},\n      \
-             \"floating_cpu\": {},\n      \"transition\": {},\n      \
-             \"transition_cpu\": {},\n      \"mct\": {},\n      \"mct_cpu\": {},\n      \
-             \"tighter_mct\": {},\n      \"comb_false_path\": {},\n      \
-             \"partial\": {}\n    }}",
-            json_escape(&r.circuit),
-            r.gates,
-            r.dffs,
-            json_f64(r.topological),
-            json_f64(r.floating),
-            json_f64(r.floating_cpu),
-            json_f64(r.transition),
-            json_f64(r.transition_cpu),
-            json_f64(r.mct),
-            json_f64(r.mct_cpu),
-            r.tighter_mct,
-            r.comb_false_path,
-            r.partial,
-        );
-        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    let _ = write!(
-        out,
-        "  ],\n  \"summary\": {{\n    \"circuits\": {},\n    \"tighter\": {},\n    \
-         \"tighter_fraction\": {},\n    \"max_pessimism\": {},\n    \
-         \"max_pessimism_moderate\": {},\n    \"comb_false\": {},\n    \
-         \"deep_rows\": {}\n  }}\n}}",
-        summary.circuits,
-        summary.tighter,
-        json_f64(summary.tighter_fraction),
-        json_f64(summary.max_pessimism),
-        json_f64(summary.max_pessimism_moderate),
-        summary.comb_false,
-        summary.deep_rows,
-    );
-    out
+    table_to_json(rows, summary).to_pretty()
 }
 
 /// Renders the summary as prose mirroring the paper's claims.
@@ -344,6 +323,28 @@ mod tests {
         assert!(text.contains("Top. D"));
         assert!(text.contains("fig2"));
         assert!(text.contains("‡§"));
+    }
+
+    #[test]
+    fn json_rendering_parses_and_keeps_float_style() {
+        let row = compute_row(&fig2_entry(), &MctOptions::fixed_delays()).unwrap();
+        let summary = summarize(std::slice::from_ref(&row));
+        let text = render_json(std::slice::from_ref(&row), &summary);
+        let doc = Json::parse(&text).expect("render_json emits valid JSON");
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("topological").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(rows[0].get("gates"), Some(&Json::Int(6)));
+        // Integral floats keep the legacy `5.0` spelling; counts stay bare.
+        assert!(text.contains("\"topological\": 5.0"), "{text}");
+        assert!(text.contains("\"gates\": 6"), "{text}");
+        assert_eq!(
+            doc.get("summary")
+                .unwrap()
+                .get("circuits")
+                .and_then(Json::as_i64),
+            Some(1)
+        );
     }
 
     #[test]

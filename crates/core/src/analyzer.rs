@@ -9,10 +9,12 @@
 use crate::decision::{DecisionContext, DecisionOutcome};
 use crate::error::MctError;
 use crate::parallel::{self, EvalEnv, SigmaMemo, SweepShared};
-use mct_bdd::BddManager;
+use mct_bdd::{Bdd, BddManager};
 use mct_lp::{LpOutcome, Rat, Simplex};
 use mct_netlist::{Circuit, FsmView, NetId};
-use mct_tbf::{count_states, reachable_states, ConeExtractor, DelayClass, TimedVarTable};
+use mct_tbf::{
+    count_states, reachable_states, transfer_bdd, ConeExtractor, DelayClass, TimedVarTable,
+};
 use std::collections::HashMap;
 
 /// Configuration of a cycle-time analysis.
@@ -163,6 +165,31 @@ pub struct MctReport {
     pub regions: Vec<ValidityRegion>,
 }
 
+/// A reachable-state set exported into its own private manager and
+/// timed-variable table, so it can outlive the analyzer that computed it
+/// and seed future analyses of the same circuit.
+///
+/// Produced by [`MctAnalyzer::run_warm`]; feed it back to a later
+/// `run_warm` (of an analyzer over the *same* circuit, e.g. one looked up
+/// by canonical hash) to replace the image fixpoint with a linear
+/// [`transfer_bdd`] walk. The warm-started report is identical to the cold
+/// one: the transferred set denotes the same function, and the decision
+/// algorithm only ever compares functions.
+pub struct ReachSnapshot {
+    manager: BddManager,
+    table: TimedVarTable,
+    set: Bdd,
+    states: f64,
+}
+
+impl ReachSnapshot {
+    /// Number of reachable states the snapshot denotes (as counted when it
+    /// was first computed).
+    pub fn num_states(&self) -> f64 {
+        self.states
+    }
+}
+
 /// Orchestrates the full analysis of one circuit. Owns the BDD manager and
 /// the timed-variable table so repeated runs share symbolic work.
 pub struct MctAnalyzer<'c> {
@@ -199,6 +226,26 @@ impl<'c> MctAnalyzer<'c> {
     /// [`MctError::SigmaExplosion`] when one interval has too many shift
     /// combinations.
     pub fn run(&mut self, opts: &MctOptions) -> Result<MctReport, MctError> {
+        self.run_warm(opts, None).map(|(report, _)| report)
+    }
+
+    /// Like [`run`](Self::run), but can warm-start from a reachable-state
+    /// set computed by an earlier analysis of the same circuit, and exports
+    /// the set it used as a [`ReachSnapshot`] for the next caller.
+    ///
+    /// When `warm` is provided (and reachability is enabled), the image
+    /// fixpoint is replaced by a [`transfer_bdd`] import — a single linear
+    /// walk of the cached set. The report is identical either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run); additionally propagates transfer failures
+    /// when `warm` does not belong to this circuit's variable universe.
+    pub fn run_warm(
+        &mut self,
+        opts: &MctOptions,
+        warm: Option<&ReachSnapshot>,
+    ) -> Result<(MctReport, Option<ReachSnapshot>), MctError> {
         let view = &self.view;
         let manager = &mut self.manager;
         let table = &mut self.table;
@@ -226,7 +273,7 @@ impl<'c> MctAnalyzer<'c> {
         };
         if l_millis == 0 {
             // No combinational paths at all: any positive period works.
-            return Ok(report);
+            return Ok((report, None));
         }
 
         // Delay intervals per class (kmin rounded down: conservative).
@@ -249,12 +296,34 @@ impl<'c> MctAnalyzer<'c> {
 
         let mut ctx = DecisionContext::new(&extractor, manager, table)?;
         let mut restriction = None;
+        let mut snapshot = None;
         if opts.use_reachability && view.num_state_bits() > 0 {
-            let r = reachable_states(&extractor, manager, table)?;
-            report.reachable_states = Some(count_states(manager, r, view.num_state_bits()));
+            let (r, states) = match warm {
+                // Import the cached set instead of re-running the fixpoint.
+                Some(snap) => {
+                    let local = transfer_bdd(&snap.manager, &snap.table, snap.set, manager, table)?;
+                    (local, snap.states)
+                }
+                None => {
+                    let r = reachable_states(&extractor, manager, table)?;
+                    (r, count_states(manager, r, view.num_state_bits()))
+                }
+            };
+            report.reachable_states = Some(states);
             report.used_reachability = true;
             ctx = ctx.with_restriction(r);
             restriction = Some(r);
+            // Export the set to a private manager so the caller can cache it
+            // past this analyzer's lifetime.
+            let mut snap_manager = BddManager::new();
+            let mut snap_table = TimedVarTable::new();
+            let snap_set = transfer_bdd(manager, table, r, &mut snap_manager, &mut snap_table)?;
+            snapshot = Some(ReachSnapshot {
+                manager: snap_manager,
+                table: snap_table,
+                set: snap_set,
+                states,
+            });
         }
 
         let floor = match opts.exhaustive_floor {
@@ -305,7 +374,7 @@ impl<'c> MctAnalyzer<'c> {
             )?
         };
         parallel::reconcile(&shared, &sweep, states, &mut report)?;
-        Ok(report)
+        Ok((report, snapshot))
     }
 }
 
@@ -545,6 +614,33 @@ mod tests {
         let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
         assert!(!report.timed_out);
         assert!((report.mct_upper_bound - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_report_identical_to_cold() {
+        let c = figure2();
+        let opts = MctOptions::default();
+        let (cold, snapshot) = MctAnalyzer::new(&c).unwrap().run_warm(&opts, None).unwrap();
+        let snapshot = snapshot.expect("reachability on ⇒ snapshot exported");
+        assert_eq!(snapshot.num_states(), 2.0);
+
+        // A fresh analyzer warm-started from the snapshot: same report.
+        let (warm, again) = MctAnalyzer::new(&c)
+            .unwrap()
+            .run_warm(&opts, Some(&snapshot))
+            .unwrap();
+        assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
+        assert_eq!(again.expect("snapshot re-exported").num_states(), 2.0);
+
+        // Warm-starting a *different-options* run of the same circuit also
+        // reproduces its cold report.
+        let fixed = MctOptions::fixed_delays();
+        let cold_fixed = MctAnalyzer::new(&c).unwrap().run(&fixed).unwrap();
+        let (warm_fixed, _) = MctAnalyzer::new(&c)
+            .unwrap()
+            .run_warm(&fixed, Some(&snapshot))
+            .unwrap();
+        assert_eq!(format!("{cold_fixed:?}"), format!("{warm_fixed:?}"));
     }
 
     #[test]

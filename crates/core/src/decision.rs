@@ -71,6 +71,46 @@ impl DecisionOutcome {
     pub fn is_valid(self) -> bool {
         matches!(self, DecisionOutcome::Valid)
     }
+
+    /// Decomposes the outcome into `(kind, cycle, index)` for stable
+    /// serialization: `kind` is one of `"valid"`, `"basis_state"`,
+    /// `"basis_output"`, `"induction_state"`, `"induction_output"`; `cycle`
+    /// is present for the basis variants; `index` is the state bit or
+    /// output index for the mismatch variants.
+    pub fn parts(self) -> (&'static str, Option<i64>, Option<usize>) {
+        match self {
+            DecisionOutcome::Valid => ("valid", None, None),
+            DecisionOutcome::BasisStateMismatch { cycle, bit } => {
+                ("basis_state", Some(cycle), Some(bit))
+            }
+            DecisionOutcome::BasisOutputMismatch { cycle, output } => {
+                ("basis_output", Some(cycle), Some(output))
+            }
+            DecisionOutcome::InductionStateMismatch { bit } => ("induction_state", None, Some(bit)),
+            DecisionOutcome::InductionOutputMismatch { output } => {
+                ("induction_output", None, Some(output))
+            }
+        }
+    }
+
+    /// Reassembles an outcome from the [`parts`](Self::parts) encoding.
+    /// Returns `None` for an unknown kind or missing fields.
+    pub fn from_parts(kind: &str, cycle: Option<i64>, index: Option<usize>) -> Option<Self> {
+        match kind {
+            "valid" => Some(DecisionOutcome::Valid),
+            "basis_state" => Some(DecisionOutcome::BasisStateMismatch {
+                cycle: cycle?,
+                bit: index?,
+            }),
+            "basis_output" => Some(DecisionOutcome::BasisOutputMismatch {
+                cycle: cycle?,
+                output: index?,
+            }),
+            "induction_state" => Some(DecisionOutcome::InductionStateMismatch { bit: index? }),
+            "induction_output" => Some(DecisionOutcome::InductionOutputMismatch { output: index? }),
+            _ => None,
+        }
+    }
 }
 
 /// Reusable state for running the decision algorithm at many candidate

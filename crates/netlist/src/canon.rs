@@ -1,0 +1,539 @@
+//! Canonical structural hashing of circuits.
+//!
+//! The analysis service keys its content-addressed result cache on a hash
+//! of the circuit *structure* — not its textual source — so that two
+//! netlists describing the same machine land in the same cache slot. The
+//! hash is:
+//!
+//! * **invariant** under gate and wire declaration order, and under
+//!   renaming of every signal (gates, flip-flops, and primary inputs);
+//! * **sensitive** to everything the cycle-time analysis can observe: gate
+//!   kinds, fan-in structure, per-pin rise/fall delays, flip-flop initial
+//!   values and clock-to-Q delays, and the output markings.
+//!
+//! Primary inputs keep their *positional* identity (declaration order):
+//! renaming an input does not change the hash, but swapping which input
+//! feeds which pin does — `AND(a, a)` and `AND(a, b)` must hash apart.
+//!
+//! The construction is Weisfeiler–Lehman-style label refinement on the FSM
+//! graph. Every node carries a two-lane 64-bit label. Leaves start from
+//! their local data (inputs: position; flip-flops: initial value and
+//! clock-to-Q). Each round recomputes gate labels in topological order —
+//! combining, per pin, the driver label with the pin's rise/fall delays,
+//! order-independently, since every [`GateKind`] is a symmetric function —
+//! and then folds each flip-flop's data-cone label back into its leaf
+//! label. Rounds repeat until the register labels stabilise (at most one
+//! round per flip-flop plus one), which propagates distinctions around
+//! feedback loops of any length. The final hash combines the multisets of
+//! register and output labels, so declaration order never matters.
+//!
+//! Two lanes with independent mixing give a 128-bit digest; a collision
+//! needs ~2⁶⁴ distinct circuits, far past any realistic cache population.
+
+use crate::circuit::{Circuit, Node};
+use crate::gate::GateKind;
+use std::fmt;
+
+/// A 128-bit canonical digest of a circuit's structure.
+///
+/// Obtain one from [`canonical_hash`]; display it as 32 hex digits.
+///
+/// # Examples
+///
+/// ```
+/// use mct_netlist::{canonical_hash, Circuit, GateKind, Time};
+/// let mut a = Circuit::new("one");
+/// let x = a.add_input("x");
+/// let g = a.add_gate("g", GateKind::Not, &[x], Time::UNIT);
+/// a.set_output(g);
+///
+/// // Same structure, every signal renamed: identical hash.
+/// let mut b = Circuit::new("two");
+/// let p = b.add_input("p");
+/// let q = b.add_gate("q", GateKind::Not, &[p], Time::UNIT);
+/// b.set_output(q);
+/// assert_eq!(canonical_hash(&a), canonical_hash(&b));
+///
+/// // A different delay: different hash.
+/// let mut c = Circuit::new("three");
+/// let r = c.add_input("r");
+/// let s = c.add_gate("s", GateKind::Not, &[r], Time::from_f64(2.0));
+/// c.set_output(s);
+/// assert_ne!(canonical_hash(&a), canonical_hash(&c));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CanonicalHash(pub u128);
+
+impl CanonicalHash {
+    /// The digest as 32 lowercase hex digits.
+    pub fn hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for CanonicalHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Per-lane seeds, so the two 64-bit lanes mix independently.
+const LANE_SEED: [u64; 2] = [0x9e37_79b9_7f4a_7c15, 0xd1b5_4a32_d192_ed03];
+
+/// Domain-separation tags for the node and element kinds.
+const TAG_INPUT: u64 = 1;
+const TAG_DFF: u64 = 2;
+const TAG_GATE: u64 = 3;
+const TAG_PIN: u64 = 4;
+const TAG_OUTPUT: u64 = 5;
+const TAG_CIRCUIT: u64 = 6;
+
+/// SplitMix64 finalizer: the avalanche step used to mix every word.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A two-lane node label.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+struct Label([u64; 2]);
+
+impl Label {
+    /// Hashes a tagged word sequence into a fresh label.
+    fn of(tag: u64, words: &[u64]) -> Label {
+        let mut lanes = [0u64; 2];
+        for (lane, acc) in lanes.iter_mut().enumerate() {
+            let mut h = mix64(tag ^ LANE_SEED[lane]);
+            for &w in words {
+                h = mix64(h ^ w.wrapping_add(LANE_SEED[lane]));
+            }
+            *acc = h;
+        }
+        Label(lanes)
+    }
+
+    /// Order-independent (multiset) accumulation of an element label.
+    fn accumulate(&mut self, element: Label) {
+        for (lane, acc) in self.0.iter_mut().enumerate() {
+            // Mix each element before summing so the sum is not linear in
+            // the raw labels; wrapping addition keeps it commutative.
+            *acc = acc.wrapping_add(mix64(element.0[lane] ^ LANE_SEED[lane]));
+        }
+    }
+}
+
+/// Computes the canonical structural digest of `circuit`.
+///
+/// The circuit's *name* is deliberately excluded — a cache keyed on this
+/// hash must treat `s27` and a renamed copy of `s27` as the same content.
+/// See the module docs for the exact invariances.
+pub fn canonical_hash(circuit: &Circuit) -> CanonicalHash {
+    let n = circuit.num_nodes();
+    let mut labels: Vec<Label> = vec![Label::default(); n];
+
+    // Leaf initialisation: inputs by position, flip-flops by local data.
+    let mut input_pos = 0u64;
+    for (id, node) in circuit.iter() {
+        match node {
+            Node::Input { .. } => {
+                labels[id.index()] = Label::of(TAG_INPUT, &[input_pos]);
+                input_pos += 1;
+            }
+            Node::Dff {
+                init, clock_to_q, ..
+            } => {
+                labels[id.index()] =
+                    Label::of(TAG_DFF, &[*init as u64, clock_to_q.millis() as u64]);
+            }
+            Node::Gate { .. } => {}
+        }
+    }
+
+    // Gate order for the per-round sweep. An invalid (cyclic) gate network
+    // cannot reach the analyzer; fall back to arena order so the hash is
+    // still total.
+    let order = circuit.topo_order().unwrap_or_else(|_| circuit.gates());
+
+    let dffs = circuit.dffs();
+    let rounds = dffs.len() + 1;
+    for _ in 0..rounds {
+        for &id in &order {
+            if let Node::Gate {
+                kind,
+                inputs,
+                pin_delays,
+                ..
+            } = circuit.node(id)
+            {
+                // Every GateKind is a symmetric function, so pins combine as
+                // a multiset of (driver label, rise, fall) triples.
+                let mut pins = Label::default();
+                for (input, delay) in inputs.iter().zip(pin_delays) {
+                    let driver = labels[input.index()];
+                    pins.accumulate(Label::of(
+                        TAG_PIN,
+                        &[
+                            driver.0[0],
+                            driver.0[1],
+                            delay.rise.millis() as u64,
+                            delay.fall.millis() as u64,
+                        ],
+                    ));
+                }
+                labels[id.index()] = Label::of(
+                    TAG_GATE,
+                    &[gate_tag(*kind), inputs.len() as u64, pins.0[0], pins.0[1]],
+                );
+            }
+        }
+        // Fold each register's data cone back into its leaf label.
+        let mut changed = false;
+        for &id in &dffs {
+            if let Node::Dff {
+                init,
+                clock_to_q,
+                data,
+                ..
+            } = circuit.node(id)
+            {
+                let data_label = data.map(|d| labels[d.index()]).unwrap_or_default();
+                let next = Label::of(
+                    TAG_DFF,
+                    &[
+                        *init as u64,
+                        clock_to_q.millis() as u64,
+                        data_label.0[0],
+                        data_label.0[1],
+                    ],
+                );
+                if next != labels[id.index()] {
+                    labels[id.index()] = next;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final digest: structural counts plus the register, gate, and output
+    // label multisets (declaration order of any of them never matters).
+    // Gates are included even when they feed no sink, so that *every* pin
+    // delay change moves the key — a dead-logic edit costs at most a
+    // spurious cache miss, never a false hit.
+    let mut regs = Label::default();
+    for &id in &dffs {
+        regs.accumulate(labels[id.index()]);
+    }
+    let mut gates = Label::default();
+    for &id in &order {
+        gates.accumulate(labels[id.index()]);
+    }
+    let mut outs = Label::default();
+    for &o in circuit.outputs() {
+        outs.accumulate(Label::of(TAG_OUTPUT, &labels[o.index()].0));
+    }
+    let digest = Label::of(
+        TAG_CIRCUIT,
+        &[
+            circuit.num_inputs() as u64,
+            dffs.len() as u64,
+            circuit.num_gates() as u64,
+            circuit.outputs().len() as u64,
+            regs.0[0],
+            regs.0[1],
+            gates.0[0],
+            gates.0[1],
+            outs.0[0],
+            outs.0[1],
+        ],
+    );
+    CanonicalHash(((digest.0[0] as u128) << 64) | digest.0[1] as u128)
+}
+
+fn gate_tag(kind: GateKind) -> u64 {
+    match kind {
+        GateKind::Buf => 11,
+        GateKind::Not => 12,
+        GateKind::And => 13,
+        GateKind::Nand => 14,
+        GateKind::Or => 15,
+        GateKind::Nor => 16,
+        GateKind::Xor => 17,
+        GateKind::Xnor => 18,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::PinDelay;
+    use crate::time::Time;
+    use mct_prng::SmallRng;
+
+    fn t(v: f64) -> Time {
+        Time::from_f64(v)
+    }
+
+    fn figure2(name: &str) -> Circuit {
+        let mut c = Circuit::new(name);
+        let f = c.add_dff("f", true, Time::ZERO);
+        let cb = c.add_gate("c", GateKind::Buf, &[f], t(1.5));
+        let d = c.add_gate("d", GateKind::Not, &[f], t(4.0));
+        let e = c.add_gate("e", GateKind::Buf, &[f], t(5.0));
+        let a = c.add_gate("a", GateKind::And, &[cb, d, e], Time::ZERO);
+        let b = c.add_gate("b", GateKind::Not, &[f], t(2.0));
+        let g = c.add_gate("g", GateKind::Or, &[a, b], Time::ZERO);
+        c.connect_dff_data("f", g).unwrap();
+        c.set_output(f);
+        c
+    }
+
+    /// Figure 2 rebuilt in a different declaration order with every signal
+    /// renamed.
+    fn figure2_permuted() -> Circuit {
+        let mut c = Circuit::new("other-name");
+        let f = c.add_dff("reg0", true, Time::ZERO);
+        let b = c.add_gate("n1", GateKind::Not, &[f], t(2.0));
+        let e = c.add_gate("n2", GateKind::Buf, &[f], t(5.0));
+        let d = c.add_gate("n3", GateKind::Not, &[f], t(4.0));
+        let cb = c.add_gate("n4", GateKind::Buf, &[f], t(1.5));
+        let a = c.add_gate("n5", GateKind::And, &[e, cb, d], Time::ZERO);
+        let g = c.add_gate("n6", GateKind::Or, &[b, a], Time::ZERO);
+        c.connect_dff_data("reg0", g).unwrap();
+        c.set_output(f);
+        c
+    }
+
+    #[test]
+    fn figure2_invariant_under_reorder_and_rename() {
+        assert_eq!(
+            canonical_hash(&figure2("fig2")),
+            canonical_hash(&figure2_permuted())
+        );
+    }
+
+    #[test]
+    fn name_does_not_matter() {
+        assert_eq!(
+            canonical_hash(&figure2("alpha")),
+            canonical_hash(&figure2("beta"))
+        );
+    }
+
+    #[test]
+    fn pin_delay_changes_hash() {
+        let base = canonical_hash(&figure2("fig2"));
+        let mut c = figure2("fig2");
+        // Rebuild with one delay nudged by a milli-unit.
+        let mut c2 = Circuit::new("fig2");
+        let f = c2.add_dff("f", true, Time::ZERO);
+        let cb = c2.add_gate("c", GateKind::Buf, &[f], t(1.5));
+        let d = c2.add_gate("d", GateKind::Not, &[f], Time::from_millis(4001));
+        let e = c2.add_gate("e", GateKind::Buf, &[f], t(5.0));
+        let a = c2.add_gate("a", GateKind::And, &[cb, d, e], Time::ZERO);
+        let b = c2.add_gate("b", GateKind::Not, &[f], t(2.0));
+        let g = c2.add_gate("g", GateKind::Or, &[a, b], Time::ZERO);
+        c2.connect_dff_data("f", g).unwrap();
+        c2.set_output(f);
+        assert_ne!(base, canonical_hash(&c2));
+        c.set_name("renamed"); // sanity: the original still matches itself
+        assert_eq!(base, canonical_hash(&c));
+    }
+
+    #[test]
+    fn init_value_changes_hash() {
+        let mut flipped = Circuit::new("fig2");
+        let f = flipped.add_dff("f", false, Time::ZERO);
+        let cb = flipped.add_gate("c", GateKind::Buf, &[f], t(1.5));
+        let d = flipped.add_gate("d", GateKind::Not, &[f], t(4.0));
+        let e = flipped.add_gate("e", GateKind::Buf, &[f], t(5.0));
+        let a = flipped.add_gate("a", GateKind::And, &[cb, d, e], Time::ZERO);
+        let b = flipped.add_gate("b", GateKind::Not, &[f], t(2.0));
+        let g = flipped.add_gate("g", GateKind::Or, &[a, b], Time::ZERO);
+        flipped.connect_dff_data("f", g).unwrap();
+        flipped.set_output(f);
+        assert_ne!(canonical_hash(&figure2("fig2")), canonical_hash(&flipped));
+    }
+
+    #[test]
+    fn repeated_pin_differs_from_distinct_pins() {
+        // AND(a, a) vs AND(a, b): inputs are positional, not interchangeable.
+        let mut same = Circuit::new("t");
+        let a = same.add_input("a");
+        let _b = same.add_input("b");
+        let g = same.add_gate("g", GateKind::And, &[a, a], Time::UNIT);
+        same.set_output(g);
+
+        let mut distinct = Circuit::new("t");
+        let a = distinct.add_input("a");
+        let b = distinct.add_input("b");
+        let g = distinct.add_gate("g", GateKind::And, &[a, b], Time::UNIT);
+        distinct.set_output(g);
+        assert_ne!(canonical_hash(&same), canonical_hash(&distinct));
+    }
+
+    #[test]
+    fn feedback_structure_distinguishes_equal_locals() {
+        // Two registers with identical init/clock-to-Q but different
+        // feedback depth: refinement must tell them apart.
+        let mut shallow = Circuit::new("t");
+        let q = shallow.add_dff("q", false, Time::ZERO);
+        let n = shallow.add_gate("n", GateKind::Not, &[q], Time::UNIT);
+        shallow.connect_dff_data("q", n).unwrap();
+        shallow.set_output(q);
+
+        let mut deep = Circuit::new("t");
+        let q = deep.add_dff("q", false, Time::ZERO);
+        let n1 = deep.add_gate("n1", GateKind::Not, &[q], Time::UNIT);
+        let n2 = deep.add_gate("n2", GateKind::Buf, &[n1], Time::UNIT);
+        deep.connect_dff_data("q", n2).unwrap();
+        deep.set_output(q);
+        assert_ne!(canonical_hash(&shallow), canonical_hash(&deep));
+    }
+
+    /// A random circuit as an explicit node-spec list, so it can be rebuilt
+    /// under any topological permutation with fresh names.
+    struct Spec {
+        inputs: usize,
+        dffs: Vec<(bool, i64, usize)>, // (init, clock_to_q, data spec-index)
+        // (kind, fan-in spec-indices, per-pin (rise, fall) in millis)
+        #[allow(clippy::type_complexity)]
+        gates: Vec<(GateKind, Vec<usize>, Vec<(i64, i64)>)>,
+        outputs: Vec<usize>,
+    }
+
+    /// Spec node indexing: 0..inputs are inputs, then dffs, then gates.
+    fn random_spec(rng: &mut SmallRng) -> Spec {
+        let inputs = 1 + (rng.next_u64() % 3) as usize;
+        let num_dffs = 1 + (rng.next_u64() % 3) as usize;
+        let num_gates = 3 + (rng.next_u64() % 8) as usize;
+        let leaves = inputs + num_dffs;
+        let mut gates = Vec::new();
+        for g in 0..num_gates {
+            let kinds = GateKind::ALL;
+            let kind = kinds[(rng.next_u64() % kinds.len() as u64) as usize];
+            let avail = leaves + g;
+            let fanin = match kind.max_inputs() {
+                Some(1) => 1,
+                _ => 1 + (rng.next_u64() % 3) as usize,
+            };
+            let mut pins = Vec::new();
+            let mut delays = Vec::new();
+            for _ in 0..fanin {
+                pins.push((rng.next_u64() % avail as u64) as usize);
+                let rise = 100 + (rng.next_u64() % 40) as i64 * 50;
+                let fall = 100 + (rng.next_u64() % 40) as i64 * 50;
+                delays.push((rise, fall));
+            }
+            gates.push((kind, pins, delays));
+        }
+        let dffs = (0..num_dffs)
+            .map(|_| {
+                let init = rng.next_u64() % 2 == 1;
+                let c2q = (rng.next_u64() % 4) as i64 * 250;
+                let data = leaves + (rng.next_u64() % num_gates as u64) as usize;
+                (init, c2q, data)
+            })
+            .collect();
+        let outputs = (0..1 + (rng.next_u64() % 2) as usize)
+            .map(|_| (rng.next_u64() % (leaves + num_gates) as u64) as usize)
+            .collect();
+        Spec {
+            inputs,
+            dffs,
+            gates,
+            outputs,
+        }
+    }
+
+    /// Instantiates a spec, visiting gates in a random topological order and
+    /// naming every node from the permutation counter.
+    fn build(spec: &Spec, rng: &mut SmallRng, salt: &str) -> Circuit {
+        let mut c = Circuit::new(format!("rand{salt}"));
+        let leaves = spec.inputs + spec.dffs.len();
+        let mut ids: Vec<Option<crate::NetId>> = vec![None; leaves + spec.gates.len()];
+        // Inputs keep declaration order (positional identity).
+        for (i, id) in ids.iter_mut().enumerate().take(spec.inputs) {
+            *id = Some(c.add_input(format!("in{salt}{i}")));
+        }
+        // Registers in random order.
+        let mut dff_order: Vec<usize> = (0..spec.dffs.len()).collect();
+        shuffle(&mut dff_order, rng);
+        for &d in &dff_order {
+            let (init, c2q, _) = spec.dffs[d];
+            ids[spec.inputs + d] =
+                Some(c.add_dff(format!("r{salt}{d}"), init, Time::from_millis(c2q)));
+        }
+        // Gates in a random order that respects data dependencies.
+        let mut pending: Vec<usize> = (0..spec.gates.len()).collect();
+        while !pending.is_empty() {
+            let ready: Vec<usize> = pending
+                .iter()
+                .copied()
+                .filter(|&g| spec.gates[g].1.iter().all(|&p| ids[p].is_some()))
+                .collect();
+            let pick = ready[(rng.next_u64() % ready.len() as u64) as usize];
+            let (kind, pins, delays) = &spec.gates[pick];
+            let inputs: Vec<crate::NetId> = pins.iter().map(|&p| ids[p].unwrap()).collect();
+            let pin_delays: Vec<PinDelay> = delays
+                .iter()
+                .map(|&(r, f)| PinDelay::new(Time::from_millis(r), Time::from_millis(f)))
+                .collect();
+            ids[leaves + pick] =
+                Some(c.add_gate_with_delays(format!("g{salt}{pick}"), *kind, &inputs, pin_delays));
+            pending.retain(|&g| g != pick);
+        }
+        for (d, &(_, _, data)) in spec.dffs.iter().enumerate() {
+            c.connect_dff_data(&format!("r{salt}{d}"), ids[data].unwrap())
+                .unwrap();
+        }
+        for &o in &spec.outputs {
+            c.set_output(ids[o].unwrap());
+        }
+        c
+    }
+
+    fn shuffle(xs: &mut [usize], rng: &mut SmallRng) {
+        for i in (1..xs.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    #[test]
+    fn random_circuits_invariant_under_permutation_and_rename() {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_cafe);
+        for round in 0..40 {
+            let spec = random_spec(&mut rng);
+            let a = build(&spec, &mut rng, "a");
+            let b = build(&spec, &mut rng, "b");
+            assert_eq!(
+                canonical_hash(&a),
+                canonical_hash(&b),
+                "round {round}: permuted rebuild hashed differently"
+            );
+        }
+    }
+
+    #[test]
+    fn random_circuits_sensitive_to_one_delay_change() {
+        let mut rng = SmallRng::seed_from_u64(0xdead_1234);
+        for round in 0..40 {
+            let mut spec = random_spec(&mut rng);
+            let a = build(&spec, &mut rng, "a");
+            // Nudge one pin delay by a milli-unit.
+            let g = (rng.next_u64() % spec.gates.len() as u64) as usize;
+            let p = (rng.next_u64() % spec.gates[g].2.len() as u64) as usize;
+            spec.gates[g].2[p].0 += 1;
+            let b = build(&spec, &mut rng, "b");
+            assert_ne!(
+                canonical_hash(&a),
+                canonical_hash(&b),
+                "round {round}: delay change not detected"
+            );
+        }
+    }
+}

@@ -47,6 +47,7 @@
 
 mod bench_io;
 mod blif_io;
+mod canon;
 mod circuit;
 mod delay_model;
 mod error;
@@ -56,6 +57,7 @@ mod time;
 
 pub use bench_io::{parse_bench, write_bench};
 pub use blif_io::{parse_blif, write_blif};
+pub use canon::{canonical_hash, CanonicalHash};
 pub use circuit::{Circuit, CircuitStats, NetId, Node};
 pub use delay_model::DelayModel;
 pub use error::NetlistError;

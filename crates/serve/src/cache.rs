@@ -1,0 +1,255 @@
+//! Content-addressed result cache for the analysis service.
+//!
+//! Keys combine the circuit's canonical hash (stable under gate/wire
+//! reordering and renaming — see `mct_netlist::canonical_hash`) with a
+//! fingerprint of the semantically relevant analysis options. Values are
+//! the serialized [`MctReport`](mct_core::MctReport) JSON, stored as text
+//! so a hit replays the exact bytes of the original response.
+//!
+//! Three tiers, fastest first:
+//!
+//! 1. **Memory** — an LRU of up to `capacity` report texts.
+//! 2. **Disk** — optional (`--cache-dir`): one `<key>.json` file per
+//!    entry, surviving server restarts. Unbounded; entries promoted back
+//!    into memory on read.
+//! 3. **Warm start** — per *circuit* (not per key): the reachable-state
+//!    BDD exported into a private manager. A request for a known circuit
+//!    with different options skips the fixed-point reachability
+//!    computation entirely.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use mct_core::ReachSnapshot;
+use mct_netlist::CanonicalHash;
+
+/// Cache key: canonical circuit identity × analysis-options fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Canonical circuit hash (see `mct_netlist::canonical_hash`).
+    pub circuit: CanonicalHash,
+    /// Options fingerprint (see [`crate::report::options_fingerprint`]).
+    pub options: u64,
+}
+
+impl CacheKey {
+    /// The key as a fixed-width hex string — also the disk file stem.
+    pub fn hex(&self) -> String {
+        format!("{:032x}-{:016x}", self.circuit.0, self.options)
+    }
+}
+
+/// Where a cached report was found.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheTier {
+    /// In-memory LRU.
+    Memory,
+    /// On-disk store (promoted to memory on the way out).
+    Disk,
+}
+
+struct Entry {
+    report_json: String,
+    tick: u64,
+}
+
+/// The three-tier cache. Not internally synchronized; the server wraps it
+/// in a mutex.
+pub struct ResultCache {
+    capacity: usize,
+    disk_dir: Option<PathBuf>,
+    entries: HashMap<CacheKey, Entry>,
+    reach: HashMap<CanonicalHash, (ReachSnapshot, u64)>,
+    tick: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` reports in memory
+    /// (minimum 1), persisting to `disk_dir` when given.
+    ///
+    /// The directory is created eagerly; failure to create it disables the
+    /// disk tier rather than failing the server.
+    pub fn new(capacity: usize, disk_dir: Option<PathBuf>) -> Self {
+        let disk_dir = disk_dir.filter(|dir| std::fs::create_dir_all(dir).is_ok());
+        ResultCache {
+            capacity: capacity.max(1),
+            disk_dir,
+            entries: HashMap::new(),
+            reach: HashMap::new(),
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of reports currently held in memory.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total memory-tier evictions since startup.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up a report, checking memory then disk. A disk hit is
+    /// promoted into memory.
+    pub fn get(&mut self, key: CacheKey) -> Option<(String, CacheTier)> {
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.tick = self.tick;
+            return Some((entry.report_json.clone(), CacheTier::Memory));
+        }
+        let path = self.disk_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        self.insert_memory(key, text.clone());
+        Some((text, CacheTier::Disk))
+    }
+
+    /// Stores a report under `key` in memory and (when configured) on
+    /// disk. The caller is responsible for not caching partial results
+    /// (timed-out reports).
+    pub fn insert(&mut self, key: CacheKey, report_json: String) {
+        if let Some(path) = self.disk_path(key) {
+            // Best effort: a full disk must not take the server down.
+            let _ = std::fs::write(path, &report_json);
+        }
+        self.tick += 1;
+        self.insert_memory(key, report_json);
+    }
+
+    fn insert_memory(&mut self, key: CacheKey, report_json: String) {
+        while self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // O(n) victim scan; capacities are small (default 64).
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+                .expect("non-empty map over capacity");
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                report_json,
+                tick: self.tick,
+            },
+        );
+    }
+
+    /// Takes the reachable-state snapshot for a circuit, if one is held.
+    /// Ownership moves to the caller so the analysis can run outside the
+    /// cache lock; pass the fresh snapshot back via [`store_reach`](Self::store_reach).
+    pub fn take_reach(&mut self, circuit: CanonicalHash) -> Option<ReachSnapshot> {
+        self.reach.remove(&circuit).map(|(snap, _)| snap)
+    }
+
+    /// Stores a reachable-state snapshot for a circuit, evicting the
+    /// least-recently stored one when over capacity.
+    pub fn store_reach(&mut self, circuit: CanonicalHash, snap: ReachSnapshot) {
+        self.tick += 1;
+        while self.reach.len() >= self.capacity && !self.reach.contains_key(&circuit) {
+            let victim = self
+                .reach
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(k, _)| *k)
+                .expect("non-empty map over capacity");
+            self.reach.remove(&victim);
+        }
+        self.reach.insert(circuit, (snap, self.tick));
+    }
+
+    fn disk_path(&self, key: CacheKey) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{}.json", key.hex())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(circuit: u128, options: u64) -> CacheKey {
+        CacheKey {
+            circuit: CanonicalHash(circuit),
+            options,
+        }
+    }
+
+    #[test]
+    fn memory_roundtrip_and_miss() {
+        let mut cache = ResultCache::new(4, None);
+        assert!(cache.get(key(1, 1)).is_none());
+        cache.insert(key(1, 1), "{\"a\":1}".into());
+        assert_eq!(
+            cache.get(key(1, 1)),
+            Some(("{\"a\":1}".into(), CacheTier::Memory))
+        );
+        assert!(cache.get(key(1, 2)).is_none(), "options split the key");
+        assert!(cache.get(key(2, 1)).is_none(), "circuit splits the key");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2, None);
+        cache.insert(key(1, 0), "one".into());
+        cache.insert(key(2, 0), "two".into());
+        cache.get(key(1, 0)); // refresh 1; 2 is now the LRU victim
+        cache.insert(key(3, 0), "three".into());
+        assert!(cache.get(key(2, 0)).is_none());
+        assert!(cache.get(key(1, 0)).is_some());
+        assert!(cache.get(key(3, 0)).is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut cache = ResultCache::new(2, None);
+        cache.insert(key(1, 0), "one".into());
+        cache.insert(key(2, 0), "two".into());
+        cache.insert(key(2, 0), "two again".into());
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(
+            cache.get(key(2, 0)),
+            Some(("two again".into(), CacheTier::Memory))
+        );
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_instance() {
+        let dir = std::env::temp_dir().join(format!("mct-serve-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut cache = ResultCache::new(4, Some(dir.clone()));
+            cache.insert(key(7, 9), "persisted".into());
+        }
+        let mut fresh = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(
+            fresh.get(key(7, 9)),
+            Some(("persisted".into(), CacheTier::Disk))
+        );
+        // Promoted: the second read is a memory hit.
+        assert_eq!(
+            fresh.get(key(7, 9)),
+            Some(("persisted".into(), CacheTier::Memory))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_hex_is_stable_and_filename_safe() {
+        let k = key(0xdead_beef, 0x1234);
+        assert_eq!(k.hex(), "000000000000000000000000deadbeef-0000000000001234");
+        assert!(k.hex().chars().all(|c| c.is_ascii_hexdigit() || c == '-'));
+    }
+}

@@ -1,0 +1,621 @@
+//! The analysis daemon: TCP listener, worker pool, request dispatch.
+//!
+//! One newline-delimited JSON request per line; one JSON response line per
+//! request; connections are kept alive until the client closes or goes
+//! idle. The accept loop is single-threaded and non-blocking — it only
+//! queues connections (or sheds them with a `busy` response when the
+//! queue is full), so a slow analysis can never starve accept. Workers
+//! pull whole connections, not individual requests, so a client's
+//! requests are answered in order.
+//!
+//! Shutdown is cooperative: the `shutdown` protocol request, a
+//! [`ServerHandle::shutdown`] call, or (when installed) SIGINT/SIGTERM
+//! all set one flag; the accept loop drains, workers finish their
+//! current connection, and [`Server::run`] returns.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mct_core::{MctAnalyzer, MctOptions};
+use mct_netlist::{canonical_hash, parse_bench, parse_blif, DelayModel};
+
+use crate::cache::{CacheKey, CacheTier, ResultCache};
+use crate::json::Json;
+use crate::report::{options_fingerprint, options_overlay, options_to_json, report_to_json};
+use crate::signal;
+
+/// How long the accept loop sleeps between polls of the listener and the
+/// shutdown/signal flags.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Read-timeout granularity: how often an idle worker re-checks the
+/// shutdown flag while waiting for the next request line.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Configuration for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to listen on; port 0 picks an ephemeral port.
+    pub listen: String,
+    /// Worker threads serving connections (minimum 1).
+    pub workers: usize,
+    /// In-memory result-cache capacity (reports and warm-start
+    /// snapshots each).
+    pub cache_capacity: usize,
+    /// Directory for the persistent result cache; `None` disables the
+    /// disk tier.
+    pub cache_dir: Option<PathBuf>,
+    /// Maximum connections waiting for a worker before new ones are shed
+    /// with a `busy` response.
+    pub max_queue: usize,
+    /// Time budget applied to analyze requests that do not set their own
+    /// `time_budget_ms` — the per-request timeout.
+    pub default_time_budget_ms: Option<u64>,
+    /// Idle connections are closed after this long without a request.
+    pub idle_timeout_ms: u64,
+    /// Emit one structured log line per request to stderr.
+    pub log: bool,
+    /// Install SIGINT/SIGTERM handlers for graceful shutdown (the CLI
+    /// sets this; in-process tests leave it off).
+    pub install_signal_handlers: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:7934".into(),
+            workers: 2,
+            cache_capacity: 64,
+            cache_dir: None,
+            max_queue: 32,
+            default_time_budget_ms: None,
+            idle_timeout_ms: 5_000,
+            log: false,
+            install_signal_handlers: false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct PhaseLatency {
+    total_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl PhaseLatency {
+    fn record(&self, elapsed: Duration) {
+        self.total_us
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "total_us".into(),
+                Json::Int(self.total_us.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "count".into(),
+                Json::Int(self.count.load(Ordering::Relaxed) as i64),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    warm_starts: AtomicU64,
+    misses: AtomicU64,
+    errors: AtomicU64,
+    busy_rejections: AtomicU64,
+    parse: PhaseLatency,
+    analyze: PhaseLatency,
+    request: PhaseLatency,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    cache: Mutex<ResultCache>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    stats: Counters,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+            || (self.cfg.install_signal_handlers && signal::triggered())
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+}
+
+/// A clonable remote control for a running server.
+#[derive(Clone)]
+pub struct ServerHandle(Arc<Shared>);
+
+impl ServerHandle {
+    /// Asks the server to drain and stop; [`Server::run`] returns once
+    /// in-flight connections finish.
+    pub fn shutdown(&self) {
+        self.0.request_shutdown();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.is_shutdown()
+    }
+}
+
+/// A bound, not-yet-running analysis server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state (including loading
+    /// nothing from disk — the disk cache is read lazily per key).
+    ///
+    /// # Errors
+    ///
+    /// Address parse/bind failures.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        let cache = ResultCache::new(cfg.cache_capacity, cfg.cache_dir.clone());
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                cfg,
+                cache: Mutex::new(cache),
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                stats: Counters::default(),
+            }),
+        })
+    }
+
+    /// The bound address (useful with `listen = "127.0.0.1:0"`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for requesting shutdown from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle(Arc::clone(&self.shared))
+    }
+
+    /// Runs the accept loop until shutdown, then joins the workers.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener failures (transient accept errors are logged and
+    /// survived).
+    pub fn run(self) -> std::io::Result<()> {
+        if self.shared.cfg.install_signal_handlers {
+            signal::install();
+        }
+        self.listener.set_nonblocking(true)?;
+        let workers: Vec<_> = (0..self.shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("mct-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        while !self.shared.is_shutdown() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => dispatch(&self.shared, stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                Err(e) => {
+                    if self.shared.cfg.log {
+                        eprintln!("[mct-serve] accept error: {e}");
+                    }
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+
+        self.shared.request_shutdown();
+        for w in workers {
+            let _ = w.join();
+        }
+        if self.shared.cfg.log {
+            eprintln!("[mct-serve] shut down cleanly");
+        }
+        Ok(())
+    }
+}
+
+/// Queues a fresh connection for a worker, or sheds it with a `busy`
+/// response when more than `max_queue` connections are already waiting.
+fn dispatch(shared: &Shared, stream: TcpStream) {
+    let mut queue = shared.queue.lock().expect("queue lock");
+    if queue.len() > shared.cfg.max_queue {
+        drop(queue);
+        shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        if shared.cfg.log {
+            eprintln!(
+                "[mct-serve] busy: queue over {} connections, shedding",
+                shared.cfg.max_queue
+            );
+        }
+        let busy = Json::Obj(vec![
+            ("type".into(), Json::Str("busy".into())),
+            (
+                "message".into(),
+                Json::Str("server at capacity, retry later".into()),
+            ),
+        ]);
+        let mut stream = stream;
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = writeln!(stream, "{}", busy.to_compact());
+        return;
+    }
+    queue.push_back(stream);
+    drop(queue);
+    shared.available.notify_one();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.is_shutdown() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, READ_POLL)
+                    .expect("queue lock");
+                queue = guard;
+            }
+        };
+        match stream {
+            Some(s) => serve_connection(shared, s),
+            None => return,
+        }
+    }
+}
+
+/// Serves newline-delimited requests on one connection until the peer
+/// closes, goes idle past the configured timeout, asks for shutdown, or
+/// the server shuts down.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    if stream.set_read_timeout(Some(READ_POLL)).is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_secs(10)))
+            .is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut idle = Duration::ZERO;
+    loop {
+        // `line` persists across timeout wake-ups so a request split over
+        // several reads is reassembled rather than truncated.
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) if line.ends_with('\n') => {
+                idle = Duration::ZERO;
+                if line.trim().is_empty() {
+                    line.clear();
+                    continue;
+                }
+                let (response, close) = handle_request(shared, line.trim(), &peer);
+                if writeln!(writer, "{}", response.to_compact()).is_err() || writer.flush().is_err()
+                {
+                    return;
+                }
+                if close || shared.is_shutdown() {
+                    return;
+                }
+                line.clear();
+            }
+            Ok(_) => {
+                // Data without a trailing newline: the peer half-closed
+                // mid-line. Answer what we got, then drop the connection.
+                let (response, _) = handle_request(shared, line.trim(), &peer);
+                let _ = writeln!(writer, "{}", response.to_compact());
+                return;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                idle += READ_POLL;
+                if shared.is_shutdown() || idle.as_millis() as u64 >= shared.cfg.idle_timeout_ms {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses and executes one request line. Returns the response and whether
+/// the connection should close afterwards.
+fn handle_request(shared: &Shared, text: &str, peer: &str) -> (Json, bool) {
+    let started = Instant::now();
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return (error_response(shared, peer, &e.to_string()), false),
+    };
+    let kind = request.get("type").and_then(Json::as_str).unwrap_or("");
+    let (response, close) = match kind {
+        "ping" => (
+            Json::Obj(vec![("type".into(), Json::Str("pong".into()))]),
+            false,
+        ),
+        "stats" => (stats_response(shared), false),
+        "options" => (
+            Json::Obj(vec![
+                ("type".into(), Json::Str("options".into())),
+                ("defaults".into(), options_to_json(&base_options(shared))),
+            ]),
+            false,
+        ),
+        "shutdown" => {
+            shared.request_shutdown();
+            (
+                Json::Obj(vec![("type".into(), Json::Str("bye".into()))]),
+                true,
+            )
+        }
+        "analyze" => (handle_analyze(shared, &request, peer, started), false),
+        other => (
+            error_response(shared, peer, &format!("unknown request type `{other}`")),
+            false,
+        ),
+    };
+    shared.stats.request.record(started.elapsed());
+    (response, close)
+}
+
+/// The options analyze requests start from: the paper's defaults plus the
+/// server-wide per-request time budget.
+fn base_options(shared: &Shared) -> MctOptions {
+    MctOptions {
+        time_budget_ms: shared.cfg.default_time_budget_ms,
+        ..MctOptions::paper()
+    }
+}
+
+fn handle_analyze(shared: &Shared, request: &Json, peer: &str, started: Instant) -> Json {
+    match analyze_inner(shared, request, peer, started) {
+        Ok(response) => response,
+        Err(message) => error_response(shared, peer, &message),
+    }
+}
+
+fn analyze_inner(
+    shared: &Shared,
+    request: &Json,
+    peer: &str,
+    started: Instant,
+) -> Result<Json, String> {
+    // Phase 1: parse the netlist and resolve the effective options.
+    let netlist = request
+        .get("netlist")
+        .and_then(Json::as_str)
+        .ok_or("analyze needs a `netlist` string field")?;
+    let format = request
+        .get("format")
+        .and_then(Json::as_str)
+        .unwrap_or("bench");
+    let model = match request.get("delay_model").and_then(Json::as_str) {
+        None | Some("mapped") => DelayModel::Mapped,
+        Some("unit") => DelayModel::Unit,
+        Some(other) => return Err(format!("unknown delay_model `{other}`")),
+    };
+    let mut circuit = match format {
+        "bench" => parse_bench(netlist, &model),
+        "blif" => parse_blif(netlist, &model),
+        other => return Err(format!("unknown format `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(name) = request.get("name").and_then(Json::as_str) {
+        circuit.set_name(name);
+    }
+    let opts = match request.get("options") {
+        None => base_options(shared),
+        Some(patch) => options_overlay(&base_options(shared), patch)?,
+    };
+    let key = CacheKey {
+        circuit: canonical_hash(&circuit),
+        options: options_fingerprint(&opts),
+    };
+    shared.stats.parse.record(started.elapsed());
+
+    // Phase 2: cache lookup — memory, then disk.
+    let cached = shared.cache.lock().expect("cache lock").get(key);
+    if let Some((text, tier)) = cached {
+        if let Ok(report_json) = Json::parse(&text) {
+            let (counter, label) = match tier {
+                CacheTier::Memory => (&shared.stats.hits, "hit"),
+                CacheTier::Disk => (&shared.stats.disk_hits, "disk"),
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            return Ok(report_response(
+                shared,
+                key,
+                label,
+                with_circuit_name(report_json, circuit.name()),
+                peer,
+                started,
+            ));
+        }
+        // A corrupt cache entry falls through to a fresh analysis.
+    }
+
+    // Phase 3: analyze, warm-starting from a cached reachable-state set
+    // of the same circuit when one is available.
+    let warm = if opts.use_reachability {
+        shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .take_reach(key.circuit)
+    } else {
+        None
+    };
+    let label = if warm.is_some() { "warm" } else { "miss" };
+    let analyze_started = Instant::now();
+    let mut analyzer = MctAnalyzer::new(&circuit).map_err(|e| e.to_string())?;
+    let (report, snapshot) = analyzer
+        .run_warm(&opts, warm.as_ref())
+        .map_err(|e| e.to_string())?;
+    shared.stats.analyze.record(analyze_started.elapsed());
+    if warm.is_some() {
+        shared.stats.warm_starts.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Phase 4: store. Timed-out reports are partial — never cached.
+    let report_json = report_to_json(&report);
+    {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        match snapshot {
+            Some(snap) => cache.store_reach(key.circuit, snap),
+            // The run ended before reachability (early exit); keep the
+            // snapshot we borrowed instead of losing it.
+            None => {
+                if let Some(w) = warm {
+                    cache.store_reach(key.circuit, w);
+                }
+            }
+        }
+        if !report.timed_out {
+            cache.insert(key, report_json.to_compact());
+        }
+    }
+    Ok(report_response(
+        shared,
+        key,
+        label,
+        report_json,
+        peer,
+        started,
+    ))
+}
+
+/// Clones the report with its `circuit` field rewritten to the
+/// requester's chosen name, so cached responses don't leak the name the
+/// first requester used.
+fn with_circuit_name(report_json: Json, name: &str) -> Json {
+    let Json::Obj(mut fields) = report_json else {
+        return report_json;
+    };
+    for (k, v) in &mut fields {
+        if k == "circuit" {
+            *v = Json::Str(name.into());
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn report_response(
+    shared: &Shared,
+    key: CacheKey,
+    cache: &str,
+    report_json: Json,
+    peer: &str,
+    started: Instant,
+) -> Json {
+    let elapsed_us = started.elapsed().as_micros() as i64;
+    if shared.cfg.log {
+        let circuit = report_json
+            .get("circuit")
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        eprintln!(
+            "[mct-serve] peer={peer} type=analyze circuit={circuit} key={} cache={cache} elapsed_us={elapsed_us}",
+            key.hex()
+        );
+    }
+    Json::Obj(vec![
+        ("type".into(), Json::Str("report".into())),
+        ("cache".into(), Json::Str(cache.into())),
+        ("key".into(), Json::Str(key.hex())),
+        ("elapsed_us".into(), Json::Int(elapsed_us)),
+        ("report".into(), report_json),
+    ])
+}
+
+fn error_response(shared: &Shared, peer: &str, message: &str) -> Json {
+    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+    if shared.cfg.log {
+        eprintln!("[mct-serve] peer={peer} type=error message={message:?}");
+    }
+    Json::Obj(vec![
+        ("type".into(), Json::Str("error".into())),
+        ("message".into(), Json::Str(message.into())),
+    ])
+}
+
+fn stats_response(shared: &Shared) -> Json {
+    let s = &shared.stats;
+    let (cache_entries, evictions) = {
+        let cache = shared.cache.lock().expect("cache lock");
+        (cache.len(), cache.evictions())
+    };
+    let queue_depth = shared.queue.lock().expect("queue lock").len();
+    let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
+    Json::Obj(vec![
+        ("type".into(), Json::Str("stats".into())),
+        ("requests".into(), load(&s.requests)),
+        ("hits".into(), load(&s.hits)),
+        ("disk_hits".into(), load(&s.disk_hits)),
+        ("warm_starts".into(), load(&s.warm_starts)),
+        ("misses".into(), load(&s.misses)),
+        ("errors".into(), load(&s.errors)),
+        ("busy_rejections".into(), load(&s.busy_rejections)),
+        ("evictions".into(), Json::Int(evictions as i64)),
+        ("cache_entries".into(), Json::Int(cache_entries as i64)),
+        ("queue_depth".into(), Json::Int(queue_depth as i64)),
+        (
+            "workers".into(),
+            Json::Int(shared.cfg.workers.max(1) as i64),
+        ),
+        (
+            "phase_latency".into(),
+            Json::Obj(vec![
+                ("parse".into(), s.parse.to_json()),
+                ("analyze".into(), s.analyze.to_json()),
+                ("request".into(), s.request.to_json()),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,74 @@
+//! Minimal SIGINT/SIGTERM handling without a libc dependency.
+//!
+//! The handler just flips a process-global flag; the server's accept loop
+//! polls it and drains gracefully — in-flight requests finish, workers
+//! join, the listener closes. This is the only `unsafe` in the workspace,
+//! confined to the two `signal(2)` registrations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT or SIGTERM has been received since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Resets the flag (tests only; real servers exit after a signal).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // `sighandler_t signal(int, sighandler_t)` from the C runtime, already
+    // linked into every Rust binary. Declared with a concrete fn-pointer
+    // type; the returned previous handler is ignored.
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            let _ = signal(SIGINT, on_signal);
+            let _ = signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (a no-op on non-Unix targets,
+/// where only the `shutdown` protocol request stops the server).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_install_is_idempotent() {
+        install();
+        install();
+        reset();
+        assert!(!triggered());
+    }
+}

@@ -1,0 +1,319 @@
+//! End-to-end tests of the analysis service over real TCP sockets:
+//! serve → query → query with a cache hit and a byte-identical report,
+//! canonical-hash sharing across renamed netlists, warm starts, disk
+//! persistence, backpressure shedding, and error handling.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mct_serve::client::Client;
+use mct_serve::json::Json;
+use mct_serve::server::{Server, ServerConfig};
+
+/// The paper's Figure-2 circuit in `.bench` form.
+const FIG2: &str = "\
+OUTPUT(f)
+f = DFF(g)
+c = BUFF(f)
+d = NOT(f)
+e = BUFF(f)
+a = AND(c, d, e)
+b = NOT(f)
+g = OR(a, b)
+";
+
+/// Figure 2 with every wire renamed and the gate lines shuffled — the
+/// same circuit up to the canonical hash.
+const FIG2_RENAMED: &str = "\
+n_g = OR(n_a, n_b)
+n_c = BUFF(q)
+n_b = NOT(q)
+n_a = AND(n_c, n_d, n_e)
+n_d = NOT(q)
+n_e = BUFF(q)
+q = DFF(n_g)
+OUTPUT(q)
+";
+
+fn start(
+    cfg: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(cfg).expect("bind server");
+    let addr = server.local_addr();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, thread)
+}
+
+fn report_text(response: &Json) -> String {
+    assert_eq!(
+        response.get("type").and_then(Json::as_str),
+        Some("report"),
+        "expected a report, got: {}",
+        response.to_compact()
+    );
+    response.get("report").expect("report field").to_compact()
+}
+
+fn cache_label(response: &Json) -> &str {
+    response
+        .get("cache")
+        .and_then(Json::as_str)
+        .expect("cache field")
+}
+
+#[test]
+fn second_identical_request_is_a_bit_identical_cache_hit() {
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    let cold = client.analyze(FIG2, "bench", Some("fig2"), None).unwrap();
+    assert_eq!(cache_label(&cold), "miss");
+    let warm = client.analyze(FIG2, "bench", Some("fig2"), None).unwrap();
+    assert_eq!(cache_label(&warm), "hit");
+    assert_eq!(
+        report_text(&cold),
+        report_text(&warm),
+        "cache hit must replay the cold report byte for byte"
+    );
+    assert_eq!(cold.get("key"), warm.get("key"));
+
+    // The report carries real analysis content.
+    let report = cold.get("report").unwrap();
+    assert!(
+        report
+            .get("mct_upper_bound")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    assert_eq!(report.get("circuit").and_then(Json::as_str), Some("fig2"));
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("type").and_then(Json::as_str), Some("stats"));
+    assert_eq!(stats.get("hits").and_then(Json::as_i64), Some(1));
+    assert_eq!(stats.get("misses").and_then(Json::as_i64), Some(1));
+    assert!(stats.get("requests").and_then(Json::as_i64).unwrap() >= 3);
+    assert!(stats.get("queue_depth").and_then(Json::as_i64).is_some());
+    let analyze_phase = stats.get("phase_latency").unwrap().get("analyze").unwrap();
+    assert_eq!(analyze_phase.get("count").and_then(Json::as_i64), Some(1));
+
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn renamed_and_reordered_netlist_hits_the_same_cache_entry() {
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    let first = client.analyze(FIG2, "bench", Some("m"), None).unwrap();
+    assert_eq!(cache_label(&first), "miss");
+    let second = client
+        .analyze(FIG2_RENAMED, "bench", Some("m"), None)
+        .unwrap();
+    assert_eq!(
+        cache_label(&second),
+        "hit",
+        "canonical hashing must see through renaming and reordering"
+    );
+    assert_eq!(first.get("key"), second.get("key"));
+    assert_eq!(report_text(&first), report_text(&second));
+
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn different_options_warm_start_matches_a_cold_run() {
+    let fixed = Json::parse(r#"{"delay_variation":null}"#).unwrap();
+
+    // Server 1: default-options run populates the reach snapshot, then a
+    // fixed-delay run warm-starts from it.
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let paper = client.analyze(FIG2, "bench", Some("fig2"), None).unwrap();
+    assert_eq!(cache_label(&paper), "miss");
+    let warm = client
+        .analyze(FIG2, "bench", Some("fig2"), Some(&fixed))
+        .unwrap();
+    assert_eq!(
+        cache_label(&warm),
+        "warm",
+        "same circuit, new options must reuse the reachable-state set"
+    );
+    assert_ne!(paper.get("key"), warm.get("key"));
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+
+    // Server 2: the same fixed-delay run cold. Reports must agree bit
+    // for bit — warm starting must not change any answer.
+    let (addr2, thread2) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client2 = Client::connect(addr2).unwrap();
+    let cold = client2
+        .analyze(FIG2, "bench", Some("fig2"), Some(&fixed))
+        .unwrap();
+    assert_eq!(cache_label(&cold), "miss");
+    assert_eq!(report_text(&warm), report_text(&cold));
+    client2.shutdown().unwrap();
+    thread2.join().unwrap().unwrap();
+}
+
+#[test]
+fn disk_cache_survives_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!("mct-serve-disk-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let first = client.analyze(FIG2, "bench", Some("fig2"), None).unwrap();
+    assert_eq!(cache_label(&first), "miss");
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+
+    let (addr2, thread2) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client2 = Client::connect(addr2).unwrap();
+    let revived = client2.analyze(FIG2, "bench", Some("fig2"), None).unwrap();
+    assert_eq!(
+        cache_label(&revived),
+        "disk",
+        "a fresh server must find the persisted entry"
+    );
+    assert_eq!(report_text(&first), report_text(&revived));
+    // Promoted to memory: a third request is a plain hit.
+    let again = client2.analyze(FIG2, "bench", Some("fig2"), None).unwrap();
+    assert_eq!(cache_label(&again), "hit");
+    client2.shutdown().unwrap();
+    thread2.join().unwrap().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_is_shed_with_a_busy_response() {
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        workers: 1,
+        max_queue: 0,
+        idle_timeout_ms: 60_000,
+        ..ServerConfig::default()
+    });
+
+    // Occupy the only worker with a connection that never sends a line.
+    let _occupant = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    // This one fills the single queue slot…
+    let _queued = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    // …so the third connection must be shed immediately.
+    let shed = TcpStream::connect(addr).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut line = String::new();
+    BufReader::new(shed).read_line(&mut line).unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    assert_eq!(response.get("type").and_then(Json::as_str), Some("busy"));
+
+    // Free the worker and the queue slot, then shut down normally.
+    drop(_occupant);
+    drop(_queued);
+    std::thread::sleep(Duration::from_millis(300));
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_requests_are_answered_with_errors() {
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut ask = |line: &str| {
+        writeln!(stream, "{line}").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(response.trim()).unwrap()
+    };
+
+    let garbage = ask("this is not json");
+    assert_eq!(garbage.get("type").and_then(Json::as_str), Some("error"));
+
+    let unknown = ask(r#"{"type":"frobnicate"}"#);
+    assert_eq!(unknown.get("type").and_then(Json::as_str), Some("error"));
+    assert!(unknown
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("frobnicate"));
+
+    let bad_netlist = ask(r#"{"type":"analyze","netlist":"x = FROB(y)"}"#);
+    assert_eq!(
+        bad_netlist.get("type").and_then(Json::as_str),
+        Some("error")
+    );
+
+    let bad_option = ask(r#"{"type":"analyze","netlist":"","options":{"wrkers":1}}"#);
+    assert_eq!(bad_option.get("type").and_then(Json::as_str), Some("error"));
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.get("errors").and_then(Json::as_i64).unwrap() >= 4);
+
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn options_request_reports_server_defaults() {
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        default_time_budget_ms: Some(30_000),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let response = client
+        .request(&Json::parse(r#"{"type":"options"}"#).unwrap())
+        .unwrap();
+    assert_eq!(response.get("type").and_then(Json::as_str), Some("options"));
+    let defaults = response.get("defaults").unwrap();
+    assert_eq!(
+        defaults.get("time_budget_ms").and_then(Json::as_i64),
+        Some(30_000),
+        "the per-request default budget must surface in the defaults"
+    );
+    assert_eq!(
+        defaults.get("use_reachability").and_then(Json::as_bool),
+        Some(true)
+    );
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+}
