@@ -24,11 +24,34 @@
 //! and then folds each flip-flop's data-cone label back into its leaf
 //! label. Rounds repeat until the register labels stabilise (at most one
 //! round per flip-flop plus one), which propagates distinctions around
-//! feedback loops of any length. The final hash combines the multisets of
-//! register and output labels, so declaration order never matters.
+//! feedback loops of any length. Register labels are additionally seeded
+//! with the size of their strongly connected component in the
+//! register-to-register dependency graph, which separates structures pure
+//! refinement cannot: in one feedback ring of six registers versus two
+//! rings of three (identical locals everywhere), every register sees an
+//! identical neighborhood in every round, but the SCC sizes differ. The
+//! final hash combines the multisets of register, gate, and output
+//! labels, so declaration order never matters.
 //!
-//! Two lanes with independent mixing give a 128-bit digest; a collision
-//! needs ~2⁶⁴ distinct circuits, far past any realistic cache population.
+//! Alongside that order-invariant *content* digest, [`circuit_digests`]
+//! also returns a *layout* digest that folds the register and output
+//! labels **in declaration order** on top of the content digest. Two
+//! circuits share a layout digest only when they are canonically equal
+//! *and* their i-th declared registers (and outputs) correspond — the
+//! property required before moving position-indexed data, such as a
+//! reachable-state BDD whose variables are register positions, from one
+//! build of a circuit to another.
+//!
+//! # Limits
+//!
+//! Two lanes with independent mixing give a 128-bit digest, so a *random*
+//! collision needs ~2⁶⁴ distinct circuits. Deterministic collisions are a
+//! different matter: like any Weisfeiler–Lehman scheme, label refinement
+//! cannot distinguish every pair of non-isomorphic graphs, and highly
+//! regular machines whose registers are locally indistinguishable *and*
+//! share their SCC profile can in principle still collide. A result cache
+//! keyed on this hash accepts that such a pathological pair would share
+//! an entry; DESIGN.md documents the trade-off.
 
 use crate::circuit::{Circuit, Node};
 use crate::gate::GateKind;
@@ -87,6 +110,7 @@ const TAG_GATE: u64 = 3;
 const TAG_PIN: u64 = 4;
 const TAG_OUTPUT: u64 = 5;
 const TAG_CIRCUIT: u64 = 6;
+const TAG_LAYOUT: u64 = 7;
 
 /// SplitMix64 finalizer: the avalanche step used to mix every word.
 fn mix64(mut z: u64) -> u64 {
@@ -129,10 +153,39 @@ impl Label {
 /// hash must treat `s27` and a renamed copy of `s27` as the same content.
 /// See the module docs for the exact invariances.
 pub fn canonical_hash(circuit: &Circuit) -> CanonicalHash {
+    circuit_digests(circuit).content
+}
+
+/// The two digests of a circuit's structure: the declaration-order
+/// *invariant* content hash and the declaration-order *sensitive* layout
+/// hash. See the module docs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CircuitDigests {
+    /// [`canonical_hash`]: invariant under gate/wire/register declaration
+    /// order and renaming.
+    pub content: CanonicalHash,
+    /// The content hash further folded with the register and output
+    /// labels in declaration order. Equal layout digests mean equal
+    /// content *plus* matching register/output positions, so
+    /// position-indexed artifacts (reachable-state BDDs, bit/output
+    /// indices in diagnostics) carry over between the two builds.
+    pub layout: CanonicalHash,
+}
+
+/// Computes both the content and the layout digest in one refinement pass.
+pub fn circuit_digests(circuit: &Circuit) -> CircuitDigests {
     let n = circuit.num_nodes();
     let mut labels: Vec<Label> = vec![Label::default(); n];
 
-    // Leaf initialisation: inputs by position, flip-flops by local data.
+    let dffs = circuit.dffs();
+    let scc_sizes = register_scc_sizes(circuit, &dffs);
+    let mut scc_at = vec![0u64; n];
+    for (p, &id) in dffs.iter().enumerate() {
+        scc_at[id.index()] = scc_sizes[p];
+    }
+
+    // Leaf initialisation: inputs by position, flip-flops by local data
+    // plus the size of their feedback SCC (see the module docs).
     let mut input_pos = 0u64;
     for (id, node) in circuit.iter() {
         match node {
@@ -143,8 +196,10 @@ pub fn canonical_hash(circuit: &Circuit) -> CanonicalHash {
             Node::Dff {
                 init, clock_to_q, ..
             } => {
-                labels[id.index()] =
-                    Label::of(TAG_DFF, &[*init as u64, clock_to_q.millis() as u64]);
+                labels[id.index()] = Label::of(
+                    TAG_DFF,
+                    &[*init as u64, clock_to_q.millis() as u64, scc_at[id.index()]],
+                );
             }
             Node::Gate { .. } => {}
         }
@@ -155,7 +210,6 @@ pub fn canonical_hash(circuit: &Circuit) -> CanonicalHash {
     // still total.
     let order = circuit.topo_order().unwrap_or_else(|_| circuit.gates());
 
-    let dffs = circuit.dffs();
     let rounds = dffs.len() + 1;
     for _ in 0..rounds {
         for &id in &order {
@@ -203,6 +257,7 @@ pub fn canonical_hash(circuit: &Circuit) -> CanonicalHash {
                     &[
                         *init as u64,
                         clock_to_q.millis() as u64,
+                        scc_at[id.index()],
                         data_label.0[0],
                         data_label.0[1],
                     ],
@@ -250,7 +305,115 @@ pub fn canonical_hash(circuit: &Circuit) -> CanonicalHash {
             outs.0[1],
         ],
     );
-    CanonicalHash(((digest.0[0] as u128) << 64) | digest.0[1] as u128)
+
+    // Layout digest: the content digest plus the register and output
+    // labels *in declaration order* (Label::of is a sequential fold, so
+    // permuting the words permutes the digest).
+    let mut layout_words = vec![digest.0[0], digest.0[1]];
+    for &id in &dffs {
+        layout_words.extend(labels[id.index()].0);
+    }
+    for &o in circuit.outputs() {
+        layout_words.extend(labels[o.index()].0);
+    }
+    let layout = Label::of(TAG_LAYOUT, &layout_words);
+
+    CircuitDigests {
+        content: CanonicalHash(((digest.0[0] as u128) << 64) | digest.0[1] as u128),
+        layout: CanonicalHash(((layout.0[0] as u128) << 64) | layout.0[1] as u128),
+    }
+}
+
+/// For every register (by position in `dffs`), the size of its strongly
+/// connected component in the register dependency graph — register `r`
+/// depends on register `s` when `s`'s output reaches `r`'s data cone.
+/// SCC sizes are properties of the unlabeled structure, so they are
+/// invariant under declaration order and renaming.
+fn register_scc_sizes(circuit: &Circuit, dffs: &[crate::NetId]) -> Vec<u64> {
+    let r = dffs.len();
+    let n = circuit.num_nodes();
+    let mut reg_of = vec![usize::MAX; n];
+    for (p, &id) in dffs.iter().enumerate() {
+        reg_of[id.index()] = p;
+    }
+
+    // Register-to-register edges, via DFS through each data cone.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); r];
+    for (p, &id) in dffs.iter().enumerate() {
+        let Node::Dff {
+            data: Some(data), ..
+        } = circuit.node(id)
+        else {
+            continue;
+        };
+        let mut seen = vec![false; n];
+        let mut stack = vec![*data];
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            match circuit.node(v) {
+                Node::Dff { .. } => adj[p].push(reg_of[v.index()]),
+                Node::Gate { inputs, .. } => stack.extend(inputs.iter().copied()),
+                Node::Input { .. } => {}
+            }
+        }
+    }
+
+    // Kosaraju, both passes iterative. Pass 1: finish order.
+    let mut order = Vec::with_capacity(r);
+    let mut state = vec![0u8; r]; // 0 unvisited, 1 visited
+    for start in 0..r {
+        if state[start] != 0 {
+            continue;
+        }
+        state[start] = 1;
+        let mut stack = vec![(start, 0usize)];
+        while let Some(frame) = stack.last_mut() {
+            let v = frame.0;
+            if frame.1 < adj[v].len() {
+                let w = adj[v][frame.1];
+                frame.1 += 1;
+                if state[w] == 0 {
+                    state[w] = 1;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+
+    // Pass 2: components of the reversed graph in reverse finish order.
+    let mut radj: Vec<Vec<usize>> = vec![Vec::new(); r];
+    for (v, targets) in adj.iter().enumerate() {
+        for &w in targets {
+            radj[w].push(v);
+        }
+    }
+    let mut comp = vec![usize::MAX; r];
+    let mut sizes: Vec<u64> = Vec::new();
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let c = sizes.len();
+        sizes.push(0);
+        comp[start] = c;
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            sizes[c] += 1;
+            for &w in &radj[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = c;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    (0..r).map(|p| sizes[comp[p]]).collect()
 }
 
 fn gate_tag(kind: GateKind) -> u64 {
@@ -373,6 +536,64 @@ mod tests {
         let g = distinct.add_gate("g", GateKind::And, &[a, b], Time::UNIT);
         distinct.set_output(g);
         assert_ne!(canonical_hash(&same), canonical_hash(&distinct));
+    }
+
+    /// `count` registers wired into feedback rings of `ring` registers
+    /// each, no gates, all locals identical.
+    fn rings(count: usize, ring: usize) -> Circuit {
+        let mut c = Circuit::new("rings");
+        let names: Vec<String> = (0..count).map(|i| format!("r{i}")).collect();
+        let ids: Vec<crate::NetId> = names
+            .iter()
+            .map(|n| c.add_dff(n.clone(), false, Time::ZERO))
+            .collect();
+        for (i, name) in names.iter().enumerate() {
+            let base = (i / ring) * ring;
+            let next = base + (i - base + 1) % ring;
+            c.connect_dff_data(name, ids[next]).unwrap();
+        }
+        c.set_output(ids[0]);
+        c
+    }
+
+    #[test]
+    fn ring_counting_separated_by_scc_seeding() {
+        // One ring of six registers vs two rings of three: every register
+        // sees an identical neighborhood in every refinement round, so
+        // pure WL labels never separate them — the SCC-size seeding must.
+        assert_ne!(canonical_hash(&rings(6, 6)), canonical_hash(&rings(6, 3)));
+    }
+
+    /// Two asymmetric registers declared in either order.
+    fn two_regs(p_first: bool) -> Circuit {
+        let mut c = Circuit::new("t");
+        let (p, q) = if p_first {
+            let p = c.add_dff("p", false, Time::ZERO);
+            let q = c.add_dff("q", false, Time::ZERO);
+            (p, q)
+        } else {
+            let q = c.add_dff("q", false, Time::ZERO);
+            let p = c.add_dff("p", false, Time::ZERO);
+            (p, q)
+        };
+        let gp = c.add_gate("gp", GateKind::Not, &[q], Time::UNIT);
+        let gq = c.add_gate("gq", GateKind::And, &[p, q], Time::UNIT);
+        c.connect_dff_data("p", gp).unwrap();
+        c.connect_dff_data("q", gq).unwrap();
+        c.set_output(p);
+        c
+    }
+
+    #[test]
+    fn layout_digest_tracks_register_declaration_order() {
+        let a = circuit_digests(&two_regs(true));
+        let b = circuit_digests(&two_regs(false));
+        // Same machine: the content hash must agree; the layout digest
+        // must not, because state-bit positions are swapped.
+        assert_eq!(a.content, b.content);
+        assert_ne!(a.layout, b.layout);
+        // A same-order rebuild reproduces both.
+        assert_eq!(a, circuit_digests(&two_regs(true)));
     }
 
     #[test]

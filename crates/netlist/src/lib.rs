@@ -57,7 +57,7 @@ mod time;
 
 pub use bench_io::{parse_bench, write_bench};
 pub use blif_io::{parse_blif, write_blif};
-pub use canon::{canonical_hash, CanonicalHash};
+pub use canon::{canonical_hash, circuit_digests, CanonicalHash, CircuitDigests};
 pub use circuit::{Circuit, CircuitStats, NetId, Node};
 pub use delay_model::DelayModel;
 pub use error::NetlistError;

@@ -12,10 +12,20 @@
 //! 2. **Disk** — optional (`--cache-dir`): one `<key>.json` file per
 //!    entry, surviving server restarts. Unbounded; entries promoted back
 //!    into memory on read.
-//! 3. **Warm start** — per *circuit* (not per key): the reachable-state
-//!    BDD exported into a private manager. A request for a known circuit
-//!    with different options skips the fixed-point reachability
-//!    computation entirely.
+//! 3. **Warm start** — keyed per circuit *layout* digest
+//!    (`mct_netlist::circuit_digests().layout` — the content hash plus
+//!    register declaration order): the reachable-state BDD exported into
+//!    a private manager. A request for a known circuit with different
+//!    options skips the fixed-point reachability computation entirely.
+//!    The layout key is essential for soundness: snapshot BDD variables
+//!    are register *positions*, so a canonically-equal circuit whose
+//!    flip-flops are declared in a different order must never import a
+//!    foreign snapshot — its bits would land on the wrong registers.
+//!
+//! Report entries also remember the layout digest of the circuit that
+//! produced them (first line of each disk file), so the server can flag
+//! hits served to a differently-declared rebuild, whose index-valued
+//! diagnostics refer to the original submitter's declaration order.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -48,8 +58,22 @@ pub enum CacheTier {
     Disk,
 }
 
+/// A report served from the cache.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CacheHit {
+    /// The serialized report, byte-identical to the cold response.
+    pub report_json: String,
+    /// Layout digest of the circuit build that produced the report; when
+    /// it differs from the requester's, index-valued diagnostics refer to
+    /// the original declaration order.
+    pub layout: CanonicalHash,
+    /// Which tier answered.
+    pub tier: CacheTier,
+}
+
 struct Entry {
     report_json: String,
+    layout: CanonicalHash,
     tick: u64,
 }
 
@@ -99,31 +123,45 @@ impl ResultCache {
 
     /// Looks up a report, checking memory then disk. A disk hit is
     /// promoted into memory.
-    pub fn get(&mut self, key: CacheKey) -> Option<(String, CacheTier)> {
+    pub fn get(&mut self, key: CacheKey) -> Option<CacheHit> {
         self.tick += 1;
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.tick = self.tick;
-            return Some((entry.report_json.clone(), CacheTier::Memory));
+            return Some(CacheHit {
+                report_json: entry.report_json.clone(),
+                layout: entry.layout,
+                tier: CacheTier::Memory,
+            });
         }
         let path = self.disk_path(key)?;
         let text = std::fs::read_to_string(path).ok()?;
-        self.insert_memory(key, text.clone());
-        Some((text, CacheTier::Disk))
+        // Disk format: the producer's layout digest (32 hex digits) on the
+        // first line, the report JSON on the rest. Anything else is
+        // treated as corrupt — a miss.
+        let (head, report_json) = text.split_once('\n')?;
+        let layout = CanonicalHash(u128::from_str_radix(head.trim(), 16).ok()?);
+        self.insert_memory(key, layout, report_json.to_string());
+        Some(CacheHit {
+            report_json: report_json.to_string(),
+            layout,
+            tier: CacheTier::Disk,
+        })
     }
 
     /// Stores a report under `key` in memory and (when configured) on
-    /// disk. The caller is responsible for not caching partial results
+    /// disk, remembering the layout digest of the build that produced it.
+    /// The caller is responsible for not caching partial results
     /// (timed-out reports).
-    pub fn insert(&mut self, key: CacheKey, report_json: String) {
+    pub fn insert(&mut self, key: CacheKey, layout: CanonicalHash, report_json: String) {
         if let Some(path) = self.disk_path(key) {
             // Best effort: a full disk must not take the server down.
-            let _ = std::fs::write(path, &report_json);
+            let _ = std::fs::write(path, format!("{:032x}\n{report_json}", layout.0));
         }
         self.tick += 1;
-        self.insert_memory(key, report_json);
+        self.insert_memory(key, layout, report_json);
     }
 
-    fn insert_memory(&mut self, key: CacheKey, report_json: String) {
+    fn insert_memory(&mut self, key: CacheKey, layout: CanonicalHash, report_json: String) {
         while self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             // O(n) victim scan; capacities are small (default 64).
             let victim = self
@@ -139,23 +177,25 @@ impl ResultCache {
             key,
             Entry {
                 report_json,
+                layout,
                 tick: self.tick,
             },
         );
     }
 
-    /// Takes the reachable-state snapshot for a circuit, if one is held.
-    /// Ownership moves to the caller so the analysis can run outside the
-    /// cache lock; pass the fresh snapshot back via [`store_reach`](Self::store_reach).
-    pub fn take_reach(&mut self, circuit: CanonicalHash) -> Option<ReachSnapshot> {
-        self.reach.remove(&circuit).map(|(snap, _)| snap)
+    /// Takes the reachable-state snapshot for a circuit *layout* (content
+    /// hash + register declaration order), if one is held. Ownership moves
+    /// to the caller so the analysis can run outside the cache lock; pass
+    /// the fresh snapshot back via [`store_reach`](Self::store_reach).
+    pub fn take_reach(&mut self, layout: CanonicalHash) -> Option<ReachSnapshot> {
+        self.reach.remove(&layout).map(|(snap, _)| snap)
     }
 
-    /// Stores a reachable-state snapshot for a circuit, evicting the
-    /// least-recently stored one when over capacity.
-    pub fn store_reach(&mut self, circuit: CanonicalHash, snap: ReachSnapshot) {
+    /// Stores a reachable-state snapshot for a circuit layout, evicting
+    /// the least-recently stored one when over capacity.
+    pub fn store_reach(&mut self, layout: CanonicalHash, snap: ReachSnapshot) {
         self.tick += 1;
-        while self.reach.len() >= self.capacity && !self.reach.contains_key(&circuit) {
+        while self.reach.len() >= self.capacity && !self.reach.contains_key(&layout) {
             let victim = self
                 .reach
                 .iter()
@@ -164,7 +204,7 @@ impl ResultCache {
                 .expect("non-empty map over capacity");
             self.reach.remove(&victim);
         }
-        self.reach.insert(circuit, (snap, self.tick));
+        self.reach.insert(layout, (snap, self.tick));
     }
 
     fn disk_path(&self, key: CacheKey) -> Option<PathBuf> {
@@ -185,14 +225,24 @@ mod tests {
         }
     }
 
+    const LAYOUT: CanonicalHash = CanonicalHash(0xabcd);
+
+    fn hit(report_json: &str, tier: CacheTier) -> CacheHit {
+        CacheHit {
+            report_json: report_json.into(),
+            layout: LAYOUT,
+            tier,
+        }
+    }
+
     #[test]
     fn memory_roundtrip_and_miss() {
         let mut cache = ResultCache::new(4, None);
         assert!(cache.get(key(1, 1)).is_none());
-        cache.insert(key(1, 1), "{\"a\":1}".into());
+        cache.insert(key(1, 1), LAYOUT, "{\"a\":1}".into());
         assert_eq!(
             cache.get(key(1, 1)),
-            Some(("{\"a\":1}".into(), CacheTier::Memory))
+            Some(hit("{\"a\":1}", CacheTier::Memory))
         );
         assert!(cache.get(key(1, 2)).is_none(), "options split the key");
         assert!(cache.get(key(2, 1)).is_none(), "circuit splits the key");
@@ -201,10 +251,10 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut cache = ResultCache::new(2, None);
-        cache.insert(key(1, 0), "one".into());
-        cache.insert(key(2, 0), "two".into());
+        cache.insert(key(1, 0), LAYOUT, "one".into());
+        cache.insert(key(2, 0), LAYOUT, "two".into());
         cache.get(key(1, 0)); // refresh 1; 2 is now the LRU victim
-        cache.insert(key(3, 0), "three".into());
+        cache.insert(key(3, 0), LAYOUT, "three".into());
         assert!(cache.get(key(2, 0)).is_none());
         assert!(cache.get(key(1, 0)).is_some());
         assert!(cache.get(key(3, 0)).is_some());
@@ -215,13 +265,13 @@ mod tests {
     #[test]
     fn reinserting_existing_key_does_not_evict() {
         let mut cache = ResultCache::new(2, None);
-        cache.insert(key(1, 0), "one".into());
-        cache.insert(key(2, 0), "two".into());
-        cache.insert(key(2, 0), "two again".into());
+        cache.insert(key(1, 0), LAYOUT, "one".into());
+        cache.insert(key(2, 0), LAYOUT, "two".into());
+        cache.insert(key(2, 0), LAYOUT, "two again".into());
         assert_eq!(cache.evictions(), 0);
         assert_eq!(
             cache.get(key(2, 0)),
-            Some(("two again".into(), CacheTier::Memory))
+            Some(hit("two again", CacheTier::Memory))
         );
     }
 
@@ -231,18 +281,31 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         {
             let mut cache = ResultCache::new(4, Some(dir.clone()));
-            cache.insert(key(7, 9), "persisted".into());
+            cache.insert(key(7, 9), LAYOUT, "persisted".into());
         }
         let mut fresh = ResultCache::new(4, Some(dir.clone()));
         assert_eq!(
             fresh.get(key(7, 9)),
-            Some(("persisted".into(), CacheTier::Disk))
+            Some(hit("persisted", CacheTier::Disk)),
+            "the layout digest must survive the disk round-trip"
         );
         // Promoted: the second read is a memory hit.
         assert_eq!(
             fresh.get(key(7, 9)),
-            Some(("persisted".into(), CacheTier::Memory))
+            Some(hit("persisted", CacheTier::Memory))
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_misses() {
+        let dir =
+            std::env::temp_dir().join(format!("mct-serve-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ResultCache::new(4, Some(dir.clone()));
+        // A pre-layout-format file: no hex digest line.
+        std::fs::write(dir.join(format!("{}.json", key(3, 3).hex())), "{\"a\":1}").unwrap();
+        assert!(cache.get(key(3, 3)).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -72,7 +72,7 @@ pub mod report;
 pub mod server;
 pub mod signal;
 
-pub use cache::{CacheKey, CacheTier, ResultCache};
+pub use cache::{CacheHit, CacheKey, CacheTier, ResultCache};
 pub use client::Client;
 pub use json::Json;
 pub use server::{Server, ServerConfig, ServerHandle};

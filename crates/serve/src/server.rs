@@ -22,7 +22,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use mct_core::{MctAnalyzer, MctOptions};
-use mct_netlist::{canonical_hash, parse_bench, parse_blif, DelayModel};
+use mct_netlist::{circuit_digests, parse_bench, parse_blif, DelayModel};
 
 use crate::cache::{CacheKey, CacheTier, ResultCache};
 use crate::json::Json;
@@ -51,7 +51,8 @@ pub struct ServerConfig {
     /// disk tier.
     pub cache_dir: Option<PathBuf>,
     /// Maximum connections waiting for a worker before new ones are shed
-    /// with a `busy` response.
+    /// with a `busy` response (minimum 1 — the queue doubles as the
+    /// idle-worker handoff).
     pub max_queue: usize,
     /// Time budget applied to analyze requests that do not set their own
     /// `time_budget_ms` — the per-request timeout.
@@ -248,17 +249,17 @@ impl Server {
 }
 
 /// Queues a fresh connection for a worker, or sheds it with a `busy`
-/// response when more than `max_queue` connections are already waiting.
+/// response when `max_queue` connections are already waiting.
 fn dispatch(shared: &Shared, stream: TcpStream) {
+    // The queue doubles as the idle-worker handoff, so it keeps a minimum
+    // of one slot — otherwise an unloaded server would shed everything.
+    let max_queue = shared.cfg.max_queue.max(1);
     let mut queue = shared.queue.lock().expect("queue lock");
-    if queue.len() > shared.cfg.max_queue {
+    if queue.len() >= max_queue {
         drop(queue);
         shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
         if shared.cfg.log {
-            eprintln!(
-                "[mct-serve] busy: queue over {} connections, shedding",
-                shared.cfg.max_queue
-            );
+            eprintln!("[mct-serve] busy: queue at {max_queue} connections, shedding");
         }
         let busy = Json::Obj(vec![
             ("type".into(), Json::Str("busy".into())),
@@ -267,8 +268,11 @@ fn dispatch(shared: &Shared, stream: TcpStream) {
                 Json::Str("server at capacity, retry later".into()),
             ),
         ]);
+        // Best effort without blocking the accept loop: this runs on the
+        // accept thread, exactly when backpressure matters, so a peer too
+        // slow to take one short line just misses the courtesy response.
         let mut stream = stream;
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_nonblocking(true);
         let _ = writeln!(stream, "{}", busy.to_compact());
         return;
     }
@@ -452,17 +456,18 @@ fn analyze_inner(
         None => base_options(shared),
         Some(patch) => options_overlay(&base_options(shared), patch)?,
     };
+    let digests = circuit_digests(&circuit);
     let key = CacheKey {
-        circuit: canonical_hash(&circuit),
+        circuit: digests.content,
         options: options_fingerprint(&opts),
     };
     shared.stats.parse.record(started.elapsed());
 
     // Phase 2: cache lookup — memory, then disk.
     let cached = shared.cache.lock().expect("cache lock").get(key);
-    if let Some((text, tier)) = cached {
-        if let Ok(report_json) = Json::parse(&text) {
-            let (counter, label) = match tier {
+    if let Some(hit) = cached {
+        if let Ok(report_json) = Json::parse(&hit.report_json) {
+            let (counter, label) = match hit.tier {
                 CacheTier::Memory => (&shared.stats.hits, "hit"),
                 CacheTier::Disk => (&shared.stats.disk_hits, "disk"),
             };
@@ -472,6 +477,10 @@ fn analyze_inner(
                 key,
                 label,
                 with_circuit_name(report_json, circuit.name()),
+                // The entry came from a differently-declared build of the
+                // same circuit: index-valued diagnostics are relative to
+                // that build's declaration order, so flag the response.
+                hit.layout != digests.layout,
                 peer,
                 started,
             ));
@@ -480,13 +489,16 @@ fn analyze_inner(
     }
 
     // Phase 3: analyze, warm-starting from a cached reachable-state set
-    // of the same circuit when one is available.
+    // when one exists for this exact *layout* (content hash + register
+    // declaration order). Keying by content hash alone would be unsound:
+    // snapshot BDD variables are register positions, and importing them
+    // into a register-permuted rebuild would restrict the wrong bits.
     let warm = if opts.use_reachability {
         shared
             .cache
             .lock()
             .expect("cache lock")
-            .take_reach(key.circuit)
+            .take_reach(digests.layout)
     } else {
         None
     };
@@ -508,17 +520,17 @@ fn analyze_inner(
     {
         let mut cache = shared.cache.lock().expect("cache lock");
         match snapshot {
-            Some(snap) => cache.store_reach(key.circuit, snap),
+            Some(snap) => cache.store_reach(digests.layout, snap),
             // The run ended before reachability (early exit); keep the
             // snapshot we borrowed instead of losing it.
             None => {
                 if let Some(w) = warm {
-                    cache.store_reach(key.circuit, w);
+                    cache.store_reach(digests.layout, w);
                 }
             }
         }
         if !report.timed_out {
-            cache.insert(key, report_json.to_compact());
+            cache.insert(key, digests.layout, report_json.to_compact());
         }
     }
     Ok(report_response(
@@ -526,6 +538,7 @@ fn analyze_inner(
         key,
         label,
         report_json,
+        false,
         peer,
         started,
     ))
@@ -551,6 +564,7 @@ fn report_response(
     key: CacheKey,
     cache: &str,
     report_json: Json,
+    canonical_indices: bool,
     peer: &str,
     started: Instant,
 ) -> Json {
@@ -565,13 +579,20 @@ fn report_response(
             key.hex()
         );
     }
-    Json::Obj(vec![
+    let mut fields = vec![
         ("type".into(), Json::Str("report".into())),
         ("cache".into(), Json::Str(cache.into())),
         ("key".into(), Json::Str(key.hex())),
         ("elapsed_us".into(), Json::Int(elapsed_us)),
-        ("report".into(), report_json),
-    ])
+    ];
+    if canonical_indices {
+        // The replayed report was produced by a build of this circuit with
+        // a different register/output declaration order; `failure.bit`,
+        // `failure.index`, and region provenance use *that* order.
+        fields.push(("canonical_indices".into(), Json::Bool(true)));
+    }
+    fields.push(("report".into(), report_json));
+    Json::Obj(fields)
 }
 
 fn error_response(shared: &Shared, peer: &str, message: &str) -> Json {

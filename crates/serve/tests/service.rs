@@ -36,6 +36,24 @@ q = DFF(n_g)
 OUTPUT(q)
 ";
 
+/// Two asymmetric registers. `TWO_REG_SWAPPED` is the same machine with
+/// the DFF lines declared in the opposite order: the canonical *content*
+/// hash is identical, but the register state-bit positions are permuted.
+const TWO_REG: &str = "\
+OUTPUT(p)
+p = DFF(gp)
+q = DFF(gq)
+gp = NOT(q)
+gq = AND(p, q)
+";
+const TWO_REG_SWAPPED: &str = "\
+OUTPUT(p)
+q = DFF(gq)
+p = DFF(gp)
+gp = NOT(q)
+gq = AND(p, q)
+";
+
 fn start(
     cfg: ServerConfig,
 ) -> (
@@ -175,6 +193,87 @@ fn different_options_warm_start_matches_a_cold_run() {
 }
 
 #[test]
+fn reordered_registers_never_import_a_foreign_reach_snapshot() {
+    let fixed = Json::parse(r#"{"delay_variation":null}"#).unwrap();
+    let lp = Json::parse(r#"{"path_coupled_lp":true}"#).unwrap();
+
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let first = client.analyze(TWO_REG, "bench", Some("m"), None).unwrap();
+    assert_eq!(cache_label(&first), "miss");
+    // Positive control: same declaration order, different options — the
+    // reachable-state snapshot is reusable.
+    let control = client
+        .analyze(TWO_REG, "bench", Some("m"), Some(&lp))
+        .unwrap();
+    assert_eq!(cache_label(&control), "warm");
+    // Same canonical circuit, different options again (so the report
+    // cache misses) but *permuted register declaration*: the snapshot's
+    // state bits would land on the wrong registers, so the server must
+    // run the fixpoint cold rather than warm-start.
+    let swapped = client
+        .analyze(TWO_REG_SWAPPED, "bench", Some("m"), Some(&fixed))
+        .unwrap();
+    assert_eq!(
+        cache_label(&swapped),
+        "miss",
+        "a reach snapshot must never cross register declaration orders"
+    );
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+
+    // A fresh server's cold run of the swapped netlist agrees bit for bit.
+    let (addr2, thread2) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client2 = Client::connect(addr2).unwrap();
+    let cold = client2
+        .analyze(TWO_REG_SWAPPED, "bench", Some("m"), Some(&fixed))
+        .unwrap();
+    assert_eq!(cache_label(&cold), "miss");
+    assert_eq!(report_text(&swapped), report_text(&cold));
+    client2.shutdown().unwrap();
+    thread2.join().unwrap().unwrap();
+}
+
+#[test]
+fn register_reordered_hit_is_flagged_with_canonical_indices() {
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    let first = client.analyze(TWO_REG, "bench", Some("m"), None).unwrap();
+    assert_eq!(cache_label(&first), "miss");
+    assert!(first.get("canonical_indices").is_none());
+
+    // Same content hash, permuted registers: still a hit, but the reply
+    // must warn that index-valued diagnostics use the original
+    // declaration order.
+    let swapped = client
+        .analyze(TWO_REG_SWAPPED, "bench", Some("m"), None)
+        .unwrap();
+    assert_eq!(cache_label(&swapped), "hit");
+    assert_eq!(
+        swapped.get("canonical_indices").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // The original declaration order replays unflagged.
+    let again = client.analyze(TWO_REG, "bench", Some("m"), None).unwrap();
+    assert_eq!(cache_label(&again), "hit");
+    assert!(again.get("canonical_indices").is_none());
+
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
 fn disk_cache_survives_a_server_restart() {
     let dir = std::env::temp_dir().join(format!("mct-serve-disk-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -217,7 +316,7 @@ fn overload_is_shed_with_a_busy_response() {
     let (addr, thread) = start(ServerConfig {
         listen: "127.0.0.1:0".into(),
         workers: 1,
-        max_queue: 0,
+        max_queue: 1,
         idle_timeout_ms: 60_000,
         ..ServerConfig::default()
     });
