@@ -10,11 +10,15 @@
 //!
 //! The design is a classic hash-consed ROBDD package:
 //!
-//! * nodes live in an append-only arena and are referenced by the [`Bdd`]
-//!   handle (a `Copy` index), so structural equality of functions is pointer
-//!   equality;
-//! * a unique table guarantees canonicity, and memoized `ITE` drives all
-//!   binary operations;
+//! * nodes live in a hash-consed arena and are referenced by the [`Bdd`]
+//!   handle (a `Copy` value packing a node index and a complement bit), so
+//!   structural equality of functions is handle equality and negation is
+//!   free;
+//! * an open-addressed unique table guarantees canonicity (complemented
+//!   edges use the regular-high-child rule), and memoized `ITE` with
+//!   standard-triple normalization drives all binary operations;
+//! * a mark-and-sweep garbage collector behind an explicit root-pinning
+//!   API keeps long analysis sweeps from growing the arena monotonically;
 //! * variable order is the numeric order of [`Var`] indices (no dynamic
 //!   reordering — callers choose a good static order, which the timing
 //!   engine does by interleaving time-shifted copies of each signal).
@@ -45,7 +49,7 @@ mod hash;
 mod manager;
 
 pub use cubes::{Cube, CubeIter};
-pub use manager::{Bdd, BddManager, BddStats, Var};
+pub use manager::{Bdd, BddManager, BddStats, Var, VarSet};
 
 #[cfg(test)]
 mod proptests;

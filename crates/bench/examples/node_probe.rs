@@ -1,0 +1,81 @@
+//! Prints deterministic node counts for the `bdd_ops` bench workloads.
+//! Used to produce the node columns of BENCH_3.json (run against both the
+//! old and the new kernel; counts are exact, so they are noise-immune).
+
+use mct_bdd::{Bdd, BddManager, Var};
+use mct_prng::SmallRng;
+
+fn main() {
+    // ite/random_dag18
+    {
+        let mut m = BddManager::new();
+        let mut rng = SmallRng::seed_from_u64(0x1234);
+        let mut pool: Vec<_> = (0..18).map(|i| m.var(Var::new(i))).collect();
+        for _ in 0..400 {
+            let pick = |rng: &mut SmallRng, n: usize| rng.gen_range(0..n as u64) as usize;
+            let f = pool[pick(&mut rng, pool.len())];
+            let g = pool[pick(&mut rng, pool.len())];
+            let x = pool[pick(&mut rng, pool.len())];
+            let x = if rng.gen_bool() { m.not(x) } else { x };
+            pool.push(m.ite(f, g, x));
+        }
+        println!("ite/random_dag18 arena_nodes {}", m.stats().nodes);
+    }
+    // not/parity_mix32
+    {
+        let mut m = BddManager::new();
+        let mut f = m.zero();
+        for i in 0..32 {
+            let v = m.var(Var::new(i));
+            let nf = m.not(f);
+            let g = m.xor(nf, v);
+            f = m.not(g);
+        }
+        println!(
+            "not/parity_mix32 arena_nodes {} size {}",
+            m.stats().nodes,
+            m.size(f)
+        );
+    }
+    // exists/relation20
+    {
+        let mut m = BddManager::new();
+        let n = 20u32;
+        let mut trans = m.one();
+        for i in 0..n {
+            let cur = m.var(Var::new(2 * i));
+            let nxt = m.var(Var::new(2 * i + 1));
+            let prev = m.var(Var::new(2 * ((i + 1) % n)));
+            let rhs = m.xor(cur, prev);
+            let bit = m.xnor(nxt, rhs);
+            trans = m.and(trans, bit);
+        }
+        let quantified: Vec<Var> = (0..n).map(|i| Var::new(2 * i)).collect();
+        let img = m.exists(trans, &quantified);
+        println!(
+            "exists/relation20 arena_nodes {} size {}",
+            m.stats().nodes,
+            m.size(img)
+        );
+    }
+    // compose/unroll16x4
+    {
+        let mut m = BddManager::new();
+        let n = 16u32;
+        let vars: Vec<_> = (0..n).map(|i| m.var(Var::new(i))).collect();
+        let mut next: Vec<_> = (0..n as usize)
+            .map(|i| {
+                let a = vars[(i + 1) % n as usize];
+                let b = vars[(i + 5) % n as usize];
+                let c = vars[i];
+                let ab = m.and(a, b);
+                m.xor(ab, c)
+            })
+            .collect();
+        let subst: Vec<(Var, Bdd)> = (0..n).map(|i| (Var::new(i), next[i as usize])).collect();
+        for _ in 0..4 {
+            next = next.iter().map(|&f| m.vector_compose(f, &subst)).collect();
+        }
+        println!("compose/unroll16x4 arena_nodes {}", m.stats().nodes);
+    }
+}

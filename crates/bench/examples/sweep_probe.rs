@@ -1,0 +1,20 @@
+//! Prints the kernel node counters for the exhaustive fig2 sweep — the
+//! peak-node column of BENCH_3.json.
+
+use mct_core::{MctAnalyzer, MctOptions};
+use mct_gen::paper_figure2;
+
+fn main() {
+    let fig2 = paper_figure2();
+    let report = MctAnalyzer::new(&fig2)
+        .unwrap()
+        .run(&MctOptions {
+            exhaustive_floor: Some(1.0),
+            ..MctOptions::paper()
+        })
+        .unwrap();
+    println!(
+        "fig2_exhaustive_sweep candidates {} nodes {} peak {}",
+        report.candidates_checked, report.kernel.nodes, report.kernel.peak_nodes
+    );
+}

@@ -243,7 +243,28 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
         .run(&opts)
         .map_err(|e| e.to_string())?;
     if flags.json {
-        println!("{}", mct_serve::report::report_to_json(&report).to_pretty());
+        // The canonical report encoding deliberately omits the kernel
+        // diagnostics (they are scheduling-dependent); the CLI appends them
+        // as an extra top-level field for local inspection.
+        let mut json = mct_serve::report::report_to_json(&report);
+        if let Json::Obj(fields) = &mut json {
+            let k = &report.kernel;
+            fields.push((
+                "kernel".into(),
+                Json::Obj(vec![
+                    ("nodes".into(), Json::Int(k.nodes as i64)),
+                    ("peak_nodes".into(), Json::Int(k.peak_nodes as i64)),
+                    ("gc_runs".into(), Json::Int(k.gc_runs as i64)),
+                    ("nodes_freed".into(), Json::Int(k.nodes_freed as i64)),
+                    ("ops_cache_hits".into(), Json::Int(k.ops_cache_hits as i64)),
+                    (
+                        "ops_cache_lookups".into(),
+                        Json::Int(k.ops_cache_lookups as i64),
+                    ),
+                ]),
+            ));
+        }
+        println!("{}", json.to_pretty());
         return Ok(());
     }
     println!("{}: {}", circuit.name(), circuit.stats());
@@ -267,6 +288,7 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
             1u64 << circuit.num_dffs().min(63)
         );
     }
+    println!("  bdd kernel             {}", report.kernel);
     Ok(())
 }
 

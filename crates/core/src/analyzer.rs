@@ -9,7 +9,7 @@
 use crate::decision::{DecisionContext, DecisionOutcome};
 use crate::error::MctError;
 use crate::parallel::{self, EvalEnv, SigmaMemo, SweepShared};
-use mct_bdd::{Bdd, BddManager};
+use mct_bdd::{Bdd, BddManager, BddStats};
 use mct_lp::{LpOutcome, Rat, Simplex};
 use mct_netlist::{Circuit, FsmView, NetId};
 use mct_tbf::{
@@ -163,6 +163,15 @@ pub struct MctReport {
     /// [`MctOptions::exhaustive_floor`] is set; otherwise only the
     /// intervals up to the first failure).
     pub regions: Vec<ValidityRegion>,
+    /// Symbolic-kernel diagnostics, aggregated across every BDD manager the
+    /// analysis used (the main manager plus one per pool worker): live/peak
+    /// node counts, garbage-collection runs, and operation-cache hit rates.
+    ///
+    /// Unlike every other field, this is **not** part of the deterministic
+    /// report contract — the counters depend on thread count, GC thresholds,
+    /// and worker scheduling. It is excluded from the serialized report and
+    /// must be ignored by bit-identity comparisons.
+    pub kernel: BddStats,
 }
 
 /// A reachable-state set exported into its own private manager and
@@ -270,6 +279,7 @@ impl<'c> MctAnalyzer<'c> {
             exhausted: false,
             timed_out: false,
             regions: Vec::new(),
+            kernel: BddStats::default(),
         };
         if l_millis == 0 {
             // No combinational paths at all: any positive period works.
@@ -363,7 +373,7 @@ impl<'c> MctAnalyzer<'c> {
                 table: &*table,
                 set,
             });
-            parallel::run_pool(
+            let (states, worker_kernel) = parallel::run_pool(
                 &shared,
                 &sweep,
                 view,
@@ -371,9 +381,15 @@ impl<'c> MctAnalyzer<'c> {
                 threads,
                 &memo,
                 deadline,
-            )?
+            )?;
+            report.kernel.absorb(&worker_kernel);
+            states
         };
         parallel::reconcile(&shared, &sweep, states, &mut report)?;
+        // The main manager contributed the steady machine and (when enabled)
+        // the reachability fixpoint; on the 1-thread path it also ran the
+        // whole sweep.
+        report.kernel.absorb(&manager.stats());
         Ok((report, snapshot))
     }
 }
@@ -616,6 +632,14 @@ mod tests {
         assert!((report.mct_upper_bound - 2.5).abs() < 1e-9);
     }
 
+    /// Kernel diagnostics are explicitly outside the deterministic report
+    /// contract (a warm start skips the fixpoint, so its node counters
+    /// differ): zero them before comparing.
+    fn strip_kernel(mut r: MctReport) -> MctReport {
+        r.kernel = Default::default();
+        r
+    }
+
     #[test]
     fn warm_start_report_identical_to_cold() {
         let c = figure2();
@@ -629,18 +653,32 @@ mod tests {
             .unwrap()
             .run_warm(&opts, Some(&snapshot))
             .unwrap();
+        let (cold, warm) = (strip_kernel(cold), strip_kernel(warm));
         assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
         assert_eq!(again.expect("snapshot re-exported").num_states(), 2.0);
 
         // Warm-starting a *different-options* run of the same circuit also
         // reproduces its cold report.
         let fixed = MctOptions::fixed_delays();
-        let cold_fixed = MctAnalyzer::new(&c).unwrap().run(&fixed).unwrap();
+        let cold_fixed = strip_kernel(MctAnalyzer::new(&c).unwrap().run(&fixed).unwrap());
         let (warm_fixed, _) = MctAnalyzer::new(&c)
             .unwrap()
             .run_warm(&fixed, Some(&snapshot))
             .unwrap();
+        let warm_fixed = strip_kernel(warm_fixed);
         assert_eq!(format!("{cold_fixed:?}"), format!("{warm_fixed:?}"));
+    }
+
+    #[test]
+    fn kernel_diagnostics_populated() {
+        let c = figure2();
+        let report = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions::default())
+            .unwrap();
+        assert!(report.kernel.nodes > 0, "{:?}", report.kernel);
+        assert!(report.kernel.peak_nodes >= report.kernel.nodes);
+        assert!(report.kernel.ops_cache_lookups > 0);
     }
 
     #[test]

@@ -136,6 +136,12 @@ impl<'c> DecisionContext<'c> {
     ) -> Result<Self, MctError> {
         let view = extractor.view();
         let steady = DiscreteMachine::steady_state(extractor, manager, table)?;
+        // The steady machine lives for the whole sweep; pin it so garbage
+        // collections (inside the reachability fixpoint, between sweep
+        // candidates) never reclaim it.
+        for &f in steady.next_state.iter().chain(&steady.outputs) {
+            manager.protect(f);
+        }
         let init = view.circuit().initial_state();
         Ok(DecisionContext {
             view,
@@ -143,6 +149,18 @@ impl<'c> DecisionContext<'c> {
             init,
             restriction: None,
         })
+    }
+
+    /// Handles that must survive a garbage collection run between sweep
+    /// candidates: the steady machine (also pinned at construction) and the
+    /// frontier restriction.
+    pub fn gc_roots(&self) -> Vec<Bdd> {
+        let mut roots: Vec<Bdd> =
+            Vec::with_capacity(self.steady.next_state.len() + self.steady.outputs.len() + 1);
+        roots.extend(&self.steady.next_state);
+        roots.extend(&self.steady.outputs);
+        roots.extend(self.restriction);
+        roots
     }
 
     /// Restricts the induction frontier to `set` (a BDD over
@@ -516,8 +534,12 @@ mod tests {
         let machine = DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, shift).unwrap();
         assert!(!ctx.decide(&mut m, &mut tbl, &machine).is_valid());
         // With the reachable set (the three one-hot states) the trap is
-        // never sensitized and τ = 3 is certified.
+        // never sensitized and τ = 3 is certified. The fixpoint collects
+        // garbage rooting only its own iterates, so the candidate machine
+        // is rebuilt afterwards — the same order the analyzer uses
+        // (reachability once up front, machines per candidate).
         let r = mct_tbf::reachable_states(&ex, &mut m, &mut tbl).unwrap();
+        let machine = DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, shift).unwrap();
         let ctx = DecisionContext::new(&ex, &mut m, &mut tbl)
             .unwrap()
             .with_restriction(r);

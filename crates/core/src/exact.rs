@@ -20,7 +20,7 @@
 
 use crate::decision::DecisionOutcome;
 use crate::error::MctError;
-use mct_bdd::{Bdd, BddManager, Var};
+use mct_bdd::{Bdd, BddManager, Var, VarSet};
 use mct_netlist::FsmView;
 use mct_tbf::{DiscreteMachine, TimedVar, TimedVarTable};
 
@@ -180,11 +180,14 @@ pub fn decide_exact(
         }
     }
 
-    // Image computation machinery.
+    // Image computation machinery. The quantified set is fixed across the
+    // fixpoint, so it is sorted/deduplicated once here rather than per
+    // image (see [`VarSet`]).
     let mut quantified: Vec<Var> = slots.iter().map(|s| table.var(s.current)).collect();
     for leaf in ns..ns + np {
         quantified.push(table.var(TimedVar::Shifted { leaf, shift: 1 }));
     }
+    let quantified: VarSet = quantified.into_iter().collect();
     let rename_map: Vec<(Var, Var)> = slots
         .iter()
         .map(|s| {
@@ -224,7 +227,7 @@ pub fn decide_exact(
             }
             unreachable!("divergence is the disjunction of per-output diffs");
         }
-        let img_primed = manager.and_exists(reached, trans, &quantified);
+        let img_primed = manager.and_exists_set(reached, trans, &quantified);
         let img = manager.rename_vars(img_primed, &rename_map);
         let new_reached = manager.or(reached, img);
         if new_reached == reached {

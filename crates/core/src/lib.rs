@@ -85,4 +85,5 @@ pub use breakpoints::BreakpointIter;
 pub use decision::{DecisionContext, DecisionOutcome};
 pub use error::MctError;
 pub use exact::decide_exact;
+pub use mct_bdd::BddStats;
 pub use sigma::{feasible_tau_range, ShiftRange, SigmaIter};

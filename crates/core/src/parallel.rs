@@ -41,6 +41,7 @@ use crate::error::MctError;
 use crate::sigma::{feasible_tau_range, ShiftRange, SigmaIter};
 use mct_bdd::Bdd;
 use mct_bdd::BddManager;
+use mct_bdd::BddStats;
 use mct_lp::Rat;
 use mct_netlist::FsmView;
 use mct_tbf::{transfer_bdd, ConeExtractor, DelayClass, DiscreteMachine, TimedVarTable};
@@ -288,6 +289,10 @@ pub(crate) fn run_single(
         .iter()
         .map(|_| CandState::Pending)
         .collect();
+    // Everything that must outlive one candidate evaluation: the per-σ
+    // discretized machines are rebuilt from the netlist each time, so the
+    // collector may reclaim their nodes between candidates.
+    let gc_roots = env.ctx.gc_roots();
     for (index, cand) in sweep.candidates.iter().enumerate() {
         if deadline.is_some_and(|d| Instant::now() > d) {
             states[index] = CandState::DeadlineHit;
@@ -300,7 +305,9 @@ pub(crate) fn run_single(
             });
             break;
         }
-        match eval_candidate(shared, env, cand, memo) {
+        let outcome = eval_candidate(shared, env, cand, memo);
+        env.manager.maybe_collect_garbage(&gc_roots);
+        match outcome {
             Ok(eval) => {
                 let failing = !eval.failing_sups.is_empty();
                 states[index] = CandState::Done(eval);
@@ -346,13 +353,14 @@ pub(crate) fn run_pool(
     threads: usize,
     memo: &SigmaMemo,
     deadline: Option<Instant>,
-) -> Result<Vec<CandState>, MctError> {
+) -> Result<(Vec<CandState>, BddStats), MctError> {
     let control = PoolControl {
         next: AtomicUsize::new(0),
         stop_at: AtomicUsize::new(usize::MAX),
         deadline,
     };
-    let results: Result<Vec<Vec<(usize, CandState)>>, MctError> = std::thread::scope(|scope| {
+    type WorkerOut = (Vec<(usize, CandState)>, BddStats);
+    let results: Result<Vec<WorkerOut>, MctError> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| scope.spawn(|| worker_loop(shared, sweep, view, reach, &control, memo)))
             .collect();
@@ -366,10 +374,14 @@ pub(crate) fn run_pool(
         .iter()
         .map(|_| CandState::Pending)
         .collect();
-    for (index, state) in results?.into_iter().flatten() {
-        states[index] = state;
+    let mut kernel = BddStats::default();
+    for (worker_states, worker_stats) in results? {
+        kernel.absorb(&worker_stats);
+        for (index, state) in worker_states {
+            states[index] = state;
+        }
     }
-    Ok(states)
+    Ok((states, kernel))
 }
 
 /// One worker: build a private symbolic stack, then claim and evaluate
@@ -381,7 +393,7 @@ fn worker_loop(
     reach: Option<&SharedReach<'_>>,
     control: &PoolControl,
     memo: &SigmaMemo,
-) -> Result<Vec<(usize, CandState)>, MctError> {
+) -> Result<(Vec<(usize, CandState)>, BddStats), MctError> {
     let extractor = ConeExtractor::new(view).with_node_limit(shared.opts.cone_node_limit);
     let mut manager = BddManager::new();
     let mut table = TimedVarTable::new();
@@ -392,6 +404,7 @@ fn worker_loop(
         let local = transfer_bdd(r.manager, r.table, r.set, &mut manager, &mut table)?;
         ctx = ctx.with_restriction(local);
     }
+    let gc_roots = ctx.gc_roots();
     let mut env = EvalEnv {
         view,
         extractor: &extractor,
@@ -421,7 +434,9 @@ fn worker_loop(
                 cap: shared.opts.max_sigma_combos,
             })
         } else {
-            match eval_candidate(shared, &mut env, cand, memo) {
+            let outcome = eval_candidate(shared, &mut env, cand, memo);
+            env.manager.maybe_collect_garbage(&gc_roots);
+            match outcome {
                 Ok(eval) => {
                     if !eval.failing_sups.is_empty() && shared.early_exit() {
                         control.stop_at.fetch_min(index, Ordering::AcqRel);
@@ -436,7 +451,8 @@ fn worker_loop(
         };
         out.push((index, state));
     }
-    Ok(out)
+    let stats = env.manager.stats();
+    Ok((out, stats))
 }
 
 /// Replays per-candidate outcomes in descending-τ order, producing the
@@ -597,6 +613,92 @@ mod tests {
         let seq = run_at(&c, 1, &MctOptions::fixed_delays());
         let par = run_at(&c, 0, &MctOptions::fixed_delays());
         assert_reports_identical(&seq, &par);
+    }
+
+    /// With an aggressive collection threshold the arena stays bounded
+    /// across the sweep: every candidate's discretized machines are
+    /// reclaimed at the candidate boundary, leaving only the pinned steady
+    /// machine (plus variable nodes) live — instead of accumulating every
+    /// candidate's garbage for the whole run.
+    #[test]
+    fn gc_bounds_arena_between_candidates() {
+        use crate::decision::DecisionContext;
+        use crate::parallel::{plan, run_single, CandState, EvalEnv, SigmaMemo, SweepShared};
+        use mct_lp::Rat;
+        use mct_netlist::FsmView;
+        use mct_tbf::{ConeExtractor, TimedVarTable};
+        use std::collections::HashMap;
+
+        let c = figure2();
+        let view = FsmView::new(&c).unwrap();
+        let opts = MctOptions {
+            // Exhaustive: evaluate every candidate instead of stopping at
+            // the first failure, so many machines are built and reclaimed.
+            exhaustive_floor: Some(0.5),
+            ..MctOptions::paper()
+        };
+        let extractor = ConeExtractor::new(&view);
+        let sinks: Vec<_> = view.sinks().iter().map(|s| s.net).collect();
+        let classes = extractor.delay_classes(&sinks).unwrap();
+        let l_millis = classes.iter().map(|k| k.delay).max().unwrap();
+        let (num, den) = opts.delay_variation.unwrap();
+        let intervals: Vec<(i64, i64)> = classes
+            .iter()
+            .map(|k| ((k.delay * num).div_euclid(den), k.delay))
+            .collect();
+        let class_ix: HashMap<(usize, i64), usize> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, k)| ((k.leaf, k.delay), i))
+            .collect();
+
+        let mut manager = mct_bdd::BddManager::new();
+        let mut table = TimedVarTable::new();
+        let ctx = DecisionContext::new(&extractor, &mut manager, &mut table).unwrap();
+        let baseline = manager.stats().nodes;
+        // Collect at every candidate boundary.
+        manager.set_gc_threshold(1);
+
+        let shared = SweepShared {
+            classes,
+            intervals,
+            class_ix,
+            l_millis,
+            opts,
+        };
+        let bp: Vec<i64> = shared
+            .intervals
+            .iter()
+            .flat_map(|&(lo, hi)| [lo, hi])
+            .collect();
+        let sweep = plan(&bp, Rat::new(500, 1), &shared);
+        assert!(sweep.candidates.len() >= 4, "{}", sweep.candidates.len());
+        let memo = SigmaMemo::new(1);
+        let mut env = EvalEnv {
+            view: &view,
+            extractor: &extractor,
+            ctx: &ctx,
+            manager: &mut manager,
+            table: &mut table,
+        };
+        let states = run_single(&shared, &sweep, &mut env, &memo, None);
+        assert!(states.iter().all(|s| matches!(s, CandState::Done(_))));
+
+        let stats = manager.stats();
+        assert!(stats.gc_runs >= 1, "{stats:?}");
+        assert!(stats.nodes_freed > 0, "{stats:?}");
+        // Bounded: after the final candidate-boundary collection the live
+        // count is back to the same order as the pinned steady machine,
+        // not the accumulated total (which `nodes_freed` witnesses).
+        assert!(
+            stats.nodes <= baseline + stats.nodes_freed as usize,
+            "{stats:?} (baseline {baseline})"
+        );
+        assert!(
+            stats.nodes < stats.peak_nodes || stats.nodes_freed == 0,
+            "{stats:?}"
+        );
+        assert!(stats.nodes <= 4 * baseline.max(64), "{stats:?}");
     }
 
     #[test]

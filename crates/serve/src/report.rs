@@ -5,7 +5,11 @@
 //! reproduces every field bit-for-bit, including the exact rational bound
 //! (carried as a `[num, den]` pair in milli-units, not as a float) and the
 //! failure diagnostics. That is what lets a cache hit answer with a report
-//! indistinguishable from re-running the analysis.
+//! indistinguishable from re-running the analysis. The one deliberate
+//! exception is [`MctReport::kernel`] — per-run BDD-kernel diagnostics are
+//! scheduling-dependent and explicitly outside the deterministic contract,
+//! so they are not serialized (a decoded report carries zeroed stats) and
+//! are reported per-request in the server log instead.
 //!
 //! The options encoding is a *partial overlay*: a request carries only the
 //! fields it wants to change, applied over [`MctOptions::default()`]. The
@@ -120,6 +124,8 @@ pub fn report_from_json(value: &Json) -> Option<MctReport> {
         exhausted: value.get("exhausted")?.as_bool()?,
         timed_out: value.get("timed_out")?.as_bool()?,
         regions,
+        // Kernel diagnostics are per-run and not serialized.
+        kernel: Default::default(),
     })
 }
 
@@ -365,6 +371,7 @@ mod tests {
                     valid: false,
                 },
             ],
+            kernel: Default::default(),
         }
     }
 

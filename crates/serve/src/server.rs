@@ -109,6 +109,42 @@ impl PhaseLatency {
     }
 }
 
+/// Aggregated BDD-kernel diagnostics over every analysis this server ran
+/// (cache hits do no symbolic work and contribute nothing). Sums except
+/// `peak_nodes`, which is a high-water mark across requests.
+#[derive(Default)]
+struct KernelCounters {
+    peak_nodes: AtomicU64,
+    gc_runs: AtomicU64,
+    nodes_freed: AtomicU64,
+    ops_cache_hits: AtomicU64,
+    ops_cache_lookups: AtomicU64,
+}
+
+impl KernelCounters {
+    fn record(&self, k: &mct_core::BddStats) {
+        self.peak_nodes
+            .fetch_max(k.peak_nodes as u64, Ordering::Relaxed);
+        self.gc_runs.fetch_add(k.gc_runs, Ordering::Relaxed);
+        self.nodes_freed.fetch_add(k.nodes_freed, Ordering::Relaxed);
+        self.ops_cache_hits
+            .fetch_add(k.ops_cache_hits, Ordering::Relaxed);
+        self.ops_cache_lookups
+            .fetch_add(k.ops_cache_lookups, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
+        Json::Obj(vec![
+            ("peak_nodes".into(), load(&self.peak_nodes)),
+            ("gc_runs".into(), load(&self.gc_runs)),
+            ("nodes_freed".into(), load(&self.nodes_freed)),
+            ("ops_cache_hits".into(), load(&self.ops_cache_hits)),
+            ("ops_cache_lookups".into(), load(&self.ops_cache_lookups)),
+        ])
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     requests: AtomicU64,
@@ -121,6 +157,7 @@ struct Counters {
     parse: PhaseLatency,
     analyze: PhaseLatency,
     request: PhaseLatency,
+    kernel: KernelCounters,
 }
 
 struct Shared {
@@ -514,6 +551,24 @@ fn analyze_inner(
     } else {
         shared.stats.misses.fetch_add(1, Ordering::Relaxed);
     }
+    shared.stats.kernel.record(&report.kernel);
+    if shared.cfg.log {
+        // The kernel stats never enter the serialized report (they are
+        // scheduling-dependent), so the per-request log line is where they
+        // surface on the server side.
+        let k = &report.kernel;
+        eprintln!(
+            "[mct-serve] peer={peer} type=kernel circuit={} nodes={} peak={} gc_runs={} freed={} ops_cache={}/{} ({:.1}%)",
+            circuit.name(),
+            k.nodes,
+            k.peak_nodes,
+            k.gc_runs,
+            k.nodes_freed,
+            k.ops_cache_hits,
+            k.ops_cache_lookups,
+            100.0 * k.ops_hit_rate(),
+        );
+    }
 
     // Phase 4: store. Timed-out reports are partial — never cached.
     let report_json = report_to_json(&report);
@@ -638,5 +693,6 @@ fn stats_response(shared: &Shared) -> Json {
                 ("request".into(), s.request.to_json()),
             ]),
         ),
+        ("kernel".into(), s.kernel.to_json()),
     ])
 }

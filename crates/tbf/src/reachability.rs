@@ -9,7 +9,7 @@
 use crate::error::TbfError;
 use crate::extract::{ConeExtractor, DiscreteMachine};
 use crate::vars::{TimedVar, TimedVarTable};
-use mct_bdd::{Bdd, BddManager, Var};
+use mct_bdd::{Bdd, BddManager, Var, VarSet};
 
 /// The set of states reachable from the circuit's initial state, as a BDD
 /// over the current-state variables `TimedVar::Shifted { leaf, shift: 0 }`.
@@ -84,9 +84,9 @@ pub fn reachable_states(
         reached = manager.and(reached, lit);
     }
 
-    // Quantify current state and inputs during the image.
-    let mut quantified = cur_vars.clone();
-    quantified.extend(&input_vars);
+    // Quantify current state and inputs during the image. Prepared once:
+    // the fixpoint below quantifies the same variables every iteration.
+    let quantified: VarSet = cur_vars.iter().chain(input_vars.iter()).copied().collect();
     let rename_map: Vec<(Var, Var)> = next_vars
         .iter()
         .zip(&cur_vars)
@@ -94,13 +94,18 @@ pub fn reachable_states(
         .collect();
 
     loop {
-        let img_next = manager.and_exists(reached, trans, &quantified);
+        let img_next = manager.and_exists_set(reached, trans, &quantified);
         let img = manager.rename_vars(img_next, &rename_map);
         let new_reached = manager.or(reached, img);
         if new_reached == reached {
             return Ok(reached);
         }
         reached = new_reached;
+        // Iterations discard whole intermediate images; let the collector
+        // reclaim them once the arena passes its trigger. The machine's
+        // next-state functions are embedded in `trans`' construction but no
+        // longer needed, so only the relation and frontier are rooted.
+        manager.maybe_collect_garbage(&[trans, reached]);
     }
 }
 

@@ -33,34 +33,48 @@ pub fn transfer_bdd(
     dst: &mut BddManager,
     dst_table: &mut TimedVarTable,
 ) -> Result<Bdd, TbfError> {
+    // The walk runs on an explicit frame stack (source graphs can be tens
+    // of thousands of levels deep). `low`/`high` resolve the handle's
+    // complement bit, so the memo is keyed on full (polarity-carrying)
+    // handles and complemented sub-DAGs rebuild correctly.
+    enum Frame {
+        Visit(Bdd),
+        Emit(Bdd),
+    }
     let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
-    walk(src, src_table, f, dst, dst_table, &mut memo)
-}
-
-fn walk(
-    src: &BddManager,
-    src_table: &TimedVarTable,
-    f: Bdd,
-    dst: &mut BddManager,
-    dst_table: &mut TimedVarTable,
-    memo: &mut HashMap<Bdd, Bdd>,
-) -> Result<Bdd, TbfError> {
-    if f.is_const() {
-        return Ok(f); // FALSE and TRUE share indices in every manager.
+    let mut frames = vec![Frame::Visit(f)];
+    let mut results: Vec<Bdd> = Vec::new();
+    while let Some(frame) = frames.pop() {
+        match frame {
+            Frame::Visit(f) => {
+                if f.is_const() {
+                    // FALSE and TRUE share handles in every manager.
+                    results.push(f);
+                    continue;
+                }
+                if let Some(&r) = memo.get(&f) {
+                    results.push(r);
+                    continue;
+                }
+                frames.push(Frame::Emit(f));
+                frames.push(Frame::Visit(src.high(f)));
+                frames.push(Frame::Visit(src.low(f)));
+            }
+            Frame::Emit(f) => {
+                let hi = results.pop().expect("transfer high result");
+                let lo = results.pop().expect("transfer low result");
+                let v = src.root_var(f).expect("non-terminal has a root variable");
+                let tv = src_table
+                    .timed_var(v)
+                    .ok_or(TbfError::UnmappedVariable { index: v.index() })?;
+                let dv = dst.var(dst_table.var(tv));
+                let r = dst.ite(dv, hi, lo);
+                memo.insert(f, r);
+                results.push(r);
+            }
+        }
     }
-    if let Some(&r) = memo.get(&f) {
-        return Ok(r);
-    }
-    let v = src.root_var(f).expect("non-terminal has a root variable");
-    let tv = src_table
-        .timed_var(v)
-        .ok_or(TbfError::UnmappedVariable { index: v.index() })?;
-    let lo = walk(src, src_table, src.low(f), dst, dst_table, memo)?;
-    let hi = walk(src, src_table, src.high(f), dst, dst_table, memo)?;
-    let dv = dst.var(dst_table.var(tv));
-    let r = dst.ite(dv, hi, lo);
-    memo.insert(f, r);
-    Ok(r)
+    Ok(results.pop().expect("transfer result"))
 }
 
 #[cfg(test)]

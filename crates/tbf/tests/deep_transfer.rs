@@ -1,0 +1,52 @@
+//! Stack-safety regression for [`mct_tbf::transfer_bdd`]: importing a
+//! ~10k-level source graph into a destination manager must not recurse
+//! (the walk runs on an explicit frame stack).
+
+use mct_bdd::{BddManager, Var};
+use mct_tbf::{transfer_bdd, TimedVar, TimedVarTable};
+
+const DEPTH: usize = 10_000;
+
+fn tv(leaf: usize) -> TimedVar {
+    TimedVar::Shifted { leaf, shift: 0 }
+}
+
+#[test]
+fn deep_graph_transfers_between_managers() {
+    // Pre-allocate both tables in leaf order so leaf i holds variable
+    // index i in *both* managers; the chains below then build strictly
+    // top-down (O(1) per level) and the transfer's bottom-up `ite` rebuild
+    // is O(1) per level too. First-use allocation inside the loops would
+    // instead put every new variable at the bottom of the order and make
+    // construction quadratic — which is not what this test measures.
+    let mut src = BddManager::new();
+    let mut st = TimedVarTable::new();
+    let mut dst = BddManager::new();
+    let mut dt = TimedVarTable::new();
+    for leaf in 0..DEPTH {
+        st.var(tv(leaf));
+        dt.var(tv(leaf));
+    }
+
+    // Parity chain DEPTH levels deep; parity keeps every level (and both
+    // polarities) live, so the transfer walk must descend the full depth.
+    let mut f = src.zero();
+    for leaf in (0..DEPTH).rev() {
+        let v = src.var(st.var(tv(leaf)));
+        f = src.xor(v, f);
+    }
+
+    let g = transfer_bdd(&src, &st, f, &mut dst, &mut dt).unwrap();
+
+    // Spot-check semantics on a few assignments through the two tables.
+    let leaf_of = |tbl: &TimedVarTable, v: Var| match tbl.timed_var(v).unwrap() {
+        TimedVar::Shifted { leaf, .. } => leaf,
+        other => panic!("unexpected {other:?}"),
+    };
+    for ones in [0usize, 1, 2, DEPTH] {
+        let sv = src.eval(f, |v| leaf_of(&st, v) < ones);
+        let dv = dst.eval(g, |v| leaf_of(&dt, v) < ones);
+        assert_eq!(sv, dv, "assignment with {ones} ones");
+        assert_eq!(sv, ones % 2 == 1);
+    }
+}
