@@ -19,9 +19,13 @@
 //!   standard-triple normalization drives all binary operations;
 //! * a mark-and-sweep garbage collector behind an explicit root-pinning
 //!   API keeps long analysis sweeps from growing the arena monotonically;
-//! * variable order is the numeric order of [`Var`] indices (no dynamic
-//!   reordering — callers choose a good static order, which the timing
-//!   engine does by interleaving time-shifted copies of each signal).
+//! * variable order is a level permutation over [`Var`] indices: it starts
+//!   as the numeric index order (so callers still control the initial
+//!   placement — the timing engine interleaves time-shifted copies of each
+//!   signal), and [`BddManager::sift`] / the growth-triggered auto-reorder
+//!   hook permute levels at runtime via complement-edge-safe adjacent
+//!   swaps. Reordering changes node counts and time only; every handle
+//!   keeps denoting the same function.
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@ mod cubes;
 mod dot;
 mod hash;
 mod manager;
+mod reorder;
 
 pub use cubes::{Cube, CubeIter};
 pub use manager::{Bdd, BddManager, BddStats, Var, VarSet};

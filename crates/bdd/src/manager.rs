@@ -102,17 +102,17 @@ impl Bdd {
     }
 
     #[inline]
-    fn is_complement(self) -> bool {
+    pub(crate) fn is_complement(self) -> bool {
         self.0 & 1 == 1
     }
 
     #[inline]
-    fn complemented(self) -> Bdd {
+    pub(crate) fn complemented(self) -> Bdd {
         Bdd(self.0 ^ 1)
     }
 
     #[inline]
-    fn regular(self) -> Bdd {
+    pub(crate) fn regular(self) -> Bdd {
         Bdd(self.0 & !1)
     }
 }
@@ -184,17 +184,17 @@ impl FromIterator<Var> for VarSet {
 /// The high child of a stored node is always a regular (non-complemented)
 /// handle — that is the canonical form complement edges require.
 #[derive(Clone, Copy)]
-struct Node {
-    var: u32,
-    lo: u32,
-    hi: u32,
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
 }
 
-const TERMINAL_VAR: u32 = u32::MAX;
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 /// Sentinel variable index marking a swept (free-listed) arena slot.
-const FREE_VAR: u32 = u32::MAX - 1;
+pub(crate) const FREE_VAR: u32 = u32::MAX - 1;
 /// Empty slot marker in the open-addressed unique table.
-const EMPTY: u32 = u32::MAX;
+pub(crate) const EMPTY: u32 = u32::MAX;
 
 /// Direct-mapped ops-cache entry for memoized ITE triples.
 #[derive(Clone, Copy)]
@@ -232,7 +232,7 @@ const DEFAULT_GC_THRESHOLD: usize = 1 << 16;
 const INITIAL_UNIQUE_CAPACITY: usize = 1 << 8;
 
 #[inline]
-fn triple_hash(a: u32, b: u32, c: u32) -> u64 {
+pub(crate) fn triple_hash(a: u32, b: u32, c: u32) -> u64 {
     // The FxHash multiply-xor scheme from `crate::hash`, unrolled for a
     // fixed-width three-word key.
     const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -247,6 +247,24 @@ fn gc_stress() -> bool {
         std::env::var_os("MCT_BDD_GC_STRESS").is_some_and(|v| !v.is_empty() && v != "0")
     })
 }
+
+/// `MCT_BDD_SIFT_STRESS`: sift at every garbage collection that
+/// [`BddManager::maybe_collect_garbage`] runs, regardless of the growth
+/// trigger or the auto-reorder flag. Exercises the swap machinery at every
+/// opportunity so order-dependence bugs surface loudly.
+fn sift_stress() -> bool {
+    static STRESS: OnceLock<bool> = OnceLock::new();
+    *STRESS.get_or_init(|| {
+        std::env::var_os("MCT_BDD_SIFT_STRESS").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// Auto-reorder fires when the live count exceeds this multiple of the
+/// post-sift baseline.
+const REORDER_GROWTH: usize = 2;
+/// Below this live-node count, growth-triggered sifting never fires (tiny
+/// graphs churn fast and sift overhead would dominate).
+const REORDER_MIN_NODES: usize = 1 << 12;
 
 /// Result of ITE standard-triple normalization.
 enum Norm {
@@ -289,14 +307,20 @@ enum IteFrame {
 /// assert_eq!(m.restrict(f, Var::new(1), true), m.not(x));
 /// ```
 pub struct BddManager {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     /// Swept arena slots available for reuse.
-    free: Vec<u32>,
+    pub(crate) free: Vec<u32>,
     /// Open-addressed unique table of node indices (power-of-two capacity).
-    unique: Vec<u32>,
-    unique_mask: usize,
+    pub(crate) unique: Vec<u32>,
+    pub(crate) unique_mask: usize,
     /// Live decision nodes (== occupied unique-table slots).
-    unique_len: usize,
+    pub(crate) unique_len: usize,
+    /// Variable index → level (position in the current order; smaller =
+    /// closer to the root). Always a permutation of `0..len`, identity
+    /// until a reorder permutes it.
+    pub(crate) var2level: Vec<u32>,
+    /// Inverse permutation of [`var2level`](Self::var2level).
+    pub(crate) level2var: Vec<u32>,
     /// Direct-mapped memo for normalized ITE triples
     /// (`2^ops_bits` entries).
     ops: Box<[OpsEntry]>,
@@ -309,7 +333,14 @@ pub struct BddManager {
     ops_hits: u64,
     ops_lookups: u64,
     /// Externally pinned node indices with pin counts.
-    pins: FxHashMap<u32, u32>,
+    pub(crate) pins: FxHashMap<u32, u32>,
+    /// Growth-triggered sifting inside `maybe_collect_garbage`.
+    auto_reorder: bool,
+    /// Live-node baseline recorded after the last sift (or manager birth);
+    /// auto-reorder fires when live nodes exceed a multiple of this.
+    pub(crate) reorder_baseline: usize,
+    pub(crate) reorder_runs: u64,
+    pub(crate) reorder_swaps: u64,
     /// Base GC trigger (live-node count); 0 means "collect at every
     /// `maybe_collect_garbage`" (the stress setting).
     gc_base: usize,
@@ -317,7 +348,7 @@ pub struct BddManager {
     gc_trigger: usize,
     gc_runs: u64,
     nodes_freed: u64,
-    peak_nodes: usize,
+    pub(crate) peak_nodes: usize,
 }
 
 impl Default for BddManager {
@@ -346,6 +377,8 @@ impl BddManager {
             unique: vec![EMPTY; INITIAL_UNIQUE_CAPACITY],
             unique_mask: INITIAL_UNIQUE_CAPACITY - 1,
             unique_len: 0,
+            var2level: Vec::new(),
+            level2var: Vec::new(),
             ops: vec![OPS_VACANT; 1 << OPS_CACHE_MIN_BITS].into_boxed_slice(),
             ops_bits: OPS_CACHE_MIN_BITS,
             ite_frames: Vec::new(),
@@ -353,6 +386,10 @@ impl BddManager {
             ops_hits: 0,
             ops_lookups: 0,
             pins: FxHashMap::default(),
+            auto_reorder: false,
+            reorder_baseline: 1,
+            reorder_runs: 0,
+            reorder_swaps: 0,
             gc_base: base,
             gc_trigger: base,
             gc_runs: 0,
@@ -469,14 +506,48 @@ impl BddManager {
         }
     }
 
+    /// The level of a variable index: its position in the current order.
+    /// The sentinels (`TERMINAL_VAR`, `FREE_VAR`) map to themselves, which
+    /// ranks them below every decision level.
+    #[inline]
+    pub(crate) fn level_of(&self, var: u32) -> u32 {
+        if var >= FREE_VAR {
+            var
+        } else {
+            self.var2level[var as usize]
+        }
+    }
+
+    /// The *level* of the root of `f` (terminals rank below everything).
+    /// All top-variable selection in the kernel compares levels, never raw
+    /// variable indices — that is the single indirection dynamic reordering
+    /// needs.
     #[inline]
     fn var_rank(&self, f: Bdd) -> u32 {
-        self.node(f).var
+        self.level_of(self.node(f).var)
+    }
+
+    /// Extends the order maps so `var` has a level. New variables append at
+    /// the bottom of the current order, which stays correct (and keeps both
+    /// maps inverse permutations) even after sifting has permuted the
+    /// existing prefix.
+    #[inline]
+    fn ensure_var(&mut self, var: u32) {
+        while (self.var2level.len() as u32) <= var {
+            let next = self.var2level.len() as u32;
+            self.var2level.push(next);
+            self.level2var.push(next);
+        }
     }
 
     /// Canonicalizing constructor: collapses redundant tests and enforces
     /// the regular-high-child rule before consulting the unique table.
     fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        self.ensure_var(var);
+        debug_assert!(
+            self.level_of(var) < self.var_rank(lo) && self.level_of(var) < self.var_rank(hi),
+            "mk: children must sit strictly below the decision variable"
+        );
         if lo == hi {
             return lo;
         }
@@ -557,7 +628,7 @@ impl BddManager {
     /// capacity, within `[2^OPS_CACHE_MIN_BITS, 2^OPS_CACHE_MAX_BITS]`).
     /// Growing re-slots the surviving entries; a collision keeps the later
     /// one, which is fine for a lossy memo.
-    fn maybe_grow_ops(&mut self) {
+    pub(crate) fn maybe_grow_ops(&mut self) {
         let unique_bits = self.unique.len().trailing_zeros();
         let want = unique_bits
             .saturating_sub(2)
@@ -708,10 +779,11 @@ impl BddManager {
                             continue;
                         }
                         let top = self.var_rank(f).min(self.var_rank(g)).min(self.var_rank(h));
-                        let (f0, f1) = self.cofactors_at(f, top);
-                        let (g0, g1) = self.cofactors_at(g, top);
-                        let (h0, h1) = self.cofactors_at(h, top);
-                        frames.push(IteFrame::Combine { var: top, key, neg });
+                        let var = self.level2var[top as usize];
+                        let (f0, f1) = self.cofactors_at(f, var);
+                        let (g0, g1) = self.cofactors_at(g, var);
+                        let (h0, h1) = self.cofactors_at(h, var);
+                        frames.push(IteFrame::Combine { var, key, neg });
                         frames.push(IteFrame::App(f1, g1, h1));
                         frames.push(IteFrame::App(f0, g0, h0));
                     }
@@ -797,6 +869,11 @@ impl BddManager {
             Emit { var: u32, reg: u32, c: u32 },
         }
         let target = v.index();
+        if target >= self.var2level.len() as u32 {
+            // The variable was never registered, so no node tests it.
+            return f;
+        }
+        let target_level = self.var2level[target as usize];
         let mut memo: FxHashMap<u32, u32> = FxHashMap::default();
         let mut frames = vec![Frame::Visit(f)];
         let mut results: Vec<Bdd> = Vec::new();
@@ -804,7 +881,7 @@ impl BddManager {
             match frame {
                 Frame::Visit(f) => {
                     let n = self.node(f);
-                    if n.var > target {
+                    if self.level_of(n.var) > target_level {
                         // Past the variable in the order (or a terminal):
                         // unchanged.
                         results.push(f);
@@ -917,6 +994,20 @@ impl BddManager {
         self.exists_set(f, &VarSet::new(vars))
     }
 
+    /// The sorted *levels* of the quantifiable variables in `vars`.
+    /// Variables never registered with this manager are dropped: no node
+    /// can test them, so quantifying over them is the identity.
+    fn quantified_levels(&self, vars: &VarSet) -> Vec<u32> {
+        let mut levels: Vec<u32> = vars
+            .sorted
+            .iter()
+            .filter(|&&v| (v as usize) < self.var2level.len())
+            .map(|&v| self.var2level[v as usize])
+            .collect();
+        levels.sort_unstable();
+        levels
+    }
+
     /// Existential quantification over a prepared [`VarSet`].
     pub fn exists_set(&mut self, f: Bdd, vars: &VarSet) -> Bdd {
         // Quantification does not commute with complement, so the memo is
@@ -925,7 +1016,7 @@ impl BddManager {
             Visit(Bdd),
             Emit { f: u32, var: u32, quantified: bool },
         }
-        let sorted = &vars.sorted;
+        let qlevels = self.quantified_levels(vars);
         let mut memo: FxHashMap<u32, u32> = FxHashMap::default();
         let mut frames = vec![Frame::Visit(f)];
         let mut results: Vec<Bdd> = Vec::new();
@@ -937,10 +1028,11 @@ impl BddManager {
                         continue;
                     }
                     let n = self.node(f);
+                    let lvl = self.var2level[n.var as usize];
                     // All quantified variables above the root leave f
                     // untouched.
-                    let pos = sorted.partition_point(|&v| v < n.var);
-                    if pos == sorted.len() {
+                    let pos = qlevels.partition_point(|&l| l < lvl);
+                    if pos == qlevels.len() {
                         results.push(f);
                         continue;
                     }
@@ -952,7 +1044,7 @@ impl BddManager {
                     frames.push(Frame::Emit {
                         f: f.0,
                         var: n.var,
-                        quantified: sorted[pos] == n.var,
+                        quantified: qlevels[pos] == lvl,
                     });
                     frames.push(Frame::Visit(hi));
                     frames.push(Frame::Visit(lo));
@@ -1014,7 +1106,7 @@ impl BddManager {
         if vars.is_empty() {
             return self.and(f, g);
         }
-        let sorted = &vars.sorted;
+        let qlevels = self.quantified_levels(vars);
         let mut memo: FxHashMap<(u32, u32), u32> = FxHashMap::default();
         let mut frames = vec![Frame::App(f, g)];
         let mut results: Vec<Bdd> = Vec::new();
@@ -1036,8 +1128,8 @@ impl BddManager {
                         continue;
                     }
                     let top = self.var_rank(f).min(self.var_rank(g));
-                    let pos = sorted.partition_point(|&v| v < top);
-                    if pos == sorted.len() {
+                    let pos = qlevels.partition_point(|&l| l < top);
+                    if pos == qlevels.len() {
                         // No quantified variable at or below the frontier:
                         // plain conjunction.
                         let r = self.and(f, g);
@@ -1045,13 +1137,14 @@ impl BddManager {
                         results.push(r);
                         continue;
                     }
-                    let (f0, f1) = self.cofactors_at(f, top);
-                    let (g0, g1) = self.cofactors_at(g, top);
-                    if sorted[pos] == top {
+                    let var = self.level2var[top as usize];
+                    let (f0, f1) = self.cofactors_at(f, var);
+                    let (g0, g1) = self.cofactors_at(g, var);
+                    if qlevels[pos] == top {
                         frames.push(Frame::AfterLo { f1, g1, key });
                         frames.push(Frame::App(f0, g0));
                     } else {
-                        frames.push(Frame::CombineMk { var: top, key });
+                        frames.push(Frame::CombineMk { var, key });
                         frames.push(Frame::App(f1, g1));
                         frames.push(Frame::App(f0, g0));
                     }
@@ -1256,8 +1349,9 @@ impl BddManager {
             return Bdd(r);
         }
         let top = self.var_rank(f).min(self.var_rank(c));
-        let (f0, f1) = self.cofactors_at(f, top);
-        let (c0, c1) = self.cofactors_at(c, top);
+        let var = self.level2var[top as usize];
+        let (f0, f1) = self.cofactors_at(f, var);
+        let (c0, c1) = self.cofactors_at(c, var);
         let r = if c1.is_false() {
             self.constrain_rec(f0, c0, memo)
         } else if c0.is_false() {
@@ -1265,7 +1359,7 @@ impl BddManager {
         } else {
             let lo = self.constrain_rec(f0, c0, memo);
             let hi = self.constrain_rec(f1, c1, memo);
-            self.mk(top, lo, hi)
+            self.mk(var, lo, hi)
         };
         memo.insert((f.0, c.0), r.0);
         r
@@ -1335,8 +1429,22 @@ impl BddManager {
                 freed += 1;
             }
         }
-        // Rebuild the unique table over the survivors (no tombstones).
-        self.unique.fill(EMPTY);
+        // Rebuild the unique table over the survivors (no tombstones),
+        // growing first if they would overload it — a reorder can leave
+        // more live nodes than the last natural growth point anticipated,
+        // and an overfull open-addressed table never terminates probing.
+        let live = marked.iter().skip(1).filter(|&&m| m).count();
+        let mut cap = self.unique.len();
+        while (live + 1) * 10 >= cap * 7 {
+            cap *= 2;
+        }
+        if cap != self.unique.len() {
+            self.unique = vec![EMPTY; cap];
+            self.unique_mask = cap - 1;
+            self.maybe_grow_ops();
+        } else {
+            self.unique.fill(EMPTY);
+        }
         self.unique_len = 0;
         for (idx, &live) in marked.iter().enumerate().skip(1) {
             if !live {
@@ -1369,12 +1477,38 @@ impl BddManager {
     /// node count exceeds the current trigger. Call at natural boundaries
     /// (between sweep candidates, between fixpoint iterations) with the
     /// handles that must survive. Returns whether a collection ran.
+    ///
+    /// When a collection does run, this is also the auto-reorder hook: with
+    /// [`set_auto_reorder`](Self::set_auto_reorder) enabled and the live set
+    /// still more than `REORDER_GROWTH ×` the post-sift baseline after
+    /// collecting, a [`sift`](Self::sift) pass runs over the same roots
+    /// (`MCT_BDD_SIFT_STRESS` forces one at every collection).
     pub fn maybe_collect_garbage(&mut self, roots: &[Bdd]) -> bool {
         if self.num_nodes() <= self.gc_trigger {
             return false;
         }
         self.collect_garbage(roots);
+        if sift_stress()
+            || (self.auto_reorder
+                && self.num_nodes() > REORDER_GROWTH * self.reorder_baseline.max(REORDER_MIN_NODES))
+        {
+            self.sift(roots);
+        }
         true
+    }
+
+    /// Enables growth-triggered Rudell sifting at
+    /// [`maybe_collect_garbage`](Self::maybe_collect_garbage) boundaries.
+    /// Off by default: reordering only ever changes node counts and time,
+    /// never function handles or results, but the time is not always won
+    /// back on small graphs.
+    pub fn set_auto_reorder(&mut self, enabled: bool) {
+        self.auto_reorder = enabled;
+    }
+
+    /// The current variable order, root-most level first.
+    pub fn level_order(&self) -> Vec<Var> {
+        self.level2var.iter().map(|&v| Var(v)).collect()
     }
 
     /// Overrides the live-node count that arms
@@ -1405,6 +1539,9 @@ impl BddManager {
             nodes_freed: self.nodes_freed,
             ops_cache_hits: self.ops_hits,
             ops_cache_lookups: self.ops_lookups,
+            reorder_runs: self.reorder_runs,
+            reorder_swaps: self.reorder_swaps,
+            mvec_memo_hits: 0,
         }
     }
 }
@@ -1424,6 +1561,14 @@ pub struct BddStats {
     pub ops_cache_hits: u64,
     /// ITE ops-cache lookups.
     pub ops_cache_lookups: u64,
+    /// Completed sift (dynamic variable reordering) passes.
+    pub reorder_runs: u64,
+    /// Adjacent-level swaps performed across all sift passes.
+    pub reorder_swaps: u64,
+    /// Decision outcomes answered from the discretized-shift-vector memo
+    /// instead of being re-derived. Filled in by the analysis layer (the
+    /// memo lives above the kernel); [`BddManager::stats`] reports 0.
+    pub mvec_memo_hits: u64,
 }
 
 impl BddStats {
@@ -1445,6 +1590,9 @@ impl BddStats {
         self.nodes_freed += other.nodes_freed;
         self.ops_cache_hits += other.ops_cache_hits;
         self.ops_cache_lookups += other.ops_cache_lookups;
+        self.reorder_runs += other.reorder_runs;
+        self.reorder_swaps += other.reorder_swaps;
+        self.mvec_memo_hits += other.mvec_memo_hits;
     }
 }
 
@@ -1452,14 +1600,18 @@ impl fmt::Display for BddStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} nodes ({} peak), {} gc runs ({} freed), ops cache {}/{} ({:.1}%)",
+            "{} nodes ({} peak), {} gc runs ({} freed), ops cache {}/{} ({:.1}%), \
+             {} reorders ({} swaps), {} mvec memo hits",
             self.nodes,
             self.peak_nodes,
             self.gc_runs,
             self.nodes_freed,
             self.ops_cache_hits,
             self.ops_cache_lookups,
-            100.0 * self.ops_hit_rate()
+            100.0 * self.ops_hit_rate(),
+            self.reorder_runs,
+            self.reorder_swaps,
+            self.mvec_memo_hits
         )
     }
 }

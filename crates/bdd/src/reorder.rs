@@ -1,0 +1,632 @@
+//! Dynamic variable reordering: complement-edge-safe adjacent-level swaps
+//! and Rudell sifting over the open-addressed arena.
+//!
+//! # The swap invariant
+//!
+//! Swapping adjacent levels `l` (variable `a`) and `l+1` (variable `b`)
+//! rewrites, **in place**, every `a`-node that references a `b`-node:
+//! `F = (a, f0, f1)` becomes `(b, G0, G1)` with
+//! `G0 = mk(a, f0|b̄, f1|b̄)` and `G1 = mk(a, f0|b, f1|b)` — the same
+//! function, re-rooted at `b`. Rewriting in place is what preserves handle
+//! identity: every outstanding [`Bdd`] keeps denoting the same Boolean
+//! function across any number of swaps, so reordering can only ever change
+//! node counts and time, never results.
+//!
+//! Complement edges make the in-place rewrite legal: the stored high child
+//! `f1` is regular (regular-high-child rule), so its `b=1` cofactor
+//! `f1|b` is regular, so `G1 = mk(a, ·, f1|b)` comes out regular — the
+//! rewritten node is already in canonical stored form and needs no
+//! complement flip that would invalidate the handle. (`G0` may be
+//! complemented; low children are allowed to be.)
+//!
+//! No unique-table collision is possible either: pre-existing `b`-nodes
+//! have no `a`-children (levels point downward), while at most one of
+//! `G0`/`G1` can collapse below `a` — so a rewritten node always keeps an
+//! `a`-labeled child and its `(b, G0, G1)` key is fresh.
+//!
+//! # The pass
+//!
+//! A sift pass snapshots pass-local bookkeeping (a `(var, lo, hi)` map, a
+//! reference count per slot, per-variable node buckets) instead of
+//! maintaining global refcounts the kernel doesn't have, then runs the
+//! classic Rudell loop: each variable, largest bucket first, walks to both
+//! ends of the order through adjacent swaps and settles at the level with
+//! the fewest live nodes (aborting a direction that grows the graph past
+//! ~1.2× the best seen). Afterwards the global unique table is rebuilt
+//! from the arena and the ops cache dropped.
+
+use crate::hash::FxHashMap;
+use crate::manager::{triple_hash, Bdd, BddManager, Node, EMPTY, FREE_VAR};
+
+/// Above this many registered variables, `sift` declines to run:
+/// sifting is O(vars × nodes) and graphs this wide (e.g. the deliberate
+/// 10k-variable stack-safety chains) would pay more for the pass than any
+/// order could win back.
+const MAX_SIFT_VARS: usize = 4096;
+
+impl BddManager {
+    /// Runs one Rudell sifting pass over the live graph.
+    ///
+    /// `roots` plays the same role as in
+    /// [`collect_garbage`](Self::collect_garbage): every handle the caller
+    /// intends to keep using must be listed or pinned via
+    /// [`protect`](Self::protect) — the pass starts with a collection so it
+    /// only pays for live nodes. Surviving handles keep denoting the same
+    /// functions; only levels (and therefore node counts) change.
+    pub fn sift(&mut self, roots: &[Bdd]) {
+        if self.var2level.len() < 2 || self.var2level.len() > MAX_SIFT_VARS {
+            return;
+        }
+        self.collect_garbage(roots);
+        if self.unique_len == 0 {
+            return;
+        }
+        let mut pass = SiftPass::new(self, roots);
+        pass.run();
+        let (live, swaps) = (pass.live, pass.swaps);
+        self.rebuild_unique_after_sift(live);
+        self.clear_caches();
+        self.reorder_runs += 1;
+        self.reorder_swaps += swaps;
+        self.reorder_baseline = self.num_nodes();
+    }
+
+    /// Rebuilds the open-addressed unique table from the arena after a
+    /// pass has moved nodes between levels (growing it first if the
+    /// survivors would exceed the 70% load bound).
+    fn rebuild_unique_after_sift(&mut self, live: usize) {
+        let mut cap = self.unique.len();
+        while (live + 1) * 10 >= cap * 7 {
+            cap *= 2;
+        }
+        if cap != self.unique.len() {
+            self.unique = vec![EMPTY; cap];
+            self.unique_mask = cap - 1;
+        } else {
+            self.unique.fill(EMPTY);
+        }
+        self.unique_len = 0;
+        for idx in 1..self.nodes.len() {
+            let n = self.nodes[idx];
+            if n.var >= FREE_VAR {
+                continue;
+            }
+            let mut slot = triple_hash(n.var, n.lo, n.hi) as usize & self.unique_mask;
+            while self.unique[slot] != EMPTY {
+                slot = (slot + 1) & self.unique_mask;
+            }
+            self.unique[slot] = idx as u32;
+            self.unique_len += 1;
+        }
+        debug_assert_eq!(self.unique_len, live);
+        self.maybe_grow_ops();
+    }
+}
+
+/// Pass-local bookkeeping for one sift run. The kernel keeps no global
+/// reference counts, so the pass derives them once (children + roots +
+/// pins) and maintains them exactly across swaps; `live` then always
+/// equals the canonical node count of the rooted functions at the current
+/// order, which is the sift objective.
+struct SiftPass<'a> {
+    m: &'a mut BddManager,
+    /// `(var, lo, hi)` → arena index for every live decision node — the
+    /// pass's unique table (the global one is stale during the pass).
+    map: FxHashMap<(u32, u32, u32), u32>,
+    /// Reference counts per arena slot. Roots and pins contribute one
+    /// count each and are never released, so rooted nodes cannot die.
+    refs: Vec<u32>,
+    /// Live node indices per variable (the per-level sizes Rudell needs).
+    buckets: Vec<Vec<u32>>,
+    /// Position of each live node inside its bucket (exact O(1) removal —
+    /// lazy deletion would leave stale duplicates once freed slots are
+    /// reused for the same variable).
+    node_pos: Vec<u32>,
+    /// Live decision nodes (excluding the terminal).
+    live: usize,
+    swaps: u64,
+    /// Reusable scratch for the per-swap rewrite list.
+    scratch: Vec<u32>,
+}
+
+impl<'a> SiftPass<'a> {
+    fn new(m: &'a mut BddManager, roots: &[Bdd]) -> SiftPass<'a> {
+        let nvars = m.var2level.len();
+        let mut map = FxHashMap::default();
+        map.reserve(m.unique_len * 2);
+        let mut refs = vec![0u32; m.nodes.len()];
+        let mut node_pos = vec![0u32; m.nodes.len()];
+        let mut buckets = vec![Vec::new(); nvars];
+        let mut live = 0usize;
+        for (idx, n) in m.nodes.iter().enumerate().skip(1) {
+            if n.var >= FREE_VAR {
+                continue;
+            }
+            map.insert((n.var, n.lo, n.hi), idx as u32);
+            node_pos[idx] = buckets[n.var as usize].len() as u32;
+            buckets[n.var as usize].push(idx as u32);
+            if n.lo >> 1 != 0 {
+                refs[(n.lo >> 1) as usize] += 1;
+            }
+            if n.hi >> 1 != 0 {
+                refs[(n.hi >> 1) as usize] += 1;
+            }
+            live += 1;
+        }
+        for &r in roots {
+            if !r.is_const() {
+                refs[r.index()] += 1;
+            }
+        }
+        for &idx in m.pins.keys() {
+            refs[idx as usize] += 1;
+        }
+        SiftPass {
+            m,
+            map,
+            refs,
+            buckets,
+            node_pos,
+            live,
+            swaps: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The Rudell driver: sift each populated variable, largest level
+    /// first (big levels have the most to win).
+    fn run(&mut self) {
+        let mut order: Vec<u32> = (0..self.buckets.len() as u32)
+            .filter(|&v| !self.buckets[v as usize].is_empty())
+            .collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(self.buckets[v as usize].len()));
+        for v in order {
+            self.sift_var(v);
+        }
+    }
+
+    /// Walks variable `v` to both ends of the order (closer end first) and
+    /// settles it at the level that minimized the live count.
+    fn sift_var(&mut self, v: u32) {
+        let n = self.m.level2var.len();
+        let start = self.m.var2level[v as usize] as usize;
+        let mut best = self.live;
+        let mut best_level = start;
+        // Abort a direction once the graph grows past ~1.2× the best seen
+        // (the additive slack keeps tiny graphs from aborting on noise).
+        let bound = |best: usize| best + best / 5 + 8;
+        let down_first = n - 1 - start <= start;
+        for phase in 0..2 {
+            let down = down_first == (phase == 0);
+            loop {
+                let cur = self.m.var2level[v as usize] as usize;
+                if down {
+                    if cur + 1 >= n {
+                        break;
+                    }
+                    self.swap_adjacent(cur);
+                } else {
+                    if cur == 0 {
+                        break;
+                    }
+                    self.swap_adjacent(cur - 1);
+                }
+                if self.live < best {
+                    best = self.live;
+                    best_level = self.m.var2level[v as usize] as usize;
+                } else if self.live > bound(best) {
+                    break;
+                }
+            }
+        }
+        // Walk back to the best level; the node count at a given order is
+        // canonical, so arriving there restores exactly `best` nodes.
+        loop {
+            let cur = self.m.var2level[v as usize] as usize;
+            match cur.cmp(&best_level) {
+                std::cmp::Ordering::Less => self.swap_adjacent(cur),
+                std::cmp::Ordering::Greater => self.swap_adjacent(cur - 1),
+                std::cmp::Ordering::Equal => break,
+            }
+        }
+        debug_assert_eq!(self.live, best, "walk-back must restore the best size");
+    }
+
+    /// Swaps the variables at levels `l` and `l+1`, rewriting in place the
+    /// level-`l` nodes that reference level `l+1` (see the module docs for
+    /// why this preserves handle identity and canonicity).
+    fn swap_adjacent(&mut self, l: usize) {
+        let a = self.m.level2var[l];
+        let b = self.m.level2var[l + 1];
+        // Snapshot first: the rewrite allocates into and frees from the
+        // buckets being scanned.
+        let mut list = std::mem::take(&mut self.scratch);
+        list.clear();
+        for &idx in &self.buckets[a as usize] {
+            let n = self.m.nodes[idx as usize];
+            if self.m.nodes[(n.lo >> 1) as usize].var == b
+                || self.m.nodes[(n.hi >> 1) as usize].var == b
+            {
+                list.push(idx);
+            }
+        }
+        for &fi in &list {
+            let n = self.m.nodes[fi as usize];
+            let old = self.map.remove(&(n.var, n.lo, n.hi));
+            debug_assert_eq!(old, Some(fi));
+            let f0 = Bdd(n.lo);
+            let f1 = Bdd(n.hi);
+            let (f00, f01) = self.cofactors_at(f0, b);
+            let (f10, f11) = self.cofactors_at(f1, b);
+            // Build the new children before releasing the old ones — the
+            // grandchildren must not be swept while still in use.
+            let g0 = self.mk_pass(a, f00, f10);
+            let g1 = self.mk_pass(a, f01, f11);
+            debug_assert!(!g1.is_complement(), "regular-high-child violated by swap");
+            debug_assert_ne!(g0, g1, "a node in the rewrite list depends on b");
+            self.release(f0);
+            self.release(f1);
+            self.m.nodes[fi as usize] = Node {
+                var: b,
+                lo: g0.0,
+                hi: g1.0,
+            };
+            let prev = self.map.insert((b, g0.0, g1.0), fi);
+            debug_assert!(prev.is_none(), "swap produced a duplicate node");
+            self.bucket_remove(a, fi);
+            self.bucket_insert(b, fi);
+        }
+        self.scratch = list;
+        self.m.level2var[l] = b;
+        self.m.level2var[l + 1] = a;
+        self.m.var2level[a as usize] = (l + 1) as u32;
+        self.m.var2level[b as usize] = l as u32;
+        self.swaps += 1;
+    }
+
+    /// Semantic cofactors of `f` with respect to variable `b` (resolving
+    /// the handle's complement bit into the children, as the kernel does).
+    fn cofactors_at(&self, f: Bdd, b: u32) -> (Bdd, Bdd) {
+        if f.is_const() {
+            return (f, f);
+        }
+        let n = self.m.nodes[f.index()];
+        if n.var == b {
+            let c = f.0 & 1;
+            (Bdd(n.lo ^ c), Bdd(n.hi ^ c))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Pass-local `mk`: canonicalize, look up, or allocate — returning a
+    /// handle whose reference is owned by the caller.
+    fn mk_pass(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            self.acquire(lo);
+            return lo;
+        }
+        let (lo, hi, neg) = if hi.is_complement() {
+            (lo.complemented(), hi.regular(), 1u32)
+        } else {
+            (lo, hi, 0)
+        };
+        if let Some(&idx) = self.map.get(&(var, lo.0, hi.0)) {
+            self.refs[idx as usize] += 1;
+            return Bdd(idx << 1 | neg);
+        }
+        let idx = match self.m.free.pop() {
+            Some(i) => {
+                self.m.nodes[i as usize] = Node {
+                    var,
+                    lo: lo.0,
+                    hi: hi.0,
+                };
+                i
+            }
+            None => {
+                let i = self.m.nodes.len() as u32;
+                self.m.nodes.push(Node {
+                    var,
+                    lo: lo.0,
+                    hi: hi.0,
+                });
+                i
+            }
+        };
+        if self.refs.len() <= idx as usize {
+            self.refs.resize(idx as usize + 1, 0);
+            self.node_pos.resize(idx as usize + 1, 0);
+        }
+        self.map.insert((var, lo.0, hi.0), idx);
+        self.bucket_insert(var, idx);
+        self.refs[idx as usize] = 1;
+        self.acquire(lo);
+        self.acquire(hi);
+        self.live += 1;
+        if self.live + 1 > self.m.peak_nodes {
+            self.m.peak_nodes = self.live + 1;
+        }
+        Bdd(idx << 1 | neg)
+    }
+
+    #[inline]
+    fn acquire(&mut self, h: Bdd) {
+        if !h.is_const() {
+            self.refs[h.index()] += 1;
+        }
+    }
+
+    /// Drops one reference to `h`, sweeping it (and cascading into its
+    /// children) when the count reaches zero.
+    fn release(&mut self, h: Bdd) {
+        if h.is_const() {
+            return;
+        }
+        let mut stack = vec![h.index() as u32];
+        while let Some(idx) = stack.pop() {
+            let i = idx as usize;
+            debug_assert!(self.refs[i] > 0, "release of an already-dead node");
+            self.refs[i] -= 1;
+            if self.refs[i] == 0 {
+                let n = self.m.nodes[i];
+                let removed = self.map.remove(&(n.var, n.lo, n.hi));
+                debug_assert_eq!(removed, Some(idx));
+                self.bucket_remove(n.var, idx);
+                self.m.nodes[i].var = FREE_VAR;
+                self.m.free.push(idx);
+                self.live -= 1;
+                if n.lo >> 1 != 0 {
+                    stack.push(n.lo >> 1);
+                }
+                if n.hi >> 1 != 0 {
+                    stack.push(n.hi >> 1);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn bucket_insert(&mut self, var: u32, idx: u32) {
+        self.node_pos[idx as usize] = self.buckets[var as usize].len() as u32;
+        self.buckets[var as usize].push(idx);
+    }
+
+    #[inline]
+    fn bucket_remove(&mut self, var: u32, idx: u32) {
+        let pos = self.node_pos[idx as usize] as usize;
+        let bucket = &mut self.buckets[var as usize];
+        debug_assert_eq!(bucket[pos], idx);
+        let last = bucket.pop().expect("bucket_remove from empty bucket");
+        if last != idx {
+            bucket[pos] = last;
+            self.node_pos[last as usize] = pos as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Bdd, BddManager, Var};
+
+    /// Truth table of `f` over variables `0..nvars`, one bool per
+    /// assignment.
+    fn truth(m: &BddManager, f: Bdd, nvars: u32) -> Vec<bool> {
+        (0..1u64 << nvars)
+            .map(|env| m.eval(f, |v| env >> v.index() & 1 == 1))
+            .collect()
+    }
+
+    /// The classic order-sensitive function `x0·x3 ∨ x1·x4 ∨ x2·x5`:
+    /// exponential under the identity order, linear once pairs sit
+    /// together.
+    fn crossed_pairs(m: &mut BddManager) -> Bdd {
+        let mut f = m.zero();
+        for i in 0..3u32 {
+            let x = m.var(Var::new(i));
+            let y = m.var(Var::new(i + 3));
+            let t = m.and(x, y);
+            f = m.or(f, t);
+        }
+        f
+    }
+
+    #[test]
+    fn sift_shrinks_crossed_pairs_and_preserves_semantics() {
+        let mut m = BddManager::new();
+        let f = crossed_pairs(&mut m);
+        let before_truth = truth(&m, f, 6);
+        let before_size = m.size(f);
+        m.sift(&[f]);
+        assert_eq!(truth(&m, f, 6), before_truth, "handle changed meaning");
+        assert!(
+            m.size(f) < before_size,
+            "sift failed to shrink: {} -> {}",
+            before_size,
+            m.size(f)
+        );
+        assert_eq!(m.stats().reorder_runs, 1);
+        assert!(m.stats().reorder_swaps > 0);
+    }
+
+    #[test]
+    fn sift_preserves_handle_identity_and_canonicity() {
+        let mut m = BddManager::new();
+        let f = crossed_pairs(&mut m);
+        let g = {
+            let a = m.var(Var::new(0));
+            let b = m.var(Var::new(4));
+            m.xor(a, b)
+        };
+        let fg = m.and(f, g);
+        m.sift(&[f, g, fg]);
+        // Rebuilding the conjunction must find the very same node: the
+        // rewritten arena is still canonical.
+        assert_eq!(m.and(f, g), fg);
+        // Complement edges still behave.
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        assert_eq!(nnf, f);
+    }
+
+    #[test]
+    fn operations_after_sift_use_the_new_order() {
+        let mut m = BddManager::new();
+        let f = crossed_pairs(&mut m);
+        m.sift(&[f]);
+        let t_before = truth(&m, f, 6);
+        // Mix old handles with freshly built ones across the permuted
+        // order: restrict, compose, quantify.
+        let x0 = m.var(Var::new(0));
+        let r = m.restrict(f, Var::new(3), true);
+        let mut rest = m.zero();
+        for i in 1..3u32 {
+            let x = m.var(Var::new(i));
+            let y = m.var(Var::new(i + 3));
+            let t = m.and(x, y);
+            rest = m.or(rest, t);
+        }
+        let expect = m.or(x0, rest);
+        assert_eq!(r, expect);
+        let e = m.exists(f, &[Var::new(0), Var::new(3)]);
+        let e_truth = truth(&m, e, 6);
+        for env in 0..64u64 {
+            // Existential over {x0, x3}: true iff some setting of those
+            // two bits satisfies f.
+            let direct = (0..4u64).any(|bits| {
+                let probe = (env & !0b1001) | (bits & 1) | ((bits >> 1) << 3);
+                t_before[probe as usize]
+            });
+            assert_eq!(e_truth[env as usize], direct, "env={env:06b}");
+        }
+    }
+
+    #[test]
+    fn sift_respects_pins_and_roots() {
+        let mut m = BddManager::new();
+        let f = crossed_pairs(&mut m);
+        let pinned = {
+            let a = m.var(Var::new(1));
+            let b = m.var(Var::new(5));
+            m.xnor(a, b)
+        };
+        m.protect(pinned);
+        let t_f = truth(&m, f, 6);
+        let t_p = truth(&m, pinned, 6);
+        m.sift(&[f]); // pinned is NOT a root — the pin alone must keep it
+        assert_eq!(truth(&m, f, 6), t_f);
+        assert_eq!(truth(&m, pinned, 6), t_p);
+        m.unprotect(pinned);
+    }
+
+    #[test]
+    fn sift_handles_trivial_managers() {
+        let mut m = BddManager::new();
+        m.sift(&[]); // no variables at all
+        let a = m.var(Var::new(0));
+        m.sift(&[a]); // a single variable
+        assert!(m.eval(a, |_| true));
+        assert_eq!(m.level_order(), vec![Var::new(0)]);
+    }
+
+    #[test]
+    fn repeated_sifts_are_stable() {
+        let mut m = BddManager::new();
+        let f = crossed_pairs(&mut m);
+        m.sift(&[f]);
+        let size1 = m.size(f);
+        let order1 = m.level_order();
+        m.sift(&[f]);
+        assert_eq!(m.size(f), size1, "second sift should find nothing better");
+        assert_eq!(m.level_order(), order1);
+    }
+
+    #[test]
+    fn level_order_is_a_permutation_after_sift() {
+        let mut m = BddManager::new();
+        let f = crossed_pairs(&mut m);
+        m.sift(&[f]);
+        let mut vars: Vec<u32> = m.level_order().iter().map(|v| v.index()).collect();
+        vars.sort_unstable();
+        assert_eq!(vars, (0..6).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sift_through_heavy_complement_edges() {
+        // XOR chains exercise complemented low edges everywhere.
+        let mut m = BddManager::new();
+        let mut f = m.var(Var::new(0));
+        for i in 1..8u32 {
+            let v = m.var(Var::new(i));
+            f = m.xor(f, v);
+        }
+        let t = truth(&m, f, 8);
+        m.sift(&[f]);
+        assert_eq!(truth(&m, f, 8), t);
+        let g = {
+            let mut g = m.var(Var::new(0));
+            for i in 1..8u32 {
+                let v = m.var(Var::new(i));
+                g = m.xor(g, v);
+            }
+            g
+        };
+        assert_eq!(g, f, "canonicity after sift");
+    }
+
+    #[test]
+    fn auto_reorder_fires_under_growth() {
+        let mut m = BddManager::new();
+        m.set_auto_reorder(true);
+        m.set_gc_threshold(16);
+        let f = crossed_pairs(&mut m);
+        // The baseline starts at 1, but REORDER_MIN_NODES gates tiny
+        // graphs: no sift yet (unless the stress env forces one at every
+        // collection, which is exactly its job).
+        let stress =
+            std::env::var_os("MCT_BDD_SIFT_STRESS").is_some_and(|v| !v.is_empty() && v != "0");
+        m.maybe_collect_garbage(&[f]);
+        if !stress {
+            assert_eq!(m.stats().reorder_runs, 0, "tiny graphs must not sift");
+        }
+        // A forced sift still works through the public entry point.
+        let runs_before = m.stats().reorder_runs;
+        m.sift(&[f]);
+        assert_eq!(m.stats().reorder_runs, runs_before + 1);
+        assert_eq!(truth(&m, f, 6), truth(&m, f, 6));
+    }
+
+    #[test]
+    fn randomized_sift_stress_preserves_all_roots() {
+        // Deterministic pseudo-random formulas over 10 vars; sift after
+        // each batch and verify every retained root's truth table.
+        let mut m = BddManager::new();
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut roots: Vec<(Bdd, Vec<bool>)> = Vec::new();
+        for _ in 0..6 {
+            let mut f = m.constant(rng() & 1 == 1);
+            for _ in 0..12 {
+                let v = m.var(Var::new((rng() % 10) as u32));
+                f = match rng() % 3 {
+                    0 => m.and(f, v),
+                    1 => m.or(f, v),
+                    _ => m.xor(f, v),
+                };
+            }
+            let t = truth(&m, f, 10);
+            roots.push((f, t));
+            let handles: Vec<Bdd> = roots.iter().map(|&(h, _)| h).collect();
+            m.sift(&handles);
+            for (h, expect) in &roots {
+                assert_eq!(&truth(&m, *h, 10), expect);
+            }
+        }
+        assert!(m.stats().reorder_runs >= 6);
+    }
+}

@@ -19,7 +19,7 @@
 //! to filter by scenario-name substring.
 
 use mct_bdd::BddManager;
-use mct_core::{MctAnalyzer, MctOptions};
+use mct_core::{MctAnalyzer, MctOptions, VarOrder};
 use mct_gen::{paper_figure2, standard_suite};
 use mct_netlist::{FsmView, PinDelay, Time};
 use mct_sim::{SimConfig, Simulator};
@@ -437,6 +437,87 @@ fn bench_bdd_ops(h: &mut Harness) {
     });
 }
 
+/// A 16-bit parity chain feeding one register: the classic order-neutral
+/// control case (parity BDDs are linear in any variable order).
+fn parity16_circuit() -> mct_netlist::Circuit {
+    use mct_netlist::{Circuit, GateKind};
+    let mut c = Circuit::new("parity16");
+    let q = c.add_dff("q", false, Time::ZERO);
+    let mut acc = q;
+    for i in 0..16 {
+        let x = c.add_input(format!("x{i}"));
+        acc = c.add_gate(
+            format!("p{i}"),
+            GateKind::Xor,
+            &[acc, x],
+            Time::from_f64(0.3),
+        );
+    }
+    c.connect_dff_data("q", acc).unwrap();
+    c.set_output(acc);
+    c
+}
+
+/// Variable-ordering policies on the composite machines (the paper's
+/// s5378/s15850 stand-ins) and the parity control: wall time through the
+/// harness, peak arena nodes printed per scenario (deterministic on the
+/// single-thread path — `BENCH_4.json` is transcribed from this output).
+fn bench_ordering(h: &mut Harness) {
+    let suite = standard_suite();
+    let parity16 = parity16_circuit();
+    let scenarios: Vec<(&str, &mct_netlist::Circuit, MctOptions)> = vec![
+        (
+            "syn-s5378x",
+            &suite
+                .iter()
+                .find(|e| e.circuit.name() == "syn-s5378x")
+                .expect("suite circuit")
+                .circuit,
+            MctOptions::paper(),
+        ),
+        (
+            "syn-s15850x",
+            &suite
+                .iter()
+                .find(|e| e.circuit.name() == "syn-s15850x")
+                .expect("suite circuit")
+                .circuit,
+            MctOptions::paper(),
+        ),
+        ("parity16", &parity16, MctOptions::fixed_delays()),
+    ];
+    for (name, circuit, base) in scenarios {
+        for (label, ordering) in [
+            ("alloc", VarOrder::Alloc),
+            ("static", VarOrder::Static),
+            ("sift", VarOrder::Sift),
+        ] {
+            let scenario = format!("ordering/{name}/{label}");
+            if !h.wants(&scenario) {
+                continue;
+            }
+            let opts = MctOptions {
+                ordering,
+                ..base.clone()
+            };
+            // One deterministic probe run for the node-count column.
+            let report = MctAnalyzer::new(circuit).unwrap().run(&opts).unwrap();
+            println!(
+                "{scenario:<44} peak_nodes {} (reorders {}, swaps {})",
+                report.kernel.peak_nodes, report.kernel.reorder_runs, report.kernel.reorder_swaps
+            );
+            h.bench(&scenario, || {
+                MctAnalyzer::new(circuit)
+                    .unwrap()
+                    .run(&opts)
+                    .unwrap()
+                    .kernel
+                    .peak_nodes
+            });
+        }
+    }
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_table1(&mut h);
@@ -447,6 +528,7 @@ fn main() {
     bench_substrates(&mut h);
     bench_substrates_extra(&mut h);
     bench_bdd_ops(&mut h);
+    bench_ordering(&mut h);
     bench_parallel(&mut h);
     if h.results.is_empty() {
         eprintln!("no scenario matched the filter");

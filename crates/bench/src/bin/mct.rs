@@ -18,6 +18,9 @@
 //!   --lp              Section-7 path-coupled linear programs
 //!   --threads N       sweep worker threads (0 = all CPUs; default 1);
 //!                     the report is identical at every thread count
+//!   --order P         BDD variable ordering: alloc | static | sift
+//!                     (default static); never changes the report, only
+//!                     node counts and wall time
 //!
 //! serve options:
 //!   --listen ADDR        bind address (default 127.0.0.1:7934; port 0 = ephemeral)
@@ -29,7 +32,7 @@
 //!   --quiet              suppress per-request log lines
 //! ```
 
-use mct_core::{MctAnalyzer, MctOptions};
+use mct_core::{MctAnalyzer, MctOptions, VarOrder};
 use mct_netlist::{
     parse_bench, parse_blif, write_bench, write_blif, Circuit, DelayModel, FsmView, Time,
 };
@@ -48,6 +51,7 @@ struct Flags {
     exact: bool,
     lp: bool,
     threads: usize,
+    ordering: VarOrder,
     period: Option<f64>,
     cycles: usize,
     seed: u64,
@@ -77,6 +81,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         exact: false,
         lp: false,
         threads: 1,
+        ordering: VarOrder::default(),
         period: None,
         cycles: 64,
         seed: 1,
@@ -112,6 +117,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|e| format!("bad thread count: {e}"))?
             }
+            "--order" => match it.next().map(String::as_str) {
+                Some("alloc") => f.ordering = VarOrder::Alloc,
+                Some("static") => f.ordering = VarOrder::Static,
+                Some("sift") => f.ordering = VarOrder::Sift,
+                other => return Err(format!("--order needs alloc|static|sift, got {other:?}")),
+            },
             "--model" => match it.next().map(String::as_str) {
                 Some("unit") => f.model = DelayModel::Unit,
                 Some("mapped") => f.model = DelayModel::Mapped,
@@ -206,6 +217,7 @@ fn mct_options(flags: &Flags) -> MctOptions {
         path_coupled_lp: flags.lp,
         exact_check: flags.exact,
         num_threads: flags.threads,
+        ordering: flags.ordering,
         ..MctOptions::paper()
     }
 }
@@ -261,6 +273,9 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
                         "ops_cache_lookups".into(),
                         Json::Int(k.ops_cache_lookups as i64),
                     ),
+                    ("reorder_runs".into(), Json::Int(k.reorder_runs as i64)),
+                    ("reorder_swaps".into(), Json::Int(k.reorder_swaps as i64)),
+                    ("mvec_memo_hits".into(), Json::Int(k.mvec_memo_hits as i64)),
                 ]),
             ));
         }
@@ -417,6 +432,17 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         ("path_coupled_lp".into(), Json::Bool(opts.path_coupled_lp)),
         ("exact_check".into(), Json::Bool(opts.exact_check)),
         ("num_threads".into(), Json::Int(opts.num_threads as i64)),
+        (
+            "ordering".into(),
+            Json::Str(
+                match opts.ordering {
+                    VarOrder::Alloc => "alloc",
+                    VarOrder::Static => "static",
+                    VarOrder::Sift => "sift",
+                }
+                .into(),
+            ),
+        ),
     ]);
     let request = Json::Obj(vec![
         ("type".into(), Json::Str("analyze".into())),
@@ -514,7 +540,8 @@ fn main() -> ExitCode {
     if cmd == "--help" || cmd == "-h" {
         eprintln!(
             "mct analyze <file> [--blif] [--model unit|mapped] [--fixed] \
-             [--no-reachability] [--exact] [--lp] [--threads N] [--json]\n\
+             [--no-reachability] [--exact] [--lp] [--threads N] \
+             [--order alloc|static|sift] [--json]\n\
              mct delays <file> [--blif] [--model unit|mapped]\n\
              mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]\n\
              mct convert <in> <out>\n\

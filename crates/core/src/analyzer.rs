@@ -13,9 +13,31 @@ use mct_bdd::{Bdd, BddManager, BddStats};
 use mct_lp::{LpOutcome, Rat, Simplex};
 use mct_netlist::{Circuit, FsmView, NetId};
 use mct_tbf::{
-    count_states, reachable_states, transfer_bdd, ConeExtractor, DelayClass, TimedVarTable,
+    count_states, export_order, reachable_states, transfer_bdd, ConeExtractor, DelayClass,
+    StaticOrder, TimedVarTable,
 };
 use std::collections::HashMap;
+
+/// Variable-ordering policy for the symbolic kernel.
+///
+/// Ordering is a performance lever only: the analyses compare canonical
+/// function handles, so every policy yields a bit-identical [`MctReport`] —
+/// only node counts and wall time change. For the same reason the policy is
+/// excluded from result-cache fingerprints.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VarOrder {
+    /// First-use allocation order (the historical behaviour).
+    Alloc,
+    /// Structural static order computed from the netlist before any BDD is
+    /// built (see [`StaticOrder`]): leaves clustered by a sink-DFS over the
+    /// gate DAG, timed copies of each leaf interleaved at adjacent levels.
+    #[default]
+    Static,
+    /// The static order plus growth-triggered Rudell sifting in every
+    /// manager (main, workers); learned orders propagate to warm-start
+    /// snapshots and sweep workers.
+    Sift,
+}
 
 /// Configuration of a cycle-time analysis.
 #[derive(Clone, Debug)]
@@ -69,6 +91,9 @@ pub struct MctOptions {
     /// only the Φ-signature memo. The report is bit-identical at every
     /// thread count.
     pub num_threads: usize,
+    /// Variable-ordering policy for every BDD manager the analysis builds.
+    /// Never changes the report — see [`VarOrder`].
+    pub ordering: VarOrder,
 }
 
 impl Default for MctOptions {
@@ -88,6 +113,7 @@ impl Default for MctOptions {
             max_product_bits: 48,
             time_budget_ms: None,
             num_threads: 1,
+            ordering: VarOrder::default(),
         }
     }
 }
@@ -304,6 +330,33 @@ impl<'c> MctAnalyzer<'c> {
             .map(|(i, c)| ((c.leaf, c.delay), i))
             .collect();
 
+        let floor = match opts.exhaustive_floor {
+            Some(tau) => Rat::new((tau * 1000.0).round() as i64, 1),
+            None => Rat::new(l_millis, opts.floor_divisor.max(1)),
+        };
+        if opts.ordering != VarOrder::Alloc {
+            // Pin the structural order before any BDD is built. The largest
+            // shift a sweep can reference appears at the floor period:
+            // ⌈L/floor⌉ (+1 slack); shifts past the clamp fall back to
+            // allocation order at the bottom of the table.
+            let floor_millis = floor.as_f64();
+            let max_shift = if floor_millis > 0.0 {
+                (l_millis as f64 / floor_millis).ceil() as i64 + 1
+            } else {
+                64
+            }
+            .clamp(1, 128);
+            if let Some(snap) = warm {
+                // Inherit the snapshot's (possibly sifted) order for the
+                // variables it knows; the structural order fills the rest.
+                table.preregister(snap.table.iter().map(|(tv, _)| tv));
+            }
+            StaticOrder::compute(view, max_shift).apply(table);
+        }
+        if opts.ordering == VarOrder::Sift {
+            manager.set_auto_reorder(true);
+        }
+
         let mut ctx = DecisionContext::new(&extractor, manager, table)?;
         let mut restriction = None;
         let mut snapshot = None;
@@ -327,6 +380,9 @@ impl<'c> MctAnalyzer<'c> {
             // past this analyzer's lifetime.
             let mut snap_manager = BddManager::new();
             let mut snap_table = TimedVarTable::new();
+            // The snapshot carries the current level order (learned by
+            // sifting, if any) so warm starts inherit it.
+            snap_table.preregister(export_order(manager, table));
             let snap_set = transfer_bdd(manager, table, r, &mut snap_manager, &mut snap_table)?;
             snapshot = Some(ReachSnapshot {
                 manager: snap_manager,
@@ -336,10 +392,6 @@ impl<'c> MctAnalyzer<'c> {
             });
         }
 
-        let floor = match opts.exhaustive_floor {
-            Some(tau) => Rat::new((tau * 1000.0).round() as i64, 1),
-            None => Rat::new(l_millis, opts.floor_divisor.max(1)),
-        };
         let bp_delays: Vec<i64> = intervals.iter().flat_map(|&(lo, hi)| [lo, hi]).collect();
 
         let shared = SweepShared {
@@ -347,6 +399,14 @@ impl<'c> MctAnalyzer<'c> {
             intervals,
             class_ix,
             l_millis,
+            // Workers pre-register the main manager's current level order
+            // (the static order, refined by any sifting reachability
+            // triggered) instead of re-deriving it.
+            order: if opts.ordering == VarOrder::Alloc {
+                Vec::new()
+            } else {
+                export_order(manager, table)
+            },
             opts: opts.clone(),
         };
         let sweep = parallel::plan(&bp_delays, floor, &shared);
@@ -386,6 +446,9 @@ impl<'c> MctAnalyzer<'c> {
             states
         };
         parallel::reconcile(&shared, &sweep, states, &mut report)?;
+        // Kernel-level diagnostics the reconciler cannot reconstruct: how
+        // many decisions were answered by the cross-thread σ memo.
+        report.kernel.mvec_memo_hits = memo.hits();
         // The main manager contributed the steady machine and (when enabled)
         // the reachability fixpoint; on the 1-thread path it also ran the
         // whole sweep.
@@ -667,6 +730,60 @@ mod tests {
             .unwrap();
         let warm_fixed = strip_kernel(warm_fixed);
         assert_eq!(format!("{cold_fixed:?}"), format!("{warm_fixed:?}"));
+    }
+
+    #[test]
+    fn mvec_memo_hits_surface_in_kernel() {
+        let c = figure2();
+        let opts = MctOptions {
+            exhaustive_floor: Some(1.0),
+            ..MctOptions::default()
+        };
+        let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
+        // Single-threaded the sweep runs in τ order, so every repeated σ is
+        // answered by the memo and every memo answer is a repeat: the
+        // kernel counter equals the reconciled cache-hit count exactly.
+        assert!(report.sigma_cache_hits > 0, "{report:?}");
+        assert_eq!(
+            report.kernel.mvec_memo_hits, report.sigma_cache_hits as u64,
+            "{:?}",
+            report.kernel
+        );
+        // Multi-threaded the counter depends on scheduling, but with this
+        // many repeats some decisions must short-circuit.
+        let par = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions {
+                num_threads: 4,
+                ..opts
+            })
+            .unwrap();
+        assert!(par.kernel.mvec_memo_hits > 0, "{:?}", par.kernel);
+    }
+
+    #[test]
+    fn reports_identical_across_ordering_policies() {
+        let c = figure2();
+        let base = MctOptions {
+            exhaustive_floor: Some(1.0),
+            ..MctOptions::default()
+        };
+        let run = |ordering| {
+            strip_kernel(
+                MctAnalyzer::new(&c)
+                    .unwrap()
+                    .run(&MctOptions {
+                        ordering,
+                        ..base.clone()
+                    })
+                    .unwrap(),
+            )
+        };
+        let alloc = run(VarOrder::Alloc);
+        let fixed = run(VarOrder::Static);
+        let sift = run(VarOrder::Sift);
+        assert_eq!(format!("{alloc:?}"), format!("{fixed:?}"));
+        assert_eq!(format!("{alloc:?}"), format!("{sift:?}"));
     }
 
     #[test]

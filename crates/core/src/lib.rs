@@ -80,7 +80,7 @@ mod sigma;
 #[cfg(test)]
 mod proptests;
 
-pub use analyzer::{MctAnalyzer, MctOptions, MctReport, ReachSnapshot, ValidityRegion};
+pub use analyzer::{MctAnalyzer, MctOptions, MctReport, ReachSnapshot, ValidityRegion, VarOrder};
 pub use breakpoints::BreakpointIter;
 pub use decision::{DecisionContext, DecisionOutcome};
 pub use error::MctError;

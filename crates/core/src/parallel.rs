@@ -34,7 +34,7 @@
 //! simply discarded by the reconciler (and mostly avoided by the shared
 //! stop-index the workers publish).
 
-use crate::analyzer::{lp_max_tau, MctOptions, MctReport, ValidityRegion};
+use crate::analyzer::{lp_max_tau, MctOptions, MctReport, ValidityRegion, VarOrder};
 use crate::breakpoints::BreakpointIter;
 use crate::decision::{DecisionContext, DecisionOutcome};
 use crate::error::MctError;
@@ -44,11 +44,11 @@ use mct_bdd::BddManager;
 use mct_bdd::BddStats;
 use mct_lp::Rat;
 use mct_netlist::FsmView;
-use mct_tbf::{transfer_bdd, ConeExtractor, DelayClass, DiscreteMachine, TimedVarTable};
+use mct_tbf::{transfer_bdd, ConeExtractor, DelayClass, DiscreteMachine, TimedVar, TimedVarTable};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -62,6 +62,10 @@ pub(crate) struct SweepShared {
     pub class_ix: HashMap<(usize, i64), usize>,
     /// The steady-state delay `L` in milli-units.
     pub l_millis: i64,
+    /// Level order of the main manager at sweep start, for workers to
+    /// pre-register into their private tables (empty under
+    /// [`VarOrder::Alloc`]).
+    pub order: Vec<TimedVar>,
     /// The analysis options.
     pub opts: MctOptions,
 }
@@ -150,6 +154,12 @@ pub(crate) struct CandidateEval {
 /// so the memo is safely shared across threads.
 pub(crate) struct SigmaMemo {
     shards: Vec<Mutex<HashMap<Vec<i64>, DecisionOutcome>>>,
+    /// Number of lookups answered by the memo, across all threads. Unlike
+    /// the reconciled `sigma_cache_hits` (a pure function of the τ-ordered
+    /// occurrence sequence), this counts *actual* short-circuited decisions
+    /// and so depends on worker scheduling; it is surfaced as the
+    /// [`mct_bdd::BddStats::mvec_memo_hits`] kernel diagnostic.
+    hits: AtomicU64,
 }
 
 impl SigmaMemo {
@@ -158,7 +168,13 @@ impl SigmaMemo {
             shards: (0..num_shards.max(1))
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            hits: AtomicU64::new(0),
         }
+    }
+
+    /// Lookups answered from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 
     fn shard(&self, sigma: &[i64]) -> &Mutex<HashMap<Vec<i64>, DecisionOutcome>> {
@@ -168,11 +184,16 @@ impl SigmaMemo {
     }
 
     fn get(&self, sigma: &[i64]) -> Option<DecisionOutcome> {
-        self.shard(sigma)
+        let outcome = self
+            .shard(sigma)
             .lock()
             .expect("memo shard")
             .get(sigma)
-            .copied()
+            .copied();
+        if outcome.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
     }
 
     fn insert(&self, sigma: &[i64], outcome: DecisionOutcome) {
@@ -397,6 +418,12 @@ fn worker_loop(
     let extractor = ConeExtractor::new(view).with_node_limit(shared.opts.cone_node_limit);
     let mut manager = BddManager::new();
     let mut table = TimedVarTable::new();
+    if shared.opts.ordering == VarOrder::Sift {
+        manager.set_auto_reorder(true);
+    }
+    // Inherit the main manager's level order (static order, refined by any
+    // sifting it already did) before building anything.
+    table.preregister(shared.order.iter().copied());
     let mut ctx = DecisionContext::new(&extractor, &mut manager, &mut table)?;
     if let Some(r) = reach {
         // Import the restriction computed once on the main manager — a
@@ -664,6 +691,7 @@ mod tests {
             intervals,
             class_ix,
             l_millis,
+            order: Vec::new(),
             opts,
         };
         let bp: Vec<i64> = shared

@@ -18,7 +18,7 @@
 //! thread count, and a longer budget can only produce the same (or a more
 //! complete) report, so neither should split the cache.
 
-use mct_core::{DecisionOutcome, MctOptions, MctReport, ValidityRegion};
+use mct_core::{DecisionOutcome, MctOptions, MctReport, ValidityRegion, VarOrder};
 use mct_lp::Rat;
 
 use crate::json::Json;
@@ -208,6 +208,17 @@ pub fn options_to_json(opts: &MctOptions) -> Json {
             },
         ),
         ("num_threads".into(), Json::Int(opts.num_threads as i64)),
+        (
+            "ordering".into(),
+            Json::Str(
+                match opts.ordering {
+                    VarOrder::Alloc => "alloc",
+                    VarOrder::Static => "static",
+                    VarOrder::Sift => "sift",
+                }
+                .into(),
+            ),
+        ),
     ])
 }
 
@@ -284,6 +295,14 @@ pub fn options_overlay(base: &MctOptions, value: &Json) -> Result<MctOptions, St
             "num_threads" => {
                 opts.num_threads = usize_field(v, "num_threads")?;
             }
+            "ordering" => {
+                opts.ordering = match v.as_str() {
+                    Some("alloc") => VarOrder::Alloc,
+                    Some("static") => VarOrder::Static,
+                    Some("sift") => VarOrder::Sift,
+                    _ => return Err("ordering must be \"alloc\", \"static\", or \"sift\"".into()),
+                };
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -300,9 +319,11 @@ fn usize_field(v: &Json, name: &str) -> Result<usize, String> {
 /// Fingerprints the semantically relevant option fields for the cache key.
 ///
 /// Deliberately excluded: `num_threads` (the parallel sweep is
-/// deterministic — identical report at any thread count) and
+/// deterministic — identical report at any thread count),
 /// `time_budget_ms` (timed-out reports are never cached, and among
-/// non-timed-out runs the budget does not affect the result).
+/// non-timed-out runs the budget does not affect the result), and
+/// `ordering` (variable order changes node counts and wall time, never the
+/// report — see [`VarOrder`]).
 pub fn options_fingerprint(opts: &MctOptions) -> u64 {
     let mut h: u64 = 0x6d63_745f_6f70_7473; // "mct_opts"
     let mut fold = |v: u64| h = mix64(h ^ mix64(v));
@@ -427,6 +448,13 @@ mod tests {
         let bad = Json::parse(r#"{"dalay_variation":null}"#).unwrap();
         let err = options_overlay(&base, &bad).unwrap_err();
         assert!(err.contains("dalay_variation"), "{err}");
+
+        let order = Json::parse(r#"{"ordering":"sift"}"#).unwrap();
+        let opts = options_overlay(&base, &order).unwrap();
+        assert_eq!(opts.ordering, VarOrder::Sift);
+        let bad_order = Json::parse(r#"{"ordering":"random"}"#).unwrap();
+        let err = options_overlay(&base, &bad_order).unwrap_err();
+        assert!(err.contains("ordering"), "{err}");
     }
 
     #[test]
@@ -436,6 +464,7 @@ mod tests {
             exhaustive_floor: Some(1.25),
             time_budget_ms: Some(500),
             num_threads: 3,
+            ordering: VarOrder::Sift,
             ..MctOptions::default()
         };
         let json = options_to_json(&opts);
@@ -449,6 +478,7 @@ mod tests {
         let b = MctOptions {
             num_threads: 8,
             time_budget_ms: Some(10),
+            ordering: VarOrder::Sift,
             ..MctOptions::default()
         };
         assert_eq!(options_fingerprint(&a), options_fingerprint(&b));

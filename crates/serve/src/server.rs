@@ -119,6 +119,9 @@ struct KernelCounters {
     nodes_freed: AtomicU64,
     ops_cache_hits: AtomicU64,
     ops_cache_lookups: AtomicU64,
+    reorder_runs: AtomicU64,
+    reorder_swaps: AtomicU64,
+    mvec_memo_hits: AtomicU64,
 }
 
 impl KernelCounters {
@@ -131,6 +134,12 @@ impl KernelCounters {
             .fetch_add(k.ops_cache_hits, Ordering::Relaxed);
         self.ops_cache_lookups
             .fetch_add(k.ops_cache_lookups, Ordering::Relaxed);
+        self.reorder_runs
+            .fetch_add(k.reorder_runs, Ordering::Relaxed);
+        self.reorder_swaps
+            .fetch_add(k.reorder_swaps, Ordering::Relaxed);
+        self.mvec_memo_hits
+            .fetch_add(k.mvec_memo_hits, Ordering::Relaxed);
     }
 
     fn to_json(&self) -> Json {
@@ -141,6 +150,9 @@ impl KernelCounters {
             ("nodes_freed".into(), load(&self.nodes_freed)),
             ("ops_cache_hits".into(), load(&self.ops_cache_hits)),
             ("ops_cache_lookups".into(), load(&self.ops_cache_lookups)),
+            ("reorder_runs".into(), load(&self.reorder_runs)),
+            ("reorder_swaps".into(), load(&self.reorder_swaps)),
+            ("mvec_memo_hits".into(), load(&self.mvec_memo_hits)),
         ])
     }
 }

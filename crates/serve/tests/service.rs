@@ -152,6 +152,37 @@ fn renamed_and_reordered_netlist_hits_the_same_cache_entry() {
 }
 
 #[test]
+fn ordering_option_does_not_split_the_cache() {
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    // Variable ordering only changes node counts and wall time, never the
+    // report, so every policy must share one cache entry.
+    let alloc = Json::parse(r#"{"ordering":"alloc"}"#).unwrap();
+    let sift = Json::parse(r#"{"ordering":"sift"}"#).unwrap();
+    let first = client
+        .analyze(FIG2, "bench", Some("fig2"), Some(&alloc))
+        .unwrap();
+    assert_eq!(cache_label(&first), "miss");
+    let second = client
+        .analyze(FIG2, "bench", Some("fig2"), Some(&sift))
+        .unwrap();
+    assert_eq!(
+        cache_label(&second),
+        "hit",
+        "a different ordering must replay the cached report"
+    );
+    assert_eq!(first.get("key"), second.get("key"));
+    assert_eq!(report_text(&first), report_text(&second));
+
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
 fn different_options_warm_start_matches_a_cold_run() {
     let fixed = Json::parse(r#"{"delay_variation":null}"#).unwrap();
 

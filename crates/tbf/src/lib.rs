@@ -48,6 +48,7 @@
 mod ast;
 mod error;
 mod extract;
+mod order;
 mod reachability;
 mod symbolic;
 mod transfer;
@@ -57,6 +58,7 @@ mod waveform;
 pub use ast::Tbf;
 pub use error::TbfError;
 pub use extract::{ConeExtractor, DelayClass, DiscreteMachine, LeafPolicy, PathEdge};
+pub use order::{export_order, OrderPolicy, StaticOrder};
 pub use reachability::{count_states, reachable_states};
 pub use symbolic::circuit_tbf;
 pub use transfer::transfer_bdd;

@@ -89,6 +89,11 @@ impl fmt::Display for TimedVar {
 /// references get equal BDD variables — the precondition for comparing
 /// functions by canonicity.
 ///
+/// Allocation order doubles as the initial BDD variable order (the manager
+/// places new variables at the bottom of the current level permutation), so
+/// [`preregister`](Self::preregister)ing a structural order into a fresh
+/// table — see [`crate::StaticOrder`] — fully controls the starting levels.
+///
 /// # Examples
 ///
 /// ```
@@ -121,6 +126,16 @@ impl TimedVarTable {
         self.forward.insert(tv, v);
         self.reverse.push(tv);
         v
+    }
+
+    /// Registers `tvs` in sequence, allocating dense indices in exactly
+    /// that order (already-registered entries keep their index). Used to
+    /// pin a precomputed variable order before extraction touches the
+    /// table.
+    pub fn preregister<I: IntoIterator<Item = TimedVar>>(&mut self, tvs: I) {
+        for tv in tvs {
+            self.var(tv);
+        }
     }
 
     /// The existing BDD variable for `tv`, if allocated.

@@ -7,7 +7,7 @@
 //! when a report change is intentional and called out in CHANGES.md.
 
 use mct_serve::report::report_to_json;
-use mct_suite::core::{MctAnalyzer, MctOptions};
+use mct_suite::core::{MctAnalyzer, MctOptions, VarOrder};
 use mct_suite::gen::families;
 use mct_suite::netlist::{parse_bench, Circuit, DelayModel};
 use std::fmt::Write as _;
@@ -46,9 +46,10 @@ fn corpus() -> Vec<(String, Circuit, MctOptions)> {
 
 /// A run that errors (budget caps) must error identically on every kernel,
 /// so error text participates in the golden capture too.
-fn report_line(circuit: &Circuit, threads: usize, base: &MctOptions) -> String {
+fn report_line(circuit: &Circuit, threads: usize, ordering: VarOrder, base: &MctOptions) -> String {
     let opts = MctOptions {
         num_threads: threads,
+        ordering,
         ..base.clone()
     };
     let outcome = MctAnalyzer::new(circuit)
@@ -60,19 +61,27 @@ fn report_line(circuit: &Circuit, threads: usize, base: &MctOptions) -> String {
     }
 }
 
-/// Reports must be identical at 1, 2, and 4 worker threads, and must match
-/// the golden capture from the previous kernel byte for byte.
+/// Reports must be identical at 1, 2, and 4 worker threads and under every
+/// variable-ordering policy (ordering only changes node counts, never
+/// results), and must match the golden capture from the previous kernel
+/// byte for byte.
 #[test]
 fn reports_replay_byte_identical() {
     let mut rendered = String::new();
     for (name, circuit, opts) in corpus() {
-        let base = report_line(&circuit, 1, &opts);
-        for threads in [2usize, 4] {
-            let got = report_line(&circuit, threads, &opts);
-            assert_eq!(
-                base, got,
-                "{name}: report at {threads} threads differs from single-threaded run"
-            );
+        let base = report_line(&circuit, 1, VarOrder::Alloc, &opts);
+        for ordering in [VarOrder::Alloc, VarOrder::Static, VarOrder::Sift] {
+            for threads in [1usize, 2, 4] {
+                if (ordering, threads) == (VarOrder::Alloc, 1) {
+                    continue;
+                }
+                let got = report_line(&circuit, threads, ordering, &opts);
+                assert_eq!(
+                    base, got,
+                    "{name}: report at {threads} threads / {ordering:?} ordering \
+                     differs from the single-threaded alloc-order run"
+                );
+            }
         }
         writeln!(rendered, "{name}\t{base}").unwrap();
     }

@@ -1,0 +1,124 @@
+//! Order invariance: the serialized analysis report is byte-identical
+//! under every variable-ordering policy — allocation order, the structural
+//! static order, and static + growth-triggered sifting — and survives
+//! *forced* mid-analysis reordering (`MCT_BDD_SIFT_STRESS=1`, which sifts
+//! at every garbage collection).
+//!
+//! This is the hard correctness bar of the ordering subsystem: variable
+//! order may change node counts and wall time, never results. The analyses
+//! earn this by comparing canonical function handles only; these tests
+//! guard that property end to end, through the parallel sweep and the
+//! warm-start path.
+
+use mct_serve::report::report_to_json;
+use mct_suite::core::{MctAnalyzer, MctOptions, VarOrder};
+use mct_suite::gen::{families, paper_figure2, s27};
+use mct_suite::netlist::{Circuit, DelayModel};
+
+const POLICIES: [VarOrder; 3] = [VarOrder::Alloc, VarOrder::Static, VarOrder::Sift];
+
+/// The invariance corpus: the paper's Figure 2, the ISCAS'89 s27, and
+/// twenty seeded random FSMs (same family parameters as the golden-replay
+/// corpus).
+fn corpus() -> Vec<(String, Circuit, MctOptions)> {
+    let mut out = vec![
+        ("fig2".into(), paper_figure2(), MctOptions::paper()),
+        ("s27".into(), s27(&DelayModel::Mapped), MctOptions::paper()),
+    ];
+    for seed in 0..20u64 {
+        let c = families::random_fsm(seed, 3 + (seed as usize % 3), seed as usize % 2, 10);
+        out.push((format!("random_fsm/{seed}"), c, MctOptions::fixed_delays()));
+    }
+    out
+}
+
+fn serialized(circuit: &Circuit, ordering: VarOrder, threads: usize, base: &MctOptions) -> String {
+    let opts = MctOptions {
+        ordering,
+        num_threads: threads,
+        ..base.clone()
+    };
+    match MctAnalyzer::new(circuit).expect("analyzable").run(&opts) {
+        Ok(report) => report_to_json(&report).to_compact(),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+fn check_corpus(circuits: &[(String, Circuit, MctOptions)], threads: &[usize]) {
+    for (name, circuit, opts) in circuits {
+        let reference = serialized(circuit, VarOrder::Alloc, 1, opts);
+        for &ordering in &POLICIES {
+            for &t in threads {
+                if (ordering, t) == (VarOrder::Alloc, 1) {
+                    continue;
+                }
+                let got = serialized(circuit, ordering, t, opts);
+                assert_eq!(
+                    reference, got,
+                    "{name}: report under {ordering:?} ordering at {t} threads \
+                     differs from the alloc-order sequential run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reports_identical_across_ordering_policies() {
+    check_corpus(&corpus(), &[1, 2, 4]);
+}
+
+/// Warm starts must reproduce the cold report under every policy — the
+/// snapshot carries the learned variable order, and importing it must not
+/// perturb any answer.
+#[test]
+fn warm_start_is_order_invariant() {
+    let c = paper_figure2();
+    for &ordering in &POLICIES {
+        let opts = MctOptions {
+            ordering,
+            ..MctOptions::paper()
+        };
+        let (cold, snap) = MctAnalyzer::new(&c).unwrap().run_warm(&opts, None).unwrap();
+        let snap = snap.expect("reachability on ⇒ snapshot");
+        let (warm, _) = MctAnalyzer::new(&c)
+            .unwrap()
+            .run_warm(&opts, Some(&snap))
+            .unwrap();
+        assert_eq!(
+            report_to_json(&cold).to_compact(),
+            report_to_json(&warm).to_compact(),
+            "{ordering:?}: warm-started report differs from cold"
+        );
+    }
+}
+
+/// Re-runs the invariance check in a child process with
+/// `MCT_BDD_SIFT_STRESS=1`, so the kernel reorders at *every* garbage
+/// collection mid-analysis. The env var is latched once per process, which
+/// is why this needs a child rather than `set_var` in-process.
+#[test]
+fn reports_survive_forced_mid_analysis_reordering() {
+    if std::env::var_os("MCT_ORDER_STRESS_CHILD").is_some() {
+        // We are the child: stress sifting is active. A smaller corpus
+        // keeps the run affordable (every GC now pays a full sift pass).
+        let circuits: Vec<_> = corpus().into_iter().take(8).collect();
+        check_corpus(&circuits, &[1, 4]);
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let status = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "reports_survive_forced_mid_analysis_reordering",
+            "--nocapture",
+        ])
+        .env("MCT_BDD_SIFT_STRESS", "1")
+        .env("MCT_ORDER_STRESS_CHILD", "1")
+        .status()
+        .expect("spawn stress child");
+    assert!(
+        status.success(),
+        "order invariance violated under MCT_BDD_SIFT_STRESS=1"
+    );
+}
