@@ -8,6 +8,8 @@
 //! mct serve    [--listen A] [--workers N] [--cache-dir D] …   analysis daemon
 //! mct query    <file> [--connect A] [options] [--json]        ask the daemon
 //! mct query    --stats|--ping|--shutdown [--connect A]        daemon control
+//! mct fuzz     [--seed S] [--iters N] [--time-budget-ms T] [--corpus DIR]
+//!              [--oracle all|differential|metamorphic|robustness] [--stats-json]
 //!
 //! options:
 //!   --blif            treat <file> as BLIF (default: by extension, else .bench)
@@ -30,6 +32,16 @@
 //!   --max-queue N        queued connections before shedding `busy` (default 32)
 //!   --request-budget S   per-request analysis budget, seconds
 //!   --quiet              suppress per-request log lines
+//!
+//! fuzz options:
+//!   --seed S             master seed (default 1); stdout is a pure function
+//!                        of the flags — wall time goes to stderr only
+//!   --iters N            iterations (default 500)
+//!   --time-budget-ms T   stop after T ms of wall time
+//!   --corpus DIR         replay + mutate DIR/*.bench; write shrunk repros there
+//!   --oracle NAME        all | differential | metamorphic | robustness
+//!   --stats-json         machine-readable stats (adds the one
+//!                        nondeterministic field, `wall_ms`)
 //! ```
 
 use mct_core::{MctAnalyzer, MctOptions, VarOrder};
@@ -69,6 +81,11 @@ struct Flags {
     stats: bool,
     ping: bool,
     shutdown: bool,
+    iters: u64,
+    time_budget_ms: Option<u64>,
+    corpus: Option<String>,
+    oracle: mct_fuzz::OracleSelect,
+    stats_json: bool,
     positional: Vec<String>,
 }
 
@@ -99,6 +116,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         stats: false,
         ping: false,
         shutdown: false,
+        iters: 500,
+        time_budget_ms: None,
+        corpus: None,
+        oracle: mct_fuzz::OracleSelect::All,
+        stats_json: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -191,6 +213,29 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?
             }
+            "--iters" => {
+                f.iters = it
+                    .next()
+                    .ok_or("--iters needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad iteration count: {e}"))?
+            }
+            "--time-budget-ms" => {
+                f.time_budget_ms = Some(
+                    it.next()
+                        .ok_or("--time-budget-ms needs milliseconds")?
+                        .parse()
+                        .map_err(|e| format!("bad time budget: {e}"))?,
+                )
+            }
+            "--corpus" => f.corpus = Some(it.next().ok_or("--corpus needs a path")?.clone()),
+            "--oracle" => {
+                let name = it.next().ok_or("--oracle needs a name")?;
+                f.oracle = mct_fuzz::OracleSelect::parse(name).ok_or(format!(
+                    "--oracle needs all|differential|metamorphic|robustness, got `{name}`"
+                ))?
+            }
+            "--stats-json" => f.stats_json = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => f.positional.push(other.to_owned()),
         }
@@ -486,6 +531,36 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     print_report_response(&response, &flags.connect)
 }
 
+fn cmd_fuzz(flags: &Flags) -> Result<(), String> {
+    let cfg = mct_fuzz::FuzzConfig {
+        seed: flags.seed,
+        iters: flags.iters,
+        time_budget_ms: flags.time_budget_ms,
+        corpus_dir: flags.corpus.as_ref().map(std::path::PathBuf::from),
+        select: flags.oracle,
+        ..mct_fuzz::FuzzConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let stats = mct_fuzz::run(&cfg);
+    let wall = started.elapsed().as_millis() as u64;
+    // stdout is a pure function of the flags; wall time goes to stderr, or
+    // into the single documented `wall_ms` field of --stats-json output.
+    if flags.stats_json {
+        println!("{}", stats.to_json(Some(wall)).to_pretty());
+    } else {
+        print!("{}", stats.table());
+        eprintln!("({wall} ms)");
+    }
+    if stats.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} oracle failure(s) found (see shrunk repros above)",
+            stats.failures.len()
+        ))
+    }
+}
+
 fn expect_type(response: &Json, want: &str) -> Result<(), String> {
     match response.get("type").and_then(Json::as_str) {
         Some(t) if t == want => Ok(()),
@@ -548,7 +623,9 @@ fn main() -> ExitCode {
              mct serve [--listen ADDR] [--workers N] [--cache-capacity N] \
              [--cache-dir DIR] [--max-queue N] [--request-budget SECS] [--quiet]\n\
              mct query <file> [--connect ADDR] [--name NAME] [analysis flags] [--json]\n\
-             mct query --stats|--ping|--shutdown [--connect ADDR]"
+             mct query --stats|--ping|--shutdown [--connect ADDR]\n\
+             mct fuzz [--seed S] [--iters N] [--time-budget-ms T] \
+             [--corpus DIR] [--oracle NAME] [--stats-json]"
         );
         return ExitCode::SUCCESS;
     }
@@ -566,6 +643,7 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
+        "fuzz" => cmd_fuzz(&flags),
         other => Err(format!("unknown command `{other}` (try --help)")),
     };
     match result {

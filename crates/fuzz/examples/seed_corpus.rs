@@ -1,0 +1,133 @@
+//! Regenerates the hand-minimized seed entries of `tests/corpus/` and
+//! probes the sharpness behavior the soundness tests assert. Run from the
+//! workspace root:
+//!
+//! ```text
+//! cargo run --release -p mct-fuzz --example seed_corpus
+//! ```
+
+use std::path::Path;
+
+use mct_core::{MctAnalyzer, MctOptions};
+use mct_fuzz::{check_circuit, save_repro, OracleCtx, OracleOptions, OracleSelect, Provenance};
+use mct_gen::paper_figure2;
+use mct_netlist::{Circuit, GateKind, PinDelay, Time};
+use mct_sim::{functional_trace, DelayMode, SimConfig, Simulator};
+
+/// Two-register ring with an inverting hop: functionally a period-4
+/// counter. The asymmetric NOT pin makes the transition-delay machinery
+/// load-bearing. Ground truth: MCT 1.5 (the slowest hop), and below it the
+/// ring visibly corrupts.
+fn ring2() -> Circuit {
+    let mut c = Circuit::new("ring2");
+    let q0 = c.add_dff("q0", true, Time::ZERO);
+    let q1 = c.add_dff("q1", false, Time::ZERO);
+    let n1 = c.add_gate_with_delays(
+        "n1",
+        GateKind::Not,
+        &[q1],
+        vec![PinDelay::new(
+            Time::from_millis(1500),
+            Time::from_millis(1000),
+        )],
+    );
+    let b0 = c.add_gate("b0", GateKind::Buf, &[q0], Time::from_millis(1000));
+    c.connect_dff_data("q0", n1).unwrap();
+    c.connect_dff_data("q1", b0).unwrap();
+    c.set_output(q1);
+    c
+}
+
+/// Every delay a whole multiple of 1000 milli-units, so each candidate
+/// period the sweep examines lands *exactly on* a breakpoint `k/j` — the
+/// configuration where an interval-endpoint off-by-one would flip the
+/// answer. Functionally an inverter plus an XOR shadow register.
+fn bpgrid() -> Circuit {
+    let mut c = Circuit::new("bpgrid");
+    let q = c.add_dff("q", true, Time::ZERO);
+    let q2 = c.add_dff("q2", false, Time::ZERO);
+    let h = c.add_gate("h", GateKind::Buf, &[q], Time::from_millis(2000));
+    let n = c.add_gate_with_delays(
+        "n",
+        GateKind::Not,
+        &[h],
+        vec![PinDelay::new(
+            Time::from_millis(3000),
+            Time::from_millis(1000),
+        )],
+    );
+    let m = c.add_gate("m", GateKind::Xor, &[q, q2], Time::from_millis(1000));
+    c.connect_dff_data("q", n).unwrap();
+    c.connect_dff_data("q2", m).unwrap();
+    c.set_output(q2);
+    c
+}
+
+fn probe_below_bound(c: &Circuit, tau_millis: i64) {
+    let report = MctAnalyzer::new(c)
+        .unwrap()
+        .run(&MctOptions::paper())
+        .unwrap();
+    println!(
+        "{}: bound {} first_failing {:?}",
+        c.name(),
+        report.mct_upper_bound,
+        report.first_failing_tau
+    );
+    let sim = Simulator::new(c).unwrap();
+    let cfg = SimConfig::at_period(Time::from_millis(tau_millis))
+        .with_cycles(16)
+        .with_delay_mode(DelayMode::Max);
+    let ins = |cycle: usize, i: usize| (cycle + i).is_multiple_of(3);
+    let trace = sim.run(&cfg, ins);
+    let (states, outputs) = functional_trace(c, 16, ins);
+    println!(
+        "  at tau={}: diverges={} first={:?}",
+        tau_millis as f64 / 1000.0,
+        !trace.matches(&states, &outputs),
+        trace.first_divergence(&states)
+    );
+}
+
+fn main() {
+    let dir = Path::new("tests/corpus");
+    let entries: [(&str, Circuit, &str); 3] = [
+        (
+            "fig2",
+            paper_figure2(),
+            "hand seed: the paper's Figure-2 machine; MCT 2.5 beats every \
+             combinational metric (floating 4, topological 5); first failing \
+             period 2.0",
+        ),
+        (
+            "ring2",
+            ring2(),
+            "hand seed: two-register inverting ring with an asymmetric NOT \
+             pin; MCT 1.5, corrupts visibly below it",
+        ),
+        (
+            "bpgrid",
+            bpgrid(),
+            "hand seed: all delays multiples of 1000 so every examined \
+             candidate period lands exactly on a breakpoint k/j",
+        ),
+    ];
+    let mut ctx = OracleCtx::new(OracleSelect::All, OracleOptions::default());
+    for (stem, circuit, detail) in &entries {
+        let prov = Provenance {
+            seed: 0,
+            iteration: 0,
+            oracle: "seed".into(),
+            detail: (*detail).into(),
+        };
+        let path = save_repro(dir, stem, circuit, &prov).expect("write corpus entry");
+        match check_circuit(&mut ctx, circuit, 0xC0FFEE) {
+            None => println!("{} -> {} (oracle stack: pass)", stem, path.display()),
+            Some(f) => println!("{stem}: ORACLE FAILURE [{}] {}", f.oracle, f.detail),
+        }
+    }
+    println!();
+    probe_below_bound(&paper_figure2(), 2250);
+    probe_below_bound(&ring2(), 1250);
+    probe_below_bound(&bpgrid(), 3500);
+}

@@ -1,0 +1,252 @@
+//! The on-disk repro corpus: timed `.bench` files plus JSON provenance.
+//!
+//! ISCAS'89 `.bench` is an untimed format, but fuzzer failures are almost
+//! always *timing*-triggered — a repro that loses its delays loses the bug.
+//! Corpus entries therefore carry delays in comment annotations the stock
+//! parser ignores, so every file stays a valid plain `.bench` circuit for
+//! any other tool while round-tripping exactly through this module:
+//!
+//! ```text
+//! # .delay <gate> <pin> <rise_millis> <fall_millis>
+//! # .clock_to_q <dff> <millis>
+//! # .init <dff> 1
+//! ```
+//!
+//! The first comment line of the file (written by `write_bench`) carries
+//! the circuit name and is restored on parse.
+//!
+//! Next to each `<stem>.bench` sits a `<stem>.json` provenance record
+//! (schema 1): the master seed, iteration number, the oracle that rejected
+//! the circuit, and a human-readable detail string — enough to regenerate
+//! the failure from scratch or to cite it in a regression test.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use mct_netlist::{
+    parse_bench, write_bench, Circuit, DelayModel, NetlistError, Node, PinDelay, Time,
+};
+use mct_serve::Json;
+
+/// Serializes a circuit as annotated `.bench` text; parse back with
+/// [`parse_timed_bench`]. Gate delays and clock-to-Q values are emitted in
+/// declaration order, so equal circuits produce byte-identical files.
+pub fn write_timed_bench(circuit: &Circuit) -> String {
+    let mut out = write_bench(circuit);
+    for (_, node) in circuit.iter() {
+        match node {
+            Node::Gate {
+                name, pin_delays, ..
+            } => {
+                for (p, d) in pin_delays.iter().enumerate() {
+                    out.push_str(&format!(
+                        "# .delay {name} {p} {} {}\n",
+                        d.rise.millis(),
+                        d.fall.millis()
+                    ));
+                }
+            }
+            Node::Dff {
+                name,
+                clock_to_q,
+                init,
+                ..
+            } => {
+                if !clock_to_q.is_zero() {
+                    out.push_str(&format!("# .clock_to_q {name} {}\n", clock_to_q.millis()));
+                }
+                if *init {
+                    // The stock parser defaults power-on values to 0.
+                    out.push_str(&format!("# .init {name} 1\n"));
+                }
+            }
+            Node::Input { .. } => {}
+        }
+    }
+    out
+}
+
+fn annot_err(line: usize, message: String) -> NetlistError {
+    NetlistError::Parse { line, message }
+}
+
+/// Parses annotated `.bench` text produced by [`write_timed_bench`].
+///
+/// The circuit structure is read by the stock parser (with unit delays);
+/// `# .delay` / `# .clock_to_q` annotations then overwrite the timing.
+/// Unannotated gate pins keep the unit delay. Malformed annotations are
+/// structured parse errors, never panics.
+pub fn parse_timed_bench(text: &str) -> Result<Circuit, NetlistError> {
+    let mut circuit = parse_bench(text, &DelayModel::Unit)?;
+    // The first comment line (if any, and not an annotation) is the circuit
+    // name, mirroring what `write_bench` emits.
+    if let Some(first) = text.lines().find(|l| !l.trim().is_empty()) {
+        if let Some(name) = first.trim().strip_prefix('#') {
+            let name = name.trim();
+            if !name.is_empty() && !name.starts_with('.') {
+                circuit.set_name(name);
+            }
+        }
+    }
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        let Some(body) = trimmed.strip_prefix("# .") else {
+            continue;
+        };
+        let tokens: Vec<&str> = body.split_whitespace().collect();
+        match tokens.first().copied() {
+            Some("delay") => {
+                if tokens.len() != 5 {
+                    return Err(annot_err(
+                        line,
+                        format!("expected `# .delay <gate> <pin> <rise> <fall>`, got `{trimmed}`"),
+                    ));
+                }
+                let name = tokens[1];
+                let pin: usize = tokens[2]
+                    .parse()
+                    .map_err(|_| annot_err(line, format!("bad pin index `{}`", tokens[2])))?;
+                let rise = parse_millis(tokens[3], line)?;
+                let fall = parse_millis(tokens[4], line)?;
+                let id = circuit
+                    .lookup(name)
+                    .ok_or_else(|| annot_err(line, format!("unknown gate `{name}` in .delay")))?;
+                circuit
+                    .set_gate_pin_delay(id, pin, PinDelay::new(rise, fall))
+                    .map_err(|e| annot_err(line, format!(".delay {name} {pin}: {e}")))?;
+            }
+            Some("clock_to_q") => {
+                if tokens.len() != 3 {
+                    return Err(annot_err(
+                        line,
+                        format!("expected `# .clock_to_q <dff> <millis>`, got `{trimmed}`"),
+                    ));
+                }
+                let name = tokens[1];
+                let c2q = parse_millis(tokens[2], line)?;
+                let id = circuit.lookup(name).ok_or_else(|| {
+                    annot_err(line, format!("unknown dff `{name}` in .clock_to_q"))
+                })?;
+                circuit
+                    .set_dff_clock_to_q(id, c2q)
+                    .map_err(|e| annot_err(line, format!(".clock_to_q {name}: {e}")))?;
+            }
+            Some("init") => {
+                if tokens.len() != 3 || !matches!(tokens[2], "0" | "1") {
+                    return Err(annot_err(
+                        line,
+                        format!("expected `# .init <dff> <0|1>`, got `{trimmed}`"),
+                    ));
+                }
+                let name = tokens[1];
+                let id = circuit
+                    .lookup(name)
+                    .ok_or_else(|| annot_err(line, format!("unknown dff `{name}` in .init")))?;
+                circuit
+                    .set_dff_init(id, tokens[2] == "1")
+                    .map_err(|e| annot_err(line, format!(".init {name}: {e}")))?;
+            }
+            _ => {} // any other comment
+        }
+    }
+    Ok(circuit)
+}
+
+fn parse_millis(token: &str, line: usize) -> Result<Time, NetlistError> {
+    let millis: i64 = token
+        .parse()
+        .map_err(|_| annot_err(line, format!("bad delay value `{token}`")))?;
+    if millis < 0 {
+        return Err(annot_err(line, format!("negative delay `{token}`")));
+    }
+    Ok(Time::from_millis(millis))
+}
+
+/// Provenance of one corpus entry (schema 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// The master fuzzer seed of the run that found the failure (`0` for
+    /// hand-written entries).
+    pub seed: u64,
+    /// Iteration index within that run.
+    pub iteration: u64,
+    /// Name of the oracle that rejected the circuit.
+    pub oracle: String,
+    /// Human-readable failure description.
+    pub detail: String,
+}
+
+impl Provenance {
+    /// Encodes the record (schema 1).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Int(1)),
+            ("seed".into(), Json::Int(self.seed as i64)),
+            ("iteration".into(), Json::Int(self.iteration as i64)),
+            ("oracle".into(), Json::Str(self.oracle.clone())),
+            ("detail".into(), Json::Str(self.detail.clone())),
+        ])
+    }
+
+    /// Decodes a record; `None` on missing or ill-typed fields.
+    pub fn from_json(value: &Json) -> Option<Provenance> {
+        if value.get("schema")?.as_i64()? != 1 {
+            return None;
+        }
+        Some(Provenance {
+            seed: value.get("seed")?.as_i64()? as u64,
+            iteration: value.get("iteration")?.as_i64()? as u64,
+            oracle: value.get("oracle")?.as_str()?.to_string(),
+            detail: value.get("detail")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// Writes `<stem>.bench` + `<stem>.json` into `dir` (created if missing).
+/// Returns the path of the `.bench` file.
+pub fn save_repro(
+    dir: &Path,
+    stem: &str,
+    circuit: &Circuit,
+    prov: &Provenance,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let bench_path = dir.join(format!("{stem}.bench"));
+    fs::write(&bench_path, write_timed_bench(circuit))?;
+    fs::write(
+        dir.join(format!("{stem}.json")),
+        prov.to_json().to_pretty() + "\n",
+    )?;
+    Ok(bench_path)
+}
+
+/// Loads every `*.bench` in `dir` (sorted by file name, for determinism)
+/// together with its provenance record if a readable sidecar exists.
+/// A missing or unreadable directory yields an empty corpus.
+pub fn load_corpus(dir: &Path) -> Vec<(PathBuf, Circuit, Option<Provenance>)> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "bench"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(circuit) = parse_timed_bench(&text) else {
+            continue;
+        };
+        let prov = fs::read_to_string(path.with_extension("json"))
+            .ok()
+            .and_then(|t| Json::parse(&t).ok())
+            .and_then(|j| Provenance::from_json(&j));
+        out.push((path, circuit, prov));
+    }
+    out
+}

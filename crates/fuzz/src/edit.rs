@@ -1,0 +1,304 @@
+//! Structure-preserving and structure-reducing circuit edits.
+//!
+//! Everything in this module rebuilds a [`Circuit`] from an existing one —
+//! the arena representation has no removal primitives, so edits that delete
+//! nodes (gate splicing, register inputization, pin dropping) re-declare the
+//! surviving nodes in their original relative order and remap references.
+//! The same machinery backs both the mutation operators of the generator and
+//! the delta-debugging shrinker.
+
+use std::collections::{HashMap, HashSet};
+
+use mct_netlist::{Circuit, NetId, Node, PinDelay, Time};
+
+/// A batch of reducing edits applied in one rebuild.
+///
+/// All node references are **net indices in the source circuit**
+/// ([`NetId::index`]). The plan is applied as a whole: splices resolve
+/// transitively, and a gate whose every pin is dropped degenerates into a
+/// splice onto its first original input.
+#[derive(Clone, Debug, Default)]
+pub struct EditPlan {
+    /// Gates to splice out: every use of the gate's output is rewired to the
+    /// gate's first (pin 0) driver.
+    pub splice: HashSet<usize>,
+    /// Flip-flops to convert into primary inputs (cuts the feedback loop
+    /// while keeping the signal available to its fanout).
+    pub inputize: HashSet<usize>,
+    /// Input pins to drop, per gate: `gate net index → pin positions`.
+    pub drop_pins: HashMap<usize, Vec<usize>>,
+    /// Snap every pin delay (and clock-to-Q) to the nearest whole time unit.
+    pub snap_delays: bool,
+}
+
+impl EditPlan {
+    /// Whether the plan performs no edit at all.
+    pub fn is_empty(&self) -> bool {
+        self.splice.is_empty()
+            && self.inputize.is_empty()
+            && self.drop_pins.is_empty()
+            && !self.snap_delays
+    }
+}
+
+fn snap(t: Time) -> Time {
+    // Round to the nearest whole unit (1000 milli-ticks), halves up.
+    let m = t.millis();
+    Time::from_millis((m + 500).div_euclid(1000) * 1000)
+}
+
+fn snap_pin(d: PinDelay) -> PinDelay {
+    PinDelay::new(snap(d.rise), snap(d.fall))
+}
+
+/// Applies `plan` to `circuit`, returning the rebuilt circuit, or `None` if
+/// the result fails validation (e.g. the plan removed every node a primary
+/// output depended on in a way the remap cannot express).
+pub fn apply_plan(circuit: &Circuit, plan: &EditPlan) -> Option<Circuit> {
+    // Where each removed net's uses are redirected, as a source-circuit id.
+    let mut redirect: HashMap<usize, NetId> = HashMap::new();
+    for (id, node) in circuit.iter() {
+        if let Node::Gate { inputs, .. } = node {
+            let dropped = plan.drop_pins.get(&id.index());
+            let all_dropped = dropped.is_some_and(|d| (0..inputs.len()).all(|p| d.contains(&p)));
+            if plan.splice.contains(&id.index()) || all_dropped {
+                redirect.insert(id.index(), inputs[0]);
+            }
+        }
+    }
+    let resolve = |mut id: NetId| -> NetId {
+        // Splice targets are always declared before the gate, so chains are
+        // finite and strictly decreasing.
+        while let Some(&t) = redirect.get(&id.index()) {
+            id = t;
+        }
+        id
+    };
+
+    let mut out = Circuit::new(circuit.name());
+    let mut map: HashMap<usize, NetId> = HashMap::new();
+    for (id, node) in circuit.iter() {
+        match node {
+            Node::Input { name } => {
+                map.insert(id.index(), out.try_add_input(name.clone()).ok()?);
+            }
+            Node::Dff {
+                name,
+                init,
+                clock_to_q,
+                ..
+            } => {
+                let new = if plan.inputize.contains(&id.index()) {
+                    out.try_add_input(name.clone()).ok()?
+                } else {
+                    let c2q = if plan.snap_delays {
+                        snap(*clock_to_q)
+                    } else {
+                        *clock_to_q
+                    };
+                    out.try_add_dff(name.clone(), *init, c2q).ok()?
+                };
+                map.insert(id.index(), new);
+            }
+            Node::Gate {
+                name,
+                kind,
+                inputs,
+                pin_delays,
+            } => {
+                if redirect.contains_key(&id.index()) {
+                    let target = resolve(id);
+                    map.insert(id.index(), *map.get(&target.index())?);
+                    continue;
+                }
+                let dropped = plan.drop_pins.get(&id.index());
+                let mut pins = Vec::new();
+                let mut delays = Vec::new();
+                for (p, (&src, &pd)) in inputs.iter().zip(pin_delays).enumerate() {
+                    if dropped.is_some_and(|d| d.contains(&p)) {
+                        continue;
+                    }
+                    pins.push(*map.get(&resolve(src).index())?);
+                    delays.push(if plan.snap_delays { snap_pin(pd) } else { pd });
+                }
+                let new = out
+                    .try_add_gate_with_delays(name.clone(), *kind, &pins, delays)
+                    .ok()?;
+                map.insert(id.index(), new);
+            }
+        }
+    }
+    for id in circuit.dffs() {
+        if plan.inputize.contains(&id.index()) {
+            continue;
+        }
+        if let Node::Dff {
+            name,
+            data: Some(d),
+            ..
+        } = circuit.node(id)
+        {
+            let src = *map.get(&resolve(*d).index())?;
+            out.connect_dff_data(name, src).ok()?;
+        }
+    }
+    let mut seen = HashSet::new();
+    for &o in circuit.outputs() {
+        let new = *map.get(&resolve(o).index())?;
+        if seen.insert(new.index()) {
+            out.set_output(new);
+        }
+    }
+    out.validate().ok()?;
+    Some(out)
+}
+
+/// Rebuilds the circuit with every signal renamed by `f` (called with the
+/// old name and the declaration index). Structure, declaration order,
+/// delays, and outputs are untouched; the circuit name is preserved.
+///
+/// `f` must be injective over the circuit's names or the rebuild fails.
+pub fn rename_signals(circuit: &Circuit, f: impl Fn(&str, usize) -> String) -> Option<Circuit> {
+    let mut out = Circuit::new(circuit.name());
+    let mut map: HashMap<usize, NetId> = HashMap::new();
+    let mut dff_names: Vec<(String, NetId)> = Vec::new();
+    for (i, (id, node)) in circuit.iter().enumerate() {
+        let name = f(node.name(), i);
+        match node {
+            Node::Input { .. } => {
+                map.insert(id.index(), out.try_add_input(name).ok()?);
+            }
+            Node::Dff {
+                init,
+                clock_to_q,
+                data,
+                ..
+            } => {
+                let new = out.try_add_dff(name.clone(), *init, *clock_to_q).ok()?;
+                map.insert(id.index(), new);
+                if let Some(d) = data {
+                    dff_names.push((name, *d));
+                }
+            }
+            Node::Gate {
+                kind,
+                inputs,
+                pin_delays,
+                ..
+            } => {
+                let pins: Option<Vec<NetId>> = inputs
+                    .iter()
+                    .map(|s| map.get(&s.index()).copied())
+                    .collect();
+                let new = out
+                    .try_add_gate_with_delays(name, *kind, &pins?, pin_delays.clone())
+                    .ok()?;
+                map.insert(id.index(), new);
+            }
+        }
+    }
+    for (name, data) in dff_names {
+        out.connect_dff_data(&name, *map.get(&data.index())?).ok()?;
+    }
+    for &o in circuit.outputs() {
+        out.set_output(*map.get(&o.index())?);
+    }
+    out.validate().ok()?;
+    Some(out)
+}
+
+/// Rebuilds the circuit with flip-flops re-declared in a permuted order:
+/// primary inputs first (original relative order — input identity is
+/// *positional* in the canonical content digest), then registers in
+/// `dff_perm` order, then gates in their original relative order.
+///
+/// The content-canonical digest is invariant under this transform;
+/// declaration-sensitive artifacts (the layout digest, state-bit indices
+/// in diagnostics) are not.
+pub fn permute_registers(circuit: &Circuit, dff_perm: &[usize]) -> Option<Circuit> {
+    let dffs: Vec<NetId> = circuit.dffs();
+    if dff_perm.len() != dffs.len() {
+        return None;
+    }
+    let mut out = Circuit::new(circuit.name());
+    let mut map: HashMap<usize, NetId> = HashMap::new();
+    for id in circuit.inputs() {
+        if let Node::Input { name } = circuit.node(id) {
+            map.insert(id.index(), out.try_add_input(name.clone()).ok()?);
+        }
+    }
+    for &p in dff_perm {
+        let id = *dffs.get(p)?;
+        if let Node::Dff {
+            name,
+            init,
+            clock_to_q,
+            ..
+        } = circuit.node(id)
+        {
+            let new = out.try_add_dff(name.clone(), *init, *clock_to_q).ok()?;
+            map.insert(id.index(), new);
+        }
+    }
+    if map.len() != circuit.num_inputs() + dffs.len() {
+        return None; // not a permutation
+    }
+    for id in circuit.gates() {
+        if let Node::Gate {
+            name,
+            kind,
+            inputs,
+            pin_delays,
+        } = circuit.node(id)
+        {
+            let pins: Option<Vec<NetId>> = inputs
+                .iter()
+                .map(|s| map.get(&s.index()).copied())
+                .collect();
+            let new = out
+                .try_add_gate_with_delays(name.clone(), *kind, &pins?, pin_delays.clone())
+                .ok()?;
+            map.insert(id.index(), new);
+        }
+    }
+    for id in circuit.dffs() {
+        if let Node::Dff {
+            name,
+            data: Some(d),
+            ..
+        } = circuit.node(id)
+        {
+            out.connect_dff_data(name, *map.get(&d.index())?).ok()?;
+        }
+    }
+    for &o in circuit.outputs() {
+        out.set_output(*map.get(&o.index())?);
+    }
+    out.validate().ok()?;
+    Some(out)
+}
+
+/// Returns a copy of the circuit with every pin delay and clock-to-Q delay
+/// scaled by the exact rational `num/den`.
+pub fn scale_delays(circuit: &Circuit, num: i64, den: i64) -> Circuit {
+    let mut out = circuit.clone();
+    for id in circuit.gates() {
+        if let Node::Gate { pin_delays, .. } = circuit.node(id) {
+            for (p, pd) in pin_delays.iter().enumerate() {
+                let scaled = PinDelay::new(
+                    pd.rise.scale_rational(num, den),
+                    pd.fall.scale_rational(num, den),
+                );
+                out.set_gate_pin_delay(id, p, scaled)
+                    .expect("same topology");
+            }
+        }
+    }
+    for id in circuit.dffs() {
+        if let Node::Dff { clock_to_q, .. } = circuit.node(id) {
+            out.set_dff_clock_to_q(id, clock_to_q.scale_rational(num, den))
+                .expect("same topology");
+        }
+    }
+    out
+}

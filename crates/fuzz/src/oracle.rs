@@ -1,0 +1,519 @@
+//! The oracle stack: differential, metamorphic, and robustness checks.
+//!
+//! Every candidate circuit runs through up to three independent oracles:
+//!
+//! * **differential** — the event-driven simulator is the dynamic golden
+//!   model. If the engine certifies minimum cycle time `D_s`, then at any
+//!   period `τ ≥ D_s` the timed machine must match the zero-delay
+//!   functional machine, under worst-case *and* randomly varied bounded
+//!   delays. A mismatch is an unsound bound — the worst bug class.
+//!   Sharpness (divergence *below* the bound) is probed but recorded as a
+//!   statistic only: the paper's `C_x` is a sufficient condition, so a
+//!   period it rejects need not produce an observable divergence.
+//! * **metamorphic** — transformations with known effect on the answer:
+//!   renaming signals and permuting leaf declarations preserve the
+//!   content-canonical digest (and renames preserve the report
+//!   byte-for-byte); scaling every delay by `k` scales the exact bound by
+//!   exactly `k`; the answer is bit-identical across variable orders and
+//!   thread counts; a canonical-identity cache replay returns the original
+//!   bytes.
+//! * **robustness** — serialization round-trips: the timed `.bench` corpus
+//!   format reproduces the circuit exactly (both canonical digests), and
+//!   the BLIF round-trip preserves sequential behaviour. Panics anywhere in
+//!   the stack are caught by the runner and reported as robustness
+//!   failures.
+
+use mct_core::{MctAnalyzer, MctOptions, MctReport, VarOrder};
+use mct_lp::Rat;
+use mct_netlist::{circuit_digests, parse_blif, write_blif, Circuit, DelayModel, Time};
+use mct_serve::report::{options_fingerprint, report_to_json};
+use mct_serve::{CacheKey, ResultCache};
+use mct_sim::{functional_trace, DelayMode, SimConfig, Simulator};
+
+use crate::corpus::{parse_timed_bench, write_timed_bench};
+use crate::edit::{permute_registers, rename_signals, scale_delays};
+
+/// Which oracles to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OracleSelect {
+    /// The full stack (the default).
+    #[default]
+    All,
+    /// Only the simulator-differential oracle.
+    Differential,
+    /// Only the metamorphic checks.
+    Metamorphic,
+    /// Only the serialization/robustness checks.
+    Robustness,
+}
+
+impl OracleSelect {
+    /// Parses a CLI oracle name.
+    pub fn parse(s: &str) -> Option<OracleSelect> {
+        match s {
+            "all" => Some(OracleSelect::All),
+            "differential" => Some(OracleSelect::Differential),
+            "metamorphic" => Some(OracleSelect::Metamorphic),
+            "robustness" => Some(OracleSelect::Robustness),
+            _ => None,
+        }
+    }
+
+    fn differential(self) -> bool {
+        matches!(self, OracleSelect::All | OracleSelect::Differential)
+    }
+
+    fn metamorphic(self) -> bool {
+        matches!(self, OracleSelect::All | OracleSelect::Metamorphic)
+    }
+
+    fn robustness(self) -> bool {
+        matches!(self, OracleSelect::All | OracleSelect::Robustness)
+    }
+}
+
+/// One oracle rejection.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The oracle that rejected the circuit.
+    pub oracle: &'static str,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+/// Tuning knobs for the oracle stack.
+#[derive(Clone, Debug)]
+pub struct OracleOptions {
+    /// Base analysis options. Differential certification requires the delay
+    /// variation here to cover the simulated corners (the default paper
+    /// setting's 90–100% interval does).
+    pub analysis: MctOptions,
+    /// Clock cycles per simulation.
+    pub sim_cycles: usize,
+    /// Number of independently seeded random-variation simulations.
+    pub sim_seeds: usize,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions {
+            // The paper setting, except for a small deterministic sweep
+            // budget. Random circuits routinely have a tiny floor relative
+            // to `L`, which makes the breakpoint grid dense: a 3-gate
+            // machine can legitimately have hundreds of candidate periods,
+            // and the full oracle stack re-runs each sweep ~6 times. A
+            // *wall-clock* budget would make the stats machine-dependent;
+            // capping the candidate count keeps every run bit-identical
+            // while bounding the work. Healthy generator output sweeps
+            // well under 64 candidates; capped sweeps still yield a sound
+            // (partial) certificate and are counted in
+            // [`OracleStats::sweeps_capped`], never silently dropped.
+            analysis: MctOptions {
+                max_candidates: 64,
+                ..MctOptions::paper()
+            },
+            sim_cycles: 24,
+            sim_seeds: 2,
+        }
+    }
+}
+
+/// Deterministic oracle-side counters (no wall-clock anywhere).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Analyzer invocations.
+    pub analyses: u64,
+    /// Timing simulations run.
+    pub sims: u64,
+    /// Analyses that returned a structured error and were skipped.
+    pub analysis_errors: u64,
+    /// Analyses that hit the per-circuit time budget and were skipped.
+    pub analysis_timeouts: u64,
+    /// Base sweeps truncated by the deterministic candidate budget
+    /// ([`MctOptions::max_candidates`]). The partial bound is still sound
+    /// and the oracles still run; this only records that the sweep did not
+    /// reach its floor.
+    pub sweeps_capped: u64,
+    /// Circuits probed below the certified bound.
+    pub sharp_probes: u64,
+    /// Probes that observed real divergence below the bound.
+    pub sharp_confirmed: u64,
+    /// Canonical cache replays exercised.
+    pub cache_replays: u64,
+}
+
+/// Shared oracle state across one fuzzing run.
+pub struct OracleCtx {
+    /// Which oracles run.
+    pub select: OracleSelect,
+    /// Tuning knobs.
+    pub opts: OracleOptions,
+    /// In-process result cache used by the metamorphic replay check.
+    pub cache: ResultCache,
+    /// Counters.
+    pub stats: OracleStats,
+}
+
+impl OracleCtx {
+    /// Creates a context with an in-memory cache.
+    pub fn new(select: OracleSelect, opts: OracleOptions) -> Self {
+        OracleCtx {
+            select,
+            opts,
+            cache: ResultCache::new(256, None),
+            stats: OracleStats::default(),
+        }
+    }
+}
+
+/// A deterministic per-(seed, cycle, pin) input bit — a pure function, so
+/// the functional reference and every simulation see the same stimulus.
+fn input_bit(seed: u64, cycle: usize, pin: usize) -> bool {
+    let mut x = seed
+        ^ (cycle as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (pin as u64 + 1).wrapping_mul(0xd1b5_4a32_d192_ed03);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x & 1 == 1
+}
+
+fn analyze(c: &Circuit, opts: &MctOptions) -> Result<MctReport, String> {
+    let mut an = MctAnalyzer::new(c).map_err(|e| format!("analyzer construction: {e:?}"))?;
+    an.run(opts).map_err(|e| format!("analysis: {e:?}"))
+}
+
+/// Ceil of a non-negative rational in milli-ticks.
+fn ceil_millis(r: Rat) -> i64 {
+    let (n, d) = (r.num(), r.den());
+    if n <= 0 {
+        0
+    } else {
+        (n + d - 1).div_euclid(d)
+    }
+}
+
+/// Runs the selected oracles on one candidate. `stim_seed` drives the
+/// simulated input sequences and the random delay draws (derive it from the
+/// iteration seed for reproducibility).
+///
+/// Returns the first failure found, or `None` if the circuit passes.
+pub fn check_circuit(ctx: &mut OracleCtx, c: &Circuit, stim_seed: u64) -> Option<Failure> {
+    // One base analysis feeds every oracle.
+    ctx.stats.analyses += 1;
+    let base = match analyze(c, &ctx.opts.analysis) {
+        Ok(r) => r,
+        Err(_) => {
+            // Structured engine errors (σ explosion, cone limits) are
+            // legitimate refusals, not bugs; count and move on.
+            ctx.stats.analysis_errors += 1;
+            return None;
+        }
+    };
+    if base.timed_out {
+        ctx.stats.analysis_timeouts += 1;
+        return None;
+    }
+    // A capped sweep counted the (max_candidates + 1)-th breakpoint before
+    // stopping; the partial certificate is still sound, so the oracles
+    // proceed — but the truncation is recorded, never silent.
+    if base.candidates_checked > ctx.opts.analysis.max_candidates {
+        ctx.stats.sweeps_capped += 1;
+    }
+    let base_json = report_to_json(&base).to_compact();
+
+    if ctx.select.differential() {
+        if let Some(f) = differential(ctx, c, &base, stim_seed) {
+            return Some(f);
+        }
+    }
+    if ctx.select.metamorphic() {
+        if let Some(f) = metamorphic(ctx, c, &base, &base_json, stim_seed) {
+            return Some(f);
+        }
+    }
+    if ctx.select.robustness() {
+        if let Some(f) = robustness(ctx, c, stim_seed) {
+            return Some(f);
+        }
+    }
+    None
+}
+
+fn run_sim(
+    ctx: &mut OracleCtx,
+    sim: &Simulator<'_>,
+    period: Time,
+    mode: DelayMode,
+    stim_seed: u64,
+    reference: &(Vec<Vec<bool>>, Vec<Vec<bool>>),
+) -> bool {
+    ctx.stats.sims += 1;
+    let cfg = SimConfig::at_period(period)
+        .with_cycles(ctx.opts.sim_cycles)
+        .with_delay_mode(mode);
+    let trace = sim.run(&cfg, |n, i| input_bit(stim_seed, n, i));
+    trace.matches(&reference.0, &reference.1)
+}
+
+fn differential(
+    ctx: &mut OracleCtx,
+    c: &Circuit,
+    report: &MctReport,
+    stim_seed: u64,
+) -> Option<Failure> {
+    let sim = match Simulator::new(c) {
+        Ok(s) => s,
+        Err(e) => {
+            return Some(Failure {
+                oracle: "differential",
+                detail: format!("simulator rejected a validated circuit: {e:?}"),
+            })
+        }
+    };
+    let reference = functional_trace(c, ctx.opts.sim_cycles, |n, i| input_bit(stim_seed, n, i));
+    // One milli-tick above the certified bound: safely inside the valid
+    // region, immune to boundary ties.
+    let tau_safe = Time::from_millis(ceil_millis(report.bound_exact).max(0) + 1);
+
+    let mut modes = vec![DelayMode::Max];
+    if let Some((num, den)) = ctx.opts.analysis.delay_variation {
+        // The certificate covers the whole variation interval; exercise its
+        // lower corner and random interior points.
+        modes.push(DelayMode::Scaled { num, den });
+        let min_pct = (num * 100 / den).clamp(1, 100) as u8;
+        for k in 0..ctx.opts.sim_seeds {
+            modes.push(DelayMode::RandomUniform {
+                min_factor_percent: min_pct,
+                seed: stim_seed.wrapping_add(k as u64 + 1),
+            });
+        }
+    }
+    for mode in modes {
+        if !run_sim(ctx, &sim, tau_safe, mode, stim_seed, &reference) {
+            return Some(Failure {
+                oracle: "differential",
+                detail: format!(
+                    "divergence from functional trace at certified-safe period \
+                     {}ms under {mode:?} (bound_exact = {}/{}ms)",
+                    tau_safe.millis(),
+                    report.bound_exact.num(),
+                    report.bound_exact.den()
+                ),
+            });
+        }
+    }
+    // Sharpness probe (statistic only; C_x is sufficient, not necessary).
+    if report.first_failing_tau.is_some() {
+        let below = ceil_millis(report.bound_exact) - 1;
+        if below > 0 {
+            ctx.stats.sharp_probes += 1;
+            if !run_sim(
+                ctx,
+                &sim,
+                Time::from_millis(below),
+                DelayMode::Max,
+                stim_seed,
+                &reference,
+            ) {
+                ctx.stats.sharp_confirmed += 1;
+            }
+        }
+    }
+    None
+}
+
+fn metamorphic(
+    ctx: &mut OracleCtx,
+    c: &Circuit,
+    base: &MctReport,
+    base_json: &str,
+    stim_seed: u64,
+) -> Option<Failure> {
+    let digests = circuit_digests(c);
+
+    // 1. Rename: content digest and the full report are invariant.
+    let renamed = rename_signals(c, |_, i| format!("n{i}"))?; // cannot fail: fresh names
+    let rd = circuit_digests(&renamed);
+    if rd.content != digests.content {
+        return Some(Failure {
+            oracle: "metamorphic",
+            detail: "content digest changed under signal rename".into(),
+        });
+    }
+    ctx.stats.analyses += 1;
+    match analyze(&renamed, &ctx.opts.analysis) {
+        Ok(r) => {
+            let j = report_to_json(&r).to_compact();
+            if j != base_json {
+                return Some(Failure {
+                    oracle: "metamorphic",
+                    detail: format!(
+                        "report changed under signal rename:\n  base: {base_json}\n  renamed: {j}"
+                    ),
+                });
+            }
+        }
+        Err(_) => ctx.stats.analysis_errors += 1,
+    }
+
+    // 2. Register-declaration permutation: content digest invariant, and
+    //    the canonical-identity cache replays the original bytes.
+    let ndffs = c.num_dffs();
+    if ndffs > 1 {
+        let mut perm: Vec<usize> = (0..ndffs).collect();
+        // Deterministic rotation + a seed-driven swap.
+        perm.rotate_left(1);
+        let a = (stim_seed as usize) % ndffs;
+        let b = (stim_seed >> 16) as usize % ndffs;
+        perm.swap(a, b);
+        if let Some(permuted) = permute_registers(c, &perm) {
+            let pd = circuit_digests(&permuted);
+            if pd.content != digests.content {
+                return Some(Failure {
+                    oracle: "metamorphic",
+                    detail: "content digest changed under register permutation".into(),
+                });
+            }
+            let fp = options_fingerprint(&ctx.opts.analysis);
+            let key = CacheKey {
+                circuit: digests.content,
+                options: fp,
+            };
+            ctx.cache.insert(key, digests.layout, base_json.to_string());
+            let replay_key = CacheKey {
+                circuit: pd.content,
+                options: fp,
+            };
+            ctx.stats.cache_replays += 1;
+            match ctx.cache.get(replay_key) {
+                Some(hit) if hit.report_json == base_json => {}
+                Some(_) => {
+                    return Some(Failure {
+                        oracle: "metamorphic",
+                        detail: "cache replay returned different bytes for a permuted copy".into(),
+                    })
+                }
+                None => {
+                    return Some(Failure {
+                        oracle: "metamorphic",
+                        detail: "cache miss for a content-identical permuted copy".into(),
+                    })
+                }
+            }
+        }
+    }
+
+    // 3. Uniform delay scaling by k scales the exact bound by exactly k —
+    //    for *completed* sweeps. A candidate-capped sweep truncates at a
+    //    grid index, and the grid itself is not exactly scale-invariant:
+    //    minimum delays are d·9/10 truncated to integer milli-units, so
+    //    ⌊3d·9/10⌋ ≠ 3⌊d·9/10⌋ in general. Only the failing-interval sup
+    //    (built from exact path delays) scales exactly, and a capped
+    //    partial bound is a grid point, not a sup.
+    const K: i64 = 3;
+    let capped = |r: &MctReport| r.candidates_checked > ctx.opts.analysis.max_candidates;
+    let scaled = scale_delays(c, K, 1);
+    ctx.stats.analyses += 1;
+    match analyze(&scaled, &ctx.opts.analysis) {
+        Ok(r) => {
+            if !r.timed_out
+                && !capped(base)
+                && !capped(&r)
+                && r.bound_exact != base.bound_exact * Rat::from_int(K)
+            {
+                return Some(Failure {
+                    oracle: "metamorphic",
+                    detail: format!(
+                        "delay scaling ×{K}: bound {}/{} → {}/{} (expected exact ×{K})",
+                        base.bound_exact.num(),
+                        base.bound_exact.den(),
+                        r.bound_exact.num(),
+                        r.bound_exact.den()
+                    ),
+                });
+            }
+        }
+        Err(_) => ctx.stats.analysis_errors += 1,
+    }
+
+    // 4. Variable order × thread count: bit-identical reports.
+    for (ordering, threads) in [
+        (VarOrder::Alloc, 1),
+        (VarOrder::Static, 2),
+        (VarOrder::Sift, 4),
+    ] {
+        let opts = MctOptions {
+            ordering,
+            num_threads: threads,
+            ..ctx.opts.analysis.clone()
+        };
+        ctx.stats.analyses += 1;
+        match analyze(c, &opts) {
+            Ok(r) => {
+                let j = report_to_json(&r).to_compact();
+                if j != base_json {
+                    return Some(Failure {
+                        oracle: "metamorphic",
+                        detail: format!(
+                            "report differs under ordering={ordering:?} threads={threads}:\n  \
+                             base: {base_json}\n  got:  {j}"
+                        ),
+                    });
+                }
+            }
+            Err(_) => ctx.stats.analysis_errors += 1,
+        }
+    }
+    None
+}
+
+fn robustness(_ctx: &mut OracleCtx, c: &Circuit, stim_seed: u64) -> Option<Failure> {
+    // Timed-bench round trip is exact: both canonical digests and the name.
+    let text = write_timed_bench(c);
+    match parse_timed_bench(&text) {
+        Ok(back) => {
+            let (a, b) = (circuit_digests(c), circuit_digests(&back));
+            if a.content != b.content || a.layout != b.layout || back.name() != c.name() {
+                return Some(Failure {
+                    oracle: "robustness",
+                    detail: "timed .bench round-trip changed the circuit".into(),
+                });
+            }
+        }
+        Err(e) => {
+            return Some(Failure {
+                oracle: "robustness",
+                detail: format!("timed .bench round-trip failed to parse: {e}"),
+            })
+        }
+    }
+    // BLIF drops delays but must preserve sequential behaviour exactly.
+    let blif = write_blif(c);
+    match parse_blif(&blif, &DelayModel::Unit) {
+        Ok(back) => {
+            if back.num_dffs() != c.num_dffs() || back.num_inputs() != c.num_inputs() {
+                return Some(Failure {
+                    oracle: "robustness",
+                    detail: "BLIF round-trip changed the interface".into(),
+                });
+            }
+            let cycles = 8;
+            let f0 = functional_trace(c, cycles, |n, i| input_bit(stim_seed, n, i));
+            let f1 = functional_trace(&back, cycles, |n, i| input_bit(stim_seed, n, i));
+            if f0 != f1 {
+                return Some(Failure {
+                    oracle: "robustness",
+                    detail: "BLIF round-trip changed sequential behaviour".into(),
+                });
+            }
+        }
+        Err(e) => {
+            return Some(Failure {
+                oracle: "robustness",
+                detail: format!("BLIF round-trip failed to parse: {e}"),
+            })
+        }
+    }
+    None
+}

@@ -23,6 +23,15 @@ use crate::Node;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+/// Maximum gate fan-in the text parsers accept.
+///
+/// The in-memory [`Circuit`] is deliberately unbounded, but parsed input is
+/// adversarial (fuzzers, corrupted files): a single line declaring a
+/// million-input gate would otherwise allocate and synthesize without
+/// limit. Both the `.bench` and BLIF readers reject wider gates with a
+/// structured [`NetlistError::Parse`] instead.
+pub const MAX_PARSE_FANIN: usize = 1024;
+
 #[derive(Debug)]
 enum Stmt {
     Input(String),
@@ -93,6 +102,12 @@ fn parse_line(line: &str, lineno: usize) -> Result<Option<Stmt>, NetlistError> {
             .ok_or_else(|| err(format!("unknown gate kind `{head}`")))?;
         if args.is_empty() {
             return Err(err(format!("gate `{name}` has no inputs")));
+        }
+        if args.len() > MAX_PARSE_FANIN {
+            return Err(err(format!(
+                "gate `{name}` has {} inputs (parser fan-in limit is {MAX_PARSE_FANIN})",
+                args.len()
+            )));
         }
         Ok(Some(Stmt::Gate { name, kind, args }))
     } else {

@@ -155,6 +155,16 @@ pub fn parse_blif(text: &str, model: &DelayModel) -> Result<Circuit, NetlistErro
                 }
                 let output = tokens.last().expect("checked").clone();
                 let ins = tokens[1..tokens.len() - 1].to_vec();
+                if ins.len() > crate::bench_io::MAX_PARSE_FANIN {
+                    return Err(err(
+                        line,
+                        format!(
+                            ".names `{output}` has {} inputs (parser fan-in limit is {})",
+                            ins.len(),
+                            crate::bench_io::MAX_PARSE_FANIN
+                        ),
+                    ));
+                }
                 current = Some(NamesBlock {
                     inputs: ins,
                     output,

@@ -241,8 +241,14 @@ pub fn circuit_digests(circuit: &Circuit) -> CircuitDigests {
                 );
             }
         }
-        // Fold each register's data cone back into its leaf label.
-        let mut changed = false;
+        // Fold each register's data cone back into its leaf label. The new
+        // labels are computed from a consistent snapshot and committed
+        // afterwards: a register whose data pin connects *directly* to
+        // another register (no gate in between) must see that register's
+        // start-of-round label — the same state the gate sweep saw — not a
+        // value that depends on how far the update loop has progressed,
+        // which would make the digest declaration-order sensitive.
+        let mut next_labels = Vec::with_capacity(dffs.len());
         for &id in &dffs {
             if let Node::Dff {
                 init,
@@ -262,10 +268,14 @@ pub fn circuit_digests(circuit: &Circuit) -> CircuitDigests {
                         data_label.0[1],
                     ],
                 );
-                if next != labels[id.index()] {
-                    labels[id.index()] = next;
-                    changed = true;
-                }
+                next_labels.push((id.index(), next));
+            }
+        }
+        let mut changed = false;
+        for (idx, next) in next_labels {
+            if next != labels[idx] {
+                labels[idx] = next;
+                changed = true;
             }
         }
         if !changed {
@@ -655,7 +665,11 @@ mod tests {
             .map(|_| {
                 let init = rng.next_u64() % 2 == 1;
                 let c2q = (rng.next_u64() % 4) as i64 * 250;
-                let data = leaves + (rng.next_u64() % num_gates as u64) as usize;
+                // Any node may drive the data pin — including another
+                // register directly, the shape that once exposed a
+                // declaration-order-sensitive label update (see
+                // `direct_register_to_register_data_is_order_invariant`).
+                let data = (rng.next_u64() % (leaves + num_gates) as u64) as usize;
                 (init, c2q, data)
             })
             .collect();
@@ -721,6 +735,48 @@ mod tests {
         for i in (1..xs.len()).rev() {
             let j = (rng.next_u64() % (i as u64 + 1)) as usize;
             xs.swap(i, j);
+        }
+    }
+
+    /// Fuzzer-found regression (mct-fuzz, metamorphic oracle): a register
+    /// whose data pin connects *directly* to another register used to read
+    /// that register's label mid-update, so the digest depended on which
+    /// of the two was declared first.
+    #[test]
+    fn direct_register_to_register_data_is_order_invariant() {
+        let build = |order: &[&str]| {
+            let mut c = Circuit::new("reg2reg");
+            for &name in order {
+                match name {
+                    "q0" => c.add_dff("q0", true, Time::from_millis(250)),
+                    "q1" => c.add_dff("q1", true, Time::from_millis(500)),
+                    "q2" => c.add_dff("q2", false, Time::ZERO),
+                    _ => unreachable!(),
+                };
+            }
+            let q2 = c.lookup("q2").unwrap();
+            let g0 = c.add_gate("g0", GateKind::Buf, &[q2], Time::from_f64(1.5));
+            let q0 = c.lookup("q0").unwrap();
+            let g1 = c.add_gate("g1", GateKind::Not, &[q0], Time::from_f64(4.0));
+            c.connect_dff_data("q0", q2).unwrap(); // register → register
+            c.connect_dff_data("q1", g0).unwrap();
+            c.connect_dff_data("q2", g0).unwrap();
+            c.set_output(g1);
+            c
+        };
+        let base = build(&["q0", "q1", "q2"]);
+        for order in [
+            ["q0", "q2", "q1"],
+            ["q1", "q0", "q2"],
+            ["q1", "q2", "q0"],
+            ["q2", "q0", "q1"],
+            ["q2", "q1", "q0"],
+        ] {
+            assert_eq!(
+                canonical_hash(&base),
+                canonical_hash(&build(&order)),
+                "declaration order {order:?} hashed differently"
+            );
         }
     }
 

@@ -276,6 +276,73 @@ impl Circuit {
         }
     }
 
+    /// Replaces the delay of one gate input pin.
+    ///
+    /// This is the mutation hook used by delay-perturbation tooling (the
+    /// fuzzer's generator and shrinker): the circuit structure is untouched,
+    /// only the timing annotation changes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WrongNodeKind`] if `net` is not a gate, or
+    /// [`NetlistError::BadArity`] if `pin` is out of range.
+    pub fn set_gate_pin_delay(
+        &mut self,
+        net: NetId,
+        pin: usize,
+        delay: PinDelay,
+    ) -> Result<(), NetlistError> {
+        match &mut self.nodes[net.index()] {
+            Node::Gate {
+                name,
+                kind,
+                pin_delays,
+                ..
+            } => {
+                if pin >= pin_delays.len() {
+                    return Err(NetlistError::BadArity {
+                        name: name.clone(),
+                        kind: kind.to_string(),
+                        got: pin,
+                    });
+                }
+                pin_delays[pin] = delay;
+                Ok(())
+            }
+            other => Err(NetlistError::WrongNodeKind(other.name().to_owned())),
+        }
+    }
+
+    /// Replaces the clock-to-Q delay of a flip-flop.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WrongNodeKind`] if `net` is not a flip-flop.
+    pub fn set_dff_clock_to_q(&mut self, net: NetId, delay: Time) -> Result<(), NetlistError> {
+        match &mut self.nodes[net.index()] {
+            Node::Dff { clock_to_q, .. } => {
+                *clock_to_q = delay;
+                Ok(())
+            }
+            other => Err(NetlistError::WrongNodeKind(other.name().to_owned())),
+        }
+    }
+
+    /// Replaces the power-on value of a flip-flop.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WrongNodeKind`] if `net` is not a flip-flop.
+    pub fn set_dff_init(&mut self, net: NetId, value: bool) -> Result<(), NetlistError> {
+        match &mut self.nodes[net.index()] {
+            Node::Dff { init, .. } => {
+                *init = value;
+                Ok(())
+            }
+            other => Err(NetlistError::WrongNodeKind(other.name().to_owned())),
+        }
+    }
+
     /// Marks a net as a primary output (duplicates are ignored).
     pub fn set_output(&mut self, net: NetId) {
         if !self.outputs.contains(&net) {

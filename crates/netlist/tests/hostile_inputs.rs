@@ -1,0 +1,209 @@
+//! Fuzzer-shaped hostile inputs must produce structured errors, never
+//! panics: duplicate signal names, combinational self-loops, dangling
+//! wires, and oversized fan-in, for both text formats.
+//!
+//! These are the regression tests for the parser-hardening pass that rides
+//! with the `mct-fuzz` subsystem — every case here is a shape the random
+//! generator or the delta-debugging shrinker can emit.
+
+use mct_netlist::{parse_bench, parse_blif, DelayModel, NetlistError, MAX_PARSE_FANIN};
+
+fn bench(src: &str) -> Result<mct_netlist::Circuit, NetlistError> {
+    parse_bench(src, &DelayModel::Unit)
+}
+
+fn blif(src: &str) -> Result<mct_netlist::Circuit, NetlistError> {
+    parse_blif(src, &DelayModel::Unit)
+}
+
+// ---------------------------------------------------------------- .bench
+
+#[test]
+fn bench_duplicate_input_names() {
+    let r = bench("INPUT(a)\nINPUT(a)\n");
+    assert!(matches!(r, Err(NetlistError::DuplicateName(_))), "{r:?}");
+}
+
+#[test]
+fn bench_duplicate_gate_names() {
+    let r = bench("INPUT(a)\ng = NOT(a)\ng = BUFF(a)\n");
+    assert!(matches!(r, Err(NetlistError::DuplicateName(_))), "{r:?}");
+}
+
+#[test]
+fn bench_gate_shadowing_an_input() {
+    // Depending on resolution order this is caught either as a name clash or
+    // as the combinational self-loop it would create; both are structured.
+    let r = bench("INPUT(a)\na = NOT(a)\n");
+    assert!(
+        matches!(
+            r,
+            Err(NetlistError::DuplicateName(_)) | Err(NetlistError::CombinationalCycle(_))
+        ),
+        "{r:?}"
+    );
+}
+
+#[test]
+fn bench_duplicate_dff_names() {
+    let r = bench("INPUT(a)\nq = DFF(a)\nq = DFF(a)\n");
+    assert!(matches!(r, Err(NetlistError::DuplicateName(_))), "{r:?}");
+}
+
+#[test]
+fn bench_self_loop_without_dff() {
+    let r = bench("INPUT(a)\nOUTPUT(x)\nx = AND(x, a)\n");
+    assert!(
+        matches!(r, Err(NetlistError::CombinationalCycle(_))),
+        "{r:?}"
+    );
+}
+
+#[test]
+fn bench_two_gate_loop_without_dff() {
+    let r = bench("INPUT(a)\nx = AND(y, a)\ny = NOT(x)\n");
+    assert!(
+        matches!(r, Err(NetlistError::CombinationalCycle(_))),
+        "{r:?}"
+    );
+}
+
+#[test]
+fn bench_dangling_gate_input() {
+    let r = bench("INPUT(a)\nOUTPUT(g)\ng = AND(a, ghost)\n");
+    assert!(matches!(r, Err(NetlistError::UnknownName(_))), "{r:?}");
+}
+
+#[test]
+fn bench_dangling_output() {
+    let r = bench("INPUT(a)\nOUTPUT(ghost)\ng = NOT(a)\n");
+    assert!(matches!(r, Err(NetlistError::UnknownName(_))), "{r:?}");
+}
+
+#[test]
+fn bench_dangling_dff_data() {
+    let r = bench("q = DFF(ghost)\n");
+    assert!(matches!(r, Err(NetlistError::UnknownName(_))), "{r:?}");
+}
+
+#[test]
+fn bench_oversized_fanin_rejected() {
+    let mut src = String::from("INPUT(a)\nOUTPUT(g)\n");
+    let args = vec!["a"; MAX_PARSE_FANIN + 1].join(", ");
+    src.push_str(&format!("g = AND({args})\n"));
+    match bench(&src) {
+        Err(NetlistError::Parse { line, message }) => {
+            assert_eq!(line, 3);
+            assert!(message.contains("fan-in limit"), "{message}");
+        }
+        other => panic!("expected fan-in parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn bench_fanin_at_the_limit_accepted() {
+    let mut src = String::from("INPUT(a)\nOUTPUT(g)\n");
+    let args = vec!["a"; MAX_PARSE_FANIN].join(", ");
+    src.push_str(&format!("g = AND({args})\n"));
+    let c = bench(&src).expect("limit-width gate parses");
+    assert_eq!(c.num_gates(), 1);
+}
+
+#[test]
+fn bench_dff_self_loop_is_legal() {
+    // A register feeding itself IS broken by the flip-flop: fine.
+    let c = bench("OUTPUT(q)\nq = DFF(q)\n").expect("dff self loop parses");
+    assert_eq!(c.num_dffs(), 1);
+}
+
+// ---------------------------------------------------------------- BLIF
+
+#[test]
+fn blif_duplicate_latch_outputs() {
+    let src = "
+.model t
+.outputs q
+.latch a q 0
+.latch a q 0
+.names q a
+0 1
+.end
+";
+    let r = blif(src);
+    assert!(r.is_err(), "{r:?}");
+}
+
+#[test]
+fn blif_duplicate_names_blocks() {
+    let src = "
+.model t
+.inputs a
+.outputs x
+.names a x
+1 1
+.names a x
+0 1
+.end
+";
+    let r = blif(src);
+    assert!(r.is_err(), "{r:?}");
+}
+
+#[test]
+fn blif_self_loop_without_latch() {
+    let src = "
+.model t
+.inputs a
+.outputs x
+.names x a x
+11 1
+.end
+";
+    let r = blif(src);
+    assert!(
+        matches!(r, Err(NetlistError::CombinationalCycle(_))),
+        "{r:?}"
+    );
+}
+
+#[test]
+fn blif_dangling_wire() {
+    let src = "
+.model t
+.inputs a
+.outputs x
+.names a ghost x
+11 1
+.end
+";
+    let r = blif(src);
+    assert!(r.is_err(), "{r:?}");
+}
+
+#[test]
+fn blif_dangling_output() {
+    let src = "
+.model t
+.inputs a
+.outputs ghost
+.names a x
+1 1
+.end
+";
+    let r = blif(src);
+    assert!(matches!(r, Err(NetlistError::UnknownName(_))), "{r:?}");
+}
+
+#[test]
+fn blif_oversized_fanin_rejected() {
+    let mut src = String::from(".model t\n.inputs a\n.outputs x\n");
+    let ins = vec!["a"; MAX_PARSE_FANIN + 1].join(" ");
+    src.push_str(&format!(".names {ins} x\n"));
+    src.push_str(&format!("{} 1\n.end\n", "1".repeat(MAX_PARSE_FANIN + 1)));
+    match blif(&src) {
+        Err(NetlistError::Parse { message, .. }) => {
+            assert!(message.contains("fan-in limit"), "{message}");
+        }
+        other => panic!("expected fan-in parse error, got {other:?}"),
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`lp`] — interval algebra and the simplex feasibility solver;
 //! * [`sim`] — event-driven timing simulation (the dynamic golden model);
 //! * [`gen`] — benchmark circuit generation;
-//! * [`core`] — the sequential minimum-cycle-time engine itself.
+//! * [`core`] — the sequential minimum-cycle-time engine itself;
+//! * [`fuzz`] — differential fuzzing with a simulator oracle, metamorphic
+//!   checks, and a delta-debugging shrinker.
 //!
 //! # Examples
 //!
@@ -31,6 +33,7 @@
 pub use mct_bdd as bdd;
 pub use mct_core as core;
 pub use mct_delay as delay;
+pub use mct_fuzz as fuzz;
 pub use mct_gen as gen;
 pub use mct_lp as lp;
 pub use mct_netlist as netlist;

@@ -1,0 +1,77 @@
+//! Replays every fuzzer corpus entry through the full oracle stack.
+//!
+//! The corpus (`tests/corpus/`) holds hand-minimized seed circuits plus any
+//! shrunk repro a fuzzing run has persisted. Each entry is a timed `.bench`
+//! file with a JSON provenance sidecar; all of them must parse, round-trip
+//! byte-identically through the timed writer, and pass every oracle — a
+//! repro that regresses fails loudly here with its provenance attached.
+
+use std::path::Path;
+
+use mct_suite::fuzz::{
+    check_circuit, load_corpus, parse_timed_bench, write_timed_bench, OracleCtx, OracleOptions,
+    OracleSelect,
+};
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus"))
+}
+
+#[test]
+fn corpus_is_present_and_documented() {
+    let corpus = load_corpus(corpus_dir());
+    assert!(
+        corpus.len() >= 3,
+        "expected at least the three hand-minimized seed entries, found {}",
+        corpus.len()
+    );
+    for (path, _, prov) in &corpus {
+        let prov = prov.as_ref().unwrap_or_else(|| {
+            panic!(
+                "{}: missing or unreadable provenance sidecar",
+                path.display()
+            )
+        });
+        assert!(
+            !prov.oracle.is_empty() && !prov.detail.is_empty(),
+            "{}: empty provenance fields",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_round_trips_exactly() {
+    // The parser re-declares gates in dependency order, so the bytes are
+    // not stable across a write→parse→write cycle — but the circuit
+    // content is: the canonical digest (which ignores declaration order
+    // and captures every delay) must survive the timed round-trip.
+    for (path, circuit, _) in load_corpus(corpus_dir()) {
+        let rewritten = write_timed_bench(&circuit);
+        let reparsed = parse_timed_bench(&rewritten).unwrap();
+        assert_eq!(reparsed.name(), circuit.name(), "{}", path.display());
+        assert_eq!(
+            mct_suite::netlist::circuit_digests(&circuit).content,
+            mct_suite::netlist::circuit_digests(&reparsed).content,
+            "{}: content digest changed across the timed round-trip",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_replays_clean_through_the_oracle_stack() {
+    let corpus = load_corpus(corpus_dir());
+    let mut ctx = OracleCtx::new(OracleSelect::All, OracleOptions::default());
+    for (path, circuit, prov) in &corpus {
+        if let Some(f) = check_circuit(&mut ctx, circuit, 0xC0FFEE) {
+            panic!(
+                "{} [{}]: {}\n(provenance: {:?})",
+                path.display(),
+                f.oracle,
+                f.detail,
+                prov
+            );
+        }
+    }
+}

@@ -123,6 +123,59 @@ fn certified_bounds_validated_by_simulation() {
 }
 
 #[test]
+fn bounds_are_sharp_for_known_circuits() {
+    // The certified bound is only guaranteed *sufficient*, but for these
+    // hand-analyzed corpus machines it is also sharp: just below the bound
+    // the maximum-delay machine visibly corrupts its state trace, while
+    // just above it the match with the functional model is exact. The probe
+    // periods sit strictly inside each circuit's failing region.
+    for (stem, probe_millis) in [("fig2", 2250i64), ("ring2", 1250), ("bpgrid", 3500)] {
+        let path = format!(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/{}.bench"),
+            stem
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let c = mct_suite::fuzz::parse_timed_bench(&text).unwrap();
+        let report = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions::paper())
+            .unwrap();
+        let probe = Time::from_millis(probe_millis);
+        assert!(
+            probe.as_f64() < report.mct_upper_bound - EPS,
+            "{stem}: probe {} is not below the bound {}",
+            probe.as_f64(),
+            report.mct_upper_bound
+        );
+        let sim = Simulator::new(&c).unwrap();
+        let ins = |cycle: usize, i: usize| (cycle + i).is_multiple_of(3);
+        let (states, outputs) = functional_trace(&c, 16, ins);
+
+        let below = SimConfig::at_period(probe)
+            .with_cycles(16)
+            .with_delay_mode(DelayMode::Max);
+        let trace = sim.run(&below, ins);
+        assert!(
+            !trace.matches(&states, &outputs),
+            "{stem}: expected divergence at τ = {} below the bound {}",
+            probe.as_f64(),
+            report.mct_upper_bound
+        );
+
+        let safe = Time::from_millis((report.mct_upper_bound * 1000.0).round() as i64 + 50);
+        let above = SimConfig::at_period(safe)
+            .with_cycles(16)
+            .with_delay_mode(DelayMode::Max);
+        let trace = sim.run(&above, ins);
+        assert!(
+            trace.matches(&states, &outputs),
+            "{stem}: divergence at certified-safe τ = {}",
+            safe.as_f64()
+        );
+    }
+}
+
+#[test]
 fn deep_false_path_row_matches_s38584_narrative() {
     // The paper's s38584: MCT below a quarter of the topological delay, so
     // a correct 2-vector bound (at best top/2) would be off by over 200%.
