@@ -9,7 +9,7 @@
 //! mct query    <file> [--connect A] [options] [--json]        ask the daemon
 //! mct query    --stats|--ping|--shutdown [--connect A]        daemon control
 //! mct fuzz     [--seed S] [--iters N] [--time-budget-ms T] [--corpus DIR]
-//!              [--oracle all|differential|metamorphic|robustness] [--stats-json]
+//!              [--oracle all|differential|metamorphic|robustness|decompose] [--stats-json]
 //!
 //! options:
 //!   --blif            treat <file> as BLIF (default: by extension, else .bench)
@@ -23,6 +23,11 @@
 //!   --order P         BDD variable ordering: alloc | static | sift
 //!                     (default static); never changes the report, only
 //!                     node counts and wall time
+//!   --decompose       slice into independent cones of influence and
+//!                     analyze each with its own BDD manager; the
+//!                     recombined report is bit-identical, usually with a
+//!                     lower peak node count (and, on the server, an
+//!                     incrementally replayable per-cone cache)
 //!
 //! serve options:
 //!   --listen ADDR        bind address (default 127.0.0.1:7934; port 0 = ephemeral)
@@ -39,7 +44,7 @@
 //!   --iters N            iterations (default 500)
 //!   --time-budget-ms T   stop after T ms of wall time
 //!   --corpus DIR         replay + mutate DIR/*.bench; write shrunk repros there
-//!   --oracle NAME        all | differential | metamorphic | robustness
+//!   --oracle NAME        all | differential | metamorphic | robustness | decompose
 //!   --stats-json         machine-readable stats (adds the one
 //!                        nondeterministic field, `wall_ms`)
 //! ```
@@ -64,6 +69,7 @@ struct Flags {
     lp: bool,
     threads: usize,
     ordering: VarOrder,
+    decompose: bool,
     period: Option<f64>,
     cycles: usize,
     seed: u64,
@@ -99,6 +105,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         lp: false,
         threads: 1,
         ordering: VarOrder::default(),
+        decompose: false,
         period: None,
         cycles: 64,
         seed: 1,
@@ -132,6 +139,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--no-reachability" => f.no_reachability = true,
             "--exact" => f.exact = true,
             "--lp" => f.lp = true,
+            "--decompose" => f.decompose = true,
             "--threads" => {
                 f.threads = it
                     .next()
@@ -232,7 +240,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--oracle" => {
                 let name = it.next().ok_or("--oracle needs a name")?;
                 f.oracle = mct_fuzz::OracleSelect::parse(name).ok_or(format!(
-                    "--oracle needs all|differential|metamorphic|robustness, got `{name}`"
+                    "--oracle needs all|differential|metamorphic|robustness|decompose, got `{name}`"
                 ))?
             }
             "--stats-json" => f.stats_json = true,
@@ -263,6 +271,7 @@ fn mct_options(flags: &Flags) -> MctOptions {
         exact_check: flags.exact,
         num_threads: flags.threads,
         ordering: flags.ordering,
+        decompose: flags.decompose,
         ..MctOptions::paper()
     }
 }
@@ -477,6 +486,7 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         ("path_coupled_lp".into(), Json::Bool(opts.path_coupled_lp)),
         ("exact_check".into(), Json::Bool(opts.exact_check)),
         ("num_threads".into(), Json::Int(opts.num_threads as i64)),
+        ("decompose".into(), Json::Bool(opts.decompose)),
         (
             "ordering".into(),
             Json::Str(
@@ -616,7 +626,7 @@ fn main() -> ExitCode {
         eprintln!(
             "mct analyze <file> [--blif] [--model unit|mapped] [--fixed] \
              [--no-reachability] [--exact] [--lp] [--threads N] \
-             [--order alloc|static|sift] [--json]\n\
+             [--order alloc|static|sift] [--decompose] [--json]\n\
              mct delays <file> [--blif] [--model unit|mapped]\n\
              mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]\n\
              mct convert <in> <out>\n\

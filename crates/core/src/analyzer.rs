@@ -94,6 +94,15 @@ pub struct MctOptions {
     /// Variable-ordering policy for every BDD manager the analysis builds.
     /// Never changes the report — see [`VarOrder`].
     pub ordering: VarOrder,
+    /// Slice the circuit into independent cones of influence
+    /// ([`mct_netlist::decompose`]) and analyze each cone with its own
+    /// symbolic stack, recombining per-cone verdicts into the whole-circuit
+    /// report. Like `num_threads` and `ordering` this is a performance
+    /// lever only: the recombined report is bit-identical to the monolithic
+    /// one, so the flag is excluded from result-cache fingerprints. With
+    /// `num_threads > 1` the decomposed sweep parallelizes across cones
+    /// (one worker per cone) instead of across candidates.
+    pub decompose: bool,
 }
 
 impl Default for MctOptions {
@@ -114,6 +123,7 @@ impl Default for MctOptions {
             time_budget_ms: None,
             num_threads: 1,
             ordering: VarOrder::default(),
+            decompose: false,
         }
     }
 }
@@ -281,6 +291,19 @@ impl<'c> MctAnalyzer<'c> {
         opts: &MctOptions,
         warm: Option<&ReachSnapshot>,
     ) -> Result<(MctReport, Option<ReachSnapshot>), MctError> {
+        if opts.decompose {
+            let cones = mct_netlist::decompose(self.view.circuit());
+            if cones.len() > 1 {
+                // Decomposed analyses build per-cone managers and never
+                // touch the analyzer's own symbolic state; warm snapshots
+                // (whole-circuit reach sets) are neither consumed nor
+                // produced — the per-cone cache tier replaces them.
+                let (report, _) = crate::decompose::run(&self.view, cones, opts, &[], false)?;
+                return Ok((report, None));
+            }
+            // A single cone is the monolithic machine: fall through so the
+            // report (and the warm-start path) is trivially identical.
+        }
         let view = &self.view;
         let manager = &mut self.manager;
         let table = &mut self.table;
@@ -454,6 +477,48 @@ impl<'c> MctAnalyzer<'c> {
         // whole sweep.
         report.kernel.absorb(&manager.stats());
         Ok((report, snapshot))
+    }
+
+    /// Runs the cone-decomposed analysis, optionally replaying per-cone
+    /// results from `seeds`, and harvests fresh [`ConeCacheEntry`] values
+    /// for the cones that had to be (re)analyzed.
+    ///
+    /// `seeds` is either empty or one entry per cone in
+    /// [`mct_netlist::decompose`] order; a seed must come from an earlier
+    /// `run_decomposed` of a cone with the **same layout digest** under the
+    /// same semantic options (every cached artifact — outcomes, layer sets,
+    /// reach sets — is positional on the cone's local leaf indices). The
+    /// report is bit-identical to [`run`](Self::run) with or without seeds.
+    ///
+    /// On a single-cone circuit this falls back to the monolithic path and
+    /// returns no cache entries.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_decomposed(
+        &mut self,
+        opts: &MctOptions,
+        seeds: &[Option<&crate::decompose::ConeCacheEntry>],
+    ) -> Result<(MctReport, crate::decompose::DecomposeArtifacts), MctError> {
+        let cones = mct_netlist::decompose(self.view.circuit());
+        if cones.len() > 1 {
+            return crate::decompose::run(&self.view, cones, opts, seeds, true);
+        }
+        let total = cones.len();
+        let mono = MctOptions {
+            decompose: false,
+            ..opts.clone()
+        };
+        let (report, _) = self.run_warm(&mono, None)?;
+        Ok((
+            report,
+            crate::decompose::DecomposeArtifacts {
+                cones_total: total,
+                cones_replayed: 0,
+                entries: (0..total).map(|_| None).collect(),
+            },
+        ))
     }
 }
 

@@ -146,6 +146,83 @@ mod tests {
         assert!(collect(&[], 1).is_empty());
     }
 
+    /// Brute-force reference: enumerate every `k/j ≥ floor`, sort
+    /// descending, dedup by exact rational equality.
+    fn reference(delays: &[i64], floor: Rat) -> Vec<Rat> {
+        let mut vals = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &k in delays {
+            if k <= 0 || !seen.insert(k) {
+                continue;
+            }
+            let mut j = 1i64;
+            loop {
+                let v = Rat::new(k, j);
+                if v < floor {
+                    break;
+                }
+                vals.push(v);
+                j += 1;
+            }
+        }
+        vals.sort_by(|a, b| b.cmp(a));
+        vals.dedup();
+        vals
+    }
+
+    /// The streaming iterator's `last`-value dedup assumes equal-valued
+    /// candidates from *different* `(k, j)` families pop adjacently from the
+    /// heap — true because heap pops are globally non-increasing and `Rat`
+    /// compares by normalized value. Cross-check against the sort-and-dedup
+    /// reference on seeded random delay sets, including dense collision
+    /// grids and floor-equal collisions like `6000/4 == 4500/3 == 1500`.
+    #[test]
+    fn iterator_matches_sort_and_dedup_reference() {
+        use mct_prng::SmallRng;
+
+        // Hand-picked collision-rich cases first. 6000/4 == 4500/3 ==
+        // 3000/2 == 1500/1 == floor: four families land exactly on the
+        // floor and must be yielded once.
+        let fixed: &[(&[i64], i64)] = &[
+            (&[6000, 4500, 3000, 1500], 1500),
+            (&[6000, 4500, 1500], 1500),
+            (&[4000, 2000, 1000], 500),
+            (&[9000, 6000, 3000], 1000),
+            (&[7000, 5000, 3500, 2500], 700),
+        ];
+        for &(delays, floor) in fixed {
+            let floor = Rat::new(floor, 1);
+            let got: Vec<Rat> = BreakpointIter::new(delays, floor).collect();
+            assert_eq!(got, reference(delays, floor), "delays {delays:?}");
+        }
+
+        // Seeded random sets biased toward small multiples of a common
+        // divisor, so cross-family collisions (k·c)/j == (k'·c)/j' are
+        // frequent rather than accidental.
+        let mut rng = SmallRng::seed_from_u64(0x000B_4EA4_0611);
+        for case in 0..200 {
+            let base = [1, 5, 25, 100][rng.gen_range(0..4usize)] * 100i64;
+            let n = rng.gen_range(1..7usize);
+            let delays: Vec<i64> = (0..n).map(|_| base * rng.gen_range(1..13i64)).collect();
+            let max = delays.iter().copied().max().unwrap();
+            // Floors down to max/24 keep the reference enumeration small
+            // while exercising multi-harmonic overlap; sometimes land the
+            // floor exactly on a breakpoint.
+            let floor = if rng.gen_bool() {
+                let k = delays[rng.gen_range(0..delays.len())];
+                Rat::new(k, rng.gen_range(1..5i64))
+            } else {
+                Rat::new(rng.gen_range(max / 24..max + 1), 1)
+            };
+            let got: Vec<Rat> = BreakpointIter::new(&delays, floor).collect();
+            assert_eq!(
+                got,
+                reference(&delays, floor),
+                "case {case}: delays {delays:?} floor {floor:?}"
+            );
+        }
+    }
+
     #[test]
     fn floor_itself_is_included() {
         // The floor is an inclusive lower bound: a breakpoint landing

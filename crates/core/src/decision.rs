@@ -184,7 +184,26 @@ impl<'c> DecisionContext<'c> {
         table: &mut TimedVarTable,
         machine: &DiscreteMachine,
     ) -> DecisionOutcome {
-        let m = machine.max_shift.max(1);
+        self.decide_with_depth(manager, table, machine, machine.max_shift.max(1))
+    }
+
+    /// [`decide`](Self::decide) with an explicit induction depth `m ≥
+    /// machine.max_shift`.
+    ///
+    /// The basis unrolls `m` cycles and the induction frontier sits at
+    /// `x̂(n − m)`, exactly as if the machine contained a shift-`m`
+    /// reference. Used by the decomposed analysis: each cone is decided at
+    /// the *whole machine's* depth so that per-cone outcomes (mismatch
+    /// cycles in particular) land on the same cycles the monolithic run
+    /// reports.
+    pub fn decide_with_depth(
+        &self,
+        manager: &mut BddManager,
+        table: &mut TimedVarTable,
+        machine: &DiscreteMachine,
+        m: i64,
+    ) -> DecisionOutcome {
+        debug_assert!(m >= machine.max_shift.max(1), "depth below machine shift");
         let ns = self.view.num_state_bits();
 
         // ---- Basis: unroll both machines from the initial state. --------

@@ -26,6 +26,13 @@ pub enum MctError {
         /// The configured budget.
         cap: usize,
     },
+    /// The exact product-machine check met a timed variable kind it cannot
+    /// place in the product-state layout (only `Shifted` history variables
+    /// are supported).
+    UnsupportedMachineVar {
+        /// Debug rendering of the offending variable.
+        var: String,
+    },
     /// The breakpoint sweep hit its candidate budget before finding a
     /// failing period; the circuit appears valid at every examined period.
     CandidateBudgetExhausted {
@@ -49,6 +56,11 @@ impl fmt::Display for MctError {
                 f,
                 "exact product machine needs {bits} state bits (budget {cap}); raise \
                  MctOptions::max_product_bits or use the sufficient check"
+            ),
+            MctError::UnsupportedMachineVar { var } => write!(
+                f,
+                "exact product machine cannot host timed variable {var}; only Shifted \
+                 history variables are supported"
             ),
             MctError::CandidateBudgetExhausted {
                 examined,
@@ -100,5 +112,7 @@ mod tests {
             smallest_tau: 0.1,
         };
         assert!(e.to_string().contains("3 candidates"));
+        let e = MctError::UnsupportedMachineVar { var: "Next".into() };
+        assert!(e.to_string().contains("Next"));
     }
 }

@@ -44,11 +44,39 @@ pub fn decide_exact(
     steady: &DiscreteMachine,
     max_product_bits: usize,
 ) -> Result<DecisionOutcome, MctError> {
-    let ns = view.num_state_bits();
-    let np = view.num_input_bits();
-    let init = view.circuit().initial_state();
+    decide_exact_detail(view, manager, table, machine, steady, max_product_bits)
+        .map(|run| run.outcome)
+}
 
-    // History depths actually referenced by the machine.
+/// Result of [`decide_exact_detail`]: the outcome plus the fixpoint
+/// iteration at which divergence first became reachable.
+///
+/// The iteration index makes per-cone exact verdicts mergeable: on a
+/// decomposed machine the monolithic check reports the lowest-indexed
+/// diverging output of the *earliest* diverging fixpoint frontier, so the
+/// recombined diagnostic must order cone verdicts by `(bad_iteration,
+/// parent output index)`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ExactRun {
+    /// The equivalence verdict.
+    pub outcome: DecisionOutcome,
+    /// Fixpoint iteration (0 = the initial set, before any image) at which
+    /// the diverging output became reachable; `None` when valid.
+    pub bad_iteration: Option<u64>,
+}
+
+/// History depths (`m_state`, `m_input`) referenced by a machine's
+/// supports, as used for the product-state layout and the bit budget.
+///
+/// # Errors
+///
+/// [`MctError::UnsupportedMachineVar`] on any non-`Shifted` variable.
+pub(crate) fn history_depths(
+    ns: usize,
+    manager: &mut BddManager,
+    table: &TimedVarTable,
+    machine: &DiscreteMachine,
+) -> Result<(i64, i64), MctError> {
     let mut m_state = 1i64;
     let mut m_input = 1i64;
     for &f in machine.next_state.iter().chain(&machine.outputs) {
@@ -60,14 +88,40 @@ pub fn decide_exact(
                 Some(TimedVar::Shifted { shift, .. }) => {
                     m_input = m_input.max(shift);
                 }
-                other => panic!("unexpected machine variable {other:?}"),
+                other => {
+                    return Err(MctError::UnsupportedMachineVar {
+                        var: format!("{other:?}"),
+                    })
+                }
             }
         }
     }
-    let product_bits = ns * m_state as usize + np * (m_input as usize - 1) + ns;
-    if product_bits > max_product_bits {
+    Ok((m_state, m_input))
+}
+
+/// The product-state width for given leaf counts and history depths.
+pub(crate) fn product_bits(ns: usize, np: usize, m_state: i64, m_input: i64) -> usize {
+    ns * m_state as usize + np * (m_input as usize - 1) + ns
+}
+
+pub(crate) fn decide_exact_detail(
+    view: &FsmView<'_>,
+    manager: &mut BddManager,
+    table: &mut TimedVarTable,
+    machine: &DiscreteMachine,
+    steady: &DiscreteMachine,
+    max_product_bits: usize,
+) -> Result<ExactRun, MctError> {
+    let ns = view.num_state_bits();
+    let np = view.num_input_bits();
+    let init = view.circuit().initial_state();
+
+    // History depths actually referenced by the machine.
+    let (m_state, m_input) = history_depths(ns, manager, table, machine)?;
+    let bits = product_bits(ns, np, m_state, m_input);
+    if bits > max_product_bits {
         return Err(MctError::ProductTooLarge {
-            bits: product_bits,
+            bits,
             cap: max_product_bits,
         });
     }
@@ -202,27 +256,32 @@ pub fn decide_exact(
         .collect();
 
     // The output-divergence condition over (product state, fresh input).
+    // Per-output diffs are kept so the diagnostic path below reuses them
+    // instead of re-deriving each with a second xor pass.
     let mut divergence = manager.zero();
-    let mut diverging_output = None;
-    for (i, (&yt, &ys)) in machine.outputs.iter().zip(&steady_out).enumerate() {
+    let mut output_diffs: Vec<Bdd> = Vec::with_capacity(machine.outputs.len());
+    for (&yt, &ys) in machine.outputs.iter().zip(&steady_out) {
         let diff = manager.xor(yt, ys);
-        if !diff.is_false() && diverging_output.is_none() {
-            diverging_output = Some(i);
-        }
         divergence = manager.or(divergence, diff);
+        output_diffs.push(diff);
     }
 
     // Least fixpoint, checking divergence as the frontier grows so failing
     // periods exit early.
+    let mut iteration = 0u64;
     loop {
         let bad = manager.and(reached, divergence);
         if !bad.is_false() {
-            // Identify the concrete diverging output for diagnostics.
-            for (i, (&yt, &ys)) in machine.outputs.iter().zip(&steady_out).enumerate() {
-                let diff = manager.xor(yt, ys);
+            // Identify the concrete diverging output for diagnostics. A
+            // globally diverging output is not necessarily *reachably*
+            // diverging, so each diff is re-checked against the frontier.
+            for (i, &diff) in output_diffs.iter().enumerate() {
                 let hit = manager.and(reached, diff);
                 if !hit.is_false() {
-                    return Ok(DecisionOutcome::InductionOutputMismatch { output: i });
+                    return Ok(ExactRun {
+                        outcome: DecisionOutcome::InductionOutputMismatch { output: i },
+                        bad_iteration: Some(iteration),
+                    });
                 }
             }
             unreachable!("divergence is the disjunction of per-output diffs");
@@ -231,9 +290,13 @@ pub fn decide_exact(
         let img = manager.rename_vars(img_primed, &rename_map);
         let new_reached = manager.or(reached, img);
         if new_reached == reached {
-            return Ok(DecisionOutcome::Valid);
+            return Ok(ExactRun {
+                outcome: DecisionOutcome::Valid,
+                bad_iteration: None,
+            });
         }
         reached = new_reached;
+        iteration += 1;
     }
 }
 
@@ -282,7 +345,35 @@ mod tests {
     fn figure2_exact_agrees_with_cx() {
         assert!(run_exact(&figure2(), 4000).is_valid());
         assert!(run_exact(&figure2(), 2500).is_valid());
-        assert!(!run_exact(&figure2(), 2000).is_valid());
+        // The failing period must keep reporting the same diverging output:
+        // fig2's single output is index 0, and the diagnostic path derives
+        // the index from the cached per-output diffs.
+        assert_eq!(
+            run_exact(&figure2(), 2000),
+            DecisionOutcome::InductionOutputMismatch { output: 0 }
+        );
+    }
+
+    #[test]
+    fn non_shifted_machine_var_is_a_structured_error() {
+        // A machine that (incorrectly) references an `Absolute` variable
+        // must produce `UnsupportedMachineVar`, not a panic.
+        let c = figure2();
+        let view = FsmView::new(&c).unwrap();
+        let ex = ConeExtractor::new(&view);
+        let mut m = BddManager::new();
+        let mut tbl = TimedVarTable::new();
+        let steady = DiscreteMachine::steady_state(&ex, &mut m, &mut tbl).unwrap();
+        let mut machine = DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, |_, _| 1).unwrap();
+        let rogue = tbl.var(TimedVar::Absolute { leaf: 0, cycle: 3 });
+        machine.next_state[0] = m.var(rogue);
+        let err = decide_exact(&view, &mut m, &mut tbl, &machine, &steady, 64);
+        match err {
+            Err(MctError::UnsupportedMachineVar { var }) => {
+                assert!(var.contains("Absolute"), "got {var}");
+            }
+            other => panic!("expected UnsupportedMachineVar, got {other:?}"),
+        }
     }
 
     #[test]

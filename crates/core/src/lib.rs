@@ -72,6 +72,7 @@
 mod analyzer;
 mod breakpoints;
 mod decision;
+mod decompose;
 mod error;
 mod exact;
 mod parallel;
@@ -83,6 +84,7 @@ mod proptests;
 pub use analyzer::{MctAnalyzer, MctOptions, MctReport, ReachSnapshot, ValidityRegion, VarOrder};
 pub use breakpoints::BreakpointIter;
 pub use decision::{DecisionContext, DecisionOutcome};
+pub use decompose::{ConeCacheEntry, DecomposeArtifacts};
 pub use error::MctError;
 pub use exact::decide_exact;
 pub use mct_bdd::BddStats;

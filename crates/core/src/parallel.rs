@@ -71,7 +71,7 @@ pub(crate) struct SweepShared {
 }
 
 impl SweepShared {
-    fn early_exit(&self) -> bool {
+    pub(crate) fn early_exit(&self) -> bool {
         self.opts.exhaustive_floor.is_none()
     }
 }
@@ -214,6 +214,65 @@ pub(crate) struct EvalEnv<'e, 'c> {
     pub table: &'e mut TimedVarTable,
 }
 
+/// The shift ranges `Φ(τ)` of one candidate — pure interval arithmetic,
+/// identical wherever it is recomputed.
+pub(crate) fn sigma_ranges(shared: &SweepShared, cand: &PlannedCandidate) -> Vec<ShiftRange> {
+    shared
+        .intervals
+        .iter()
+        .map(|&(lo, hi)| ShiftRange::at(lo, hi, cand.tau))
+        .collect()
+}
+
+/// A shift combination that survived feasibility gating: the closed-form
+/// range sup and (when LP path coupling is on) the LP sup.
+pub(crate) struct SigmaGate {
+    /// Upper end of the closed-form feasible τ range, when bounded.
+    pub hi: Option<Rat>,
+    /// The LP maximum τ (milli-units as `f64`), when path coupling ran.
+    pub lp_sup: Option<f64>,
+}
+
+/// Applies the feasibility gates to one σ of one candidate: the
+/// independent-interval closed form, then (optionally) the path-coupled LP.
+/// Returns `None` when the combination is infeasible. Every evaluation path
+/// (sequential, pooled, decomposed) goes through this function, so they gate
+/// identically by construction.
+pub(crate) fn gate_sigma(
+    shared: &SweepShared,
+    cand: &PlannedCandidate,
+    sigma: &[i64],
+) -> Option<SigmaGate> {
+    let (_, hi) = feasible_tau_range(sigma, &shared.intervals, cand.tau, cand.prev)?;
+    let lp_sup = if shared.opts.path_coupled_lp {
+        // Path coupling proving infeasibility gates the σ out entirely.
+        Some(lp_max_tau(
+            &shared.classes,
+            sigma,
+            shared.opts.delay_variation,
+            shared.l_millis,
+            cand.tau,
+            cand.prev,
+        )?)
+    } else {
+        None
+    };
+    Some(SigmaGate { hi, lp_sup })
+}
+
+/// The sup of the feasible τ range of a failing σ: the closed form,
+/// tightened by the LP sup when available.
+pub(crate) fn failing_sup(shared: &SweepShared, cand: &PlannedCandidate, gate: &SigmaGate) -> Rat {
+    let closed_form_sup = gate
+        .hi
+        .or(cand.prev)
+        .unwrap_or(Rat::new(shared.l_millis, 1));
+    match gate.lp_sup {
+        Some(v) => Rat::new((v * 1000.0).round() as i64, 1000).min(closed_form_sup),
+        None => closed_form_sup,
+    }
+}
+
 /// Evaluates one candidate: enumerate Φ(τ), filter to the feasible σ, and
 /// decide each against the steady machine (through the shared memo).
 pub(crate) fn eval_candidate(
@@ -222,35 +281,15 @@ pub(crate) fn eval_candidate(
     cand: &PlannedCandidate,
     memo: &SigmaMemo,
 ) -> Result<CandidateEval, MctError> {
-    let ranges: Vec<ShiftRange> = shared
-        .intervals
-        .iter()
-        .map(|&(lo, hi)| ShiftRange::at(lo, hi, cand.tau))
-        .collect();
+    let ranges = sigma_ranges(shared, cand);
     let mut eval = CandidateEval {
         sigmas: Vec::new(),
         first_invalid: None,
         failing_sups: Vec::new(),
     };
     for sigma in SigmaIter::new(&ranges) {
-        let Some((_, hi)) = feasible_tau_range(&sigma, &shared.intervals, cand.tau, cand.prev)
-        else {
+        let Some(gate) = gate_sigma(shared, cand, &sigma) else {
             continue;
-        };
-        let lp_sup = if shared.opts.path_coupled_lp {
-            match lp_max_tau(
-                &shared.classes,
-                &sigma,
-                shared.opts.delay_variation,
-                shared.l_millis,
-                cand.tau,
-                cand.prev,
-            ) {
-                Some(v) => Some(v),
-                None => continue, // path coupling proves infeasibility
-            }
-        } else {
-            None
         };
         let outcome = match memo.get(&sigma) {
             Some(o) => o,
@@ -281,13 +320,7 @@ pub(crate) fn eval_candidate(
             if eval.first_invalid.is_none() {
                 eval.first_invalid = Some(outcome);
             }
-            // sup of the feasible τ range of this failing σ.
-            let closed_form_sup = hi.or(cand.prev).unwrap_or(Rat::new(shared.l_millis, 1));
-            let sup = match lp_sup {
-                Some(v) => Rat::new((v * 1000.0).round() as i64, 1000).min(closed_form_sup),
-                None => closed_form_sup,
-            };
-            eval.failing_sups.push(sup);
+            eval.failing_sups.push(failing_sup(shared, cand, &gate));
         }
         eval.sigmas.push(sigma);
     }

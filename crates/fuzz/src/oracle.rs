@@ -22,6 +22,9 @@
 //!   the BLIF round-trip preserves sequential behaviour. Panics anywhere in
 //!   the stack are caught by the runner and reported as robustness
 //!   failures.
+//! * **decompose** — cone-of-influence decomposition is a pure performance
+//!   lever: the recombined per-cone report must be byte-identical to the
+//!   monolithic one, at one worker and with the cone pool parallelized.
 
 use mct_core::{MctAnalyzer, MctOptions, MctReport, VarOrder};
 use mct_lp::Rat;
@@ -45,6 +48,8 @@ pub enum OracleSelect {
     Metamorphic,
     /// Only the serialization/robustness checks.
     Robustness,
+    /// Only the mono-vs-decomposed identity check.
+    Decompose,
 }
 
 impl OracleSelect {
@@ -55,6 +60,7 @@ impl OracleSelect {
             "differential" => Some(OracleSelect::Differential),
             "metamorphic" => Some(OracleSelect::Metamorphic),
             "robustness" => Some(OracleSelect::Robustness),
+            "decompose" => Some(OracleSelect::Decompose),
             _ => None,
         }
     }
@@ -69,6 +75,10 @@ impl OracleSelect {
 
     fn robustness(self) -> bool {
         matches!(self, OracleSelect::All | OracleSelect::Robustness)
+    }
+
+    fn decompose(self) -> bool {
+        matches!(self, OracleSelect::All | OracleSelect::Decompose)
     }
 }
 
@@ -140,6 +150,8 @@ pub struct OracleStats {
     pub sharp_confirmed: u64,
     /// Canonical cache replays exercised.
     pub cache_replays: u64,
+    /// Mono-vs-decomposed identity comparisons completed.
+    pub decompose_checks: u64,
 }
 
 /// Shared oracle state across one fuzzing run.
@@ -237,6 +249,52 @@ pub fn check_circuit(ctx: &mut OracleCtx, c: &Circuit, stim_seed: u64) -> Option
             return Some(f);
         }
     }
+    if ctx.select.decompose() {
+        if let Some(f) = decompose_identity(ctx, c, &base_json) {
+            return Some(f);
+        }
+    }
+    None
+}
+
+/// The decompose oracle: slicing into cones of influence and recombining
+/// must reproduce the monolithic report byte for byte — sequentially and
+/// with the cone pool parallelized. An engine error on the decomposed path
+/// is also a failure: the monolithic analysis already succeeded, and the
+/// two paths must refuse identically.
+fn decompose_identity(ctx: &mut OracleCtx, c: &Circuit, base_json: &str) -> Option<Failure> {
+    for threads in [1, 3] {
+        let opts = MctOptions {
+            decompose: true,
+            num_threads: threads,
+            ..ctx.opts.analysis.clone()
+        };
+        ctx.stats.analyses += 1;
+        match analyze(c, &opts) {
+            Ok(r) => {
+                let j = report_to_json(&r).to_compact();
+                if j != base_json {
+                    return Some(Failure {
+                        oracle: "decompose",
+                        detail: format!(
+                            "decomposed report differs from monolithic (threads={threads}):\n  \
+                             mono: {base_json}\n  cone: {j}"
+                        ),
+                    });
+                }
+            }
+            Err(e) => {
+                return Some(Failure {
+                    oracle: "decompose",
+                    detail: format!(
+                        "decomposed analysis errored where monolithic succeeded \
+                         (threads={threads}): {e}"
+                    ),
+                })
+            }
+        }
+    }
+    ctx.stats.decompose_checks += 1;
     None
 }
 

@@ -179,6 +179,10 @@ impl FuzzStats {
                 "cache_replays".into(),
                 Json::Int(self.oracle.cache_replays as i64),
             ),
+            (
+                "decompose_checks".into(),
+                Json::Int(self.oracle.decompose_checks as i64),
+            ),
             ("shrink_evals".into(), Json::Int(self.shrink_evals as i64)),
             ("budget_exhausted".into(), Json::Bool(self.budget_exhausted)),
             ("failures".into(), Json::Arr(failures)),
@@ -213,6 +217,10 @@ impl FuzzStats {
         out.push_str(&format!(
             "  cache replays   {:>8}\n",
             self.oracle.cache_replays
+        ));
+        out.push_str(&format!(
+            "  decompose checks{:>8}\n",
+            self.oracle.decompose_checks
         ));
         if self.budget_exhausted {
             out.push_str("  time budget exhausted\n");

@@ -1,0 +1,448 @@
+//! Cone-of-influence decomposition: partitioning a sequential circuit into
+//! independent sub-machines.
+//!
+//! Two leaves (flip-flop Q outputs or primary inputs) belong to the same
+//! *cone* when they can influence a common sink: every flip-flop's Q is
+//! unioned with each leaf in the structural support of its data pin, and all
+//! leaves in a primary output's support are unioned together. The resulting
+//! leaf partition splits the machine into sub-machines that share no leaf —
+//! and therefore no gate, since a gate feeding sinks of two classes would
+//! place its (non-empty) support in both and merge them.
+//!
+//! Because the cones are leaf-disjoint, their state spaces are independent:
+//! the product machine's behaviour is exactly the product of the cones'
+//! behaviours, and the minimum cycle time of the whole machine is the
+//! maximum of the per-cone minimum cycle times. (The *reachable set* is
+//! subtler: cones advance in lockstep from their initial states, so the
+//! global reach is the union over `k` of the products of the per-cone
+//! exactly-`k`-step layers — generally a strict subset of the product of
+//! per-cone reach sets.) Each [`Cone`] carries positional provenance
+//! (parent declaration indices) so per-cone diagnostics can be mapped back
+//! onto the parent machine.
+
+use crate::circuit::{Circuit, NetId, Node};
+use std::collections::HashMap;
+
+/// One independent sub-machine produced by [`decompose`], with positional
+/// provenance back to the parent circuit.
+///
+/// All provenance vectors are sorted ascending; the sliced circuit declares
+/// its flip-flops, inputs, and outputs in parent declaration order, so the
+/// cone's *k*-th flip-flop is the parent's `dffs[k]`-th flip-flop, and
+/// likewise for inputs and output positions.
+#[derive(Clone, Debug)]
+pub struct Cone {
+    /// The sliced stand-alone circuit (named `parent#cone<i>`).
+    pub circuit: Circuit,
+    /// Parent flip-flop declaration indices owned by this cone.
+    pub dffs: Vec<usize>,
+    /// Parent primary-input declaration indices owned by this cone.
+    pub inputs: Vec<usize>,
+    /// Parent primary-output positions owned by this cone.
+    pub outputs: Vec<usize>,
+}
+
+impl Cone {
+    /// Maps a cone-local leaf index (flip-flops first, then inputs — the
+    /// `FsmView` convention) to the parent's leaf index, given the parent's
+    /// flip-flop count.
+    pub fn parent_leaf(&self, local: usize, parent_num_dffs: usize) -> usize {
+        if local < self.dffs.len() {
+            self.dffs[local]
+        } else {
+            parent_num_dffs + self.inputs[local - self.dffs.len()]
+        }
+    }
+}
+
+/// Union-find over leaf indices, with path halving.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins, so class representatives are
+            // stable regardless of union order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// The structural support of `net`: every leaf index reachable through gate
+/// inputs (stopping at flip-flop Qs and primary inputs).
+fn support(circuit: &Circuit, net: NetId, leaf_of: &HashMap<NetId, usize>) -> Vec<usize> {
+    let mut seen = vec![false; circuit.num_nodes()];
+    let mut stack = vec![net];
+    let mut leaves = Vec::new();
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        match circuit.node(id) {
+            Node::Gate { inputs, .. } => stack.extend(inputs.iter().copied()),
+            Node::Input { .. } | Node::Dff { .. } => leaves.push(leaf_of[&id]),
+        }
+    }
+    leaves
+}
+
+/// Partitions `parent` into independent cones.
+///
+/// Every flip-flop lands in exactly one cone; every primary output is
+/// assigned to the cone owning its support. Primary inputs that drive no
+/// flip-flop and no output (dangling inputs) belong to no cone — they
+/// contribute no delay class and no state, so dropping them cannot change
+/// any analysis result. Cones are ordered by their smallest parent leaf
+/// index (flip-flops first, then inputs), which makes the decomposition
+/// deterministic for a given parent.
+///
+/// # Panics
+///
+/// Panics if a flip-flop data pin is unconnected; call
+/// [`Circuit::validate`] first.
+pub fn decompose(parent: &Circuit) -> Vec<Cone> {
+    let dff_ids = parent.dffs();
+    let input_ids = parent.inputs();
+    let num_dffs = dff_ids.len();
+    let num_leaves = num_dffs + input_ids.len();
+
+    // Leaf indexing follows the FsmView convention: flip-flops in
+    // declaration order, then primary inputs in declaration order.
+    let mut leaf_of: HashMap<NetId, usize> = HashMap::new();
+    for (i, &id) in dff_ids.iter().enumerate() {
+        leaf_of.insert(id, i);
+    }
+    for (i, &id) in input_ids.iter().enumerate() {
+        leaf_of.insert(id, num_dffs + i);
+    }
+
+    // Sink nets, mirroring FsmView::sinks: one per flip-flop (its data pin),
+    // one per primary output.
+    let dff_data: Vec<NetId> = dff_ids
+        .iter()
+        .map(|&id| match parent.node(id) {
+            Node::Dff { data: Some(d), .. } => *d,
+            Node::Dff { data: None, .. } => panic!("decompose requires connected flip-flops"),
+            _ => unreachable!("dffs() returned a non-dff"),
+        })
+        .collect();
+
+    let mut uf = UnionFind::new(num_leaves);
+    for (i, &data) in dff_data.iter().enumerate() {
+        for leaf in support(parent, data, &leaf_of) {
+            uf.union(i, leaf);
+        }
+    }
+    let mut output_supports: Vec<Vec<usize>> = Vec::with_capacity(parent.outputs().len());
+    for &out in parent.outputs() {
+        let sup = support(parent, out, &leaf_of);
+        for pair in sup.windows(2) {
+            uf.union(pair[0], pair[1]);
+        }
+        output_supports.push(sup);
+    }
+
+    // Group leaves by class representative.
+    let mut class_leaves: HashMap<usize, Vec<usize>> = HashMap::new();
+    for leaf in 0..num_leaves {
+        let root = uf.find(leaf);
+        class_leaves.entry(root).or_default().push(leaf);
+    }
+    let mut class_outputs: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (pos, sup) in output_supports.iter().enumerate() {
+        let root = uf.find(sup[0]);
+        class_outputs.entry(root).or_default().push(pos);
+    }
+
+    // A class is a cone when it owns at least one flip-flop or output;
+    // leaf-only classes are dangling inputs. Roots are the class minima, so
+    // sorting by root orders cones by smallest parent leaf index.
+    let mut roots: Vec<usize> = class_leaves
+        .keys()
+        .copied()
+        .filter(|root| {
+            class_leaves[root].iter().any(|&l| l < num_dffs) || class_outputs.contains_key(root)
+        })
+        .collect();
+    roots.sort_unstable();
+
+    let mut cones = Vec::with_capacity(roots.len());
+    for (cone_ix, &root) in roots.iter().enumerate() {
+        let leaves = &class_leaves[&root];
+        let dffs: Vec<usize> = leaves.iter().copied().filter(|&l| l < num_dffs).collect();
+        let inputs: Vec<usize> = leaves
+            .iter()
+            .copied()
+            .filter(|&l| l >= num_dffs)
+            .map(|l| l - num_dffs)
+            .collect();
+        let outputs: Vec<usize> = class_outputs.get(&root).cloned().unwrap_or_default();
+
+        // Member nets: DFS from every sink of the cone through gates.
+        let mut member = vec![false; parent.num_nodes()];
+        let mut stack: Vec<NetId> = Vec::new();
+        for &d in &dffs {
+            member[dff_ids[d].index()] = true;
+            stack.push(dff_data[d]);
+        }
+        for &i in &inputs {
+            member[input_ids[i].index()] = true;
+        }
+        for &p in &outputs {
+            stack.push(parent.outputs()[p]);
+        }
+        while let Some(id) = stack.pop() {
+            if member[id.index()] {
+                continue;
+            }
+            member[id.index()] = true;
+            if let Node::Gate { inputs, .. } = parent.node(id) {
+                stack.extend(inputs.iter().copied());
+            }
+        }
+
+        // Slice in parent arena order (keeps gate dependencies satisfied and
+        // preserves relative declaration order for provenance).
+        let mut sliced = Circuit::new(format!("{}#cone{cone_ix}", parent.name()));
+        let mut remap: HashMap<NetId, NetId> = HashMap::new();
+        for (id, node) in parent.iter() {
+            if !member[id.index()] {
+                continue;
+            }
+            let new_id = match node {
+                Node::Input { name } => sliced.add_input(name.clone()),
+                Node::Dff {
+                    name,
+                    init,
+                    clock_to_q,
+                    ..
+                } => sliced.add_dff(name.clone(), *init, *clock_to_q),
+                Node::Gate {
+                    name,
+                    kind,
+                    inputs,
+                    pin_delays,
+                } => {
+                    let new_inputs: Vec<NetId> = inputs.iter().map(|i| remap[i]).collect();
+                    sliced.add_gate_with_delays(
+                        name.clone(),
+                        *kind,
+                        &new_inputs,
+                        pin_delays.clone(),
+                    )
+                }
+            };
+            remap.insert(id, new_id);
+        }
+        for &d in &dffs {
+            let name = parent.net_name(dff_ids[d]).to_owned();
+            sliced
+                .connect_dff_data(&name, remap[&dff_data[d]])
+                .expect("sliced dff exists");
+        }
+        for &p in &outputs {
+            sliced.set_output(remap[&parent.outputs()[p]]);
+        }
+
+        cones.push(Cone {
+            circuit: sliced,
+            dffs,
+            inputs,
+            outputs,
+        });
+    }
+    cones
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::time::Time;
+
+    /// Two independent togglers plus a combinational output cone on a
+    /// private input.
+    fn three_cones() -> Circuit {
+        let mut c = Circuit::new("tri");
+        let q0 = c.add_dff("q0", false, Time::ZERO);
+        let q1 = c.add_dff("q1", true, Time::UNIT);
+        let a = c.add_input("a");
+        let n0 = c.add_gate("n0", GateKind::Not, &[q0], Time::UNIT);
+        let n1 = c.add_gate("n1", GateKind::Not, &[q1], Time::from_f64(2.0));
+        let ab = c.add_gate("ab", GateKind::Buf, &[a], Time::from_f64(3.0));
+        c.connect_dff_data("q0", n0).unwrap();
+        c.connect_dff_data("q1", n1).unwrap();
+        c.set_output(q0);
+        c.set_output(q1);
+        c.set_output(ab);
+        c.validate().unwrap();
+        c
+    }
+
+    #[test]
+    fn independent_machines_split() {
+        let c = three_cones();
+        let cones = decompose(&c);
+        assert_eq!(cones.len(), 3);
+        // Cone 0: q0. Cone 1: q1. Cone 2: input a feeding output ab.
+        assert_eq!(cones[0].dffs, vec![0]);
+        assert_eq!(cones[0].outputs, vec![0]);
+        assert_eq!(cones[1].dffs, vec![1]);
+        assert_eq!(cones[1].outputs, vec![1]);
+        assert!(cones[2].dffs.is_empty());
+        assert_eq!(cones[2].inputs, vec![0]);
+        assert_eq!(cones[2].outputs, vec![2]);
+        for cone in &cones {
+            cone.circuit.validate().unwrap();
+        }
+        assert_eq!(cones[0].circuit.name(), "tri#cone0");
+    }
+
+    #[test]
+    fn shared_input_merges_cones() {
+        let mut c = Circuit::new("shared");
+        let en = c.add_input("en");
+        let q0 = c.add_dff("q0", false, Time::ZERO);
+        let q1 = c.add_dff("q1", false, Time::ZERO);
+        let x0 = c.add_gate("x0", GateKind::Xor, &[q0, en], Time::UNIT);
+        let x1 = c.add_gate("x1", GateKind::Xor, &[q1, en], Time::UNIT);
+        c.connect_dff_data("q0", x0).unwrap();
+        c.connect_dff_data("q1", x1).unwrap();
+        c.set_output(q0);
+        c.set_output(q1);
+        c.validate().unwrap();
+        let cones = decompose(&c);
+        assert_eq!(cones.len(), 1, "shared input must merge the registers");
+        assert_eq!(cones[0].dffs, vec![0, 1]);
+        assert_eq!(cones[0].inputs, vec![0]);
+        assert_eq!(cones[0].outputs, vec![0, 1]);
+    }
+
+    #[test]
+    fn shared_output_support_merges_cones() {
+        let mut c = Circuit::new("obs");
+        let q0 = c.add_dff("q0", false, Time::ZERO);
+        let q1 = c.add_dff("q1", false, Time::ZERO);
+        let n0 = c.add_gate("n0", GateKind::Not, &[q0], Time::UNIT);
+        let n1 = c.add_gate("n1", GateKind::Not, &[q1], Time::UNIT);
+        let both = c.add_gate("both", GateKind::And, &[q0, q1], Time::UNIT);
+        c.connect_dff_data("q0", n0).unwrap();
+        c.connect_dff_data("q1", n1).unwrap();
+        c.set_output(both);
+        c.validate().unwrap();
+        let cones = decompose(&c);
+        assert_eq!(
+            cones.len(),
+            1,
+            "an output reading both registers merges them"
+        );
+    }
+
+    #[test]
+    fn dangling_inputs_are_dropped() {
+        let mut c = Circuit::new("dangle");
+        c.add_input("unused");
+        let q = c.add_dff("q", false, Time::ZERO);
+        let n = c.add_gate("n", GateKind::Not, &[q], Time::UNIT);
+        c.connect_dff_data("q", n).unwrap();
+        c.set_output(q);
+        c.validate().unwrap();
+        let cones = decompose(&c);
+        assert_eq!(cones.len(), 1);
+        assert!(cones[0].inputs.is_empty());
+        assert_eq!(cones[0].circuit.num_inputs(), 0);
+    }
+
+    #[test]
+    fn provenance_maps_local_leaves_to_parent() {
+        let c = three_cones();
+        let ns = c.num_dffs();
+        let cones = decompose(&c);
+        // Cone 1's only state leaf is parent dff 1 → parent leaf 1.
+        assert_eq!(cones[1].parent_leaf(0, ns), 1);
+        // Cone 2's only leaf is an input (parent input 0) → parent leaf ns.
+        assert_eq!(cones[2].parent_leaf(0, ns), ns);
+    }
+
+    #[test]
+    fn slices_agree_with_parent_step() {
+        let c = three_cones();
+        let cones = decompose(&c);
+        // Drive the parent and each cone with the same leaf values; the
+        // cones' next-states and outputs must match the parent restricted
+        // to their provenance indices.
+        let parent_dffs = c.num_dffs();
+        for mask in 0..8u32 {
+            let state: Vec<bool> = (0..parent_dffs).map(|i| mask >> i & 1 == 1).collect();
+            let inputs = vec![mask >> 2 & 1 == 1];
+            let (next, outs) = c.step(&state, &inputs);
+            for cone in &cones {
+                let cs: Vec<bool> = cone.dffs.iter().map(|&d| state[d]).collect();
+                let ci: Vec<bool> = cone.inputs.iter().map(|&i| inputs[i]).collect();
+                let (cn, co) = cone.circuit.step(&cs, &ci);
+                let want_next: Vec<bool> = cone.dffs.iter().map(|&d| next[d]).collect();
+                let want_outs: Vec<bool> = cone.outputs.iter().map(|&p| outs[p]).collect();
+                assert_eq!(cn, want_next, "mask {mask:b}");
+                assert_eq!(co, want_outs, "mask {mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_cone_machine_stays_whole() {
+        // A register chain: q1 reads q0 — one cone.
+        let mut c = Circuit::new("chain");
+        let q0 = c.add_dff("q0", false, Time::ZERO);
+        let _q1 = c.add_dff("q1", false, Time::ZERO);
+        let n0 = c.add_gate("n0", GateKind::Not, &[q0], Time::UNIT);
+        c.connect_dff_data("q0", n0).unwrap();
+        c.connect_dff_data("q1", q0).unwrap();
+        c.set_output(q0);
+        c.validate().unwrap();
+        let cones = decompose(&c);
+        assert_eq!(cones.len(), 1);
+        assert_eq!(cones[0].dffs, vec![0, 1]);
+    }
+
+    #[test]
+    fn delays_and_init_survive_slicing() {
+        let c = three_cones();
+        let cones = decompose(&c);
+        let q1 = cones[1].circuit.lookup("q1").unwrap();
+        match cones[1].circuit.node(q1) {
+            Node::Dff {
+                init, clock_to_q, ..
+            } => {
+                assert!(*init);
+                assert_eq!(*clock_to_q, Time::UNIT);
+            }
+            _ => panic!("q1 must stay a flip-flop"),
+        }
+        let n1 = cones[1].circuit.lookup("n1").unwrap();
+        match cones[1].circuit.node(n1) {
+            Node::Gate { pin_delays, .. } => {
+                assert_eq!(pin_delays[0].max(), Time::from_f64(2.0));
+            }
+            _ => panic!("n1 must stay a gate"),
+        }
+    }
+}

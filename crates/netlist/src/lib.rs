@@ -49,6 +49,7 @@ mod bench_io;
 mod blif_io;
 mod canon;
 mod circuit;
+mod decompose;
 mod delay_model;
 mod error;
 mod fsm;
@@ -59,6 +60,7 @@ pub use bench_io::{parse_bench, write_bench, MAX_PARSE_FANIN};
 pub use blif_io::{parse_blif, write_blif};
 pub use canon::{canonical_hash, circuit_digests, CanonicalHash, CircuitDigests};
 pub use circuit::{Circuit, CircuitStats, NetId, Node};
+pub use decompose::{decompose, Cone};
 pub use delay_model::DelayModel;
 pub use error::NetlistError;
 pub use fsm::{FsmView, Sink, SinkKind};

@@ -26,11 +26,21 @@
 //! produced them (first line of each disk file), so the server can flag
 //! hits served to a differently-declared rebuild, whose index-valued
 //! diagnostics refer to the original submitter's declaration order.
+//!
+//! A fourth tier serves decomposed analyses: per-**cone** cache entries
+//! ([`mct_core::ConeCacheEntry`] — reach layers plus decision outcomes for
+//! one cone of influence), keyed by the cone's *layout* digest and the
+//! options fingerprint. An ECO that edits one cone leaves every other
+//! cone's digest unchanged, so a re-analysis replays the untouched cones
+//! from this tier and only recomputes the edited one. The layout digest
+//! (not the content digest) is required for the same reason as warm
+//! starts: cached outcomes are positional on the cone's local leaf
+//! indices.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use mct_core::ReachSnapshot;
+use mct_core::{ConeCacheEntry, ReachSnapshot};
 use mct_netlist::CanonicalHash;
 
 /// Cache key: canonical circuit identity × analysis-options fingerprint.
@@ -84,6 +94,7 @@ pub struct ResultCache {
     disk_dir: Option<PathBuf>,
     entries: HashMap<CacheKey, Entry>,
     reach: HashMap<CanonicalHash, (ReachSnapshot, u64)>,
+    cones: HashMap<(CanonicalHash, u64), (ConeCacheEntry, u64)>,
     tick: u64,
     evictions: u64,
 }
@@ -101,6 +112,7 @@ impl ResultCache {
             disk_dir,
             entries: HashMap::new(),
             reach: HashMap::new(),
+            cones: HashMap::new(),
             tick: 0,
             evictions: 0,
         }
@@ -205,6 +217,41 @@ impl ResultCache {
             self.reach.remove(&victim);
         }
         self.reach.insert(layout, (snap, self.tick));
+    }
+
+    /// Takes the cached per-cone analysis artifacts for a cone *layout*
+    /// digest under an options fingerprint, if held. Like
+    /// [`take_reach`](Self::take_reach), ownership moves out so the
+    /// decomposed analysis can replay the entry outside the cache lock;
+    /// store the (possibly refreshed) entry back via
+    /// [`store_cone`](Self::store_cone).
+    pub fn take_cone(&mut self, cone: CanonicalHash, options: u64) -> Option<ConeCacheEntry> {
+        self.cones.remove(&(cone, options)).map(|(entry, _)| entry)
+    }
+
+    /// Stores per-cone analysis artifacts under the cone's layout digest
+    /// and the options fingerprint. The tier holds up to eight entries per
+    /// unit of report capacity — one circuit contributes several cones —
+    /// evicting the least-recently stored beyond that.
+    pub fn store_cone(&mut self, cone: CanonicalHash, options: u64, entry: ConeCacheEntry) {
+        self.tick += 1;
+        let cap = self.capacity.saturating_mul(8);
+        let key = (cone, options);
+        while self.cones.len() >= cap && !self.cones.contains_key(&key) {
+            let victim = self
+                .cones
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(k, _)| *k)
+                .expect("non-empty map over capacity");
+            self.cones.remove(&victim);
+        }
+        self.cones.insert(key, (entry, self.tick));
+    }
+
+    /// Number of per-cone entries currently held.
+    pub fn cone_entries(&self) -> usize {
+        self.cones.len()
     }
 
     fn disk_path(&self, key: CacheKey) -> Option<PathBuf> {

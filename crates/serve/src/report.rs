@@ -208,6 +208,7 @@ pub fn options_to_json(opts: &MctOptions) -> Json {
             },
         ),
         ("num_threads".into(), Json::Int(opts.num_threads as i64)),
+        ("decompose".into(), Json::Bool(opts.decompose)),
         (
             "ordering".into(),
             Json::Str(
@@ -295,6 +296,9 @@ pub fn options_overlay(base: &MctOptions, value: &Json) -> Result<MctOptions, St
             "num_threads" => {
                 opts.num_threads = usize_field(v, "num_threads")?;
             }
+            "decompose" => {
+                opts.decompose = v.as_bool().ok_or("decompose must be a bool")?;
+            }
             "ordering" => {
                 opts.ordering = match v.as_str() {
                     Some("alloc") => VarOrder::Alloc,
@@ -321,9 +325,11 @@ fn usize_field(v: &Json, name: &str) -> Result<usize, String> {
 /// Deliberately excluded: `num_threads` (the parallel sweep is
 /// deterministic — identical report at any thread count),
 /// `time_budget_ms` (timed-out reports are never cached, and among
-/// non-timed-out runs the budget does not affect the result), and
-/// `ordering` (variable order changes node counts and wall time, never the
-/// report — see [`VarOrder`]).
+/// non-timed-out runs the budget does not affect the result), `ordering`
+/// (variable order changes node counts and wall time, never the report —
+/// see [`VarOrder`]), and `decompose` (the recombined cone-sliced report
+/// is bit-identical to the monolithic one, so a decomposed run may answer
+/// a monolithic request and vice versa).
 pub fn options_fingerprint(opts: &MctOptions) -> u64 {
     let mut h: u64 = 0x6d63_745f_6f70_7473; // "mct_opts"
     let mut fold = |v: u64| h = mix64(h ^ mix64(v));
@@ -479,6 +485,7 @@ mod tests {
             num_threads: 8,
             time_budget_ms: Some(10),
             ordering: VarOrder::Sift,
+            decompose: true,
             ..MctOptions::default()
         };
         assert_eq!(options_fingerprint(&a), options_fingerprint(&b));

@@ -21,8 +21,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use mct_core::{MctAnalyzer, MctOptions};
-use mct_netlist::{circuit_digests, parse_bench, parse_blif, DelayModel};
+use mct_core::{ConeCacheEntry, MctAnalyzer, MctOptions};
+use mct_netlist::{circuit_digests, parse_bench, parse_blif, Circuit, DelayModel};
 
 use crate::cache::{CacheKey, CacheTier, ResultCache};
 use crate::json::Json;
@@ -164,6 +164,8 @@ struct Counters {
     disk_hits: AtomicU64,
     warm_starts: AtomicU64,
     misses: AtomicU64,
+    cones_total: AtomicU64,
+    cones_replayed: AtomicU64,
     errors: AtomicU64,
     busy_rejections: AtomicU64,
     parse: PhaseLatency,
@@ -529,12 +531,24 @@ fn analyze_inner(
                 // The entry came from a differently-declared build of the
                 // same circuit: index-valued diagnostics are relative to
                 // that build's declaration order, so flag the response.
-                hit.layout != digests.layout,
+                EnvelopeNotes {
+                    canonical_indices: hit.layout != digests.layout,
+                    ..EnvelopeNotes::default()
+                },
                 peer,
                 started,
             ));
         }
         // A corrupt cache entry falls through to a fresh analysis.
+    }
+
+    // Phase 3 (decomposed): slice into cones of influence, replay the
+    // cones whose layout digests are in the per-cone cache tier, and
+    // analyze only what changed. The recombined report is bit-identical
+    // to the monolithic one, so it lands in the whole-report cache under
+    // the same key (the fingerprint excludes `decompose`).
+    if opts.decompose {
+        return analyze_decomposed(shared, &circuit, &opts, key, digests.layout, peer, started);
     }
 
     // Phase 3: analyze, warm-starting from a cached reachable-state set
@@ -564,23 +578,7 @@ fn analyze_inner(
         shared.stats.misses.fetch_add(1, Ordering::Relaxed);
     }
     shared.stats.kernel.record(&report.kernel);
-    if shared.cfg.log {
-        // The kernel stats never enter the serialized report (they are
-        // scheduling-dependent), so the per-request log line is where they
-        // surface on the server side.
-        let k = &report.kernel;
-        eprintln!(
-            "[mct-serve] peer={peer} type=kernel circuit={} nodes={} peak={} gc_runs={} freed={} ops_cache={}/{} ({:.1}%)",
-            circuit.name(),
-            k.nodes,
-            k.peak_nodes,
-            k.gc_runs,
-            k.nodes_freed,
-            k.ops_cache_hits,
-            k.ops_cache_lookups,
-            100.0 * k.ops_hit_rate(),
-        );
-    }
+    log_kernel(shared, peer, circuit.name(), &report.kernel);
 
     // Phase 4: store. Timed-out reports are partial — never cached.
     let report_json = report_to_json(&report);
@@ -605,7 +603,136 @@ fn analyze_inner(
         key,
         label,
         report_json,
-        false,
+        EnvelopeNotes::default(),
+        peer,
+        started,
+    ))
+}
+
+/// The kernel stats never enter the serialized report (they are
+/// scheduling-dependent), so the per-request log line is where they
+/// surface on the server side.
+fn log_kernel(shared: &Shared, peer: &str, circuit: &str, k: &mct_core::BddStats) {
+    if shared.cfg.log {
+        eprintln!(
+            "[mct-serve] peer={peer} type=kernel circuit={circuit} nodes={} peak={} gc_runs={} freed={} ops_cache={}/{} ({:.1}%)",
+            k.nodes,
+            k.peak_nodes,
+            k.gc_runs,
+            k.nodes_freed,
+            k.ops_cache_hits,
+            k.ops_cache_lookups,
+            100.0 * k.ops_hit_rate(),
+        );
+    }
+}
+
+/// The decomposed analyze path: slices the circuit into cones of
+/// influence, takes cached [`ConeCacheEntry`] values keyed on each cone's
+/// layout digest (plus the options fingerprint), replays them through
+/// [`MctAnalyzer::run_decomposed`], and stores the refreshed entries back
+/// so the next request replays every cone this one analyzed. An edit that
+/// touches a single cone therefore re-analyzes exactly that cone.
+fn analyze_decomposed(
+    shared: &Shared,
+    circuit: &Circuit,
+    opts: &MctOptions,
+    key: CacheKey,
+    layout: mct_netlist::CanonicalHash,
+    peer: &str,
+    started: Instant,
+) -> Result<Json, String> {
+    // The slice order here and inside `run_decomposed` is the same
+    // deterministic `mct_netlist::decompose` order, so seeds line up
+    // positionally. Two identical cones share a digest: the second take
+    // misses (ownership moved to the first), which costs a re-analysis but
+    // never soundness.
+    let cones = mct_netlist::decompose(circuit);
+    let cone_keys: Vec<_> = cones
+        .iter()
+        .map(|c| circuit_digests(&c.circuit).layout)
+        .collect();
+    let mut seeds: Vec<Option<ConeCacheEntry>> = {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        cone_keys
+            .iter()
+            .map(|&d| cache.take_cone(d, key.options))
+            .collect()
+    };
+    let analyze_started = Instant::now();
+    let mut analyzer = MctAnalyzer::new(circuit).map_err(|e| e.to_string())?;
+    let run = {
+        let seed_refs: Vec<Option<&ConeCacheEntry>> = seeds.iter().map(Option::as_ref).collect();
+        analyzer.run_decomposed(opts, &seed_refs)
+    };
+    let (report, mut artifacts) = match run {
+        Ok(ok) => ok,
+        Err(e) => {
+            // Put the borrowed seeds back so a failed request does not
+            // evict another circuit's warm state.
+            let mut cache = shared.cache.lock().expect("cache lock");
+            for (digest, seed) in cone_keys.iter().zip(seeds.drain(..)) {
+                if let Some(entry) = seed {
+                    cache.store_cone(*digest, key.options, entry);
+                }
+            }
+            return Err(e.to_string());
+        }
+    };
+    shared.stats.analyze.record(analyze_started.elapsed());
+    let (total, replayed) = (artifacts.cones_total, artifacts.cones_replayed);
+    let label = if replayed > 0 { "warm" } else { "miss" };
+    if replayed > 0 {
+        shared.stats.warm_starts.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    shared
+        .stats
+        .cones_total
+        .fetch_add(total as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .cones_replayed
+        .fetch_add(replayed as u64, Ordering::Relaxed);
+    shared.stats.kernel.record(&report.kernel);
+    log_kernel(shared, peer, circuit.name(), &report.kernel);
+
+    // Store: every cone comes back — a freshly harvested entry when the
+    // cone was (re)analyzed, the untouched seed when it was replayed.
+    // Timed-out reports stay out of the report cache as usual, but the
+    // per-σ cone outcomes computed before the deadline are each complete
+    // and deterministic, so they are kept.
+    let report_json = report_to_json(&report);
+    {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        for ((digest, seed), fresh) in cone_keys
+            .iter()
+            .zip(seeds.drain(..))
+            .zip(artifacts.entries.drain(..))
+        {
+            match fresh {
+                Some(entry) => cache.store_cone(*digest, key.options, entry),
+                None => {
+                    if let Some(entry) = seed {
+                        cache.store_cone(*digest, key.options, entry);
+                    }
+                }
+            }
+        }
+        if !report.timed_out {
+            cache.insert(key, layout, report_json.to_compact());
+        }
+    }
+    Ok(report_response(
+        shared,
+        key,
+        label,
+        report_json,
+        EnvelopeNotes {
+            cones: Some((total, replayed)),
+            ..EnvelopeNotes::default()
+        },
         peer,
         started,
     ))
@@ -626,12 +753,22 @@ fn with_circuit_name(report_json: Json, name: &str) -> Json {
     Json::Obj(fields)
 }
 
+/// Envelope annotations beyond the cache verdict.
+#[derive(Default)]
+struct EnvelopeNotes {
+    /// The report was replayed from a differently-declared build of the
+    /// same circuit (index-valued diagnostics use that build's order).
+    canonical_indices: bool,
+    /// `(cones_total, cones_replayed)` for decomposed runs.
+    cones: Option<(usize, usize)>,
+}
+
 fn report_response(
     shared: &Shared,
     key: CacheKey,
     cache: &str,
     report_json: Json,
-    canonical_indices: bool,
+    notes: EnvelopeNotes,
     peer: &str,
     started: Instant,
 ) -> Json {
@@ -652,11 +789,18 @@ fn report_response(
         ("key".into(), Json::Str(key.hex())),
         ("elapsed_us".into(), Json::Int(elapsed_us)),
     ];
-    if canonical_indices {
+    if notes.canonical_indices {
         // The replayed report was produced by a build of this circuit with
         // a different register/output declaration order; `failure.bit`,
         // `failure.index`, and region provenance use *that* order.
         fields.push(("canonical_indices".into(), Json::Bool(true)));
+    }
+    if let Some((total, replayed)) = notes.cones {
+        // Decomposed runs surface the incremental-replay ledger in the
+        // envelope, never inside the report (which must stay bit-identical
+        // to a monolithic analysis).
+        fields.push(("cones_total".into(), Json::Int(total as i64)));
+        fields.push(("cones_replayed".into(), Json::Int(replayed as i64)));
     }
     fields.push(("report".into(), report_json));
     Json::Obj(fields)
@@ -675,9 +819,9 @@ fn error_response(shared: &Shared, peer: &str, message: &str) -> Json {
 
 fn stats_response(shared: &Shared) -> Json {
     let s = &shared.stats;
-    let (cache_entries, evictions) = {
+    let (cache_entries, cone_entries, evictions) = {
         let cache = shared.cache.lock().expect("cache lock");
-        (cache.len(), cache.evictions())
+        (cache.len(), cache.cone_entries(), cache.evictions())
     };
     let queue_depth = shared.queue.lock().expect("queue lock").len();
     let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
@@ -690,8 +834,11 @@ fn stats_response(shared: &Shared) -> Json {
         ("misses".into(), load(&s.misses)),
         ("errors".into(), load(&s.errors)),
         ("busy_rejections".into(), load(&s.busy_rejections)),
+        ("cones_total".into(), load(&s.cones_total)),
+        ("cones_replayed".into(), load(&s.cones_replayed)),
         ("evictions".into(), Json::Int(evictions as i64)),
         ("cache_entries".into(), Json::Int(cache_entries as i64)),
+        ("cone_entries".into(), Json::Int(cone_entries as i64)),
         ("queue_depth".into(), Json::Int(queue_depth as i64)),
         (
             "workers".into(),

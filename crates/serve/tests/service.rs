@@ -54,6 +54,39 @@ gp = NOT(q)
 gq = AND(p, q)
 ";
 
+/// Three independent cones of influence: a one-register toggler, a
+/// two-register machine, and a stateless input cone. `TRI_CONE_EDITED`
+/// changes one gate (`y = AND` → `y = OR`) inside the stateless cone
+/// only, leaving the other two cones' digests untouched.
+const TRI_CONE: &str = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(p)
+OUTPUT(q)
+OUTPUT(y)
+p = DFF(gp)
+gp = NOT(p)
+q = DFF(gq)
+r = DFF(gr)
+gq = AND(q, r)
+gr = NOT(q)
+y = AND(a, b)
+";
+const TRI_CONE_EDITED: &str = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(p)
+OUTPUT(q)
+OUTPUT(y)
+p = DFF(gp)
+gp = NOT(p)
+q = DFF(gq)
+r = DFF(gr)
+gq = AND(q, r)
+gr = NOT(q)
+y = OR(a, b)
+";
+
 fn start(
     cfg: ServerConfig,
 ) -> (
@@ -302,6 +335,76 @@ fn register_reordered_hit_is_flagged_with_canonical_indices() {
 
     client.shutdown().unwrap();
     thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn one_gate_edit_replays_every_untouched_cone() {
+    let decompose = Json::parse(r#"{"decompose":true}"#).unwrap();
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    // Cold decomposed run: three cones, none replayable yet.
+    let cold = client
+        .analyze(TRI_CONE, "bench", Some("tri"), Some(&decompose))
+        .unwrap();
+    assert_eq!(cache_label(&cold), "miss");
+    assert_eq!(cold.get("cones_total").and_then(Json::as_i64), Some(3));
+    assert_eq!(cold.get("cones_replayed").and_then(Json::as_i64), Some(0));
+
+    // The ECO: one gate flipped inside the stateless cone. The whole-report
+    // cache misses (new content hash), but the two state-holding cones'
+    // digests are unchanged, so exactly cones_total − 1 replay.
+    let eco = client
+        .analyze(TRI_CONE_EDITED, "bench", Some("tri"), Some(&decompose))
+        .unwrap();
+    assert_eq!(
+        cache_label(&eco),
+        "warm",
+        "a one-cone edit must replay the untouched cones"
+    );
+    assert_eq!(eco.get("cones_total").and_then(Json::as_i64), Some(3));
+    assert_eq!(
+        eco.get("cones_replayed").and_then(Json::as_i64),
+        Some(2),
+        "cones_replayed must equal cones_total - 1 after a one-cone edit"
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("cones_total").and_then(Json::as_i64), Some(6));
+    assert_eq!(stats.get("cones_replayed").and_then(Json::as_i64), Some(2));
+    // Two shared cones + the pre-edit and post-edit variants of the third.
+    assert_eq!(stats.get("cone_entries").and_then(Json::as_i64), Some(4));
+
+    // `decompose` is excluded from the options fingerprint: a monolithic
+    // request for the edited circuit is answered from the report cache,
+    // byte-identical — the decomposed report IS the monolithic report.
+    let mono = client
+        .analyze(TRI_CONE_EDITED, "bench", Some("tri"), None)
+        .unwrap();
+    assert_eq!(cache_label(&mono), "hit");
+    assert_eq!(report_text(&eco), report_text(&mono));
+    assert!(mono.get("cones_total").is_none());
+
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+
+    // Cross-check against a fresh server's cold monolithic run: the
+    // incrementally recombined report must match bit for bit.
+    let (addr2, thread2) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client2 = Client::connect(addr2).unwrap();
+    let cold_mono = client2
+        .analyze(TRI_CONE_EDITED, "bench", Some("tri"), None)
+        .unwrap();
+    assert_eq!(cache_label(&cold_mono), "miss");
+    assert_eq!(report_text(&eco), report_text(&cold_mono));
+    client2.shutdown().unwrap();
+    thread2.join().unwrap().unwrap();
 }
 
 #[test]

@@ -104,3 +104,35 @@ fn reports_replay_byte_identical() {
         "golden corpus size changed"
     );
 }
+
+/// The cone-decomposed path must reproduce the same golden capture byte
+/// for byte — decomposition is an execution strategy, not a semantic
+/// change — under every ordering policy and thread count. Deliberately
+/// replays against the *existing* golden file: a decomposed-only
+/// divergence can never be blessed away.
+#[test]
+fn decomposed_reports_replay_byte_identical() {
+    let golden = std::fs::read_to_string(golden_file())
+        .expect("golden file missing; run reports_replay_byte_identical with MCT_BLESS=1 first");
+    let golden: std::collections::HashMap<&str, &str> =
+        golden.lines().filter_map(|l| l.split_once('\t')).collect();
+    for (name, circuit, opts) in corpus() {
+        let want = *golden
+            .get(name.as_str())
+            .expect("circuit missing from golden file");
+        let base = MctOptions {
+            decompose: true,
+            ..opts
+        };
+        for ordering in [VarOrder::Alloc, VarOrder::Static, VarOrder::Sift] {
+            for threads in [1usize, 2, 4] {
+                let got = report_line(&circuit, threads, ordering, &base);
+                assert_eq!(
+                    want, got,
+                    "{name}: decomposed report at {threads} threads / {ordering:?} \
+                     ordering differs from the golden monolithic capture"
+                );
+            }
+        }
+    }
+}

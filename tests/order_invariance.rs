@@ -13,7 +13,7 @@
 use mct_serve::report::report_to_json;
 use mct_suite::core::{MctAnalyzer, MctOptions, VarOrder};
 use mct_suite::gen::{families, paper_figure2, s27};
-use mct_suite::netlist::{Circuit, DelayModel};
+use mct_suite::netlist::{Circuit, DelayModel, Time};
 
 const POLICIES: [VarOrder; 3] = [VarOrder::Alloc, VarOrder::Static, VarOrder::Sift];
 
@@ -66,6 +66,43 @@ fn check_corpus(circuits: &[(String, Circuit, MctOptions)], threads: &[usize]) {
 #[test]
 fn reports_identical_across_ordering_policies() {
     check_corpus(&corpus(), &[1, 2, 4]);
+}
+
+/// The cone-decomposed path must agree byte for byte with the monolithic
+/// alloc-order sequential reference under every ordering policy and
+/// thread count — including on a genuinely multi-cone machine (the
+/// three-component composite), where decomposition actually splits the
+/// analysis instead of degenerating to the single-cone fallback.
+#[test]
+fn decomposed_reports_match_monolithic_reference() {
+    let mut circuits = corpus();
+    circuits.push((
+        "composite".into(),
+        families::composite(4, 3, 3, Time::from_f64(6.0), Time::from_f64(8.0)),
+        MctOptions::paper(),
+    ));
+    for (name, circuit, base) in &circuits {
+        let reference = serialized(circuit, VarOrder::Alloc, 1, base);
+        for &ordering in &POLICIES {
+            for &t in &[1usize, 2, 4] {
+                let opts = MctOptions {
+                    decompose: true,
+                    ordering,
+                    num_threads: t,
+                    ..base.clone()
+                };
+                let got = match MctAnalyzer::new(circuit).expect("analyzable").run(&opts) {
+                    Ok(report) => report_to_json(&report).to_compact(),
+                    Err(e) => format!("error: {e}"),
+                };
+                assert_eq!(
+                    reference, got,
+                    "{name}: decomposed report under {ordering:?} ordering at {t} \
+                     threads differs from the monolithic alloc-order sequential run"
+                );
+            }
+        }
+    }
 }
 
 /// Warm starts must reproduce the cold report under every policy — the
