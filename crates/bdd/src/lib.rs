@@ -52,9 +52,11 @@ mod dot;
 mod hash;
 mod manager;
 mod reorder;
+mod snapshot;
 
 pub use cubes::{Cube, CubeIter};
 pub use manager::{Bdd, BddManager, BddStats, Var, VarSet};
+pub use snapshot::{validate_order, BddImportError, BddSnapshot, SnapshotNode};
 
 #[cfg(test)]
 mod proptests;

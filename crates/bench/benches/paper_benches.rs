@@ -16,7 +16,10 @@
 //! * `parallel/*` — the breakpoint sweep at 1 vs 4 worker threads;
 //! * `decompose/*` — monolithic vs cone-of-influence-decomposed analysis
 //!   on the multi-cone composite machines, plus the seeded replay path
-//!   (`BENCH_6.json`).
+//!   (`BENCH_6.json`);
+//! * `persist/*` — cold analysis vs a warm start from a disk-stored reach
+//!   snapshot, plus store codec export/import throughput
+//!   (`BENCH_7.json`).
 //!
 //! Run with `cargo bench` or `cargo bench --bench paper_benches -- table1`
 //! to filter by scenario-name substring.
@@ -586,6 +589,75 @@ fn bench_decompose(h: &mut Harness) {
     }
 }
 
+/// Persistence round trips on the reach-dominated composite machines:
+/// cold analysis vs a warm start whose reach snapshot is loaded from the
+/// disk store (the restarted-daemon path), plus raw export/import
+/// throughput of the store codec. The artifact size is printed per
+/// machine — `BENCH_7.json` is transcribed from this output.
+fn bench_persist(h: &mut Harness) {
+    use mct_core::ReachSnapshot;
+    let suite = standard_suite();
+    for name in ["syn-s5378x", "syn-s15850x"] {
+        if !["cold", "disk-warm", "export", "import"]
+            .iter()
+            .any(|s| h.wants(&format!("persist/{name}/{s}")))
+        {
+            continue;
+        }
+        let entry = suite
+            .iter()
+            .find(|e| e.circuit.name() == name)
+            .expect("suite circuit");
+        let opts = MctOptions::paper();
+        // One cold run produces the snapshot every other scenario reuses.
+        let (_, snapshot) = MctAnalyzer::new(&entry.circuit)
+            .unwrap()
+            .run_warm(&opts, None)
+            .unwrap();
+        let snapshot = snapshot.expect("reachability produces a snapshot");
+        let bytes = mct_store::encode_reach(&snapshot.export_data());
+        println!("persist/{name}/artifact{:>21} bytes", bytes.len());
+
+        h.bench(&format!("persist/{name}/cold"), || {
+            MctAnalyzer::new(&entry.circuit)
+                .unwrap()
+                .run(&opts)
+                .unwrap()
+                .mct_upper_bound
+        });
+        // The restarted-daemon path: read the artifact back from a store
+        // directory, decode and import it, then warm-start the analysis —
+        // the reachability fixpoint is replaced by a transfer walk.
+        let dir =
+            std::env::temp_dir().join(format!("mct-bench-persist-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = mct_store::Store::open(&dir, None).expect("open store dir");
+        store
+            .save_reach("bench", &snapshot.export_data())
+            .expect("persist artifact");
+        h.bench(&format!("persist/{name}/disk-warm"), || {
+            let data = store.load_reach("bench").expect("persisted artifact");
+            let snap = ReachSnapshot::import_data(&data).expect("well-formed artifact");
+            MctAnalyzer::new(&entry.circuit)
+                .unwrap()
+                .run_warm(&opts, Some(&snap))
+                .unwrap()
+                .0
+                .mct_upper_bound
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        h.bench(&format!("persist/{name}/export"), || {
+            mct_store::encode_reach(&snapshot.export_data()).len()
+        });
+        h.bench(&format!("persist/{name}/import"), || {
+            let data = mct_store::decode_reach(&bytes).expect("round-trip");
+            ReachSnapshot::import_data(&data)
+                .expect("round-trip")
+                .approx_bytes()
+        });
+    }
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_table1(&mut h);
@@ -598,6 +670,7 @@ fn main() {
     bench_bdd_ops(&mut h);
     bench_ordering(&mut h);
     bench_decompose(&mut h);
+    bench_persist(&mut h);
     bench_parallel(&mut h);
     if h.results.is_empty() {
         eprintln!("no scenario matched the filter");

@@ -6,8 +6,9 @@
 //! mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]
 //! mct convert  <in> <out>                  translate between .bench and .blif
 //! mct serve    [--listen A] [--workers N] [--cache-dir D] …   analysis daemon
-//! mct query    <file> [--connect A] [options] [--json]        ask the daemon
-//! mct query    --stats|--ping|--shutdown [--connect A]        daemon control
+//! mct query    <file>… [--connect A] [--shard-map A,B,…] [options] [--json]
+//! mct query    --stats|--ping|--shutdown [--connect A|--shard-map A,B,…]
+//! mct cache    ls|gc|rm <digest> --cache-dir D [--cache-max-bytes N]
 //! mct fuzz     [--seed S] [--iters N] [--time-budget-ms T] [--corpus DIR]
 //!              [--oracle all|differential|metamorphic|robustness|decompose] [--stats-json]
 //!
@@ -33,10 +34,29 @@
 //!   --listen ADDR        bind address (default 127.0.0.1:7934; port 0 = ephemeral)
 //!   --workers N          worker threads (default 2)
 //!   --cache-capacity N   in-memory result-cache entries (default 64)
-//!   --cache-dir DIR      persist results across restarts
+//!   --cache-dir DIR      persist results, reachability snapshots, learned
+//!                        variable orders, and cone replay seeds across
+//!                        restarts (a restarted daemon warm-starts from disk)
+//!   --cache-max-bytes N  byte budget, applied to the in-memory cache and
+//!                        the disk store each (LRU eviction; artifacts
+//!                        larger than the budget bypass admission)
 //!   --max-queue N        queued connections before shedding `busy` (default 32)
 //!   --request-budget S   per-request analysis budget, seconds
 //!   --quiet              suppress per-request log lines
+//!
+//! query options:
+//!   --shard-map A,B,…    a fleet of daemons; each circuit is routed by
+//!                        content digest modulo the shard count, so
+//!                        identical circuits always land on the same
+//!                        replica (--stats/--ping/--shutdown fan out to
+//!                        every shard). Several <file> arguments go out
+//!                        as one `batch` request per shard.
+//!
+//! cache actions (offline, against a --cache-dir store):
+//!   ls                   list artifacts with class and size
+//!   gc                   drop foreign/corrupt files, then evict LRU
+//!                        until under --cache-max-bytes (when given)
+//!   rm <digest>          remove every artifact keyed by a layout digest
 //!
 //! fuzz options:
 //!   --seed S             master seed (default 1); stdout is a pure function
@@ -51,7 +71,8 @@
 
 use mct_core::{MctAnalyzer, MctOptions, VarOrder};
 use mct_netlist::{
-    parse_bench, parse_blif, write_bench, write_blif, Circuit, DelayModel, FsmView, Time,
+    circuit_digests, parse_bench, parse_blif, write_bench, write_blif, Circuit, DelayModel,
+    FsmView, Time,
 };
 use mct_serve::json::Json;
 use mct_serve::server::{Server, ServerConfig};
@@ -80,6 +101,8 @@ struct Flags {
     workers: usize,
     cache_capacity: usize,
     cache_dir: Option<String>,
+    cache_max_bytes: Option<u64>,
+    shard_map: Option<Vec<String>>,
     max_queue: usize,
     request_budget_secs: Option<u64>,
     quiet: bool,
@@ -116,6 +139,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         workers: 2,
         cache_capacity: 64,
         cache_dir: None,
+        cache_max_bytes: None,
+        shard_map: None,
         max_queue: 32,
         request_budget_secs: None,
         quiet: false,
@@ -193,6 +218,28 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--cache-dir" => {
                 f.cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone())
+            }
+            "--cache-max-bytes" => {
+                f.cache_max_bytes = Some(
+                    it.next()
+                        .ok_or("--cache-max-bytes needs a byte count")?
+                        .parse()
+                        .map_err(|e| format!("bad byte budget: {e}"))?,
+                )
+            }
+            "--shard-map" => {
+                let list: Vec<String> = it
+                    .next()
+                    .ok_or("--shard-map needs a comma-separated address list")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if list.is_empty() {
+                    return Err("--shard-map needs at least one address".into());
+                }
+                f.shard_map = Some(list);
             }
             "--max-queue" => {
                 f.max_queue = it
@@ -424,6 +471,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         workers: flags.workers,
         cache_capacity: flags.cache_capacity,
         cache_dir: flags.cache_dir.clone().map(Into::into),
+        cache_max_bytes: flags.cache_max_bytes,
         max_queue: flags.max_queue,
         default_time_budget_ms: flags.request_budget_secs.map(|s| s * 1000),
         log: !flags.quiet,
@@ -438,32 +486,145 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_query(flags: &Flags) -> Result<(), String> {
-    let connect = |what: &str| {
-        Client::connect(&flags.connect).map_err(|e| format!("{} ({what}): {e}", flags.connect))
+    // One shard by default; with --shard-map, every control request fans
+    // out and every analyze routes by content digest (below).
+    let shards: Vec<String> = match &flags.shard_map {
+        Some(list) => list.clone(),
+        None => vec![flags.connect.clone()],
     };
+    let connect =
+        |addr: &str, what: &str| Client::connect(addr).map_err(|e| format!("{addr} ({what}): {e}"));
     if flags.shutdown {
-        let response = connect("shutdown")?.shutdown().map_err(|e| e.to_string())?;
-        expect_type(&response, "bye")?;
-        println!("server at {} shutting down", flags.connect);
+        for addr in &shards {
+            let response = connect(addr, "shutdown")?
+                .shutdown()
+                .map_err(|e| e.to_string())?;
+            expect_type(&response, "bye")?;
+            println!("server at {addr} shutting down");
+        }
         return Ok(());
     }
     if flags.ping {
-        let response = connect("ping")?.ping().map_err(|e| e.to_string())?;
-        expect_type(&response, "pong")?;
-        println!("server at {} is alive", flags.connect);
+        for addr in &shards {
+            let response = connect(addr, "ping")?.ping().map_err(|e| e.to_string())?;
+            expect_type(&response, "pong")?;
+            println!("server at {addr} is alive");
+        }
         return Ok(());
     }
     if flags.stats {
-        let response = connect("stats")?.stats().map_err(|e| e.to_string())?;
-        expect_type(&response, "stats")?;
-        println!("{}", response.to_pretty());
+        for addr in &shards {
+            let response = connect(addr, "stats")?.stats().map_err(|e| e.to_string())?;
+            expect_type(&response, "stats")?;
+            if shards.len() > 1 {
+                println!("── {addr}");
+            }
+            println!("{}", response.to_pretty());
+        }
         return Ok(());
     }
 
-    let path = flags
-        .positional
-        .first()
-        .ok_or("query needs a netlist file")?;
+    if flags.positional.is_empty() {
+        return Err("query needs a netlist file".into());
+    }
+    // Build one analyze object per file, routed to its shard: the same
+    // circuit always hashes to the same replica, so each replica's cache
+    // stays hot for its slice of the fleet's workload.
+    let mut per_shard: Vec<Vec<(usize, Json)>> = vec![Vec::new(); shards.len()];
+    for (idx, path) in flags.positional.iter().enumerate() {
+        let (request, shard) = build_analyze_request(flags, path, shards.len())?;
+        per_shard[shard].push((idx, request));
+    }
+    let mut responses: Vec<Option<Json>> = vec![None; flags.positional.len()];
+    for (shard, routed) in per_shard.iter().enumerate() {
+        if routed.is_empty() {
+            continue;
+        }
+        let mut client = connect(&shards[shard], "analyze")?;
+        if let [(idx, request)] = routed.as_slice() {
+            responses[*idx] = Some(client.request(request).map_err(|e| e.to_string())?);
+            continue;
+        }
+        // Several files for one shard travel as a single batch request;
+        // the `seq`-tagged responses come back in submission order.
+        let request = Json::Obj(vec![
+            ("type".into(), Json::Str("batch".into())),
+            (
+                "requests".into(),
+                Json::Arr(routed.iter().map(|(_, r)| r.clone()).collect()),
+            ),
+        ]);
+        let response = client.request(&request).map_err(|e| e.to_string())?;
+        expect_type(&response, "batch")?;
+        let items = response
+            .get("responses")
+            .and_then(Json::as_arr)
+            .ok_or("batch response missing `responses`")?;
+        if items.len() != routed.len() {
+            return Err(format!(
+                "batch response has {} item(s), expected {}",
+                items.len(),
+                routed.len()
+            ));
+        }
+        for ((idx, _), item) in routed.iter().zip(items) {
+            responses[*idx] = Some(item.clone());
+        }
+    }
+    let responses: Vec<Json> = responses
+        .into_iter()
+        .map(|r| r.expect("every file was routed to a shard"))
+        .collect();
+
+    if flags.json {
+        match responses.as_slice() {
+            [only] => {
+                check_report_envelope(only)?;
+                println!("{}", only.to_pretty());
+            }
+            _ => println!("{}", Json::Arr(responses.clone()).to_pretty()),
+        }
+        if responses.len() > 1 {
+            let failed = responses
+                .iter()
+                .filter(|r| check_report_envelope(r).is_err())
+                .count();
+            if failed > 0 {
+                return Err(format!("{failed} of {} file(s) failed", responses.len()));
+            }
+        }
+        return Ok(());
+    }
+    let mut failures = Vec::new();
+    for (path, response) in flags.positional.iter().zip(&responses) {
+        match check_report_envelope(response) {
+            Ok(()) => print_report_response(response, &flags.connect)?,
+            Err(e) => {
+                println!("{path}: error: {e}");
+                failures.push(path.as_str());
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} file(s) failed",
+            failures.len(),
+            responses.len()
+        ))
+    }
+}
+
+/// Builds the wire-format analyze object for one netlist file and picks
+/// its shard: content digest modulo the shard count, so renamed or
+/// reordered-but-identical circuits land on the same replica. With a
+/// single shard the local parse is skipped.
+fn build_analyze_request(
+    flags: &Flags,
+    path: &str,
+    num_shards: usize,
+) -> Result<(Json, usize), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let as_blif = flags.blif.unwrap_or_else(|| path.ends_with(".blif"));
     let name = match &flags.name {
@@ -472,6 +633,17 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "circuit".into()),
+    };
+    let shard = if num_shards > 1 {
+        let circuit = if as_blif {
+            parse_blif(&text, &flags.model)
+        } else {
+            parse_bench(&text, &flags.model)
+        }
+        .map_err(|e| format!("{path}: {e}"))?;
+        (circuit_digests(&circuit).content.0 % num_shards as u128) as usize
+    } else {
+        0
     };
     let opts = mct_options(flags);
     let options = Json::Obj(vec![
@@ -519,26 +691,86 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         ),
         ("options".into(), options),
     ]);
-    let response = connect("analyze")?
-        .request(&request)
-        .map_err(|e| e.to_string())?;
+    Ok((request, shard))
+}
+
+/// Maps the non-`report` response envelopes to CLI errors.
+fn check_report_envelope(response: &Json) -> Result<(), String> {
     match response.get("type").and_then(Json::as_str) {
-        Some("report") => {}
-        Some("busy") => return Err("server busy, retry later".into()),
-        Some("error") => {
-            return Err(response
-                .get("message")
-                .and_then(Json::as_str)
-                .unwrap_or("unspecified server error")
-                .to_owned())
+        Some("report") => Ok(()),
+        Some("busy") => Err("server busy, retry later".into()),
+        Some("error") => Err(response
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error")
+            .to_owned()),
+        other => Err(format!("unexpected response type {other:?}")),
+    }
+}
+
+/// Offline maintenance of a `--cache-dir` store: `ls` lists artifacts,
+/// `gc` drops foreign/corrupt files (then evicts LRU down to
+/// `--cache-max-bytes` when given), `rm <digest>` removes every artifact
+/// keyed by a layout digest.
+fn cmd_cache(flags: &Flags) -> Result<(), String> {
+    let dir = flags
+        .cache_dir
+        .as_deref()
+        .ok_or("cache needs --cache-dir DIR")?;
+    let mut store = mct_store::Store::open(std::path::Path::new(dir), flags.cache_max_bytes)
+        .map_err(|e| format!("{dir}: {e}"))?;
+    let action = flags
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("cache needs an action: ls | gc | rm <digest>")?;
+    match action {
+        "ls" => {
+            // `ls` is made for piping into `head`/`grep -q`, which close
+            // the pipe early; a failed write means the reader has all it
+            // wants, not an error.
+            use std::io::Write;
+            let mut out = std::io::stdout().lock();
+            for entry in store.ls() {
+                let kind = match entry.kind {
+                    Some(mct_store::ArtifactKind::Reach) => "reach",
+                    Some(mct_store::ArtifactKind::Order) => "order",
+                    Some(mct_store::ArtifactKind::Cone) => "cone",
+                    None => "other",
+                };
+                if writeln!(out, "{:>12}  {kind:<6}  {}", entry.bytes, entry.file).is_err() {
+                    return Ok(());
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{} file(s), {} byte(s) in {dir}",
+                store.num_files(),
+                store.bytes_in_use()
+            );
+            Ok(())
         }
-        other => return Err(format!("unexpected response type {other:?}")),
+        "gc" => {
+            let outcome = store.gc(flags.cache_max_bytes);
+            println!(
+                "removed {} file(s), freed {} byte(s); {} byte(s) remain",
+                outcome.removed,
+                outcome.freed,
+                store.bytes_in_use()
+            );
+            Ok(())
+        }
+        "rm" => {
+            let digest = flags
+                .positional
+                .get(1)
+                .ok_or("cache rm needs a layout digest (32 hex chars)")?;
+            let removed = store.rm(digest);
+            println!("removed {removed} file(s)");
+            Ok(())
+        }
+        other => Err(format!("unknown cache action `{other}` (ls | gc | rm)")),
     }
-    if flags.json {
-        println!("{}", response.to_pretty());
-        return Ok(());
-    }
-    print_report_response(&response, &flags.connect)
 }
 
 fn cmd_fuzz(flags: &Flags) -> Result<(), String> {
@@ -631,9 +863,12 @@ fn main() -> ExitCode {
              mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]\n\
              mct convert <in> <out>\n\
              mct serve [--listen ADDR] [--workers N] [--cache-capacity N] \
-             [--cache-dir DIR] [--max-queue N] [--request-budget SECS] [--quiet]\n\
-             mct query <file> [--connect ADDR] [--name NAME] [analysis flags] [--json]\n\
-             mct query --stats|--ping|--shutdown [--connect ADDR]\n\
+             [--cache-dir DIR] [--cache-max-bytes N] [--max-queue N] \
+             [--request-budget SECS] [--quiet]\n\
+             mct query <file>… [--connect ADDR] [--shard-map A,B,…] [--name NAME] \
+             [analysis flags] [--json]\n\
+             mct query --stats|--ping|--shutdown [--connect ADDR] [--shard-map A,B,…]\n\
+             mct cache ls|gc|rm <digest> --cache-dir DIR [--cache-max-bytes N]\n\
              mct fuzz [--seed S] [--iters N] [--time-budget-ms T] \
              [--corpus DIR] [--oracle NAME] [--stats-json]"
         );
@@ -653,6 +888,7 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
+        "cache" => cmd_cache(&flags),
         "fuzz" => cmd_fuzz(&flags),
         other => Err(format!("unknown command `{other}` (try --help)")),
     };

@@ -221,10 +221,10 @@ pub struct MctReport {
 /// one: the transferred set denotes the same function, and the decision
 /// algorithm only ever compares functions.
 pub struct ReachSnapshot {
-    manager: BddManager,
-    table: TimedVarTable,
-    set: Bdd,
-    states: f64,
+    pub(crate) manager: BddManager,
+    pub(crate) table: TimedVarTable,
+    pub(crate) set: Bdd,
+    pub(crate) states: f64,
 }
 
 impl ReachSnapshot {
@@ -261,6 +261,37 @@ impl<'c> MctAnalyzer<'c> {
     /// The FSM view under analysis.
     pub fn view(&self) -> &FsmView<'c> {
         &self.view
+    }
+
+    /// Pre-loads a learned variable order (typically a persisted, sifted
+    /// one) into the analyzer's table before any BDD is built, so the run
+    /// starts from that layout instead of re-deriving or re-learning it.
+    ///
+    /// The order is validated against this circuit first — a stale or
+    /// corrupt on-disk order is rejected with a structured error and the
+    /// analyzer is left untouched. Ordering is a performance lever only:
+    /// the report is bit-identical with or without a preload.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ArtifactError`] on duplicate variables or leaves outside
+    /// this circuit's leaf range.
+    pub fn preload_order(
+        &mut self,
+        order: &crate::artifact::OrderData,
+    ) -> Result<(), crate::artifact::ArtifactError> {
+        crate::artifact::validate_timed_order(&order.vars, self.view.leaves().len())?;
+        self.table.preregister(order.vars.iter().copied());
+        Ok(())
+    }
+
+    /// Exports the analyzer's current variable order (the static order
+    /// refined by any sifting the run triggered), root-most first — the
+    /// payload of the persisted order-artifact class.
+    pub fn learned_order(&self) -> crate::artifact::OrderData {
+        crate::artifact::OrderData {
+            vars: export_order(&self.manager, &self.table),
+        }
     }
 
     /// Runs the sweep and returns the report.

@@ -72,25 +72,25 @@ use std::time::Instant;
 /// it.
 pub struct ConeCacheEntry {
     /// Private manager holding the layer and reach BDDs.
-    manager: BddManager,
-    table: TimedVarTable,
+    pub(crate) manager: BddManager,
+    pub(crate) table: TimedVarTable,
     /// Exactly-`k`-step reachable layers over local
     /// `TimedVar::Shifted { leaf, shift: 0 }` state variables, for
     /// `k < tail + period`; deeper layers repeat with period `period` from
     /// `tail` (the ρ shape of a deterministic set recurrence).
-    layers: Vec<Bdd>,
-    tail: usize,
-    period: usize,
+    pub(crate) layers: Vec<Bdd>,
+    pub(crate) tail: usize,
+    pub(crate) period: usize,
     /// Union of all layers — the cone's full reachable set.
-    reach: Option<Bdd>,
+    pub(crate) reach: Option<Bdd>,
     /// `C_x` verdicts keyed by (local σ projection, global induction depth).
-    outcomes_cx: HashMap<(Vec<i64>, i64), DecisionOutcome>,
+    pub(crate) outcomes_cx: HashMap<(Vec<i64>, i64), DecisionOutcome>,
     /// Exact-check parts keyed by local σ projection.
-    outcomes_exact: HashMap<Vec<i64>, ExactPart>,
+    pub(crate) outcomes_exact: HashMap<Vec<i64>, ExactPart>,
 }
 
 impl ConeCacheEntry {
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         ConeCacheEntry {
             manager: BddManager::new(),
             table: TimedVarTable::new(),
@@ -139,12 +139,12 @@ pub struct DecomposeArtifacts {
 /// product fit the budget.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct ExactPart {
-    m_state: i64,
-    m_input: i64,
+    pub(crate) m_state: i64,
+    pub(crate) m_input: i64,
     /// `None` iff the cone's own product already exceeded the budget (then
     /// the global product certainly does, and the merge reports the
     /// monolithic error without any cone running a fixpoint).
-    fix: Option<ExactRun>,
+    pub(crate) fix: Option<ExactRun>,
 }
 
 /// Provenance of one cone back into the parent machine.

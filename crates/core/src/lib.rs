@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 mod analyzer;
+mod artifact;
 mod breakpoints;
 mod decision;
 mod decompose;
@@ -82,6 +83,9 @@ mod sigma;
 mod proptests;
 
 pub use analyzer::{MctAnalyzer, MctOptions, MctReport, ReachSnapshot, ValidityRegion, VarOrder};
+pub use artifact::{
+    validate_timed_order, ArtifactError, ConeData, ExactPartData, OrderData, OutcomeData, ReachData,
+};
 pub use breakpoints::BreakpointIter;
 pub use decision::{DecisionContext, DecisionOutcome};
 pub use decompose::{ConeCacheEntry, DecomposeArtifacts};

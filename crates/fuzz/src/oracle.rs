@@ -18,15 +18,17 @@
 //!   thread counts; a canonical-identity cache replay returns the original
 //!   bytes.
 //! * **robustness** — serialization round-trips: the timed `.bench` corpus
-//!   format reproduces the circuit exactly (both canonical digests), and
-//!   the BLIF round-trip preserves sequential behaviour. Panics anywhere in
-//!   the stack are caught by the runner and reported as robustness
-//!   failures.
+//!   format reproduces the circuit exactly (both canonical digests), the
+//!   BLIF round-trip preserves sequential behaviour, and the
+//!   reachable-state snapshot survives the persistent store's binary
+//!   encoding (export → encode → decode → import into a fresh manager)
+//!   with a byte-identical warm-start report. Panics anywhere in the stack
+//!   are caught by the runner and reported as robustness failures.
 //! * **decompose** — cone-of-influence decomposition is a pure performance
 //!   lever: the recombined per-cone report must be byte-identical to the
 //!   monolithic one, at one worker and with the cone pool parallelized.
 
-use mct_core::{MctAnalyzer, MctOptions, MctReport, VarOrder};
+use mct_core::{MctAnalyzer, MctOptions, MctReport, ReachSnapshot, VarOrder};
 use mct_lp::Rat;
 use mct_netlist::{circuit_digests, parse_blif, write_blif, Circuit, DelayModel, Time};
 use mct_serve::report::{options_fingerprint, report_to_json};
@@ -150,6 +152,9 @@ pub struct OracleStats {
     pub sharp_confirmed: u64,
     /// Canonical cache replays exercised.
     pub cache_replays: u64,
+    /// Reach-snapshot store round-trips completed (export → encode →
+    /// decode → import → warm start, byte-identical report).
+    pub snapshot_roundtrips: u64,
     /// Mono-vs-decomposed identity comparisons completed.
     pub decompose_checks: u64,
 }
@@ -172,7 +177,7 @@ impl OracleCtx {
         OracleCtx {
             select,
             opts,
-            cache: ResultCache::new(256, None),
+            cache: ResultCache::new(256, None, None),
             stats: OracleStats::default(),
         }
     }
@@ -526,7 +531,7 @@ fn metamorphic(
     None
 }
 
-fn robustness(_ctx: &mut OracleCtx, c: &Circuit, stim_seed: u64) -> Option<Failure> {
+fn robustness(ctx: &mut OracleCtx, c: &Circuit, stim_seed: u64) -> Option<Failure> {
     // Timed-bench round trip is exact: both canonical digests and the name.
     let text = write_timed_bench(c);
     match parse_timed_bench(&text) {
@@ -571,6 +576,80 @@ fn robustness(_ctx: &mut OracleCtx, c: &Circuit, stim_seed: u64) -> Option<Failu
                 oracle: "robustness",
                 detail: format!("BLIF round-trip failed to parse: {e}"),
             })
+        }
+    }
+    // Reach-snapshot persistence round trip: the snapshot the analysis
+    // produces must survive the store's binary encoding, import into a
+    // *fresh* manager (identity variable order), and warm-start a repeat
+    // analysis to the byte-identical report.
+    if ctx.opts.analysis.use_reachability {
+        ctx.stats.analyses += 1;
+        let cold = MctAnalyzer::new(c)
+            .map_err(|e| format!("analyzer construction: {e:?}"))
+            .and_then(|mut an| {
+                an.run_warm(&ctx.opts.analysis, None)
+                    .map_err(|e| format!("analysis: {e:?}"))
+            });
+        match cold {
+            Ok((cold_report, Some(snap))) if !cold_report.timed_out => {
+                let bytes = mct_store::encode_reach(&snap.export_data());
+                let decoded = match mct_store::decode_reach(&bytes) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        return Some(Failure {
+                            oracle: "robustness",
+                            detail: format!(
+                                "reach snapshot failed to decode its own encoding: {e}"
+                            ),
+                        })
+                    }
+                };
+                let imported = match ReachSnapshot::import_data(&decoded) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return Some(Failure {
+                            oracle: "robustness",
+                            detail: format!("round-tripped reach snapshot failed to import: {e:?}"),
+                        })
+                    }
+                };
+                ctx.stats.analyses += 1;
+                let warm = MctAnalyzer::new(c)
+                    .map_err(|e| format!("analyzer construction: {e:?}"))
+                    .and_then(|mut an| {
+                        an.run_warm(&ctx.opts.analysis, Some(&imported))
+                            .map_err(|e| format!("analysis: {e:?}"))
+                    });
+                match warm {
+                    Ok((warm_report, _)) => {
+                        let cold_j = report_to_json(&cold_report).to_compact();
+                        let warm_j = report_to_json(&warm_report).to_compact();
+                        if warm_j != cold_j {
+                            return Some(Failure {
+                                oracle: "robustness",
+                                detail: format!(
+                                    "warm start from a round-tripped snapshot changed the \
+                                     report:\n  cold: {cold_j}\n  warm: {warm_j}"
+                                ),
+                            });
+                        }
+                        ctx.stats.snapshot_roundtrips += 1;
+                    }
+                    Err(e) => {
+                        return Some(Failure {
+                            oracle: "robustness",
+                            detail: format!(
+                                "warm start from a round-tripped snapshot errored where the \
+                                 cold run succeeded: {e}"
+                            ),
+                        })
+                    }
+                }
+            }
+            // No snapshot (early exit before reachability) or a partial
+            // report — nothing to round-trip.
+            Ok(_) => {}
+            Err(_) => ctx.stats.analysis_errors += 1,
         }
     }
     None

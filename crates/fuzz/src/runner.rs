@@ -180,6 +180,10 @@ impl FuzzStats {
                 Json::Int(self.oracle.cache_replays as i64),
             ),
             (
+                "snapshot_roundtrips".into(),
+                Json::Int(self.oracle.snapshot_roundtrips as i64),
+            ),
+            (
                 "decompose_checks".into(),
                 Json::Int(self.oracle.decompose_checks as i64),
             ),
@@ -217,6 +221,10 @@ impl FuzzStats {
         out.push_str(&format!(
             "  cache replays   {:>8}\n",
             self.oracle.cache_replays
+        ));
+        out.push_str(&format!(
+            "  snapshot rtrips {:>8}\n",
+            self.oracle.snapshot_roundtrips
         ));
         out.push_str(&format!(
             "  decompose checks{:>8}\n",

@@ -81,6 +81,45 @@ impl Client {
         self.request(&Json::Obj(fields))
     }
 
+    /// Submits several netlists in one round trip.
+    ///
+    /// Each item is `(netlist, format, name)`; `options` applies to every
+    /// item. The response is a `batch` envelope whose `responses` array
+    /// holds one `report`/`error` envelope per item, in submission order,
+    /// each tagged with its zero-based `seq`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures ([`Self::request`]); per-item failures come
+    /// back as `error` objects inside the `responses` array.
+    pub fn batch(
+        &mut self,
+        items: &[(&str, &str, Option<&str>)],
+        options: Option<&Json>,
+    ) -> std::io::Result<Json> {
+        let requests = items
+            .iter()
+            .map(|(netlist, format, name)| {
+                let mut fields = vec![
+                    ("type".into(), Json::Str("analyze".into())),
+                    ("format".into(), Json::Str((*format).into())),
+                    ("netlist".into(), Json::Str((*netlist).into())),
+                ];
+                if let Some(name) = name {
+                    fields.push(("name".into(), Json::Str((*name).into())));
+                }
+                if let Some(options) = options {
+                    fields.push(("options".into(), options.clone()));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        self.request(&Json::Obj(vec![
+            ("type".into(), Json::Str("batch".into())),
+            ("requests".into(), Json::Arr(requests)),
+        ]))
+    }
+
     /// Fetches the server's aggregate counters.
     ///
     /// # Errors

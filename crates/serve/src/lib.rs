@@ -76,7 +76,7 @@ pub mod report;
 pub mod server;
 pub mod signal;
 
-pub use cache::{CacheHit, CacheKey, CacheTier, ResultCache};
+pub use cache::{CacheHit, CacheKey, CacheTier, PersistStats, ResultCache};
 pub use client::Client;
 pub use json::Json;
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use mct_core::{ConeCacheEntry, MctAnalyzer, MctOptions};
 use mct_netlist::{circuit_digests, parse_bench, parse_blif, Circuit, DelayModel};
 
-use crate::cache::{CacheKey, CacheTier, ResultCache};
+use crate::cache::{CacheHit, CacheKey, CacheTier, ResultCache};
 use crate::json::Json;
 use crate::report::{options_fingerprint, options_overlay, options_to_json, report_to_json};
 use crate::signal;
@@ -50,6 +50,11 @@ pub struct ServerConfig {
     /// Directory for the persistent result cache; `None` disables the
     /// disk tier.
     pub cache_dir: Option<PathBuf>,
+    /// Byte budget applied to the in-memory cache and the disk store
+    /// (each independently): least-recently-used artifacts are evicted to
+    /// stay under it, and an artifact bigger than the whole budget
+    /// bypasses admission. `None` leaves both unbounded by size.
+    pub cache_max_bytes: Option<u64>,
     /// Maximum connections waiting for a worker before new ones are shed
     /// with a `busy` response (minimum 1 — the queue doubles as the
     /// idle-worker handoff).
@@ -73,6 +78,7 @@ impl Default for ServerConfig {
             workers: 2,
             cache_capacity: 64,
             cache_dir: None,
+            cache_max_bytes: None,
             max_queue: 32,
             default_time_budget_ms: None,
             idle_timeout_ms: 5_000,
@@ -163,6 +169,7 @@ struct Counters {
     hits: AtomicU64,
     disk_hits: AtomicU64,
     warm_starts: AtomicU64,
+    coalesced: AtomicU64,
     misses: AtomicU64,
     cones_total: AtomicU64,
     cones_replayed: AtomicU64,
@@ -174,6 +181,16 @@ struct Counters {
     kernel: KernelCounters,
 }
 
+/// One in-flight analysis, shared between the leader running it and the
+/// followers whose identical requests coalesced onto it. The leader
+/// publishes exactly once — the compact report text plus its layout
+/// digest on success, the error message on failure — then notifies.
+#[derive(Default)]
+struct Inflight {
+    done: Mutex<Option<Result<(String, mct_netlist::CanonicalHash), String>>>,
+    cv: Condvar,
+}
+
 struct Shared {
     cfg: ServerConfig,
     cache: Mutex<ResultCache>,
@@ -181,6 +198,10 @@ struct Shared {
     available: Condvar,
     shutdown: AtomicBool,
     stats: Counters,
+    /// Requests currently being analyzed, keyed like the result cache.
+    /// A second identical submission arriving while the first is running
+    /// blocks on the leader's [`Inflight`] instead of re-analyzing.
+    inflight: Mutex<std::collections::HashMap<CacheKey, Arc<Inflight>>>,
 }
 
 impl Shared {
@@ -229,7 +250,11 @@ impl Server {
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.listen)?;
         let addr = listener.local_addr()?;
-        let cache = ResultCache::new(cfg.cache_capacity, cfg.cache_dir.clone());
+        let cache = ResultCache::new(
+            cfg.cache_capacity,
+            cfg.cache_dir.clone(),
+            cfg.cache_max_bytes,
+        );
         Ok(Server {
             listener,
             addr,
@@ -240,6 +265,7 @@ impl Server {
                 available: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 stats: Counters::default(),
+                inflight: Mutex::new(std::collections::HashMap::new()),
             }),
         })
     }
@@ -449,6 +475,7 @@ fn handle_request(shared: &Shared, text: &str, peer: &str) -> (Json, bool) {
             )
         }
         "analyze" => (handle_analyze(shared, &request, peer, started), false),
+        "batch" => (handle_batch(shared, &request, peer), false),
         other => (
             error_response(shared, peer, &format!("unknown request type `{other}`")),
             false,
@@ -472,6 +499,43 @@ fn handle_analyze(shared: &Shared, request: &Json, peer: &str, started: Instant)
         Ok(response) => response,
         Err(message) => error_response(shared, peer, &message),
     }
+}
+
+/// A batch request carries N analyze-shaped objects under `requests` and
+/// is answered with N envelopes in submission order, each tagged with its
+/// zero-based `seq`. Items are independent: one bad netlist yields an
+/// `error` envelope at its position without failing the rest.
+fn handle_batch(shared: &Shared, request: &Json, peer: &str) -> Json {
+    /// Hard ceiling on items per batch — a protocol sanity bound, not a
+    /// throughput knob (batches beyond this should be split by the
+    /// client).
+    const MAX_BATCH: usize = 1024;
+    let Some(items) = request.get("requests").and_then(Json::as_arr) else {
+        return error_response(shared, peer, "batch needs a `requests` array");
+    };
+    if items.len() > MAX_BATCH {
+        return error_response(
+            shared,
+            peer,
+            &format!(
+                "batch of {} exceeds the {MAX_BATCH}-item limit",
+                items.len()
+            ),
+        );
+    }
+    let mut responses = Vec::with_capacity(items.len());
+    for (seq, item) in items.iter().enumerate() {
+        let mut response = handle_analyze(shared, item, peer, Instant::now());
+        if let Json::Obj(fields) = &mut response {
+            fields.insert(0, ("seq".into(), Json::Int(seq as i64)));
+        }
+        responses.push(response);
+    }
+    Json::Obj(vec![
+        ("type".into(), Json::Str("batch".into())),
+        ("count".into(), Json::Int(responses.len() as i64)),
+        ("responses".into(), Json::Arr(responses)),
+    ])
 }
 
 fn analyze_inner(
@@ -542,20 +606,158 @@ fn analyze_inner(
         // A corrupt cache entry falls through to a fresh analysis.
     }
 
-    // Phase 3 (decomposed): slice into cones of influence, replay the
-    // cones whose layout digests are in the per-cone cache tier, and
-    // analyze only what changed. The recombined report is bit-identical
-    // to the monolithic one, so it lands in the whole-report cache under
-    // the same key (the fingerprint excludes `decompose`).
-    if opts.decompose {
-        return analyze_decomposed(shared, &circuit, &opts, key, digests.layout, peer, started);
+    // Phase 2.5: coalesce concurrent identical submissions. The first
+    // request for a key becomes the leader and runs the analysis; an
+    // identical request arriving while it is in flight blocks on the
+    // leader's [`Inflight`] and replays its result instead of running the
+    // same analysis a second time.
+    enum Claim {
+        Leader,
+        Follower(Arc<Inflight>),
+        Settled(CacheHit),
     }
+    let claim = {
+        let mut inflight = shared.inflight.lock().expect("inflight lock");
+        match inflight.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Claim::Follower(Arc::clone(e.get())),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                // Double-check the memory tier before claiming leadership:
+                // a leader publishes to the cache *before* releasing its
+                // in-flight entry, so a vacant entry after a phase-2 miss
+                // can only mean the leader finished in between — replay its
+                // result instead of running the analysis a second time.
+                match shared.cache.lock().expect("cache lock").get_memory(key) {
+                    Some(hit) => Claim::Settled(hit),
+                    None => {
+                        v.insert(Arc::new(Inflight::default()));
+                        Claim::Leader
+                    }
+                }
+            }
+        }
+    };
+    if let Claim::Follower(flight) = &claim {
+        return follow_inflight(
+            shared,
+            flight,
+            key,
+            digests.layout,
+            circuit.name(),
+            peer,
+            started,
+        );
+    }
+    if let Claim::Settled(hit) = &claim {
+        if let Ok(report_json) = Json::parse(&hit.report_json) {
+            shared.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(report_response(
+                shared,
+                key,
+                "hit",
+                with_circuit_name(report_json, circuit.name()),
+                EnvelopeNotes {
+                    canonical_indices: hit.layout != digests.layout,
+                    ..EnvelopeNotes::default()
+                },
+                peer,
+                started,
+            ));
+        }
+        // A corrupt entry falls through to an (uncoalesced) analysis.
+    }
+    let is_leader = matches!(claim, Claim::Leader);
 
-    // Phase 3: analyze, warm-starting from a cached reachable-state set
-    // when one exists for this exact *layout* (content hash + register
-    // declaration order). Keying by content hash alone would be unsound:
-    // snapshot BDD variables are register positions, and importing them
-    // into a register-permuted rebuild would restrict the wrong bits.
+    // Leader: run the analysis (never holding the inflight lock), then
+    // publish to any followers — on success AND on failure, so a follower
+    // can never wait forever.
+    let result = if opts.decompose {
+        // Phase 3 (decomposed): slice into cones of influence, replay the
+        // cones whose layout digests are in the per-cone cache tier, and
+        // analyze only what changed. The recombined report is
+        // bit-identical to the monolithic one, so it lands in the
+        // whole-report cache under the same key (the fingerprint excludes
+        // `decompose`).
+        analyze_decomposed(shared, &circuit, &opts, key, digests.layout, peer, started)
+    } else {
+        analyze_direct(shared, &circuit, &opts, key, &digests, peer, started)
+    };
+    if is_leader {
+        let published = match &result {
+            Ok((_, report_text)) => Ok((report_text.clone(), digests.layout)),
+            Err(message) => Err(message.clone()),
+        };
+        let flight = shared.inflight.lock().expect("inflight lock").remove(&key);
+        if let Some(flight) = flight {
+            *flight.done.lock().expect("inflight result lock") = Some(published);
+            flight.cv.notify_all();
+        }
+    }
+    result.map(|(response, _)| response)
+}
+
+/// Blocks until the leader for `key` publishes its result, then answers
+/// with the leader's report under the `coalesced` cache label. A leader
+/// failure propagates to every follower (the request would have failed
+/// identically run alone).
+fn follow_inflight(
+    shared: &Shared,
+    flight: &Inflight,
+    key: CacheKey,
+    layout: mct_netlist::CanonicalHash,
+    name: &str,
+    peer: &str,
+    started: Instant,
+) -> Result<Json, String> {
+    shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+    let mut done = flight.done.lock().expect("inflight result lock");
+    loop {
+        if let Some(result) = done.clone() {
+            drop(done);
+            let (text, leader_layout) = result?;
+            let report_json =
+                Json::parse(&text).map_err(|e| format!("coalesced report failed to parse: {e}"))?;
+            return Ok(report_response(
+                shared,
+                key,
+                "coalesced",
+                with_circuit_name(report_json, name),
+                EnvelopeNotes {
+                    // The leader may have built the same circuit with a
+                    // different register declaration order.
+                    canonical_indices: leader_layout != layout,
+                    ..EnvelopeNotes::default()
+                },
+                peer,
+                started,
+            ));
+        }
+        if shared.is_shutdown() {
+            return Err("server shut down before the coalesced analysis finished".into());
+        }
+        let (guard, _) = flight
+            .cv
+            .wait_timeout(done, READ_POLL)
+            .expect("inflight result lock");
+        done = guard;
+    }
+}
+
+/// The monolithic analyze path: warm-start from a cached reachable-state
+/// set when one exists for this exact *layout* (content hash + register
+/// declaration order) in memory or the disk store. Keying by content hash
+/// alone would be unsound: snapshot BDD variables are register positions,
+/// and importing them into a register-permuted rebuild would restrict the
+/// wrong bits. Returns the response envelope plus the compact report text
+/// (for the coalescing publication).
+fn analyze_direct(
+    shared: &Shared,
+    circuit: &Circuit,
+    opts: &MctOptions,
+    key: CacheKey,
+    digests: &mct_netlist::CircuitDigests,
+    peer: &str,
+    started: Instant,
+) -> Result<(Json, String), String> {
     let warm = if opts.use_reachability {
         shared
             .cache
@@ -565,11 +767,39 @@ fn analyze_inner(
     } else {
         None
     };
+    let (warm, warm_source) = match warm {
+        Some((snap, tier)) => (
+            Some(snap),
+            Some(match tier {
+                CacheTier::Memory => "memory",
+                CacheTier::Disk => "disk",
+            }),
+        ),
+        None => (None, None),
+    };
+    // Cold runs preload the learned variable order persisted for this
+    // layout, when the disk store holds one — a pure performance lever
+    // (the report is identical under any order). Warm starts skip it: the
+    // snapshot carries its own order.
+    let preloaded_order = if warm.is_none() {
+        shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .load_order(digests.layout)
+    } else {
+        None
+    };
     let label = if warm.is_some() { "warm" } else { "miss" };
     let analyze_started = Instant::now();
-    let mut analyzer = MctAnalyzer::new(&circuit).map_err(|e| e.to_string())?;
+    let mut analyzer = MctAnalyzer::new(circuit).map_err(|e| e.to_string())?;
+    if let Some(order) = &preloaded_order {
+        // A stale or foreign order artifact is rejected by validation;
+        // fall back to the cold ordering policy rather than failing.
+        let _ = analyzer.preload_order(order);
+    }
     let (report, snapshot) = analyzer
-        .run_warm(&opts, warm.as_ref())
+        .run_warm(opts, warm.as_ref())
         .map_err(|e| e.to_string())?;
     shared.stats.analyze.record(analyze_started.elapsed());
     if warm.is_some() {
@@ -581,7 +811,13 @@ fn analyze_inner(
     log_kernel(shared, peer, circuit.name(), &report.kernel);
 
     // Phase 4: store. Timed-out reports are partial — never cached.
+    let learned_order = if warm.is_none() {
+        Some(analyzer.learned_order())
+    } else {
+        None
+    };
     let report_json = report_to_json(&report);
+    let report_text = report_json.to_compact();
     {
         let mut cache = shared.cache.lock().expect("cache lock");
         match snapshot {
@@ -594,19 +830,26 @@ fn analyze_inner(
                 }
             }
         }
+        if let Some(order) = learned_order {
+            cache.save_order(digests.layout, &order);
+        }
         if !report.timed_out {
-            cache.insert(key, digests.layout, report_json.to_compact());
+            cache.insert(key, digests.layout, report_text.clone());
         }
     }
-    Ok(report_response(
+    let response = report_response(
         shared,
         key,
         label,
         report_json,
-        EnvelopeNotes::default(),
+        EnvelopeNotes {
+            warm_source,
+            ..EnvelopeNotes::default()
+        },
         peer,
         started,
-    ))
+    );
+    Ok((response, report_text))
 }
 
 /// The kernel stats never enter the serialized report (they are
@@ -641,7 +884,7 @@ fn analyze_decomposed(
     layout: mct_netlist::CanonicalHash,
     peer: &str,
     started: Instant,
-) -> Result<Json, String> {
+) -> Result<(Json, String), String> {
     // The slice order here and inside `run_decomposed` is the same
     // deterministic `mct_netlist::decompose` order, so seeds line up
     // positionally. Two identical cones share a digest: the second take
@@ -652,11 +895,18 @@ fn analyze_decomposed(
         .iter()
         .map(|c| circuit_digests(&c.circuit).layout)
         .collect();
+    let mut any_disk_seed = false;
     let mut seeds: Vec<Option<ConeCacheEntry>> = {
         let mut cache = shared.cache.lock().expect("cache lock");
         cone_keys
             .iter()
-            .map(|&d| cache.take_cone(d, key.options))
+            .map(|&d| match cache.take_cone(d, key.options) {
+                Some((entry, tier)) => {
+                    any_disk_seed |= tier == CacheTier::Disk;
+                    Some(entry)
+                }
+                None => None,
+            })
             .collect()
     };
     let analyze_started = Instant::now();
@@ -704,6 +954,7 @@ fn analyze_decomposed(
     // per-σ cone outcomes computed before the deadline are each complete
     // and deterministic, so they are kept.
     let report_json = report_to_json(&report);
+    let report_text = report_json.to_compact();
     {
         let mut cache = shared.cache.lock().expect("cache lock");
         for ((digest, seed), fresh) in cone_keys
@@ -721,21 +972,28 @@ fn analyze_decomposed(
             }
         }
         if !report.timed_out {
-            cache.insert(key, layout, report_json.to_compact());
+            cache.insert(key, layout, report_text.clone());
         }
     }
-    Ok(report_response(
+    let warm_source = if replayed > 0 {
+        Some(if any_disk_seed { "disk" } else { "memory" })
+    } else {
+        None
+    };
+    let response = report_response(
         shared,
         key,
         label,
         report_json,
         EnvelopeNotes {
             cones: Some((total, replayed)),
+            warm_source,
             ..EnvelopeNotes::default()
         },
         peer,
         started,
-    ))
+    );
+    Ok((response, report_text))
 }
 
 /// Clones the report with its `circuit` field rewritten to the
@@ -761,6 +1019,11 @@ struct EnvelopeNotes {
     canonical_indices: bool,
     /// `(cones_total, cones_replayed)` for decomposed runs.
     cones: Option<(usize, usize)>,
+    /// Where the warm-start artifact came from (`"memory"` or `"disk"`),
+    /// for `cache == "warm"` responses. A `"disk"` source proves the
+    /// analysis warm-started from the persistent store — e.g. across a
+    /// daemon restart — without re-running the reachability fixed point.
+    warm_source: Option<&'static str>,
 }
 
 fn report_response(
@@ -778,9 +1041,14 @@ fn report_response(
             .get("circuit")
             .and_then(Json::as_str)
             .unwrap_or("?");
+        let persist = shared.cache.lock().expect("cache lock").persist_stats();
+        let warm_source = notes.warm_source.unwrap_or("-");
         eprintln!(
-            "[mct-serve] peer={peer} type=analyze circuit={circuit} key={} cache={cache} elapsed_us={elapsed_us}",
-            key.hex()
+            "[mct-serve] peer={peer} type=analyze circuit={circuit} key={} cache={cache} warm_source={warm_source} elapsed_us={elapsed_us} mem_bytes={} disk_bytes={} disk_evictions={}",
+            key.hex(),
+            persist.mem_bytes,
+            persist.disk_bytes,
+            persist.disk_evictions,
         );
     }
     let mut fields = vec![
@@ -802,6 +1070,9 @@ fn report_response(
         fields.push(("cones_total".into(), Json::Int(total as i64)));
         fields.push(("cones_replayed".into(), Json::Int(replayed as i64)));
     }
+    if let Some(source) = notes.warm_source {
+        fields.push(("warm_source".into(), Json::Str(source.into())));
+    }
     fields.push(("report".into(), report_json));
     Json::Obj(fields)
 }
@@ -819,9 +1090,14 @@ fn error_response(shared: &Shared, peer: &str, message: &str) -> Json {
 
 fn stats_response(shared: &Shared) -> Json {
     let s = &shared.stats;
-    let (cache_entries, cone_entries, evictions) = {
+    let (cache_entries, cone_entries, evictions, persist) = {
         let cache = shared.cache.lock().expect("cache lock");
-        (cache.len(), cache.cone_entries(), cache.evictions())
+        (
+            cache.len(),
+            cache.cone_entries(),
+            cache.evictions(),
+            cache.persist_stats(),
+        )
     };
     let queue_depth = shared.queue.lock().expect("queue lock").len();
     let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
@@ -832,6 +1108,7 @@ fn stats_response(shared: &Shared) -> Json {
         ("disk_hits".into(), load(&s.disk_hits)),
         ("warm_starts".into(), load(&s.warm_starts)),
         ("misses".into(), load(&s.misses)),
+        ("coalesced".into(), load(&s.coalesced)),
         ("errors".into(), load(&s.errors)),
         ("busy_rejections".into(), load(&s.busy_rejections)),
         ("cones_total".into(), load(&s.cones_total)),
@@ -839,6 +1116,39 @@ fn stats_response(shared: &Shared) -> Json {
         ("evictions".into(), Json::Int(evictions as i64)),
         ("cache_entries".into(), Json::Int(cache_entries as i64)),
         ("cone_entries".into(), Json::Int(cone_entries as i64)),
+        ("mem_bytes".into(), Json::Int(persist.mem_bytes as i64)),
+        (
+            "persistence".into(),
+            Json::Obj(vec![
+                (
+                    "store_configured".into(),
+                    Json::Bool(persist.store_configured),
+                ),
+                ("report_hits".into(), Json::Int(persist.report_hits as i64)),
+                (
+                    "report_misses".into(),
+                    Json::Int(persist.report_misses as i64),
+                ),
+                ("reach_hits".into(), Json::Int(persist.reach_hits as i64)),
+                (
+                    "reach_misses".into(),
+                    Json::Int(persist.reach_misses as i64),
+                ),
+                ("order_hits".into(), Json::Int(persist.order_hits as i64)),
+                (
+                    "order_misses".into(),
+                    Json::Int(persist.order_misses as i64),
+                ),
+                ("cone_hits".into(), Json::Int(persist.cone_hits as i64)),
+                ("cone_misses".into(), Json::Int(persist.cone_misses as i64)),
+                ("disk_bytes".into(), Json::Int(persist.disk_bytes as i64)),
+                ("disk_files".into(), Json::Int(persist.disk_files as i64)),
+                (
+                    "disk_evictions".into(),
+                    Json::Int(persist.disk_evictions as i64),
+                ),
+            ]),
+        ),
         ("queue_depth".into(), Json::Int(queue_depth as i64)),
         (
             "workers".into(),

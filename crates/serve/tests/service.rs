@@ -526,6 +526,283 @@ fn malformed_requests_are_answered_with_errors() {
 }
 
 #[test]
+fn restarted_server_warm_starts_reachability_from_the_disk_store() {
+    let dir = std::env::temp_dir().join(format!("mct-serve-store-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fixed = Json::parse(r#"{"delay_variation":null}"#).unwrap();
+
+    // Session 1: a default-options run persists its reach snapshot (and
+    // report) to the store directory.
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let first = client.analyze(FIG2, "bench", Some("fig2"), None).unwrap();
+    assert_eq!(cache_label(&first), "miss");
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+
+    // Session 2 (the "restarted daemon"): different options, so the
+    // report cache misses — but the reachable-state snapshot comes back
+    // from disk and the fixpoint is never re-run. `warm_source: "disk"`
+    // is the envelope's proof of that provenance.
+    let (addr2, thread2) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client2 = Client::connect(addr2).unwrap();
+    let warm = client2
+        .analyze(FIG2, "bench", Some("fig2"), Some(&fixed))
+        .unwrap();
+    assert_eq!(
+        cache_label(&warm),
+        "warm",
+        "a restarted daemon must warm-start from the persisted snapshot"
+    );
+    assert_eq!(
+        warm.get("warm_source").and_then(Json::as_str),
+        Some("disk"),
+        "the snapshot must come from the store, not this process's memory"
+    );
+    let stats = client2.stats().unwrap();
+    let persistence = stats.get("persistence").expect("persistence stats");
+    assert_eq!(
+        persistence.get("store_configured").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        persistence.get("reach_hits").and_then(Json::as_i64),
+        Some(1),
+        "exactly one snapshot must have been loaded from disk"
+    );
+    client2.shutdown().unwrap();
+    thread2.join().unwrap().unwrap();
+
+    // Control: the same fixed-options run cold on a storeless server.
+    // Warm-starting from a disk artifact must not change a byte.
+    let (addr3, thread3) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client3 = Client::connect(addr3).unwrap();
+    let cold = client3
+        .analyze(FIG2, "bench", Some("fig2"), Some(&fixed))
+        .unwrap();
+    assert_eq!(cache_label(&cold), "miss");
+    assert_eq!(
+        report_text(&warm),
+        report_text(&cold),
+        "a disk warm start must replay the cold report byte for byte"
+    );
+    client3.shutdown().unwrap();
+    thread3.join().unwrap().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deleted_store_directory_degrades_to_cold_analysis() {
+    let dir = std::env::temp_dir().join(format!("mct-serve-store-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let first = client.analyze(FIG2, "bench", Some("fig2"), None).unwrap();
+    assert_eq!(cache_label(&first), "miss");
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+
+    // Kill the store between sessions — every persisted artifact is gone.
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // The restarted daemon must come up, treat the empty store as a cold
+    // cache, and still answer correctly.
+    let (addr2, thread2) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client2 = Client::connect(addr2).unwrap();
+    let revived = client2.analyze(FIG2, "bench", Some("fig2"), None).unwrap();
+    assert_eq!(
+        cache_label(&revived),
+        "miss",
+        "a killed store directory must degrade to a cold analysis"
+    );
+    assert_eq!(
+        report_text(&first),
+        report_text(&revived),
+        "the cold re-analysis must reproduce the original report"
+    );
+    client2.shutdown().unwrap();
+    thread2.join().unwrap().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_identical_submissions_coalesce_into_one_analysis() {
+    const K: usize = 4;
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        workers: K,
+        ..ServerConfig::default()
+    });
+
+    // K clients submit the same circuit at the same instant. Exactly one
+    // of them may run the analysis; the rest must either coalesce onto
+    // the leader's in-flight result or (if they arrive after it settles)
+    // replay the freshly cached entry.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(K));
+    let mut handles = Vec::new();
+    for _ in 0..K {
+        let barrier = std::sync::Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            barrier.wait();
+            client
+                .analyze(TRI_CONE, "bench", Some("tri"), None)
+                .unwrap()
+        }));
+    }
+    let responses: Vec<Json> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let texts: Vec<String> = responses.iter().map(report_text).collect();
+    for text in &texts[1..] {
+        assert_eq!(
+            &texts[0], text,
+            "all coalesced responses must carry the identical report"
+        );
+    }
+    for response in &responses {
+        let label = cache_label(response);
+        assert!(
+            matches!(label, "miss" | "coalesced" | "hit"),
+            "unexpected cache label {label}"
+        );
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("misses").and_then(Json::as_i64),
+        Some(1),
+        "K identical concurrent submissions must run exactly one analysis"
+    );
+    let hits = stats.get("hits").and_then(Json::as_i64).unwrap();
+    let coalesced = stats.get("coalesced").and_then(Json::as_i64).unwrap();
+    assert_eq!(
+        hits + coalesced,
+        (K - 1) as i64,
+        "every non-leader must be answered by coalescing or the fresh cache entry"
+    );
+
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn byte_budget_bounds_the_memory_and_disk_tiers() {
+    let dir = std::env::temp_dir().join(format!("mct-serve-budget-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    const BUDGET: i64 = 4096;
+
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: Some(dir.clone()),
+        cache_max_bytes: Some(BUDGET as u64),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let first = client.analyze(FIG2, "bench", Some("m"), None).unwrap();
+    assert_eq!(cache_label(&first), "miss");
+    for netlist in [TWO_REG, TRI_CONE] {
+        let response = client.analyze(netlist, "bench", Some("m"), None).unwrap();
+        assert_eq!(cache_label(&response), "miss");
+        let stats = client.stats().unwrap();
+        let mem_bytes = stats.get("mem_bytes").and_then(Json::as_i64).unwrap();
+        let disk_bytes = stats
+            .get("persistence")
+            .and_then(|p| p.get("disk_bytes"))
+            .and_then(Json::as_i64)
+            .unwrap();
+        assert!(
+            mem_bytes <= BUDGET,
+            "memory tier over budget: {mem_bytes} > {BUDGET}"
+        );
+        assert!(
+            disk_bytes <= BUDGET,
+            "disk store over budget: {disk_bytes} > {BUDGET}"
+        );
+    }
+
+    // Eviction must never compromise correctness: a re-query of the first
+    // circuit (whatever tier it now lives in, if any) reproduces the
+    // original report byte for byte.
+    let again = client.analyze(FIG2, "bench", Some("m"), None).unwrap();
+    assert_eq!(report_text(&first), report_text(&again));
+
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_answers_every_item_in_submission_order() {
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    // A good circuit, a malformed one, and a rename of the first: the
+    // batch must answer all three in order, the bad item failing alone.
+    let response = client
+        .batch(
+            &[
+                (FIG2, "bench", Some("m")),
+                ("x = FROB(y)", "bench", None),
+                (FIG2_RENAMED, "bench", Some("m")),
+            ],
+            None,
+        )
+        .unwrap();
+    assert_eq!(response.get("type").and_then(Json::as_str), Some("batch"));
+    assert_eq!(response.get("count").and_then(Json::as_i64), Some(3));
+    let responses = response.get("responses").and_then(Json::as_arr).unwrap();
+    assert_eq!(responses.len(), 3);
+    for (seq, item) in responses.iter().enumerate() {
+        assert_eq!(
+            item.get("seq").and_then(Json::as_i64),
+            Some(seq as i64),
+            "responses must be tagged in submission order"
+        );
+    }
+    assert_eq!(cache_label(&responses[0]), "miss");
+    assert_eq!(
+        responses[1].get("type").and_then(Json::as_str),
+        Some("error"),
+        "a bad item must fail alone without failing the batch"
+    );
+    assert_eq!(
+        cache_label(&responses[2]),
+        "hit",
+        "a later item must see entries cached by an earlier one"
+    );
+    assert_eq!(report_text(&responses[0]), report_text(&responses[2]));
+
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
 fn options_request_reports_server_defaults() {
     let (addr, thread) = start(ServerConfig {
         listen: "127.0.0.1:0".into(),
