@@ -1542,6 +1542,9 @@ impl BddManager {
             reorder_runs: self.reorder_runs,
             reorder_swaps: self.reorder_swaps,
             mvec_memo_hits: 0,
+            sigma_pruned_subtrees: 0,
+            sigma_pruned: 0,
+            sigma_reused: 0,
         }
     }
 }
@@ -1569,6 +1572,17 @@ pub struct BddStats {
     /// instead of being re-derived. Filled in by the analysis layer (the
     /// memo lives above the kernel); [`BddManager::stats`] reports 0.
     pub mvec_memo_hits: u64,
+    /// Φ prefix subtrees cut by the pruned variable-delay walk before their
+    /// shift combinations were generated. Filled in by the analysis layer;
+    /// [`BddManager::stats`] reports 0.
+    pub sigma_pruned_subtrees: u64,
+    /// Shift combinations contained in the cut subtrees (never enumerated).
+    /// Filled in by the analysis layer; [`BddManager::stats`] reports 0.
+    pub sigma_pruned: u64,
+    /// Sink cones answered by the σ-neighbor cone cache instead of being
+    /// re-extracted. Filled in by the analysis layer; [`BddManager::stats`]
+    /// reports 0.
+    pub sigma_reused: u64,
 }
 
 impl BddStats {
@@ -1593,6 +1607,9 @@ impl BddStats {
         self.reorder_runs += other.reorder_runs;
         self.reorder_swaps += other.reorder_swaps;
         self.mvec_memo_hits += other.mvec_memo_hits;
+        self.sigma_pruned_subtrees += other.sigma_pruned_subtrees;
+        self.sigma_pruned += other.sigma_pruned;
+        self.sigma_reused += other.sigma_reused;
     }
 }
 
@@ -1601,7 +1618,8 @@ impl fmt::Display for BddStats {
         write!(
             f,
             "{} nodes ({} peak), {} gc runs ({} freed), ops cache {}/{} ({:.1}%), \
-             {} reorders ({} swaps), {} mvec memo hits",
+             {} reorders ({} swaps), {} mvec memo hits, \
+             {} sigma pruned ({} subtrees), {} sigma reused",
             self.nodes,
             self.peak_nodes,
             self.gc_runs,
@@ -1611,7 +1629,10 @@ impl fmt::Display for BddStats {
             100.0 * self.ops_hit_rate(),
             self.reorder_runs,
             self.reorder_swaps,
-            self.mvec_memo_hits
+            self.mvec_memo_hits,
+            self.sigma_pruned,
+            self.sigma_pruned_subtrees,
+            self.sigma_reused
         )
     }
 }

@@ -19,7 +19,10 @@
 //!   (`BENCH_6.json`);
 //! * `persist/*` — cold analysis vs a warm start from a disk-stored reach
 //!   snapshot, plus store codec export/import throughput
-//!   (`BENCH_7.json`).
+//!   (`BENCH_7.json`);
+//! * `sigma/*` — flat-odometer vs LP-pruned Φ enumeration on the
+//!   shared-trunk sigma-star family, at 1 and 4 threads, with
+//!   byte-identity asserted across the whole grid (`BENCH_8.json`).
 //!
 //! Run with `cargo bench` or `cargo bench --bench paper_benches -- table1`
 //! to filter by scenario-name substring.
@@ -658,6 +661,88 @@ fn bench_persist(h: &mut Harness) {
     }
 }
 
+/// Flat-odometer vs pruned-walk Φ enumeration on the shared-trunk sigma
+/// star (the Section-7 variable-delay engine; `BENCH_8.json` is
+/// transcribed from this output). Wide variation plus path-coupled LPs is
+/// the regime where the pruning bound engages — the closed-form interval
+/// check alone never rejects a combination at a candidate's left
+/// endpoint, so every cut here comes from the LP suffix relaxation over
+/// the shared trunk delay. A deterministic probe per size prints the
+/// visited/pruned/reused counters and asserts the reports byte-identical
+/// across {flat, pruned} × threads {1, 2, 4}: pruning, cone reuse, and
+/// parallel dispatch are performance levers, never semantic ones.
+fn bench_sigma(h: &mut Harness) {
+    use mct_core::SigmaStrategy;
+    use mct_serve::report::report_to_json;
+    for branches in [2usize, 3, 4] {
+        let name = format!("star{branches}");
+        if !["flat", "pruned", "pruned-t4"]
+            .iter()
+            .any(|s| h.wants(&format!("sigma/{name}/{s}")))
+        {
+            continue;
+        }
+        let circuit = mct_gen::families::sigma_star(branches);
+        let base = MctOptions {
+            delay_variation: Some((1, 2)),
+            path_coupled_lp: true,
+            exhaustive_floor: Some(0.5),
+            max_sigma_combos: 1 << 22,
+            ..MctOptions::default()
+        };
+        let run = |sigma: SigmaStrategy, threads: usize| {
+            MctAnalyzer::new(&circuit)
+                .unwrap()
+                .run(&MctOptions {
+                    sigma,
+                    num_threads: threads,
+                    ..base.clone()
+                })
+                .unwrap()
+        };
+        // Deterministic probe: byte-identity across the strategy × thread
+        // grid, plus the counter columns of BENCH_8.json.
+        let flat = run(SigmaStrategy::Flat, 1);
+        let flat_json = report_to_json(&flat).to_compact();
+        for (sigma, threads) in [
+            (SigmaStrategy::Flat, 2),
+            (SigmaStrategy::Flat, 4),
+            (SigmaStrategy::Pruned, 1),
+            (SigmaStrategy::Pruned, 2),
+            (SigmaStrategy::Pruned, 4),
+        ] {
+            let r = run(sigma, threads);
+            assert_eq!(
+                report_to_json(&r).to_compact(),
+                flat_json,
+                "report differs under sigma={sigma:?} threads={threads}"
+            );
+        }
+        let pruned = run(SigmaStrategy::Pruned, 1);
+        assert!(
+            pruned.kernel.sigma_pruned > 0,
+            "pruning never engaged on sigma_star({branches}) — the bench \
+             family must exercise the walk, not vacuously pass"
+        );
+        println!(
+            "sigma/{name}/probe{:>30} visited, {} pruned ({} subtrees), {} reused",
+            pruned.sigma_checked,
+            pruned.kernel.sigma_pruned,
+            pruned.kernel.sigma_pruned_subtrees,
+            pruned.kernel.sigma_reused,
+        );
+        h.bench(&format!("sigma/{name}/flat"), || {
+            run(SigmaStrategy::Flat, 1).sigma_checked
+        });
+        h.bench(&format!("sigma/{name}/pruned"), || {
+            run(SigmaStrategy::Pruned, 1).sigma_checked
+        });
+        h.bench(&format!("sigma/{name}/pruned-t4"), || {
+            run(SigmaStrategy::Pruned, 4).sigma_checked
+        });
+    }
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_table1(&mut h);
@@ -672,6 +757,7 @@ fn main() {
     bench_decompose(&mut h);
     bench_persist(&mut h);
     bench_parallel(&mut h);
+    bench_sigma(&mut h);
     if h.results.is_empty() {
         eprintln!("no scenario matched the filter");
         std::process::exit(1);

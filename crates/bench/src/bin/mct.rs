@@ -10,7 +10,7 @@
 //! mct query    --stats|--ping|--shutdown [--connect A|--shard-map A,B,…]
 //! mct cache    ls|gc|rm <digest> --cache-dir D [--cache-max-bytes N]
 //! mct fuzz     [--seed S] [--iters N] [--time-budget-ms T] [--corpus DIR]
-//!              [--oracle all|differential|metamorphic|robustness|decompose] [--stats-json]
+//!              [--oracle all|differential|metamorphic|robustness|decompose|sigma] [--stats-json]
 //!
 //! options:
 //!   --blif            treat <file> as BLIF (default: by extension, else .bench)
@@ -29,6 +29,10 @@
 //!                     recombined report is bit-identical, usually with a
 //!                     lower peak node count (and, on the server, an
 //!                     incrementally replayable per-cone cache)
+//!   --sigma S         variable-delay Φ enumeration: pruned (default,
+//!                     LP-bounded subtree walk) | flat (the plain
+//!                     odometer); never changes the report, only how many
+//!                     combinations are visited
 //!
 //! serve options:
 //!   --listen ADDR        bind address (default 127.0.0.1:7934; port 0 = ephemeral)
@@ -64,12 +68,14 @@
 //!   --iters N            iterations (default 500)
 //!   --time-budget-ms T   stop after T ms of wall time
 //!   --corpus DIR         replay + mutate DIR/*.bench; write shrunk repros there
-//!   --oracle NAME        all | differential | metamorphic | robustness | decompose
+//!   --oracle NAME        all | differential | metamorphic | robustness |
+//!                        decompose | sigma (flat-vs-pruned Φ identity with
+//!                        wide delay intervals and path-coupled LPs)
 //!   --stats-json         machine-readable stats (adds the one
 //!                        nondeterministic field, `wall_ms`)
 //! ```
 
-use mct_core::{MctAnalyzer, MctOptions, VarOrder};
+use mct_core::{MctAnalyzer, MctOptions, SigmaStrategy, VarOrder};
 use mct_netlist::{
     circuit_digests, parse_bench, parse_blif, write_bench, write_blif, Circuit, DelayModel,
     FsmView, Time,
@@ -91,6 +97,7 @@ struct Flags {
     threads: usize,
     ordering: VarOrder,
     decompose: bool,
+    sigma: SigmaStrategy,
     period: Option<f64>,
     cycles: usize,
     seed: u64,
@@ -129,6 +136,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         threads: 1,
         ordering: VarOrder::default(),
         decompose: false,
+        sigma: SigmaStrategy::default(),
         period: None,
         cycles: 64,
         seed: 1,
@@ -177,6 +185,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 Some("static") => f.ordering = VarOrder::Static,
                 Some("sift") => f.ordering = VarOrder::Sift,
                 other => return Err(format!("--order needs alloc|static|sift, got {other:?}")),
+            },
+            "--sigma" => match it.next().map(String::as_str) {
+                Some("flat") => f.sigma = SigmaStrategy::Flat,
+                Some("pruned") => f.sigma = SigmaStrategy::Pruned,
+                other => return Err(format!("--sigma needs flat|pruned, got {other:?}")),
             },
             "--model" => match it.next().map(String::as_str) {
                 Some("unit") => f.model = DelayModel::Unit,
@@ -287,7 +300,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--oracle" => {
                 let name = it.next().ok_or("--oracle needs a name")?;
                 f.oracle = mct_fuzz::OracleSelect::parse(name).ok_or(format!(
-                    "--oracle needs all|differential|metamorphic|robustness|decompose, got `{name}`"
+                    "--oracle needs all|differential|metamorphic|robustness|decompose|sigma, \
+                     got `{name}`"
                 ))?
             }
             "--stats-json" => f.stats_json = true,
@@ -319,6 +333,7 @@ fn mct_options(flags: &Flags) -> MctOptions {
         num_threads: flags.threads,
         ordering: flags.ordering,
         decompose: flags.decompose,
+        sigma: flags.sigma,
         ..MctOptions::paper()
     }
 }
@@ -377,6 +392,12 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
                     ("reorder_runs".into(), Json::Int(k.reorder_runs as i64)),
                     ("reorder_swaps".into(), Json::Int(k.reorder_swaps as i64)),
                     ("mvec_memo_hits".into(), Json::Int(k.mvec_memo_hits as i64)),
+                    (
+                        "sigma_pruned_subtrees".into(),
+                        Json::Int(k.sigma_pruned_subtrees as i64),
+                    ),
+                    ("sigma_pruned".into(), Json::Int(k.sigma_pruned as i64)),
+                    ("sigma_reused".into(), Json::Int(k.sigma_reused as i64)),
                 ]),
             ));
         }
@@ -670,6 +691,16 @@ fn build_analyze_request(
                 .into(),
             ),
         ),
+        (
+            "sigma".into(),
+            Json::Str(
+                match opts.sigma {
+                    SigmaStrategy::Flat => "flat",
+                    SigmaStrategy::Pruned => "pruned",
+                }
+                .into(),
+            ),
+        ),
     ]);
     let request = Json::Obj(vec![
         ("type".into(), Json::Str("analyze".into())),
@@ -774,7 +805,7 @@ fn cmd_cache(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_fuzz(flags: &Flags) -> Result<(), String> {
-    let cfg = mct_fuzz::FuzzConfig {
+    let mut cfg = mct_fuzz::FuzzConfig {
         seed: flags.seed,
         iters: flags.iters,
         time_budget_ms: flags.time_budget_ms,
@@ -782,6 +813,15 @@ fn cmd_fuzz(flags: &Flags) -> Result<(), String> {
         select: flags.oracle,
         ..mct_fuzz::FuzzConfig::default()
     };
+    if flags.oracle == mct_fuzz::OracleSelect::Sigma {
+        // The sigma oracle targets the Φ-subtree pruning walk, which only
+        // has work to do when classes have several feasible shifts and the
+        // per-path LPs are on: bias delays wide and widen the variation
+        // interval (75–100%) on every compared side.
+        cfg.gen.wide_delays = true;
+        cfg.oracle.analysis.delay_variation = Some((3, 4));
+        cfg.oracle.analysis.path_coupled_lp = true;
+    }
     let started = std::time::Instant::now();
     let stats = mct_fuzz::run(&cfg);
     let wall = started.elapsed().as_millis() as u64;
@@ -858,7 +898,7 @@ fn main() -> ExitCode {
         eprintln!(
             "mct analyze <file> [--blif] [--model unit|mapped] [--fixed] \
              [--no-reachability] [--exact] [--lp] [--threads N] \
-             [--order alloc|static|sift] [--decompose] [--json]\n\
+             [--order alloc|static|sift] [--decompose] [--sigma flat|pruned] [--json]\n\
              mct delays <file> [--blif] [--model unit|mapped]\n\
              mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]\n\
              mct convert <in> <out>\n\

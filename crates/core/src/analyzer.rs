@@ -39,6 +39,30 @@ pub enum VarOrder {
     Sift,
 }
 
+/// Φ-enumeration strategy for the variable-delay sweep (§7).
+///
+/// Like [`VarOrder`], a performance lever only: both strategies visit the
+/// surviving (feasible) shift combinations in exactly the flat enumeration
+/// order, so every [`MctReport`] field outside the kernel diagnostics is
+/// bit-identical between them, and the strategy is excluded from
+/// result-cache fingerprints.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SigmaStrategy {
+    /// Materialize every combination of `Φ = Π_i [lo_i, hi_i]` through the
+    /// flat odometer and test feasibility afterwards (the historical
+    /// behaviour) — exponential in delay-class count even when almost all
+    /// of Φ is infeasible.
+    Flat,
+    /// Backtracking prefix-tree walk: partial shift assignments carry the
+    /// running closed-form τ bound (plus, under
+    /// [`MctOptions::path_coupled_lp`], a suffix LP relaxation), and
+    /// subtrees whose bound is already empty are cut before their
+    /// combinations are generated. Cut work is counted in the
+    /// `sigma_pruned` kernel diagnostics, never silently dropped.
+    #[default]
+    Pruned,
+}
+
 /// Configuration of a cycle-time analysis.
 #[derive(Clone, Debug)]
 pub struct MctOptions {
@@ -103,6 +127,9 @@ pub struct MctOptions {
     /// `num_threads > 1` the decomposed sweep parallelizes across cones
     /// (one worker per cone) instead of across candidates.
     pub decompose: bool,
+    /// Φ-enumeration strategy for variable delays. Never changes the
+    /// report — see [`SigmaStrategy`].
+    pub sigma: SigmaStrategy,
 }
 
 impl Default for MctOptions {
@@ -124,6 +151,7 @@ impl Default for MctOptions {
             num_threads: 1,
             ordering: VarOrder::default(),
             decompose: false,
+            sigma: SigmaStrategy::default(),
         }
     }
 }
@@ -501,8 +529,13 @@ impl<'c> MctAnalyzer<'c> {
         };
         parallel::reconcile(&shared, &sweep, states, &mut report)?;
         // Kernel-level diagnostics the reconciler cannot reconstruct: how
-        // many decisions were answered by the cross-thread σ memo.
+        // many decisions were answered by the cross-thread σ memo, how much
+        // of Φ the pruned walk cut, and how many sink cones the σ-neighbor
+        // cache reused.
         report.kernel.mvec_memo_hits = memo.hits();
+        report.kernel.sigma_pruned_subtrees = memo.pruned_subtrees();
+        report.kernel.sigma_pruned = memo.pruned_combos();
+        report.kernel.sigma_reused = memo.reused();
         // The main manager contributed the steady machine and (when enabled)
         // the reachability fixpoint; on the 1-thread path it also ran the
         // whole sweep.
@@ -855,6 +888,120 @@ mod tests {
             })
             .unwrap();
         assert!(par.kernel.mvec_memo_hits > 0, "{:?}", par.kernel);
+    }
+
+    /// A circuit whose delay classes *share* gate-pin delay variables: a
+    /// common trunk `x` feeds a fast and a slow branch, so shift choices
+    /// for the two branch classes can demand contradictory trunk delays —
+    /// joint infeasibility visible to the path-coupled LP but never to the
+    /// independent-interval closed form (which is exact only for disjoint
+    /// paths).
+    fn coupled_star() -> Circuit {
+        let mut c = Circuit::new("coupled");
+        let f = c.add_dff("f", true, Time::ZERO);
+        let u = c.add_gate("u", GateKind::Buf, &[f], t(0.4));
+        let v = c.add_gate("v", GateKind::Not, &[f], t(0.7));
+        let x = c.add_gate("x", GateKind::Buf, &[f], t(2.0));
+        let y = c.add_gate("y", GateKind::Buf, &[x], t(0.5));
+        let z = c.add_gate("z", GateKind::Not, &[x], t(3.0));
+        let g = c.add_gate("g", GateKind::And, &[u, v, y, z], Time::ZERO);
+        c.connect_dff_data("f", g).unwrap();
+        c.set_output(f);
+        c
+    }
+
+    /// Wide variation + LP path coupling on the shared-trunk circuit: the
+    /// setting where Φ-subtree pruning actually engages.
+    fn coupled_opts() -> MctOptions {
+        MctOptions {
+            delay_variation: Some((1, 2)),
+            path_coupled_lp: true,
+            exhaustive_floor: Some(0.5),
+            ..MctOptions::default()
+        }
+    }
+
+    #[test]
+    fn reports_identical_across_sigma_strategies_and_threads() {
+        // The tentpole invariant: {flat, pruned} × threads {1, 2, 4} all
+        // produce byte-identical reports outside the kernel diagnostics —
+        // both on a plain circuit and on one where pruning actually cuts.
+        let cases = [
+            (
+                figure2(),
+                MctOptions {
+                    exhaustive_floor: Some(1.0),
+                    ..MctOptions::default()
+                },
+            ),
+            (coupled_star(), coupled_opts()),
+        ];
+        for (c, base) in &cases {
+            let run = |sigma, num_threads| {
+                strip_kernel(
+                    MctAnalyzer::new(c)
+                        .unwrap()
+                        .run(&MctOptions {
+                            sigma,
+                            num_threads,
+                            ..base.clone()
+                        })
+                        .unwrap(),
+                )
+            };
+            let reference = run(SigmaStrategy::Flat, 1);
+            for sigma in [SigmaStrategy::Flat, SigmaStrategy::Pruned] {
+                for threads in [1, 2, 4] {
+                    let r = run(sigma, threads);
+                    assert_eq!(
+                        format!("{reference:?}"),
+                        format!("{r:?}"),
+                        "{} / {sigma:?} at {threads} threads",
+                        c.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_prune_counters_populated() {
+        // Wide variable delays, a shared trunk edge, LP path coupling, and
+        // an exhaustive sweep: part of the Cartesian product is jointly
+        // infeasible, so the pruned walk must cut something — and must
+        // report it (never silently zero).
+        let c = coupled_star();
+        let opts = coupled_opts();
+        let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
+        assert!(report.kernel.sigma_pruned > 0, "{:?}", report.kernel);
+        assert!(
+            report.kernel.sigma_pruned_subtrees > 0,
+            "{:?}",
+            report.kernel
+        );
+        // The flat strategy never prunes, by definition.
+        let flat = MctAnalyzer::new(&c)
+            .unwrap()
+            .run(&MctOptions {
+                sigma: SigmaStrategy::Flat,
+                ..opts.clone()
+            })
+            .unwrap();
+        assert_eq!(flat.kernel.sigma_pruned, 0, "{:?}", flat.kernel);
+        assert_eq!(flat.kernel.sigma_pruned_subtrees, 0, "{:?}", flat.kernel);
+    }
+
+    #[test]
+    fn sigma_reuse_counter_populated() {
+        // Plenty of distinct σ per candidate ⇒ the σ-neighbor cone cache
+        // must answer some sinks from cache.
+        let c = figure2();
+        let opts = MctOptions {
+            exhaustive_floor: Some(1.0),
+            ..MctOptions::default()
+        };
+        let report = MctAnalyzer::new(&c).unwrap().run(&opts).unwrap();
+        assert!(report.kernel.sigma_reused > 0, "{:?}", report.kernel);
     }
 
     #[test]

@@ -49,7 +49,6 @@ use crate::decision::{DecisionContext, DecisionOutcome};
 use crate::error::MctError;
 use crate::exact::{decide_exact_detail, history_depths, product_bits, ExactRun};
 use crate::parallel::{self, CandState, CandidateEval, SweepPlan, SweepShared};
-use crate::sigma::SigmaIter;
 use mct_bdd::{Bdd, BddManager, BddStats, Var, VarSet};
 use mct_lp::Rat;
 use mct_netlist::{Cone, FsmView, NetId};
@@ -675,9 +674,16 @@ pub(crate) fn run(
 
     // ---- Phase D: merge per-cone verdicts into candidate states. --------
     let memo_hits: u64 = outs.iter().map(|o| o.memo_hits).sum();
-    let states = merge_states(&cx, &mut outs);
+    let mut prune_stats = crate::sigma::SigmaPruneStats::default();
+    let states = merge_states(&cx, &mut outs, &mut prune_stats);
     parallel::reconcile(&shared, &sweep, states, &mut report)?;
     report.kernel.mvec_memo_hits = memo_hits;
+    // The merge pass walks each candidate's (pruned) tree exactly once, so
+    // its counters are the canonical per-sweep totals. The decomposed path
+    // builds per-cone machines from scratch (sub-σ memos make neighbor
+    // reuse moot), so `sigma_reused` stays 0 here.
+    report.kernel.sigma_pruned_subtrees = prune_stats.subtrees;
+    report.kernel.sigma_pruned = prune_stats.combos;
     if let Some(s) = counting_stats {
         report.kernel.absorb(&s);
     }
@@ -935,7 +941,7 @@ fn eval_cone(c: usize, cx: &SweepCtx<'_, '_>, control: &ConeControl) -> ConeOut 
             out.states.push((index, ConeCandState::Deadline));
             break;
         }
-        if cand.combos > cx.shared.opts.max_sigma_combos {
+        if cand.combos > cx.shared.opts.max_sigma_combos as u128 {
             control.stop_at.fetch_min(index, Ordering::AcqRel);
             out.states.push((
                 index,
@@ -949,47 +955,41 @@ fn eval_cone(c: usize, cx: &SweepCtx<'_, '_>, control: &ConeControl) -> ConeOut 
             ));
             break;
         }
-        let ranges = parallel::sigma_ranges(cx.shared, cand);
         let mut parts: Vec<ConeSigmaPart> = Vec::new();
         let mut any_invalid = false;
         let mut over_budget = false;
         let mut failure: Option<MctError> = None;
-        for sigma in SigmaIter::new(&ranges) {
-            if parallel::gate_sigma(cx.shared, cand, &sigma).is_none() {
-                continue;
-            }
-            let sub: Vec<i64> = meta.class_global.iter().map(|&g| sigma[g]).collect();
-            let part = if exact {
-                match exact_part(c, cx, slot, &sub, &mut out) {
-                    Ok(p) => {
-                        over_budget = p.fix.is_none();
-                        if let Some(f) = p.fix {
-                            any_invalid |= !f.outcome.is_valid();
-                        }
-                        ConeSigmaPart::Exact(p)
+        // Gating is global: every cone walks the exact gated σ sequence the
+        // merge re-enumerates, through the same (possibly pruned) walk. The
+        // prune counters are scratch here — the merge's single canonical
+        // pass is the one reported, so cone count never multiplies them.
+        let mut scratch = crate::sigma::SigmaPruneStats::default();
+        let walked = parallel::for_each_gated::<MctError>(
+            cx.shared,
+            cand,
+            parallel::FULL_WINDOW,
+            &mut scratch,
+            &mut |sigma, _gate| {
+                let sub: Vec<i64> = meta.class_global.iter().map(|&g| sigma[g]).collect();
+                let part = if exact {
+                    let p = exact_part(c, cx, slot, &sub, &mut out)?;
+                    over_budget = p.fix.is_none();
+                    if let Some(f) = p.fix {
+                        any_invalid |= !f.outcome.is_valid();
                     }
-                    Err(e) => {
-                        failure = Some(e);
-                        break;
-                    }
-                }
-            } else {
-                let m_global = sigma.iter().copied().max().unwrap_or(1).max(1);
-                match cx_outcome(c, cx, slot, &sub, m_global, &mut out) {
-                    Ok(o) => {
-                        any_invalid |= !o.is_valid();
-                        ConeSigmaPart::Cx(o)
-                    }
-                    Err(e) => {
-                        failure = Some(e);
-                        break;
-                    }
-                }
-            };
-            parts.push(part);
-            if over_budget {
-                break;
-            }
+                    ConeSigmaPart::Exact(p)
+                } else {
+                    let m_global = sigma.iter().copied().max().unwrap_or(1).max(1);
+                    let o = cx_outcome(c, cx, slot, &sub, m_global, &mut out)?;
+                    any_invalid |= !o.is_valid();
+                    ConeSigmaPart::Cx(o)
+                };
+                parts.push(part);
+                Ok(!over_budget)
+            },
+        );
+        if let Err(e) = walked {
+            failure = Some(e);
         }
         if let Some(env) = slot.as_mut() {
             env.manager.maybe_collect_garbage(&env.gc_roots);
@@ -1016,7 +1016,11 @@ fn eval_cone(c: usize, cx: &SweepCtx<'_, '_>, control: &ConeControl) -> ConeOut 
 /// [`CandState`] sequence, re-enumerating each candidate's gated σs to
 /// re-establish positions and the τ-ordered memoization the reconciler
 /// expects.
-fn merge_states(cx: &SweepCtx<'_, '_>, outs: &mut [ConeOut]) -> Vec<CandState> {
+fn merge_states(
+    cx: &SweepCtx<'_, '_>,
+    outs: &mut [ConeOut],
+    prune_stats: &mut crate::sigma::SigmaPruneStats,
+) -> Vec<CandState> {
     let n = cx.sweep.candidates.len();
     let mut per_cone: Vec<HashMap<usize, ConeCandState>> = outs
         .iter_mut()
@@ -1059,7 +1063,6 @@ fn merge_states(cx: &SweepCtx<'_, '_>, outs: &mut [ConeOut]) -> Vec<CandState> {
             break;
         }
         let cand = &cx.sweep.candidates[index];
-        let ranges = parallel::sigma_ranges(cx.shared, cand);
         let mut eval = CandidateEval {
             sigmas: Vec::new(),
             first_invalid: None,
@@ -1067,36 +1070,40 @@ fn merge_states(cx: &SweepCtx<'_, '_>, outs: &mut [ConeOut]) -> Vec<CandState> {
         };
         let mut pos = 0usize;
         let mut failed: Option<MctError> = None;
-        for sigma in SigmaIter::new(&ranges) {
-            let Some(gate) = parallel::gate_sigma(cx.shared, cand, &sigma) else {
-                continue;
-            };
-            if pos == fail_pos {
-                failed = fail_err.take();
-                break;
-            }
-            let outcome = match merged_memo.get(&sigma) {
-                Some(&o) => o,
-                None => match merge_sigma(cx, &parts_per_cone, pos) {
-                    Ok(o) => {
-                        merged_memo.insert(sigma.clone(), o);
+        // The one canonical enumeration pass of the decomposed sweep: its
+        // prune counters are the ones the report carries.
+        let walked = parallel::for_each_gated::<MctError>(
+            cx.shared,
+            cand,
+            parallel::FULL_WINDOW,
+            prune_stats,
+            &mut |sigma, gate| {
+                if pos == fail_pos {
+                    failed = fail_err.take();
+                    return Ok(false);
+                }
+                let outcome = match merged_memo.get(sigma) {
+                    Some(&o) => o,
+                    None => {
+                        let o = merge_sigma(cx, &parts_per_cone, pos)?;
+                        merged_memo.insert(sigma.to_vec(), o);
                         o
                     }
-                    Err(e) => {
-                        failed = Some(e);
-                        break;
+                };
+                if !outcome.is_valid() {
+                    if eval.first_invalid.is_none() {
+                        eval.first_invalid = Some(outcome);
                     }
-                },
-            };
-            if !outcome.is_valid() {
-                if eval.first_invalid.is_none() {
-                    eval.first_invalid = Some(outcome);
+                    eval.failing_sups
+                        .push(parallel::failing_sup(cx.shared, cand, gate));
                 }
-                eval.failing_sups
-                    .push(parallel::failing_sup(cx.shared, cand, &gate));
-            }
-            eval.sigmas.push(sigma);
-            pos += 1;
+                eval.sigmas.push(sigma.to_vec());
+                pos += 1;
+                Ok(true)
+            },
+        );
+        if let Err(e) = walked {
+            failed = Some(e);
         }
         match failed {
             Some(e) => {

@@ -82,7 +82,9 @@ mod sigma;
 #[cfg(test)]
 mod proptests;
 
-pub use analyzer::{MctAnalyzer, MctOptions, MctReport, ReachSnapshot, ValidityRegion, VarOrder};
+pub use analyzer::{
+    MctAnalyzer, MctOptions, MctReport, ReachSnapshot, SigmaStrategy, ValidityRegion, VarOrder,
+};
 pub use artifact::{
     validate_timed_order, ArtifactError, ConeData, ExactPartData, OrderData, OutcomeData, ReachData,
 };
@@ -92,4 +94,4 @@ pub use decompose::{ConeCacheEntry, DecomposeArtifacts};
 pub use error::MctError;
 pub use exact::decide_exact;
 pub use mct_bdd::BddStats;
-pub use sigma::{feasible_tau_range, ShiftRange, SigmaIter};
+pub use sigma::{feasible_tau_range, ShiftRange, SigmaIter, SigmaPruneStats};

@@ -34,17 +34,20 @@
 //! simply discarded by the reconciler (and mostly avoided by the shared
 //! stop-index the workers publish).
 
-use crate::analyzer::{lp_max_tau, MctOptions, MctReport, ValidityRegion, VarOrder};
+use crate::analyzer::{lp_max_tau, MctOptions, MctReport, SigmaStrategy, ValidityRegion, VarOrder};
 use crate::breakpoints::BreakpointIter;
 use crate::decision::{DecisionContext, DecisionOutcome};
 use crate::error::MctError;
-use crate::sigma::{feasible_tau_range, ShiftRange, SigmaIter};
+use crate::sigma::{feasible_tau_range, ShiftRange, SigmaIter, SigmaPruneStats, SigmaWalk};
 use mct_bdd::Bdd;
 use mct_bdd::BddManager;
 use mct_bdd::BddStats;
 use mct_lp::Rat;
 use mct_netlist::FsmView;
-use mct_tbf::{transfer_bdd, ConeExtractor, DelayClass, DiscreteMachine, TimedVar, TimedVarTable};
+use mct_tbf::{
+    transfer_bdd, ConeExtractor, DelayClass, DiscreteMachine, SigmaConeCache, TimedVar,
+    TimedVarTable,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -82,8 +85,9 @@ pub(crate) struct PlannedCandidate {
     pub tau: Rat,
     /// The previous (larger) breakpoint — right end of the interval.
     pub prev: Option<Rat>,
-    /// `|Φ(τ)|` before feasibility filtering (pure interval arithmetic).
-    pub combos: usize,
+    /// `|Φ(τ)|` before feasibility filtering (pure interval arithmetic),
+    /// saturating at `u128::MAX`.
+    pub combos: u128,
 }
 
 /// The full candidate list of one sweep, in descending τ order.
@@ -160,6 +164,15 @@ pub(crate) struct SigmaMemo {
     /// and so depends on worker scheduling; it is surfaced as the
     /// [`mct_bdd::BddStats::mvec_memo_hits`] kernel diagnostic.
     hits: AtomicU64,
+    /// Φ subtrees cut by the pruned walk, across all threads (see
+    /// [`SigmaPruneStats`]). Like `hits`, a scheduling-dependent kernel
+    /// diagnostic, surfaced as `sigma_pruned_subtrees`.
+    pruned_subtrees: AtomicU64,
+    /// Combinations contained in the cut subtrees (`sigma_pruned`).
+    pruned_combos: AtomicU64,
+    /// Sink cones answered by the σ-neighbor cone cache instead of being
+    /// re-extracted (`sigma_reused`).
+    reused: AtomicU64,
 }
 
 impl SigmaMemo {
@@ -169,12 +182,47 @@ impl SigmaMemo {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             hits: AtomicU64::new(0),
+            pruned_subtrees: AtomicU64::new(0),
+            pruned_combos: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
         }
     }
 
     /// Lookups answered from the memo so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Φ subtrees cut so far.
+    pub fn pruned_subtrees(&self) -> u64 {
+        self.pruned_subtrees.load(Ordering::Relaxed)
+    }
+
+    /// Combinations never generated thanks to subtree cuts.
+    pub fn pruned_combos(&self) -> u64 {
+        self.pruned_combos.load(Ordering::Relaxed)
+    }
+
+    /// Sink cones reused from the σ-neighbor cache.
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Folds one walk's prune counters into the shared totals.
+    pub fn add_prune(&self, stats: &SigmaPruneStats) {
+        if stats.subtrees > 0 {
+            self.pruned_subtrees
+                .fetch_add(stats.subtrees, Ordering::Relaxed);
+            self.pruned_combos
+                .fetch_add(stats.combos, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds one candidate's cone-cache hits into the shared total.
+    pub fn add_reused(&self, n: u64) {
+        if n > 0 {
+            self.reused.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     fn shard(&self, sigma: &[i64]) -> &Mutex<HashMap<Vec<i64>, DecisionOutcome>> {
@@ -273,56 +321,134 @@ pub(crate) fn failing_sup(shared: &SweepShared, cand: &PlannedCandidate, gate: &
     }
 }
 
-/// Evaluates one candidate: enumerate Φ(τ), filter to the feasible σ, and
-/// decide each against the steady machine (through the shared memo).
+/// The full-Φ window: every ordinal of the candidate's enumeration.
+pub(crate) const FULL_WINDOW: (u128, u128) = (0, u128::MAX);
+
+/// Callback of [`for_each_gated`]: one surviving combination and its gate.
+pub(crate) type GatedVisitor<'a, E> = &'a mut dyn FnMut(&[i64], &SigmaGate) -> Result<bool, E>;
+
+/// Enumerates the *gated* (feasible) shift combinations of one candidate in
+/// flat-odometer order, through the strategy selected by
+/// [`MctOptions::sigma`]:
+///
+/// * [`SigmaStrategy::Flat`] walks every combination and filters each
+///   through [`gate_sigma`] after the fact — the classic odometer;
+/// * [`SigmaStrategy::Pruned`] walks the prefix tree of [`SigmaWalk`],
+///   cutting subtrees whose partial-assignment τ bound is already empty and
+///   (when LP path coupling is on) subtrees whose assigned-suffix LP
+///   relaxation is infeasible. Dropping the unassigned prefix drops
+///   constraints *and* variables from the LP, so an infeasible suffix
+///   relaxation soundly certifies every completion infeasible.
+///
+/// Both strategies visit exactly the surviving σ, in exactly the flat
+/// enumeration order (a pruned walk emits a subsequence, never a
+/// reordering), so everything downstream — decisions, cache-hit replay,
+/// failure diagnostics — is byte-identical between them. What pruning
+/// changes is only *work*, witnessed by `stats`.
+///
+/// `visit` returns `Ok(false)` to stop the enumeration early.
+pub(crate) fn for_each_gated<E>(
+    shared: &SweepShared,
+    cand: &PlannedCandidate,
+    window: (u128, u128),
+    stats: &mut SigmaPruneStats,
+    visit: GatedVisitor<'_, E>,
+) -> Result<(), E> {
+    let ranges = sigma_ranges(shared, cand);
+    let prune = shared.opts.sigma == SigmaStrategy::Pruned;
+    let walk = SigmaWalk::new(&ranges, &shared.intervals, cand.tau, cand.prev, prune)
+        .window(window.0, window.1);
+    let lp = shared.opts.path_coupled_lp;
+    let mut subtree_infeasible = |partial: &[i64], j: usize| {
+        lp && lp_max_tau(
+            &shared.classes[j..],
+            partial,
+            shared.opts.delay_variation,
+            shared.l_millis,
+            cand.tau,
+            cand.prev,
+        )
+        .is_none()
+    };
+    let mut gated = |sigma: &[i64]| match gate_sigma(shared, cand, sigma) {
+        None => Ok(true),
+        Some(gate) => visit(sigma, &gate),
+    };
+    walk.run(stats, &mut subtree_infeasible, &mut gated)?;
+    Ok(())
+}
+
+/// Evaluates one candidate (or one ordinal window of it): enumerate Φ(τ),
+/// filter to the feasible σ, and decide each against the steady machine
+/// (through the shared memo). When a σ-neighbor cone cache is supplied,
+/// machines are assembled through it so sinks whose projected shifts are
+/// unchanged from a previous σ reuse their composed BDD; the caller owns
+/// the cache lifecycle (release at candidate boundaries).
 pub(crate) fn eval_candidate(
     shared: &SweepShared,
     env: &mut EvalEnv<'_, '_>,
     cand: &PlannedCandidate,
     memo: &SigmaMemo,
+    window: (u128, u128),
+    mut cones: Option<&mut SigmaConeCache>,
 ) -> Result<CandidateEval, MctError> {
-    let ranges = sigma_ranges(shared, cand);
     let mut eval = CandidateEval {
         sigmas: Vec::new(),
         first_invalid: None,
         failing_sups: Vec::new(),
     };
-    for sigma in SigmaIter::new(&ranges) {
-        let Some(gate) = gate_sigma(shared, cand, &sigma) else {
-            continue;
-        };
-        let outcome = match memo.get(&sigma) {
-            Some(o) => o,
-            None => {
-                let machine = DiscreteMachine::with_shift_fn(
-                    env.extractor,
-                    env.manager,
-                    env.table,
-                    |leaf, k| sigma[shared.class_ix[&(leaf, k)]],
-                )?;
-                let outcome = if shared.opts.exact_check {
-                    crate::exact::decide_exact(
-                        env.view,
-                        env.manager,
-                        env.table,
-                        &machine,
-                        env.ctx.steady(),
-                        shared.opts.max_product_bits,
-                    )?
-                } else {
-                    env.ctx.decide(env.manager, env.table, &machine)
-                };
-                memo.insert(&sigma, outcome);
-                outcome
+    let mut stats = SigmaPruneStats::default();
+    {
+        let env = &mut *env;
+        let eval = &mut eval;
+        let cones = &mut cones;
+        let mut visit = |sigma: &[i64], gate: &SigmaGate| -> Result<bool, MctError> {
+            let outcome = match memo.get(sigma) {
+                Some(o) => o,
+                None => {
+                    let machine = match cones.as_deref_mut() {
+                        Some(cache) => {
+                            cache.machine(env.extractor, env.manager, env.table, |leaf, k| {
+                                sigma[shared.class_ix[&(leaf, k)]]
+                            })?
+                        }
+                        None => DiscreteMachine::with_shift_fn(
+                            env.extractor,
+                            env.manager,
+                            env.table,
+                            |leaf, k| sigma[shared.class_ix[&(leaf, k)]],
+                        )?,
+                    };
+                    let outcome = if shared.opts.exact_check {
+                        crate::exact::decide_exact(
+                            env.view,
+                            env.manager,
+                            env.table,
+                            &machine,
+                            env.ctx.steady(),
+                            shared.opts.max_product_bits,
+                        )?
+                    } else {
+                        env.ctx.decide(env.manager, env.table, &machine)
+                    };
+                    memo.insert(sigma, outcome);
+                    outcome
+                }
+            };
+            if !outcome.is_valid() {
+                if eval.first_invalid.is_none() {
+                    eval.first_invalid = Some(outcome);
+                }
+                eval.failing_sups.push(failing_sup(shared, cand, gate));
             }
+            eval.sigmas.push(sigma.to_vec());
+            Ok(true)
         };
-        if !outcome.is_valid() {
-            if eval.first_invalid.is_none() {
-                eval.first_invalid = Some(outcome);
-            }
-            eval.failing_sups.push(failing_sup(shared, cand, &gate));
-        }
-        eval.sigmas.push(sigma);
+        for_each_gated(shared, cand, window, &mut stats, &mut visit)?;
+    }
+    memo.add_prune(&stats);
+    if let Some(cache) = cones.as_mut() {
+        memo.add_reused(cache.take_hits());
     }
     Ok(eval)
 }
@@ -347,19 +473,26 @@ pub(crate) fn run_single(
     // discretized machines are rebuilt from the netlist each time, so the
     // collector may reclaim their nodes between candidates.
     let gc_roots = env.ctx.gc_roots();
+    // The σ-neighbor cone cache lives for one candidate at a time: released
+    // (unpinned) at every candidate boundary so the collector sees the same
+    // reclaimable set it would without the cache.
+    let mut cones = SigmaConeCache::new(env.extractor).ok();
     for (index, cand) in sweep.candidates.iter().enumerate() {
         if deadline.is_some_and(|d| Instant::now() > d) {
             states[index] = CandState::DeadlineHit;
             break;
         }
-        if cand.combos > shared.opts.max_sigma_combos {
+        if cand.combos > shared.opts.max_sigma_combos as u128 {
             states[index] = CandState::Failed(MctError::SigmaExplosion {
                 tau: cand.tau.as_f64() / 1000.0,
                 cap: shared.opts.max_sigma_combos,
             });
             break;
         }
-        let outcome = eval_candidate(shared, env, cand, memo);
+        let outcome = eval_candidate(shared, env, cand, memo, FULL_WINDOW, cones.as_mut());
+        if let Some(cache) = cones.as_mut() {
+            cache.release(env.manager);
+        }
         env.manager.maybe_collect_garbage(&gc_roots);
         match outcome {
             Ok(eval) => {
@@ -387,8 +520,56 @@ pub(crate) struct SharedReach<'m> {
     pub set: Bdd,
 }
 
-/// The cross-worker coordination state of one pool run: the dispatch
-/// counter, the (shrink-only) stop index, and the shared deadline.
+/// One unit of pool work: an ordinal window of one candidate's Φ tree.
+/// Small candidates are a single full-window item; large ones are split
+/// into contiguous windows so several workers advance one candidate
+/// together (intra-Φ parallelism).
+struct WorkItem {
+    /// Candidate index in the plan.
+    cand: usize,
+    /// Ordinal window `[start, end)` of the candidate's enumeration.
+    window: (u128, u128),
+}
+
+/// Don't split a candidate below this many combinations — windows smaller
+/// than this are dominated by per-chunk overhead (cache warm-up, dispatch).
+const SPLIT_MIN: u128 = 256;
+
+/// Builds the dispatch list: items ordered by (candidate, window start), so
+/// chunk results concatenate back into flat enumeration order.
+fn plan_items(shared: &SweepShared, sweep: &SweepPlan, threads: usize) -> Vec<WorkItem> {
+    let mut items = Vec::new();
+    for (cand, planned) in sweep.candidates.iter().enumerate() {
+        let combos = planned.combos;
+        let splittable = threads > 1
+            && combos >= SPLIT_MIN
+            // An exploding candidate must surface as ONE SigmaExplosion,
+            // exactly like the sequential path.
+            && combos <= shared.opts.max_sigma_combos as u128;
+        let chunks = if splittable {
+            combos.min(4 * threads as u128)
+        } else {
+            1
+        };
+        for k in 0..chunks {
+            let start = combos * k / chunks;
+            let end = combos * (k + 1) / chunks;
+            items.push(WorkItem {
+                cand,
+                window: if chunks == 1 {
+                    FULL_WINDOW
+                } else {
+                    (start, end)
+                },
+            });
+        }
+    }
+    items
+}
+
+/// The cross-worker coordination state of one pool run: the item dispatch
+/// counter, the (shrink-only, candidate-granular) stop index, and the
+/// shared deadline.
 struct PoolControl {
     next: AtomicUsize,
     stop_at: AtomicUsize,
@@ -396,9 +577,12 @@ struct PoolControl {
 }
 
 /// Evaluates the plan on `threads` workers, each owning a private symbolic
-/// stack. Candidates are claimed from a shared counter in descending-τ
-/// order; a shared stop index prunes work past the first terminal event
-/// (failing candidate in early-exit mode, error, or deadline).
+/// stack. Work items (candidate windows) are claimed from a shared counter
+/// in enumeration order; a shared candidate-granular stop index prunes work
+/// past the first terminal event (failing candidate in early-exit mode,
+/// error, or deadline). Chunk results are merged back per candidate in
+/// window order, reconstructing exactly the evaluation a single worker
+/// would have produced.
 pub(crate) fn run_pool(
     shared: &SweepShared,
     sweep: &SweepPlan,
@@ -408,6 +592,7 @@ pub(crate) fn run_pool(
     memo: &SigmaMemo,
     deadline: Option<Instant>,
 ) -> Result<(Vec<CandState>, BddStats), MctError> {
+    let items = plan_items(shared, sweep, threads);
     let control = PoolControl {
         next: AtomicUsize::new(0),
         stop_at: AtomicUsize::new(usize::MAX),
@@ -415,34 +600,92 @@ pub(crate) fn run_pool(
     };
     type WorkerOut = (Vec<(usize, CandState)>, BddStats);
     let results: Result<Vec<WorkerOut>, MctError> = std::thread::scope(|scope| {
+        let items = &items;
         let handles: Vec<_> = (0..threads)
-            .map(|_| scope.spawn(|| worker_loop(shared, sweep, view, reach, &control, memo)))
+            .map(|_| scope.spawn(|| worker_loop(shared, sweep, items, view, reach, &control, memo)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     });
-    let mut states: Vec<CandState> = sweep
-        .candidates
-        .iter()
-        .map(|_| CandState::Pending)
-        .collect();
+    let mut slots: Vec<Option<CandState>> = items.iter().map(|_| None).collect();
     let mut kernel = BddStats::default();
-    for (worker_states, worker_stats) in results? {
+    for (worker_slots, worker_stats) in results? {
         kernel.absorb(&worker_stats);
-        for (index, state) in worker_states {
-            states[index] = state;
+        for (index, state) in worker_slots {
+            slots[index] = Some(state);
         }
+    }
+    // Regroup the chunk results per candidate, in window order.
+    let mut states: Vec<CandState> = Vec::with_capacity(sweep.candidates.len());
+    let mut slots = slots.into_iter().zip(&items).peekable();
+    for cand in 0..sweep.candidates.len() {
+        let mut chunks = Vec::new();
+        while slots.peek().is_some_and(|(_, item)| item.cand == cand) {
+            chunks.push(slots.next().expect("peeked").0);
+        }
+        states.push(merge_chunks(chunks));
     }
     Ok((states, kernel))
 }
 
+/// Reassembles one candidate from its chunk outcomes (in window order).
+///
+/// A terminal chunk (error or deadline) publishes the candidate-granular
+/// stop index *at* its own candidate, and workers only skip items strictly
+/// past the stop index — so every chunk of a candidate at or before the
+/// stop is claimed and recorded, and an unrecorded chunk can only belong to
+/// a candidate past the effective sweep (merged to `Pending`, which the
+/// reconciler never reaches).
+fn merge_chunks(chunks: Vec<Option<CandState>>) -> CandState {
+    if chunks
+        .iter()
+        .any(|c| matches!(c, Some(CandState::Failed(_))))
+    {
+        for c in chunks {
+            if let Some(CandState::Failed(e)) = c {
+                return CandState::Failed(e);
+            }
+        }
+        unreachable!("a Failed chunk was found above");
+    }
+    if chunks
+        .iter()
+        .any(|c| matches!(c, Some(CandState::DeadlineHit)))
+    {
+        return CandState::DeadlineHit;
+    }
+    if chunks.iter().any(|c| c.is_none()) {
+        return CandState::Pending;
+    }
+    let mut merged = CandidateEval {
+        sigmas: Vec::new(),
+        first_invalid: None,
+        failing_sups: Vec::new(),
+    };
+    for c in chunks {
+        let Some(CandState::Done(eval)) = c else {
+            unreachable!("non-Done chunks handled above");
+        };
+        // Windows are disjoint and ordered, so concatenation *is* the flat
+        // enumeration order; the first invalid outcome across chunks is the
+        // first in enumeration order.
+        if merged.first_invalid.is_none() {
+            merged.first_invalid = eval.first_invalid;
+        }
+        merged.sigmas.extend(eval.sigmas);
+        merged.failing_sups.extend(eval.failing_sups);
+    }
+    CandState::Done(merged)
+}
+
 /// One worker: build a private symbolic stack, then claim and evaluate
-/// candidates until the plan (or the stop index) is exhausted.
+/// work items until the list (or the stop index) is exhausted.
 fn worker_loop(
     shared: &SweepShared,
     sweep: &SweepPlan,
+    items: &[WorkItem],
     view: &FsmView<'_>,
     reach: Option<&SharedReach<'_>>,
     control: &PoolControl,
@@ -472,39 +715,46 @@ fn worker_loop(
         manager: &mut manager,
         table: &mut table,
     };
+    let mut cones = SigmaConeCache::new(&extractor).ok();
     let mut out = Vec::new();
     loop {
         let index = control.next.fetch_add(1, Ordering::Relaxed);
-        if index >= sweep.candidates.len() {
+        if index >= items.len() {
             break;
         }
-        // The stop index only shrinks, so every later claim is also past
-        // it: this worker is done.
-        if index > control.stop_at.load(Ordering::Acquire) {
+        let item = &items[index];
+        // The stop index only shrinks and items are candidate-ordered, so
+        // every later claim is also past it: this worker is done. Items
+        // *at* the stop candidate still run — its remaining chunks must
+        // complete for the merge.
+        if item.cand > control.stop_at.load(Ordering::Acquire) {
             break;
         }
-        let cand = &sweep.candidates[index];
+        let cand = &sweep.candidates[item.cand];
         let state = if control.deadline.is_some_and(|d| Instant::now() > d) {
-            control.stop_at.fetch_min(index, Ordering::AcqRel);
+            control.stop_at.fetch_min(item.cand, Ordering::AcqRel);
             CandState::DeadlineHit
-        } else if cand.combos > shared.opts.max_sigma_combos {
-            control.stop_at.fetch_min(index, Ordering::AcqRel);
+        } else if cand.combos > shared.opts.max_sigma_combos as u128 {
+            control.stop_at.fetch_min(item.cand, Ordering::AcqRel);
             CandState::Failed(MctError::SigmaExplosion {
                 tau: cand.tau.as_f64() / 1000.0,
                 cap: shared.opts.max_sigma_combos,
             })
         } else {
-            let outcome = eval_candidate(shared, &mut env, cand, memo);
+            let outcome = eval_candidate(shared, &mut env, cand, memo, item.window, cones.as_mut());
+            if let Some(cache) = cones.as_mut() {
+                cache.release(env.manager);
+            }
             env.manager.maybe_collect_garbage(&gc_roots);
             match outcome {
                 Ok(eval) => {
                     if !eval.failing_sups.is_empty() && shared.early_exit() {
-                        control.stop_at.fetch_min(index, Ordering::AcqRel);
+                        control.stop_at.fetch_min(item.cand, Ordering::AcqRel);
                     }
                     CandState::Done(eval)
                 }
                 Err(e) => {
-                    control.stop_at.fetch_min(index, Ordering::AcqRel);
+                    control.stop_at.fetch_min(item.cand, Ordering::AcqRel);
                     CandState::Failed(e)
                 }
             }

@@ -37,6 +37,12 @@ pub struct GenConfig {
     pub max_gates: usize,
     /// Inclusive upper bound on gate fan-in.
     pub max_fanin: usize,
+    /// Bias pin delays toward the top of [`DELAY_GRID_MILLIS`]. Under
+    /// bounded delay variation the per-class shift interval width scales
+    /// with the delay itself, so large delays give each class several
+    /// feasible shifts — the regime that exercises the Φ-subtree pruning
+    /// walk instead of degenerate one-combination products.
+    pub wide_delays: bool,
 }
 
 impl Default for GenConfig {
@@ -46,20 +52,28 @@ impl Default for GenConfig {
             max_dffs: 6,
             max_gates: 20,
             max_fanin: 4,
+            wide_delays: false,
         }
     }
 }
 
-fn grid_delay(rng: &mut SmallRng) -> Time {
-    Time::from_millis(DELAY_GRID_MILLIS[rng.gen_range(0..DELAY_GRID_MILLIS.len())])
+fn grid_delay(rng: &mut SmallRng, wide: bool) -> Time {
+    // Wide mode keeps a 1-in-4 draw from the full grid so small delays
+    // (and their awkward breakpoints) still appear.
+    let lo = if wide && rng.gen_range(0..4usize) != 0 {
+        DELAY_GRID_MILLIS.len() / 2
+    } else {
+        0
+    };
+    Time::from_millis(DELAY_GRID_MILLIS[rng.gen_range(lo..DELAY_GRID_MILLIS.len())])
 }
 
-fn pin_delay(rng: &mut SmallRng) -> PinDelay {
-    let rise = grid_delay(rng);
+fn pin_delay(rng: &mut SmallRng, wide: bool) -> PinDelay {
+    let rise = grid_delay(rng, wide);
     if rng.gen_range(0..4usize) == 0 {
         // Rise/fall-asymmetric pin: the transition-delay machinery must
         // track both edges separately.
-        PinDelay::new(rise, grid_delay(rng))
+        PinDelay::new(rise, grid_delay(rng, wide))
     } else {
         PinDelay::symmetric(rise)
     }
@@ -101,7 +115,9 @@ pub fn random_circuit(rng: &mut SmallRng, cfg: &GenConfig, tag: u64) -> Circuit 
         let pins: Vec<NetId> = (0..fanin)
             .map(|_| pool[rng.gen_range(0..pool.len())])
             .collect();
-        let delays: Vec<PinDelay> = (0..fanin).map(|_| pin_delay(rng)).collect();
+        let delays: Vec<PinDelay> = (0..fanin)
+            .map(|_| pin_delay(rng, cfg.wide_delays))
+            .collect();
         let g = c.add_gate_with_delays(format!("g{i}"), kind, &pins, delays);
         pool.push(g);
         gates.push(g);
@@ -179,7 +195,7 @@ pub fn perturb_delays(c: &mut Circuit, rng: &mut SmallRng) {
         };
         for p in 0..fanin {
             if rng.gen_range(0..4usize) == 0 {
-                let d = pin_delay(rng);
+                let d = pin_delay(rng, false);
                 c.set_gate_pin_delay(id, p, d).expect("pin in range");
             }
         }

@@ -31,7 +31,7 @@
 //! let cfg = FuzzConfig {
 //!     iters: 2,
 //!     // Tiny circuits keep the example fast; real runs use the defaults.
-//!     gen: GenConfig { max_inputs: 2, max_dffs: 3, max_gates: 8, max_fanin: 3 },
+//!     gen: GenConfig { max_inputs: 2, max_dffs: 3, max_gates: 8, ..GenConfig::default() },
 //!     ..FuzzConfig::default()
 //! };
 //! let stats = run(&cfg);

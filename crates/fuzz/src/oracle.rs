@@ -27,8 +27,14 @@
 //! * **decompose** — cone-of-influence decomposition is a pure performance
 //!   lever: the recombined per-cone report must be byte-identical to the
 //!   monolithic one, at one worker and with the cone pool parallelized.
+//! * **sigma** — the pruned variable-delay Φ walk is a pure performance
+//!   lever too: it must visit exactly the feasible subsequence the flat
+//!   odometer examines, so the report is byte-identical across
+//!   {flat, pruned} × thread counts (the CLI pairs this oracle with a
+//!   wide-delay generator bias and path-coupled LPs so the pruning bound
+//!   actually engages).
 
-use mct_core::{MctAnalyzer, MctOptions, MctReport, ReachSnapshot, VarOrder};
+use mct_core::{MctAnalyzer, MctOptions, MctReport, ReachSnapshot, SigmaStrategy, VarOrder};
 use mct_lp::Rat;
 use mct_netlist::{circuit_digests, parse_blif, write_blif, Circuit, DelayModel, Time};
 use mct_serve::report::{options_fingerprint, report_to_json};
@@ -52,6 +58,8 @@ pub enum OracleSelect {
     Robustness,
     /// Only the mono-vs-decomposed identity check.
     Decompose,
+    /// Only the flat-vs-pruned Φ-enumeration identity check.
+    Sigma,
 }
 
 impl OracleSelect {
@@ -63,6 +71,7 @@ impl OracleSelect {
             "metamorphic" => Some(OracleSelect::Metamorphic),
             "robustness" => Some(OracleSelect::Robustness),
             "decompose" => Some(OracleSelect::Decompose),
+            "sigma" => Some(OracleSelect::Sigma),
             _ => None,
         }
     }
@@ -81,6 +90,10 @@ impl OracleSelect {
 
     fn decompose(self) -> bool {
         matches!(self, OracleSelect::All | OracleSelect::Decompose)
+    }
+
+    fn sigma(self) -> bool {
+        matches!(self, OracleSelect::All | OracleSelect::Sigma)
     }
 }
 
@@ -157,6 +170,8 @@ pub struct OracleStats {
     pub snapshot_roundtrips: u64,
     /// Mono-vs-decomposed identity comparisons completed.
     pub decompose_checks: u64,
+    /// Flat-vs-pruned Φ-enumeration identity comparisons completed.
+    pub sigma_checks: u64,
 }
 
 /// Shared oracle state across one fuzzing run.
@@ -259,6 +274,11 @@ pub fn check_circuit(ctx: &mut OracleCtx, c: &Circuit, stim_seed: u64) -> Option
             return Some(f);
         }
     }
+    if ctx.select.sigma() {
+        if let Some(f) = sigma_identity(ctx, c, &base_json) {
+            return Some(f);
+        }
+    }
     None
 }
 
@@ -300,6 +320,52 @@ fn decompose_identity(ctx: &mut OracleCtx, c: &Circuit, base_json: &str) -> Opti
         }
     }
     ctx.stats.decompose_checks += 1;
+    None
+}
+
+/// The sigma oracle: the pruned Φ walk visits exactly the LP-feasible
+/// subsequence of the flat odometer, so the report must be byte-identical
+/// across {flat, pruned} × thread counts. The base report is the default
+/// pruned single-thread run; an engine error on any variant is also a
+/// failure — both strategies gate the σ explosion on the *unpruned*
+/// combination count, so they must refuse identically.
+fn sigma_identity(ctx: &mut OracleCtx, c: &Circuit, base_json: &str) -> Option<Failure> {
+    for (sigma, threads) in [
+        (SigmaStrategy::Flat, 1),
+        (SigmaStrategy::Flat, 4),
+        (SigmaStrategy::Pruned, 4),
+    ] {
+        let opts = MctOptions {
+            sigma,
+            num_threads: threads,
+            ..ctx.opts.analysis.clone()
+        };
+        ctx.stats.analyses += 1;
+        match analyze(c, &opts) {
+            Ok(r) => {
+                let j = report_to_json(&r).to_compact();
+                if j != base_json {
+                    return Some(Failure {
+                        oracle: "sigma",
+                        detail: format!(
+                            "report differs under sigma={sigma:?} threads={threads}:\n  \
+                             base: {base_json}\n  got:  {j}"
+                        ),
+                    });
+                }
+            }
+            Err(e) => {
+                return Some(Failure {
+                    oracle: "sigma",
+                    detail: format!(
+                        "sigma={sigma:?} analysis errored where the base run succeeded \
+                         (threads={threads}): {e}"
+                    ),
+                })
+            }
+        }
+    }
+    ctx.stats.sigma_checks += 1;
     None
 }
 

@@ -187,6 +187,10 @@ impl FuzzStats {
                 "decompose_checks".into(),
                 Json::Int(self.oracle.decompose_checks as i64),
             ),
+            (
+                "sigma_checks".into(),
+                Json::Int(self.oracle.sigma_checks as i64),
+            ),
             ("shrink_evals".into(), Json::Int(self.shrink_evals as i64)),
             ("budget_exhausted".into(), Json::Bool(self.budget_exhausted)),
             ("failures".into(), Json::Arr(failures)),
@@ -229,6 +233,10 @@ impl FuzzStats {
         out.push_str(&format!(
             "  decompose checks{:>8}\n",
             self.oracle.decompose_checks
+        ));
+        out.push_str(&format!(
+            "  sigma checks    {:>8}\n",
+            self.oracle.sigma_checks
         ));
         if self.budget_exhausted {
             out.push_str("  time budget exhausted\n");

@@ -16,6 +16,7 @@ fn small_gen() -> GenConfig {
         max_dffs: 4,
         max_gates: 10,
         max_fanin: 3,
+        wide_delays: false,
     }
 }
 
@@ -49,6 +50,38 @@ fn default_stack_smoke() {
         stats.failures.is_empty(),
         "unexpected failures: {:?}",
         stats.failures.iter().map(|f| &f.detail).collect::<Vec<_>>()
+    );
+}
+
+/// The sigma oracle (flat-vs-pruned Φ identity) under the same knobs the
+/// CLI applies for `--oracle sigma`: wide delay bias and path-coupled LPs
+/// with a 75–100% variation interval, so the pruning bound actually
+/// engages on a fraction of the candidates.
+#[test]
+fn sigma_oracle_smoke() {
+    let mut cfg = FuzzConfig {
+        seed: 7,
+        iters: 4,
+        select: mct_fuzz::OracleSelect::Sigma,
+        gen: GenConfig {
+            wide_delays: true,
+            ..small_gen()
+        },
+        ..FuzzConfig::default()
+    };
+    cfg.oracle.analysis.delay_variation = Some((3, 4));
+    cfg.oracle.analysis.path_coupled_lp = true;
+    let stats = run(&cfg);
+    assert_eq!(stats.iters_run, 4);
+    assert!(
+        stats.failures.is_empty(),
+        "unexpected failures: {:?}",
+        stats.failures.iter().map(|f| &f.detail).collect::<Vec<_>>()
+    );
+    assert!(
+        stats.oracle.sigma_checks + stats.oracle.analysis_errors + stats.oracle.analysis_timeouts
+            > 0,
+        "sigma oracle never engaged"
     );
 }
 

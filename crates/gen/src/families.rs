@@ -350,6 +350,53 @@ pub fn composite(
     c
 }
 
+/// A shared-trunk star for the variable-delay (Section 7) engine: one
+/// register, two fast direct gates, and `branches` slow gates hanging off
+/// a common trunk buffer, all conjoined into the feedback.
+///
+/// Every branch class's register-to-register path runs through the trunk
+/// pin, so with path-coupled LPs the per-class shift constraints are
+/// *jointly* constrained through the shared trunk delay variable — the
+/// regime where the Φ-subtree pruning walk cuts whole subtrees that the
+/// flat odometer would enumerate combination by combination. The trunk
+/// delay dominates each branch path (small ascending branch increments on
+/// a long trunk), so each class's *independent* interval is wide — the
+/// per-class closed form keeps almost every combination — while the
+/// *coupled* system pins every class to nearly the same shared trunk
+/// value, so shift vectors that would need incompatible trunk windows are
+/// LP-infeasible. Branch delays ascend, making the coupled classes the
+/// largest (and therefore the most significant digits of the walk), so
+/// two incompatible branch shifts already cut at depth two, removing the
+/// product of every remaining class width in one probe. Scaling
+/// `branches` scales the delay-class count, and with a wide variation
+/// interval the combination count grows geometrically.
+///
+/// # Panics
+///
+/// Panics if `branches == 0`.
+pub fn sigma_star(branches: usize) -> Circuit {
+    assert!(branches > 0, "need at least one branch");
+    let mut c = Circuit::new("sigma_star");
+    let f = c.add_dff("f", true, Time::ZERO);
+    let u = c.add_gate("u", GateKind::Buf, &[f], t(0.4));
+    let v = c.add_gate("v", GateKind::Not, &[f], t(0.7));
+    let x = c.add_gate("x", GateKind::Buf, &[f], t(4.0));
+    let mut pins = vec![u, v];
+    for i in 0..branches {
+        let kind = if i % 2 == 0 {
+            GateKind::Buf
+        } else {
+            GateKind::Not
+        };
+        let b = c.add_gate(format!("b{i}"), kind, &[x], t(0.3 + 0.2 * i as f64));
+        pins.push(b);
+    }
+    let g = c.add_gate("g", GateKind::And, &pins, Time::ZERO);
+    c.connect_dff_data("f", g).unwrap();
+    c.set_output(f);
+    c
+}
+
 /// Extreme unreachable slack: the trap path is more than four times the
 /// base delay, so the certified minimum cycle time is below a quarter of
 /// the topological delay — the paper's s38584 phenomenon, where a correct
@@ -491,6 +538,21 @@ mod tests {
         // Longest path 9.0 vs base 2.0: certified below 9/4 later by the
         // integration tests; here just check the structure.
         assert_eq!(c.num_dffs(), 4);
+    }
+
+    #[test]
+    fn sigma_star_scales_delay_classes() {
+        for branches in [1, 3, 5] {
+            let c = sigma_star(branches);
+            assert!(c.validate().is_ok());
+            assert_eq!(c.num_gates(), 4 + branches);
+            // The conjunction contains q ∧ ¬q, so the feedback is
+            // identically 0: after one step the register sticks at 0.
+            let (s1, _) = c.step(&c.initial_state(), &[]);
+            let (s2, _) = c.step(&s1, &[]);
+            assert_eq!(s1, vec![false]);
+            assert_eq!(s2, vec![false]);
+        }
     }
 
     #[test]

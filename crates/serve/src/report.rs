@@ -18,7 +18,7 @@
 //! thread count, and a longer budget can only produce the same (or a more
 //! complete) report, so neither should split the cache.
 
-use mct_core::{DecisionOutcome, MctOptions, MctReport, ValidityRegion, VarOrder};
+use mct_core::{DecisionOutcome, MctOptions, MctReport, SigmaStrategy, ValidityRegion, VarOrder};
 use mct_lp::Rat;
 
 use crate::json::Json;
@@ -220,6 +220,16 @@ pub fn options_to_json(opts: &MctOptions) -> Json {
                 .into(),
             ),
         ),
+        (
+            "sigma".into(),
+            Json::Str(
+                match opts.sigma {
+                    SigmaStrategy::Flat => "flat",
+                    SigmaStrategy::Pruned => "pruned",
+                }
+                .into(),
+            ),
+        ),
     ])
 }
 
@@ -307,6 +317,13 @@ pub fn options_overlay(base: &MctOptions, value: &Json) -> Result<MctOptions, St
                     _ => return Err("ordering must be \"alloc\", \"static\", or \"sift\"".into()),
                 };
             }
+            "sigma" => {
+                opts.sigma = match v.as_str() {
+                    Some("flat") => SigmaStrategy::Flat,
+                    Some("pruned") => SigmaStrategy::Pruned,
+                    _ => return Err("sigma must be \"flat\" or \"pruned\"".into()),
+                };
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -327,9 +344,11 @@ fn usize_field(v: &Json, name: &str) -> Result<usize, String> {
 /// `time_budget_ms` (timed-out reports are never cached, and among
 /// non-timed-out runs the budget does not affect the result), `ordering`
 /// (variable order changes node counts and wall time, never the report —
-/// see [`VarOrder`]), and `decompose` (the recombined cone-sliced report
+/// see [`VarOrder`]), `decompose` (the recombined cone-sliced report
 /// is bit-identical to the monolithic one, so a decomposed run may answer
-/// a monolithic request and vice versa).
+/// a monolithic request and vice versa), and `sigma` (the pruned Φ walk
+/// visits exactly the feasible subsequence the flat odometer would have
+/// examined, so both strategies produce bit-identical reports).
 pub fn options_fingerprint(opts: &MctOptions) -> u64 {
     let mut h: u64 = 0x6d63_745f_6f70_7473; // "mct_opts"
     let mut fold = |v: u64| h = mix64(h ^ mix64(v));
@@ -461,6 +480,13 @@ mod tests {
         let bad_order = Json::parse(r#"{"ordering":"random"}"#).unwrap();
         let err = options_overlay(&base, &bad_order).unwrap_err();
         assert!(err.contains("ordering"), "{err}");
+
+        let sigma = Json::parse(r#"{"sigma":"flat"}"#).unwrap();
+        let opts = options_overlay(&base, &sigma).unwrap();
+        assert_eq!(opts.sigma, SigmaStrategy::Flat);
+        let bad_sigma = Json::parse(r#"{"sigma":"odometer"}"#).unwrap();
+        let err = options_overlay(&base, &bad_sigma).unwrap_err();
+        assert!(err.contains("sigma"), "{err}");
     }
 
     #[test]
@@ -471,6 +497,7 @@ mod tests {
             time_budget_ms: Some(500),
             num_threads: 3,
             ordering: VarOrder::Sift,
+            sigma: SigmaStrategy::Flat,
             ..MctOptions::default()
         };
         let json = options_to_json(&opts);
@@ -486,6 +513,7 @@ mod tests {
             time_budget_ms: Some(10),
             ordering: VarOrder::Sift,
             decompose: true,
+            sigma: SigmaStrategy::Flat,
             ..MctOptions::default()
         };
         assert_eq!(options_fingerprint(&a), options_fingerprint(&b));

@@ -128,6 +128,9 @@ struct KernelCounters {
     reorder_runs: AtomicU64,
     reorder_swaps: AtomicU64,
     mvec_memo_hits: AtomicU64,
+    sigma_pruned_subtrees: AtomicU64,
+    sigma_pruned: AtomicU64,
+    sigma_reused: AtomicU64,
 }
 
 impl KernelCounters {
@@ -146,6 +149,12 @@ impl KernelCounters {
             .fetch_add(k.reorder_swaps, Ordering::Relaxed);
         self.mvec_memo_hits
             .fetch_add(k.mvec_memo_hits, Ordering::Relaxed);
+        self.sigma_pruned_subtrees
+            .fetch_add(k.sigma_pruned_subtrees, Ordering::Relaxed);
+        self.sigma_pruned
+            .fetch_add(k.sigma_pruned, Ordering::Relaxed);
+        self.sigma_reused
+            .fetch_add(k.sigma_reused, Ordering::Relaxed);
     }
 
     fn to_json(&self) -> Json {
@@ -159,6 +168,12 @@ impl KernelCounters {
             ("reorder_runs".into(), load(&self.reorder_runs)),
             ("reorder_swaps".into(), load(&self.reorder_swaps)),
             ("mvec_memo_hits".into(), load(&self.mvec_memo_hits)),
+            (
+                "sigma_pruned_subtrees".into(),
+                load(&self.sigma_pruned_subtrees),
+            ),
+            ("sigma_pruned".into(), load(&self.sigma_pruned)),
+            ("sigma_reused".into(), load(&self.sigma_reused)),
         ])
     }
 }
@@ -858,7 +873,7 @@ fn analyze_direct(
 fn log_kernel(shared: &Shared, peer: &str, circuit: &str, k: &mct_core::BddStats) {
     if shared.cfg.log {
         eprintln!(
-            "[mct-serve] peer={peer} type=kernel circuit={circuit} nodes={} peak={} gc_runs={} freed={} ops_cache={}/{} ({:.1}%)",
+            "[mct-serve] peer={peer} type=kernel circuit={circuit} nodes={} peak={} gc_runs={} freed={} ops_cache={}/{} ({:.1}%) sigma_pruned={} ({} subtrees) sigma_reused={}",
             k.nodes,
             k.peak_nodes,
             k.gc_runs,
@@ -866,6 +881,9 @@ fn log_kernel(shared: &Shared, peer: &str, circuit: &str, k: &mct_core::BddStats
             k.ops_cache_hits,
             k.ops_cache_lookups,
             100.0 * k.ops_hit_rate(),
+            k.sigma_pruned,
+            k.sigma_pruned_subtrees,
+            k.sigma_reused,
         );
     }
 }

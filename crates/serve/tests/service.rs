@@ -216,6 +216,61 @@ fn ordering_option_does_not_split_the_cache() {
 }
 
 #[test]
+fn sigma_strategies_share_one_cache_entry_and_counters_surface_in_stats() {
+    let (addr, thread) = start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    // The pruned Φ walk visits exactly the feasible subsequence the flat
+    // odometer examines, so the strategy is a performance lever, never a
+    // semantic one: both requests must share one cache entry and replay
+    // byte for byte.
+    let pruned = Json::parse(r#"{"sigma":"pruned","exhaustive_floor":1.0}"#).unwrap();
+    let flat = Json::parse(r#"{"sigma":"flat","exhaustive_floor":1.0}"#).unwrap();
+    let first = client
+        .analyze(FIG2, "bench", Some("fig2"), Some(&pruned))
+        .unwrap();
+    assert_eq!(cache_label(&first), "miss");
+    let second = client
+        .analyze(FIG2, "bench", Some("fig2"), Some(&flat))
+        .unwrap();
+    assert_eq!(
+        cache_label(&second),
+        "hit",
+        "a different sigma strategy must replay the cached report"
+    );
+    assert_eq!(first.get("key"), second.get("key"));
+    assert_eq!(report_text(&first), report_text(&second));
+
+    // The scheduling-dependent counters stay out of the serialized
+    // report (they would break bit-identical replay across strategies
+    // and thread counts)...
+    let report = first.get("report").unwrap();
+    assert!(report.get("sigma_pruned").is_none());
+    assert!(report.get("sigma_pruned_subtrees").is_none());
+    assert!(report.get("sigma_reused").is_none());
+
+    // ...and surface in the aggregated kernel stats instead.
+    let stats = client.stats().unwrap();
+    let kernel = stats.get("kernel").expect("kernel stats");
+    assert!(kernel.get("sigma_pruned").and_then(Json::as_i64).is_some());
+    assert!(kernel
+        .get("sigma_pruned_subtrees")
+        .and_then(Json::as_i64)
+        .is_some());
+    let reused = kernel.get("sigma_reused").and_then(Json::as_i64).unwrap();
+    assert!(
+        reused > 0,
+        "the exhaustive fig2 sweep reuses composed decision cones"
+    );
+
+    client.shutdown().unwrap();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
 fn different_options_warm_start_matches_a_cold_run() {
     let fixed = Json::parse(r#"{"delay_variation":null}"#).unwrap();
 

@@ -57,7 +57,9 @@ mod waveform;
 
 pub use ast::Tbf;
 pub use error::TbfError;
-pub use extract::{ConeExtractor, DelayClass, DiscreteMachine, LeafPolicy, PathEdge};
+pub use extract::{
+    ConeExtractor, DelayClass, DiscreteMachine, LeafPolicy, PathEdge, SigmaConeCache,
+};
 pub use order::{export_order, OrderPolicy, StaticOrder};
 pub use reachability::{count_states, reachable_states};
 pub use symbolic::circuit_tbf;
