@@ -55,7 +55,7 @@ mod reorder;
 mod snapshot;
 
 pub use cubes::{Cube, CubeIter};
-pub use manager::{Bdd, BddManager, BddStats, Var, VarSet};
+pub use manager::{Bdd, BddManager, BddStats, CompactMap, ReorderSchedule, Var, VarSet};
 pub use snapshot::{validate_order, BddImportError, BddSnapshot, SnapshotNode};
 
 #[cfg(test)]

@@ -259,12 +259,59 @@ fn sift_stress() -> bool {
     })
 }
 
-/// Auto-reorder fires when the live count exceeds this multiple of the
-/// post-sift baseline.
-const REORDER_GROWTH: usize = 2;
+/// `MCT_BDD_COMPACT_STRESS`: arm [`BddManager::compact_pending`] after
+/// every garbage collection, so callers that opt into DFS-preorder
+/// compaction run it at every boundary regardless of fragmentation.
+fn compact_stress() -> bool {
+    static STRESS: OnceLock<bool> = OnceLock::new();
+    *STRESS.get_or_init(|| {
+        std::env::var_os("MCT_BDD_COMPACT_STRESS").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
 /// Below this live-node count, growth-triggered sifting never fires (tiny
 /// graphs churn fast and sift overhead would dominate).
-const REORDER_MIN_NODES: usize = 1 << 12;
+pub(crate) const REORDER_MIN_NODES: usize = 1 << 12;
+/// Node floor for the [`ReorderSchedule::AlwaysOnce`] schedule: the single
+/// pass waits until the graph is at least this big, so trivial circuits
+/// never pay for a pointless pass.
+const ALWAYS_ONCE_MIN_NODES: usize = 1 << 8;
+/// Sift-group sentinel: variables with this group id sift individually.
+pub(crate) const UNGROUPED: u32 = u32::MAX;
+
+/// When the auto-reorder hook fires a sifting pass.
+///
+/// Schedules are a performance lever only: like the variable order itself,
+/// they change node counts and wall time, never function handles or
+/// results. The schedule is consulted at every
+/// [`BddManager::maybe_collect_garbage`] boundary — *independently* of the
+/// garbage-collection trigger, so a schedule can fire on graphs that never
+/// grow past the GC threshold.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ReorderSchedule {
+    /// Sift when the node count exceeds `ratio ×` the post-sift baseline
+    /// (with a [`REORDER_MIN_NODES`] floor). `GrowthRatio(2.0)` is the
+    /// default and the classic Rudell cadence.
+    GrowthRatio(f64),
+    /// Sift exactly once, at the first boundary where the graph reaches a
+    /// small node floor. One early pass captures most of the ordering win
+    /// on mid-sized graphs without paying per-boundary cost.
+    AlwaysOnce,
+    /// Sift at every boundary while the cumulative time spent sifting is
+    /// below this many milliseconds (then never again). Wall-clock driven,
+    /// but still deterministic in *results*: sifting only moves levels.
+    TimeBudget(u64),
+    /// Resolved by the analysis layer from circuit size and delay-class
+    /// count before it reaches the kernel. A manager handed `Adaptive`
+    /// directly falls back to the default growth cadence.
+    Adaptive,
+}
+
+impl Default for ReorderSchedule {
+    fn default() -> Self {
+        ReorderSchedule::GrowthRatio(2.0)
+    }
+}
 
 /// Result of ITE standard-triple normalization.
 enum Norm {
@@ -336,11 +383,30 @@ pub struct BddManager {
     pub(crate) pins: FxHashMap<u32, u32>,
     /// Growth-triggered sifting inside `maybe_collect_garbage`.
     auto_reorder: bool,
+    /// When the auto-reorder hook fires (see [`ReorderSchedule`]).
+    schedule: ReorderSchedule,
+    /// Whether any sift pass has completed (the `AlwaysOnce` latch).
+    pub(crate) schedule_fired: bool,
     /// Live-node baseline recorded after the last sift (or manager birth);
-    /// auto-reorder fires when live nodes exceed a multiple of this.
+    /// the growth schedules fire when live nodes exceed a multiple of this.
     pub(crate) reorder_baseline: usize,
-    pub(crate) reorder_runs: u64,
+    pub(crate) reorder_passes: u64,
     pub(crate) reorder_swaps: u64,
+    /// Cumulative wall time spent inside sift passes (drives
+    /// [`ReorderSchedule::TimeBudget`] and the `reorder_time_ms` stat).
+    pub(crate) reorder_time: std::time::Duration,
+    /// Sum of live-node counts sampled just before each sift pass.
+    pub(crate) nodes_before_reorder: u64,
+    /// Sum of live-node counts sampled just after each sift pass.
+    pub(crate) nodes_after_reorder: u64,
+    /// Sift group per variable index ([`UNGROUPED`] = sift individually).
+    /// Groups at contiguous levels move as one block during sifting.
+    pub(crate) var_groups: Vec<u32>,
+    /// Completed [`compact`](Self::compact) relocations.
+    compactions: u64,
+    /// Armed by a collection that left the arena fragmented (or by
+    /// `MCT_BDD_COMPACT_STRESS`); cleared by [`compact`](Self::compact).
+    compact_due: bool,
     /// Base GC trigger (live-node count); 0 means "collect at every
     /// `maybe_collect_garbage`" (the stress setting).
     gc_base: usize,
@@ -387,9 +453,17 @@ impl BddManager {
             ops_lookups: 0,
             pins: FxHashMap::default(),
             auto_reorder: false,
+            schedule: ReorderSchedule::default(),
+            schedule_fired: false,
             reorder_baseline: 1,
-            reorder_runs: 0,
+            reorder_passes: 0,
             reorder_swaps: 0,
+            reorder_time: std::time::Duration::ZERO,
+            nodes_before_reorder: 0,
+            nodes_after_reorder: 0,
+            var_groups: Vec::new(),
+            compactions: 0,
+            compact_due: false,
             gc_base: base,
             gc_trigger: base,
             gc_runs: 0,
@@ -537,6 +611,57 @@ impl BddManager {
             let next = self.var2level.len() as u32;
             self.var2level.push(next);
             self.level2var.push(next);
+            self.var_groups.push(UNGROUPED);
+        }
+    }
+
+    /// Assigns `v` to sift group `group`. During a sift pass, variables of
+    /// the same group sitting at contiguous levels move as one block —
+    /// this is how the timing layer keeps each leaf's time-shifted copies
+    /// adjacent (the static order's interleaving invariant) under dynamic
+    /// reordering. Variables never assigned a group sift individually.
+    pub fn set_var_group(&mut self, v: Var, group: u32) {
+        self.ensure_var(v.index());
+        self.var_groups[v.index() as usize] = group;
+    }
+
+    /// The sift group of `v`, if one was assigned.
+    pub fn var_group(&self, v: Var) -> Option<u32> {
+        self.var_groups
+            .get(v.index() as usize)
+            .copied()
+            .filter(|&g| g != UNGROUPED)
+    }
+
+    /// Sets when the auto-reorder hook fires (see [`ReorderSchedule`]).
+    /// Only consulted when [`set_auto_reorder`](Self::set_auto_reorder) is
+    /// enabled.
+    pub fn set_reorder_schedule(&mut self, schedule: ReorderSchedule) {
+        self.schedule = schedule;
+    }
+
+    /// The current reorder schedule.
+    pub fn reorder_schedule(&self) -> ReorderSchedule {
+        self.schedule
+    }
+
+    /// Whether the schedule asks for a sift pass at the current node count.
+    fn schedule_due(&self) -> bool {
+        if self.var2level.len() < 2 || self.var2level.len() > crate::reorder::MAX_SIFT_VARS {
+            return false;
+        }
+        let nodes = self.num_nodes();
+        match self.schedule {
+            ReorderSchedule::GrowthRatio(ratio) => {
+                nodes as f64 > ratio * self.reorder_baseline.max(REORDER_MIN_NODES) as f64
+            }
+            // The analysis layer resolves `Adaptive` before it reaches the
+            // kernel; fall back to the default growth cadence if not.
+            ReorderSchedule::Adaptive => nodes > 2 * self.reorder_baseline.max(REORDER_MIN_NODES),
+            ReorderSchedule::AlwaysOnce => !self.schedule_fired && nodes >= ALWAYS_ONCE_MIN_NODES,
+            ReorderSchedule::TimeBudget(ms) => {
+                nodes >= REORDER_MIN_NODES && (self.reorder_time.as_millis() as u64) < ms
+            }
         }
     }
 
@@ -1462,6 +1587,10 @@ impl BddManager {
         self.ops.fill(OPS_VACANT);
         self.gc_runs += 1;
         self.nodes_freed += freed as u64;
+        // Arm compaction when at least half the arena is holes: survivors
+        // are then scattered across a mostly-dead address range and the
+        // iterative operator stacks pay cache misses on every probe.
+        self.compact_due = compact_stress() || self.free.len() >= live.max(1);
         // Adaptive re-arm: wait until the live set doubles before the next
         // automatic collection (unless a stress/explicit base of 0 forces
         // collection at every opportunity).
@@ -1484,14 +1613,18 @@ impl BddManager {
     /// collecting, a [`sift`](Self::sift) pass runs over the same roots
     /// (`MCT_BDD_SIFT_STRESS` forces one at every collection).
     pub fn maybe_collect_garbage(&mut self, roots: &[Bdd]) -> bool {
-        if self.num_nodes() <= self.gc_trigger {
+        let gc_due = self.num_nodes() > self.gc_trigger;
+        // The schedule is consulted independently of the GC trigger: a
+        // graph that never grows past the collection threshold can still
+        // owe a scheduled pass (the pre-collection node count is an upper
+        // bound on the live count; the post-collection re-check below is
+        // what actually authorizes the sift).
+        let reorder_due = self.auto_reorder && self.schedule_due();
+        if !gc_due && !reorder_due {
             return false;
         }
         self.collect_garbage(roots);
-        if sift_stress()
-            || (self.auto_reorder
-                && self.num_nodes() > REORDER_GROWTH * self.reorder_baseline.max(REORDER_MIN_NODES))
-        {
+        if sift_stress() || (self.auto_reorder && self.schedule_due()) {
             self.sift(roots);
         }
         true
@@ -1539,13 +1672,134 @@ impl BddManager {
             nodes_freed: self.nodes_freed,
             ops_cache_hits: self.ops_hits,
             ops_cache_lookups: self.ops_lookups,
-            reorder_runs: self.reorder_runs,
+            reorder_passes: self.reorder_passes,
             reorder_swaps: self.reorder_swaps,
+            reorder_time_ms: self.reorder_time.as_millis() as u64,
+            nodes_before_reorder: self.nodes_before_reorder,
+            nodes_after_reorder: self.nodes_after_reorder,
+            compactions: self.compactions,
             mvec_memo_hits: 0,
             sigma_pruned_subtrees: 0,
             sigma_pruned: 0,
             sigma_reused: 0,
         }
+    }
+
+    /// Whether the last garbage collection left the arena fragmented
+    /// enough that a [`compact`](Self::compact) is worth its linear cost
+    /// (always true under `MCT_BDD_COMPACT_STRESS`).
+    pub fn compact_pending(&self) -> bool {
+        self.compact_due
+    }
+
+    /// Relocates every live node into DFS preorder — children follow
+    /// parents, the low subtree immediately after its node — and drops the
+    /// free list, leaving a dense arena. Iterative `ite`/`exists`/
+    /// `compose` stacks then walk mostly-forward through a contiguous
+    /// address range, which shrinks unique-table probe and ops-cache miss
+    /// rates.
+    ///
+    /// **This is the one operation that invalidates surviving handles.**
+    /// Every retained handle — the `roots` passed here and any copy held
+    /// elsewhere — must be rewritten through the returned [`CompactMap`]
+    /// before its next use. Internal pins are remapped automatically, but
+    /// the caller's *copies* of pinned handles are not: only call this at
+    /// a boundary where every outstanding handle is enumerable. Nodes that
+    /// are live but unreachable from `roots` and the pinned set survive at
+    /// the tail of the new arena (callers typically compact right after
+    /// [`collect_garbage`](Self::collect_garbage), where none exist).
+    pub fn compact(&mut self, roots: &[Bdd]) -> CompactMap {
+        let old_len = self.nodes.len();
+        let mut map = vec![EMPTY; old_len];
+        map[0] = 0;
+        // `order[new] = old`: terminal first, then a DFS preorder from the
+        // caller's roots followed by the pinned set (sorted — the pin map
+        // iterates in hash order — so the layout is deterministic).
+        let mut order: Vec<u32> = Vec::with_capacity(self.unique_len + 1);
+        order.push(0);
+        let mut pins: Vec<u32> = self.pins.keys().copied().collect();
+        pins.sort_unstable();
+        let mut stack: Vec<u32> = Vec::new();
+        let seeds = roots
+            .iter()
+            .filter(|f| !f.is_const())
+            .map(|f| f.index() as u32)
+            .chain(pins.iter().copied());
+        for seed in seeds {
+            if map[seed as usize] != EMPTY {
+                continue;
+            }
+            stack.push(seed);
+            while let Some(idx) = stack.pop() {
+                if map[idx as usize] != EMPTY {
+                    continue;
+                }
+                map[idx as usize] = order.len() as u32;
+                order.push(idx);
+                let n = self.nodes[idx as usize];
+                debug_assert_ne!(n.var, FREE_VAR, "compact root points at a freed node");
+                // Push high first so the low subtree is laid out first,
+                // immediately following its parent.
+                let (lo, hi) = (n.lo >> 1, n.hi >> 1);
+                if hi != 0 && map[hi as usize] == EMPTY {
+                    stack.push(hi);
+                }
+                if lo != 0 && map[lo as usize] == EMPTY {
+                    stack.push(lo);
+                }
+            }
+        }
+        // Live nodes the walk missed (unrooted, unpinned, not yet swept)
+        // keep their relative arena order at the tail.
+        for (idx, slot) in map.iter_mut().enumerate().take(old_len).skip(1) {
+            if self.nodes[idx].var < FREE_VAR && *slot == EMPTY {
+                *slot = order.len() as u32;
+                order.push(idx as u32);
+            }
+        }
+        // Rebuild the arena in the new order, remapping child handles.
+        let mut nodes: Vec<Node> = Vec::with_capacity(order.len());
+        for &old in &order {
+            let n = self.nodes[old as usize];
+            if old == 0 {
+                nodes.push(n);
+                continue;
+            }
+            nodes.push(Node {
+                var: n.var,
+                lo: map[(n.lo >> 1) as usize] << 1 | (n.lo & 1),
+                hi: map[(n.hi >> 1) as usize] << 1 | (n.hi & 1),
+            });
+        }
+        self.nodes = nodes;
+        self.free.clear();
+        self.pins = self
+            .pins
+            .iter()
+            .map(|(&idx, &count)| (map[idx as usize], count))
+            .collect();
+        self.rebuild_unique_from_arena(order.len() - 1);
+        self.clear_caches();
+        self.compactions += 1;
+        self.compact_due = false;
+        CompactMap { map }
+    }
+}
+
+/// Relocation map returned by [`BddManager::compact`]: rewrite every
+/// retained handle before using it against the compacted manager.
+pub struct CompactMap {
+    /// Old arena index → new arena index.
+    map: Vec<u32>,
+}
+
+impl CompactMap {
+    /// The post-compaction handle denoting the same function as `f`.
+    pub fn rewrite(&self, f: Bdd) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        Bdd(self.map[f.index()] << 1 | (f.0 & 1))
     }
 }
 
@@ -1565,9 +1819,19 @@ pub struct BddStats {
     /// ITE ops-cache lookups.
     pub ops_cache_lookups: u64,
     /// Completed sift (dynamic variable reordering) passes.
-    pub reorder_runs: u64,
+    pub reorder_passes: u64,
     /// Adjacent-level swaps performed across all sift passes.
     pub reorder_swaps: u64,
+    /// Cumulative wall time spent inside sift passes, in milliseconds.
+    pub reorder_time_ms: u64,
+    /// Sum of live-node counts sampled just before each sift pass (divide
+    /// by `reorder_passes` for the average pre-pass size).
+    pub nodes_before_reorder: u64,
+    /// Sum of live-node counts sampled just after each sift pass.
+    pub nodes_after_reorder: u64,
+    /// Completed DFS-preorder arena compactions
+    /// ([`BddManager::compact`]).
+    pub compactions: u64,
     /// Decision outcomes answered from the discretized-shift-vector memo
     /// instead of being re-derived. Filled in by the analysis layer (the
     /// memo lives above the kernel); [`BddManager::stats`] reports 0.
@@ -1604,8 +1868,12 @@ impl BddStats {
         self.nodes_freed += other.nodes_freed;
         self.ops_cache_hits += other.ops_cache_hits;
         self.ops_cache_lookups += other.ops_cache_lookups;
-        self.reorder_runs += other.reorder_runs;
+        self.reorder_passes += other.reorder_passes;
         self.reorder_swaps += other.reorder_swaps;
+        self.reorder_time_ms += other.reorder_time_ms;
+        self.nodes_before_reorder += other.nodes_before_reorder;
+        self.nodes_after_reorder += other.nodes_after_reorder;
+        self.compactions += other.compactions;
         self.mvec_memo_hits += other.mvec_memo_hits;
         self.sigma_pruned_subtrees += other.sigma_pruned_subtrees;
         self.sigma_pruned += other.sigma_pruned;
@@ -1618,8 +1886,8 @@ impl fmt::Display for BddStats {
         write!(
             f,
             "{} nodes ({} peak), {} gc runs ({} freed), ops cache {}/{} ({:.1}%), \
-             {} reorders ({} swaps), {} mvec memo hits, \
-             {} sigma pruned ({} subtrees), {} sigma reused",
+             {} reorder passes ({} swaps, {} ms, {} -> {} nodes), {} compactions, \
+             {} mvec memo hits, {} sigma pruned ({} subtrees), {} sigma reused",
             self.nodes,
             self.peak_nodes,
             self.gc_runs,
@@ -1627,8 +1895,12 @@ impl fmt::Display for BddStats {
             self.ops_cache_hits,
             self.ops_cache_lookups,
             100.0 * self.ops_hit_rate(),
-            self.reorder_runs,
+            self.reorder_passes,
             self.reorder_swaps,
+            self.reorder_time_ms,
+            self.nodes_before_reorder,
+            self.nodes_after_reorder,
+            self.compactions,
             self.mvec_memo_hits,
             self.sigma_pruned,
             self.sigma_pruned_subtrees,
@@ -2083,6 +2355,184 @@ mod tests {
             };
             assert_eq!(m.eval(keep, assign), expect, "env={env:03b}");
         }
+    }
+
+    /// A function over `n` vars with enough structure that compaction has
+    /// real subtrees to relocate.
+    fn chain(m: &mut BddManager, n: u32) -> Bdd {
+        let mut f = m.var(Var::new(0));
+        for i in 1..n {
+            let v = m.var(Var::new(i));
+            f = if i % 3 == 0 { m.and(f, v) } else { m.xor(f, v) };
+        }
+        f
+    }
+
+    #[test]
+    fn compact_preserves_semantics_and_canonicity() {
+        let mut m = BddManager::new();
+        let keep = chain(&mut m, 12);
+        let other = {
+            let a = m.var(Var::new(2));
+            let b = m.var(Var::new(7));
+            m.or(a, b)
+        };
+        // Punch holes: garbage between the kept functions.
+        let junk = chain(&mut m, 16);
+        let _ = junk;
+        m.collect_garbage(&[keep, other]);
+        let truth: Vec<bool> = (0..1u32 << 12)
+            .map(|env| m.eval(keep, |v| env >> v.index() & 1 == 1))
+            .collect();
+        let map = m.compact(&[keep, other]);
+        let keep2 = map.rewrite(keep);
+        let other2 = map.rewrite(other);
+        // Dense arena: no free slots remain, live count unchanged.
+        for (env, want) in truth.iter().enumerate() {
+            let got = m.eval(keep2, |v| env as u32 >> v.index() & 1 == 1);
+            assert_eq!(got, *want, "env={env:012b}");
+        }
+        // Canonicity: rebuilding a kept function finds the relocated node.
+        let a = m.var(Var::new(2));
+        let b = m.var(Var::new(7));
+        assert_eq!(m.or(a, b), other2);
+        assert_eq!(m.stats().compactions, 1);
+    }
+
+    #[test]
+    fn compact_terminal_and_constants_are_stable() {
+        let mut m = BddManager::new();
+        let f = chain(&mut m, 6);
+        let map = m.compact(&[f]);
+        assert_eq!(map.rewrite(m.one()), m.one());
+        assert_eq!(map.rewrite(m.zero()), m.zero());
+    }
+
+    #[test]
+    fn compact_remaps_pins() {
+        let mut m = BddManager::new();
+        let f = chain(&mut m, 10);
+        m.protect(f);
+        let junk = chain(&mut m, 14);
+        let _ = junk;
+        m.collect_garbage(&[]);
+        let map = m.compact(&[]);
+        let f2 = map.rewrite(f);
+        // The pin survived the relocation: a collection with no roots keeps
+        // the pinned function alive at its new handle.
+        m.collect_garbage(&[]);
+        let g = chain(&mut m, 10);
+        assert_eq!(g, f2);
+        m.unprotect(f2);
+    }
+
+    #[test]
+    fn compact_stress_env_arms_after_gc() {
+        let mut m = BddManager::new();
+        let keep = chain(&mut m, 8);
+        let junk = chain(&mut m, 12);
+        let _ = junk;
+        m.collect_garbage(&[keep]);
+        // Enough junk died that the fragmentation heuristic arms on its
+        // own (free >= live).
+        assert!(m.compact_pending());
+        let map = m.compact(&[keep]);
+        let keep2 = map.rewrite(keep);
+        assert!(!m.compact_pending());
+        assert_eq!(m.eval(keep2, |_| true), m.eval(keep2, |_| true));
+    }
+
+    #[test]
+    fn always_once_schedule_fires_exactly_once() {
+        let mut m = BddManager::new();
+        m.set_auto_reorder(true);
+        m.set_reorder_schedule(ReorderSchedule::AlwaysOnce);
+        m.set_gc_threshold(1 << 30); // GC never due on its own
+                                     // Grow the *live* graph past the AlwaysOnce floor: the hook
+                                     // re-checks the schedule after collecting, so dead intermediates
+                                     // must not be what carries the count over 256.
+        let mut keep2 = chain(&mut m, 12);
+        for i in 12..320u32 {
+            let v = m.var(Var::new(i));
+            keep2 = m.xor(keep2, v);
+            if i % 32 == 0 {
+                m.collect_garbage(&[keep2]);
+            }
+        }
+        m.collect_garbage(&[keep2]);
+        assert!(m.num_nodes() >= 256);
+        assert!(m.maybe_collect_garbage(&[keep2]));
+        assert_eq!(m.stats().reorder_passes, 1);
+        // Latched: a second call declines outright.
+        assert!(!m.maybe_collect_garbage(&[keep2]));
+        assert_eq!(m.stats().reorder_passes, 1);
+    }
+
+    #[test]
+    fn time_budget_schedule_stops_when_spent() {
+        let mut m = BddManager::new();
+        m.set_auto_reorder(true);
+        // A zero budget can never fire a pass.
+        m.set_reorder_schedule(ReorderSchedule::TimeBudget(0));
+        m.set_gc_threshold(8);
+        let mut keep = m.var(Var::new(0));
+        for i in 1..64u32 {
+            let v = m.var(Var::new(i));
+            keep = m.xor(keep, v);
+        }
+        m.maybe_collect_garbage(&[keep]);
+        assert_eq!(m.stats().reorder_passes, 0);
+    }
+
+    #[test]
+    fn growth_schedule_uses_ratio() {
+        let mut m = BddManager::new();
+        m.set_auto_reorder(true);
+        m.set_reorder_schedule(ReorderSchedule::GrowthRatio(1_000_000.0));
+        m.set_gc_threshold(8);
+        let mut keep = m.var(Var::new(0));
+        for i in 1..64u32 {
+            let v = m.var(Var::new(i));
+            keep = m.xor(keep, v);
+        }
+        // GC fires (threshold 8) but the absurd ratio never lets a reorder
+        // pass through.
+        m.maybe_collect_garbage(&[keep]);
+        assert_eq!(m.stats().reorder_passes, 0);
+        assert!(m.stats().gc_runs >= 1);
+    }
+
+    #[test]
+    fn telemetry_counts_nodes_around_pass() {
+        let mut m = BddManager::new();
+        m.set_auto_reorder(true);
+        m.set_reorder_schedule(ReorderSchedule::AlwaysOnce);
+        m.set_gc_threshold(1 << 30);
+        let mut keep = m.var(Var::new(0));
+        for i in 1..320u32 {
+            let v = m.var(Var::new(i));
+            keep = if i % 3 == 0 {
+                m.and(keep, v)
+            } else {
+                m.xor(keep, v)
+            };
+            if i % 32 == 0 {
+                m.collect_garbage(&[keep]);
+            }
+        }
+        m.collect_garbage(&[keep]);
+        assert!(m.num_nodes() >= 256);
+        assert!(m.maybe_collect_garbage(&[keep]));
+        let s = m.stats();
+        assert_eq!(s.reorder_passes, 1);
+        assert!(s.nodes_before_reorder > 0);
+        assert!(s.nodes_after_reorder > 0);
+        assert!(
+            s.nodes_after_reorder <= s.nodes_before_reorder,
+            "sifting never accepts a worse order: {} -> {}",
+            s.nodes_before_reorder,
+            s.nodes_after_reorder
+        );
     }
 
     #[test]

@@ -36,13 +36,13 @@
 //! from the arena and the ops cache dropped.
 
 use crate::hash::FxHashMap;
-use crate::manager::{triple_hash, Bdd, BddManager, Node, EMPTY, FREE_VAR};
+use crate::manager::{triple_hash, Bdd, BddManager, Node, EMPTY, FREE_VAR, UNGROUPED};
 
 /// Above this many registered variables, `sift` declines to run:
 /// sifting is O(vars × nodes) and graphs this wide (e.g. the deliberate
 /// 10k-variable stack-safety chains) would pay more for the pass than any
 /// order could win back.
-const MAX_SIFT_VARS: usize = 4096;
+pub(crate) const MAX_SIFT_VARS: usize = 4096;
 
 impl BddManager {
     /// Runs one Rudell sifting pass over the live graph.
@@ -53,28 +53,40 @@ impl BddManager {
     /// [`protect`](Self::protect) — the pass starts with a collection so it
     /// only pays for live nodes. Surviving handles keep denoting the same
     /// functions; only levels (and therefore node counts) change.
+    ///
+    /// Variables sharing a sift group (see
+    /// [`set_var_group`](Self::set_var_group)) that sit at contiguous
+    /// levels move as one block, and every unit's travel is bounded to a
+    /// window of levels around its starting position, scaled with the
+    /// live-node count.
     pub fn sift(&mut self, roots: &[Bdd]) {
         if self.var2level.len() < 2 || self.var2level.len() > MAX_SIFT_VARS {
             return;
         }
+        let started = std::time::Instant::now();
         self.collect_garbage(roots);
         if self.unique_len == 0 {
             return;
         }
+        let before = self.num_nodes();
         let mut pass = SiftPass::new(self, roots);
         pass.run();
         let (live, swaps) = (pass.live, pass.swaps);
-        self.rebuild_unique_after_sift(live);
+        self.rebuild_unique_from_arena(live);
         self.clear_caches();
-        self.reorder_runs += 1;
+        self.reorder_passes += 1;
         self.reorder_swaps += swaps;
         self.reorder_baseline = self.num_nodes();
+        self.nodes_before_reorder += before as u64;
+        self.nodes_after_reorder += self.num_nodes() as u64;
+        self.reorder_time += started.elapsed();
+        self.schedule_fired = true;
     }
 
     /// Rebuilds the open-addressed unique table from the arena after a
-    /// pass has moved nodes between levels (growing it first if the
-    /// survivors would exceed the 70% load bound).
-    fn rebuild_unique_after_sift(&mut self, live: usize) {
+    /// pass has moved nodes between levels or relocated them (growing it
+    /// first if the survivors would exceed the 70% load bound).
+    pub(crate) fn rebuild_unique_from_arena(&mut self, live: usize) {
         let mut cap = self.unique.len();
         while (live + 1) * 10 >= cap * 7 {
             cap *= 2;
@@ -127,6 +139,12 @@ struct SiftPass<'a> {
     swaps: u64,
     /// Reusable scratch for the per-swap rewrite list.
     scratch: Vec<u32>,
+    /// Sifting units: each is the variable list of one block (a maximal
+    /// run of contiguous levels sharing a sift group) or a singleton.
+    /// Membership is fixed for the pass; only level positions move.
+    units: Vec<Vec<u32>>,
+    /// Unit id occupying each level (updated on every block crossing).
+    unit_of_level: Vec<u32>,
 }
 
 impl<'a> SiftPass<'a> {
@@ -170,66 +188,190 @@ impl<'a> SiftPass<'a> {
             live,
             swaps: 0,
             scratch: Vec::new(),
+            units: Vec::new(),
+            unit_of_level: Vec::new(),
         }
     }
 
-    /// The Rudell driver: sift each populated variable, largest level
-    /// first (big levels have the most to win).
+    /// The Rudell driver: sift each populated unit, largest first (big
+    /// units have the most to win), each bounded to a window of levels
+    /// around its starting position.
     fn run(&mut self) {
-        let mut order: Vec<u32> = (0..self.buckets.len() as u32)
-            .filter(|&v| !self.buckets[v as usize].is_empty())
+        self.build_units();
+        let mut order: Vec<u32> = (0..self.units.len() as u32)
+            .filter(|&u| self.unit_size(u) > 0)
             .collect();
-        order.sort_by_key(|&v| std::cmp::Reverse(self.buckets[v as usize].len()));
-        for v in order {
-            self.sift_var(v);
+        order.sort_by_key(|&u| std::cmp::Reverse(self.unit_size(u)));
+        let window = self.window();
+        for u in order {
+            self.sift_unit(u, window);
         }
     }
 
-    /// Walks variable `v` to both ends of the order (closer end first) and
-    /// settles it at the level that minimized the live count.
-    fn sift_var(&mut self, v: u32) {
+    /// Partitions the levels into sifting units: a maximal run of
+    /// contiguous levels sharing a sift group becomes one block; every
+    /// other variable is a singleton. Blocks preserve the static order's
+    /// leaf-copy interleaving invariant — a leaf's timed copies enter (and
+    /// therefore leave) the pass adjacent.
+    fn build_units(&mut self) {
         let n = self.m.level2var.len();
-        let start = self.m.var2level[v as usize] as usize;
+        self.units.clear();
+        self.unit_of_level = vec![0; n];
+        let mut l = 0;
+        while l < n {
+            let v = self.m.level2var[l];
+            let g = self.m.var_groups[v as usize];
+            let mut members = vec![v];
+            let mut j = l + 1;
+            if g != UNGROUPED {
+                while j < n {
+                    let w = self.m.level2var[j];
+                    if self.m.var_groups[w as usize] != g {
+                        break;
+                    }
+                    members.push(w);
+                    j += 1;
+                }
+            }
+            let id = self.units.len() as u32;
+            for level in l..j {
+                self.unit_of_level[level] = id;
+            }
+            self.units.push(members);
+            l = j;
+        }
+    }
+
+    /// Live nodes labelled by any of the unit's variables.
+    fn unit_size(&self, id: u32) -> usize {
+        self.units[id as usize]
+            .iter()
+            .map(|&v| self.buckets[v as usize].len())
+            .sum()
+    }
+
+    /// Window half-width for this pass: a unit may move at most this many
+    /// levels from its starting position in either direction. Scales with
+    /// the live-node count (the pass cost is O(travel × level width)), and
+    /// is wide enough to leave small and mid-sized graphs unrestricted.
+    fn window(&self) -> usize {
+        let bits = (usize::BITS - self.live.leading_zeros()) as usize;
+        (bits * 8).max(64)
+    }
+
+    /// Walks unit `id` to both ends of its window (closer end first) and
+    /// settles it at the position that minimized the live count. Movement
+    /// is by whole-unit crossings, so every stop has all blocks contiguous.
+    fn sift_unit(&mut self, id: u32, window: usize) {
+        let n = self.m.level2var.len();
+        let w = self.units[id as usize].len();
+        if w == 0 || w >= n {
+            return;
+        }
+        let start = self.units[id as usize]
+            .iter()
+            .map(|&v| self.m.var2level[v as usize] as usize)
+            .min()
+            .expect("non-empty unit");
+        let mut top = start;
         let mut best = self.live;
-        let mut best_level = start;
+        let mut best_top = start;
         // Abort a direction once the graph grows past ~1.2× the best seen
         // (the additive slack keeps tiny graphs from aborting on noise).
         let bound = |best: usize| best + best / 5 + 8;
-        let down_first = n - 1 - start <= start;
+        let down_first = n - (start + w) <= start;
         for phase in 0..2 {
             let down = down_first == (phase == 0);
             loop {
-                let cur = self.m.var2level[v as usize] as usize;
                 if down {
-                    if cur + 1 >= n {
+                    if top + w >= n {
                         break;
                     }
-                    self.swap_adjacent(cur);
+                    let below = self.unit_of_level[top + w] as usize;
+                    let bw = self.units[below].len();
+                    if (top + bw).saturating_sub(start) > window {
+                        break;
+                    }
+                    self.cross_down(top, w, bw);
+                    top += bw;
                 } else {
-                    if cur == 0 {
+                    if top == 0 {
                         break;
                     }
-                    self.swap_adjacent(cur - 1);
+                    let above = self.unit_of_level[top - 1] as usize;
+                    let aw = self.units[above].len();
+                    if start.saturating_sub(top - aw) > window {
+                        break;
+                    }
+                    self.cross_up(top, w, aw);
+                    top -= aw;
                 }
                 if self.live < best {
                     best = self.live;
-                    best_level = self.m.var2level[v as usize] as usize;
+                    best_top = top;
                 } else if self.live > bound(best) {
                     break;
                 }
             }
         }
-        // Walk back to the best level; the node count at a given order is
+        // Walk back to the best position, retracing the same unit
+        // crossings in reverse; the node count at a given order is
         // canonical, so arriving there restores exactly `best` nodes.
-        loop {
-            let cur = self.m.var2level[v as usize] as usize;
-            match cur.cmp(&best_level) {
-                std::cmp::Ordering::Less => self.swap_adjacent(cur),
-                std::cmp::Ordering::Greater => self.swap_adjacent(cur - 1),
-                std::cmp::Ordering::Equal => break,
+        while top != best_top {
+            if top < best_top {
+                let below = self.unit_of_level[top + w] as usize;
+                let bw = self.units[below].len();
+                self.cross_down(top, w, bw);
+                top += bw;
+            } else {
+                let above = self.unit_of_level[top - 1] as usize;
+                let aw = self.units[above].len();
+                self.cross_up(top, w, aw);
+                top -= aw;
             }
         }
         debug_assert_eq!(self.live, best, "walk-back must restore the best size");
+    }
+
+    /// Moves the unit at levels `[top, top+w)` down past the unit directly
+    /// below it (width `bw`), one variable crossing at a time: each
+    /// crossing lifts the below-unit's top variable over the whole block
+    /// with `w` adjacent swaps. Intermediate states interleave the two
+    /// blocks; after `bw` crossings both are contiguous again.
+    fn cross_down(&mut self, top: usize, w: usize, bw: usize) {
+        let ours = self.unit_of_level[top];
+        let below = self.unit_of_level[top + w];
+        for k in 0..bw {
+            let t = top + k;
+            for l in (t..t + w).rev() {
+                self.swap_adjacent(l);
+            }
+        }
+        for l in top..top + bw {
+            self.unit_of_level[l] = below;
+        }
+        for l in top + bw..top + bw + w {
+            self.unit_of_level[l] = ours;
+        }
+    }
+
+    /// Moves the unit at levels `[top, top+w)` up past the unit directly
+    /// above it (width `aw`); mirror of [`cross_down`](Self::cross_down).
+    fn cross_up(&mut self, top: usize, w: usize, aw: usize) {
+        let ours = self.unit_of_level[top];
+        let above = self.unit_of_level[top - 1];
+        for k in 0..aw {
+            let t = top - 1 - k;
+            for l in t..t + w {
+                self.swap_adjacent(l);
+            }
+        }
+        for l in top - aw..top - aw + w {
+            self.unit_of_level[l] = ours;
+        }
+        for l in top - aw + w..top + w {
+            self.unit_of_level[l] = above;
+        }
     }
 
     /// Swaps the variables at levels `l` and `l+1`, rewriting in place the
@@ -445,7 +587,7 @@ mod tests {
             before_size,
             m.size(f)
         );
-        assert_eq!(m.stats().reorder_runs, 1);
+        assert_eq!(m.stats().reorder_passes, 1);
         assert!(m.stats().reorder_swaps > 0);
     }
 
@@ -587,12 +729,12 @@ mod tests {
             std::env::var_os("MCT_BDD_SIFT_STRESS").is_some_and(|v| !v.is_empty() && v != "0");
         m.maybe_collect_garbage(&[f]);
         if !stress {
-            assert_eq!(m.stats().reorder_runs, 0, "tiny graphs must not sift");
+            assert_eq!(m.stats().reorder_passes, 0, "tiny graphs must not sift");
         }
         // A forced sift still works through the public entry point.
-        let runs_before = m.stats().reorder_runs;
+        let runs_before = m.stats().reorder_passes;
         m.sift(&[f]);
-        assert_eq!(m.stats().reorder_runs, runs_before + 1);
+        assert_eq!(m.stats().reorder_passes, runs_before + 1);
         assert_eq!(truth(&m, f, 6), truth(&m, f, 6));
     }
 
@@ -627,6 +769,6 @@ mod tests {
                 assert_eq!(&truth(&m, *h, 10), expect);
             }
         }
-        assert!(m.stats().reorder_runs >= 6);
+        assert!(m.stats().reorder_passes >= 6);
     }
 }

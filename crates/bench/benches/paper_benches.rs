@@ -429,6 +429,88 @@ fn bench_bdd_ops(h: &mut Harness) {
         }
         m.stats().nodes
     });
+    // Locality rows: a live set accreted one node at a time between bursts
+    // of short-lived junk — after collection the survivors sit scattered
+    // across a hole-ridden arena, consecutive chain nodes far apart — vs.
+    // the same graph after DFS-preorder compaction (children follow
+    // parents, dense indices). Compaction runs once in the setup: these
+    // rows time the steady-state traversals the analysis pays *between*
+    // collections, while the end-to-end `ordering/*` rows charge the
+    // compaction pass itself to the run that triggers it.
+    fn fragmented_dag(compact: bool) -> (BddManager, Vec<Bdd>) {
+        const SLOTS: usize = 12;
+        const ROUNDS: u32 = 16_000;
+        let mut m = BddManager::new();
+        let mut rng = SmallRng::seed_from_u64(0x9e37);
+        let junk_vars: Vec<_> = (0..32).map(|i| m.var(Var::new(i))).collect();
+        let mut keep = vec![m.zero(); SLOTS];
+        for round in 0..ROUNDS {
+            for (j, slot) in keep.iter_mut().enumerate() {
+                // Two short-lived junk products at the allocation frontier,
+                // dead by the time the collector runs.
+                for _ in 0..2 {
+                    let mut g = junk_vars[rng.gen_range(0..32) as usize];
+                    for _ in 0..6 {
+                        let v = junk_vars[rng.gen_range(0..32) as usize];
+                        g = if rng.gen_bool() {
+                            m.and(g, v)
+                        } else {
+                            m.xor(g, v)
+                        };
+                    }
+                }
+                // One node of the kept chain: the fresh variable sits
+                // *above* the chain so the accreted structure is reused,
+                // never rebuilt — each chain node lands in a different
+                // allocation epoch.
+                let v = m.var(Var::new(100 + (ROUNDS - round) + 40_000 * j as u32));
+                *slot = m.xor(v, *slot);
+            }
+        }
+        m.collect_garbage(&keep);
+        if compact {
+            let map = m.compact(&keep);
+            for f in &mut keep {
+                *f = map.rewrite(*f);
+            }
+        }
+        (m, keep)
+    }
+    // Pure traversal: reachable-node counts over every kept function — no
+    // ops cache in the way, just pointer chasing in DFS order (the order
+    // compaction lays nodes out in).
+    fn traverse_workload(m: &BddManager, keep: &[Bdd]) -> usize {
+        keep.iter().map(|&f| m.size(f)).sum()
+    }
+    // Pure path tracing: evaluate every kept chain under rotating
+    // assignments — one arena read per level, nothing allocated, the
+    // sharpest possible probe of node layout.
+    fn eval_workload(m: &BddManager, keep: &[Bdd]) -> usize {
+        let mut acc = 0usize;
+        for pat in 0..4u64 {
+            for &f in keep {
+                let hit = m.eval(f, |v| {
+                    (v.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> pat & 1 == 1
+                });
+                acc = acc.wrapping_add(hit as usize);
+            }
+        }
+        acc
+    }
+    let locality_rows = [
+        "bdd_ops/traverse/fragmented_dag",
+        "bdd_ops/traverse/compacted_dag",
+        "bdd_ops/eval/fragmented_dag",
+        "bdd_ops/eval/compacted_dag",
+    ];
+    if locality_rows.iter().any(|s| h.wants(s)) {
+        let (frag_m, frag_keep) = fragmented_dag(false);
+        let (comp_m, comp_keep) = fragmented_dag(true);
+        h.bench(locality_rows[0], || traverse_workload(&frag_m, &frag_keep));
+        h.bench(locality_rows[1], || traverse_workload(&comp_m, &comp_keep));
+        h.bench(locality_rows[2], || eval_workload(&frag_m, &frag_keep));
+        h.bench(locality_rows[3], || eval_workload(&comp_m, &comp_keep));
+    }
     // End-to-end sanity check: the exhaustive fig2 sweep (every breakpoint
     // candidate stays in play). Dominated by fixed per-analysis setup, not
     // kernel throughput — the speedup target is measured on the ite/compose
@@ -495,11 +577,27 @@ fn bench_ordering(h: &mut Harness) {
         ),
         ("parity16", &parity16, MctOptions::fixed_delays()),
     ];
+    use mct_core::ReorderSchedule;
     for (name, circuit, base) in scenarios {
-        for (label, ordering) in [
-            ("alloc", VarOrder::Alloc),
-            ("static", VarOrder::Static),
-            ("sift", VarOrder::Sift),
+        for (label, ordering, schedule) in [
+            ("alloc", VarOrder::Alloc, ReorderSchedule::Adaptive),
+            ("static", VarOrder::Static, ReorderSchedule::Adaptive),
+            (
+                "sift-growth",
+                VarOrder::Sift,
+                ReorderSchedule::GrowthRatio(2.0),
+            ),
+            (
+                "sift-always-once",
+                VarOrder::Sift,
+                ReorderSchedule::AlwaysOnce,
+            ),
+            (
+                "sift-time-budget",
+                VarOrder::Sift,
+                ReorderSchedule::TimeBudget(50),
+            ),
+            ("sift-adaptive", VarOrder::Sift, ReorderSchedule::Adaptive),
         ] {
             let scenario = format!("ordering/{name}/{label}");
             if !h.wants(&scenario) {
@@ -507,13 +605,21 @@ fn bench_ordering(h: &mut Harness) {
             }
             let opts = MctOptions {
                 ordering,
+                reorder_schedule: schedule,
                 ..base.clone()
             };
             // One deterministic probe run for the node-count column.
             let report = MctAnalyzer::new(circuit).unwrap().run(&opts).unwrap();
+            let k = &report.kernel;
             println!(
-                "{scenario:<44} peak_nodes {} (reorders {}, swaps {})",
-                report.kernel.peak_nodes, report.kernel.reorder_runs, report.kernel.reorder_swaps
+                "{scenario:<44} peak_nodes {} (passes {}, swaps {}, {} ms, {} -> {} nodes, compactions {})",
+                k.peak_nodes,
+                k.reorder_passes,
+                k.reorder_swaps,
+                k.reorder_time_ms,
+                k.nodes_before_reorder,
+                k.nodes_after_reorder,
+                k.compactions
             );
             h.bench(&scenario, || {
                 MctAnalyzer::new(circuit)

@@ -24,6 +24,11 @@
 //!   --order P         BDD variable ordering: alloc | static | sift
 //!                     (default static); never changes the report, only
 //!                     node counts and wall time
+//!   --reorder-schedule S  when `--order sift` fires a pass:
+//!                     growth[:ratio] | always-once | time-budget[:ms] |
+//!                     adaptive (default; picks one of the others from
+//!                     circuit size and delay-class count); never changes
+//!                     the report
 //!   --decompose       slice into independent cones of influence and
 //!                     analyze each with its own BDD manager; the
 //!                     recombined report is bit-identical, usually with a
@@ -75,7 +80,7 @@
 //!                        nondeterministic field, `wall_ms`)
 //! ```
 
-use mct_core::{MctAnalyzer, MctOptions, SigmaStrategy, VarOrder};
+use mct_core::{MctAnalyzer, MctOptions, ReorderSchedule, SigmaStrategy, VarOrder};
 use mct_netlist::{
     circuit_digests, parse_bench, parse_blif, write_bench, write_blif, Circuit, DelayModel,
     FsmView, Time,
@@ -96,6 +101,7 @@ struct Flags {
     lp: bool,
     threads: usize,
     ordering: VarOrder,
+    reorder_schedule: ReorderSchedule,
     decompose: bool,
     sigma: SigmaStrategy,
     period: Option<f64>,
@@ -135,6 +141,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         lp: false,
         threads: 1,
         ordering: VarOrder::default(),
+        reorder_schedule: ReorderSchedule::Adaptive,
         decompose: false,
         sigma: SigmaStrategy::default(),
         period: None,
@@ -186,6 +193,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 Some("sift") => f.ordering = VarOrder::Sift,
                 other => return Err(format!("--order needs alloc|static|sift, got {other:?}")),
             },
+            "--reorder-schedule" => {
+                let spec = it.next().ok_or(
+                    "--reorder-schedule needs growth[:ratio]|always-once|time-budget[:ms]|adaptive",
+                )?;
+                f.reorder_schedule = mct_serve::report::parse_reorder_schedule(spec)?;
+            }
             "--sigma" => match it.next().map(String::as_str) {
                 Some("flat") => f.sigma = SigmaStrategy::Flat,
                 Some("pruned") => f.sigma = SigmaStrategy::Pruned,
@@ -332,6 +345,7 @@ fn mct_options(flags: &Flags) -> MctOptions {
         exact_check: flags.exact,
         num_threads: flags.threads,
         ordering: flags.ordering,
+        reorder_schedule: flags.reorder_schedule,
         decompose: flags.decompose,
         sigma: flags.sigma,
         ..MctOptions::paper()
@@ -389,8 +403,21 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
                         "ops_cache_lookups".into(),
                         Json::Int(k.ops_cache_lookups as i64),
                     ),
-                    ("reorder_runs".into(), Json::Int(k.reorder_runs as i64)),
+                    ("reorder_passes".into(), Json::Int(k.reorder_passes as i64)),
                     ("reorder_swaps".into(), Json::Int(k.reorder_swaps as i64)),
+                    (
+                        "reorder_time_ms".into(),
+                        Json::Int(k.reorder_time_ms as i64),
+                    ),
+                    (
+                        "nodes_before_reorder".into(),
+                        Json::Int(k.nodes_before_reorder as i64),
+                    ),
+                    (
+                        "nodes_after_reorder".into(),
+                        Json::Int(k.nodes_after_reorder as i64),
+                    ),
+                    ("compactions".into(), Json::Int(k.compactions as i64)),
                     ("mvec_memo_hits".into(), Json::Int(k.mvec_memo_hits as i64)),
                     (
                         "sigma_pruned_subtrees".into(),
@@ -426,6 +453,9 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
         );
     }
     println!("  bdd kernel             {}", report.kernel);
+    if flags.ordering == VarOrder::Sift && report.kernel.reorder_passes == 0 {
+        println!("  reorder: requested, never triggered");
+    }
     Ok(())
 }
 
@@ -898,7 +928,8 @@ fn main() -> ExitCode {
         eprintln!(
             "mct analyze <file> [--blif] [--model unit|mapped] [--fixed] \
              [--no-reachability] [--exact] [--lp] [--threads N] \
-             [--order alloc|static|sift] [--decompose] [--sigma flat|pruned] [--json]\n\
+             [--order alloc|static|sift] [--reorder-schedule S] [--decompose] \
+             [--sigma flat|pruned] [--json]\n\
              mct delays <file> [--blif] [--model unit|mapped]\n\
              mct simulate <file> --period X [--cycles N] [--seed S] [--vcd out.vcd]\n\
              mct convert <in> <out>\n\

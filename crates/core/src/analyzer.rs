@@ -9,7 +9,7 @@
 use crate::decision::{DecisionContext, DecisionOutcome};
 use crate::error::MctError;
 use crate::parallel::{self, EvalEnv, SigmaMemo, SweepShared};
-use mct_bdd::{Bdd, BddManager, BddStats};
+use mct_bdd::{Bdd, BddManager, BddStats, ReorderSchedule};
 use mct_lp::{LpOutcome, Rat, Simplex};
 use mct_netlist::{Circuit, FsmView, NetId};
 use mct_tbf::{
@@ -130,6 +130,14 @@ pub struct MctOptions {
     /// Φ-enumeration strategy for variable delays. Never changes the
     /// report — see [`SigmaStrategy`].
     pub sigma: SigmaStrategy,
+    /// When [`MctOptions::ordering`] is [`VarOrder::Sift`], decides *when*
+    /// dynamic reordering fires (see [`ReorderSchedule`]). The default
+    /// [`ReorderSchedule::Adaptive`] is resolved per-request from circuit
+    /// size and delay-class count before the sweep starts, so parallel
+    /// workers and decomposed cones inherit one concrete schedule. A
+    /// performance lever only — excluded from result-cache fingerprints
+    /// like `ordering` and `sigma`.
+    pub reorder_schedule: ReorderSchedule,
 }
 
 impl Default for MctOptions {
@@ -152,6 +160,7 @@ impl Default for MctOptions {
             ordering: VarOrder::default(),
             decompose: false,
             sigma: SigmaStrategy::default(),
+            reorder_schedule: ReorderSchedule::Adaptive,
         }
     }
 }
@@ -169,6 +178,31 @@ impl MctOptions {
     /// The paper's Section-8 evaluation setting (alias of `default`).
     pub fn paper() -> Self {
         MctOptions::default()
+    }
+}
+
+/// Resolves [`ReorderSchedule::Adaptive`] to a concrete schedule from the
+/// circuit's leaf count and delay-class count; concrete schedules pass
+/// through unchanged. Deterministic in the circuit, so every manager the
+/// request spawns (workers, cones, warm starts) lands on the same choice:
+/// small state spaces reorder eagerly once (the pass is cheap and the
+/// order sticks), mid-size circuits keep the growth trigger, and large
+/// many-class circuits get a wall-clock budget so sifting cannot eat the
+/// sweep.
+pub(crate) fn resolve_schedule(
+    requested: ReorderSchedule,
+    num_leaves: usize,
+    num_classes: usize,
+) -> ReorderSchedule {
+    if requested != ReorderSchedule::Adaptive {
+        return requested;
+    }
+    if num_leaves <= 16 && num_classes <= 8 {
+        ReorderSchedule::GrowthRatio(2.0)
+    } else if num_leaves <= 64 {
+        ReorderSchedule::AlwaysOnce
+    } else {
+        ReorderSchedule::TimeBudget(50)
     }
 }
 
@@ -372,6 +406,13 @@ impl<'c> MctAnalyzer<'c> {
         let l_millis = classes.iter().map(|c| c.delay).max().unwrap_or(0);
         let circuit_name = view.circuit().name().to_owned();
 
+        // Pin `Adaptive` to a concrete schedule up front so the sweep
+        // workers (which clone the options) inherit the same decision.
+        let mut opts = opts.clone();
+        opts.reorder_schedule =
+            resolve_schedule(opts.reorder_schedule, view.leaves().len(), classes.len());
+        let opts = &opts;
+
         let mut report = MctReport {
             circuit: circuit_name,
             steady_delay: l_millis as f64 / 1000.0,
@@ -437,6 +478,13 @@ impl<'c> MctAnalyzer<'c> {
         }
         if opts.ordering == VarOrder::Sift {
             manager.set_auto_reorder(true);
+            manager.set_reorder_schedule(opts.reorder_schedule);
+            // Tag sift groups by leaf so a fired pass moves each signal's
+            // timed copies as one block (the static order's interleaving
+            // invariant, preserved under dynamic reorder). Allocating the
+            // variables here follows the table's registration order, which
+            // *is* the static order just applied.
+            mct_tbf::apply_sift_groups(manager, table);
         }
 
         let mut ctx = DecisionContext::new(&extractor, manager, table)?;
@@ -504,7 +552,7 @@ impl<'c> MctAnalyzer<'c> {
             let mut env = EvalEnv {
                 view,
                 extractor: &extractor,
-                ctx: &ctx,
+                ctx: &mut ctx,
                 manager,
                 table,
             };

@@ -30,7 +30,7 @@
 //! and unrealizable transitions" don't-cares.
 
 use crate::error::MctError;
-use mct_bdd::{Bdd, BddManager, Var};
+use mct_bdd::{Bdd, BddManager, CompactMap, Var};
 use mct_netlist::FsmView;
 use mct_tbf::{ConeExtractor, DiscreteMachine, TimedVar, TimedVarTable};
 
@@ -161,6 +161,25 @@ impl<'c> DecisionContext<'c> {
         roots.extend(&self.steady.outputs);
         roots.extend(self.restriction);
         roots
+    }
+
+    /// Rewrites every held handle through a compaction `map` (see
+    /// [`BddManager::compact`]). Must be called — with the same manager's
+    /// map — immediately after any compaction while this context is live;
+    /// the manager remaps its own pin table, but the handle *copies* held
+    /// here go stale without this.
+    pub fn rebind(&mut self, map: &CompactMap) {
+        for f in self
+            .steady
+            .next_state
+            .iter_mut()
+            .chain(self.steady.outputs.iter_mut())
+        {
+            *f = map.rewrite(*f);
+        }
+        if let Some(r) = self.restriction.as_mut() {
+            *r = map.rewrite(*r);
+        }
     }
 
     /// Restricts the induction frontier to `set` (a BDD over

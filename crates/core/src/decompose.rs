@@ -250,6 +250,8 @@ impl FreshCone {
         }
         if opts.ordering == VarOrder::Sift {
             manager.set_auto_reorder(true);
+            manager.set_reorder_schedule(opts.reorder_schedule);
+            mct_tbf::apply_sift_groups(&mut manager, &table);
         }
         let ns = view.num_state_bits();
         let machine = DiscreteMachine::functional(extractor, &mut manager, &mut table)?;
@@ -364,6 +366,17 @@ pub(crate) fn run(
     let sinks: Vec<NetId> = view.sinks().iter().map(|s| s.net).collect();
     let classes = extractor.delay_classes(&sinks)?;
     let l_millis = classes.iter().map(|c| c.delay).max().unwrap_or(0);
+
+    // Resolve `Adaptive` once from the *whole* circuit (same inputs as the
+    // monolithic analyzer) so every cone manager fires on the same concrete
+    // schedule the monolithic run would use.
+    let mut opts = opts.clone();
+    opts.reorder_schedule = crate::analyzer::resolve_schedule(
+        opts.reorder_schedule,
+        view.leaves().len(),
+        classes.len(),
+    );
+    let opts = &opts;
 
     let mut report = MctReport {
         circuit: view.circuit().name().to_owned(),
@@ -790,6 +803,8 @@ fn ensure_env<'v>(
     }
     if cx.shared.opts.ordering == VarOrder::Sift {
         manager.set_auto_reorder(true);
+        manager.set_reorder_schedule(cx.shared.opts.reorder_schedule);
+        mct_tbf::apply_sift_groups(&mut manager, &table);
     }
     let mut ctx = DecisionContext::new(extractor, &mut manager, &mut table)?;
     if cx.use_reach && view.num_state_bits() > 0 {
@@ -993,6 +1008,16 @@ fn eval_cone(c: usize, cx: &SweepCtx<'_, '_>, control: &ConeControl) -> ConeOut 
         }
         if let Some(env) = slot.as_mut() {
             env.manager.maybe_collect_garbage(&env.gc_roots);
+            // Candidate boundary: the per-σ machines are dropped and the
+            // memoized verdicts hold no handles, so the env's context +
+            // roots enumerate everything live in this cone's manager.
+            if env.manager.compact_pending() {
+                let map = env.manager.compact(&env.gc_roots);
+                env.ctx.rebind(&map);
+                for root in &mut env.gc_roots {
+                    *root = map.rewrite(*root);
+                }
+            }
         }
         match failure {
             Some(e) => {

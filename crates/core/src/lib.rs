@@ -94,4 +94,5 @@ pub use decompose::{ConeCacheEntry, DecomposeArtifacts};
 pub use error::MctError;
 pub use exact::decide_exact;
 pub use mct_bdd::BddStats;
+pub use mct_bdd::ReorderSchedule;
 pub use sigma::{feasible_tau_range, ShiftRange, SigmaIter, SigmaPruneStats};

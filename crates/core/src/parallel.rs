@@ -257,7 +257,7 @@ impl SigmaMemo {
 pub(crate) struct EvalEnv<'e, 'c> {
     pub view: &'e FsmView<'c>,
     pub extractor: &'e ConeExtractor<'c>,
-    pub ctx: &'e DecisionContext<'c>,
+    pub ctx: &'e mut DecisionContext<'c>,
     pub manager: &'e mut BddManager,
     pub table: &'e mut TimedVarTable,
 }
@@ -472,7 +472,7 @@ pub(crate) fn run_single(
     // Everything that must outlive one candidate evaluation: the per-σ
     // discretized machines are rebuilt from the netlist each time, so the
     // collector may reclaim their nodes between candidates.
-    let gc_roots = env.ctx.gc_roots();
+    let mut gc_roots = env.ctx.gc_roots();
     // The σ-neighbor cone cache lives for one candidate at a time: released
     // (unpinned) at every candidate boundary so the collector sees the same
     // reclaimable set it would without the cache.
@@ -494,6 +494,16 @@ pub(crate) fn run_single(
             cache.release(env.manager);
         }
         env.manager.maybe_collect_garbage(&gc_roots);
+        // Candidate boundaries are the one place every outstanding handle
+        // is enumerable (context + roots; the cone cache was just
+        // released), so fragmentation-triggered compaction happens here.
+        if env.manager.compact_pending() {
+            let map = env.manager.compact(&gc_roots);
+            env.ctx.rebind(&map);
+            for root in &mut gc_roots {
+                *root = map.rewrite(*root);
+            }
+        }
         match outcome {
             Ok(eval) => {
                 let failing = !eval.failing_sups.is_empty();
@@ -696,10 +706,16 @@ fn worker_loop(
     let mut table = TimedVarTable::new();
     if shared.opts.ordering == VarOrder::Sift {
         manager.set_auto_reorder(true);
+        // The schedule was resolved (Adaptive → concrete) before the pool
+        // launched, so every worker fires on the same policy.
+        manager.set_reorder_schedule(shared.opts.reorder_schedule);
     }
     // Inherit the main manager's level order (static order, refined by any
     // sifting it already did) before building anything.
     table.preregister(shared.order.iter().copied());
+    if shared.opts.ordering == VarOrder::Sift {
+        mct_tbf::apply_sift_groups(&mut manager, &table);
+    }
     let mut ctx = DecisionContext::new(&extractor, &mut manager, &mut table)?;
     if let Some(r) = reach {
         // Import the restriction computed once on the main manager — a
@@ -707,11 +723,11 @@ fn worker_loop(
         let local = transfer_bdd(r.manager, r.table, r.set, &mut manager, &mut table)?;
         ctx = ctx.with_restriction(local);
     }
-    let gc_roots = ctx.gc_roots();
+    let mut gc_roots = ctx.gc_roots();
     let mut env = EvalEnv {
         view,
         extractor: &extractor,
-        ctx: &ctx,
+        ctx: &mut ctx,
         manager: &mut manager,
         table: &mut table,
     };
@@ -746,6 +762,16 @@ fn worker_loop(
                 cache.release(env.manager);
             }
             env.manager.maybe_collect_garbage(&gc_roots);
+            // Same candidate-boundary compaction as `run_single`: the cone
+            // cache was just released, so the context + roots enumerate
+            // every live handle this worker holds.
+            if env.manager.compact_pending() {
+                let map = env.manager.compact(&gc_roots);
+                env.ctx.rebind(&map);
+                for root in &mut gc_roots {
+                    *root = map.rewrite(*root);
+                }
+            }
             match outcome {
                 Ok(eval) => {
                     if !eval.failing_sups.is_empty() && shared.early_exit() {
@@ -964,7 +990,7 @@ mod tests {
 
         let mut manager = mct_bdd::BddManager::new();
         let mut table = TimedVarTable::new();
-        let ctx = DecisionContext::new(&extractor, &mut manager, &mut table).unwrap();
+        let mut ctx = DecisionContext::new(&extractor, &mut manager, &mut table).unwrap();
         let baseline = manager.stats().nodes;
         // Collect at every candidate boundary.
         manager.set_gc_threshold(1);
@@ -988,7 +1014,7 @@ mod tests {
         let mut env = EvalEnv {
             view: &view,
             extractor: &extractor,
-            ctx: &ctx,
+            ctx: &mut ctx,
             manager: &mut manager,
             table: &mut table,
         };

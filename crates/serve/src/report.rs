@@ -18,7 +18,10 @@
 //! thread count, and a longer budget can only produce the same (or a more
 //! complete) report, so neither should split the cache.
 
-use mct_core::{DecisionOutcome, MctOptions, MctReport, SigmaStrategy, ValidityRegion, VarOrder};
+use mct_core::{
+    DecisionOutcome, MctOptions, MctReport, ReorderSchedule, SigmaStrategy, ValidityRegion,
+    VarOrder,
+};
 use mct_lp::Rat;
 
 use crate::json::Json;
@@ -230,7 +233,49 @@ pub fn options_to_json(opts: &MctOptions) -> Json {
                 .into(),
             ),
         ),
+        (
+            "reorder_schedule".into(),
+            Json::Str(match opts.reorder_schedule {
+                ReorderSchedule::GrowthRatio(r) => format!("growth:{r}"),
+                ReorderSchedule::AlwaysOnce => "always-once".into(),
+                ReorderSchedule::TimeBudget(ms) => format!("time-budget:{ms}"),
+                ReorderSchedule::Adaptive => "adaptive".into(),
+            }),
+        ),
     ])
+}
+
+/// Parses the `reorder_schedule` wire/CLI spelling:
+/// `growth[:ratio]`, `always-once`, `time-budget[:ms]`, or `adaptive`.
+///
+/// # Errors
+///
+/// A human-readable message for unknown spellings or bad numbers.
+pub fn parse_reorder_schedule(s: &str) -> Result<ReorderSchedule, String> {
+    match s {
+        "adaptive" => return Ok(ReorderSchedule::Adaptive),
+        "always-once" => return Ok(ReorderSchedule::AlwaysOnce),
+        "growth" => return Ok(ReorderSchedule::GrowthRatio(2.0)),
+        "time-budget" => return Ok(ReorderSchedule::TimeBudget(50)),
+        _ => {}
+    }
+    if let Some(r) = s.strip_prefix("growth:") {
+        let ratio = r
+            .parse::<f64>()
+            .ok()
+            .filter(|r| r.is_finite() && *r > 1.0)
+            .ok_or_else(|| format!("growth ratio must be a finite number > 1, got `{r}`"))?;
+        return Ok(ReorderSchedule::GrowthRatio(ratio));
+    }
+    if let Some(ms) = s.strip_prefix("time-budget:") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("time budget must be a non-negative integer (ms), got `{ms}`"))?;
+        return Ok(ReorderSchedule::TimeBudget(ms));
+    }
+    Err(format!(
+        "reorder schedule must be `growth[:ratio]`, `always-once`, `time-budget[:ms]`, or `adaptive`, got `{s}`"
+    ))
 }
 
 /// Applies a partial options object over `base`. Unknown keys are
@@ -324,6 +369,10 @@ pub fn options_overlay(base: &MctOptions, value: &Json) -> Result<MctOptions, St
                     _ => return Err("sigma must be \"flat\" or \"pruned\"".into()),
                 };
             }
+            "reorder_schedule" => {
+                let s = v.as_str().ok_or("reorder_schedule must be a string")?;
+                opts.reorder_schedule = parse_reorder_schedule(s)?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -346,9 +395,12 @@ fn usize_field(v: &Json, name: &str) -> Result<usize, String> {
 /// (variable order changes node counts and wall time, never the report —
 /// see [`VarOrder`]), `decompose` (the recombined cone-sliced report
 /// is bit-identical to the monolithic one, so a decomposed run may answer
-/// a monolithic request and vice versa), and `sigma` (the pruned Φ walk
+/// a monolithic request and vice versa), `sigma` (the pruned Φ walk
 /// visits exactly the feasible subsequence the flat odometer would have
-/// examined, so both strategies produce bit-identical reports).
+/// examined, so both strategies produce bit-identical reports), and
+/// `reorder_schedule` (like `ordering`, schedules only decide *when* the
+/// kernel sifts — node counts and wall time change, the report never
+/// does).
 pub fn options_fingerprint(opts: &MctOptions) -> u64 {
     let mut h: u64 = 0x6d63_745f_6f70_7473; // "mct_opts"
     let mut fold = |v: u64| h = mix64(h ^ mix64(v));
@@ -498,11 +550,38 @@ mod tests {
             num_threads: 3,
             ordering: VarOrder::Sift,
             sigma: SigmaStrategy::Flat,
+            reorder_schedule: ReorderSchedule::TimeBudget(75),
             ..MctOptions::default()
         };
         let json = options_to_json(&opts);
         let back = options_overlay(&MctOptions::fixed_delays(), &json).unwrap();
         assert_eq!(format!("{opts:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn reorder_schedule_spellings_parse() {
+        assert_eq!(
+            parse_reorder_schedule("growth").unwrap(),
+            ReorderSchedule::GrowthRatio(2.0)
+        );
+        assert_eq!(
+            parse_reorder_schedule("growth:3.5").unwrap(),
+            ReorderSchedule::GrowthRatio(3.5)
+        );
+        assert_eq!(
+            parse_reorder_schedule("always-once").unwrap(),
+            ReorderSchedule::AlwaysOnce
+        );
+        assert_eq!(
+            parse_reorder_schedule("time-budget:120").unwrap(),
+            ReorderSchedule::TimeBudget(120)
+        );
+        assert_eq!(
+            parse_reorder_schedule("adaptive").unwrap(),
+            ReorderSchedule::Adaptive
+        );
+        assert!(parse_reorder_schedule("growth:0.5").is_err());
+        assert!(parse_reorder_schedule("sift-harder").is_err());
     }
 
     #[test]
@@ -514,6 +593,7 @@ mod tests {
             ordering: VarOrder::Sift,
             decompose: true,
             sigma: SigmaStrategy::Flat,
+            reorder_schedule: ReorderSchedule::AlwaysOnce,
             ..MctOptions::default()
         };
         assert_eq!(options_fingerprint(&a), options_fingerprint(&b));

@@ -125,8 +125,10 @@ struct KernelCounters {
     nodes_freed: AtomicU64,
     ops_cache_hits: AtomicU64,
     ops_cache_lookups: AtomicU64,
-    reorder_runs: AtomicU64,
+    reorder_passes: AtomicU64,
     reorder_swaps: AtomicU64,
+    reorder_time_ms: AtomicU64,
+    compactions: AtomicU64,
     mvec_memo_hits: AtomicU64,
     sigma_pruned_subtrees: AtomicU64,
     sigma_pruned: AtomicU64,
@@ -143,10 +145,13 @@ impl KernelCounters {
             .fetch_add(k.ops_cache_hits, Ordering::Relaxed);
         self.ops_cache_lookups
             .fetch_add(k.ops_cache_lookups, Ordering::Relaxed);
-        self.reorder_runs
-            .fetch_add(k.reorder_runs, Ordering::Relaxed);
+        self.reorder_passes
+            .fetch_add(k.reorder_passes, Ordering::Relaxed);
         self.reorder_swaps
             .fetch_add(k.reorder_swaps, Ordering::Relaxed);
+        self.reorder_time_ms
+            .fetch_add(k.reorder_time_ms, Ordering::Relaxed);
+        self.compactions.fetch_add(k.compactions, Ordering::Relaxed);
         self.mvec_memo_hits
             .fetch_add(k.mvec_memo_hits, Ordering::Relaxed);
         self.sigma_pruned_subtrees
@@ -165,8 +170,10 @@ impl KernelCounters {
             ("nodes_freed".into(), load(&self.nodes_freed)),
             ("ops_cache_hits".into(), load(&self.ops_cache_hits)),
             ("ops_cache_lookups".into(), load(&self.ops_cache_lookups)),
-            ("reorder_runs".into(), load(&self.reorder_runs)),
+            ("reorder_passes".into(), load(&self.reorder_passes)),
             ("reorder_swaps".into(), load(&self.reorder_swaps)),
+            ("reorder_time_ms".into(), load(&self.reorder_time_ms)),
+            ("compactions".into(), load(&self.compactions)),
             ("mvec_memo_hits".into(), load(&self.mvec_memo_hits)),
             (
                 "sigma_pruned_subtrees".into(),
@@ -873,7 +880,7 @@ fn analyze_direct(
 fn log_kernel(shared: &Shared, peer: &str, circuit: &str, k: &mct_core::BddStats) {
     if shared.cfg.log {
         eprintln!(
-            "[mct-serve] peer={peer} type=kernel circuit={circuit} nodes={} peak={} gc_runs={} freed={} ops_cache={}/{} ({:.1}%) sigma_pruned={} ({} subtrees) sigma_reused={}",
+            "[mct-serve] peer={peer} type=kernel circuit={circuit} nodes={} peak={} gc_runs={} freed={} ops_cache={}/{} ({:.1}%) reorder={} passes ({} swaps, {} ms, {} -> {} nodes) compactions={} sigma_pruned={} ({} subtrees) sigma_reused={}",
             k.nodes,
             k.peak_nodes,
             k.gc_runs,
@@ -881,6 +888,12 @@ fn log_kernel(shared: &Shared, peer: &str, circuit: &str, k: &mct_core::BddStats
             k.ops_cache_hits,
             k.ops_cache_lookups,
             100.0 * k.ops_hit_rate(),
+            k.reorder_passes,
+            k.reorder_swaps,
+            k.reorder_time_ms,
+            k.nodes_before_reorder,
+            k.nodes_after_reorder,
+            k.compactions,
             k.sigma_pruned,
             k.sigma_pruned_subtrees,
             k.sigma_reused,

@@ -11,11 +11,18 @@
 //! warm-start path.
 
 use mct_serve::report::report_to_json;
-use mct_suite::core::{MctAnalyzer, MctOptions, VarOrder};
+use mct_suite::core::{MctAnalyzer, MctOptions, ReorderSchedule, SigmaStrategy, VarOrder};
 use mct_suite::gen::{families, paper_figure2, s27};
 use mct_suite::netlist::{Circuit, DelayModel, Time};
 
 const POLICIES: [VarOrder; 3] = [VarOrder::Alloc, VarOrder::Static, VarOrder::Sift];
+
+const SCHEDULES: [ReorderSchedule; 4] = [
+    ReorderSchedule::GrowthRatio(1.5),
+    ReorderSchedule::AlwaysOnce,
+    ReorderSchedule::TimeBudget(20),
+    ReorderSchedule::Adaptive,
+];
 
 /// The invariance corpus: the paper's Figure 2, the ISCAS'89 s27, and
 /// twenty seeded random FSMs (same family parameters as the golden-replay
@@ -100,6 +107,41 @@ fn decomposed_reports_match_monolithic_reference() {
                     "{name}: decomposed report under {ordering:?} ordering at {t} \
                      threads differs from the monolithic alloc-order sequential run"
                 );
+            }
+        }
+    }
+}
+
+/// Every reorder schedule — crossed with thread counts and both
+/// σ-enumeration strategies — must reproduce the alloc-order sequential
+/// report byte for byte. Schedules change *when* sifting pays, never
+/// *what* comes out; this is the matrix the serve tier's cache-fingerprint
+/// exclusion of `reorder_schedule` relies on.
+#[test]
+fn reports_identical_across_reorder_schedules() {
+    let circuits: Vec<_> = corpus().into_iter().take(10).collect();
+    for (name, circuit, base) in &circuits {
+        let reference = serialized(circuit, VarOrder::Alloc, 1, base);
+        for &schedule in &SCHEDULES {
+            for &threads in &[1usize, 2, 4] {
+                for &sigma in &[SigmaStrategy::Flat, SigmaStrategy::Pruned] {
+                    let opts = MctOptions {
+                        ordering: VarOrder::Sift,
+                        reorder_schedule: schedule,
+                        num_threads: threads,
+                        sigma,
+                        ..base.clone()
+                    };
+                    let got = match MctAnalyzer::new(circuit).expect("analyzable").run(&opts) {
+                        Ok(report) => report_to_json(&report).to_compact(),
+                        Err(e) => format!("error: {e}"),
+                    };
+                    assert_eq!(
+                        reference, got,
+                        "{name}: report under {schedule:?} schedule at {threads} threads \
+                         with {sigma:?} σ differs from the alloc-order sequential run"
+                    );
+                }
             }
         }
     }
