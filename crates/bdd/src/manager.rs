@@ -1682,6 +1682,8 @@ impl BddManager {
             sigma_pruned_subtrees: 0,
             sigma_pruned: 0,
             sigma_reused: 0,
+            skew_lp_iterations: 0,
+            skew_lp_cuts: 0,
         }
     }
 
@@ -1847,6 +1849,13 @@ pub struct BddStats {
     /// re-extracted. Filled in by the analysis layer; [`BddManager::stats`]
     /// reports 0.
     pub sigma_reused: u64,
+    /// Simplex pivots performed by the clock-skew feasibility programs.
+    /// Filled in by the analysis layer; [`BddManager::stats`] reports 0.
+    pub skew_lp_iterations: u64,
+    /// Infeasibility verdicts (feasibility cuts) returned by the clock-skew
+    /// binary search. Filled in by the analysis layer;
+    /// [`BddManager::stats`] reports 0.
+    pub skew_lp_cuts: u64,
 }
 
 impl BddStats {
@@ -1878,6 +1887,8 @@ impl BddStats {
         self.sigma_pruned_subtrees += other.sigma_pruned_subtrees;
         self.sigma_pruned += other.sigma_pruned;
         self.sigma_reused += other.sigma_reused;
+        self.skew_lp_iterations += other.skew_lp_iterations;
+        self.skew_lp_cuts += other.skew_lp_cuts;
     }
 }
 
@@ -1887,7 +1898,8 @@ impl fmt::Display for BddStats {
             f,
             "{} nodes ({} peak), {} gc runs ({} freed), ops cache {}/{} ({:.1}%), \
              {} reorder passes ({} swaps, {} ms, {} -> {} nodes), {} compactions, \
-             {} mvec memo hits, {} sigma pruned ({} subtrees), {} sigma reused",
+             {} mvec memo hits, {} sigma pruned ({} subtrees), {} sigma reused, \
+             {} skew lp pivots ({} cuts)",
             self.nodes,
             self.peak_nodes,
             self.gc_runs,
@@ -1904,7 +1916,9 @@ impl fmt::Display for BddStats {
             self.mvec_memo_hits,
             self.sigma_pruned,
             self.sigma_pruned_subtrees,
-            self.sigma_reused
+            self.sigma_reused,
+            self.skew_lp_iterations,
+            self.skew_lp_cuts
         )
     }
 }

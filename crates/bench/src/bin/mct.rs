@@ -10,7 +10,7 @@
 //! mct query    --stats|--ping|--shutdown [--connect A|--shard-map A,B,…]
 //! mct cache    ls|gc|rm <digest> --cache-dir D [--cache-max-bytes N]
 //! mct fuzz     [--seed S] [--iters N] [--time-budget-ms T] [--corpus DIR]
-//!              [--oracle all|differential|metamorphic|robustness|decompose|sigma] [--stats-json]
+//!              [--oracle all|differential|metamorphic|robustness|decompose|sigma|skew] [--stats-json]
 //!
 //! options:
 //!   --blif            treat <file> as BLIF (default: by extension, else .bench)
@@ -38,6 +38,15 @@
 //!                     LP-bounded subtree walk) | flat (the plain
 //!                     odometer); never changes the report, only how many
 //!                     combinations are visited
+//!   --mode M          zero (default) | skew: `skew` additionally runs the
+//!                     clock-skew optimization tier — an LP over per-register
+//!                     capture offsets plus an exact re-sweep of the witness
+//!                     machine — and appends its report. Unlike the knobs
+//!                     above this CHANGES the report (and the cache key).
+//!                     `# .skew <dff> <millis>` annotations in the input are
+//!                     always honored as circuit semantics, in either mode
+//!   --skew-bound X    cap |skew| at X time units in the optimization
+//!                     (default: the steady-state delay L)
 //!
 //! serve options:
 //!   --listen ADDR        bind address (default 127.0.0.1:7934; port 0 = ephemeral)
@@ -75,7 +84,9 @@
 //!   --corpus DIR         replay + mutate DIR/*.bench; write shrunk repros there
 //!   --oracle NAME        all | differential | metamorphic | robustness |
 //!                        decompose | sigma (flat-vs-pruned Φ identity with
-//!                        wide delay intervals and path-coupled LPs)
+//!                        wide delay intervals and path-coupled LPs) |
+//!                        skew (clock-skew tier soundness: monotone bound,
+//!                        simulated witness replay, zero-annotation identity)
 //!   --stats-json         machine-readable stats (adds the one
 //!                        nondeterministic field, `wall_ms`)
 //! ```
@@ -104,6 +115,8 @@ struct Flags {
     reorder_schedule: ReorderSchedule,
     decompose: bool,
     sigma: SigmaStrategy,
+    skew: bool,
+    skew_bound: Option<f64>,
     period: Option<f64>,
     cycles: usize,
     seed: u64,
@@ -144,6 +157,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         reorder_schedule: ReorderSchedule::Adaptive,
         decompose: false,
         sigma: SigmaStrategy::default(),
+        skew: false,
+        skew_bound: None,
         period: None,
         cycles: 64,
         seed: 1,
@@ -204,6 +219,24 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 Some("pruned") => f.sigma = SigmaStrategy::Pruned,
                 other => return Err(format!("--sigma needs flat|pruned, got {other:?}")),
             },
+            "--mode" => match it.next().map(String::as_str) {
+                Some("zero") => f.skew = false,
+                Some("skew") => f.skew = true,
+                other => return Err(format!("--mode needs zero|skew, got {other:?}")),
+            },
+            "--skew-bound" => {
+                let bound: f64 = it
+                    .next()
+                    .ok_or("--skew-bound needs a magnitude in time units")?
+                    .parse()
+                    .map_err(|e| format!("bad skew bound: {e}"))?;
+                if !bound.is_finite() || bound < 0.0 {
+                    return Err(format!(
+                        "--skew-bound needs a finite non-negative value, got {bound}"
+                    ));
+                }
+                f.skew_bound = Some(bound);
+            }
             "--model" => match it.next().map(String::as_str) {
                 Some("unit") => f.model = DelayModel::Unit,
                 Some("mapped") => f.model = DelayModel::Mapped,
@@ -313,7 +346,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--oracle" => {
                 let name = it.next().ok_or("--oracle needs a name")?;
                 f.oracle = mct_fuzz::OracleSelect::parse(name).ok_or(format!(
-                    "--oracle needs all|differential|metamorphic|robustness|decompose|sigma, \
+                    "--oracle needs all|differential|metamorphic|robustness|decompose|sigma|skew, \
                      got `{name}`"
                 ))?
             }
@@ -348,6 +381,8 @@ fn mct_options(flags: &Flags) -> MctOptions {
         reorder_schedule: flags.reorder_schedule,
         decompose: flags.decompose,
         sigma: flags.sigma,
+        skew: flags.skew,
+        skew_bound: flags.skew_bound,
         ..MctOptions::paper()
     }
 }
@@ -425,6 +460,11 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
                     ),
                     ("sigma_pruned".into(), Json::Int(k.sigma_pruned as i64)),
                     ("sigma_reused".into(), Json::Int(k.sigma_reused as i64)),
+                    (
+                        "skew_lp_iterations".into(),
+                        Json::Int(k.skew_lp_iterations as i64),
+                    ),
+                    ("skew_lp_cuts".into(), Json::Int(k.skew_lp_cuts as i64)),
                 ]),
             ));
         }
@@ -451,6 +491,33 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
             states,
             1u64 << circuit.num_dffs().min(63)
         );
+    }
+    if let Some(skew) = &report.skew {
+        let units = |r: &mct_lp::Rat| r.num() as f64 / (r.den() as f64 * 1000.0);
+        println!("  clock-skew optimization:");
+        println!(
+            "    zero-skew MCT        {:.3}",
+            units(&skew.zero_skew_bound)
+        );
+        println!("    skew-optimal MCT     {:.3}", units(&skew.optimal_bound));
+        println!(
+            "    structural LP period {:.3}   (|skew| <= {:.3})",
+            skew.lp_period_millis as f64 / 1000.0,
+            skew.skew_bound_millis as f64 / 1000.0
+        );
+        if skew.improved {
+            let margin = skew.zero_skew_bound - skew.optimal_bound;
+            println!("    improvement          {:.3}", units(&margin));
+            for (q, s) in circuit.dffs().into_iter().zip(&skew.witness_millis) {
+                println!(
+                    "    skew {:<16} {:.3}",
+                    circuit.net_name(q),
+                    *s as f64 / 1000.0
+                );
+            }
+        } else {
+            println!("    no skew assignment beats zero skew");
+        }
     }
     println!("  bdd kernel             {}", report.kernel);
     if flags.ordering == VarOrder::Sift && report.kernel.reorder_passes == 0 {
@@ -730,6 +797,17 @@ fn build_analyze_request(
                 }
                 .into(),
             ),
+        ),
+        // Unlike the execution-strategy knobs above, `--mode skew`
+        // changes the report (and the cache fingerprint), so the query
+        // path must carry it to the server.
+        ("skew".into(), Json::Bool(opts.skew)),
+        (
+            "skew_bound".into(),
+            match opts.skew_bound {
+                None => Json::Null,
+                Some(b) => Json::Float(b),
+            },
         ),
     ]);
     let request = Json::Obj(vec![

@@ -138,6 +138,22 @@ pub struct MctOptions {
     /// performance lever only — excluded from result-cache fingerprints
     /// like `ordering` and `sigma`.
     pub reorder_schedule: ReorderSchedule,
+    /// Run the clock-skew optimization tier after the sweep: solve the
+    /// Fishburn-style feasibility programs over per-register skews,
+    /// binary-search the minimum structurally feasible period, certify it
+    /// exactly, and report both the zero-skew and skew-optimal bounds (with
+    /// an integer-milli witness) in [`MctReport::skew`].
+    ///
+    /// Unlike `ordering`/`sigma`/`num_threads` this **changes the report**,
+    /// so it is **included** in result-cache fingerprints. Note that skew
+    /// *annotations* on the circuit always take effect in the sweep itself
+    /// (they are circuit semantics); this flag only adds the optimizer
+    /// tier.
+    pub skew: bool,
+    /// Per-register skew magnitude bound `|s_i| ≤ B` for the optimizer, in
+    /// time units. `None` uses the steady-state delay `L`. Included in
+    /// result-cache fingerprints (it changes [`MctReport::skew`]).
+    pub skew_bound: Option<f64>,
 }
 
 impl Default for MctOptions {
@@ -161,6 +177,8 @@ impl Default for MctOptions {
             decompose: false,
             sigma: SigmaStrategy::default(),
             reorder_schedule: ReorderSchedule::Adaptive,
+            skew: false,
+            skew_bound: None,
         }
     }
 }
@@ -261,6 +279,10 @@ pub struct MctReport {
     /// [`MctOptions::exhaustive_floor`] is set; otherwise only the
     /// intervals up to the first failure).
     pub regions: Vec<ValidityRegion>,
+    /// Clock-skew optimization results, present iff [`MctOptions::skew`]
+    /// was set. Part of the deterministic report contract (unlike
+    /// [`kernel`](Self::kernel)).
+    pub skew: Option<crate::skew::SkewReport>,
     /// Symbolic-kernel diagnostics, aggregated across every BDD manager the
     /// analysis used (the main manager plus one per pool worker): live/peak
     /// node counts, garbage-collection runs, and operation-cache hit rates.
@@ -401,8 +423,8 @@ impl<'c> MctAnalyzer<'c> {
         let manager = &mut self.manager;
         let table = &mut self.table;
         let extractor = ConeExtractor::new(view).with_node_limit(opts.cone_node_limit);
-        let sinks: Vec<NetId> = view.sinks().iter().map(|s| s.net).collect();
-        let classes = extractor.delay_classes(&sinks)?;
+        let classes = extractor.delay_classes_at(&view.sink_starts())?;
+        validate_skew_holds(view, &classes, opts.delay_variation)?;
         let l_millis = classes.iter().map(|c| c.delay).max().unwrap_or(0);
         let circuit_name = view.circuit().name().to_owned();
 
@@ -428,24 +450,21 @@ impl<'c> MctAnalyzer<'c> {
             exhausted: false,
             timed_out: false,
             regions: Vec::new(),
+            skew: None,
             kernel: BddStats::default(),
         };
         if l_millis == 0 {
             // No combinational paths at all: any positive period works.
+            if opts.skew {
+                crate::skew::run_tier(view, opts, &mut report)?;
+            }
             return Ok((report, None));
         }
 
         // Delay intervals per class (kmin rounded down: conservative).
         let intervals: Vec<(i64, i64)> = classes
             .iter()
-            .map(|c| {
-                let k_max = c.delay;
-                let k_min = match opts.delay_variation {
-                    Some((num, den)) => (k_max * num).div_euclid(den),
-                    None => k_max,
-                };
-                (k_min, k_max)
-            })
+            .map(|c| (skewed_k_min(c, opts.delay_variation), c.delay))
             .collect();
         let class_ix: HashMap<(usize, i64), usize> = classes
             .iter()
@@ -588,6 +607,9 @@ impl<'c> MctAnalyzer<'c> {
         // the reachability fixpoint; on the 1-thread path it also ran the
         // whole sweep.
         report.kernel.absorb(&manager.stats());
+        if opts.skew {
+            crate::skew::run_tier(view, opts, &mut report)?;
+        }
         Ok((report, snapshot))
     }
 
@@ -632,6 +654,45 @@ impl<'c> MctAnalyzer<'c> {
             },
         ))
     }
+}
+
+/// The variation minimum of one delay class. Variation models *gate* delay
+/// uncertainty, so only the physical portion `delay − skew_offset` scales;
+/// the skew constant rides along unscaled (a clock-tree design parameter,
+/// not a device delay). With a zero offset this is exactly the historical
+/// `(k_max·num).div_euclid(den)` floor.
+pub(crate) fn skewed_k_min(class: &DelayClass, variation: Option<(i64, i64)>) -> i64 {
+    match variation {
+        Some((num, den)) => {
+            ((class.delay - class.skew_offset) * num).div_euclid(den) + class.skew_offset
+        }
+        None => class.delay,
+    }
+}
+
+/// Rejects skew annotations that drive some effective path delay below
+/// zero at its variation minimum — the skewed register model would have a
+/// capture edge preceding the launch (a hold violation no period can fix).
+/// An effective delay of exactly zero is allowed: it is the `k → 0⁺` limit
+/// the shift clamp already handles.
+pub(crate) fn validate_skew_holds(
+    view: &FsmView<'_>,
+    classes: &[DelayClass],
+    variation: Option<(i64, i64)>,
+) -> Result<(), MctError> {
+    if !view.has_skew() {
+        return Ok(());
+    }
+    for c in classes {
+        let k_min = skewed_k_min(c, variation);
+        if k_min < 0 {
+            return Err(MctError::SkewHoldViolation {
+                leaf: view.circuit().net_name(view.leaves()[c.leaf]).to_owned(),
+                effective: k_min as f64 / 1000.0,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// The Section-7 linear program for one shift combination: maximize τ

@@ -51,7 +51,7 @@ use crate::exact::{decide_exact_detail, history_depths, product_bits, ExactRun};
 use crate::parallel::{self, CandState, CandidateEval, SweepPlan, SweepShared};
 use mct_bdd::{Bdd, BddManager, BddStats, Var, VarSet};
 use mct_lp::Rat;
-use mct_netlist::{Cone, FsmView, NetId};
+use mct_netlist::{Cone, FsmView};
 use mct_tbf::{
     count_states, reachable_states, transfer_bdd, ConeExtractor, DiscreteMachine, StaticOrder,
     TimedVar, TimedVarTable,
@@ -363,8 +363,8 @@ pub(crate) fn run(
 
     // ---- Global setup, mirroring the monolithic analyzer exactly. -------
     let extractor = ConeExtractor::new(view).with_node_limit(opts.cone_node_limit);
-    let sinks: Vec<NetId> = view.sinks().iter().map(|s| s.net).collect();
-    let classes = extractor.delay_classes(&sinks)?;
+    let classes = extractor.delay_classes_at(&view.sink_starts())?;
+    crate::analyzer::validate_skew_holds(view, &classes, opts.delay_variation)?;
     let l_millis = classes.iter().map(|c| c.delay).max().unwrap_or(0);
 
     // Resolve `Adaptive` once from the *whole* circuit (same inputs as the
@@ -393,9 +393,13 @@ pub(crate) fn run(
         exhausted: false,
         timed_out: false,
         regions: Vec::new(),
+        skew: None,
         kernel: BddStats::default(),
     };
     if l_millis == 0 {
+        if opts.skew {
+            crate::skew::run_tier(view, opts, &mut report)?;
+        }
         let replayed = (0..total).filter(|&c| seed_at(c).is_some()).count();
         return Ok((
             report,
@@ -410,12 +414,10 @@ pub(crate) fn run(
     let intervals: Vec<(i64, i64)> = classes
         .iter()
         .map(|c| {
-            let k_max = c.delay;
-            let k_min = match opts.delay_variation {
-                Some((num, den)) => (k_max * num).div_euclid(den),
-                None => k_max,
-            };
-            (k_min, k_max)
+            (
+                crate::analyzer::skewed_k_min(c, opts.delay_variation),
+                c.delay,
+            )
         })
         .collect();
     let class_ix: HashMap<(usize, i64), usize> = classes
@@ -449,8 +451,10 @@ pub(crate) fn run(
         .collect();
     let mut metas = Vec::with_capacity(total);
     for (cone, (view_c, extractor_c)) in cones.iter().zip(views.iter().zip(&extractors)) {
-        let sinks_c: Vec<NetId> = view_c.sinks().iter().map(|s| s.net).collect();
-        let classes_c = extractor_c.delay_classes(&sinks_c)?;
+        // Cone slices copy the skew annotations, so the per-cone classes
+        // carry the same adjusted delays as their global counterparts and
+        // the `class_global` mapping below lines up unchanged.
+        let classes_c = extractor_c.delay_classes_at(&view_c.sink_starts())?;
         let class_global: Vec<usize> = classes_c
             .iter()
             .map(|k| class_ix[&(cone.parent_leaf(k.leaf, parent_ns), k.delay)])
@@ -744,6 +748,9 @@ pub(crate) fn run(
             entry.outcomes_exact.extend(out.fresh_exact);
             *entry_slot = Some(entry);
         }
+    }
+    if opts.skew {
+        crate::skew::run_tier(view, opts, &mut report)?;
     }
     Ok((
         report,

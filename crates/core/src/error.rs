@@ -41,6 +41,18 @@ pub enum MctError {
         /// The smallest period examined, in `f64` time units.
         smallest_tau: f64,
     },
+    /// The annotated clock skews make some register-to-register path's
+    /// effective delay (`k + s_source − s_sink`, at its variation minimum)
+    /// negative: the sink would capture data launched *after* its own
+    /// sampling instant. The skewed TBF model is only defined for
+    /// non-negative effective delays.
+    SkewHoldViolation {
+        /// Name of the source leaf (register or input) of the violating
+        /// path.
+        leaf: String,
+        /// The effective delay at its variation minimum, in time units.
+        effective: f64,
+    },
 }
 
 impl fmt::Display for MctError {
@@ -69,6 +81,12 @@ impl fmt::Display for MctError {
                 f,
                 "no failing period found after {examined} candidates (down to τ = \
                  {smallest_tau}); the machine may be correct at arbitrarily small periods"
+            ),
+            MctError::SkewHoldViolation { leaf, effective } => write!(
+                f,
+                "clock-skew annotations drive the effective delay of a path from \
+                 {leaf} down to {effective} (< 0): the capture edge precedes the \
+                 launch; reduce the skew spread or the delay variation"
             ),
         }
     }
@@ -114,5 +132,11 @@ mod tests {
         assert!(e.to_string().contains("3 candidates"));
         let e = MctError::UnsupportedMachineVar { var: "Next".into() };
         assert!(e.to_string().contains("Next"));
+        let e = MctError::SkewHoldViolation {
+            leaf: "q3".into(),
+            effective: -0.25,
+        };
+        assert!(e.to_string().contains("q3"));
+        assert!(e.to_string().contains("-0.25"));
     }
 }

@@ -78,6 +78,7 @@ mod error;
 mod exact;
 mod parallel;
 mod sigma;
+mod skew;
 
 #[cfg(test)]
 mod proptests;
@@ -96,3 +97,4 @@ pub use exact::decide_exact;
 pub use mct_bdd::BddStats;
 pub use mct_bdd::ReorderSchedule;
 pub use sigma::{feasible_tau_range, ShiftRange, SigmaIter, SigmaPruneStats};
+pub use skew::SkewReport;

@@ -38,6 +38,41 @@ fn ring2() -> Circuit {
     c
 }
 
+/// Unbalanced two-register ring carrying its own optimal skew witness:
+/// `q1` captures 2.0 units late, balancing the 5-vs-1 hops so the machine
+/// runs at period 3 while the zero-skew machine needs 5. The skew tier
+/// must recover both bounds (and the exact margin of 2) from the
+/// annotated file alone.
+fn skewimp() -> Circuit {
+    let mut c = Circuit::new("skewimp");
+    let q0 = c.add_dff("q0", false, Time::ZERO);
+    let q1 = c.add_dff("q1", false, Time::ZERO);
+    let n1 = c.add_gate("n1", GateKind::Not, &[q0], Time::from_millis(5000));
+    let n0 = c.add_gate("n0", GateKind::Buf, &[q1], Time::from_millis(1000));
+    c.connect_dff_data("q1", n1).unwrap();
+    c.connect_dff_data("q0", n0).unwrap();
+    c.set_output(q0);
+    c.set_dff_skew(q1, Time::from_millis(2000)).unwrap();
+    c
+}
+
+/// Symmetric two-register ring with a deliberately *unhelpful* annotation:
+/// skewing `q1` by 0.5 stretches one hop to 3.5 while the zero-skew
+/// machine runs at 3 — the tier must report that no skew beats zero skew
+/// (optimal == zero-skew bound, all-zero witness).
+fn skewneu() -> Circuit {
+    let mut c = Circuit::new("skewneu");
+    let q0 = c.add_dff("q0", false, Time::ZERO);
+    let q1 = c.add_dff("q1", false, Time::ZERO);
+    let n1 = c.add_gate("n1", GateKind::Not, &[q0], Time::from_millis(3000));
+    let n0 = c.add_gate("n0", GateKind::Buf, &[q1], Time::from_millis(3000));
+    c.connect_dff_data("q1", n1).unwrap();
+    c.connect_dff_data("q0", n0).unwrap();
+    c.set_output(q0);
+    c.set_dff_skew(q1, Time::from_millis(500)).unwrap();
+    c
+}
+
 /// Every delay a whole multiple of 1000 milli-units, so each candidate
 /// period the sweep examines lands *exactly on* a breakpoint `k/j` — the
 /// configuration where an interval-endpoint off-by-one would flip the
@@ -91,7 +126,7 @@ fn probe_below_bound(c: &Circuit, tau_millis: i64) {
 
 fn main() {
     let dir = Path::new("tests/corpus");
-    let entries: [(&str, Circuit, &str); 3] = [
+    let entries: [(&str, Circuit, &str); 5] = [
         (
             "fig2",
             paper_figure2(),
@@ -110,6 +145,20 @@ fn main() {
             bpgrid(),
             "hand seed: all delays multiples of 1000 so every examined \
              candidate period lands exactly on a breakpoint k/j",
+        ),
+        (
+            "skewimp",
+            skewimp(),
+            "hand seed: unbalanced 5-vs-1 ring annotated with its optimal \
+             skew witness (q1 +2.0); skewed MCT 3 beats zero-skew MCT 5 by \
+             exactly 2",
+        ),
+        (
+            "skewneu",
+            skewneu(),
+            "hand seed: symmetric 3-vs-3 ring with an unhelpful +0.5 skew \
+             on q1 (machine MCT 3.5); the tier must report optimal == \
+             zero-skew == 3 with an all-zero witness",
         ),
     ];
     let mut ctx = OracleCtx::new(OracleSelect::All, OracleOptions::default());

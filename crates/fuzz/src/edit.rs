@@ -86,9 +86,13 @@ pub fn apply_plan(circuit: &Circuit, plan: &EditPlan) -> Option<Circuit> {
                 name,
                 init,
                 clock_to_q,
+                skew,
                 ..
             } => {
                 let new = if plan.inputize.contains(&id.index()) {
+                    // Inputization hands the signal to the zero-skew
+                    // environment clock; the annotation dies with the
+                    // register.
                     out.try_add_input(name.clone()).ok()?
                 } else {
                     let c2q = if plan.snap_delays {
@@ -96,7 +100,11 @@ pub fn apply_plan(circuit: &Circuit, plan: &EditPlan) -> Option<Circuit> {
                     } else {
                         *clock_to_q
                     };
-                    out.try_add_dff(name.clone(), *init, c2q).ok()?
+                    let new = out.try_add_dff(name.clone(), *init, c2q).ok()?;
+                    if !skew.is_zero() {
+                        out.set_dff_skew(new, *skew).ok()?;
+                    }
+                    new
                 };
                 map.insert(id.index(), new);
             }
@@ -171,10 +179,14 @@ pub fn rename_signals(circuit: &Circuit, f: impl Fn(&str, usize) -> String) -> O
             Node::Dff {
                 init,
                 clock_to_q,
+                skew,
                 data,
                 ..
             } => {
                 let new = out.try_add_dff(name.clone(), *init, *clock_to_q).ok()?;
+                if !skew.is_zero() {
+                    out.set_dff_skew(new, *skew).ok()?;
+                }
                 map.insert(id.index(), new);
                 if let Some(d) = data {
                     dff_names.push((name, *d));
@@ -233,10 +245,14 @@ pub fn permute_registers(circuit: &Circuit, dff_perm: &[usize]) -> Option<Circui
             name,
             init,
             clock_to_q,
+            skew,
             ..
         } = circuit.node(id)
         {
             let new = out.try_add_dff(name.clone(), *init, *clock_to_q).ok()?;
+            if !skew.is_zero() {
+                out.set_dff_skew(new, *skew).ok()?;
+            }
             map.insert(id.index(), new);
         }
     }
@@ -278,8 +294,10 @@ pub fn permute_registers(circuit: &Circuit, dff_perm: &[usize]) -> Option<Circui
     Some(out)
 }
 
-/// Returns a copy of the circuit with every pin delay and clock-to-Q delay
-/// scaled by the exact rational `num/den`.
+/// Returns a copy of the circuit with every pin delay, clock-to-Q delay,
+/// and clock-skew annotation scaled by the exact rational `num/den` —
+/// skews are time quantities, so uniform time scaling must carry them or
+/// the scaled machine is not the same machine on a different clock.
 pub fn scale_delays(circuit: &Circuit, num: i64, den: i64) -> Circuit {
     let mut out = circuit.clone();
     for id in circuit.gates() {
@@ -295,8 +313,13 @@ pub fn scale_delays(circuit: &Circuit, num: i64, den: i64) -> Circuit {
         }
     }
     for id in circuit.dffs() {
-        if let Node::Dff { clock_to_q, .. } = circuit.node(id) {
+        if let Node::Dff {
+            clock_to_q, skew, ..
+        } = circuit.node(id)
+        {
             out.set_dff_clock_to_q(id, clock_to_q.scale_rational(num, den))
+                .expect("same topology");
+            out.set_dff_skew(id, skew.scale_rational(num, den))
                 .expect("same topology");
         }
     }

@@ -33,6 +33,11 @@
 //!   {flat, pruned} × thread counts (the CLI pairs this oracle with a
 //!   wide-delay generator bias and path-coupled LPs so the pruning bound
 //!   actually engages).
+//! * **skew** — the clock-skew optimization tier can never worsen the
+//!   bound; its witness machine, re-annotated and re-certified, must run
+//!   correctly through the event simulator strictly above the bound it
+//!   claims; and explicitly-zero `# .skew` annotations are an arithmetic
+//!   identity — the report is byte-identical to the unannotated baseline.
 
 use mct_core::{
     MctAnalyzer, MctOptions, MctReport, ReachSnapshot, ReorderSchedule, SigmaStrategy, VarOrder,
@@ -62,6 +67,8 @@ pub enum OracleSelect {
     Decompose,
     /// Only the flat-vs-pruned Φ-enumeration identity check.
     Sigma,
+    /// Only the clock-skew optimization soundness checks.
+    Skew,
 }
 
 impl OracleSelect {
@@ -74,6 +81,7 @@ impl OracleSelect {
             "robustness" => Some(OracleSelect::Robustness),
             "decompose" => Some(OracleSelect::Decompose),
             "sigma" => Some(OracleSelect::Sigma),
+            "skew" => Some(OracleSelect::Skew),
             _ => None,
         }
     }
@@ -96,6 +104,10 @@ impl OracleSelect {
 
     fn sigma(self) -> bool {
         matches!(self, OracleSelect::All | OracleSelect::Sigma)
+    }
+
+    fn skew(self) -> bool {
+        matches!(self, OracleSelect::All | OracleSelect::Skew)
     }
 }
 
@@ -174,6 +186,8 @@ pub struct OracleStats {
     pub decompose_checks: u64,
     /// Flat-vs-pruned Φ-enumeration identity comparisons completed.
     pub sigma_checks: u64,
+    /// Skew-tier soundness checks completed.
+    pub skew_checks: u64,
 }
 
 /// Shared oracle state across one fuzzing run.
@@ -281,6 +295,221 @@ pub fn check_circuit(ctx: &mut OracleCtx, c: &Circuit, stim_seed: u64) -> Option
             return Some(f);
         }
     }
+    if ctx.select.skew() {
+        if let Some(f) = skew_soundness(ctx, c, &base, &base_json, stim_seed) {
+            return Some(f);
+        }
+    }
+    None
+}
+
+/// The skew oracle. Three properties, in order:
+///
+/// 1. optimizing the skews can never worsen the bound (and for an
+///    annotation-free circuit the reported zero-skew baseline *is* the
+///    base sweep);
+/// 2. the witness is real — applying `witness_millis` to the circuit and
+///    re-certifying yields the bound the tier reported (when it claimed
+///    an improvement), and the witness machine replayed through the event
+///    simulator strictly above that bound matches the functional machine
+///    (the engine samples strictly before the capture instant, so the `+1`
+///    milli keeps the saturated setup arrivals on the safe side — the same
+///    convention as the differential oracle);
+/// 3. explicitly-zero `# .skew` annotations are an arithmetic identity:
+///    spelling them out in the corpus format and re-analyzing reproduces
+///    the baseline report byte for byte.
+fn skew_soundness(
+    ctx: &mut OracleCtx,
+    c: &Circuit,
+    base: &MctReport,
+    base_json: &str,
+    stim_seed: u64,
+) -> Option<Failure> {
+    let opts = MctOptions {
+        skew: true,
+        ..ctx.opts.analysis.clone()
+    };
+    ctx.stats.analyses += 1;
+    let report = match analyze(c, &opts) {
+        Ok(r) => r,
+        Err(_) => {
+            ctx.stats.analysis_errors += 1;
+            return None;
+        }
+    };
+    if report.timed_out {
+        ctx.stats.analysis_timeouts += 1;
+        return None;
+    }
+    let Some(sk) = report.skew.clone() else {
+        return Some(Failure {
+            oracle: "skew",
+            detail: "skew mode returned a report without a skew section".into(),
+        });
+    };
+
+    // 1. Monotonicity and baseline consistency.
+    if sk.optimal_bound > sk.zero_skew_bound {
+        return Some(Failure {
+            oracle: "skew",
+            detail: format!(
+                "skew optimization worsened the bound: zero-skew {}/{}ms, optimal {}/{}ms",
+                sk.zero_skew_bound.num(),
+                sk.zero_skew_bound.den(),
+                sk.optimal_bound.num(),
+                sk.optimal_bound.den()
+            ),
+        });
+    }
+    if sk.improved != (sk.optimal_bound < sk.zero_skew_bound) {
+        return Some(Failure {
+            oracle: "skew",
+            detail: format!("inconsistent `improved` flag in the skew report: {sk:?}"),
+        });
+    }
+    if !c.has_skew() && sk.zero_skew_bound != base.bound_exact {
+        return Some(Failure {
+            oracle: "skew",
+            detail: format!(
+                "zero-skew baseline {}/{}ms disagrees with the base sweep {}/{}ms \
+                 on an annotation-free circuit",
+                sk.zero_skew_bound.num(),
+                sk.zero_skew_bound.den(),
+                base.bound_exact.num(),
+                base.bound_exact.den()
+            ),
+        });
+    }
+    if sk.witness_millis.len() != c.num_dffs() {
+        return Some(Failure {
+            oracle: "skew",
+            detail: format!(
+                "witness has {} entries for {} registers",
+                sk.witness_millis.len(),
+                c.num_dffs()
+            ),
+        });
+    }
+
+    // 2. The witness machine is real. When the witness coincides with the
+    // circuit's own (absent) annotations, the base report already certifies
+    // it; otherwise annotate and re-certify.
+    let trivial_witness = !c.has_skew() && sk.witness_millis.iter().all(|&s| s == 0);
+    let mut witness = c.clone();
+    for (q, &s) in witness.dffs().into_iter().zip(&sk.witness_millis) {
+        witness
+            .set_dff_skew(q, Time::from_millis(s))
+            .expect("dff id");
+    }
+    let wbound = if trivial_witness {
+        Some(base.bound_exact)
+    } else {
+        ctx.stats.analyses += 1;
+        match analyze(&witness, &ctx.opts.analysis) {
+            Ok(wr) if !wr.timed_out => Some(wr.bound_exact),
+            Ok(_) => {
+                ctx.stats.analysis_timeouts += 1;
+                None
+            }
+            Err(_) => {
+                // Legitimate structured refusal (the annotated machine can
+                // have a different σ profile); counted, not a failure.
+                ctx.stats.analysis_errors += 1;
+                None
+            }
+        }
+    };
+    if let Some(wbound) = wbound {
+        if sk.improved && wbound != sk.optimal_bound {
+            return Some(Failure {
+                oracle: "skew",
+                detail: format!(
+                    "witness machine certifies {}/{}ms but the tier reported optimal {}/{}ms",
+                    wbound.num(),
+                    wbound.den(),
+                    sk.optimal_bound.num(),
+                    sk.optimal_bound.den()
+                ),
+            });
+        }
+        let sim = match Simulator::new(&witness) {
+            Ok(s) => s,
+            Err(e) => {
+                return Some(Failure {
+                    oracle: "skew",
+                    detail: format!("simulator rejected the witness machine: {e:?}"),
+                })
+            }
+        };
+        let reference = functional_trace(&witness, ctx.opts.sim_cycles, |n, i| {
+            input_bit(stim_seed, n, i)
+        });
+        let tau = Time::from_millis(ceil_millis(wbound).max(0) + 1);
+        let mut modes = vec![DelayMode::Max];
+        if let Some((num, den)) = ctx.opts.analysis.delay_variation {
+            modes.push(DelayMode::Scaled { num, den });
+        }
+        for mode in modes {
+            if !run_sim(ctx, &sim, tau, mode, stim_seed, &reference) {
+                return Some(Failure {
+                    oracle: "skew",
+                    detail: format!(
+                        "witness machine diverges from its functional trace at \
+                         certified-safe period {}ms under {mode:?} (witness bound {}/{}ms)",
+                        tau.millis(),
+                        wbound.num(),
+                        wbound.den()
+                    ),
+                });
+            }
+        }
+    }
+
+    // 3. Explicit zeros are an identity (zero-skew registers only —
+    // nonzero annotations are semantics and stay untouched).
+    let mut text = write_timed_bench(c);
+    let mut annotated = false;
+    for q in c.dffs() {
+        if c.dff_skew(q).expect("dff id").is_zero() {
+            text.push_str(&format!("# .skew {} 0\n", c.net_name(q)));
+            annotated = true;
+        }
+    }
+    if annotated {
+        match parse_timed_bench(&text) {
+            Ok(zeroed) => {
+                if circuit_digests(&zeroed).content != circuit_digests(c).content {
+                    return Some(Failure {
+                        oracle: "skew",
+                        detail: "explicit zero skew annotations changed the content digest".into(),
+                    });
+                }
+                ctx.stats.analyses += 1;
+                match analyze(&zeroed, &ctx.opts.analysis) {
+                    Ok(r) => {
+                        let j = report_to_json(&r).to_compact();
+                        if j != base_json {
+                            return Some(Failure {
+                                oracle: "skew",
+                                detail: format!(
+                                    "explicit zero skew annotations changed the report:\n  \
+                                     base: {base_json}\n  got:  {j}"
+                                ),
+                            });
+                        }
+                    }
+                    Err(_) => ctx.stats.analysis_errors += 1,
+                }
+            }
+            Err(e) => {
+                return Some(Failure {
+                    oracle: "skew",
+                    detail: format!("zero-skew-annotated corpus text failed to parse: {e}"),
+                })
+            }
+        }
+    }
+    ctx.stats.skew_checks += 1;
     None
 }
 

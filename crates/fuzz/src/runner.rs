@@ -191,6 +191,10 @@ impl FuzzStats {
                 "sigma_checks".into(),
                 Json::Int(self.oracle.sigma_checks as i64),
             ),
+            (
+                "skew_checks".into(),
+                Json::Int(self.oracle.skew_checks as i64),
+            ),
             ("shrink_evals".into(), Json::Int(self.shrink_evals as i64)),
             ("budget_exhausted".into(), Json::Bool(self.budget_exhausted)),
             ("failures".into(), Json::Arr(failures)),
@@ -237,6 +241,10 @@ impl FuzzStats {
         out.push_str(&format!(
             "  sigma checks    {:>8}\n",
             self.oracle.sigma_checks
+        ));
+        out.push_str(&format!(
+            "  skew checks     {:>8}\n",
+            self.oracle.skew_checks
         ));
         if self.budget_exhausted {
             out.push_str("  time budget exhausted\n");

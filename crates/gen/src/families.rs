@@ -11,6 +11,7 @@
 //! | [`unreachable_slack`] | a long path sensitized only from *unreachable* states | MCT < floating = topological (the paper's `‡` rows) |
 //! | [`comb_false_path`] | a statically false long path | MCT = floating < topological (the paper's `§` rows) |
 //! | [`deep_false_path`] | extreme unreachable slack | MCT < topological / 4 (the paper's s38584 row) |
+//! | [`skew_ring`], [`skew_pipeline`] | unbalanced loop stages whose slack moves under intentional clock skew | skew-optimal MCT < zero-skew MCT by an exact margin |
 
 use mct_netlist::{Circuit, GateKind, NetId, Time};
 use mct_prng::SmallRng;
@@ -408,6 +409,71 @@ pub fn deep_false_path() -> Circuit {
     c
 }
 
+/// The minimal machine where intentional clock skew provably beats the
+/// zero-skew minimum cycle time: a two-register ring with one slow stage
+/// (`¬q0`, delay `d_slow`) and one fast stage (`q1` buffered, `d_fast`).
+///
+/// Zero-skew, the slow stage pins the cycle time at `d_slow`. Delaying
+/// `q1`'s clock edge by `(d_slow − d_fast)/2` moves that slack to the fast
+/// stage until both effective delays equal `(d_slow + d_fast)/2` — the
+/// cycle-ratio optimum, since the loop's total delay is conserved under
+/// any skew assignment. The provable margin is `(d_slow − d_fast)/2`.
+///
+/// The circuit carries *no* annotations; the skew-optimization tier must
+/// discover the witness itself.
+///
+/// # Panics
+///
+/// Panics unless `d_fast < d_slow`.
+pub fn skew_ring(d_slow: Time, d_fast: Time) -> Circuit {
+    assert!(d_fast < d_slow, "the ring must be unbalanced");
+    let mut c = Circuit::new("skew/ring");
+    let q0 = c.add_dff("q0", false, Time::ZERO);
+    let q1 = c.add_dff("q1", false, Time::ZERO);
+    let n1 = c.add_gate("n1", GateKind::Not, &[q0], d_slow);
+    let n0 = c.add_gate("n0", GateKind::Buf, &[q1], d_fast);
+    c.connect_dff_data("q1", n1).unwrap();
+    c.connect_dff_data("q0", n0).unwrap();
+    c.set_output(q0);
+    c
+}
+
+/// A twisted pipeline loop (a Johnson counter with per-stage delays):
+/// stage `i` feeds register `i+1` through a buffer of delay
+/// `stage_delays[i]`, with the wrap-around stage inverted so the state
+/// sequence is non-trivial (period `2·stages`).
+///
+/// The loop conserves its total delay under skewing, so the skew-optimal
+/// period is the *average* stage delay (rounded up to the milli grid)
+/// while the zero-skew cycle time is pinned by the *maximum* stage delay —
+/// with unbalanced stages the margin is exactly
+/// `max(d_i) − ⌈mean(d_i)⌉_millis`. Equal stage delays make skew
+/// provably useless (the neutral control case).
+///
+/// # Panics
+///
+/// Panics if fewer than two stage delays are given.
+pub fn skew_pipeline(stage_delays: &[Time]) -> Circuit {
+    assert!(stage_delays.len() >= 2, "need at least two pipeline stages");
+    let stages = stage_delays.len();
+    let mut c = Circuit::new("skew/pipeline");
+    let qs: Vec<NetId> = (0..stages)
+        .map(|i| c.add_dff(format!("q{i}"), false, Time::ZERO))
+        .collect();
+    for (i, &d) in stage_delays.iter().enumerate() {
+        let snk = (i + 1) % stages;
+        let kind = if snk == 0 {
+            GateKind::Not
+        } else {
+            GateKind::Buf
+        };
+        let g = c.add_gate(format!("st{i}"), kind, &[qs[i]], d);
+        c.connect_dff_data(&format!("q{snk}"), g).unwrap();
+    }
+    c.set_output(qs[stages - 1]);
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +639,44 @@ mod tests {
             .map(|(i, &b)| u32::from(b) << i)
             .sum();
         assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn skew_ring_is_functionally_a_twisted_pair() {
+        let c = skew_ring(t(5.0), t(1.0));
+        assert!(c.validate().is_ok());
+        // q0,q1 walk the 4-state Johnson sequence.
+        let mut s = c.initial_state();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            seen.insert(s.clone());
+            (s, _) = c.step(&s, &[]);
+        }
+        assert_eq!(seen.len(), 4);
+        assert_eq!(s, c.initial_state());
+    }
+
+    #[test]
+    fn skew_pipeline_period_is_2n() {
+        let c = skew_pipeline(&[t(6.0), t(2.0), t(1.0)]);
+        assert!(c.validate().is_ok());
+        let mut s = c.initial_state();
+        let start = s.clone();
+        let mut period = 0;
+        loop {
+            (s, _) = c.step(&s, &[]);
+            period += 1;
+            if s == start || period > 20 {
+                break;
+            }
+        }
+        assert_eq!(period, 6, "twisted loop visits 2·stages states");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn skew_ring_rejects_balanced_delays() {
+        let _ = skew_ring(t(2.0), t(2.0));
     }
 
     #[test]

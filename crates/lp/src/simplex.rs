@@ -121,7 +121,16 @@ impl Simplex {
 
     /// Solves the program.
     pub fn solve(&self) -> LpOutcome {
-        Tableau::build(self).solve(&self.objective)
+        self.solve_counted().0
+    }
+
+    /// Solves the program and reports the number of simplex pivots
+    /// performed across both phases — the work metric surfaced by the
+    /// clock-skew optimizer's kernel counters.
+    pub fn solve_counted(&self) -> (LpOutcome, u64) {
+        let mut tableau = Tableau::build(self);
+        let outcome = tableau.solve(&self.objective);
+        (outcome, tableau.pivots)
     }
 }
 
@@ -133,6 +142,8 @@ struct Tableau {
     /// `rows[i]` has one entry per column plus the rhs in the last slot.
     rows: Vec<Vec<f64>>,
     basis: Vec<usize>,
+    /// Pivots performed across both phases.
+    pivots: u64,
 }
 
 impl Tableau {
@@ -173,6 +184,7 @@ impl Tableau {
             num_art,
             rows,
             basis,
+            pivots: 0,
         }
     }
 
@@ -203,6 +215,7 @@ impl Tableau {
     }
 
     fn pivot(&mut self, row: usize, col: usize, p: &mut [f64]) {
+        self.pivots += 1;
         let piv = self.rows[row][col];
         debug_assert!(piv.abs() > EPS);
         let inv = 1.0 / piv;
@@ -270,7 +283,7 @@ impl Tableau {
         panic!("simplex failed to converge (numerical pathology)");
     }
 
-    fn solve(mut self, objective: &[f64]) -> LpOutcome {
+    fn solve(&mut self, objective: &[f64]) -> LpOutcome {
         let total = self.total_cols();
         // Phase 1: drive artificial variables to zero.
         if self.num_art > 0 {
@@ -445,6 +458,82 @@ mod tests {
     fn objective_width_checked() {
         let mut lp = Simplex::new(2);
         lp.set_objective(&[1.0]);
+    }
+
+    /// Adds the difference constraint `x_j − x_i ≤ c` (the shape of every
+    /// setup/hold row in the clock-skew feasibility programs).
+    fn add_diff(lp: &mut Simplex, j: usize, i: usize, c: f64) {
+        let mut row = vec![0.0; lp.num_vars()];
+        row[j] = 1.0;
+        row[i] = -1.0;
+        lp.add_le(&row, c);
+    }
+
+    #[test]
+    fn skew_difference_system_feasible() {
+        // Two registers + env node (index 2 pinned by bounds to [0, 0]):
+        //   s0 − s1 ≤ −2  (setup: T − k_max = −2)
+        //   s1 − s0 ≤  4  (setup of the return path)
+        //   s1 − env ≤ 5, env − s1 ≤ 5  (|s1| bound, shifted encoding)
+        // Feasible: s0 = 0, s1 ∈ [2, 4] after shifting.
+        let mut lp = Simplex::new(3);
+        lp.set_objective(&[0.0, 0.0, 0.0]);
+        add_diff(&mut lp, 0, 1, -2.0);
+        add_diff(&mut lp, 1, 0, 4.0);
+        add_diff(&mut lp, 1, 2, 5.0);
+        add_diff(&mut lp, 2, 1, 5.0);
+        let (outcome, pivots) = lp.solve_counted();
+        let (_, x) = optimal(outcome);
+        assert!(x[1] - x[0] >= 2.0 - 1e-7, "setup row violated: {x:?}");
+        assert!(x[1] - x[0] <= 4.0 + 1e-7);
+        assert!(pivots > 0, "a feasibility pass must pivot at least once");
+    }
+
+    #[test]
+    fn skew_negative_cycle_infeasible() {
+        // s1 − s0 ≤ −3 together with s0 − s1 ≤ 1 sums to a −2 cycle: the
+        // period is too short for any skew assignment.
+        let mut lp = Simplex::new(2);
+        add_diff(&mut lp, 1, 0, -3.0);
+        add_diff(&mut lp, 0, 1, 1.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn skew_without_bounds_unbounded() {
+        // Hold rows alone never cap the skews from above: maximizing a skew
+        // with only s0 − s1 ≤ 0 runs away. The optimizer always adds the
+        // |s_i| ≤ B bound rows precisely to rule this out.
+        let mut lp = Simplex::new(2);
+        lp.set_objective(&[0.0, 1.0]);
+        add_diff(&mut lp, 0, 1, 0.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+        let mut bounded = Simplex::new(2);
+        bounded.set_objective(&[0.0, 1.0]);
+        add_diff(&mut bounded, 0, 1, 0.0);
+        bounded.add_bounds(0, 0.0, 6.0);
+        bounded.add_bounds(1, 0.0, 6.0);
+        let (value, _) = optimal(bounded.solve());
+        assert!((value - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn skew_degenerate_equality_cycle_terminates() {
+        // A zero-weight cycle forces s1 − s0 = 2 exactly; stating it through
+        // four redundant rows makes the optimum degenerate (several bases
+        // describe the same vertex). Bland's rule must still terminate.
+        let mut lp = Simplex::new(2);
+        lp.set_objective(&[1.0, 1.0]);
+        add_diff(&mut lp, 1, 0, 2.0);
+        add_diff(&mut lp, 0, 1, -2.0);
+        add_diff(&mut lp, 1, 0, 2.0);
+        add_diff(&mut lp, 0, 1, -2.0);
+        lp.add_bounds(1, 0.0, 5.0);
+        let (outcome, pivots) = lp.solve_counted();
+        let (value, x) = optimal(outcome);
+        assert!((x[1] - x[0] - 2.0).abs() < 1e-7, "cycle not tight: {x:?}");
+        assert!((value - 8.0).abs() < 1e-7, "expected s = (3, 5), got {x:?}");
+        assert!(pivots > 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::delay_model::DelayModel;
 use crate::error::NetlistError;
 use crate::gate::GateKind;
 use crate::Node;
+use crate::Time;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -245,8 +246,60 @@ pub fn parse_bench(text: &str, model: &DelayModel) -> Result<Circuit, NetlistErr
             _ => {}
         }
     }
+    apply_skew_annotations(text, &mut circuit)?;
     circuit.validate()?;
     Ok(circuit)
+}
+
+/// Applies `# .skew <dff> <millis>` comment annotations (the timing
+/// side-channel of the otherwise untimed format) onto a parsed circuit.
+///
+/// Lines that are not skew annotations are ignored; unknown names and
+/// malformed offsets are parse errors so annotated repro files fail loudly
+/// instead of silently analyzing the wrong clock tree.
+pub(crate) fn apply_skew_annotations(
+    text: &str,
+    circuit: &mut Circuit,
+) -> Result<(), NetlistError> {
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix("# .skew ") else {
+            continue;
+        };
+        let err = |msg: String| NetlistError::Parse {
+            line: i + 1,
+            message: msg,
+        };
+        let mut parts = rest.split_whitespace();
+        let (Some(name), Some(millis), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(err("expected `# .skew <dff> <millis>`".to_owned()));
+        };
+        let millis: i64 = millis
+            .parse()
+            .map_err(|_| err(format!("bad skew offset `{millis}`")))?;
+        let id = circuit
+            .lookup(name)
+            .ok_or_else(|| NetlistError::UnknownName(name.to_owned()))?;
+        circuit
+            .set_dff_skew(id, Time::from_millis(millis))
+            .map_err(|_| err(format!("`.skew` target `{name}` is not a flip-flop")))?;
+    }
+    Ok(())
+}
+
+/// Renders the `# .skew` annotation lines of a circuit (nonzero skews only,
+/// in flip-flop declaration order), for writers that re-emit annotated
+/// benches. Returns the empty string for skew-free circuits.
+pub fn write_skew_annotations(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    for id in circuit.dffs() {
+        if let Node::Dff { name, skew, .. } = circuit.node(id) {
+            if !skew.is_zero() {
+                let _ = writeln!(out, "# .skew {} {}", name, skew.millis());
+            }
+        }
+    }
+    out
 }
 
 /// Renders a circuit back to `.bench` text (delays are not representable in
@@ -284,6 +337,7 @@ pub fn write_bench(circuit: &Circuit) -> String {
             Node::Input { .. } => {}
         }
     }
+    out.push_str(&write_skew_annotations(circuit));
     out
 }
 

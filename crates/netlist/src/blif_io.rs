@@ -285,6 +285,7 @@ pub fn parse_blif(text: &str, model: &DelayModel) -> Result<Circuit, NetlistErro
             .ok_or_else(|| NetlistError::UnknownName(name.clone()))?;
         circuit.set_output(id);
     }
+    crate::bench_io::apply_skew_annotations(text, &mut circuit)?;
     circuit.validate()?;
     Ok(circuit)
 }
@@ -520,6 +521,7 @@ pub fn write_blif(circuit: &Circuit) -> String {
             }
         }
     }
+    out.push_str(&crate::bench_io::write_skew_annotations(circuit));
     out.push_str(".end\n");
     out
 }

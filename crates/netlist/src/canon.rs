@@ -194,12 +194,18 @@ pub fn circuit_digests(circuit: &Circuit) -> CircuitDigests {
                 input_pos += 1;
             }
             Node::Dff {
-                init, clock_to_q, ..
+                init,
+                clock_to_q,
+                skew,
+                ..
             } => {
-                labels[id.index()] = Label::of(
-                    TAG_DFF,
-                    &[*init as u64, clock_to_q.millis() as u64, scc_at[id.index()]],
-                );
+                // The skew word participates only when nonzero so every
+                // skew-free circuit keeps its pre-skew digest.
+                let mut words = vec![*init as u64, clock_to_q.millis() as u64, scc_at[id.index()]];
+                if !skew.is_zero() {
+                    words.push(skew.millis() as u64);
+                }
+                labels[id.index()] = Label::of(TAG_DFF, &words);
             }
             Node::Gate { .. } => {}
         }
@@ -254,20 +260,22 @@ pub fn circuit_digests(circuit: &Circuit) -> CircuitDigests {
                 init,
                 clock_to_q,
                 data,
+                skew,
                 ..
             } = circuit.node(id)
             {
                 let data_label = data.map(|d| labels[d.index()]).unwrap_or_default();
-                let next = Label::of(
-                    TAG_DFF,
-                    &[
-                        *init as u64,
-                        clock_to_q.millis() as u64,
-                        scc_at[id.index()],
-                        data_label.0[0],
-                        data_label.0[1],
-                    ],
-                );
+                let mut words = vec![
+                    *init as u64,
+                    clock_to_q.millis() as u64,
+                    scc_at[id.index()],
+                    data_label.0[0],
+                    data_label.0[1],
+                ];
+                if !skew.is_zero() {
+                    words.push(skew.millis() as u64);
+                }
+                let next = Label::of(TAG_DFF, &words);
                 next_labels.push((id.index(), next));
             }
         }

@@ -49,6 +49,9 @@ pub enum Node {
         init: bool,
         /// Clock-to-Q propagation delay.
         clock_to_q: Time,
+        /// Intentional clock skew: this register samples at `kT + skew`
+        /// instead of the nominal edge `kT` (zero for the common clock).
+        skew: Time,
     },
 }
 
@@ -248,6 +251,7 @@ impl Circuit {
             data: None,
             init,
             clock_to_q,
+            skew: Time::ZERO,
         })
     }
 
@@ -326,6 +330,41 @@ impl Circuit {
             }
             other => Err(NetlistError::WrongNodeKind(other.name().to_owned())),
         }
+    }
+
+    /// Replaces the intentional clock skew of a flip-flop: the register
+    /// samples at `kT + skew` instead of the nominal edge.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WrongNodeKind`] if `net` is not a flip-flop.
+    pub fn set_dff_skew(&mut self, net: NetId, value: Time) -> Result<(), NetlistError> {
+        match &mut self.nodes[net.index()] {
+            Node::Dff { skew, .. } => {
+                *skew = value;
+                Ok(())
+            }
+            other => Err(NetlistError::WrongNodeKind(other.name().to_owned())),
+        }
+    }
+
+    /// The intentional clock skew of a flip-flop (zero unless annotated).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::WrongNodeKind`] if `net` is not a flip-flop.
+    pub fn dff_skew(&self, net: NetId) -> Result<Time, NetlistError> {
+        match &self.nodes[net.index()] {
+            Node::Dff { skew, .. } => Ok(*skew),
+            other => Err(NetlistError::WrongNodeKind(other.name().to_owned())),
+        }
+    }
+
+    /// Whether any flip-flop carries a nonzero clock-skew annotation.
+    pub fn has_skew(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(n, Node::Dff { skew, .. } if !skew.is_zero()))
     }
 
     /// Replaces the power-on value of a flip-flop.

@@ -234,8 +234,13 @@ pub fn decompose(parent: &Circuit) -> Vec<Cone> {
                     name,
                     init,
                     clock_to_q,
+                    skew,
                     ..
-                } => sliced.add_dff(name.clone(), *init, *clock_to_q),
+                } => {
+                    let q = sliced.add_dff(name.clone(), *init, *clock_to_q);
+                    sliced.set_dff_skew(q, *skew).expect("just added");
+                    q
+                }
                 Node::Gate {
                     name,
                     kind,

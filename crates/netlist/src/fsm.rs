@@ -141,6 +141,49 @@ impl<'c> FsmView<'c> {
         }
     }
 
+    /// The intentional clock skew of leaf `index`'s source register (zero
+    /// for primary inputs, which stay synchronized to the nominal edge).
+    ///
+    /// A leaf sampled at `kT + s_j` launches its value `s_j` later than the
+    /// nominal edge, so every path from it gains `+s_j` of effective delay.
+    pub fn leaf_skew(&self, index: usize) -> Time {
+        if !self.is_state_leaf(index) {
+            return Time::ZERO;
+        }
+        match self.circuit.node(self.leaves[index]) {
+            Node::Dff { skew, .. } => *skew,
+            _ => unreachable!("state leaf is a dff"),
+        }
+    }
+
+    /// Whether any register of the circuit carries a nonzero skew.
+    pub fn has_skew(&self) -> bool {
+        self.circuit.has_skew()
+    }
+
+    /// The skew offset of one sink's *capturing* clock, in milli-units: a
+    /// next-state sink is sampled by its register at `kT + s_i` (offset
+    /// `s_i`), an output sink by the environment at the nominal edge
+    /// (offset zero).
+    pub fn sink_skew_millis(&self, sink: &Sink) -> i64 {
+        match sink.kind {
+            SinkKind::NextState { index } => self.leaf_skew(index).millis(),
+            SinkKind::Output { .. } => 0,
+        }
+    }
+
+    /// The skew-adjusted extraction start accumulators, one per sink in
+    /// [`sinks`](Self::sinks) order: `(net, -capture_skew_millis)`. Walking
+    /// a cone from this start and adding the leaf skew at each leaf yields
+    /// the *effective* path delay `k + s_j - s_i` that the skewed register
+    /// model discretizes.
+    pub fn sink_starts(&self) -> Vec<(NetId, i64)> {
+        self.sinks
+            .iter()
+            .map(|s| (s.net, -self.sink_skew_millis(s)))
+            .collect()
+    }
+
     /// The combinational sinks: next-state functions first, then outputs.
     pub fn sinks(&self) -> &[Sink] {
         &self.sinks

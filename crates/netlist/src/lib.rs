@@ -56,7 +56,7 @@ mod fsm;
 mod gate;
 mod time;
 
-pub use bench_io::{parse_bench, write_bench, MAX_PARSE_FANIN};
+pub use bench_io::{parse_bench, write_bench, write_skew_annotations, MAX_PARSE_FANIN};
 pub use blif_io::{parse_blif, write_blif};
 pub use canon::{canonical_hash, circuit_digests, CanonicalHash, CircuitDigests};
 pub use circuit::{Circuit, CircuitStats, NetId, Node};

@@ -19,8 +19,8 @@
 //! complete) report, so neither should split the cache.
 
 use mct_core::{
-    DecisionOutcome, MctOptions, MctReport, ReorderSchedule, SigmaStrategy, ValidityRegion,
-    VarOrder,
+    DecisionOutcome, MctOptions, MctReport, ReorderSchedule, SigmaStrategy, SkewReport,
+    ValidityRegion, VarOrder,
 };
 use mct_lp::Rat;
 
@@ -89,7 +89,58 @@ pub fn report_to_json(report: &MctReport) -> Json {
         })
         .collect();
     fields.push(("regions".into(), Json::Arr(regions)));
+    // The skew tier's attachment is emitted only when the tier ran, so
+    // skew-free reports stay byte-identical to their pre-skew encodings.
+    if let Some(s) = &report.skew {
+        fields.push((
+            "skew".into(),
+            Json::Obj(vec![
+                (
+                    "zero_skew_bound".into(),
+                    Json::Arr(vec![
+                        Json::Int(s.zero_skew_bound.num()),
+                        Json::Int(s.zero_skew_bound.den()),
+                    ]),
+                ),
+                (
+                    "optimal_bound".into(),
+                    Json::Arr(vec![
+                        Json::Int(s.optimal_bound.num()),
+                        Json::Int(s.optimal_bound.den()),
+                    ]),
+                ),
+                ("lp_period_millis".into(), Json::Int(s.lp_period_millis)),
+                (
+                    "witness_millis".into(),
+                    Json::Arr(s.witness_millis.iter().map(|&w| Json::Int(w)).collect()),
+                ),
+                ("improved".into(), Json::Bool(s.improved)),
+                ("skew_bound_millis".into(), Json::Int(s.skew_bound_millis)),
+            ]),
+        ));
+    }
     Json::Obj(fields)
+}
+
+fn skew_from_json(value: &Json) -> Option<SkewReport> {
+    let [zn, zd] = value.get("zero_skew_bound")?.as_arr()? else {
+        return None;
+    };
+    let [on, od] = value.get("optimal_bound")?.as_arr()? else {
+        return None;
+    };
+    let mut witness = Vec::new();
+    for w in value.get("witness_millis")?.as_arr()? {
+        witness.push(w.as_i64()?);
+    }
+    Some(SkewReport {
+        zero_skew_bound: Rat::new(zn.as_i64()?, zd.as_i64()?),
+        optimal_bound: Rat::new(on.as_i64()?, od.as_i64()?),
+        lp_period_millis: value.get("lp_period_millis")?.as_i64()?,
+        witness_millis: witness,
+        improved: value.get("improved")?.as_bool()?,
+        skew_bound_millis: value.get("skew_bound_millis")?.as_i64()?,
+    })
 }
 
 /// Decodes a report previously encoded by [`report_to_json`].
@@ -127,6 +178,10 @@ pub fn report_from_json(value: &Json) -> Option<MctReport> {
         exhausted: value.get("exhausted")?.as_bool()?,
         timed_out: value.get("timed_out")?.as_bool()?,
         regions,
+        skew: match value.get("skew") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(skew_from_json(v)?),
+        },
         // Kernel diagnostics are per-run and not serialized.
         kernel: Default::default(),
     })
@@ -212,6 +267,8 @@ pub fn options_to_json(opts: &MctOptions) -> Json {
         ),
         ("num_threads".into(), Json::Int(opts.num_threads as i64)),
         ("decompose".into(), Json::Bool(opts.decompose)),
+        ("skew".into(), Json::Bool(opts.skew)),
+        ("skew_bound".into(), opt_float(opts.skew_bound)),
         (
             "ordering".into(),
             Json::Str(
@@ -354,6 +411,15 @@ pub fn options_overlay(base: &MctOptions, value: &Json) -> Result<MctOptions, St
             "decompose" => {
                 opts.decompose = v.as_bool().ok_or("decompose must be a bool")?;
             }
+            "skew" => {
+                opts.skew = v.as_bool().ok_or("skew must be a bool")?;
+            }
+            "skew_bound" => {
+                opts.skew_bound = match v {
+                    Json::Null => None,
+                    other => Some(other.as_f64().ok_or("skew_bound must be a number")?),
+                };
+            }
             "ordering" => {
                 opts.ordering = match v.as_str() {
                     Some("alloc") => VarOrder::Alloc,
@@ -401,6 +467,12 @@ fn usize_field(v: &Json, name: &str) -> Result<usize, String> {
 /// `reorder_schedule` (like `ordering`, schedules only decide *when* the
 /// kernel sifts — node counts and wall time change, the report never
 /// does).
+///
+/// Deliberately *included*, unlike the knobs above: `skew` and
+/// `skew_bound`. The skew-optimization tier appends a `skew` object to
+/// the report, so runs with and without it (or with different magnitude
+/// caps) are semantically different results and must not share a cache
+/// slot.
 pub fn options_fingerprint(opts: &MctOptions) -> u64 {
     let mut h: u64 = 0x6d63_745f_6f70_7473; // "mct_opts"
     let mut fold = |v: u64| h = mix64(h ^ mix64(v));
@@ -427,6 +499,14 @@ pub fn options_fingerprint(opts: &MctOptions) -> u64 {
     fold(opts.cone_node_limit as u64);
     fold(opts.exact_check as u64);
     fold(opts.max_product_bits as u64);
+    fold(opts.skew as u64);
+    match opts.skew_bound {
+        None => fold(0),
+        Some(b) => {
+            fold(1);
+            fold(b.to_bits());
+        }
+    }
     h
 }
 
@@ -469,6 +549,7 @@ mod tests {
                     valid: false,
                 },
             ],
+            skew: None,
             kernel: Default::default(),
         }
     }
@@ -481,6 +562,28 @@ mod tests {
         let back = report_from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(format!("{report:?}"), format!("{back:?}"));
         // A second emit is byte-identical — the bit-identical replay path.
+        assert_eq!(report_to_json(&back).to_compact(), text);
+    }
+
+    #[test]
+    fn skewed_report_roundtrips_and_skew_free_encoding_is_unchanged() {
+        let mut report = sample_report();
+        let baseline = report_to_json(&report).to_compact();
+        // A skew-free report must not mention skew at all (pre-skew
+        // byte-identity).
+        assert!(!baseline.contains("skew"));
+        report.skew = Some(SkewReport {
+            zero_skew_bound: Rat::new(5000, 1),
+            optimal_bound: Rat::new(3000, 1),
+            lp_period_millis: 3000,
+            witness_millis: vec![0, 2000],
+            improved: true,
+            skew_bound_millis: 4000,
+        });
+        let json = report_to_json(&report);
+        let text = json.to_compact();
+        let back = report_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(format!("{report:?}"), format!("{back:?}"));
         assert_eq!(report_to_json(&back).to_compact(), text);
     }
 
@@ -551,6 +654,8 @@ mod tests {
             ordering: VarOrder::Sift,
             sigma: SigmaStrategy::Flat,
             reorder_schedule: ReorderSchedule::TimeBudget(75),
+            skew: true,
+            skew_bound: Some(2.5),
             ..MctOptions::default()
         };
         let json = options_to_json(&opts);
@@ -643,6 +748,15 @@ mod tests {
             },
             MctOptions {
                 max_product_bits: 13,
+                ..base.clone()
+            },
+            MctOptions {
+                skew: true,
+                ..base.clone()
+            },
+            MctOptions {
+                skew: true,
+                skew_bound: Some(1.5),
                 ..base.clone()
             },
         ];

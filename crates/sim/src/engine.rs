@@ -163,6 +163,11 @@ pub struct Simulator<'c> {
 
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 enum EventKind {
+    /// Capture a flip-flop's data pin (its skewed clock edge). Ordered
+    /// before same-instant forcings and evaluations so the capture reads
+    /// the pre-edge value, exactly like the left-open sampling of the TBF
+    /// register model.
+    Sample,
     /// Force a net to a value (flip-flop outputs, primary inputs).
     Set(bool),
     /// Re-evaluate a gate from its delayed input views.
@@ -226,6 +231,12 @@ impl<'c> Simulator<'c> {
             .collect();
         let is_d_net: HashMap<NetId, usize> =
             d_nets.iter().enumerate().map(|(j, &n)| (n, j)).collect();
+        let skews: Vec<Time> = dff_ids
+            .iter()
+            .map(|&id| circuit.dff_skew(id).expect("validated dff"))
+            .collect();
+        let dff_ix: HashMap<NetId, usize> =
+            dff_ids.iter().enumerate().map(|(j, &n)| (n, j)).collect();
 
         // Settled initial condition: registers at their init values, inputs
         // at their cycle-0 values, combinational logic at the zero-delay
@@ -240,19 +251,36 @@ impl<'c> Simulator<'c> {
         let settled = circuit.eval(|id| leaf_vals[&id]);
         let mut history: Vec<History> = settled.iter().map(|&v| History::new(v)).collect();
 
-        // Event queue ordered by (time, kind, sequence): value forcings
-        // apply before gate evaluations at the same instant so zero-delay
-        // pins observe them.
+        // Event queue ordered by (time, kind, sequence): captures read
+        // pre-edge values before same-instant forcings, and forcings apply
+        // before gate evaluations so zero-delay pins observe them.
         let mut queue: BinaryHeap<Reverse<(Time, EventKind, u64, NetId)>> = BinaryHeap::new();
         let mut seq = 0u64;
 
         let mut trace = SimTrace {
-            states: Vec::with_capacity(config.cycles),
+            states: vec![vec![false; dff_ids.len()]; config.cycles],
             outputs: Vec::with_capacity(config.cycles),
             violations: Vec::new(),
             events_processed: 0,
         };
-        let mut last_edge = Time::from_millis(i64::MIN / 4);
+        // Per-register capture bookkeeping: register j samples edge n at
+        // `n·period + s_j`, so with nonzero skews the captures interleave
+        // arbitrarily with the nominal edges — they live in the event queue
+        // like everything else. All capture instants are known upfront.
+        let mut last_sample: Vec<Time> = vec![Time::from_millis(i64::MIN / 4); dff_ids.len()];
+        let mut next_sample: Vec<usize> = vec![0; dff_ids.len()];
+        let mut samples_left = dff_ids.len() * config.cycles;
+        for edge in 1..=config.cycles {
+            for (j, &id) in dff_ids.iter().enumerate() {
+                queue.push(Reverse((
+                    config.period * edge as i64 + skews[j],
+                    EventKind::Sample,
+                    seq,
+                    id,
+                )));
+                seq += 1;
+            }
+        }
 
         // The evaluation instants a change on `net` at time `t` can affect.
         let schedule_fanout_evals =
@@ -292,17 +320,19 @@ impl<'c> Simulator<'c> {
                               net: NetId,
                               t: Time,
                               value: bool,
-                              last_edge: Time| {
+                              last_sample: &[Time],
+                              next_sample: &[usize]| {
             if !history[net.index()].record(t, value) {
                 return;
             }
-            // Hold check on flip-flop data nets.
+            // Hold check on flip-flop data nets, against the flip-flop's
+            // own (skewed) most recent capture instant.
             if let Some(&j) = is_d_net.get(&net) {
-                if !config.hold.is_zero() && t - last_edge < config.hold && !trace.states.is_empty()
+                if !config.hold.is_zero() && next_sample[j] > 0 && t - last_sample[j] < config.hold
                 {
                     trace.violations.push(TimingViolation {
                         flip_flop: circuit.net_name(dff_ids[j]).to_owned(),
-                        edge: trace.states.len(),
+                        edge: next_sample[j],
                         at: t,
                         is_setup: false,
                     });
@@ -311,77 +341,117 @@ impl<'c> Simulator<'c> {
             schedule_fanout_evals(queue, seq, &self.fanouts[net.index()], t);
         };
 
+        let deliver = |t: Time,
+                       kind: EventKind,
+                       net: NetId,
+                       history: &mut Vec<History>,
+                       queue: &mut BinaryHeap<Reverse<(Time, EventKind, u64, NetId)>>,
+                       seq: &mut u64,
+                       trace: &mut SimTrace,
+                       last_sample: &mut [Time],
+                       next_sample: &mut [usize],
+                       samples_left: &mut usize| {
+            match kind {
+                EventKind::Sample => {
+                    let j = dff_ix[&net];
+                    let d = d_nets[j];
+                    let v = history[d.index()].current();
+                    let edge = next_sample[j] + 1;
+                    trace.states[edge - 1][j] = v;
+                    if !config.setup.is_zero() {
+                        if let Some(lc) = history[d.index()].last_change() {
+                            if t - lc < config.setup {
+                                trace.violations.push(TimingViolation {
+                                    flip_flop: circuit.net_name(dff_ids[j]).to_owned(),
+                                    edge,
+                                    at: lc,
+                                    is_setup: true,
+                                });
+                            }
+                        }
+                    }
+                    next_sample[j] = edge;
+                    last_sample[j] = t;
+                    *samples_left -= 1;
+                    // Launch the captured value from the register's own
+                    // (skewed) edge.
+                    queue.push(Reverse((t + clk2q[j], EventKind::Set(v), *seq, net)));
+                    *seq += 1;
+                }
+                EventKind::Set(v) => {
+                    trace.events_processed += 1;
+                    process_change(
+                        history,
+                        queue,
+                        seq,
+                        trace,
+                        net,
+                        t,
+                        v,
+                        last_sample,
+                        next_sample,
+                    );
+                }
+                EventKind::Eval => {
+                    trace.events_processed += 1;
+                    if let Node::Gate {
+                        kind: gk,
+                        inputs: gins,
+                        ..
+                    } = circuit.node(net)
+                    {
+                        let vals: Vec<bool> = gins
+                            .iter()
+                            .enumerate()
+                            .map(|(pin, &inp)| {
+                                let (rise, fall) = delays.pins[net.index()][pin];
+                                pin_view(history, inp, rise, fall, t)
+                            })
+                            .collect();
+                        let out = gk.eval(&vals);
+                        process_change(
+                            history,
+                            queue,
+                            seq,
+                            trace,
+                            net,
+                            t,
+                            out,
+                            last_sample,
+                            next_sample,
+                        );
+                    }
+                }
+            }
+        };
+
         for edge in 1..=config.cycles {
             let t_edge = config.period * edge as i64;
-            // Deliver every event strictly before the edge.
+            // Deliver every event strictly before this nominal edge —
+            // including the captures of negatively skewed registers, which
+            // precede it.
             while let Some(&Reverse((t, kind, _, net))) = queue.peek() {
                 if t >= t_edge {
                     break;
                 }
                 queue.pop();
-                trace.events_processed += 1;
-                match kind {
-                    EventKind::Set(v) => {
-                        process_change(
-                            &mut history,
-                            &mut queue,
-                            &mut seq,
-                            &mut trace,
-                            net,
-                            t,
-                            v,
-                            last_edge,
-                        );
-                    }
-                    EventKind::Eval => {
-                        if let Node::Gate {
-                            kind: gk,
-                            inputs: gins,
-                            ..
-                        } = circuit.node(net)
-                        {
-                            let vals: Vec<bool> = gins
-                                .iter()
-                                .enumerate()
-                                .map(|(pin, &inp)| {
-                                    let (rise, fall) = delays.pins[net.index()][pin];
-                                    pin_view(&history, inp, rise, fall, t)
-                                })
-                                .collect();
-                            let out = gk.eval(&vals);
-                            process_change(
-                                &mut history,
-                                &mut queue,
-                                &mut seq,
-                                &mut trace,
-                                net,
-                                t,
-                                out,
-                                last_edge,
-                            );
-                        }
-                    }
-                }
+                deliver(
+                    t,
+                    kind,
+                    net,
+                    &mut history,
+                    &mut queue,
+                    &mut seq,
+                    &mut trace,
+                    &mut last_sample,
+                    &mut next_sample,
+                    &mut samples_left,
+                );
             }
-            // Sample registers and outputs with pre-edge values.
-            let sampled: Vec<bool> = d_nets
-                .iter()
-                .map(|d| history[d.index()].current())
-                .collect();
-            if !config.setup.is_zero() {
-                for (j, d) in d_nets.iter().enumerate() {
-                    if let Some(lc) = history[d.index()].last_change() {
-                        if t_edge - lc < config.setup {
-                            trace.violations.push(TimingViolation {
-                                flip_flop: circuit.net_name(dff_ids[j]).to_owned(),
-                                edge,
-                                at: lc,
-                                is_setup: true,
-                            });
-                        }
-                    }
-                }
-            }
+            // Primary outputs are environment-clocked: sampled at the
+            // nominal edge with pre-edge values (captures at exactly the
+            // edge are ordered first in the queue, so they are still
+            // pending here and cannot contaminate the reading).
             trace.outputs.push(
                 circuit
                     .outputs()
@@ -389,22 +459,28 @@ impl<'c> Simulator<'c> {
                     .map(|o| history[o.index()].current())
                     .collect(),
             );
-            trace.states.push(sampled.clone());
-            last_edge = t_edge;
-            // Launch register outputs and the next input vector.
-            for (j, &newv) in sampled.iter().enumerate() {
-                queue.push(Reverse((
-                    t_edge + clk2q[j],
-                    EventKind::Set(newv),
-                    seq,
-                    dff_ids[j],
-                )));
-                seq += 1;
-            }
+            // Apply the next input vector at the nominal edge.
             for (i, &id) in input_ids.iter().enumerate() {
                 queue.push(Reverse((t_edge, EventKind::Set(inputs(edge, i)), seq, id)));
                 seq += 1;
             }
+        }
+        // Zero or positively skewed registers still have captures at or
+        // past the last nominal edge: drain until every capture happened.
+        while samples_left > 0 {
+            let Reverse((t, kind, _, net)) = queue.pop().expect("captures pending");
+            deliver(
+                t,
+                kind,
+                net,
+                &mut history,
+                &mut queue,
+                &mut seq,
+                &mut trace,
+                &mut last_sample,
+                &mut next_sample,
+                &mut samples_left,
+            );
         }
         let waves = circuit
             .iter()
@@ -594,6 +670,106 @@ mod tests {
         let config = SimConfig::at_period(t(3.0)).with_cycles(4);
         let trace = sim.run(&config, |_, _| false);
         assert!(trace.events_processed > 0);
+    }
+
+    /// Ring q0 −(NOT, 5)→ q1 −(BUF, 1)→ q0 with an optional +2.0 skew on
+    /// q1: the zero-skew MCT is 5, the skew-optimal MCT is 3.
+    fn skewable_ring(skew_q1: bool) -> Circuit {
+        let mut c = Circuit::new("ring");
+        let q0 = c.add_dff("q0", false, Time::ZERO);
+        let q1 = c.add_dff("q1", false, Time::ZERO);
+        let n1 = c.add_gate("n1", GateKind::Not, &[q0], t(5.0));
+        let n0 = c.add_gate("n0", GateKind::Buf, &[q1], t(1.0));
+        c.connect_dff_data("q1", n1).unwrap();
+        c.connect_dff_data("q0", n0).unwrap();
+        c.set_output(q0);
+        if skew_q1 {
+            c.set_dff_skew(q1, t(2.0)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn skewed_ring_correct_below_zero_skew_mct() {
+        // At τ = 3.5 the unskewed ring breaks (⌈5/3.5⌉ = 2), but delaying
+        // q1's edge by 2.0 balances both paths at effective delay 3 and the
+        // sampled behaviour tracks the functional machine exactly. (τ sits
+        // strictly above the skew-optimal MCT 3: like the symbolic model's
+        // ⌈k/τ⌉, a delay exactly equal to the period is the boundary case,
+        // and the engine's strictly-pre-edge sampling resolves it to the
+        // safe side.)
+        let plain = skewable_ring(false);
+        let sim = Simulator::new(&plain).unwrap();
+        let config = SimConfig::at_period(t(3.5)).with_cycles(12);
+        let trace = sim.run(&config, |_, _| false);
+        let (states, _) = functional_trace(&plain, 12, |_, _| false);
+        assert!(
+            trace.first_divergence(&states).is_some(),
+            "zero skew should fail at τ = 3.5: {trace:?}"
+        );
+
+        let skewed = skewable_ring(true);
+        let sim = Simulator::new(&skewed).unwrap();
+        let trace = sim.run(&config, |_, _| false);
+        let (states, outputs) = functional_trace(&skewed, 12, |_, _| false);
+        assert!(trace.matches(&states, &outputs), "{trace:?}");
+    }
+
+    #[test]
+    fn skewed_ring_still_correct_at_slow_period() {
+        // Skew must not perturb the settled behaviour at a generous period.
+        let skewed = skewable_ring(true);
+        let sim = Simulator::new(&skewed).unwrap();
+        let config = SimConfig::at_period(t(10.0)).with_cycles(10);
+        let trace = sim.run(&config, |_, _| false);
+        let (states, outputs) = functional_trace(&skewed, 10, |_, _| false);
+        assert!(trace.matches(&states, &outputs), "{trace:?}");
+    }
+
+    #[test]
+    fn zero_skew_annotations_match_unannotated_run() {
+        // Explicit zero annotations are the identity: the whole trace
+        // (values, violations, event count) is equal.
+        let mut annotated = figure2();
+        let f = annotated.lookup("f").unwrap();
+        annotated.set_dff_skew(f, Time::ZERO).unwrap();
+        let plain = figure2();
+        let config = SimConfig::at_period(t(2.6))
+            .with_cycles(16)
+            .with_setup_hold(t(0.1), t(0.05));
+        let a = Simulator::new(&plain).unwrap().run(&config, |_, _| false);
+        let b = Simulator::new(&annotated)
+            .unwrap()
+            .run(&config, |_, _| false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skewed_setup_check_uses_skewed_edge() {
+        // q0 −(NOT, 1.9)→ q1 at period 2.0, setup 0.2: data reaches q1's
+        // pin 0.1 before its nominal edge — a violation. Delaying q1's
+        // edge by 0.5 (a *different* register than the launching q0, so
+        // the skew does not cancel) widens the margin to 0.6.
+        let mut c = Circuit::new("tight");
+        let q0 = c.add_dff("q0", false, Time::ZERO);
+        let q1 = c.add_dff("q1", false, Time::ZERO);
+        let n1 = c.add_gate("n1", GateKind::Not, &[q0], t(1.9));
+        let n0 = c.add_gate("n0", GateKind::Not, &[q1], t(0.3));
+        c.connect_dff_data("q1", n1).unwrap();
+        c.connect_dff_data("q0", n0).unwrap();
+        c.set_output(q1);
+        let config = SimConfig::at_period(t(2.0))
+            .with_cycles(6)
+            .with_setup_hold(t(0.2), Time::ZERO);
+        let plain = Simulator::new(&c).unwrap().run(&config, |_, _| false);
+        assert!(plain.violations.iter().any(|v| v.flip_flop == "q1"));
+        c.set_dff_skew(q1, t(0.5)).unwrap();
+        let skewed = Simulator::new(&c).unwrap().run(&config, |_, _| false);
+        assert!(
+            !skewed.violations.iter().any(|v| v.flip_flop == "q1"),
+            "{:?}",
+            skewed.violations
+        );
     }
 
     #[test]

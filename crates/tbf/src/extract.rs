@@ -86,7 +86,15 @@ pub struct DelayClass {
     /// Dense leaf index (flip-flop or primary input).
     pub leaf: usize,
     /// Total path delay in milli-units, including the source clock-to-Q.
+    /// Under skewed extraction this is the *effective* delay
+    /// `k + s_leaf − s_sink`, the argument the register model discretizes.
     pub delay: i64,
+    /// The clock-skew constant folded into [`delay`](Self::delay)
+    /// (`s_leaf − s_sink`), zero for unskewed analyses. Delay variation
+    /// scales only the physical portion `delay − skew_offset`; when the same
+    /// `(leaf, delay)` pair is reachable under several offsets the smallest
+    /// is kept (widest variation interval — conservative and deterministic).
+    pub skew_offset: i64,
     /// A representative path realizing the delay, sink-to-leaf order.
     pub path: Vec<PathEdge>,
 }
@@ -167,15 +175,49 @@ impl<'c> ConeExtractor<'c> {
         sinks: &[NetId],
         policy: &mut P,
     ) -> Result<Vec<Bdd>, TbfError> {
+        let starts: Vec<(NetId, i64)> = sinks.iter().map(|&s| (s, 0)).collect();
+        self.extract_inner(manager, table, &starts, policy, false)
+    }
+
+    /// Skew-aware variant of [`extract`](Self::extract): each sink comes
+    /// with a start accumulator (normally `-s_sink`, see
+    /// [`FsmView::sink_starts`]), and each leaf adds its own skew `+s_leaf`
+    /// on top of the clock-to-Q, so the policy observes the *effective*
+    /// path delay `k + s_leaf − s_sink` of the skewed register model. With
+    /// all-zero skews this is arithmetically identical to `extract` (same
+    /// memo keys, same BDDs).
+    ///
+    /// # Errors
+    ///
+    /// [`TbfError::ConeExplosion`] under the same conditions as
+    /// [`extract`](Self::extract).
+    pub fn extract_at<P: LeafPolicy + ?Sized>(
+        &self,
+        manager: &mut BddManager,
+        table: &mut TimedVarTable,
+        starts: &[(NetId, i64)],
+        policy: &mut P,
+    ) -> Result<Vec<Bdd>, TbfError> {
+        self.extract_inner(manager, table, starts, policy, true)
+    }
+
+    fn extract_inner<P: LeafPolicy + ?Sized>(
+        &self,
+        manager: &mut BddManager,
+        table: &mut TimedVarTable,
+        starts: &[(NetId, i64)],
+        policy: &mut P,
+        skewed: bool,
+    ) -> Result<Vec<Bdd>, TbfError> {
         let circuit = self.view.circuit();
         let mut memo: HashMap<(NetId, i64), Bdd> = HashMap::new();
         enum Frame {
             Enter(NetId, i64),
             Exit(NetId, i64),
         }
-        let mut results = Vec::with_capacity(sinks.len());
-        for &sink in sinks {
-            let mut stack = vec![Frame::Enter(sink, 0)];
+        let mut results = Vec::with_capacity(starts.len());
+        for &(sink, start) in starts {
+            let mut stack = vec![Frame::Enter(sink, start)];
             while let Some(frame) = stack.pop() {
                 match frame {
                     Frame::Enter(net, acc) => {
@@ -193,7 +235,10 @@ impl<'c> ConeExtractor<'c> {
                                     .view
                                     .leaf_index(net)
                                     .expect("inputs and dffs are leaves");
-                                let total = acc + self.view.leaf_source_delay(leaf).millis();
+                                let mut total = acc + self.view.leaf_source_delay(leaf).millis();
+                                if skewed {
+                                    total += self.view.leaf_skew(leaf).millis();
+                                }
                                 let bdd = policy.leaf(manager, table, leaf, total);
                                 memo.insert((net, acc), bdd);
                             }
@@ -244,7 +289,7 @@ impl<'c> ConeExtractor<'c> {
                     }
                 }
             }
-            results.push(memo[&(sink, 0)]);
+            results.push(memo[&(sink, start)]);
         }
         Ok(results)
     }
@@ -283,8 +328,100 @@ impl<'c> ConeExtractor<'c> {
                         classes.entry((leaf, total)).or_insert_with(|| DelayClass {
                             leaf,
                             delay: total,
+                            skew_offset: 0,
                             path: reconstruct_path(&pred, (net, acc)),
                         });
+                    }
+                    Node::Gate {
+                        inputs, pin_delays, ..
+                    } => {
+                        for (pin, (inp, pd)) in inputs.iter().zip(pin_delays).enumerate() {
+                            let mut delays = vec![pd.rise.millis()];
+                            if pd.fall != pd.rise {
+                                delays.push(pd.fall.millis());
+                            }
+                            for d in delays {
+                                let key = (*inp, acc + d);
+                                if let std::collections::hash_map::Entry::Vacant(e) =
+                                    pred.entry(key)
+                                {
+                                    e.insert(Some((
+                                        (net, acc),
+                                        PathEdge {
+                                            node: net,
+                                            pin,
+                                            delay: d,
+                                        },
+                                    )));
+                                    stack.push(key);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<DelayClass> = classes.into_values().collect();
+        out.sort_by_key(|c| (c.leaf, c.delay));
+        Ok(out)
+    }
+
+    /// Skew-aware variant of [`delay_classes`](Self::delay_classes): each
+    /// sink comes with a start accumulator (normally `-s_sink`), leaves add
+    /// their own skew, and every class records its
+    /// [`skew_offset`](DelayClass::skew_offset). When no start or register
+    /// skew is nonzero this delegates to the unskewed walk, so the class
+    /// set, ordering, and representative paths are bit-identical to
+    /// `delay_classes` on skew-free circuits.
+    ///
+    /// Skewed walks do not share the visited-state map across sinks (each
+    /// walk's start determines the leaf offsets exactly), so representative
+    /// paths come from the first start reaching each `(leaf, delay)` pair.
+    ///
+    /// # Errors
+    ///
+    /// [`TbfError::ConeExplosion`] if any single walk exceeds the state
+    /// limit.
+    pub fn delay_classes_at(&self, starts: &[(NetId, i64)]) -> Result<Vec<DelayClass>, TbfError> {
+        if starts.iter().all(|&(_, s)| s == 0) && !self.view.has_skew() {
+            let nets: Vec<NetId> = starts.iter().map(|&(n, _)| n).collect();
+            return self.delay_classes(&nets);
+        }
+        let circuit = self.view.circuit();
+        let mut classes: HashMap<(usize, i64), DelayClass> = HashMap::new();
+        for &(sink, start) in starts {
+            let mut pred: PredMap = HashMap::new();
+            pred.insert((sink, start), None);
+            let mut stack = vec![(sink, start)];
+            while let Some((net, acc)) = stack.pop() {
+                if pred.len() >= self.node_limit {
+                    return Err(TbfError::ConeExplosion {
+                        entries: pred.len(),
+                    });
+                }
+                match circuit.node(net) {
+                    Node::Input { .. } | Node::Dff { .. } => {
+                        let leaf = self
+                            .view
+                            .leaf_index(net)
+                            .expect("inputs and dffs are leaves");
+                        let leaf_skew = self.view.leaf_skew(leaf).millis();
+                        let total = acc + self.view.leaf_source_delay(leaf).millis() + leaf_skew;
+                        let offset = start + leaf_skew;
+                        match classes.entry((leaf, total)) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                let c = e.get_mut();
+                                c.skew_offset = c.skew_offset.min(offset);
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(DelayClass {
+                                    leaf,
+                                    delay: total,
+                                    skew_offset: offset,
+                                    path: reconstruct_path(&pred, (net, acc)),
+                                });
+                            }
+                        }
                     }
                     Node::Gate {
                         inputs, pin_delays, ..
@@ -375,7 +512,10 @@ pub struct DiscreteMachine {
 
 impl DiscreteMachine {
     /// Builds the machine with an arbitrary shift function
-    /// `(leaf, path-delay millis) → shift`.
+    /// `(leaf, path-delay millis) → shift`. The delay handed to the shift
+    /// function is the *effective* delay of the skewed register model,
+    /// `k + s_leaf − s_sink` (identical to the raw path delay when the
+    /// circuit carries no skew annotations).
     ///
     /// Shifts returned as `0` are clamped to `1`: a zero-delay
     /// register-to-register path still launches from the previous edge (the
@@ -392,14 +532,14 @@ impl DiscreteMachine {
     ) -> Result<Self, TbfError> {
         let mut max_shift = 1i64;
         let view = extractor.view();
-        let sink_nets: Vec<NetId> = view.sinks().iter().map(|s| s.net).collect();
+        let starts = view.sink_starts();
         let mut policy = |m: &mut BddManager, t: &mut TimedVarTable, leaf: usize, k: i64| {
             let s = shift(leaf, k).max(1);
             max_shift = max_shift.max(s);
             let v = t.var(TimedVar::Shifted { leaf, shift: s });
             m.var(v)
         };
-        let cones = extractor.extract(manager, table, &sink_nets, &mut policy)?;
+        let cones = extractor.extract_at(manager, table, &starts, &mut policy)?;
         let mut next_state = Vec::new();
         let mut outputs = Vec::new();
         for (sink, bdd) in view.sinks().iter().zip(cones) {
@@ -497,9 +637,10 @@ impl SigmaConeCache {
     /// reachable if the whole-view walk would also explode).
     pub fn new(extractor: &ConeExtractor<'_>) -> Result<Self, TbfError> {
         let view = extractor.view();
+        let starts = view.sink_starts();
         let mut sink_pairs = Vec::with_capacity(view.sinks().len());
-        for sink in view.sinks() {
-            let classes = extractor.delay_classes(&[sink.net])?;
+        for &start in &starts {
+            let classes = extractor.delay_classes_at(&[start])?;
             sink_pairs.push(classes.into_iter().map(|c| (c.leaf, c.delay)).collect());
         }
         Ok(SigmaConeCache {
@@ -567,8 +708,9 @@ impl SigmaConeCache {
             }
             keys.push(key);
         }
+        let starts = view.sink_starts();
         let mut slots: Vec<Option<Bdd>> = Vec::with_capacity(keys.len());
-        let mut miss_nets = Vec::new();
+        let mut miss_starts = Vec::new();
         let mut miss_pos = Vec::new();
         for (pos, key) in keys.iter().enumerate() {
             match self.entries.get(&(pos, key.clone())).copied() {
@@ -577,19 +719,19 @@ impl SigmaConeCache {
                     slots.push(Some(b));
                 }
                 None => {
-                    miss_nets.push(view.sinks()[pos].net);
+                    miss_starts.push(starts[pos]);
                     miss_pos.push(pos);
                     slots.push(None);
                 }
             }
         }
-        if !miss_nets.is_empty() {
+        if !miss_starts.is_empty() {
             let mut policy = |m: &mut BddManager, t: &mut TimedVarTable, leaf: usize, k: i64| {
                 let s = shift(leaf, k).max(1);
                 let v = t.var(TimedVar::Shifted { leaf, shift: s });
                 m.var(v)
             };
-            let cones = extractor.extract(manager, table, &miss_nets, &mut policy)?;
+            let cones = extractor.extract_at(manager, table, &miss_starts, &mut policy)?;
             for (&pos, bdd) in miss_pos.iter().zip(cones) {
                 manager.protect(bdd);
                 self.entries.insert((pos, keys[pos].clone()), bdd);
@@ -856,6 +998,76 @@ mod tests {
             .unwrap();
         assert_eq!(classes.len(), 1);
         assert_eq!(classes[0].delay, 1500); // 1.0 pin + 0.5 clock-to-Q
+    }
+
+    /// Two-register ring: q0 −(NOT, 5)→ q1 −(BUF, 1)→ q0, output = q0,
+    /// with q1 skewed +2.0. Both register-to-register paths land on an
+    /// effective delay of 3.0 (5 − 2 and 1 + 2).
+    fn skewed_ring() -> Circuit {
+        let mut c = Circuit::new("skew_ring");
+        let q0 = c.add_dff("q0", false, Time::ZERO);
+        let q1 = c.add_dff("q1", false, Time::ZERO);
+        let n1 = c.add_gate("n1", GateKind::Not, &[q0], t(5.0));
+        let n0 = c.add_gate("n0", GateKind::Buf, &[q1], t(1.0));
+        c.connect_dff_data("q1", n1).unwrap();
+        c.connect_dff_data("q0", n0).unwrap();
+        c.set_output(q0);
+        let q1_id = c.lookup("q1").unwrap();
+        c.set_dff_skew(q1_id, t(2.0)).unwrap();
+        c
+    }
+
+    #[test]
+    fn skewed_classes_carry_offsets() {
+        let c = skewed_ring();
+        let view = FsmView::new(&c).unwrap();
+        let ex = ConeExtractor::new(&view);
+        let classes = ex.delay_classes_at(&view.sink_starts()).unwrap();
+        let summary: Vec<(usize, i64, i64)> = classes
+            .iter()
+            .map(|c| (c.leaf, c.delay, c.skew_offset))
+            .collect();
+        // Output cone reads q0 directly (raw 0, no skew); both feedback
+        // paths become effective delay 3000 with opposite offsets.
+        assert_eq!(summary, vec![(0, 0, 0), (0, 3000, -2000), (1, 3000, 2000)]);
+        // Raw (unskewed) enumeration still sees 5000 and 1000.
+        let sinks: Vec<NetId> = view.next_state_sinks().map(|s| s.net).collect();
+        let raw = ex.delay_classes(&sinks).unwrap();
+        let raw_delays: Vec<i64> = raw.iter().map(|c| c.delay).collect();
+        assert_eq!(raw_delays, vec![5000, 1000]);
+        assert!(raw.iter().all(|c| c.skew_offset == 0));
+    }
+
+    #[test]
+    fn skewed_machine_uses_effective_delays() {
+        let c = skewed_ring();
+        let view = FsmView::new(&c).unwrap();
+        let ex = ConeExtractor::new(&view);
+        let mut m = BddManager::new();
+        let mut tbl = TimedVarTable::new();
+        let mut seen = Vec::new();
+        let machine = DiscreteMachine::with_shift_fn(&ex, &mut m, &mut tbl, |_, k| {
+            seen.push(k);
+            1
+        })
+        .unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 3000, 3000]);
+        // At shift 1 everywhere the machine is the steady-state one.
+        let steady = DiscreteMachine::steady_state(&ex, &mut m, &mut tbl).unwrap();
+        assert_eq!(machine.next_state, steady.next_state);
+        assert_eq!(machine.outputs, steady.outputs);
+    }
+
+    #[test]
+    fn zero_skew_classes_at_matches_raw() {
+        let c = figure2();
+        let view = FsmView::new(&c).unwrap();
+        let ex = ConeExtractor::new(&view);
+        let nets: Vec<NetId> = view.sinks().iter().map(|s| s.net).collect();
+        let raw = ex.delay_classes(&nets).unwrap();
+        let at = ex.delay_classes_at(&view.sink_starts()).unwrap();
+        assert_eq!(raw, at);
     }
 
     #[test]

@@ -21,8 +21,8 @@ fn corpus_dir() -> &'static Path {
 fn corpus_is_present_and_documented() {
     let corpus = load_corpus(corpus_dir());
     assert!(
-        corpus.len() >= 3,
-        "expected at least the three hand-minimized seed entries, found {}",
+        corpus.len() >= 5,
+        "expected at least the five hand-minimized seed entries, found {}",
         corpus.len()
     );
     for (path, _, prov) in &corpus {
@@ -57,6 +57,57 @@ fn corpus_round_trips_exactly() {
             path.display()
         );
     }
+}
+
+#[test]
+fn skew_seeds_parse_annotated_and_cover_both_regimes() {
+    // The two skew seeds exist, carry their `# .skew` annotations through
+    // the corpus parser, and land on opposite sides of the optimization:
+    // `skewimp` is annotated with the witness that beats zero skew by
+    // exactly 2 units; `skewneu` carries an unhelpful annotation the tier
+    // must decline to improve on.
+    use mct_suite::core::{MctAnalyzer, MctOptions};
+    use mct_suite::lp::Rat;
+
+    let corpus = load_corpus(corpus_dir());
+    let find = |name: &str| {
+        corpus
+            .iter()
+            .map(|(_, c, _)| c)
+            .find(|c| c.name() == name)
+            .unwrap_or_else(|| panic!("seed `{name}` missing from tests/corpus"))
+    };
+    let opts = MctOptions {
+        skew: true,
+        ..MctOptions::fixed_delays()
+    };
+
+    let imp = find("skewimp");
+    assert!(imp.has_skew(), "skewimp lost its annotation in parsing");
+    let report = MctAnalyzer::new(imp).unwrap().run(&opts).unwrap();
+    let skew = report.skew.as_ref().expect("tier ran");
+    assert!(skew.improved);
+    assert_eq!(skew.zero_skew_bound, Rat::new(5000, 1), "{skew:?}");
+    assert_eq!(skew.optimal_bound, Rat::new(3000, 1), "{skew:?}");
+    assert_eq!(
+        skew.zero_skew_bound - skew.optimal_bound,
+        Rat::new(2000, 1),
+        "exact margin"
+    );
+    // The annotation *is* a witness: the machine's own bound is optimal.
+    assert_eq!(report.bound_exact, Rat::new(3000, 1));
+
+    let neu = find("skewneu");
+    assert!(neu.has_skew(), "skewneu lost its annotation in parsing");
+    let report = MctAnalyzer::new(neu).unwrap().run(&opts).unwrap();
+    let skew = report.skew.as_ref().expect("tier ran");
+    assert!(!skew.improved);
+    assert_eq!(skew.optimal_bound, skew.zero_skew_bound, "{skew:?}");
+    assert_eq!(skew.zero_skew_bound, Rat::new(3000, 1), "{skew:?}");
+    assert!(skew.witness_millis.iter().all(|&s| s == 0), "{skew:?}");
+    // The unhelpful annotation makes the machine itself slower than the
+    // zero-skew baseline — exactly what the tier reports around.
+    assert_eq!(report.bound_exact, Rat::new(3500, 1));
 }
 
 #[test]

@@ -13,9 +13,14 @@ use mct_suite::netlist::{parse_bench, Circuit, DelayModel};
 use std::fmt::Write as _;
 
 const GOLDEN_PATH: &str = "tests/data/golden_reports.tsv";
+const SKEW_GOLDEN_PATH: &str = "tests/data/golden_skew_reports.tsv";
 
 fn golden_file() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+fn skew_golden_file() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(SKEW_GOLDEN_PATH)
 }
 
 /// Every circuit in the golden corpus: each `examples/*.bench` netlist plus
@@ -143,6 +148,55 @@ fn scheduled_reports_replay_byte_identical() {
             }
         }
     }
+}
+
+/// Skew mode (`MctOptions::skew`) has its own golden capture — the skew
+/// tier is a *semantic* extension (the report gains a `skew` section and
+/// the cache fingerprint changes), so it gets its own file rather than a
+/// re-bless of the base goldens, which must stay byte-identical to their
+/// pre-skew capture. The skew-mode report must itself be byte-identical
+/// across every ordering policy and thread count.
+///
+/// Regenerate with `MCT_BLESS=1 cargo test --test golden_replay`.
+#[test]
+fn skew_mode_reports_replay_byte_identical() {
+    let mut rendered = String::new();
+    for (name, circuit, opts) in corpus() {
+        let skew_opts = MctOptions { skew: true, ..opts };
+        let base = report_line(&circuit, 1, VarOrder::Alloc, &skew_opts);
+        for ordering in [VarOrder::Alloc, VarOrder::Static, VarOrder::Sift] {
+            for threads in [1usize, 2, 4] {
+                if (ordering, threads) == (VarOrder::Alloc, 1) {
+                    continue;
+                }
+                let got = report_line(&circuit, threads, ordering, &skew_opts);
+                assert_eq!(
+                    base, got,
+                    "{name}: skew-mode report at {threads} threads / {ordering:?} \
+                     ordering differs from the single-threaded alloc-order run"
+                );
+            }
+        }
+        writeln!(rendered, "{name}\t{base}").unwrap();
+    }
+
+    let path = skew_golden_file();
+    if std::env::var_os("MCT_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).expect("write skew golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("skew golden file missing; run with MCT_BLESS=1 to capture");
+    for (want, got) in golden.lines().zip(rendered.lines()) {
+        let name = want.split('\t').next().unwrap_or("?");
+        assert_eq!(want, got, "skew golden replay mismatch for {name}");
+    }
+    assert_eq!(
+        golden.lines().count(),
+        rendered.lines().count(),
+        "skew golden corpus size changed"
+    );
 }
 
 /// The cone-decomposed path must reproduce the same golden capture byte

@@ -75,6 +75,37 @@ fn reports_identical_across_ordering_policies() {
     check_corpus(&corpus(), &[1, 2, 4]);
 }
 
+/// Skew mode runs the optimization tier — the LP binary search, the exact
+/// Bellman–Ford certification, and up to two exact sub-sweeps (the zeroed
+/// baseline and the witness machine) — and all of it must be just as
+/// order- and thread-invariant as the base sweep: byte-identical reports
+/// across {alloc, static, sift} × {1, 2, 4}. The corpus includes the
+/// `skew/*` families, where the tier genuinely improves the bound and a
+/// non-trivial witness participates in the serialized report.
+#[test]
+fn skew_mode_reports_identical_across_ordering_policies() {
+    let mut circuits: Vec<_> = corpus().into_iter().take(10).collect();
+    circuits.push((
+        "skew_ring".into(),
+        families::skew_ring(Time::from_f64(5.0), Time::from_f64(1.0)),
+        MctOptions::fixed_delays(),
+    ));
+    circuits.push((
+        "skew_pipeline".into(),
+        families::skew_pipeline(&[
+            Time::from_f64(6.0),
+            Time::from_f64(2.0),
+            Time::from_f64(1.0),
+        ]),
+        MctOptions::fixed_delays(),
+    ));
+    let skewed: Vec<_> = circuits
+        .into_iter()
+        .map(|(name, c, opts)| (name, c, MctOptions { skew: true, ..opts }))
+        .collect();
+    check_corpus(&skewed, &[1, 2, 4]);
+}
+
 /// The cone-decomposed path must agree byte for byte with the monolithic
 /// alloc-order sequential reference under every ordering policy and
 /// thread count — including on a genuinely multi-cone machine (the
